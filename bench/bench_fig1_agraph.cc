@@ -1,0 +1,118 @@
+// FIG1: the interdisciplinary influenza a-graph scenario (Figure 1).
+// Contents and referents over heterogeneous objects induce the a-graph;
+// shared referents make annotations by different scientists indirectly
+// related. Measures: corpus construction rate, indirect-relation discovery,
+// and cross-discipline path()/connect() queries on the induced graph.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/graphitti.h"
+#include "core/workload.h"
+
+namespace {
+
+using graphitti::agraph::NodeRef;
+using graphitti::core::Graphitti;
+using graphitti::core::GenerateInfluenzaStudy;
+using graphitti::core::InfluenzaCorpus;
+using graphitti::core::InfluenzaParams;
+using graphitti::util::Rng;
+
+struct Corpus {
+  std::unique_ptr<Graphitti> g;
+  InfluenzaCorpus corpus;
+};
+
+Corpus& SharedCorpus(size_t n_annotations) {
+  static std::map<size_t, std::unique_ptr<Corpus>> cache;
+  auto it = cache.find(n_annotations);
+  if (it == cache.end()) {
+    auto c = std::make_unique<Corpus>();
+    c->g = std::make_unique<Graphitti>();
+    InfluenzaParams params;
+    params.num_annotations = n_annotations;
+    auto corpus = GenerateInfluenzaStudy(c->g.get(), params);
+    if (!corpus.ok()) std::abort();
+    c->corpus = std::move(corpus).ValueUnsafe();
+    it = cache.emplace(n_annotations, std::move(c)).first;
+  }
+  return *it->second;
+}
+
+// End-to-end corpus construction: heterogeneous ingest + annotate + a-graph.
+void BM_Fig1_BuildStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    Graphitti g;
+    InfluenzaParams params;
+    params.num_annotations = static_cast<size_t>(state.range(0));
+    auto corpus = GenerateInfluenzaStudy(&g, params);
+    benchmark::DoNotOptimize(corpus.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig1_BuildStudy)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+// Indirect relatedness: "if the same referent is connected to two different
+// annotations ... the two annotations become indirectly related" (§I).
+void BM_Fig1_IndirectRelations(benchmark::State& state) {
+  Corpus& c = SharedCorpus(static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  size_t related = 0;
+  for (auto _ : state) {
+    auto id = rng.Pick(c.corpus.annotations);
+    related += c.g->graph().IndirectlyRelatedContents(NodeRef::Content(id)).size();
+  }
+  benchmark::DoNotOptimize(related);
+  state.counters["agraph_nodes"] = static_cast<double>(c.g->graph().num_nodes());
+}
+BENCHMARK(BM_Fig1_IndirectRelations)->Arg(200)->Arg(1000)->Arg(5000);
+
+// Cross-annotation path() on the induced a-graph.
+void BM_Fig1_PathBetweenAnnotations(benchmark::State& state) {
+  Corpus& c = SharedCorpus(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  size_t found = 0;
+  for (auto _ : state) {
+    NodeRef a = NodeRef::Content(rng.Pick(c.corpus.annotations));
+    NodeRef b = NodeRef::Content(rng.Pick(c.corpus.annotations));
+    if (c.g->graph().FindPath(a, b).ok()) ++found;
+  }
+  benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_Fig1_PathBetweenAnnotations)->Arg(1000)->Arg(5000);
+
+// connect() spanning an annotation, a data object and an ontology term —
+// the Figure 1 picture of one connection structure across disciplines.
+void BM_Fig1_CrossDisciplineConnect(benchmark::State& state) {
+  Corpus& c = SharedCorpus(static_cast<size_t>(state.range(0)));
+  Rng rng(3);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    std::vector<NodeRef> terminals = {
+        NodeRef::Content(rng.Pick(c.corpus.annotations)),
+        NodeRef::Object(rng.Pick(c.corpus.sequence_objects)),
+    };
+    auto sg = c.g->graph().Connect(terminals);
+    if (sg.ok()) nodes += sg->nodes.size();
+  }
+  benchmark::DoNotOptimize(nodes);
+}
+BENCHMARK(BM_Fig1_CrossDisciplineConnect)->Arg(1000)->Arg(5000);
+
+// The correlated-data expansion used when browsing the a-graph.
+void BM_Fig1_CorrelatedData(benchmark::State& state) {
+  Corpus& c = SharedCorpus(1000);
+  Rng rng(4);
+  size_t total = 0;
+  for (auto _ : state) {
+    auto corr = c.g->Correlated(NodeRef::Content(rng.Pick(c.corpus.annotations)));
+    total += corr.annotations.size() + corr.objects.size() + corr.terms.size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_Fig1_CorrelatedData);
+
+}  // namespace

@@ -1,0 +1,156 @@
+// FIG2: the annotation-tab workflow (Figure 2) as a pipeline benchmark:
+//   search window (typed relational query) -> drag to central panel ->
+//   marker menus (interval / block-set markers) -> ontology insert ->
+//   XML preview -> commit to annotation storage.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/graphitti.h"
+#include "core/workload.h"
+
+namespace {
+
+using graphitti::annotation::AnnotationBuilder;
+using graphitti::core::Graphitti;
+using graphitti::core::kTableDna;
+using graphitti::relational::Predicate;
+using graphitti::relational::Value;
+using graphitti::util::Rng;
+
+std::unique_ptr<Graphitti> FreshStudy(size_t num_sequences) {
+  auto g = std::make_unique<Graphitti>();
+  Rng rng(11);
+  for (size_t i = 0; i < num_sequences; ++i) {
+    (void)g->IngestDnaSequence("ACC" + std::to_string(i),
+                               i % 2 ? "H5N1" : "H3N2",
+                               "flu:seg" + std::to_string(i % 8),
+                               rng.RandomDna(2000));
+  }
+  std::string obo = graphitti::core::GenerateOntologyObo("FLU", 3, 3, 1);
+  (void)g->LoadOntology("flu", obo);
+  return g;
+}
+
+// Step 1 in isolation: the search window's type-specific form query.
+void BM_Fig2_SearchWindow(benchmark::State& state) {
+  auto g = FreshStudy(static_cast<size_t>(state.range(0)));
+  size_t found = 0;
+  for (auto _ : state) {
+    auto r = g->SearchObjects(kTableDna, Predicate::Eq("organism", Value::Str("H5N1")));
+    if (r.ok()) found += r->size();
+  }
+  benchmark::DoNotOptimize(found);
+  state.counters["sequences"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig2_SearchWindow)->Arg(100)->Arg(1000)->Arg(10000);
+
+// The full annotate flow, one committed annotation per iteration.
+void BM_Fig2_FullAnnotateFlow(benchmark::State& state) {
+  auto g = FreshStudy(256);
+  Rng rng(7);
+  uint64_t committed = 0;
+  for (auto _ : state) {
+    // 1. Search for the object to annotate.
+    auto objects =
+        g->SearchObjects(kTableDna, Predicate::Eq("organism", Value::Str("H5N1")));
+    if (!objects.ok() || objects->empty()) continue;
+    uint64_t obj = (*objects)[rng.Next64() % objects->size()];
+    const auto* info = g->GetObject(obj);
+    std::string domain = g->catalog()
+                             .GetTable(info->table)
+                             ->GetCell(info->row, "segment")
+                             .as_string();
+
+    // 2-3. Mark substructures with the linear interval marker.
+    AnnotationBuilder b;
+    int64_t lo = static_cast<int64_t>(rng.Next64() % 1500);
+    b.Title("bench annotation " + std::to_string(committed))
+        .Creator("scientist" + std::to_string(rng.Next64() % 4))
+        .Body("protease cleavage observed near the marked interval")
+        .MarkInterval(domain, lo, lo + 120, obj)
+        .OntologyReference("flu", "FLU:" + std::to_string(rng.Next64() % 12));
+
+    // 4. XML preview ("view it as an XML-structured object ... before it is
+    //    committed").
+    auto preview = b.BuildContentXml();
+    benchmark::DoNotOptimize(preview->ToString().size());
+
+    // 5. Commit.
+    auto id = g->Commit(b);
+    if (id.ok()) ++committed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+}
+BENCHMARK(BM_Fig2_FullAnnotateFlow);
+
+// Commit-only throughput per marker kind (interval vs block-set vs node-set),
+// isolating the marker -> referent -> index -> a-graph pipeline.
+void BM_Fig2_CommitIntervalMarker(benchmark::State& state) {
+  auto g = FreshStudy(64);
+  Rng rng(3);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    AnnotationBuilder b;
+    int64_t lo = static_cast<int64_t>(rng.Next64() % 100000);
+    b.Title("iv" + std::to_string(n++)).Body("interval mark");
+    b.MarkInterval("flu:seg" + std::to_string(rng.Next64() % 8), lo, lo + 50);
+    benchmark::DoNotOptimize(g->Commit(b).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fig2_CommitIntervalMarker);
+
+void BM_Fig2_CommitBlockSetMarker(benchmark::State& state) {
+  auto g = FreshStudy(64);
+  Rng rng(4);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    AnnotationBuilder b;
+    b.Title("bs" + std::to_string(n++)).Body("block set mark");
+    b.MarkBlockSet("dna_sequences", {rng.Next64() % 64, rng.Next64() % 64});
+    benchmark::DoNotOptimize(g->Commit(b).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fig2_CommitBlockSetMarker);
+
+void BM_Fig2_CommitMultiIntervalMarker(benchmark::State& state) {
+  // "marks the start and end points of all subintervals that would be
+  // referred to by a single annotation".
+  auto g = FreshStudy(64);
+  Rng rng(5);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    AnnotationBuilder b;
+    b.Title("multi" + std::to_string(n++)).Body("four subintervals");
+    std::vector<graphitti::spatial::Interval> ivs;
+    int64_t cursor = static_cast<int64_t>(rng.Next64() % 1000);
+    for (int k = 0; k < 4; ++k) {
+      ivs.push_back({cursor, cursor + 40});
+      cursor += 100;
+    }
+    b.MarkIntervals("flu:seg0", ivs);
+    benchmark::DoNotOptimize(g->Commit(b).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * 4);
+}
+BENCHMARK(BM_Fig2_CommitMultiIntervalMarker);
+
+// Preview cost alone (XML build + serialize, no commit).
+void BM_Fig2_XmlPreview(benchmark::State& state) {
+  Rng rng(6);
+  AnnotationBuilder b;
+  b.Title("preview").Creator("x").Body("some body text for the preview");
+  b.MarkIntervals("flu:seg0", {{0, 10}, {20, 30}, {40, 50}});
+  b.OntologyReference("flu", "FLU:1");
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto doc = b.BuildContentXml();
+    bytes += doc->ToString().size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Fig2_XmlPreview);
+
+}  // namespace

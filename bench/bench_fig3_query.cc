@@ -1,0 +1,184 @@
+// FIG3: the query-tab workflow (Figure 3): the flagship "4 consecutive
+// non-overlapping protease intervals" graph query, keyword + term queries,
+// paged GRAPH results, and correlated-data viewing, as the corpus grows.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/graphitti.h"
+#include "core/workload.h"
+
+namespace {
+
+using graphitti::core::BrainAtlasCorpus;
+using graphitti::core::BrainAtlasParams;
+using graphitti::core::GenerateBrainAtlas;
+using graphitti::core::GenerateInfluenzaStudy;
+using graphitti::core::Graphitti;
+using graphitti::core::InfluenzaParams;
+using graphitti::util::Rng;
+
+Graphitti& FluInstance(size_t n) {
+  static std::map<size_t, std::unique_ptr<Graphitti>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto g = std::make_unique<Graphitti>();
+    InfluenzaParams params;
+    params.num_annotations = n;
+    params.protease_fraction = 0.15;
+    if (!GenerateInfluenzaStudy(g.get(), params).ok()) std::abort();
+    it = cache.emplace(n, std::move(g)).first;
+  }
+  return *it->second;
+}
+
+struct Brain {
+  std::unique_ptr<Graphitti> g;
+  BrainAtlasCorpus corpus;
+};
+
+Brain& BrainInstance(size_t n) {
+  static std::map<size_t, std::unique_ptr<Brain>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto b = std::make_unique<Brain>();
+    b->g = std::make_unique<Graphitti>();
+    BrainAtlasParams params;
+    params.num_annotations = n;
+    auto corpus = GenerateBrainAtlas(b->g.get(), params);
+    if (!corpus.ok()) std::abort();
+    b->corpus = std::move(corpus).ValueUnsafe();
+    it = cache.emplace(n, std::move(b)).first;
+  }
+  return *it->second;
+}
+
+// Simple keyword query (the query-formulation panel's content condition).
+void BM_Fig3_KeywordQuery(benchmark::State& state) {
+  Graphitti& g = FluInstance(static_cast<size_t>(state.range(0)));
+  size_t items = 0;
+  for (auto _ : state) {
+    auto r = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" }");
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig3_KeywordQuery)->Arg(200)->Arg(1000)->Arg(5000);
+
+// Spatial window over the shared segment interval tree.
+void BM_Fig3_SpatialWindowQuery(benchmark::State& state) {
+  Graphitti& g = FluInstance(static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  size_t items = 0;
+  for (auto _ : state) {
+    int64_t lo = rng.Uniform(0, 1500);
+    auto r = g.Query(
+        "FIND REFERENTS WHERE { ?s TYPE interval ; ?s DOMAIN \"flu:seg" +
+        std::to_string(rng.Uniform(0, 7)) + "\" ; ?s OVERLAPS [" + std::to_string(lo) +
+        ", " + std::to_string(lo + 300) + "] }");
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+}
+BENCHMARK(BM_Fig3_SpatialWindowQuery)->Arg(1000)->Arg(5000);
+
+// The flagship Figure 3 query: an example annotation graph with 4 sequence
+// nodes + 4 annotation nodes, consecutive & disjoint constraints, keyword
+// condition on each content, returning connection subgraphs.
+void BM_Fig3_ProteaseGraphQuery(benchmark::State& state) {
+  Graphitti& g = FluInstance(static_cast<size_t>(state.range(0)));
+  // Restrict to one segment domain so the bench measures constraint joins,
+  // not cross-product explosion.
+  const std::string query = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s1 DOMAIN "flu:seg2" ;
+      ?s2 IS REFERENT ; ?s2 DOMAIN "flu:seg2" ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } CONSTRAIN consecutive(?s1, ?s2), disjoint(?s1, ?s2) LIMIT 10 PAGE 1)";
+  size_t graphs = 0;
+  for (auto _ : state) {
+    auto r = g.Query(query);
+    if (r.ok()) graphs += r->items.size();
+  }
+  benchmark::DoNotOptimize(graphs);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig3_ProteaseGraphQuery)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Ontology-term query with subtree expansion over the brain corpus (the
+// intro's "Deep Cerebellar nuclei" pattern).
+void BM_Fig3_TermBelowQuery(benchmark::State& state) {
+  Brain& b = BrainInstance(static_cast<size_t>(state.range(0)));
+  size_t items = 0;
+  for (auto _ : state) {
+    auto r = b.g->Query(
+        "FIND CONTENTS WHERE { ?a IS CONTENT ; ?t TERM BELOW \"nif:NIF:0000\" ; "
+        "?a REFERS ?t }");
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+}
+BENCHMARK(BM_Fig3_TermBelowQuery)->Arg(150)->Arg(1000);
+
+// 3D region window in atlas coordinates over the shared R-tree.
+void BM_Fig3_RegionWindowQuery(benchmark::State& state) {
+  Brain& b = BrainInstance(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  size_t items = 0;
+  for (auto _ : state) {
+    double x = rng.NextDouble() * 8000;
+    auto r = b.g->Query(
+        "FIND REFERENTS WHERE { ?s TYPE region ; ?s DOMAIN \"" + b.corpus.canonical_system +
+        "\" ; ?s OVERLAPS RECT [" + std::to_string(x) + ",0,0, " +
+        std::to_string(x + 2000) + ",10000,10000] }");
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+}
+BENCHMARK(BM_Fig3_RegionWindowQuery)->Arg(150)->Arg(1000);
+
+// Paged GRAPH results: "each connected subgraph forms a result page".
+void BM_Fig3_PagedGraphResults(benchmark::State& state) {
+  Graphitti& g = FluInstance(1000);
+  size_t pages = 0;
+  for (auto _ : state) {
+    auto r = g.Query(
+        "FIND GRAPH WHERE { ?a CONTAINS \"protease\" ; ?s IS REFERENT ; "
+        "?a ANNOTATES ?s ; ?s DOMAIN \"flu:seg3\" } LIMIT 1 PAGE 1");
+    if (r.ok()) pages += r->total_pages;
+  }
+  benchmark::DoNotOptimize(pages);
+}
+BENCHMARK(BM_Fig3_PagedGraphResults);
+
+// Correlated-data viewing on query results (the right panel).
+void BM_Fig3_CorrelatedDataViewing(benchmark::State& state) {
+  Brain& b = BrainInstance(1000);
+  Rng rng(3);
+  size_t total = 0;
+  for (auto _ : state) {
+    auto id = rng.Pick(b.corpus.annotations);
+    auto corr = b.g->Correlated(graphitti::agraph::NodeRef::Content(id));
+    total += corr.annotations.size() + corr.terms.size() + corr.objects.size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_Fig3_CorrelatedDataViewing);
+
+// XML fragment retrieval (result form (b): "fragments of XML documents").
+void BM_Fig3_FragmentRetrieval(benchmark::State& state) {
+  Graphitti& g = FluInstance(1000);
+  size_t fragments = 0;
+  for (auto _ : state) {
+    auto r = g.Query(
+        "FIND FRAGMENTS ?a XPATH \"/annotation/dc:title\" WHERE "
+        "{ ?a CONTAINS \"protease\" }");
+    if (r.ok()) fragments += r->items.size();
+  }
+  benchmark::DoNotOptimize(fragments);
+}
+BENCHMARK(BM_Fig3_FragmentRetrieval);
+
+}  // namespace

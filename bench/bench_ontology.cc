@@ -1,0 +1,121 @@
+// ABL-ONT: OntoQuest operation scaling — CI / CRI / CmRI / mCmRI / SubTree /
+// SubTreeDiff over generated ontologies of growing size and fanout.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/workload.h"
+#include "ontology/obo_parser.h"
+#include "ontology/ontology.h"
+
+namespace {
+
+using graphitti::core::GenerateOntologyObo;
+using graphitti::ontology::Ontology;
+using graphitti::ontology::ParseObo;
+using graphitti::ontology::RelationId;
+using graphitti::ontology::TermId;
+
+// depth is the benchmark arg; fanout 4, 3 instances per leaf.
+const Ontology& SharedOntology(size_t depth) {
+  static std::map<size_t, std::unique_ptr<Ontology>> cache;
+  auto it = cache.find(depth);
+  if (it == cache.end()) {
+    std::string obo = GenerateOntologyObo("B", depth, /*fanout=*/4,
+                                          /*instances_per_leaf=*/3);
+    auto parsed = ParseObo(obo, "bench");
+    it = cache.emplace(depth, std::make_unique<Ontology>(std::move(parsed).ValueUnsafe()))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_OntologyCI(benchmark::State& state) {
+  const Ontology& onto = SharedOntology(static_cast<size_t>(state.range(0)));
+  TermId root = onto.FindTerm("B:0");
+  size_t total = 0;
+  for (auto _ : state) {
+    total += onto.CI(root).size();
+  }
+  benchmark::DoNotOptimize(total);
+  state.counters["terms"] = static_cast<double>(onto.num_terms());
+}
+BENCHMARK(BM_OntologyCI)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OntologyCRI(benchmark::State& state) {
+  const Ontology& onto = SharedOntology(static_cast<size_t>(state.range(0)));
+  TermId root = onto.FindTerm("B:0");
+  RelationId is_a = onto.FindRelation("is_a");
+  size_t total = 0;
+  for (auto _ : state) {
+    total += onto.CRI(root, is_a).size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_OntologyCRI)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OntologyCmRI(benchmark::State& state) {
+  const Ontology& onto = SharedOntology(static_cast<size_t>(state.range(0)));
+  TermId root = onto.FindTerm("B:0");
+  std::vector<RelationId> rels = {onto.FindRelation("is_a"),
+                                  onto.FindRelation("instance_of")};
+  size_t total = 0;
+  for (auto _ : state) {
+    total += onto.CmRI(root, rels).size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_OntologyCmRI)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OntologymCmRI(benchmark::State& state) {
+  const Ontology& onto = SharedOntology(static_cast<size_t>(state.range(0)));
+  // Start from all depth-1 concepts (children of root).
+  std::vector<TermId> starts = onto.Children(onto.FindTerm("B:0"));
+  std::vector<RelationId> rels = {onto.FindRelation("is_a"),
+                                  onto.FindRelation("instance_of")};
+  size_t total = 0;
+  for (auto _ : state) {
+    total += onto.mCmRI(starts, rels).size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_OntologymCmRI)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OntologySubTree(benchmark::State& state) {
+  const Ontology& onto = SharedOntology(static_cast<size_t>(state.range(0)));
+  TermId root = onto.FindTerm("B:0");
+  RelationId is_a = onto.FindRelation("is_a");
+  size_t total = 0;
+  for (auto _ : state) {
+    total += onto.SubTree(root, is_a).size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_OntologySubTree)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OntologySubTreeDiff(benchmark::State& state) {
+  const Ontology& onto = SharedOntology(static_cast<size_t>(state.range(0)));
+  TermId root = onto.FindTerm("B:0");
+  TermId child = onto.FindTerm("B:1");  // first child subtree
+  RelationId is_a = onto.FindRelation("is_a");
+  size_t total = 0;
+  for (auto _ : state) {
+    auto diff = onto.SubTreeDiff(root, child, is_a);
+    if (diff.ok()) total += diff->size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_OntologySubTreeDiff)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OntologyParseObo(benchmark::State& state) {
+  std::string obo = GenerateOntologyObo("P", static_cast<size_t>(state.range(0)), 4, 3);
+  for (auto _ : state) {
+    auto parsed = ParseObo(obo, "p");
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * obo.size()));
+}
+BENCHMARK(BM_OntologyParseObo)->Arg(3)->Arg(5);
+
+}  // namespace

@@ -1,0 +1,204 @@
+// ABL-RT: 2D/3D region-index design choices.
+//   (a) R-tree vs linear scan for window queries (2D and 3D).
+//   (b) "regions [of] all brain images of the same resolution are referenced
+//       with respect to the same brain coordinate system, and placed in a
+//       single R-tree" — one shared canonical R-tree vs one R-tree per image.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "spatial/index_manager.h"
+#include "spatial/rtree.h"
+#include "util/random.h"
+
+namespace {
+
+using graphitti::spatial::IndexManager;
+using graphitti::spatial::Rect;
+using graphitti::spatial::RTree;
+using graphitti::spatial::RTreeEntry;
+using graphitti::util::Rng;
+
+constexpr double kAtlasExtent = 10000.0;
+
+std::vector<RTreeEntry> MakeRegions(size_t n, int dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RTreeEntry> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextDouble() * kAtlasExtent;
+    double y = rng.NextDouble() * kAtlasExtent;
+    double w = 10 + rng.NextDouble() * 200;
+    Rect r = dims == 2 ? Rect::Make2D(x, y, x + w, y + w)
+                       : Rect::Make3D(x, y, rng.NextDouble() * kAtlasExtent, x + w, y + w,
+                                      rng.NextDouble() * kAtlasExtent + w);
+    out.push_back({r, i});
+  }
+  return out;
+}
+
+const RTree& SharedRTree(size_t n, int dims) {
+  static std::map<std::pair<size_t, int>, std::unique_ptr<RTree>> cache;
+  auto key = std::make_pair(n, dims);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto tree = std::make_unique<RTree>(dims);
+    for (const auto& e : MakeRegions(n, dims, 42)) {
+      (void)tree->Insert(e.rect, e.id);
+    }
+    it = cache.emplace(key, std::move(tree)).first;
+  }
+  return *it->second;
+}
+
+Rect RandomWindow(Rng* rng, int dims, double extent) {
+  double x = rng->NextDouble() * kAtlasExtent;
+  double y = rng->NextDouble() * kAtlasExtent;
+  if (dims == 2) return Rect::Make2D(x, y, x + extent, y + extent);
+  double z = rng->NextDouble() * kAtlasExtent;
+  return Rect::Make3D(x, y, z, x + extent, y + extent, z + extent);
+}
+
+void BM_RTreeWindow2D(benchmark::State& state) {
+  const RTree& tree = SharedRTree(static_cast<size_t>(state.range(0)), 2);
+  Rng rng(7);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += tree.Window(RandomWindow(&rng, 2, 500)).size();
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["entries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RTreeWindow2D)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LinearScanWindow2D(benchmark::State& state) {
+  auto regions = MakeRegions(static_cast<size_t>(state.range(0)), 2, 42);
+  Rng rng(7);
+  size_t hits = 0;
+  for (auto _ : state) {
+    Rect window = RandomWindow(&rng, 2, 500);
+    for (const auto& e : regions) {
+      if (e.rect.Overlaps(window)) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["entries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LinearScanWindow2D)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeWindow3D(benchmark::State& state) {
+  const RTree& tree = SharedRTree(static_cast<size_t>(state.range(0)), 3);
+  Rng rng(7);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += tree.Window(RandomWindow(&rng, 3, 800)).size();
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_RTreeWindow3D)->Arg(10000)->Arg(100000);
+
+void BM_RTreeNearest(benchmark::State& state) {
+  const RTree& tree = SharedRTree(static_cast<size_t>(state.range(0)), 2);
+  Rng rng(13);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += tree.Nearest(RandomWindow(&rng, 2, 0.1), 10).size();
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_RTreeNearest)->Arg(10000)->Arg(100000);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RTree tree(2);
+    auto regions = MakeRegions(static_cast<size_t>(state.range(0)), 2, rng.Next64());
+    state.ResumeTiming();
+    for (const auto& e : regions) {
+      benchmark::DoNotOptimize(tree.Insert(e.rect, e.id).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto regions = MakeRegions(static_cast<size_t>(state.range(0)), 2, rng.Next64());
+    state.ResumeTiming();
+    auto tree = RTree::BulkLoad(std::move(regions), 2);
+    benchmark::DoNotOptimize(tree.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_RTreeWindowOnBulkLoaded(benchmark::State& state) {
+  static std::map<size_t, std::unique_ptr<RTree>> cache;
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto loaded = RTree::BulkLoad(MakeRegions(n, 2, 42), 2);
+    it = cache.emplace(n, std::make_unique<RTree>(std::move(loaded).ValueUnsafe())).first;
+  }
+  Rng rng(7);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += it->second->Window(RandomWindow(&rng, 2, 500)).size();
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_RTreeWindowOnBulkLoaded)->Arg(10000)->Arg(100000);
+
+// --- Shared canonical R-tree vs per-image R-trees ---
+// 20k regions spread over range(0) images; an atlas query has to consult
+// every per-image tree in the naive design.
+
+void BM_SharedAtlasRTree(benchmark::State& state) {
+  IndexManager mgr;
+  (void)mgr.coordinate_systems().RegisterCanonical("atlas", 2);
+  for (const auto& e : MakeRegions(20000, 2, 3)) {
+    (void)mgr.AddRegion("atlas", e.rect, e.id);
+  }
+  Rng rng(5);
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto result = mgr.QueryRegions("atlas", RandomWindow(&rng, 2, 500));
+    if (result.ok()) hits += result->size();
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["index_structures"] = static_cast<double>(mgr.num_rtrees());
+}
+BENCHMARK(BM_SharedAtlasRTree)->Arg(1)->Arg(32)->Arg(256);
+
+void BM_PerImageRTrees(benchmark::State& state) {
+  const size_t num_images = static_cast<size_t>(state.range(0));
+  IndexManager mgr;
+  for (size_t i = 0; i < num_images; ++i) {
+    (void)mgr.coordinate_systems().RegisterCanonical("img" + std::to_string(i), 2);
+  }
+  auto regions = MakeRegions(20000, 2, 3);
+  for (size_t i = 0; i < regions.size(); ++i) {
+    (void)mgr.AddRegion("img" + std::to_string(i % num_images), regions[i].rect,
+                        regions[i].id);
+  }
+  Rng rng(5);
+  size_t hits = 0;
+  for (auto _ : state) {
+    Rect window = RandomWindow(&rng, 2, 500);
+    for (size_t i = 0; i < num_images; ++i) {
+      auto result = mgr.QueryRegions("img" + std::to_string(i), window);
+      if (result.ok()) hits += result->size();
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["index_structures"] = static_cast<double>(mgr.num_rtrees());
+}
+BENCHMARK(BM_PerImageRTrees)->Arg(1)->Arg(32)->Arg(256);
+
+}  // namespace

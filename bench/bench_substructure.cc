@@ -1,0 +1,160 @@
+// ABL-SUBX: the §II substructure operators (ifOverlap / next / intersect)
+// across all SUB_X types, including the trait-gating overhead.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "spatial/index_manager.h"
+#include "substructure/operators.h"
+#include "util/random.h"
+
+namespace {
+
+using graphitti::spatial::IndexManager;
+using graphitti::spatial::Interval;
+using graphitti::spatial::Rect;
+using graphitti::substructure::IfOverlap;
+using graphitti::substructure::Intersect;
+using graphitti::substructure::MeetElements;
+using graphitti::substructure::Next;
+using graphitti::substructure::Substructure;
+using graphitti::util::Rng;
+
+std::vector<Substructure> MakeIntervals(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Substructure> out;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t lo = rng.Uniform(0, 100000);
+    out.push_back(Substructure::MakeInterval("chr1", Interval(lo, lo + rng.Uniform(10, 500))));
+  }
+  return out;
+}
+
+std::vector<Substructure> MakeRegions(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Substructure> out;
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextDouble() * 10000;
+    double y = rng.NextDouble() * 10000;
+    out.push_back(
+        Substructure::MakeRegion("atlas", Rect::Make2D(x, y, x + 100, y + 100)));
+  }
+  return out;
+}
+
+std::vector<Substructure> MakeNodeSets(size_t n, size_t set_size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Substructure> out;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint64_t> members;
+    for (size_t k = 0; k < set_size; ++k) {
+      members.push_back(rng.Next64() % 10000);
+    }
+    out.push_back(Substructure::MakeNodeSet("ppi", std::move(members)));
+  }
+  return out;
+}
+
+void BM_IfOverlapIntervals(benchmark::State& state) {
+  auto subs = MakeIntervals(1024, 1);
+  size_t i = 0, overlaps = 0;
+  for (auto _ : state) {
+    auto r = IfOverlap(subs[i % 1024], subs[(i + 1) % 1024]);
+    if (r.ok() && *r) ++overlaps;
+    ++i;
+  }
+  benchmark::DoNotOptimize(overlaps);
+}
+BENCHMARK(BM_IfOverlapIntervals);
+
+void BM_IfOverlapRegions(benchmark::State& state) {
+  auto subs = MakeRegions(1024, 2);
+  size_t i = 0, overlaps = 0;
+  for (auto _ : state) {
+    auto r = IfOverlap(subs[i % 1024], subs[(i + 1) % 1024]);
+    if (r.ok() && *r) ++overlaps;
+    ++i;
+  }
+  benchmark::DoNotOptimize(overlaps);
+}
+BENCHMARK(BM_IfOverlapRegions);
+
+void BM_IfOverlapNodeSets(benchmark::State& state) {
+  auto subs = MakeNodeSets(256, static_cast<size_t>(state.range(0)), 3);
+  size_t i = 0, overlaps = 0;
+  for (auto _ : state) {
+    auto r = IfOverlap(subs[i % 256], subs[(i + 1) % 256]);
+    if (r.ok() && *r) ++overlaps;
+    ++i;
+  }
+  benchmark::DoNotOptimize(overlaps);
+  state.counters["set_size"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_IfOverlapNodeSets)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_IntersectIntervals(benchmark::State& state) {
+  auto subs = MakeIntervals(1024, 4);
+  size_t i = 0, hits = 0;
+  for (auto _ : state) {
+    auto r = Intersect(subs[i % 1024], subs[(i + 1) % 1024]);
+    if (r.ok()) ++hits;
+    ++i;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_IntersectIntervals);
+
+void BM_IntersectRegions(benchmark::State& state) {
+  auto subs = MakeRegions(1024, 5);
+  size_t i = 0, hits = 0;
+  for (auto _ : state) {
+    auto r = Intersect(subs[i % 1024], subs[(i + 1) % 1024]);
+    if (r.ok()) ++hits;
+    ++i;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_IntersectRegions);
+
+void BM_MeetElementsNodeSets(benchmark::State& state) {
+  auto subs = MakeNodeSets(256, static_cast<size_t>(state.range(0)), 6);
+  size_t i = 0, hits = 0;
+  for (auto _ : state) {
+    auto r = MeetElements(subs[i % 256], subs[(i + 1) % 256]);
+    if (r.ok()) ++hits;
+    ++i;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_MeetElementsNodeSets)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_NextOnIndexedDomain(benchmark::State& state) {
+  IndexManager mgr;
+  auto subs = MakeIntervals(static_cast<size_t>(state.range(0)), 7);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    (void)mgr.AddInterval("chr1", subs[i].interval(), i);
+  }
+  size_t i = 0, hits = 0;
+  for (auto _ : state) {
+    auto r = Next(subs[i % subs.size()], mgr);
+    if (r.ok()) ++hits;
+    ++i;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["indexed_entries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_NextOnIndexedDomain)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Trait gating: rejected operations must be cheap (no work before the check).
+void BM_TraitGateRejection(benchmark::State& state) {
+  IndexManager mgr;
+  Substructure region = Substructure::MakeRegion("atlas", Rect::Make2D(0, 0, 1, 1));
+  size_t rejections = 0;
+  for (auto _ : state) {
+    if (Next(region, mgr).status().IsUnsupported()) ++rejections;
+  }
+  benchmark::DoNotOptimize(rejections);
+}
+BENCHMARK(BM_TraitGateRejection);
+
+}  // namespace

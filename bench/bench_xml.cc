@@ -1,0 +1,142 @@
+// ABL-XML: the annotation content store — XML parse/serialize throughput,
+// XPath evaluation, keyword (inverted index) vs XQuery (collection scan)
+// search over growing annotation collections.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "agraph/agraph.h"
+#include "annotation/annotation_store.h"
+#include "spatial/index_manager.h"
+#include "util/random.h"
+#include "xml/xml_parser.h"
+#include "xml/xpath.h"
+#include "xml/xquery.h"
+
+namespace {
+
+using graphitti::annotation::AnnotationBuilder;
+using graphitti::annotation::AnnotationStore;
+using graphitti::util::Rng;
+
+std::string SampleAnnotationXml(Rng* rng) {
+  AnnotationBuilder b;
+  static const char* kWords[] = {"protease", "receptor", "cleavage", "mutation",
+                                 "epitope",  "motif",    "binding",  "virulence"};
+  b.Title("Observation " + std::to_string(rng->Next64() % 1000))
+      .Creator("scientist" + std::to_string(rng->Next64() % 8))
+      .Subject("protein.TP53")
+      .Body(std::string("The ") + kWords[rng->Next64() % 8] + " site interacts with the " +
+            kWords[rng->Next64() % 8] + " region near position " +
+            std::to_string(rng->Next64() % 2000));
+  b.UserTag("confidence", std::to_string(rng->NextDouble()));
+  b.OntologyReference("nif", "NIF:" + std::to_string(rng->Next64() % 20));
+  b.MarkInterval("flu:seg4", static_cast<int64_t>(rng->Next64() % 1500),
+                 static_cast<int64_t>(rng->Next64() % 1500) + 1600);
+  return b.BuildContentXml(1)->ToString();
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  Rng rng(1);
+  std::string doc = SampleAnnotationXml(&rng);
+  for (auto _ : state) {
+    auto parsed = graphitti::xml::ParseXml(doc);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * doc.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_XmlSerialize(benchmark::State& state) {
+  Rng rng(1);
+  auto parsed = graphitti::xml::ParseXml(SampleAnnotationXml(&rng));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string out = parsed->ToString();
+    bytes += out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_XmlSerialize);
+
+void BM_XPathCompiledEvaluate(benchmark::State& state) {
+  Rng rng(1);
+  auto parsed = graphitti::xml::ParseXml(SampleAnnotationXml(&rng));
+  auto expr = graphitti::xml::XPathExpr::Compile(
+      "/annotation/body[contains(text(),'protease')]");
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += expr->Evaluate(parsed->root()).size();
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_XPathCompiledEvaluate);
+
+// A populated store shared across collection-search benchmarks.
+struct StoreFixture {
+  graphitti::spatial::IndexManager indexes;
+  graphitti::agraph::AGraph graph;
+  AnnotationStore store{&indexes, &graph};
+};
+
+StoreFixture& SharedStore(size_t n) {
+  static std::map<size_t, std::unique_ptr<StoreFixture>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto fixture = std::make_unique<StoreFixture>();
+    Rng rng(42);
+    static const char* kWords[] = {"protease", "receptor", "cleavage", "mutation",
+                                   "epitope",  "motif",    "binding",  "virulence"};
+    for (size_t i = 0; i < n; ++i) {
+      AnnotationBuilder b;
+      b.Title("ann" + std::to_string(i))
+          .Creator("scientist" + std::to_string(rng.Next64() % 8))
+          .Body(std::string("the ") + kWords[rng.Next64() % 8] + " and " +
+                kWords[rng.Next64() % 8] + " interplay");
+      b.MarkInterval("flu:seg" + std::to_string(i % 8),
+                     static_cast<int64_t>(rng.Next64() % 100000),
+                     static_cast<int64_t>(rng.Next64() % 100000) + 100100);
+      (void)fixture->store.Commit(b);
+    }
+    it = cache.emplace(n, std::move(fixture)).first;
+  }
+  return *it->second;
+}
+
+void BM_KeywordIndexSearch(benchmark::State& state) {
+  StoreFixture& f = SharedStore(static_cast<size_t>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += f.store.SearchKeyword("protease").size();
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_KeywordIndexSearch)->Arg(1000)->Arg(10000);
+
+void BM_PhraseSearch(benchmark::State& state) {
+  StoreFixture& f = SharedStore(static_cast<size_t>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += f.store.SearchPhrase("protease and receptor").size();
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_PhraseSearch)->Arg(1000)->Arg(10000);
+
+void BM_XQueryCollectionScan(benchmark::State& state) {
+  StoreFixture& f = SharedStore(static_cast<size_t>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto result = f.store.XQuerySearch(
+        "for $a in collection()/annotation where contains($a/body, 'protease') return $a");
+    if (result.ok()) hits += result->size();
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_XQueryCollectionScan)->Arg(1000)->Arg(10000);
+
+}  // namespace

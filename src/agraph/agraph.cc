@@ -1,0 +1,315 @@
+#include "agraph/agraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace graphitti {
+namespace agraph {
+
+std::string_view NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kContent:
+      return "content";
+    case NodeKind::kReferent:
+      return "referent";
+    case NodeKind::kOntologyTerm:
+      return "term";
+    case NodeKind::kDataObject:
+      return "object";
+  }
+  return "?";
+}
+
+bool SubGraph::ContainsNode(const NodeRef& ref) const {
+  return std::find(nodes.begin(), nodes.end(), ref) != nodes.end();
+}
+
+uint32_t AGraph::InternLabel(std::string_view label) {
+  auto it = label_index_.find(label);
+  if (it != label_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(labels_.size());
+  labels_.emplace_back(label);
+  label_index_.emplace(std::string(label), id);
+  return id;
+}
+
+util::Result<uint32_t> AGraph::DenseIndex(NodeRef ref) const {
+  auto it = index_.find(ref);
+  if (it == index_.end()) {
+    return util::Status::NotFound("node " + ref.ToString() + " not in a-graph");
+  }
+  return it->second;
+}
+
+util::Status AGraph::AddNode(NodeRef ref, std::string label) {
+  if (index_.find(ref) != index_.end()) {
+    return util::Status::AlreadyExists("node " + ref.ToString() + " already in a-graph");
+  }
+  uint32_t idx = static_cast<uint32_t>(refs_.size());
+  index_.emplace(ref, idx);
+  refs_.push_back(ref);
+  node_labels_.push_back(std::move(label));
+  out_.emplace_back();
+  in_.emplace_back();
+  return util::Status::OK();
+}
+
+void AGraph::EnsureNode(NodeRef ref, std::string_view label) {
+  auto it = index_.find(ref);
+  if (it != index_.end()) {
+    if (!label.empty() && node_labels_[it->second].empty()) {
+      node_labels_[it->second] = std::string(label);
+    }
+    return;
+  }
+  (void)AddNode(ref, std::string(label));
+}
+
+util::Status AGraph::RemoveNode(NodeRef ref) {
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t idx, DenseIndex(ref));
+  // Drop incident edges from neighbours' adjacency.
+  for (const Edge& e : out_[idx]) {
+    auto& vec = in_[e.other];
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [&](const Edge& x) { return x.other == idx; }),
+              vec.end());
+  }
+  for (const Edge& e : in_[idx]) {
+    auto& vec = out_[e.other];
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [&](const Edge& x) { return x.other == idx; }),
+              vec.end());
+  }
+  num_edges_ -= out_[idx].size() + in_[idx].size();
+  out_[idx].clear();
+  in_[idx].clear();
+  // Swap-with-last compaction to keep dense indexes dense.
+  uint32_t last = static_cast<uint32_t>(refs_.size()) - 1;
+  if (idx != last) {
+    // Rewire references to `last` as `idx`.
+    for (const Edge& e : out_[last]) {
+      for (Edge& x : in_[e.other]) {
+        if (x.other == last) x.other = idx;
+      }
+    }
+    for (const Edge& e : in_[last]) {
+      for (Edge& x : out_[e.other]) {
+        if (x.other == last) x.other = idx;
+      }
+    }
+    refs_[idx] = refs_[last];
+    node_labels_[idx] = std::move(node_labels_[last]);
+    out_[idx] = std::move(out_[last]);
+    in_[idx] = std::move(in_[last]);
+    index_[refs_[idx]] = idx;
+  }
+  refs_.pop_back();
+  node_labels_.pop_back();
+  out_.pop_back();
+  in_.pop_back();
+  index_.erase(ref);
+  return util::Status::OK();
+}
+
+util::Status AGraph::AddEdge(NodeRef from, NodeRef to, std::string_view label) {
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t fi, DenseIndex(from));
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t ti, DenseIndex(to));
+  uint32_t li = InternLabel(label);
+  out_[fi].push_back({ti, li});
+  in_[ti].push_back({fi, li});
+  ++num_edges_;
+  return util::Status::OK();
+}
+
+util::Status AGraph::RemoveEdge(NodeRef from, NodeRef to, std::string_view label) {
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t fi, DenseIndex(from));
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t ti, DenseIndex(to));
+  auto lit = label_index_.find(label);
+  if (lit == label_index_.end()) {
+    return util::Status::NotFound("edge label '" + std::string(label) + "' unknown");
+  }
+  uint32_t li = lit->second;
+  auto& outs = out_[fi];
+  auto oit = std::find_if(outs.begin(), outs.end(),
+                          [&](const Edge& e) { return e.other == ti && e.label == li; });
+  if (oit == outs.end()) {
+    return util::Status::NotFound("edge " + from.ToString() + " -[" + std::string(label) +
+                                  "]-> " + to.ToString() + " not found");
+  }
+  outs.erase(oit);
+  auto& ins = in_[ti];
+  auto iit = std::find_if(ins.begin(), ins.end(),
+                          [&](const Edge& e) { return e.other == fi && e.label == li; });
+  if (iit != ins.end()) ins.erase(iit);
+  --num_edges_;
+  return util::Status::OK();
+}
+
+bool AGraph::HasEdge(NodeRef from, NodeRef to, std::string_view label) const {
+  auto fi = DenseIndex(from);
+  auto ti = DenseIndex(to);
+  if (!fi.ok() || !ti.ok()) return false;
+  auto lit = label_index_.find(label);
+  if (lit == label_index_.end()) return false;
+  for (const Edge& e : out_[*fi]) {
+    if (e.other == *ti && e.label == lit->second) return true;
+  }
+  return false;
+}
+
+std::string_view AGraph::NodeLabel(NodeRef ref) const {
+  auto idx = DenseIndex(ref);
+  if (!idx.ok()) return "";
+  return node_labels_[*idx];
+}
+
+std::vector<EdgeRecord> AGraph::OutEdges(NodeRef ref) const {
+  std::vector<EdgeRecord> out;
+  auto idx = DenseIndex(ref);
+  if (!idx.ok()) return out;
+  for (const Edge& e : out_[*idx]) {
+    out.push_back({ref, refs_[e.other], labels_[e.label]});
+  }
+  return out;
+}
+
+std::vector<EdgeRecord> AGraph::InEdges(NodeRef ref) const {
+  std::vector<EdgeRecord> out;
+  auto idx = DenseIndex(ref);
+  if (!idx.ok()) return out;
+  for (const Edge& e : in_[*idx]) {
+    out.push_back({refs_[e.other], ref, labels_[e.label]});
+  }
+  return out;
+}
+
+std::vector<NodeRef> AGraph::Neighbors(NodeRef ref, bool directed,
+                                       std::string_view label) const {
+  std::vector<NodeRef> out;
+  auto idx = DenseIndex(ref);
+  if (!idx.ok()) return out;
+  auto match = [&](const Edge& e) {
+    return label.empty() || labels_[e.label] == label;
+  };
+  for (const Edge& e : out_[*idx]) {
+    if (match(e)) out.push_back(refs_[e.other]);
+  }
+  if (!directed) {
+    for (const Edge& e : in_[*idx]) {
+      if (match(e)) out.push_back(refs_[e.other]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeRef> AGraph::NodesOfKind(NodeKind kind) const {
+  std::vector<NodeRef> out;
+  for (const NodeRef& ref : refs_) {
+    if (ref.kind == kind) out.push_back(ref);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AGraph::ForEachNode(const std::function<void(NodeRef, std::string_view)>& fn) const {
+  for (size_t i = 0; i < refs_.size(); ++i) fn(refs_[i], node_labels_[i]);
+}
+
+void AGraph::ForEachEdge(const std::function<void(const EdgeRecord&)>& fn) const {
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    for (const Edge& e : out_[i]) {
+      fn({refs_[i], refs_[e.other], labels_[e.label]});
+    }
+  }
+}
+
+util::Result<Path> AGraph::FindPath(NodeRef from, NodeRef to,
+                                    const PathOptions& options) const {
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t src, DenseIndex(from));
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t dst, DenseIndex(to));
+
+  std::vector<uint32_t> allowed;
+  for (const std::string& l : options.allowed_labels) {
+    auto it = label_index_.find(l);
+    if (it != label_index_.end()) allowed.push_back(it->second);
+  }
+  if (!options.allowed_labels.empty() && allowed.empty()) {
+    return util::Status::NotFound("no edges carry any of the allowed labels");
+  }
+  auto label_ok = [&](uint32_t l) {
+    return allowed.empty() ||
+           std::find(allowed.begin(), allowed.end(), l) != allowed.end();
+  };
+
+  if (src == dst) {
+    Path p;
+    p.nodes = {from};
+    return p;
+  }
+
+  // BFS recording (parent, edge label) per visited node.
+  constexpr uint32_t kUnvisited = ~0u;
+  std::vector<uint32_t> parent(refs_.size(), kUnvisited);
+  std::vector<uint32_t> parent_label(refs_.size(), 0);
+  std::vector<size_t> depth(refs_.size(), 0);
+  std::deque<uint32_t> queue;
+  parent[src] = src;
+  queue.push_back(src);
+
+  bool found = false;
+  while (!queue.empty() && !found) {
+    uint32_t cur = queue.front();
+    queue.pop_front();
+    if (depth[cur] >= options.max_hops) continue;
+    auto visit = [&](const Edge& e) {
+      if (found || !label_ok(e.label) || parent[e.other] != kUnvisited) return;
+      parent[e.other] = cur;
+      parent_label[e.other] = e.label;
+      depth[e.other] = depth[cur] + 1;
+      if (e.other == dst) {
+        found = true;
+        return;
+      }
+      queue.push_back(e.other);
+    };
+    for (const Edge& e : out_[cur]) visit(e);
+    if (!options.directed) {
+      for (const Edge& e : in_[cur]) visit(e);
+    }
+  }
+
+  if (!found) {
+    return util::Status::NotFound("no path from " + from.ToString() + " to " + to.ToString());
+  }
+
+  Path path;
+  uint32_t cur = dst;
+  while (cur != src) {
+    path.nodes.push_back(refs_[cur]);
+    path.edge_labels.push_back(labels_[parent_label[cur]]);
+    cur = parent[cur];
+  }
+  path.nodes.push_back(refs_[src]);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edge_labels.begin(), path.edge_labels.end());
+  return path;
+}
+
+std::vector<NodeRef> AGraph::IndirectlyRelatedContents(NodeRef content) const {
+  std::vector<NodeRef> out;
+  if (content.kind != NodeKind::kContent) return out;
+  for (const NodeRef& referent : Neighbors(content)) {
+    if (referent.kind != NodeKind::kReferent) continue;
+    for (const NodeRef& other : Neighbors(referent)) {
+      if (other.kind == NodeKind::kContent && other != content) out.push_back(other);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace agraph
+}  // namespace graphitti

@@ -1,0 +1,232 @@
+// The a-graph: Graphitti's connection structure over annotation contents,
+// referents, ontology terms and data objects (§I-II).
+//
+// "The a-graph structure ... connects nodes of the XML annotation trees to
+// (i) nodes of the interval trees and R-trees and (ii) ontology nodes. It is
+// implemented in a directed labeled multigraph data structure ... and serves
+// as a general-purpose 'labeled join index'. The two primitive operations on
+// the a-graph are path(node1, node2) ... and connect(node1, node2, ...)."
+#ifndef GRAPHITTI_AGRAPH_AGRAPH_H_
+#define GRAPHITTI_AGRAPH_AGRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace graphitti {
+namespace agraph {
+
+/// The four kinds of nodes the a-graph joins.
+enum class NodeKind : uint8_t {
+  kContent = 0,       // an annotation content (XML document / node)
+  kReferent = 1,      // a marked substructure (interval-tree/R-tree entry, set)
+  kOntologyTerm = 2,  // a node of an ontology graph
+  kDataObject = 3,    // a whole data object (sequence, image, tree, ...)
+};
+
+std::string_view NodeKindToString(NodeKind kind);
+
+/// Typed node handle: (kind, id) where the id is issued by the owning store
+/// (annotation store for contents/referents, ontology for terms, catalog for
+/// data objects).
+struct NodeRef {
+  NodeKind kind = NodeKind::kContent;
+  uint64_t id = 0;
+
+  static NodeRef Content(uint64_t id) { return {NodeKind::kContent, id}; }
+  static NodeRef Referent(uint64_t id) { return {NodeKind::kReferent, id}; }
+  static NodeRef Term(uint64_t id) { return {NodeKind::kOntologyTerm, id}; }
+  static NodeRef Object(uint64_t id) { return {NodeKind::kDataObject, id}; }
+
+  bool operator==(const NodeRef& other) const {
+    return kind == other.kind && id == other.id;
+  }
+  bool operator!=(const NodeRef& other) const { return !(*this == other); }
+  bool operator<(const NodeRef& other) const {
+    if (kind != other.kind) return kind < other.kind;
+    return id < other.id;
+  }
+
+  std::string ToString() const {
+    return std::string(NodeKindToString(kind)) + ":" + std::to_string(id);
+  }
+};
+
+struct NodeRefHash {
+  size_t operator()(const NodeRef& ref) const {
+    return std::hash<uint64_t>()(ref.id * 4 + static_cast<uint64_t>(ref.kind));
+  }
+};
+
+/// One directed labeled edge.
+struct EdgeRecord {
+  NodeRef from;
+  NodeRef to;
+  std::string label;
+
+  bool operator==(const EdgeRecord& other) const {
+    return from == other.from && to == other.to && label == other.label;
+  }
+};
+
+/// Result of path(node1, node2): node sequence plus the labels of the edges
+/// traversed (labels.size() == nodes.size() - 1).
+struct Path {
+  std::vector<NodeRef> nodes;
+  std::vector<std::string> edge_labels;
+
+  size_t hops() const { return edge_labels.size(); }
+};
+
+/// Result of connect(...): a connected subgraph spanning the requested
+/// terminal nodes.
+struct SubGraph {
+  std::vector<NodeRef> nodes;
+  std::vector<EdgeRecord> edges;
+
+  bool ContainsNode(const NodeRef& ref) const;
+};
+
+struct PathOptions {
+  /// Follow edge direction (false = undirected view, the default: indirect
+  /// relatedness through shared referents ignores direction).
+  bool directed = false;
+  /// When non-empty, only edges with one of these labels are traversed.
+  std::vector<std::string> allowed_labels;
+  /// Give up beyond this many hops.
+  size_t max_hops = SIZE_MAX;
+};
+
+struct ConnectOptions {
+  std::vector<std::string> allowed_labels;
+  size_t max_hops = SIZE_MAX;
+};
+
+/// Directed labeled multigraph with interned labels and per-node adjacency
+/// in both directions. Parallel edges (same endpoints, different or equal
+/// labels) are permitted, per the multigraph design.
+class AGraph {
+ public:
+  AGraph() = default;
+  AGraph(const AGraph&) = delete;
+  AGraph& operator=(const AGraph&) = delete;
+  AGraph(AGraph&&) = default;
+  AGraph& operator=(AGraph&&) = default;
+
+  /// Adds a node with a display label; AlreadyExists when present.
+  util::Status AddNode(NodeRef ref, std::string label = "");
+
+  /// Idempotent node registration (no error when present).
+  void EnsureNode(NodeRef ref, std::string_view label = "");
+
+  bool HasNode(NodeRef ref) const { return index_.find(ref) != index_.end(); }
+
+  /// Removes a node and all incident edges; NotFound when absent.
+  util::Status RemoveNode(NodeRef ref);
+
+  /// Adds a directed labeled edge; both endpoints must exist.
+  util::Status AddEdge(NodeRef from, NodeRef to, std::string_view label);
+
+  /// Removes one edge matching (from, to, label); NotFound when absent.
+  util::Status RemoveEdge(NodeRef from, NodeRef to, std::string_view label);
+
+  bool HasEdge(NodeRef from, NodeRef to, std::string_view label) const;
+
+  /// Node display label ("" when absent).
+  std::string_view NodeLabel(NodeRef ref) const;
+
+  std::vector<EdgeRecord> OutEdges(NodeRef ref) const;
+  std::vector<EdgeRecord> InEdges(NodeRef ref) const;
+
+  /// Distinct neighbour nodes over out-edges (and in-edges when !directed),
+  /// restricted to `label` when non-empty.
+  std::vector<NodeRef> Neighbors(NodeRef ref, bool directed = false,
+                                 std::string_view label = "") const;
+
+  /// All nodes of a given kind.
+  std::vector<NodeRef> NodesOfKind(NodeKind kind) const;
+
+  /// Visits every node.
+  void ForEachNode(const std::function<void(NodeRef, std::string_view)>& fn) const;
+  /// Visits every edge.
+  void ForEachEdge(const std::function<void(const EdgeRecord&)>& fn) const;
+
+  size_t num_nodes() const { return index_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  // --- §II primitives ---
+
+  /// path(node1, node2): a shortest path under `options` (BFS). NotFound
+  /// when unreachable.
+  util::Result<Path> FindPath(NodeRef from, NodeRef to, const PathOptions& options = {}) const;
+
+  /// connect(node1, node2, ...): a connection subgraph intervening the given
+  /// nodes — a pruned union of shortest paths (distance-network Steiner
+  /// heuristic) over the undirected view. NotFound when the terminals do not
+  /// share one connected component.
+  util::Result<SubGraph> Connect(const std::vector<NodeRef>& terminals,
+                                 const ConnectOptions& options = {}) const;
+
+  /// Contents indirectly related to `content`: contents (other than itself)
+  /// sharing at least one referent ("if the same referent is connected to
+  /// two different annotations ... the two annotations become indirectly
+  /// related", §I).
+  std::vector<NodeRef> IndirectlyRelatedContents(NodeRef content) const;
+
+  // --- analytics (the admin tab's graph statistics) ---
+
+  /// Connected components over the undirected view, each sorted; components
+  /// ordered by their smallest node.
+  std::vector<std::vector<NodeRef>> ConnectedComponents() const;
+
+  /// Node counts per kind.
+  std::map<NodeKind, size_t> CountByKind() const;
+
+  /// (min, max, mean) undirected degree across all nodes; zeros when empty.
+  struct DegreeStats {
+    size_t min = 0;
+    size_t max = 0;
+    double mean = 0;
+  };
+  DegreeStats Degrees() const;
+
+  /// Enumerates up to `max_paths` simple paths from `from` to `to` with at
+  /// most `max_hops` edges (undirected view, DFS order). Unlike FindPath
+  /// this surfaces alternative connection routes for browsing.
+  std::vector<Path> AllPaths(NodeRef from, NodeRef to, size_t max_hops,
+                             size_t max_paths = 16) const;
+
+  // --- serialization ---
+  /// Line-oriented text dump (stable across loads).
+  std::string ToText() const;
+  static util::Result<AGraph> FromText(std::string_view text);
+
+ private:
+  struct Edge {
+    uint32_t other;  // dense index of the other endpoint
+    uint32_t label;  // interned label id
+  };
+
+  uint32_t InternLabel(std::string_view label);
+  util::Result<uint32_t> DenseIndex(NodeRef ref) const;
+
+  std::unordered_map<NodeRef, uint32_t, NodeRefHash> index_;
+  std::vector<NodeRef> refs_;          // dense -> NodeRef
+  std::vector<std::string> node_labels_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::vector<std::string> labels_;    // interned edge labels
+  std::map<std::string, uint32_t, std::less<>> label_index_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace agraph
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_AGRAPH_AGRAPH_H_

@@ -1,0 +1,131 @@
+// Admin-tab graph analytics: components, degree stats, bounded path
+// enumeration for exploratory browsing.
+#include <algorithm>
+#include <deque>
+
+#include "agraph/agraph.h"
+
+namespace graphitti {
+namespace agraph {
+
+std::vector<std::vector<NodeRef>> AGraph::ConnectedComponents() const {
+  std::vector<std::vector<NodeRef>> components;
+  std::vector<bool> seen(refs_.size(), false);
+  for (uint32_t start = 0; start < refs_.size(); ++start) {
+    if (seen[start]) continue;
+    std::vector<NodeRef> component;
+    std::deque<uint32_t> queue{start};
+    seen[start] = true;
+    while (!queue.empty()) {
+      uint32_t cur = queue.front();
+      queue.pop_front();
+      component.push_back(refs_[cur]);
+      for (const Edge& e : out_[cur]) {
+        if (!seen[e.other]) {
+          seen[e.other] = true;
+          queue.push_back(e.other);
+        }
+      }
+      for (const Edge& e : in_[cur]) {
+        if (!seen[e.other]) {
+          seen[e.other] = true;
+          queue.push_back(e.other);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const std::vector<NodeRef>& a, const std::vector<NodeRef>& b) {
+              return a.front() < b.front();
+            });
+  return components;
+}
+
+std::map<NodeKind, size_t> AGraph::CountByKind() const {
+  std::map<NodeKind, size_t> counts;
+  for (const NodeRef& ref : refs_) ++counts[ref.kind];
+  return counts;
+}
+
+AGraph::DegreeStats AGraph::Degrees() const {
+  DegreeStats stats;
+  if (refs_.empty()) return stats;
+  stats.min = SIZE_MAX;
+  size_t total = 0;
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    size_t degree = out_[i].size() + in_[i].size();
+    stats.min = std::min(stats.min, degree);
+    stats.max = std::max(stats.max, degree);
+    total += degree;
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(refs_.size());
+  return stats;
+}
+
+std::vector<Path> AGraph::AllPaths(NodeRef from, NodeRef to, size_t max_hops,
+                                   size_t max_paths) const {
+  std::vector<Path> paths;
+  auto from_idx = DenseIndex(from);
+  auto to_idx = DenseIndex(to);
+  if (!from_idx.ok() || !to_idx.ok() || max_paths == 0) return paths;
+
+  std::vector<bool> on_path(refs_.size(), false);
+  std::vector<uint32_t> node_stack;
+  std::vector<uint32_t> label_stack;
+
+  // Iterative DFS with explicit neighbour cursors to bound stack depth.
+  struct Frame {
+    uint32_t node;
+    size_t cursor = 0;            // index into the merged adjacency
+  };
+  auto merged_neighbors = [&](uint32_t node) {
+    std::vector<std::pair<uint32_t, uint32_t>> nbrs;  // (other, label)
+    for (const Edge& e : out_[node]) nbrs.emplace_back(e.other, e.label);
+    for (const Edge& e : in_[node]) nbrs.emplace_back(e.other, e.label);
+    return nbrs;
+  };
+
+  std::vector<Frame> stack;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adj_stack;
+  stack.push_back({*from_idx});
+  adj_stack.push_back(merged_neighbors(*from_idx));
+  on_path[*from_idx] = true;
+  node_stack.push_back(*from_idx);
+
+  while (!stack.empty() && paths.size() < max_paths) {
+    Frame& frame = stack.back();
+    const auto& nbrs = adj_stack.back();
+    if (frame.cursor >= nbrs.size() || node_stack.size() > max_hops) {
+      // Backtrack (also cuts off when the hop budget cannot admit children).
+      on_path[frame.node] = false;
+      node_stack.pop_back();
+      if (!label_stack.empty()) label_stack.pop_back();
+      stack.pop_back();
+      adj_stack.pop_back();
+      continue;
+    }
+    auto [next, label] = nbrs[frame.cursor++];
+    if (on_path[next]) continue;
+    if (next == *to_idx) {
+      Path p;
+      for (uint32_t n : node_stack) p.nodes.push_back(refs_[n]);
+      p.nodes.push_back(refs_[next]);
+      for (uint32_t l : label_stack) p.edge_labels.push_back(labels_[l]);
+      p.edge_labels.push_back(labels_[label]);
+      paths.push_back(std::move(p));
+      continue;
+    }
+    if (node_stack.size() >= max_hops) continue;  // no budget to go deeper
+    on_path[next] = true;
+    node_stack.push_back(next);
+    label_stack.push_back(label);
+    stack.push_back({next});
+    adj_stack.push_back(merged_neighbors(next));
+  }
+  return paths;
+}
+
+}  // namespace agraph
+}  // namespace graphitti

@@ -1,0 +1,157 @@
+// connect(node1, node2, ...): connection subgraph via the distance-network
+// Steiner-tree heuristic (Kou-Markowsky-Berman flavoured, grown greedily).
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "agraph/agraph.h"
+
+namespace graphitti {
+namespace agraph {
+
+util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
+                                       const ConnectOptions& options) const {
+  if (terminals.empty()) {
+    return util::Status::InvalidArgument("connect() requires at least one terminal");
+  }
+  std::vector<uint32_t> term_idx;
+  for (const NodeRef& t : terminals) {
+    GRAPHITTI_ASSIGN_OR_RETURN(uint32_t idx, DenseIndex(t));
+    term_idx.push_back(idx);
+  }
+  std::sort(term_idx.begin(), term_idx.end());
+  term_idx.erase(std::unique(term_idx.begin(), term_idx.end()), term_idx.end());
+
+  std::vector<uint32_t> allowed;
+  for (const std::string& l : options.allowed_labels) {
+    auto it = label_index_.find(l);
+    if (it != label_index_.end()) allowed.push_back(it->second);
+  }
+  if (!options.allowed_labels.empty() && allowed.empty()) {
+    return util::Status::NotFound("no edges carry any of the allowed labels");
+  }
+  auto label_ok = [&](uint32_t l) {
+    return allowed.empty() ||
+           std::find(allowed.begin(), allowed.end(), l) != allowed.end();
+  };
+
+  // Greedy tree growth: start from the first terminal; repeatedly BFS from
+  // the current component (multi-source) to the nearest missing terminal and
+  // merge the connecting path. Each BFS is O(V+E); there are <= |T|-1 waves.
+  std::set<uint32_t> component{term_idx[0]};
+  std::set<uint32_t> missing(term_idx.begin() + 1, term_idx.end());
+  // Edges selected for the subgraph, as (min_idx, max_idx, label).
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> tree_edges;
+  // Remember one concrete directed record per selected edge for output.
+  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, std::pair<uint32_t, uint32_t>>
+      edge_direction;  // key -> (from,to)
+
+  constexpr uint32_t kUnvisited = ~0u;
+  while (!missing.empty()) {
+    std::vector<uint32_t> parent(refs_.size(), kUnvisited);
+    std::vector<uint32_t> parent_label(refs_.size(), 0);
+    std::vector<size_t> depth(refs_.size(), 0);
+    std::deque<uint32_t> queue;
+    for (uint32_t c : component) {
+      parent[c] = c;
+      queue.push_back(c);
+    }
+
+    uint32_t reached = kUnvisited;
+    while (!queue.empty() && reached == kUnvisited) {
+      uint32_t cur = queue.front();
+      queue.pop_front();
+      if (depth[cur] >= options.max_hops) continue;
+      auto visit = [&](const Edge& e, bool forward) {
+        (void)forward;
+        if (reached != kUnvisited || !label_ok(e.label) || parent[e.other] != kUnvisited) {
+          return;
+        }
+        parent[e.other] = cur;
+        parent_label[e.other] = e.label;
+        depth[e.other] = depth[cur] + 1;
+        if (missing.count(e.other) > 0) {
+          reached = e.other;
+          return;
+        }
+        queue.push_back(e.other);
+      };
+      for (const Edge& e : out_[cur]) visit(e, true);
+      for (const Edge& e : in_[cur]) visit(e, false);
+    }
+
+    if (reached == kUnvisited) {
+      return util::Status::NotFound(
+          "terminals are not in one connected component (unreached: " +
+          refs_[*missing.begin()].ToString() + ")");
+    }
+
+    // Merge the path from `reached` back into the component.
+    uint32_t cur = reached;
+    while (component.count(cur) == 0) {
+      uint32_t par = parent[cur];
+      uint32_t label = parent_label[cur];
+      uint32_t a = std::min(cur, par);
+      uint32_t b = std::max(cur, par);
+      auto key = std::make_tuple(a, b, label);
+      if (tree_edges.insert(key).second) {
+        // Preserve the stored direction: the actual edge may be par->cur or
+        // cur->par; look it up in out_[par].
+        bool forward = false;
+        for (const Edge& e : out_[par]) {
+          if (e.other == cur && e.label == label) {
+            forward = true;
+            break;
+          }
+        }
+        edge_direction[key] = forward ? std::make_pair(par, cur) : std::make_pair(cur, par);
+      }
+      component.insert(cur);
+      cur = par;
+    }
+    missing.erase(reached);
+  }
+
+  // Prune: repeatedly drop non-terminal nodes of degree <= 1 in the tree.
+  std::set<uint32_t> terminal_set(term_idx.begin(), term_idx.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<uint32_t, size_t> degree;
+    for (const auto& [a, b, l] : tree_edges) {
+      (void)l;
+      ++degree[a];
+      ++degree[b];
+    }
+    for (auto it = component.begin(); it != component.end();) {
+      uint32_t node = *it;
+      if (terminal_set.count(node) == 0 && degree[node] <= 1) {
+        // Remove the node and its single incident edge.
+        for (auto eit = tree_edges.begin(); eit != tree_edges.end();) {
+          if (std::get<0>(*eit) == node || std::get<1>(*eit) == node) {
+            edge_direction.erase(*eit);
+            eit = tree_edges.erase(eit);
+          } else {
+            ++eit;
+          }
+        }
+        it = component.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  SubGraph sg;
+  for (uint32_t n : component) sg.nodes.push_back(refs_[n]);
+  std::sort(sg.nodes.begin(), sg.nodes.end());
+  for (const auto& [key, dir] : edge_direction) {
+    sg.edges.push_back({refs_[dir.first], refs_[dir.second], labels_[std::get<2>(key)]});
+  }
+  return sg;
+}
+
+}  // namespace agraph
+}  // namespace graphitti

@@ -1,0 +1,140 @@
+// The annotation model: an annotation is a *linker object* connecting an
+// annotation content (XML) to one or more annotation referents (marked
+// substructures) and ontology terms (§I).
+#ifndef GRAPHITTI_ANNOTATION_ANNOTATION_H_
+#define GRAPHITTI_ANNOTATION_ANNOTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "annotation/dublin_core.h"
+#include "substructure/substructure.h"
+#include "util/result.h"
+#include "xml/xml_node.h"
+
+namespace graphitti {
+namespace annotation {
+
+using AnnotationId = uint64_t;
+using ReferentId = uint64_t;
+
+/// A referent: one marked substructure, possibly shared by several
+/// annotations (sharing is what induces indirect relatedness in the a-graph).
+struct Referent {
+  ReferentId id = 0;
+  substructure::Substructure substructure;
+  /// The data object the mark was made on (0 = not tied to a catalogued
+  /// object). Used for the a-graph's object nodes.
+  uint64_t object_id = 0;
+  /// Number of committed annotations referencing this referent.
+  size_t refcount = 0;
+};
+
+/// A reference from an annotation to an ontology term (by qualified name,
+/// "ontology-name:term-id"; annotations "only point to ontology nodes").
+struct OntologyRef {
+  std::string ontology;
+  std::string term;
+
+  std::string Qualified() const { return ontology + ":" + term; }
+  bool operator==(const OntologyRef& other) const {
+    return ontology == other.ontology && term == other.term;
+  }
+};
+
+/// A committed annotation.
+struct Annotation {
+  AnnotationId id = 0;
+  DublinCore dc;
+  std::string body;  // free-text comment
+  std::vector<std::pair<std::string, std::string>> user_tags;
+  std::vector<ReferentId> referents;
+  std::vector<OntologyRef> ontology_refs;
+  xml::XmlDocument content;  // materialized XML (the stored form)
+};
+
+/// Fluent builder reproducing the annotation-tab flow (Fig. 2): fill Dublin
+/// Core fields, write the comment body, drag referents in via the marker
+/// methods, insert ontology references, preview the XML, then commit via
+/// AnnotationStore::Commit.
+class AnnotationBuilder {
+ public:
+  AnnotationBuilder() = default;
+
+  AnnotationBuilder& Title(std::string v);
+  AnnotationBuilder& Creator(std::string v);
+  AnnotationBuilder& Subject(std::string v);
+  AnnotationBuilder& Description(std::string v);
+  AnnotationBuilder& Date(std::string v);
+  AnnotationBuilder& Source(std::string v);
+  AnnotationBuilder& DublinCoreFields(DublinCore dc);
+
+  /// Free-text comment (the <body> element).
+  AnnotationBuilder& Body(std::string text);
+
+  /// User-defined tag, serialized as <user:NAME>value</user:NAME>.
+  AnnotationBuilder& UserTag(std::string name, std::string value);
+
+  // --- Markers (the central panel's marker menus) ---
+  /// Linear interval marker on a 1D domain (sequence/chromosome/MSA columns).
+  AnnotationBuilder& MarkInterval(std::string domain, int64_t lo, int64_t hi,
+                                  uint64_t object_id = 0);
+  /// Multiple subintervals referred to by this single annotation.
+  AnnotationBuilder& MarkIntervals(std::string domain,
+                                   const std::vector<spatial::Interval>& intervals,
+                                   uint64_t object_id = 0);
+  /// Region marker (2D/3D) in a registered coordinate system.
+  AnnotationBuilder& MarkRegion(std::string coordinate_system, const spatial::Rect& rect,
+                                uint64_t object_id = 0);
+  /// Block-set marker for relational records.
+  AnnotationBuilder& MarkBlockSet(std::string table, std::vector<uint64_t> row_ids,
+                                  uint64_t object_id = 0);
+  /// Node-set marker for interaction graphs.
+  AnnotationBuilder& MarkNodeSet(std::string graph_id, std::vector<uint64_t> node_ids,
+                                 uint64_t object_id = 0);
+  /// Clade marker for phylogenetic trees.
+  AnnotationBuilder& MarkClade(std::string tree_id, std::vector<uint64_t> leaf_ids,
+                               uint64_t object_id = 0);
+  /// Pre-built substructure.
+  AnnotationBuilder& Mark(substructure::Substructure sub, uint64_t object_id = 0);
+
+  /// Ontology reference ("the user browses the ontology ... selects a node,
+  /// and then chooses 'insert'").
+  AnnotationBuilder& OntologyReference(std::string ontology, std::string term);
+
+  // --- Introspection before commit ---
+  const DublinCore& dc() const { return dc_; }
+  const std::string& body() const { return body_; }
+  const std::vector<std::pair<substructure::Substructure, uint64_t>>& marks() const {
+    return marks_;
+  }
+  const std::vector<OntologyRef>& ontology_refs() const { return ontology_refs_; }
+  const std::vector<std::pair<std::string, std::string>>& user_tags() const {
+    return user_tags_;
+  }
+
+  /// "The user may view [the annotation] as an XML-structured object (and
+  /// edit it if needed) before it is committed": the preview document.
+  /// Referent-ref elements carry machine-readable location attributes, so
+  /// the stored XML is self-describing (see FromContentXml).
+  /// InvalidArgument when a marked substructure is invalid.
+  util::Result<xml::XmlDocument> BuildContentXml(AnnotationId id = 0) const;
+
+  /// Inverse of BuildContentXml: reconstructs a builder (dc fields, body,
+  /// user tags, ontology refs, marks) from a stored annotation document.
+  /// Used by persistence and by edit-then-recommit workflows.
+  static util::Result<AnnotationBuilder> FromContentXml(const xml::XmlNode* root);
+
+ private:
+  DublinCore dc_;
+  std::string body_;
+  std::vector<std::pair<std::string, std::string>> user_tags_;
+  std::vector<std::pair<substructure::Substructure, uint64_t>> marks_;
+  std::vector<OntologyRef> ontology_refs_;
+};
+
+}  // namespace annotation
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_ANNOTATION_ANNOTATION_H_

@@ -1,0 +1,358 @@
+#include "annotation/annotation_store.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "xml/xquery.h"
+
+namespace graphitti {
+namespace annotation {
+
+AnnotationStore::AnnotationStore(spatial::IndexManager* indexes, agraph::AGraph* graph)
+    : indexes_(indexes), graph_(graph) {}
+
+util::Result<ReferentId> AnnotationStore::InternReferent(
+    const substructure::Substructure& sub, uint64_t object_id) {
+  if (!sub.valid()) {
+    return util::Status::InvalidArgument("invalid substructure: " + sub.ToString());
+  }
+  std::string key = sub.ToString();
+  auto it = referent_by_key_.find(key);
+  if (it != referent_by_key_.end()) {
+    Referent& ref = referents_[it->second];
+    ++ref.refcount;
+    if (ref.object_id == 0) ref.object_id = object_id;
+    return it->second;
+  }
+
+  ReferentId id = next_referent_id_++;
+
+  // Spatial kinds join the shared per-domain index; this is where the
+  // "one interval tree per chromosome / one R-tree per coordinate system"
+  // policy is applied. Validation errors (unknown coordinate system,
+  // invalid rect) surface here, before any state change.
+  switch (sub.type()) {
+    case substructure::SubType::kInterval:
+      GRAPHITTI_RETURN_NOT_OK(indexes_->AddInterval(sub.domain(), sub.interval(), id));
+      break;
+    case substructure::SubType::kRegion:
+      GRAPHITTI_RETURN_NOT_OK(indexes_->AddRegion(sub.domain(), sub.rect(), id));
+      break;
+    default:
+      break;  // set-typed referents are stored in the referent table only
+  }
+
+  Referent ref;
+  ref.id = id;
+  ref.substructure = sub;
+  ref.object_id = object_id;
+  ref.refcount = 1;
+  referents_.emplace(id, std::move(ref));
+  referent_by_key_.emplace(std::move(key), id);
+
+  agraph::NodeRef node = ReferentNode(id);
+  graph_->EnsureNode(node, sub.ToString());
+  if (object_id != 0) {
+    agraph::NodeRef object_node = agraph::NodeRef::Object(object_id);
+    graph_->EnsureNode(object_node);
+    (void)graph_->AddEdge(node, object_node, kEdgeOfObject);
+  }
+  return id;
+}
+
+void AnnotationStore::ReleaseReferent(ReferentId id) {
+  auto it = referents_.find(id);
+  if (it == referents_.end()) return;
+  Referent& ref = it->second;
+  if (--ref.refcount > 0) return;
+
+  switch (ref.substructure.type()) {
+    case substructure::SubType::kInterval:
+      (void)indexes_->RemoveInterval(ref.substructure.domain(), ref.substructure.interval(),
+                                     id);
+      break;
+    case substructure::SubType::kRegion:
+      (void)indexes_->RemoveRegion(ref.substructure.domain(), ref.substructure.rect(), id);
+      break;
+    default:
+      break;
+  }
+  (void)graph_->RemoveNode(ReferentNode(id));
+  referent_by_key_.erase(ref.substructure.ToString());
+  referents_.erase(it);
+}
+
+util::Result<AnnotationId> AnnotationStore::Commit(const AnnotationBuilder& builder,
+                                                   AnnotationId forced_id) {
+  if (builder.marks().empty()) {
+    return util::Status::InvalidArgument(
+        "an annotation must mark at least one referent (it is a linker object)");
+  }
+  if (forced_id != 0 && annotations_.count(forced_id) > 0) {
+    return util::Status::AlreadyExists("annotation id " + std::to_string(forced_id) +
+                                       " already in use");
+  }
+  AnnotationId id = forced_id != 0 ? forced_id : next_annotation_id_;
+  GRAPHITTI_ASSIGN_OR_RETURN(xml::XmlDocument content, builder.BuildContentXml(id));
+
+  // Validate all marks before mutating shared state, so a bad mark cannot
+  // leave earlier marks half-committed.
+  for (const auto& [sub, object_id] : builder.marks()) {
+    (void)object_id;
+    if (!sub.valid()) {
+      return util::Status::InvalidArgument("invalid marked substructure: " + sub.ToString());
+    }
+    if (sub.type() == substructure::SubType::kRegion &&
+        !indexes_->coordinate_systems().Contains(sub.domain())) {
+      return util::Status::NotFound("coordinate system '" + sub.domain() +
+                                    "' not registered");
+    }
+  }
+
+  Annotation ann;
+  ann.id = id;
+  ann.dc = builder.dc();
+  ann.body = builder.body();
+  ann.user_tags = builder.user_tags();
+  ann.ontology_refs = builder.ontology_refs();
+  ann.content = std::move(content);
+
+  agraph::NodeRef content_node = ContentNode(id);
+  graph_->EnsureNode(content_node,
+                     ann.dc.title.empty() ? ("annotation-" + std::to_string(id))
+                                          : ann.dc.title);
+
+  for (const auto& [sub, object_id] : builder.marks()) {
+    GRAPHITTI_ASSIGN_OR_RETURN(ReferentId rid, InternReferent(sub, object_id));
+    // Skip duplicate referent links within one annotation.
+    if (std::find(ann.referents.begin(), ann.referents.end(), rid) != ann.referents.end()) {
+      // InternReferent already bumped the refcount; undo the extra count.
+      auto it = referents_.find(rid);
+      if (it != referents_.end() && it->second.refcount > 1) --it->second.refcount;
+      continue;
+    }
+    ann.referents.push_back(rid);
+    (void)graph_->AddEdge(content_node, ReferentNode(rid), kEdgeAnnotates);
+  }
+
+  for (const OntologyRef& oref : ann.ontology_refs) {
+    agraph::NodeRef term_node = TermNode(oref.Qualified());
+    (void)graph_->AddEdge(content_node, term_node, kEdgeRefersTo);
+  }
+
+  IndexContentText(id, ann);
+  annotations_.emplace(id, std::move(ann));
+  next_annotation_id_ = std::max(next_annotation_id_, id + 1);
+  return id;
+}
+
+util::Status AnnotationStore::Remove(AnnotationId id) {
+  auto it = annotations_.find(id);
+  if (it == annotations_.end()) {
+    return util::Status::NotFound("annotation " + std::to_string(id) + " not found");
+  }
+  UnindexContentText(id);
+  (void)graph_->RemoveNode(ContentNode(id));
+  // Release referents after the content node is gone so AnnotationsOfReferent
+  // stays consistent.
+  for (ReferentId rid : it->second.referents) ReleaseReferent(rid);
+  annotations_.erase(it);
+  return util::Status::OK();
+}
+
+const Annotation* AnnotationStore::Get(AnnotationId id) const {
+  auto it = annotations_.find(id);
+  return it == annotations_.end() ? nullptr : &it->second;
+}
+
+const Referent* AnnotationStore::GetReferent(ReferentId id) const {
+  auto it = referents_.find(id);
+  return it == referents_.end() ? nullptr : &it->second;
+}
+
+std::vector<AnnotationId> AnnotationStore::Ids() const {
+  std::vector<AnnotationId> out;
+  out.reserve(annotations_.size());
+  for (const auto& [id, _] : annotations_) out.push_back(id);
+  return out;
+}
+
+std::vector<ReferentId> AnnotationStore::ReferentIds() const {
+  std::vector<ReferentId> out;
+  out.reserve(referents_.size());
+  for (const auto& [id, _] : referents_) out.push_back(id);
+  return out;
+}
+
+std::vector<AnnotationId> AnnotationStore::AnnotationsOfReferent(ReferentId id) const {
+  std::vector<AnnotationId> out;
+  for (const agraph::NodeRef& n : graph_->Neighbors(ReferentNode(id))) {
+    if (n.kind == agraph::NodeKind::kContent) out.push_back(n.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+util::Result<ReferentId> AnnotationStore::FindReferent(
+    const substructure::Substructure& sub) const {
+  auto it = referent_by_key_.find(sub.ToString());
+  if (it == referent_by_key_.end()) {
+    return util::Status::NotFound("no referent for " + sub.ToString());
+  }
+  return it->second;
+}
+
+namespace {
+
+// Collects all descendant text with single-space separators between nodes
+// (InnerText would merge adjacent words across element boundaries).
+void CollectTextSeparated(const xml::XmlNode* node, std::string* out) {
+  if (node->is_text()) {
+    if (!out->empty()) out->push_back(' ');
+    out->append(node->text());
+  }
+  for (const auto& child : node->children()) {
+    CollectTextSeparated(child.get(), out);
+  }
+}
+
+std::string ContentText(const Annotation& ann) {
+  std::string text;
+  if (ann.content.root() != nullptr) CollectTextSeparated(ann.content.root(), &text);
+  return text;
+}
+
+}  // namespace
+
+void AnnotationStore::IndexContentText(AnnotationId id, const Annotation& ann) {
+  std::string text = ContentText(ann);
+  for (const auto& [k, v] : ann.user_tags) {
+    text += ' ';
+    text += k;
+  }
+  for (const OntologyRef& oref : ann.ontology_refs) {
+    text += ' ';
+    text += oref.ontology;
+    text += ' ';
+    text += oref.term;
+  }
+  std::vector<std::string> words = util::TokenizeWords(text);
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  for (const std::string& w : words) {
+    keyword_index_[w].push_back(id);  // ids arrive in ascending order
+  }
+}
+
+void AnnotationStore::UnindexContentText(AnnotationId id) {
+  for (auto it = keyword_index_.begin(); it != keyword_index_.end();) {
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) {
+      it = keyword_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<AnnotationId> AnnotationStore::SearchKeyword(std::string_view word) const {
+  std::vector<std::string> tokens = util::TokenizeWords(word);
+  if (tokens.size() != 1) return SearchAllKeywords(tokens);
+  auto it = keyword_index_.find(tokens[0]);
+  return it == keyword_index_.end() ? std::vector<AnnotationId>{} : it->second;
+}
+
+std::vector<AnnotationId> AnnotationStore::SearchAllKeywords(
+    const std::vector<std::string>& words) const {
+  std::vector<AnnotationId> acc;
+  bool first = true;
+  for (const std::string& w : words) {
+    std::vector<AnnotationId> ids = SearchKeyword(w);
+    if (first) {
+      acc = std::move(ids);
+      first = false;
+    } else {
+      std::vector<AnnotationId> merged;
+      std::set_intersection(acc.begin(), acc.end(), ids.begin(), ids.end(),
+                            std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+std::vector<AnnotationId> AnnotationStore::SearchPhrase(std::string_view phrase) const {
+  std::vector<std::string> tokens = util::TokenizeWords(phrase);
+  std::vector<AnnotationId> candidates;
+  if (tokens.empty()) {
+    candidates = Ids();
+  } else {
+    candidates = SearchAllKeywords(tokens);
+  }
+  std::vector<AnnotationId> out;
+  for (AnnotationId id : candidates) {
+    const Annotation* ann = Get(id);
+    if (ann == nullptr) continue;
+    if (util::ContainsIgnoreCase(ContentText(*ann), phrase)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<const xml::XmlDocument*> AnnotationStore::Collection() const {
+  std::vector<const xml::XmlDocument*> out;
+  out.reserve(annotations_.size());
+  for (const auto& [_, ann] : annotations_) out.push_back(&ann.content);
+  return out;
+}
+
+util::Result<std::vector<AnnotationId>> AnnotationStore::XQuerySearch(
+    std::string_view flwor) const {
+  GRAPHITTI_ASSIGN_OR_RETURN(xml::XQuery query, xml::XQuery::Compile(flwor));
+  std::vector<const xml::XmlDocument*> docs = Collection();
+  std::vector<AnnotationId> doc_ids;
+  doc_ids.reserve(annotations_.size());
+  for (const auto& [id, _] : annotations_) doc_ids.push_back(id);
+
+  std::vector<AnnotationId> out;
+  for (const xml::XQueryRow& row : query.Execute(docs)) {
+    out.push_back(doc_ids[row.document_index]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+agraph::NodeRef AnnotationStore::TermNode(const std::string& qualified) {
+  auto it = term_node_ids_.find(qualified);
+  if (it != term_node_ids_.end()) {
+    return agraph::NodeRef::Term(it->second);
+  }
+  uint64_t id = term_names_.size() + 1;  // ids are 1-based
+  term_names_.push_back(qualified);
+  term_node_ids_.emplace(qualified, id);
+  agraph::NodeRef node = agraph::NodeRef::Term(id);
+  graph_->EnsureNode(node, qualified);
+  return node;
+}
+
+util::Result<agraph::NodeRef> AnnotationStore::FindTermNode(
+    const std::string& qualified) const {
+  auto it = term_node_ids_.find(qualified);
+  if (it == term_node_ids_.end()) {
+    return util::Status::NotFound("term '" + qualified + "' was never referenced");
+  }
+  return agraph::NodeRef::Term(it->second);
+}
+
+std::string AnnotationStore::TermName(agraph::NodeRef ref) const {
+  if (ref.kind != agraph::NodeKind::kOntologyTerm || ref.id == 0 ||
+      ref.id > term_names_.size()) {
+    return "";
+  }
+  return term_names_[ref.id - 1];
+}
+
+}  // namespace annotation
+}  // namespace graphitti

@@ -1,0 +1,137 @@
+// AnnotationStore: the commit pipeline and search surface over annotations.
+//
+// Commit wires the three §II structures together:
+//   1. the content XML joins the document collection (searchable via
+//      keyword index, XPath and XQuery),
+//   2. each marked substructure becomes (or reuses) a Referent and is
+//      inserted into the shared interval-tree/R-tree indexes,
+//   3. content/referent/term/object nodes and labeled edges are added to
+//      the a-graph.
+#ifndef GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
+#define GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agraph/agraph.h"
+#include "annotation/annotation.h"
+#include "spatial/index_manager.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace annotation {
+
+/// Edge labels the store writes into the a-graph.
+inline constexpr std::string_view kEdgeAnnotates = "annotates";      // content -> referent
+inline constexpr std::string_view kEdgeRefersTo = "refers-to";       // content -> term
+inline constexpr std::string_view kEdgeOfObject = "of-object";       // referent -> object
+
+class AnnotationStore {
+ public:
+  /// The store borrows the index manager and a-graph owned by the Graphitti
+  /// instance; both must outlive it.
+  AnnotationStore(spatial::IndexManager* indexes, agraph::AGraph* graph);
+
+  AnnotationStore(const AnnotationStore&) = delete;
+  AnnotationStore& operator=(const AnnotationStore&) = delete;
+
+  // --- Commit / remove ---
+
+  /// Commits a built annotation: assigns ids, materializes the XML, indexes
+  /// substructures (deduplicating identical marks into shared referents),
+  /// and extends the a-graph. Rolls back nothing on failure: errors are
+  /// validated up front (invalid marks, unknown coordinate systems).
+  /// `forced_id` (non-zero) preserves a persisted id; it must not collide
+  /// with an existing annotation.
+  util::Result<AnnotationId> Commit(const AnnotationBuilder& builder,
+                                    AnnotationId forced_id = 0);
+
+  /// Removes an annotation; referents drop a refcount and disappear from
+  /// spatial indexes and the a-graph when orphaned.
+  util::Status Remove(AnnotationId id);
+
+  // --- Lookup ---
+  const Annotation* Get(AnnotationId id) const;
+  const Referent* GetReferent(ReferentId id) const;
+  size_t size() const { return annotations_.size(); }
+  size_t num_referents() const { return referents_.size(); }
+
+  /// All annotation ids, ascending.
+  std::vector<AnnotationId> Ids() const;
+
+  /// All referent ids, ascending.
+  std::vector<ReferentId> ReferentIds() const;
+
+  /// Annotations referencing the given referent.
+  std::vector<AnnotationId> AnnotationsOfReferent(ReferentId id) const;
+
+  /// Referent whose substructure equals `sub`, if any.
+  util::Result<ReferentId> FindReferent(const substructure::Substructure& sub) const;
+
+  // --- Content search ---
+
+  /// Annotations whose content contains `word` (keyword inverted index;
+  /// case-insensitive, alphanumeric tokenization).
+  std::vector<AnnotationId> SearchKeyword(std::string_view word) const;
+
+  /// Annotations containing all of `words`.
+  std::vector<AnnotationId> SearchAllKeywords(const std::vector<std::string>& words) const;
+
+  /// Substring search over serialized content, accelerated by the keyword
+  /// index when the phrase tokenizes to at least one word.
+  std::vector<AnnotationId> SearchPhrase(std::string_view phrase) const;
+
+  /// The XML collection view for XQuery ("collection()").
+  std::vector<const xml::XmlDocument*> Collection() const;
+
+  /// Runs a compiled-on-the-fly XQuery over the collection; returns matching
+  /// annotation ids (document order).
+  util::Result<std::vector<AnnotationId>> XQuerySearch(std::string_view flwor) const;
+
+  // --- Ontology term nodes ---
+
+  /// Stable a-graph NodeRef for a qualified ontology term ("onto:term");
+  /// creates the node on first use.
+  agraph::NodeRef TermNode(const std::string& qualified);
+  /// Lookup without creation; NotFound when the term was never referenced.
+  util::Result<agraph::NodeRef> FindTermNode(const std::string& qualified) const;
+  /// Reverse lookup; empty when the node id is unknown.
+  std::string TermName(agraph::NodeRef ref) const;
+
+  // --- a-graph node helpers ---
+  static agraph::NodeRef ContentNode(AnnotationId id) {
+    return agraph::NodeRef::Content(id);
+  }
+  static agraph::NodeRef ReferentNode(ReferentId id) {
+    return agraph::NodeRef::Referent(id);
+  }
+
+ private:
+  void IndexContentText(AnnotationId id, const Annotation& ann);
+  void UnindexContentText(AnnotationId id);
+  util::Result<ReferentId> InternReferent(const substructure::Substructure& sub,
+                                          uint64_t object_id);
+  /// Removes one reference to `id`, erasing the referent entirely at zero.
+  void ReleaseReferent(ReferentId id);
+
+  spatial::IndexManager* indexes_;  // borrowed
+  agraph::AGraph* graph_;           // borrowed
+
+  std::map<AnnotationId, Annotation> annotations_;
+  std::map<ReferentId, Referent> referents_;
+  std::map<std::string, ReferentId> referent_by_key_;  // Substructure::ToString() key
+  std::map<std::string, std::vector<AnnotationId>> keyword_index_;
+  std::map<std::string, uint64_t> term_node_ids_;
+  std::vector<std::string> term_names_;  // dense id -> qualified name
+
+  uint64_t next_annotation_id_ = 1;
+  uint64_t next_referent_id_ = 1;
+};
+
+}  // namespace annotation
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_

@@ -1,0 +1,69 @@
+#include "annotation/dublin_core.h"
+
+#include <array>
+
+namespace graphitti {
+namespace annotation {
+
+namespace {
+
+struct FieldDesc {
+  const char* name;
+  std::string DublinCore::* member;
+};
+
+constexpr std::array kFields = {
+    FieldDesc{"title", &DublinCore::title},
+    FieldDesc{"creator", &DublinCore::creator},
+    FieldDesc{"subject", &DublinCore::subject},
+    FieldDesc{"description", &DublinCore::description},
+    FieldDesc{"date", &DublinCore::date},
+    FieldDesc{"type", &DublinCore::type},
+    FieldDesc{"format", &DublinCore::format},
+    FieldDesc{"identifier", &DublinCore::identifier},
+    FieldDesc{"source", &DublinCore::source},
+    FieldDesc{"language", &DublinCore::language},
+    FieldDesc{"relation", &DublinCore::relation},
+    FieldDesc{"coverage", &DublinCore::coverage},
+    FieldDesc{"rights", &DublinCore::rights},
+};
+
+}  // namespace
+
+void DublinCore::AppendTo(xml::XmlNode* parent) const {
+  for (const FieldDesc& f : kFields) {
+    const std::string& value = this->*(f.member);
+    if (!value.empty()) {
+      parent->AddElementWithText(std::string("dc:") + f.name, value);
+    }
+  }
+}
+
+DublinCore DublinCore::FromXml(const xml::XmlNode* element) {
+  DublinCore dc;
+  if (element == nullptr) return dc;
+  for (const FieldDesc& f : kFields) {
+    const xml::XmlNode* child = element->FirstChildElement(std::string("dc:") + f.name);
+    if (child != nullptr) dc.*(f.member) = child->InnerText();
+  }
+  return dc;
+}
+
+std::vector<std::pair<std::string, std::string>> DublinCore::NonEmptyFields() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const FieldDesc& f : kFields) {
+    const std::string& value = this->*(f.member);
+    if (!value.empty()) out.emplace_back(f.name, value);
+  }
+  return out;
+}
+
+bool DublinCore::operator==(const DublinCore& other) const {
+  for (const FieldDesc& f : kFields) {
+    if (this->*(f.member) != other.*(f.member)) return false;
+  }
+  return true;
+}
+
+}  // namespace annotation
+}  // namespace graphitti

@@ -1,0 +1,47 @@
+// Dublin Core metadata elements carried by every annotation content
+// ("an XML document whose elements consist of Dublin core attributes and
+// other user-defined tags", §II).
+#ifndef GRAPHITTI_ANNOTATION_DUBLIN_CORE_H_
+#define GRAPHITTI_ANNOTATION_DUBLIN_CORE_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/xml_node.h"
+
+namespace graphitti {
+namespace annotation {
+
+/// The Dublin Core element set (the subset Graphitti populates; all 15 are
+/// representable as user tags too). Serialized as <dc:NAME> children.
+struct DublinCore {
+  std::string title;
+  std::string creator;
+  std::string subject;
+  std::string description;
+  std::string date;
+  std::string type;
+  std::string format;
+  std::string identifier;
+  std::string source;
+  std::string language;
+  std::string relation;
+  std::string coverage;
+  std::string rights;
+
+  /// Appends one <dc:x> child per non-empty field.
+  void AppendTo(xml::XmlNode* parent) const;
+
+  /// Reads <dc:x> children of `element` (absent children leave fields empty).
+  static DublinCore FromXml(const xml::XmlNode* element);
+
+  /// (field-name, value) pairs for the non-empty fields.
+  std::vector<std::pair<std::string, std::string>> NonEmptyFields() const;
+
+  bool operator==(const DublinCore& other) const;
+};
+
+}  // namespace annotation
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_ANNOTATION_DUBLIN_CORE_H_

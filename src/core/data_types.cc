@@ -1,0 +1,347 @@
+#include "core/data_types.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace core {
+
+using relational::Schema;
+using relational::SchemaBuilder;
+
+Schema DnaSequenceSchema() {
+  return SchemaBuilder()
+      .Str("accession", /*nullable=*/false)
+      .Str("organism")
+      .Str("segment")  // chromosome / genome segment (the shared 1D domain)
+      .Int("length")
+      .Str("residues")  // raw data in its native format, per §II
+      .Build();
+}
+
+Schema RnaSequenceSchema() { return DnaSequenceSchema(); }
+
+Schema ProteinSequenceSchema() {
+  return SchemaBuilder()
+      .Str("accession", /*nullable=*/false)
+      .Str("organism")
+      .Str("protein_name")
+      .Int("length")
+      .Str("residues")
+      .Build();
+}
+
+Schema ImageSchema() {
+  return SchemaBuilder()
+      .Str("name", /*nullable=*/false)
+      .Str("coordinate_system")
+      .Str("modality")
+      .Int("width")
+      .Int("height")
+      .Int("depth")
+      .Blob("pixels")
+      .Build();
+}
+
+Schema PhyloTreeSchema() {
+  return SchemaBuilder()
+      .Str("name", /*nullable=*/false)
+      .Int("num_leaves")
+      .Str("newick")
+      .Build();
+}
+
+Schema InteractionGraphSchema() {
+  return SchemaBuilder()
+      .Str("name", /*nullable=*/false)
+      .Int("num_nodes")
+      .Int("num_edges")
+      .Str("payload")
+      .Build();
+}
+
+Schema MsaSchema() {
+  return SchemaBuilder()
+      .Str("name", /*nullable=*/false)
+      .Int("num_sequences")
+      .Int("num_columns")
+      .Str("payload")
+      .Build();
+}
+
+// ---------------------------------------------------------------------------
+// PhyloTree / Newick
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class NewickParser {
+ public:
+  explicit NewickParser(std::string_view input) : input_(input) {}
+
+  util::Result<std::vector<PhyloNode>> Parse() {
+    SkipWs();
+    if (pos_ >= input_.size() || Peek() == ';') return Error("empty tree");
+    GRAPHITTI_RETURN_NOT_OK(ParseNode(UINT64_MAX));
+    SkipWs();
+    if (pos_ < input_.size() && input_[pos_] == ';') ++pos_;
+    SkipWs();
+    if (pos_ != input_.size()) {
+      return Error("trailing characters after tree");
+    }
+    if (nodes_.empty()) return Error("empty tree");
+    return std::move(nodes_);
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_])))
+      ++pos_;
+  }
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  util::Status Error(const std::string& msg) const {
+    return util::Status::ParseError("Newick: " + msg + " (at offset " +
+                                    std::to_string(pos_) + ")");
+  }
+
+  // Parses a node (subtree), appending it and its descendants to nodes_.
+  util::Status ParseNode(uint64_t parent) {
+    uint64_t my_id = nodes_.size();
+    nodes_.emplace_back();
+    nodes_[my_id].id = my_id;
+    nodes_[my_id].parent = parent;
+    if (parent != UINT64_MAX) nodes_[parent].children.push_back(my_id);
+
+    SkipWs();
+    if (Peek() == '(') {
+      ++pos_;
+      while (true) {
+        GRAPHITTI_RETURN_NOT_OK(ParseNode(my_id));
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        if (Peek() == ')') {
+          ++pos_;
+          break;
+        }
+        return Error("expected ',' or ')'");
+      }
+    }
+    // Optional label.
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != ',' && input_[pos_] != ')' &&
+           input_[pos_] != '(' && input_[pos_] != ':' && input_[pos_] != ';' &&
+           !std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    nodes_[my_id].name = std::string(input_.substr(start, pos_ - start));
+    // Optional branch length.
+    SkipWs();
+    if (Peek() == ':') {
+      ++pos_;
+      SkipWs();
+      size_t num_start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) || input_[pos_] == '.' ||
+              input_[pos_] == '-' || input_[pos_] == 'e' || input_[pos_] == 'E' ||
+              input_[pos_] == '+')) {
+        ++pos_;
+      }
+      double bl = 0;
+      if (!util::ParseDouble(input_.substr(num_start, pos_ - num_start), &bl)) {
+        return Error("bad branch length");
+      }
+      nodes_[my_id].branch_length = bl;
+    }
+    return util::Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::vector<PhyloNode> nodes_;
+};
+
+}  // namespace
+
+util::Result<PhyloTree> PhyloTree::FromNewick(std::string_view text) {
+  NewickParser parser(text);
+  GRAPHITTI_ASSIGN_OR_RETURN(std::vector<PhyloNode> nodes, parser.Parse());
+  PhyloTree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+namespace {
+void WriteNewick(const std::vector<PhyloNode>& nodes, uint64_t id, std::string* out) {
+  const PhyloNode& n = nodes[id];
+  if (!n.children.empty()) {
+    out->push_back('(');
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i) out->push_back(',');
+      WriteNewick(nodes, n.children[i], out);
+    }
+    out->push_back(')');
+  }
+  out->append(n.name);
+  if (n.branch_length != 0.0) {
+    out->push_back(':');
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", n.branch_length);
+    out->append(buf);
+  }
+}
+}  // namespace
+
+std::string PhyloTree::ToNewick() const {
+  if (nodes_.empty()) return ";";
+  std::string out;
+  WriteNewick(nodes_, 0, &out);
+  out.push_back(';');
+  return out;
+}
+
+uint64_t PhyloTree::FindNode(std::string_view name) const {
+  for (const PhyloNode& n : nodes_) {
+    if (n.name == name) return n.id;
+  }
+  return UINT64_MAX;
+}
+
+std::vector<uint64_t> PhyloTree::Leaves() const {
+  std::vector<uint64_t> out;
+  for (const PhyloNode& n : nodes_) {
+    if (n.is_leaf()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<uint64_t> PhyloTree::CladeOf(uint64_t node_id) const {
+  std::vector<uint64_t> out;
+  if (node_id >= nodes_.size()) return out;
+  std::vector<uint64_t> stack{node_id};
+  while (!stack.empty()) {
+    uint64_t id = stack.back();
+    stack.pop_back();
+    const PhyloNode& n = nodes_[id];
+    if (n.is_leaf()) {
+      out.push_back(id);
+    } else {
+      for (uint64_t c : n.children) stack.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t PhyloTree::num_leaves() const {
+  size_t n = 0;
+  for (const PhyloNode& node : nodes_) {
+    if (node.is_leaf()) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// InteractionGraph
+// ---------------------------------------------------------------------------
+
+util::Result<uint64_t> InteractionGraph::AddNode(std::string_view node_name) {
+  if (node_name.empty()) return util::Status::InvalidArgument("empty node name");
+  if (node_index_.find(node_name) != node_index_.end()) {
+    return util::Status::AlreadyExists("node '" + std::string(node_name) + "' exists");
+  }
+  uint64_t id = node_names_.size();
+  node_names_.emplace_back(node_name);
+  node_index_.emplace(std::string(node_name), id);
+  adjacency_.emplace_back();
+  return id;
+}
+
+util::Status InteractionGraph::AddEdge(uint64_t a, uint64_t b, std::string_view kind) {
+  if (a >= node_names_.size() || b >= node_names_.size()) {
+    return util::Status::InvalidArgument("edge endpoint out of range");
+  }
+  adjacency_[a].push_back({b, std::string(kind)});
+  adjacency_[b].push_back({a, std::string(kind)});
+  ++num_edges_;
+  return util::Status::OK();
+}
+
+uint64_t InteractionGraph::FindNode(std::string_view node_name) const {
+  auto it = node_index_.find(node_name);
+  return it == node_index_.end() ? UINT64_MAX : it->second;
+}
+
+std::vector<uint64_t> InteractionGraph::Neighbors(uint64_t id) const {
+  std::vector<uint64_t> out;
+  if (id >= adjacency_.size()) return out;
+  for (const Edge& e : adjacency_[id]) out.push_back(e.other);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string InteractionGraph::ToText() const {
+  std::string out;
+  for (const std::string& n : node_names_) {
+    out += "node " + n + "\n";
+  }
+  for (uint64_t a = 0; a < adjacency_.size(); ++a) {
+    for (const Edge& e : adjacency_[a]) {
+      if (e.other >= a) {  // each undirected edge once
+        out += "edge " + std::to_string(a) + " " + std::to_string(e.other) + " " + e.kind +
+               "\n";
+      }
+    }
+  }
+  return out;
+}
+
+util::Result<InteractionGraph> InteractionGraph::FromText(std::string_view text,
+                                                          std::string name) {
+  InteractionGraph g(std::move(name));
+  size_t line_no = 0;
+  for (const std::string& raw : util::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> parts = util::SplitWhitespace(line);
+    if (parts[0] == "node" && parts.size() == 2) {
+      GRAPHITTI_RETURN_NOT_OK(g.AddNode(parts[1]).status());
+    } else if (parts[0] == "edge" && parts.size() >= 3) {
+      int64_t a = 0, b = 0;
+      if (!util::ParseInt64(parts[1], &a) || !util::ParseInt64(parts[2], &b)) {
+        return util::Status::ParseError("bad edge ids at line " + std::to_string(line_no));
+      }
+      GRAPHITTI_RETURN_NOT_OK(g.AddEdge(static_cast<uint64_t>(a), static_cast<uint64_t>(b),
+                                        parts.size() > 3 ? parts[3] : "interacts"));
+    } else {
+      return util::Status::ParseError("bad interaction-graph line " +
+                                      std::to_string(line_no) + ": '" + std::string(line) +
+                                      "'");
+    }
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Msa
+// ---------------------------------------------------------------------------
+
+bool Msa::valid() const {
+  if (rows.empty()) return false;
+  size_t cols = rows[0].second.size();
+  if (cols == 0) return false;
+  for (const auto& [_, seq] : rows) {
+    if (seq.size() != cols) return false;
+  }
+  return true;
+}
+
+}  // namespace core
+}  // namespace graphitti

@@ -1,0 +1,147 @@
+// Built-in scientific data types: the heterogeneous objects of the demo
+// ("DNA sequences, RNA sequences, multiple sequence alignment structures,
+// phylogenetic trees, interaction graphs and relational records", §III, plus
+// images from the neuroscience scenario).
+#ifndef GRAPHITTI_CORE_DATA_TYPES_H_
+#define GRAPHITTI_CORE_DATA_TYPES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace core {
+
+/// Well-known table names for the built-in types (one metadata table per
+/// type, raw data in the same table, per §II).
+inline constexpr std::string_view kTableDna = "dna_sequences";
+inline constexpr std::string_view kTableRna = "rna_sequences";
+inline constexpr std::string_view kTableProtein = "protein_sequences";
+inline constexpr std::string_view kTableImage = "images";
+inline constexpr std::string_view kTablePhyloTree = "phylo_trees";
+inline constexpr std::string_view kTableInteractionGraph = "interaction_graphs";
+inline constexpr std::string_view kTableMsa = "msas";
+
+/// Schemas for the built-in tables.
+relational::Schema DnaSequenceSchema();
+relational::Schema RnaSequenceSchema();
+relational::Schema ProteinSequenceSchema();
+relational::Schema ImageSchema();
+relational::Schema PhyloTreeSchema();
+relational::Schema InteractionGraphSchema();
+relational::Schema MsaSchema();
+
+// ---------------------------------------------------------------------------
+// Phylogenetic trees (Newick format)
+// ---------------------------------------------------------------------------
+
+struct PhyloNode {
+  uint64_t id = 0;  // preorder index, root == 0
+  std::string name;
+  double branch_length = 0.0;
+  uint64_t parent = UINT64_MAX;  // UINT64_MAX for the root
+  std::vector<uint64_t> children;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// A rooted phylogenetic tree. Clades (the markable substructures) are leaf
+/// sets under an internal node.
+class PhyloTree {
+ public:
+  PhyloTree() = default;
+
+  /// Parses Newick: "(A:0.1,(B:0.2,C:0.3)X:0.4)R;". Names and branch
+  /// lengths are optional; quoted labels are not supported.
+  static util::Result<PhyloTree> FromNewick(std::string_view text);
+
+  /// Serializes back to Newick (round-trips with FromNewick).
+  std::string ToNewick() const;
+
+  const std::vector<PhyloNode>& nodes() const { return nodes_; }
+  const PhyloNode& node(uint64_t id) const { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Node id by name; UINT64_MAX when absent.
+  uint64_t FindNode(std::string_view name) const;
+
+  /// All leaf ids, ascending.
+  std::vector<uint64_t> Leaves() const;
+
+  /// The clade under `node_id`: ids of all leaves in its subtree.
+  std::vector<uint64_t> CladeOf(uint64_t node_id) const;
+
+  /// Number of leaves.
+  size_t num_leaves() const;
+
+ private:
+  std::vector<PhyloNode> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// Molecular interaction graphs
+// ---------------------------------------------------------------------------
+
+/// An undirected labeled interaction graph (e.g. protein-protein
+/// interactions). Node subsets are the markable substructures.
+class InteractionGraph {
+ public:
+  explicit InteractionGraph(std::string name = "") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a node (e.g. a protein); AlreadyExists for duplicate names.
+  util::Result<uint64_t> AddNode(std::string_view node_name);
+
+  /// Adds an undirected edge with an interaction kind label.
+  util::Status AddEdge(uint64_t a, uint64_t b, std::string_view kind = "interacts");
+
+  uint64_t FindNode(std::string_view node_name) const;  // UINT64_MAX if absent
+  const std::string& NodeName(uint64_t id) const { return node_names_[id]; }
+  std::vector<uint64_t> Neighbors(uint64_t id) const;
+
+  size_t num_nodes() const { return node_names_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Serialization: "node <name>" / "edge <a> <b> <kind>" lines.
+  std::string ToText() const;
+  static util::Result<InteractionGraph> FromText(std::string_view text,
+                                                 std::string name = "");
+
+ private:
+  struct Edge {
+    uint64_t other;
+    std::string kind;
+  };
+  std::string name_;
+  std::vector<std::string> node_names_;
+  std::map<std::string, uint64_t, std::less<>> node_index_;
+  std::vector<std::vector<Edge>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Multiple sequence alignments
+// ---------------------------------------------------------------------------
+
+/// A gapped alignment; markable substructures are column ranges (1D
+/// intervals on the column axis).
+struct Msa {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> rows;  // (sequence name, aligned residues)
+
+  size_t num_columns() const { return rows.empty() ? 0 : rows[0].second.size(); }
+  /// All rows must share one length.
+  bool valid() const;
+};
+
+}  // namespace core
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_CORE_DATA_TYPES_H_

@@ -1,0 +1,390 @@
+#include "core/graphitti.h"
+
+#include <algorithm>
+
+namespace graphitti {
+namespace core {
+
+using relational::IndexKind;
+using relational::Row;
+using relational::Value;
+using util::Result;
+using util::Status;
+
+std::string SystemStats::ToString() const {
+  std::string out;
+  out += "tables=" + std::to_string(num_tables) + " rows=" + std::to_string(total_rows);
+  out += " objects=" + std::to_string(num_objects);
+  out += " annotations=" + std::to_string(num_annotations);
+  out += " referents=" + std::to_string(num_referents);
+  out += " interval_trees=" + std::to_string(num_interval_trees) + "(" +
+         std::to_string(interval_entries) + " entries)";
+  out += " rtrees=" + std::to_string(num_rtrees) + "(" + std::to_string(region_entries) +
+         " entries)";
+  out += " agraph=" + std::to_string(agraph_nodes) + "n/" + std::to_string(agraph_edges) +
+         "e";
+  out += " ontologies=" + std::to_string(num_ontologies) + "(" +
+         std::to_string(ontology_terms) + " terms)";
+  return out;
+}
+
+Graphitti::Graphitti() {
+  store_ = std::make_unique<annotation::AnnotationStore>(&indexes_, &graph_);
+
+  auto create = [&](std::string_view name, relational::Schema schema,
+                    std::string_view key_column) {
+    auto table = catalog_.CreateTable(std::string(name), std::move(schema));
+    (void)(*table)->CreateIndex(key_column, IndexKind::kHash);
+  };
+  create(kTableDna, DnaSequenceSchema(), "accession");
+  create(kTableRna, RnaSequenceSchema(), "accession");
+  create(kTableProtein, ProteinSequenceSchema(), "accession");
+  create(kTableImage, ImageSchema(), "name");
+  create(kTablePhyloTree, PhyloTreeSchema(), "name");
+  create(kTableInteractionGraph, InteractionGraphSchema(), "name");
+  create(kTableMsa, MsaSchema(), "name");
+  // Organism is a common search key in both sequence tables.
+  (void)catalog_.GetTable(kTableDna)->CreateIndex("organism", IndexKind::kHash);
+  (void)catalog_.GetTable(kTableRna)->CreateIndex("organism", IndexKind::kHash);
+  (void)catalog_.GetTable(kTableProtein)->CreateIndex("organism", IndexKind::kHash);
+}
+
+util::Status Graphitti::RegisterCoordinateSystem(std::string_view name, int dims) {
+  return indexes_.coordinate_systems().RegisterCanonical(name, dims);
+}
+
+util::Status Graphitti::RegisterDerivedCoordinateSystem(
+    std::string_view name, std::string_view canonical,
+    const std::array<double, spatial::Rect::kMaxDims>& scale,
+    const std::array<double, spatial::Rect::kMaxDims>& offset) {
+  return indexes_.coordinate_systems().RegisterDerived(name, canonical, scale, offset);
+}
+
+util::Result<const ontology::Ontology*> Graphitti::LoadOntology(
+    std::string name, std::string_view obo_text) {
+  if (ontologies_.find(name) != ontologies_.end()) {
+    return Status::AlreadyExists("ontology '" + name + "' already loaded");
+  }
+  GRAPHITTI_ASSIGN_OR_RETURN(ontology::Ontology onto, ontology::ParseObo(obo_text, name));
+  auto [it, _] = ontologies_.emplace(std::move(name), std::move(onto));
+  return &it->second;
+}
+
+const ontology::Ontology* Graphitti::GetOntology(std::string_view name) const {
+  auto it = ontologies_.find(name);
+  return it == ontologies_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Graphitti::OntologyNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : ontologies_) out.push_back(name);
+  return out;
+}
+
+uint64_t Graphitti::RegisterObject(std::string_view table, relational::RowId row,
+                                   std::string label) {
+  uint64_t id = next_object_id_++;
+  ObjectInfo info;
+  info.id = id;
+  info.table = std::string(table);
+  info.row = row;
+  info.label = std::move(label);
+  graph_.EnsureNode(agraph::NodeRef::Object(id), info.label);
+  object_by_row_[info.table][row] = id;
+  objects_.emplace(id, std::move(info));
+  return id;
+}
+
+util::Result<uint64_t> Graphitti::IngestDnaSequence(std::string accession,
+                                                    std::string organism,
+                                                    std::string segment,
+                                                    std::string residues) {
+  relational::Table* table = catalog_.GetTable(kTableDna);
+  int64_t length = static_cast<int64_t>(residues.size());
+  GRAPHITTI_ASSIGN_OR_RETURN(
+      relational::RowId row,
+      table->Insert({Value::Str(accession), Value::Str(std::move(organism)),
+                     Value::Str(std::move(segment)), Value::Int(length),
+                     Value::Str(std::move(residues))}));
+  return RegisterObject(kTableDna, row, std::string(kTableDna) + "/" + accession);
+}
+
+util::Result<uint64_t> Graphitti::IngestRnaSequence(std::string accession,
+                                                    std::string organism,
+                                                    std::string segment,
+                                                    std::string residues) {
+  relational::Table* table = catalog_.GetTable(kTableRna);
+  int64_t length = static_cast<int64_t>(residues.size());
+  GRAPHITTI_ASSIGN_OR_RETURN(
+      relational::RowId row,
+      table->Insert({Value::Str(accession), Value::Str(std::move(organism)),
+                     Value::Str(std::move(segment)), Value::Int(length),
+                     Value::Str(std::move(residues))}));
+  return RegisterObject(kTableRna, row, std::string(kTableRna) + "/" + accession);
+}
+
+util::Result<uint64_t> Graphitti::IngestProteinSequence(std::string accession,
+                                                        std::string organism,
+                                                        std::string protein_name,
+                                                        std::string residues) {
+  relational::Table* table = catalog_.GetTable(kTableProtein);
+  int64_t length = static_cast<int64_t>(residues.size());
+  GRAPHITTI_ASSIGN_OR_RETURN(
+      relational::RowId row,
+      table->Insert({Value::Str(accession), Value::Str(std::move(organism)),
+                     Value::Str(std::move(protein_name)), Value::Int(length),
+                     Value::Str(std::move(residues))}));
+  return RegisterObject(kTableProtein, row, std::string(kTableProtein) + "/" + accession);
+}
+
+util::Result<uint64_t> Graphitti::IngestImage(std::string name,
+                                              std::string coordinate_system,
+                                              std::string modality, int64_t width,
+                                              int64_t height, int64_t depth,
+                                              std::vector<uint8_t> pixels) {
+  if (!indexes_.coordinate_systems().Contains(coordinate_system)) {
+    return Status::NotFound("coordinate system '" + coordinate_system +
+                            "' not registered; call RegisterCoordinateSystem first");
+  }
+  relational::Table* table = catalog_.GetTable(kTableImage);
+  GRAPHITTI_ASSIGN_OR_RETURN(
+      relational::RowId row,
+      table->Insert({Value::Str(name), Value::Str(std::move(coordinate_system)),
+                     Value::Str(std::move(modality)), Value::Int(width), Value::Int(height),
+                     Value::Int(depth), Value::Blob(std::move(pixels))}));
+  return RegisterObject(kTableImage, row, std::string(kTableImage) + "/" + name);
+}
+
+util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_view newick) {
+  GRAPHITTI_ASSIGN_OR_RETURN(PhyloTree tree, PhyloTree::FromNewick(newick));
+  relational::Table* table = catalog_.GetTable(kTablePhyloTree);
+  GRAPHITTI_ASSIGN_OR_RETURN(
+      relational::RowId row,
+      table->Insert({Value::Str(name), Value::Int(static_cast<int64_t>(tree.num_leaves())),
+                     Value::Str(std::string(newick))}));
+  return RegisterObject(kTablePhyloTree, row, std::string(kTablePhyloTree) + "/" + name);
+}
+
+util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph& graph) {
+  if (graph.name().empty()) {
+    return Status::InvalidArgument("interaction graph needs a name");
+  }
+  relational::Table* table = catalog_.GetTable(kTableInteractionGraph);
+  GRAPHITTI_ASSIGN_OR_RETURN(
+      relational::RowId row,
+      table->Insert({Value::Str(graph.name()),
+                     Value::Int(static_cast<int64_t>(graph.num_nodes())),
+                     Value::Int(static_cast<int64_t>(graph.num_edges())),
+                     Value::Str(graph.ToText())}));
+  return RegisterObject(kTableInteractionGraph, row,
+                        std::string(kTableInteractionGraph) + "/" + graph.name());
+}
+
+util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
+  if (!msa.valid()) {
+    return Status::InvalidArgument("MSA rows must be non-empty and share one length");
+  }
+  std::string payload;
+  for (const auto& [name, seq] : msa.rows) {
+    payload += name + "\t" + seq + "\n";
+  }
+  relational::Table* table = catalog_.GetTable(kTableMsa);
+  GRAPHITTI_ASSIGN_OR_RETURN(
+      relational::RowId row,
+      table->Insert({Value::Str(msa.name), Value::Int(static_cast<int64_t>(msa.rows.size())),
+                     Value::Int(static_cast<int64_t>(msa.num_columns())),
+                     Value::Str(payload)}));
+  return RegisterObject(kTableMsa, row, std::string(kTableMsa) + "/" + msa.name);
+}
+
+util::Result<relational::Table*> Graphitti::CreateTable(std::string name,
+                                                        relational::Schema schema) {
+  return catalog_.CreateTable(std::move(name), std::move(schema));
+}
+
+util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relational::Row row,
+                                               std::string label) {
+  relational::Table* t = catalog_.GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  GRAPHITTI_ASSIGN_OR_RETURN(relational::RowId rid, t->Insert(std::move(row)));
+  if (label.empty()) {
+    label = std::string(table) + "/row" + std::to_string(rid);
+  }
+  return RegisterObject(table, rid, std::move(label));
+}
+
+const ObjectInfo* Graphitti::GetObject(uint64_t object_id) const {
+  auto it = objects_.find(object_id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const relational::Row* Graphitti::GetObjectRow(uint64_t object_id) const {
+  const ObjectInfo* info = GetObject(object_id);
+  if (info == nullptr) return nullptr;
+  const relational::Table* table = catalog_.GetTable(info->table);
+  if (table == nullptr) return nullptr;
+  return table->Get(info->row);
+}
+
+util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
+    std::string_view table, const relational::Predicate& filter) const {
+  const relational::Table* t = catalog_.GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  GRAPHITTI_ASSIGN_OR_RETURN(std::vector<relational::RowId> rows, t->Select(filter));
+  std::vector<uint64_t> out;
+  auto tit = object_by_row_.find(table);
+  if (tit == object_by_row_.end()) return out;
+  for (relational::RowId r : rows) {
+    auto rit = tit->second.find(r);
+    if (rit != tit->second.end()) out.push_back(rit->second);
+  }
+  return out;
+}
+
+util::Result<annotation::AnnotationId> Graphitti::Commit(
+    const annotation::AnnotationBuilder& builder) {
+  return store_->Commit(builder);
+}
+
+util::Status Graphitti::RemoveAnnotation(annotation::AnnotationId id) {
+  return store_->Remove(id);
+}
+
+std::vector<annotation::AnnotationId> Graphitti::AnnotationsOnObject(
+    uint64_t object_id) const {
+  std::vector<annotation::AnnotationId> out;
+  agraph::NodeRef object_node = agraph::NodeRef::Object(object_id);
+  for (const agraph::NodeRef& ref : graph_.Neighbors(object_node)) {
+    if (ref.kind != agraph::NodeKind::kReferent) continue;
+    for (const agraph::NodeRef& content : graph_.Neighbors(ref)) {
+      if (content.kind == agraph::NodeKind::kContent) out.push_back(content.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+util::Result<query::QueryResult> Graphitti::Query(std::string_view query_text) const {
+  return Query(query_text, query::ExecutorOptions{});
+}
+
+util::Result<query::QueryResult> Graphitti::Query(
+    std::string_view query_text, const query::ExecutorOptions& options) const {
+  query::QueryContext ctx;
+  ctx.store = store_.get();
+  ctx.indexes = &indexes_;
+  ctx.graph = &graph_;
+  ctx.objects = this;
+  ctx.ontologies = this;
+  query::Executor executor(ctx, options);
+  return executor.ExecuteText(query_text);
+}
+
+CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
+  CorrelatedData out;
+  // One-hop neighbourhood, stepping through referents to their annotations
+  // and objects (the "search, browse and explore" right panel).
+  std::vector<agraph::NodeRef> frontier = graph_.Neighbors(node);
+  frontier.push_back(node);
+  std::vector<agraph::NodeRef> expanded;
+  for (const agraph::NodeRef& n : frontier) {
+    expanded.push_back(n);
+    if (n.kind == agraph::NodeKind::kReferent || n.kind == agraph::NodeKind::kContent) {
+      for (const agraph::NodeRef& m : graph_.Neighbors(n)) expanded.push_back(m);
+    }
+  }
+  std::sort(expanded.begin(), expanded.end());
+  expanded.erase(std::unique(expanded.begin(), expanded.end()), expanded.end());
+  for (const agraph::NodeRef& n : expanded) {
+    if (n == node) continue;
+    switch (n.kind) {
+      case agraph::NodeKind::kContent:
+        out.annotations.push_back(n.id);
+        break;
+      case agraph::NodeKind::kReferent:
+        out.referents.push_back(n.id);
+        break;
+      case agraph::NodeKind::kDataObject:
+        out.objects.push_back(n.id);
+        break;
+      case agraph::NodeKind::kOntologyTerm: {
+        std::string name = store_->TermName(n);
+        if (!name.empty()) out.terms.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+SystemStats Graphitti::Stats() const {
+  SystemStats s;
+  s.num_tables = catalog_.num_tables();
+  s.total_rows = catalog_.TotalRows();
+  s.num_objects = objects_.size();
+  s.num_annotations = store_->size();
+  s.num_referents = store_->num_referents();
+  s.num_interval_trees = indexes_.num_interval_trees();
+  s.num_rtrees = indexes_.num_rtrees();
+  s.interval_entries = indexes_.total_interval_entries();
+  s.region_entries = indexes_.total_region_entries();
+  s.agraph_nodes = graph_.num_nodes();
+  s.agraph_edges = graph_.num_edges();
+  s.num_ontologies = ontologies_.size();
+  for (const auto& [_, onto] : ontologies_) s.ontology_terms += onto.num_terms();
+  return s;
+}
+
+void Graphitti::VacuumTables() {
+  for (const std::string& name : catalog_.TableNames()) {
+    catalog_.GetTable(name)->Vacuum();
+  }
+}
+
+util::Result<std::vector<uint64_t>> Graphitti::FindObjects(
+    const std::string& table, const relational::Predicate& filter) const {
+  return SearchObjects(table, filter);
+}
+
+std::string Graphitti::DescribeObject(uint64_t object_id) const {
+  const ObjectInfo* info = GetObject(object_id);
+  return info == nullptr ? ("object-" + std::to_string(object_id)) : info->label;
+}
+
+std::vector<std::string> Graphitti::ExpandTermBelow(const std::string& qualified) const {
+  std::vector<std::string> out;
+  size_t colon = qualified.find(':');
+  if (colon == std::string::npos) {
+    out.push_back(qualified);
+    return out;
+  }
+  std::string onto_name = qualified.substr(0, colon);
+  std::string term_id = qualified.substr(colon + 1);
+  const ontology::Ontology* onto = GetOntology(onto_name);
+  if (onto == nullptr) {
+    out.push_back(qualified);
+    return out;
+  }
+  ontology::TermId term = onto->FindTerm(term_id);
+  if (term == ontology::kInvalidTerm) {
+    out.push_back(qualified);
+    return out;
+  }
+  ontology::RelationId is_a = onto->FindRelation("is_a");
+  if (is_a == ontology::kInvalidRelation) {
+    out.push_back(qualified);
+    return out;
+  }
+  for (ontology::TermId t : onto->SubTree(term, is_a)) {
+    out.push_back(onto_name + ":" + onto->term(t).id);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace graphitti

@@ -1,0 +1,193 @@
+// Graphitti: the public facade. Owns every substrate (relational catalog,
+// spatial indexes, XML annotation store, ontologies, a-graph) and exposes
+// the three demo-tab workflows as an API:
+//   - annotate: search objects, mark substructures, commit annotations,
+//   - query: text queries over data + annotations,
+//   - admin: statistics, export, vacuum.
+#ifndef GRAPHITTI_CORE_GRAPHITTI_H_
+#define GRAPHITTI_CORE_GRAPHITTI_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agraph/agraph.h"
+#include "annotation/annotation_store.h"
+#include "core/data_types.h"
+#include "ontology/obo_parser.h"
+#include "ontology/ontology.h"
+#include "query/executor.h"
+#include "relational/catalog.h"
+#include "spatial/index_manager.h"
+
+namespace graphitti {
+namespace core {
+
+/// Where a catalogued data object lives.
+struct ObjectInfo {
+  uint64_t id = 0;
+  std::string table;
+  relational::RowId row = 0;
+  std::string label;  // e.g. "dna_sequences/AF144305"
+};
+
+/// Admin-tab statistics.
+struct SystemStats {
+  size_t num_tables = 0;
+  size_t total_rows = 0;
+  size_t num_objects = 0;
+  size_t num_annotations = 0;
+  size_t num_referents = 0;
+  size_t num_interval_trees = 0;
+  size_t num_rtrees = 0;
+  size_t interval_entries = 0;
+  size_t region_entries = 0;
+  size_t agraph_nodes = 0;
+  size_t agraph_edges = 0;
+  size_t num_ontologies = 0;
+  size_t ontology_terms = 0;
+
+  std::string ToString() const;
+};
+
+/// The correlated-data view (the query tab's right panel): everything one
+/// hop (through referents) around a node.
+struct CorrelatedData {
+  std::vector<annotation::AnnotationId> annotations;
+  std::vector<annotation::ReferentId> referents;
+  std::vector<uint64_t> objects;
+  std::vector<std::string> terms;  // qualified ontology term names
+};
+
+class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
+ public:
+  /// Creates the engine with the built-in type tables registered and
+  /// indexed (accession/name hash indexes).
+  Graphitti();
+  ~Graphitti() override = default;
+  Graphitti(const Graphitti&) = delete;
+  Graphitti& operator=(const Graphitti&) = delete;
+
+  // --- Substrate access (power users / tests) ---
+  relational::Catalog& catalog() { return catalog_; }
+  const relational::Catalog& catalog() const { return catalog_; }
+  spatial::IndexManager& indexes() { return indexes_; }
+  const spatial::IndexManager& indexes() const { return indexes_; }
+  agraph::AGraph& graph() { return graph_; }
+  const agraph::AGraph& graph() const { return graph_; }
+  annotation::AnnotationStore& annotations() { return *store_; }
+  const annotation::AnnotationStore& annotations() const { return *store_; }
+
+  // --- Coordinate systems (for image/3D regions) ---
+  util::Status RegisterCoordinateSystem(std::string_view name, int dims);
+  util::Status RegisterDerivedCoordinateSystem(
+      std::string_view name, std::string_view canonical,
+      const std::array<double, spatial::Rect::kMaxDims>& scale,
+      const std::array<double, spatial::Rect::kMaxDims>& offset);
+
+  // --- Ontologies (OntoQuest substrate) ---
+  util::Result<const ontology::Ontology*> LoadOntology(std::string name,
+                                                       std::string_view obo_text);
+  const ontology::Ontology* GetOntology(std::string_view name) const;
+  std::vector<std::string> OntologyNames() const;
+
+  // --- Ingestion (the admin/registration flow). Each returns an object id.
+  util::Result<uint64_t> IngestDnaSequence(std::string accession, std::string organism,
+                                           std::string segment, std::string residues);
+  util::Result<uint64_t> IngestRnaSequence(std::string accession, std::string organism,
+                                           std::string segment, std::string residues);
+  util::Result<uint64_t> IngestProteinSequence(std::string accession, std::string organism,
+                                               std::string protein_name,
+                                               std::string residues);
+  util::Result<uint64_t> IngestImage(std::string name, std::string coordinate_system,
+                                     std::string modality, int64_t width, int64_t height,
+                                     int64_t depth, std::vector<uint8_t> pixels = {});
+  util::Result<uint64_t> IngestPhyloTree(std::string name, std::string_view newick);
+  util::Result<uint64_t> IngestInteractionGraph(const InteractionGraph& graph);
+  util::Result<uint64_t> IngestMsa(const Msa& msa);
+
+  /// Creates a user-defined table (relational records are annotable too).
+  util::Result<relational::Table*> CreateTable(std::string name, relational::Schema schema);
+  /// Inserts a record into any table and registers it as a data object.
+  util::Result<uint64_t> IngestRecord(std::string_view table, relational::Row row,
+                                      std::string label = "");
+
+  // --- Objects ---
+  const ObjectInfo* GetObject(uint64_t object_id) const;
+  size_t num_objects() const { return objects_.size(); }
+  /// The metadata row of an object (nullptr when it or its table is gone).
+  const relational::Row* GetObjectRow(uint64_t object_id) const;
+
+  /// The annotation tab's search window: find objects by metadata predicate.
+  util::Result<std::vector<uint64_t>> SearchObjects(
+      std::string_view table, const relational::Predicate& filter) const;
+
+  // --- Annotation (the annotate tab) ---
+  util::Result<annotation::AnnotationId> Commit(const annotation::AnnotationBuilder& builder);
+  util::Status RemoveAnnotation(annotation::AnnotationId id);
+  /// Annotations whose referents mark the given object.
+  std::vector<annotation::AnnotationId> AnnotationsOnObject(uint64_t object_id) const;
+
+  // --- Query (the query tab) ---
+  util::Result<query::QueryResult> Query(std::string_view query_text) const;
+  util::Result<query::QueryResult> Query(std::string_view query_text,
+                                         const query::ExecutorOptions& options) const;
+
+  /// The correlated-data viewer: related annotations/objects/terms around a
+  /// node ("what other annotations have been made on this sequence").
+  CorrelatedData Correlated(agraph::NodeRef node) const;
+
+  // --- Persistence ---
+  /// Saves the full engine state (tables, objects, coordinate systems,
+  /// ontologies, annotations) under `directory` (created if needed).
+  util::Status SaveTo(const std::string& directory) const;
+  /// Rebuilds an engine from a directory written by SaveTo. Annotation ids
+  /// and object ids are preserved; spatial indexes and the a-graph are
+  /// reconstructed by replaying commits.
+  static util::Result<std::unique_ptr<Graphitti>> LoadFrom(const std::string& directory);
+
+  /// Restores an object registration with an explicit id (persistence/admin
+  /// use only; fails on id collision).
+  util::Status RestoreObject(uint64_t object_id, std::string_view table,
+                             relational::RowId row, std::string label);
+
+  // --- Admin tab ---
+  SystemStats Stats() const;
+  std::string ExportAGraph() const { return graph_.ToText(); }
+  /// Cross-store consistency check: every referent is indexed exactly once,
+  /// every content/referent/object node in the a-graph has a backing record,
+  /// and edge labels are well-formed. Returns the first violation found.
+  util::Status ValidateIntegrity() const;
+  /// Compacts tombstoned rows in every table. Unsafe while objects hold row
+  /// ids; provided for bulk-delete admin workflows.
+  void VacuumTables();
+
+  // --- query::ObjectResolver ---
+  util::Result<std::vector<uint64_t>> FindObjects(
+      const std::string& table, const relational::Predicate& filter) const override;
+  std::string DescribeObject(uint64_t object_id) const override;
+
+  // --- query::OntologyResolver ---
+  /// Qualified = "<ontology-name>:<term-id>", split at the first ':'.
+  std::vector<std::string> ExpandTermBelow(const std::string& qualified) const override;
+
+ private:
+  uint64_t RegisterObject(std::string_view table, relational::RowId row,
+                          std::string label);
+
+  relational::Catalog catalog_;
+  spatial::IndexManager indexes_;
+  agraph::AGraph graph_;
+  std::unique_ptr<annotation::AnnotationStore> store_;
+  std::map<std::string, ontology::Ontology, std::less<>> ontologies_;
+
+  std::map<uint64_t, ObjectInfo> objects_;
+  std::map<std::string, std::map<relational::RowId, uint64_t>, std::less<>> object_by_row_;
+  uint64_t next_object_id_ = 1;
+};
+
+}  // namespace core
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_CORE_GRAPHITTI_H_

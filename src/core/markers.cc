@@ -1,0 +1,86 @@
+#include "core/markers.h"
+
+#include <deque>
+#include <set>
+
+namespace graphitti {
+namespace core {
+
+using substructure::Substructure;
+using util::Result;
+using util::Status;
+
+Result<Substructure> LinearIntervalMarker(std::string domain, int64_t lo, int64_t hi,
+                                          int64_t sequence_length) {
+  if (lo < 0 || hi < lo) {
+    return Status::InvalidArgument("interval [" + std::to_string(lo) + "," +
+                                   std::to_string(hi) + "] is malformed");
+  }
+  if (hi >= sequence_length) {
+    return Status::OutOfRange("interval end " + std::to_string(hi) +
+                              " exceeds sequence length " + std::to_string(sequence_length));
+  }
+  return Substructure::MakeInterval(std::move(domain), spatial::Interval(lo, hi));
+}
+
+Result<Substructure> BlockSetMarker(const relational::Table& table,
+                                    const relational::Predicate& filter) {
+  GRAPHITTI_ASSIGN_OR_RETURN(std::vector<relational::RowId> rows, table.Select(filter));
+  if (rows.empty()) {
+    return Status::NotFound("no rows of '" + table.name() + "' match " + filter.ToString());
+  }
+  return Substructure::MakeBlockSet(table.name(), std::move(rows));
+}
+
+Result<Substructure> GraphNeighborhoodMarker(const InteractionGraph& graph,
+                                             std::string_view center, size_t radius,
+                                             std::string domain) {
+  uint64_t start = graph.FindNode(center);
+  if (start == UINT64_MAX) {
+    return Status::NotFound("no node '" + std::string(center) + "' in graph '" +
+                            graph.name() + "'");
+  }
+  std::set<uint64_t> members{start};
+  std::deque<std::pair<uint64_t, size_t>> queue{{start, 0}};
+  while (!queue.empty()) {
+    auto [node, depth] = queue.front();
+    queue.pop_front();
+    if (depth >= radius) continue;
+    for (uint64_t nbr : graph.Neighbors(node)) {
+      if (members.insert(nbr).second) queue.emplace_back(nbr, depth + 1);
+    }
+  }
+  if (domain.empty()) domain = graph.name();
+  return Substructure::MakeNodeSet(std::move(domain),
+                                   std::vector<uint64_t>(members.begin(), members.end()));
+}
+
+Result<Substructure> CladeMarker(const PhyloTree& tree, std::string_view clade_root,
+                                 std::string tree_domain) {
+  uint64_t root = tree.FindNode(clade_root);
+  if (root == UINT64_MAX) {
+    return Status::NotFound("no node '" + std::string(clade_root) + "' in tree");
+  }
+  std::vector<uint64_t> leaves = tree.CladeOf(root);
+  if (leaves.empty()) {
+    return Status::Internal("clade of '" + std::string(clade_root) + "' is empty");
+  }
+  return Substructure::MakeTreeClade(std::move(tree_domain), std::move(leaves));
+}
+
+Result<Substructure> MsaColumnMarker(const Msa& msa, int64_t lo_col, int64_t hi_col) {
+  if (!msa.valid()) {
+    return Status::InvalidArgument("MSA '" + msa.name + "' is malformed");
+  }
+  if (lo_col < 0 || hi_col < lo_col ||
+      hi_col >= static_cast<int64_t>(msa.num_columns())) {
+    return Status::OutOfRange("column range [" + std::to_string(lo_col) + "," +
+                              std::to_string(hi_col) + "] outside alignment of " +
+                              std::to_string(msa.num_columns()) + " columns");
+  }
+  return Substructure::MakeInterval("msa:" + msa.name + ":cols",
+                                    spatial::Interval(lo_col, hi_col));
+}
+
+}  // namespace core
+}  // namespace graphitti

@@ -1,0 +1,50 @@
+// High-level marker helpers: the annotation tab's "number of menus for
+// marking the substructures of different structures" (§III), as typed APIs
+// over the built-in data types. Each helper validates against the object it
+// marks and produces a Substructure ready for AnnotationBuilder::Mark.
+#ifndef GRAPHITTI_CORE_MARKERS_H_
+#define GRAPHITTI_CORE_MARKERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/data_types.h"
+#include "relational/predicate.h"
+#include "relational/table.h"
+#include "substructure/substructure.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace core {
+
+/// Linear interval marker for sequences: validates 0 <= lo <= hi <
+/// sequence_length before producing the interval substructure.
+util::Result<substructure::Substructure> LinearIntervalMarker(std::string domain,
+                                                              int64_t lo, int64_t hi,
+                                                              int64_t sequence_length);
+
+/// Block-set marker for relational records: marks all rows of `table`
+/// matching `filter` as one block. NotFound when nothing matches.
+util::Result<substructure::Substructure> BlockSetMarker(
+    const relational::Table& table, const relational::Predicate& filter);
+
+/// Node-set marker on an interaction graph: the node named `center` plus
+/// every node within `radius` hops (radius 0 = just the node).
+util::Result<substructure::Substructure> GraphNeighborhoodMarker(
+    const InteractionGraph& graph, std::string_view center, size_t radius,
+    std::string domain = "");
+
+/// Clade marker on a phylogenetic tree: the leaf set under the named node.
+util::Result<substructure::Substructure> CladeMarker(const PhyloTree& tree,
+                                                     std::string_view clade_root,
+                                                     std::string tree_domain);
+
+/// Column-range marker on an MSA (columns are the 1D axis shared by all
+/// aligned rows; domain "msa:<name>:cols").
+util::Result<substructure::Substructure> MsaColumnMarker(const Msa& msa, int64_t lo_col,
+                                                         int64_t hi_col);
+
+}  // namespace core
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_CORE_MARKERS_H_

@@ -1,0 +1,269 @@
+#include "core/workload.h"
+
+#include <algorithm>
+
+namespace graphitti {
+namespace core {
+
+using annotation::AnnotationBuilder;
+using util::Result;
+using util::Rng;
+using util::Status;
+
+std::vector<std::string> ProteinNamePool(size_t n, Rng* rng) {
+  static const char* kRealNames[] = {"TP53", "SNCA", "HA",   "NA",   "PB1", "PB2",
+                                     "PA",   "NP",   "M1",   "M2",   "NS1", "NS2",
+                                     "BRCA1", "EGFR", "MYC", "AKT1", "PTEN", "KRAS"};
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < std::size(kRealNames)) {
+      out.emplace_back(kRealNames[i]);
+    } else {
+      out.push_back("PROT" + std::to_string(rng->Uniform(100, 999)) +
+                    std::string(1, static_cast<char>('A' + rng->Uniform(0, 25))));
+    }
+  }
+  return out;
+}
+
+Result<InfluenzaCorpus> GenerateInfluenzaStudy(Graphitti* g, const InfluenzaParams& params) {
+  Rng rng(params.seed);
+  InfluenzaCorpus corpus;
+
+  static const char* kOrganisms[] = {"H5N1", "H3N2", "H1N1", "H7N9"};
+  std::vector<std::string> scientists;
+  for (size_t i = 0; i < params.num_scientists; ++i) {
+    scientists.push_back("scientist" + std::to_string(i));
+  }
+  corpus.keywords = {"protease",  "cleavage",  "hemagglutinin", "reassortment",
+                     "mutation",  "glycosylation", "virulence", "receptor",
+                     "polymerase", "epitope"};
+  std::vector<std::string> proteins = ProteinNamePool(12, &rng);
+
+  // --- Genome segments: one DNA object per (strain, segment); all strains'
+  // segment k share one 1D domain, mirroring "a single interval tree per
+  // chromosome".
+  for (size_t s = 0; s < params.num_strains; ++s) {
+    std::string organism = kOrganisms[s % std::size(kOrganisms)];
+    for (size_t seg = 0; seg < params.num_segments; ++seg) {
+      std::string domain = "flu:seg" + std::to_string(seg);
+      std::string accession =
+          "AF" + std::to_string(100000 + s * params.num_segments + seg);
+      GRAPHITTI_ASSIGN_OR_RETURN(
+          uint64_t obj, g->IngestDnaSequence(accession, organism, domain,
+                                             rng.RandomDna(params.segment_length)));
+      corpus.sequence_objects.push_back(obj);
+      if (s == 0) corpus.segment_domains.push_back(domain);
+    }
+  }
+
+  // --- Phylogeny over the strains.
+  if (params.build_phylogeny) {
+    // Balanced-ish random newick over strain names.
+    std::vector<std::string> tips;
+    for (size_t s = 0; s < params.num_strains; ++s) {
+      tips.push_back("strain" + std::to_string(s));
+    }
+    while (tips.size() > 1) {
+      size_t a = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(tips.size()) - 1));
+      std::string left = tips[a];
+      tips.erase(tips.begin() + static_cast<long>(a));
+      size_t b = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(tips.size()) - 1));
+      std::string right = tips[b];
+      tips[b] = "(" + left + ":" + std::to_string(1 + rng.Uniform(1, 9)) + "," + right + ":" +
+                std::to_string(1 + rng.Uniform(1, 9)) + ")";
+    }
+    GRAPHITTI_ASSIGN_OR_RETURN(corpus.phylo_object,
+                               g->IngestPhyloTree("flu_phylogeny", tips[0] + ";"));
+  }
+
+  // --- Protein interaction graph.
+  if (params.build_interaction_graph) {
+    InteractionGraph ig("flu_interactions");
+    std::vector<uint64_t> ids;
+    for (const std::string& p : proteins) {
+      GRAPHITTI_ASSIGN_OR_RETURN(uint64_t id, ig.AddNode(p));
+      ids.push_back(id);
+    }
+    size_t edges = proteins.size() * 2;
+    for (size_t i = 0; i < edges; ++i) {
+      uint64_t a = rng.Pick(ids);
+      uint64_t b = rng.Pick(ids);
+      if (a != b) (void)ig.AddEdge(a, b, rng.NextBool() ? "binds" : "regulates");
+    }
+    GRAPHITTI_ASSIGN_OR_RETURN(corpus.interaction_object, g->IngestInteractionGraph(ig));
+  }
+
+  // --- Ontology: influenza protein classification.
+  std::string obo = GenerateOntologyObo("FLU", /*depth=*/3, /*fanout=*/3,
+                                        /*instances_per_leaf=*/2, params.seed);
+  GRAPHITTI_RETURN_NOT_OK(g->LoadOntology("flu", obo).status());
+
+  // --- Annotations: each marks 1-4 gene intervals on a random segment
+  // domain, sometimes a relational block or an interaction-graph node set,
+  // and carries study text.
+  for (size_t i = 0; i < params.num_annotations; ++i) {
+    AnnotationBuilder b;
+    std::string protein = rng.Pick(proteins);
+    bool mentions_protease = rng.NextDouble() < params.protease_fraction;
+    std::string keyword = mentions_protease ? "protease" : rng.Pick(corpus.keywords);
+
+    b.Title("Observation " + std::to_string(i) + " on " + protein)
+        .Creator(rng.Pick(scientists))
+        .Subject("protein." + protein)
+        .Date("2007-" + std::to_string(1 + rng.Uniform(0, 11)) + "-" +
+              std::to_string(1 + rng.Uniform(0, 27)))
+        .Body("The " + protein + " site shows " + keyword + " activity near the " +
+              rng.Pick(corpus.keywords) + " motif.");
+
+    size_t num_marks = 1 + static_cast<size_t>(rng.Uniform(0, 3));
+    std::string domain = rng.Pick(corpus.segment_domains);
+    int64_t cursor = rng.Uniform(0, static_cast<int64_t>(params.segment_length) / 2);
+    for (size_t m = 0; m < num_marks; ++m) {
+      int64_t len = rng.Uniform(30, 300);
+      int64_t lo = cursor;
+      int64_t hi = std::min<int64_t>(lo + len, static_cast<int64_t>(params.segment_length) - 1);
+      if (lo > hi) break;
+      uint64_t object = rng.Pick(corpus.sequence_objects);
+      b.MarkInterval(domain, lo, hi, object);
+      cursor = hi + 1 + rng.Uniform(10, 200);  // later marks fall strictly after
+    }
+    if (params.build_interaction_graph && rng.NextBool(0.3)) {
+      b.MarkNodeSet("flu_interactions",
+                    {static_cast<uint64_t>(rng.Uniform(0, 11)),
+                     static_cast<uint64_t>(rng.Uniform(0, 11))},
+                    corpus.interaction_object);
+    }
+    if (params.build_phylogeny && rng.NextBool(0.2)) {
+      b.MarkClade("flu_phylogeny",
+                  {static_cast<uint64_t>(rng.Uniform(0, 2 * static_cast<int64_t>(params.num_strains) - 2))},
+                  corpus.phylo_object);
+    }
+    if (rng.NextBool(0.5)) {
+      b.OntologyReference("flu", "FLU:" + std::to_string(rng.Uniform(1, 12)));
+    }
+    GRAPHITTI_ASSIGN_OR_RETURN(annotation::AnnotationId id, g->Commit(b));
+    corpus.annotations.push_back(id);
+  }
+  return corpus;
+}
+
+Result<BrainAtlasCorpus> GenerateBrainAtlas(Graphitti* g, const BrainAtlasParams& params) {
+  Rng rng(params.seed);
+  BrainAtlasCorpus corpus;
+  corpus.canonical_system = "mouse_atlas_25um";
+  corpus.ontology_name = "nif";
+
+  GRAPHITTI_RETURN_NOT_OK(g->RegisterCoordinateSystem(corpus.canonical_system, 3));
+  corpus.all_systems.push_back(corpus.canonical_system);
+  for (size_t r = 0; r < params.extra_resolutions; ++r) {
+    double factor = 2.0 * static_cast<double>(r + 1);  // 50um, 100um, ...
+    std::string name = "mouse_atlas_" + std::to_string(static_cast<int>(25 * factor)) + "um";
+    GRAPHITTI_RETURN_NOT_OK(g->RegisterDerivedCoordinateSystem(
+        name, corpus.canonical_system, {factor, factor, factor}, {0, 0, 0}));
+    corpus.all_systems.push_back(name);
+  }
+
+  // Anatomy ontology with the demo's query term among the leaves.
+  static const char* kRegions[] = {
+      "Deep Cerebellar nuclei", "Dentate gyrus",   "Purkinje layer", "Substantia nigra",
+      "Hippocampus CA1",        "Hippocampus CA3", "Cerebellar cortex", "Thalamus",
+      "Hypothalamus",           "Olfactory bulb",  "Striatum",       "Neocortex layer V"};
+  std::string obo = "[Term]\nid: NIF:0000\nname: Brain region\n";
+  size_t n_terms = std::min(params.num_region_terms, std::size(kRegions));
+  for (size_t i = 0; i < n_terms; ++i) {
+    std::string id = "NIF:" + std::to_string(i + 1);
+    obo += "\n[Term]\nid: " + id + "\nname: " + kRegions[i] + "\nis_a: NIF:0000\n";
+    corpus.region_terms.push_back(id);
+  }
+  GRAPHITTI_RETURN_NOT_OK(g->LoadOntology(corpus.ontology_name, obo).status());
+
+  // Images registered to one of the systems; regions expressed in local
+  // coordinates land in the single canonical R-tree.
+  for (size_t i = 0; i < params.num_images; ++i) {
+    const std::string& system = corpus.all_systems[i % corpus.all_systems.size()];
+    GRAPHITTI_ASSIGN_OR_RETURN(
+        uint64_t obj, g->IngestImage("brain_img_" + std::to_string(i), system,
+                                     rng.NextBool() ? "confocal" : "two-photon",
+                                     1024, 1024, 64));
+    corpus.image_objects.push_back(obj);
+  }
+
+  // Region annotations: each marks 1-3 boxes and cites a region term.
+  size_t total = params.num_annotations;
+  for (size_t i = 0; i < total; ++i) {
+    AnnotationBuilder b;
+    size_t img_idx = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(params.num_images) - 1));
+    const std::string& system = corpus.all_systems[img_idx % corpus.all_systems.size()];
+    size_t term_idx = rng.Skewed(corpus.region_terms.size());
+    const std::string& term = corpus.region_terms[term_idx];
+    const char* region_name = kRegions[term_idx];
+
+    b.Title("Region annotation " + std::to_string(i))
+        .Creator("neuro" + std::to_string(rng.Uniform(0, 3)))
+        .Subject(std::string("region.") + region_name)
+        .Body(std::string("Expression of a-synuclein observed in ") + region_name + ".")
+        .OntologyReference(corpus.ontology_name, term);
+
+    size_t num_marks = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+    for (size_t m = 0; m < num_marks; ++m) {
+      double extent = params.atlas_extent;
+      // Derived systems express coordinates in their local units.
+      double scale = 1.0;
+      if (system != corpus.canonical_system) {
+        scale = system.find("50um") != std::string::npos ? 2.0 : 4.0;
+      }
+      double local_extent = extent / scale;
+      double x = rng.NextDouble() * local_extent * 0.9;
+      double y = rng.NextDouble() * local_extent * 0.9;
+      double z = rng.NextDouble() * local_extent * 0.9;
+      double w = 10 + rng.NextDouble() * local_extent * 0.05;
+      b.MarkRegion(system, spatial::Rect::Make3D(x, y, z, x + w, y + w, z + w),
+                   corpus.image_objects[img_idx]);
+    }
+    GRAPHITTI_ASSIGN_OR_RETURN(annotation::AnnotationId id, g->Commit(b));
+    corpus.annotations.push_back(id);
+  }
+  return corpus;
+}
+
+std::string GenerateOntologyObo(std::string_view prefix, size_t depth, size_t fanout,
+                                size_t instances_per_leaf, uint64_t seed) {
+  (void)seed;
+  std::string out;
+  size_t next_id = 1;
+  struct Level {
+    std::vector<size_t> ids;
+  };
+  // Root.
+  out += "[Term]\nid: " + std::string(prefix) + ":0\nname: root\n";
+  std::vector<size_t> frontier = {0};
+  std::vector<size_t> leaves;
+  for (size_t d = 0; d < depth; ++d) {
+    std::vector<size_t> next_frontier;
+    for (size_t parent : frontier) {
+      for (size_t f = 0; f < fanout; ++f) {
+        size_t id = next_id++;
+        out += "\n[Term]\nid: " + std::string(prefix) + ":" + std::to_string(id) +
+               "\nname: concept-" + std::to_string(id) + "\nis_a: " + std::string(prefix) +
+               ":" + std::to_string(parent) + "\n";
+        next_frontier.push_back(id);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  leaves = frontier;
+  size_t inst = 0;
+  for (size_t leaf : leaves) {
+    for (size_t i = 0; i < instances_per_leaf; ++i) {
+      size_t id = inst++;
+      out += "\n[Instance]\nid: " + std::string(prefix) + ":I" + std::to_string(id) +
+             "\nname: instance-" + std::to_string(id + 1) + "\ninstance_of: " +
+             std::string(prefix) + ":" + std::to_string(leaf) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace graphitti

@@ -1,0 +1,86 @@
+// Deterministic synthetic workload generators.
+//
+// Substitution note (see DESIGN.md §2): the demo used real Avian Influenza
+// sequence data and mouse brain image stacks. These generators produce
+// synthetic corpora with the same shape — segmented genomes with gene
+// intervals, atlas-registered brain images with named regions, phylogenies,
+// interaction graphs, and annotation text with controlled keyword
+// frequencies — seeded for reproducibility.
+#ifndef GRAPHITTI_CORE_WORKLOAD_H_
+#define GRAPHITTI_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graphitti.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace core {
+
+/// Parameters for the virology (Avian Influenza, Fig. 1/2) corpus.
+struct InfluenzaParams {
+  uint64_t seed = 42;
+  size_t num_strains = 8;          // one DNA object per strain per segment
+  size_t num_segments = 8;         // influenza A has 8 genome segments
+  size_t segment_length = 2000;    // bases per segment
+  size_t genes_per_segment = 3;    // marked gene intervals per segment
+  size_t num_annotations = 200;    // committed annotations
+  size_t num_scientists = 6;       // dc:creator pool
+  double protease_fraction = 0.2;  // fraction of annotations mentioning "protease"
+  bool build_phylogeny = true;
+  bool build_interaction_graph = true;
+};
+
+struct InfluenzaCorpus {
+  std::vector<uint64_t> sequence_objects;
+  std::vector<std::string> segment_domains;  // "flu:strainX:segY"
+  uint64_t phylo_object = 0;
+  uint64_t interaction_object = 0;
+  std::vector<annotation::AnnotationId> annotations;
+  std::vector<std::string> keywords;  // the vocabulary used in bodies
+};
+
+/// Populates `g` with the influenza study; idempotence is not attempted —
+/// call on a fresh instance.
+util::Result<InfluenzaCorpus> GenerateInfluenzaStudy(Graphitti* g,
+                                                     const InfluenzaParams& params);
+
+/// Parameters for the neuroscience (mouse brain atlas, Fig. 3) corpus.
+struct BrainAtlasParams {
+  uint64_t seed = 7;
+  size_t num_images = 40;           // image stacks registered to the atlas
+  size_t regions_per_image = 5;     // annotated regions per image
+  double atlas_extent = 10000.0;    // canonical coordinate range (um)
+  size_t num_region_terms = 12;     // named anatomical terms (ontology leaves)
+  size_t extra_resolutions = 2;     // derived coordinate systems (50um, 100um, ...)
+  size_t num_annotations = 150;
+};
+
+struct BrainAtlasCorpus {
+  std::vector<uint64_t> image_objects;
+  std::string canonical_system;          // "mouse_atlas_25um"
+  std::vector<std::string> all_systems;  // canonical + derived
+  std::vector<std::string> region_terms;  // ontology term ids, e.g. "NIF:0007"
+  std::string ontology_name;             // "nif"
+  std::vector<annotation::AnnotationId> annotations;
+};
+
+util::Result<BrainAtlasCorpus> GenerateBrainAtlas(Graphitti* g,
+                                                  const BrainAtlasParams& params);
+
+/// Generates an OBO-lite ontology: a balanced is_a tree of `depth` levels
+/// with `fanout` children per concept, plus `instances_per_leaf` instances
+/// attached to each leaf concept. Term ids are "<prefix>:<number>".
+std::string GenerateOntologyObo(std::string_view prefix, size_t depth, size_t fanout,
+                                size_t instances_per_leaf, uint64_t seed = 1);
+
+/// Random protein-style names ("TP53", "SNCA", ...) for workload text.
+std::vector<std::string> ProteinNamePool(size_t n, util::Rng* rng);
+
+}  // namespace core
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_CORE_WORKLOAD_H_

@@ -1,0 +1,136 @@
+#include "ontology/obo_parser.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace ontology {
+
+namespace {
+
+struct PendingEdge {
+  std::string src;
+  std::string dst;
+  std::string rel;
+  size_t line_no;
+};
+
+}  // namespace
+
+util::Result<Ontology> ParseObo(std::string_view text, std::string name) {
+  Ontology onto(std::move(name));
+  RelationId is_a = onto.AddRelationType("is_a");
+  RelationId instance_of = onto.AddRelationType("instance_of");
+
+  std::vector<PendingEdge> edges;
+  enum class Stanza { kNone, kTerm, kInstance };
+  Stanza stanza = Stanza::kNone;
+  std::string current_id;
+  std::string current_name;
+  bool have_current = false;
+
+  auto flush_current = [&]() -> util::Status {
+    if (!have_current) return util::Status::OK();
+    if (current_id.empty()) {
+      return util::Status::ParseError("stanza missing 'id:' tag");
+    }
+    if (stanza == Stanza::kInstance) {
+      GRAPHITTI_RETURN_NOT_OK(onto.AddInstance(current_id, current_name).status());
+    } else {
+      GRAPHITTI_RETURN_NOT_OK(onto.AddTerm(current_id, current_name).status());
+    }
+    current_id.clear();
+    current_name.clear();
+    have_current = false;
+    return util::Status::OK();
+  };
+
+  size_t line_no = 0;
+  for (const std::string& raw_line : util::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty() || line[0] == '!') continue;
+
+    if (line == "[Term]" || line == "[Instance]") {
+      GRAPHITTI_RETURN_NOT_OK(flush_current());
+      stanza = line == "[Term]" ? Stanza::kTerm : Stanza::kInstance;
+      have_current = true;
+      continue;
+    }
+    if (line[0] == '[') {
+      // Unknown stanza type ([Typedef] etc.): flush and skip until next.
+      GRAPHITTI_RETURN_NOT_OK(flush_current());
+      stanza = Stanza::kNone;
+      continue;
+    }
+    if (stanza == Stanza::kNone) continue;
+
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return util::Status::ParseError("malformed line " + std::to_string(line_no) + ": '" +
+                                      std::string(line) + "'");
+    }
+    std::string_view tag = util::Trim(line.substr(0, colon));
+    std::string_view value = util::Trim(line.substr(colon + 1));
+
+    if (tag == "id") {
+      current_id = std::string(value);
+    } else if (tag == "name") {
+      current_name = std::string(value);
+    } else if (tag == "is_a") {
+      edges.push_back({current_id, std::string(value), "is_a", line_no});
+    } else if (tag == "instance_of") {
+      edges.push_back({current_id, std::string(value), "instance_of", line_no});
+    } else if (tag == "relationship") {
+      std::vector<std::string> parts = util::SplitWhitespace(value);
+      if (parts.size() != 2) {
+        return util::Status::ParseError("malformed relationship at line " +
+                                        std::to_string(line_no) + ": '" + std::string(value) +
+                                        "' (want 'REL TARGET')");
+      }
+      edges.push_back({current_id, parts[1], parts[0], line_no});
+    }
+    // Unknown tags are skipped.
+  }
+  GRAPHITTI_RETURN_NOT_OK(flush_current());
+
+  (void)is_a;
+  (void)instance_of;
+  for (const PendingEdge& e : edges) {
+    TermId src = onto.FindTerm(e.src);
+    TermId dst = onto.FindTerm(e.dst);
+    if (src == kInvalidTerm || dst == kInvalidTerm) {
+      return util::Status::ParseError("dangling reference '" + (src == kInvalidTerm ? e.src : e.dst) +
+                                      "' at line " + std::to_string(e.line_no));
+    }
+    RelationId rel = onto.AddRelationType(e.rel);
+    GRAPHITTI_RETURN_NOT_OK(onto.AddEdge(src, dst, rel));
+  }
+  return onto;
+}
+
+std::string ToObo(const Ontology& ontology) {
+  std::string out;
+  out += "! ontology: " + ontology.name() + "\n";
+  for (TermId t = 0; t < ontology.num_terms(); ++t) {
+    const Term& term = ontology.term(t);
+    out += term.is_instance ? "\n[Instance]\n" : "\n[Term]\n";
+    out += "id: " + term.id + "\n";
+    if (!term.label.empty()) out += "name: " + term.label + "\n";
+    for (RelationId r = 0; r < ontology.num_relations(); ++r) {
+      const std::string& rel_name = ontology.relation(r).name;
+      for (TermId parent : ontology.Parents(t, r)) {
+        if (rel_name == "is_a" || rel_name == "instance_of") {
+          out += rel_name + ": " + ontology.term(parent).id + "\n";
+        } else {
+          out += "relationship: " + rel_name + " " + ontology.term(parent).id + "\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ontology
+}  // namespace graphitti

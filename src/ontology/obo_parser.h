@@ -1,0 +1,32 @@
+// OBO-lite parser: the flat-file ontology exchange subset Graphitti loads.
+//
+// Supported stanzas and tags:
+//   [Term]                       [Instance]
+//   id: GO:0001                  id: SPECIMEN:42
+//   name: neuron                 name: mouse-42
+//   is_a: GO:0000                instance_of: GO:0001
+//   relationship: part_of GO:0005
+//
+// Lines starting with '!' and blank lines are ignored. Unknown tags are
+// skipped. Dangling references (edges to undeclared ids) are an error.
+#ifndef GRAPHITTI_ONTOLOGY_OBO_PARSER_H_
+#define GRAPHITTI_ONTOLOGY_OBO_PARSER_H_
+
+#include <string_view>
+
+#include "ontology/ontology.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace ontology {
+
+/// Parses OBO-lite text into a new Ontology named `name`.
+util::Result<Ontology> ParseObo(std::string_view text, std::string name = "ontology");
+
+/// Serializes an ontology back to OBO-lite (round-trips with ParseObo).
+std::string ToObo(const Ontology& ontology);
+
+}  // namespace ontology
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_ONTOLOGY_OBO_PARSER_H_

@@ -1,0 +1,302 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace ontology {
+
+Ontology::Ontology(std::string name) : name_(std::move(name)) {}
+
+util::Result<TermId> Ontology::AddTerm(std::string_view id, std::string_view label) {
+  if (id.empty()) return util::Status::InvalidArgument("empty term id");
+  if (term_index_.find(id) != term_index_.end()) {
+    return util::Status::AlreadyExists("term '" + std::string(id) + "' already exists");
+  }
+  TermId tid = static_cast<TermId>(terms_.size());
+  terms_.push_back({std::string(id), std::string(label), /*is_instance=*/false});
+  forward_.emplace_back();
+  reverse_.emplace_back();
+  term_index_.emplace(std::string(id), tid);
+  return tid;
+}
+
+util::Result<TermId> Ontology::AddInstance(std::string_view id, std::string_view label) {
+  GRAPHITTI_ASSIGN_OR_RETURN(TermId tid, AddTerm(id, label));
+  terms_[tid].is_instance = true;
+  return tid;
+}
+
+RelationId Ontology::AddRelationType(std::string_view name, Quantifier quantifier) {
+  auto it = relation_index_.find(name);
+  if (it != relation_index_.end()) return it->second;
+  RelationId rid = static_cast<RelationId>(relations_.size());
+  relations_.push_back({std::string(name), quantifier});
+  relation_index_.emplace(std::string(name), rid);
+  return rid;
+}
+
+util::Status Ontology::AddEdge(TermId src, TermId dst, RelationId rel) {
+  if (src >= terms_.size() || dst >= terms_.size()) {
+    return util::Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (rel >= relations_.size()) {
+    return util::Status::InvalidArgument("unknown relation id");
+  }
+  if (src == dst) {
+    return util::Status::InvalidArgument("self-loop edges are not allowed");
+  }
+  forward_[src].push_back({dst, rel});
+  reverse_[dst].push_back({src, rel});
+  ++num_edges_;
+  return util::Status::OK();
+}
+
+TermId Ontology::FindTerm(std::string_view id) const {
+  auto it = term_index_.find(id);
+  return it == term_index_.end() ? kInvalidTerm : it->second;
+}
+
+RelationId Ontology::FindRelation(std::string_view name) const {
+  auto it = relation_index_.find(name);
+  return it == relation_index_.end() ? kInvalidRelation : it->second;
+}
+
+std::vector<TermId> Ontology::Parents(TermId from, RelationId rel) const {
+  std::vector<TermId> out;
+  if (from >= terms_.size()) return out;
+  for (const Edge& e : forward_[from]) {
+    if (rel == kInvalidRelation || e.rel == rel) out.push_back(e.other);
+  }
+  return out;
+}
+
+std::vector<TermId> Ontology::Children(TermId of, RelationId rel) const {
+  std::vector<TermId> out;
+  if (of >= terms_.size()) return out;
+  for (const Edge& e : reverse_[of]) {
+    if (rel == kInvalidRelation || e.rel == rel) out.push_back(e.other);
+  }
+  return out;
+}
+
+void Ontology::ReverseClosure(const std::vector<TermId>& starts,
+                              const std::vector<RelationId>& rels,
+                              std::vector<TermId>* visited,
+                              std::vector<TermId>* instances) const {
+  std::vector<bool> seen(terms_.size(), false);
+  std::deque<TermId> queue;
+  for (TermId s : starts) {
+    if (s < terms_.size() && !seen[s]) {
+      seen[s] = true;
+      queue.push_back(s);
+    }
+  }
+  auto rel_ok = [&](RelationId r) {
+    if (rels.empty()) return true;
+    return std::find(rels.begin(), rels.end(), r) != rels.end();
+  };
+  while (!queue.empty()) {
+    TermId t = queue.front();
+    queue.pop_front();
+    if (visited != nullptr) visited->push_back(t);
+    if (instances != nullptr && terms_[t].is_instance) instances->push_back(t);
+    // Do not traverse *through* instance nodes; they are closure leaves.
+    if (terms_[t].is_instance) continue;
+    for (const Edge& e : reverse_[t]) {
+      if (!rel_ok(e.rel) || seen[e.other]) continue;
+      seen[e.other] = true;
+      queue.push_back(e.other);
+    }
+  }
+  if (visited != nullptr) std::sort(visited->begin(), visited->end());
+  if (instances != nullptr) std::sort(instances->begin(), instances->end());
+}
+
+std::vector<TermId> Ontology::CI(TermId c) const {
+  // Instances attach via instance_of; the concept hierarchy closes via is_a.
+  std::vector<RelationId> rels;
+  RelationId is_a = FindRelation("is_a");
+  RelationId instance_of = FindRelation("instance_of");
+  if (is_a != kInvalidRelation) rels.push_back(is_a);
+  if (instance_of != kInvalidRelation) rels.push_back(instance_of);
+  std::vector<TermId> instances;
+  ReverseClosure({c}, rels, nullptr, &instances);
+  return instances;
+}
+
+std::vector<TermId> Ontology::CRI(TermId c, RelationId rel) const {
+  std::vector<TermId> instances;
+  ReverseClosure({c}, {rel}, nullptr, &instances);
+  return instances;
+}
+
+std::vector<TermId> Ontology::CmRI(TermId c, const std::vector<RelationId>& rels) const {
+  std::vector<TermId> instances;
+  ReverseClosure({c}, rels, nullptr, &instances);
+  return instances;
+}
+
+std::vector<TermId> Ontology::mCmRI(const std::vector<TermId>& concepts,
+                                    const std::vector<RelationId>& rels) const {
+  std::vector<TermId> instances;
+  ReverseClosure(concepts, rels, nullptr, &instances);
+  return instances;
+}
+
+std::vector<TermId> Ontology::SubTree(TermId x, RelationId rel) const {
+  std::vector<TermId> visited;
+  ReverseClosure({x}, {rel}, &visited, nullptr);
+  return visited;
+}
+
+util::Result<std::vector<TermId>> Ontology::SubTreeDiff(TermId x, TermId y,
+                                                        RelationId rel) const {
+  if (x >= terms_.size() || y >= terms_.size()) {
+    return util::Status::InvalidArgument("term id out of range");
+  }
+  if (!IsDescendant(y, x, rel)) {
+    return util::Status::InvalidArgument("'" + terms_[y].id + "' is not a descendant of '" +
+                                         terms_[x].id + "' under relation '" +
+                                         relations_[rel].name + "'");
+  }
+  std::vector<TermId> under_x = SubTree(x, rel);
+  std::vector<TermId> under_y = SubTree(y, rel);
+  std::vector<TermId> diff;
+  std::set_difference(under_x.begin(), under_x.end(), under_y.begin(), under_y.end(),
+                      std::back_inserter(diff));
+  return diff;
+}
+
+bool Ontology::IsDescendant(TermId descendant, TermId ancestor, RelationId rel) const {
+  if (descendant >= terms_.size() || ancestor >= terms_.size()) return false;
+  if (descendant == ancestor) return false;
+  std::vector<TermId> under = SubTree(ancestor, rel);
+  return std::binary_search(under.begin(), under.end(), descendant);
+}
+
+std::vector<TermId> Ontology::AncestorClosure(TermId t, RelationId rel) const {
+  std::vector<TermId> out;
+  if (t >= terms_.size()) return out;
+  std::vector<bool> seen(terms_.size(), false);
+  std::deque<TermId> queue{t};
+  seen[t] = true;
+  while (!queue.empty()) {
+    TermId cur = queue.front();
+    queue.pop_front();
+    out.push_back(cur);
+    for (const Edge& e : forward_[cur]) {
+      if (e.rel == rel && !seen[e.other]) {
+        seen[e.other] = true;
+        queue.push_back(e.other);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TermId> Ontology::CommonAncestors(TermId a, TermId b, RelationId rel) const {
+  std::vector<TermId> anc_a = AncestorClosure(a, rel);
+  std::vector<TermId> anc_b = AncestorClosure(b, rel);
+  std::vector<TermId> out;
+  std::set_intersection(anc_a.begin(), anc_a.end(), anc_b.begin(), anc_b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+namespace {
+
+// Hop distances from `start` following forward `rel` edges only.
+std::vector<size_t> AncestorDistances(size_t n, TermId start,
+                                      const std::function<std::vector<TermId>(TermId)>& parents) {
+  std::vector<size_t> dist(n, SIZE_MAX);
+  std::deque<TermId> queue{start};
+  dist[start] = 0;
+  while (!queue.empty()) {
+    TermId cur = queue.front();
+    queue.pop_front();
+    for (TermId p : parents(cur)) {
+      if (dist[p] == SIZE_MAX) {
+        dist[p] = dist[cur] + 1;
+        queue.push_back(p);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<TermId> Ontology::NearestCommonAncestors(TermId a, TermId b,
+                                                     RelationId rel) const {
+  std::vector<TermId> out;
+  if (a >= terms_.size() || b >= terms_.size()) return out;
+  auto parents_fn = [&](TermId t) { return Parents(t, rel); };
+  std::vector<size_t> da = AncestorDistances(terms_.size(), a, parents_fn);
+  std::vector<size_t> db = AncestorDistances(terms_.size(), b, parents_fn);
+  size_t best = SIZE_MAX;
+  for (TermId t = 0; t < terms_.size(); ++t) {
+    if (da[t] == SIZE_MAX || db[t] == SIZE_MAX) continue;
+    size_t total = da[t] + db[t];
+    if (total < best) {
+      best = total;
+      out.clear();
+    }
+    if (total == best) out.push_back(t);
+  }
+  return out;
+}
+
+util::Result<std::vector<TermId>> Ontology::PathBetween(TermId a, TermId b) const {
+  if (a >= terms_.size() || b >= terms_.size()) {
+    return util::Status::InvalidArgument("term id out of range");
+  }
+  if (a == b) return std::vector<TermId>{a};
+  constexpr TermId kUnvisited = kInvalidTerm;
+  std::vector<TermId> parent(terms_.size(), kUnvisited);
+  std::deque<TermId> queue{a};
+  parent[a] = a;
+  bool found = false;
+  while (!queue.empty() && !found) {
+    TermId cur = queue.front();
+    queue.pop_front();
+    auto visit = [&](TermId other) {
+      if (found || parent[other] != kUnvisited) return;
+      parent[other] = cur;
+      if (other == b) {
+        found = true;
+        return;
+      }
+      queue.push_back(other);
+    };
+    for (const Edge& e : forward_[cur]) visit(e.other);
+    for (const Edge& e : reverse_[cur]) visit(e.other);
+  }
+  if (!found) {
+    return util::Status::NotFound("terms '" + terms_[a].id + "' and '" + terms_[b].id +
+                                  "' are not connected");
+  }
+  std::vector<TermId> path;
+  for (TermId cur = b; cur != a; cur = parent[cur]) path.push_back(cur);
+  path.push_back(a);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<TermId> Ontology::FindTermsByLabel(std::string_view needle) const {
+  std::vector<TermId> out;
+  for (TermId t = 0; t < terms_.size(); ++t) {
+    if (util::ContainsIgnoreCase(terms_[t].label, needle) ||
+        util::ContainsIgnoreCase(terms_[t].id, needle)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace ontology
+}  // namespace graphitti

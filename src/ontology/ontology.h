@@ -1,0 +1,159 @@
+// OntoQuest-style ontology engine: ontologies as graphs whose nodes are
+// terms and whose edges are domain-specific quantified binary relationships
+// (§II, citing Chen et al., VLDB 2006).
+//
+// Edge direction convention: child --rel--> parent (OBO style), i.e.
+// "neuron is_a cell" is an edge from `neuron` to `cell`. The §II operations:
+//   CI(c)              all instances of concept c (via instance_of + is_a closure)
+//   CRI(c, r)          all instances of c reachable by relation r
+//   CmRI(c, R+)        instances of c restricted to a set of relation types
+//   mCmRI(C+, R+)      instances reachable from any concept in C+ via R+ edges
+//   SubTree(x, r)      the subtree under x restricted to relation r
+//   SubTreeDiff(x,y,r) SubTree(x,r) minus SubTree(y,r), y a descendant of x
+#ifndef GRAPHITTI_ONTOLOGY_ONTOLOGY_H_
+#define GRAPHITTI_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace graphitti {
+namespace ontology {
+
+using TermId = uint32_t;
+using RelationId = uint32_t;
+
+constexpr TermId kInvalidTerm = ~0u;
+constexpr RelationId kInvalidRelation = ~0u;
+
+/// Quantifier on a relationship type ("every neuron has SOME axon").
+enum class Quantifier { kSome, kAll };
+
+struct Term {
+  std::string id;     // e.g. "GO:0005622"
+  std::string label;  // e.g. "intracellular"
+  bool is_instance = false;
+};
+
+struct RelationType {
+  std::string name;  // e.g. "is_a", "part_of"
+  Quantifier quantifier = Quantifier::kSome;
+};
+
+/// A single ontology graph. Terms and relation types are interned; edges are
+/// stored in forward (child->parent) and reverse adjacency for O(out-degree)
+/// traversal both ways.
+class Ontology {
+ public:
+  explicit Ontology(std::string name = "ontology");
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  // --- Construction ---
+  /// Adds a concept term; AlreadyExists when the id is taken.
+  util::Result<TermId> AddTerm(std::string_view id, std::string_view label);
+  /// Adds an instance node (e.g. a specific specimen).
+  util::Result<TermId> AddInstance(std::string_view id, std::string_view label);
+  /// Interns a relation type; returns the existing id when already present.
+  RelationId AddRelationType(std::string_view name, Quantifier quantifier = Quantifier::kSome);
+  /// Adds a directed edge src --rel--> dst; both ends must exist.
+  util::Status AddEdge(TermId src, TermId dst, RelationId rel);
+
+  // --- Lookup ---
+  TermId FindTerm(std::string_view id) const;       // kInvalidTerm if absent
+  RelationId FindRelation(std::string_view name) const;  // kInvalidRelation if absent
+  const Term& term(TermId id) const { return terms_[id]; }
+  const RelationType& relation(RelationId id) const { return relations_[id]; }
+  size_t num_terms() const { return terms_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Direct neighbours: terms t such that `from` --rel--> t (rel ==
+  /// kInvalidRelation matches any relation).
+  std::vector<TermId> Parents(TermId from, RelationId rel = kInvalidRelation) const;
+  /// Terms t such that t --rel--> `of`.
+  std::vector<TermId> Children(TermId of, RelationId rel = kInvalidRelation) const;
+
+  // --- §II operations ---
+  /// CI: all instances of concept c — instance nodes attached via
+  /// `instance_of` to c or to any is_a-descendant of c. Requires the
+  /// "is_a"/"instance_of" relation types when such edges exist.
+  std::vector<TermId> CI(TermId c) const;
+
+  /// CRI: instances reachable from c against `rel`-edges (transitively
+  /// through concepts; instance nodes are collected, not traversed through).
+  std::vector<TermId> CRI(TermId c, RelationId rel) const;
+
+  /// CmRI: like CRI with a set of admissible relation types.
+  std::vector<TermId> CmRI(TermId c, const std::vector<RelationId>& rels) const;
+
+  /// mCmRI: union of CmRI over a set of concepts.
+  std::vector<TermId> mCmRI(const std::vector<TermId>& concepts,
+                            const std::vector<RelationId>& rels) const;
+
+  /// SubTree: x plus every term that reaches x via edges restricted to
+  /// `rel` (the descendant closure). Sorted by TermId.
+  std::vector<TermId> SubTree(TermId x, RelationId rel) const;
+
+  /// SubTree(x, rel) − SubTree(y, rel); InvalidArgument when y is not a
+  /// descendant of x under `rel` (the paper requires Y descendant of X).
+  util::Result<std::vector<TermId>> SubTreeDiff(TermId x, TermId y, RelationId rel) const;
+
+  /// True when `descendant` reaches `ancestor` via `rel` edges.
+  bool IsDescendant(TermId descendant, TermId ancestor, RelationId rel) const;
+
+  // --- OntoQuest exploration extras (Chen et al. describe path and
+  // neighbourhood browsing beyond the §II set) ---
+
+  /// All ancestors of `t` via forward `rel` edges, including `t`. Sorted.
+  std::vector<TermId> AncestorClosure(TermId t, RelationId rel) const;
+
+  /// Terms that are ancestors of both `a` and `b` under `rel` (sorted).
+  std::vector<TermId> CommonAncestors(TermId a, TermId b, RelationId rel) const;
+
+  /// The common ancestors closest to `a` and `b`: minimal sum of hop
+  /// distances. Usually a single term in trees; may be several in DAGs.
+  std::vector<TermId> NearestCommonAncestors(TermId a, TermId b, RelationId rel) const;
+
+  /// Shortest undirected path between two terms over any relation; the
+  /// "explore the ontology neighbourhood" browse primitive. NotFound when
+  /// disconnected.
+  util::Result<std::vector<TermId>> PathBetween(TermId a, TermId b) const;
+
+  /// Terms whose label contains `needle` (case-insensitive). Sorted.
+  std::vector<TermId> FindTermsByLabel(std::string_view needle) const;
+
+ private:
+  struct Edge {
+    TermId other;
+    RelationId rel;
+  };
+
+  /// BFS over reverse edges from `start`, restricted to `rels` (empty = all).
+  /// Visits concepts transitively; instances are collected into `instances`
+  /// when non-null, all visited terms into `visited` when non-null.
+  void ReverseClosure(const std::vector<TermId>& starts, const std::vector<RelationId>& rels,
+                      std::vector<TermId>* visited, std::vector<TermId>* instances) const;
+
+  std::string name_;
+  std::vector<Term> terms_;
+  std::vector<RelationType> relations_;
+  std::map<std::string, TermId, std::less<>> term_index_;
+  std::map<std::string, RelationId, std::less<>> relation_index_;
+  std::vector<std::vector<Edge>> forward_;  // term -> parents
+  std::vector<std::vector<Edge>> reverse_;  // term -> children
+  size_t num_edges_ = 0;
+};
+
+}  // namespace ontology
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_ONTOLOGY_ONTOLOGY_H_

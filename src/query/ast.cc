@@ -1,0 +1,125 @@
+#include "query/ast.h"
+
+namespace graphitti {
+namespace query {
+
+std::string Clause::ToString() const {
+  switch (kind) {
+    case Kind::kIs: {
+      const char* k = "ANY";
+      switch (is_kind) {
+        case VarKind::kContent:
+          k = "CONTENT";
+          break;
+        case VarKind::kReferent:
+          k = "REFERENT";
+          break;
+        case VarKind::kTerm:
+          k = "TERM";
+          break;
+        case VarKind::kObject:
+          k = "OBJECT";
+          break;
+        case VarKind::kAny:
+          break;
+      }
+      return "?" + var + " IS " + k;
+    }
+    case Kind::kContains:
+      return "?" + var + " CONTAINS \"" + text + "\"";
+    case Kind::kXPath:
+      return "?" + var + " XPATH \"" + text + "\"";
+    case Kind::kType:
+      return "?" + var + " TYPE " + text;
+    case Kind::kDomain:
+      return "?" + var + " DOMAIN \"" + text + "\"";
+    case Kind::kOverlaps:
+      if (rect_window) return "?" + var + " OVERLAPS " + rect.ToString();
+      return "?" + var + " OVERLAPS " + interval.ToString();
+    case Kind::kContainedIn:
+      if (rect_window) return "?" + var + " CONTAINEDIN " + rect.ToString();
+      return "?" + var + " CONTAINEDIN " + interval.ToString();
+    case Kind::kCreator:
+      return "?" + var + " CREATOR \"" + text + "\"";
+    case Kind::kTerm:
+      return "?" + var + " TERM \"" + text + "\"";
+    case Kind::kTermBelow:
+      return "?" + var + " TERM BELOW \"" + text + "\"";
+    case Kind::kTable:
+      return "?" + var + " TABLE \"" + text + "\" FILTER " + table_filter.ToString();
+    case Kind::kAnnotates:
+      return "?" + var + " ANNOTATES ?" + var2;
+    case Kind::kRefersTo:
+      return "?" + var + " REFERS ?" + var2;
+    case Kind::kOfObject:
+      return "?" + var + " OF ?" + var2;
+    case Kind::kConnected:
+      return "?" + var + " CONNECTED ?" + var2;
+  }
+  return "?";
+}
+
+std::string Constraint::ToString() const {
+  const char* name = "?";
+  switch (kind) {
+    case Kind::kConsecutive:
+      name = "consecutive";
+      break;
+    case Kind::kDisjoint:
+      name = "disjoint";
+      break;
+    case Kind::kOverlapping:
+      name = "overlapping";
+      break;
+    case Kind::kSameDomain:
+      name = "samedomain";
+      break;
+  }
+  std::string out = std::string(name) + "(";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i) out += ",";
+    out += "?" + vars[i];
+  }
+  out += ")";
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out = "FIND ";
+  switch (target) {
+    case Target::kContents:
+      out += "CONTENTS";
+      break;
+    case Target::kReferents:
+      out += "REFERENTS";
+      break;
+    case Target::kGraph:
+      out += "GRAPH";
+      break;
+    case Target::kFragments:
+      out += "FRAGMENTS";
+      break;
+    case Target::kCount:
+      out += "COUNT";
+      break;
+  }
+  if (!target_var.empty()) out += " ?" + target_var;
+  if (!return_xpath.empty()) out += " XPATH \"" + return_xpath + "\"";
+  out += " WHERE {\n";
+  for (const Clause& c : clauses) out += "  " + c.ToString() + " ;\n";
+  out += "}";
+  if (!constraints.empty()) {
+    out += "\nCONSTRAIN ";
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (i) out += ", ";
+      out += constraints[i].ToString();
+    }
+  }
+  if (limit != SIZE_MAX) {
+    out += "\nLIMIT " + std::to_string(limit) + " PAGE " + std::to_string(page);
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace graphitti

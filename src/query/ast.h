@@ -1,0 +1,111 @@
+// AST for Graphitti's query language: "graph queries that resemble SPARQL
+// expressions extended to handle (i) XQuery-like path expressions on
+// a-graphs, (ii) type-specific predicates on interval trees, (iii) XQuery
+// fragments to retrieve fragments of annotation" (§II).
+//
+// Concrete syntax (see query/parser.h for the grammar):
+//
+//   FIND GRAPH WHERE {
+//     ?a IS CONTENT ;
+//     ?a CONTAINS "protease" ;
+//     ?s IS REFERENT ; ?s TYPE interval ; ?s DOMAIN "flu:seg4" ;
+//     ?s OVERLAPS [0, 1700] ;
+//     ?a ANNOTATES ?s ;
+//   }
+//   CONSTRAIN consecutive(?s1,?s2,?s3,?s4), disjoint(?s1,?s2,?s3,?s4)
+//   LIMIT 10 PAGE 1
+#ifndef GRAPHITTI_QUERY_AST_H_
+#define GRAPHITTI_QUERY_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "spatial/interval.h"
+#include "spatial/rect.h"
+
+namespace graphitti {
+namespace query {
+
+/// What the query returns (§II: "(a) a collection of heterogeneous
+/// substructures (b) fragments of XML documents and (c) connection
+/// subgraphs").
+enum class Target {
+  kContents,   // annotation contents
+  kReferents,  // heterogeneous substructures
+  kGraph,      // connection subgraphs (one per result page)
+  kFragments,  // XML fragments extracted via RETURN XPATH
+  kCount,      // count of distinct bindings of the target variable
+};
+
+/// Kinds a query variable may range over (mirrors agraph::NodeKind).
+enum class VarKind { kAny, kContent, kReferent, kTerm, kObject };
+
+/// One WHERE-clause atom.
+struct Clause {
+  enum class Kind {
+    kIs,         // ?x IS CONTENT|REFERENT|TERM|OBJECT
+    kContains,   // ?c CONTAINS "phrase"            (content keyword/phrase)
+    kXPath,      // ?c XPATH "/annotation/..."      (content path filter)
+    kType,        // ?r TYPE interval|region|node-set|block-set|tree-clade
+    kDomain,      // ?r DOMAIN "chr1"                (referent domain)
+    kOverlaps,    // ?r OVERLAPS [lo,hi] | RECT[...] (spatial window)
+    kContainedIn, // ?r CONTAINEDIN [lo,hi] | RECT[...] (containment window)
+    kCreator,     // ?c CREATOR "name"               (dc:creator sugar)
+    kTerm,       // ?t TERM "NIF:0001"              (exact ontology term)
+    kTermBelow,  // ?t TERM BELOW "NIF:0001"        (ontology subtree expansion)
+    kTable,      // ?o TABLE "dna" [FILTER col op lit [AND ...]]
+    kAnnotates,  // ?c ANNOTATES ?r                 (a-graph edge)
+    kRefersTo,   // ?c REFERS ?t
+    kOfObject,   // ?r OF ?o
+    kConnected,  // ?x CONNECTED ?y                 (any a-graph path)
+  };
+
+  Kind kind;
+  std::string var;        // subject variable (without '?')
+  std::string var2;       // object variable for edge clauses
+  std::string text;       // phrase / xpath / domain / term / table / type name
+  VarKind is_kind = VarKind::kAny;
+  spatial::Interval interval;  // kOverlaps 1D
+  spatial::Rect rect;          // kOverlaps 2D/3D
+  bool rect_window = false;    // kOverlaps: true when rect is meaningful
+  relational::Predicate table_filter = relational::Predicate::True();  // kTable
+  size_t max_hops = SIZE_MAX;  // kConnected
+
+  std::string ToString() const;
+};
+
+/// Graph constraints over bound referent variables (the Fig. 3 left-panel
+/// conditions). All decompose to pairwise predicates at execution time.
+struct Constraint {
+  enum class Kind {
+    kConsecutive,  // same domain, starts strictly increasing in listed order
+    kDisjoint,     // pairwise non-overlapping
+    kOverlapping,  // pairwise overlapping
+    kSameDomain,   // all in one domain
+  };
+  Kind kind;
+  std::vector<std::string> vars;
+
+  std::string ToString() const;
+};
+
+struct Query {
+  Target target = Target::kContents;
+  /// Result variable ("" = first declared variable of the target kind).
+  std::string target_var;
+  /// For kFragments: the XPath applied to each matched content.
+  std::string return_xpath;
+  std::vector<Clause> clauses;
+  std::vector<Constraint> constraints;
+  size_t limit = SIZE_MAX;  // page size
+  size_t page = 1;          // 1-based
+
+  std::string ToString() const;
+};
+
+}  // namespace query
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_QUERY_AST_H_

@@ -1,0 +1,58 @@
+// Execution context: the stores a query runs against, plus resolver
+// interfaces implemented by the core facade.
+#ifndef GRAPHITTI_QUERY_CONTEXT_H_
+#define GRAPHITTI_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agraph/agraph.h"
+#include "annotation/annotation_store.h"
+#include "relational/predicate.h"
+#include "spatial/index_manager.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace query {
+
+/// Maps TABLE clauses onto catalogued data objects. Implemented by the core
+/// facade (which knows which table rows correspond to which object ids).
+class ObjectResolver {
+ public:
+  virtual ~ObjectResolver() = default;
+
+  /// Object ids whose metadata row in `table` satisfies `filter`.
+  virtual util::Result<std::vector<uint64_t>> FindObjects(
+      const std::string& table, const relational::Predicate& filter) const = 0;
+
+  /// Human-readable description of an object (for result labels).
+  virtual std::string DescribeObject(uint64_t object_id) const = 0;
+};
+
+/// Expands TERM BELOW clauses through ontology subtrees. Implemented by the
+/// core facade's ontology registry.
+class OntologyResolver {
+ public:
+  virtual ~OntologyResolver() = default;
+
+  /// Qualified names ("onto:TERM") of the is_a subtree rooted at
+  /// `qualified`, including itself. Unknown terms yield just {qualified}.
+  virtual std::vector<std::string> ExpandTermBelow(const std::string& qualified) const = 0;
+};
+
+/// Borrowed views of the engine state; all pointers must outlive the
+/// executor. `objects`/`ontologies` may be null (TABLE / TERM BELOW clauses
+/// then fail with Unsupported).
+struct QueryContext {
+  const annotation::AnnotationStore* store = nullptr;
+  const spatial::IndexManager* indexes = nullptr;
+  const agraph::AGraph* graph = nullptr;
+  const ObjectResolver* objects = nullptr;
+  const OntologyResolver* ontologies = nullptr;
+};
+
+}  // namespace query
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_QUERY_CONTEXT_H_

@@ -1,0 +1,776 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "query/parser.h"
+#include "substructure/operators.h"
+#include "xml/xpath.h"
+
+namespace graphitti {
+namespace query {
+
+namespace {
+
+using agraph::NodeKind;
+using agraph::NodeRef;
+using agraph::NodeRefHash;
+using annotation::AnnotationId;
+using annotation::ReferentId;
+using util::Result;
+using util::Status;
+
+/// Per-variable compiled info.
+struct VarInfo {
+  std::string name;
+  size_t declaration_index = 0;  // first clause mentioning it
+  VarKind kind = VarKind::kAny;
+  std::vector<const Clause*> filters;      // single-var clauses
+  std::vector<NodeRef> candidates;         // materialized candidate set
+  std::unordered_set<NodeRef, NodeRefHash> candidate_set;
+  bool generated = false;  // candidates computed from its own clauses
+};
+
+/// Pairwise constraint predicate between two bound variables.
+struct PairPredicate {
+  enum class Kind { kBefore, kDisjoint, kOverlapping, kSameDomain };
+  Kind kind;
+  std::string var_a;
+  std::string var_b;
+};
+
+/// Edge clause between two variables, normalized.
+struct EdgeInfo {
+  const Clause* clause;
+  std::string var_a;  // clause->var
+  std::string var_b;  // clause->var2
+  std::string label;  // a-graph edge label ("" for CONNECTED)
+};
+
+std::string_view EdgeLabelFor(Clause::Kind kind) {
+  switch (kind) {
+    case Clause::Kind::kAnnotates:
+      return annotation::kEdgeAnnotates;
+    case Clause::Kind::kRefersTo:
+      return annotation::kEdgeRefersTo;
+    case Clause::Kind::kOfObject:
+      return annotation::kEdgeOfObject;
+    default:
+      return "";
+  }
+}
+
+/// Expected kinds induced by each clause, for inference/validation.
+struct KindExpectation {
+  VarKind subject = VarKind::kAny;
+  VarKind object = VarKind::kAny;
+};
+
+KindExpectation ExpectationFor(const Clause& c) {
+  switch (c.kind) {
+    case Clause::Kind::kIs:
+      return {c.is_kind, VarKind::kAny};
+    case Clause::Kind::kContains:
+    case Clause::Kind::kXPath:
+    case Clause::Kind::kCreator:
+      return {VarKind::kContent, VarKind::kAny};
+    case Clause::Kind::kType:
+    case Clause::Kind::kDomain:
+    case Clause::Kind::kOverlaps:
+    case Clause::Kind::kContainedIn:
+      return {VarKind::kReferent, VarKind::kAny};
+    case Clause::Kind::kTerm:
+    case Clause::Kind::kTermBelow:
+      return {VarKind::kTerm, VarKind::kAny};
+    case Clause::Kind::kTable:
+      return {VarKind::kObject, VarKind::kAny};
+    case Clause::Kind::kAnnotates:
+      return {VarKind::kContent, VarKind::kReferent};
+    case Clause::Kind::kRefersTo:
+      return {VarKind::kContent, VarKind::kTerm};
+    case Clause::Kind::kOfObject:
+      return {VarKind::kReferent, VarKind::kObject};
+    case Clause::Kind::kConnected:
+      return {VarKind::kAny, VarKind::kAny};
+  }
+  return {};
+}
+
+Status MergeKind(VarInfo* info, VarKind kind) {
+  if (kind == VarKind::kAny) return Status::OK();
+  if (info->kind == VarKind::kAny) {
+    info->kind = kind;
+    return Status::OK();
+  }
+  if (info->kind != kind) {
+    return Status::TypeError("variable ?" + info->name + " used with conflicting kinds");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::ExecuteText(std::string_view query_text) const {
+  GRAPHITTI_ASSIGN_OR_RETURN(Query query, ParseQuery(query_text));
+  return Execute(query);
+}
+
+Result<QueryResult> Executor::Execute(const Query& query) const {
+  if (ctx_.store == nullptr || ctx_.indexes == nullptr || ctx_.graph == nullptr) {
+    return Status::InvalidArgument("QueryContext must provide store, indexes and graph");
+  }
+  const annotation::AnnotationStore& store = *ctx_.store;
+  const agraph::AGraph& graph = *ctx_.graph;
+
+  // ------------------------------------------------------------------
+  // 1. Collect variables, infer kinds, split clauses into per-variable
+  //    subqueries and inter-variable edges (the §II decomposition).
+  // ------------------------------------------------------------------
+  std::map<std::string, VarInfo> vars;
+  std::vector<EdgeInfo> edges;
+
+  auto touch = [&](const std::string& name, size_t decl) -> VarInfo* {
+    auto [it, inserted] = vars.try_emplace(name);
+    if (inserted) {
+      it->second.name = name;
+      it->second.declaration_index = decl;
+    }
+    return &it->second;
+  };
+
+  for (size_t i = 0; i < query.clauses.size(); ++i) {
+    const Clause& c = query.clauses[i];
+    VarInfo* subject = touch(c.var, i);
+    KindExpectation expect = ExpectationFor(c);
+    GRAPHITTI_RETURN_NOT_OK(MergeKind(subject, expect.subject));
+    if (!c.var2.empty()) {
+      VarInfo* object = touch(c.var2, i);
+      GRAPHITTI_RETURN_NOT_OK(MergeKind(object, expect.object));
+      edges.push_back({&c, c.var, c.var2, std::string(EdgeLabelFor(c.kind))});
+    } else if (c.kind != Clause::Kind::kIs) {
+      subject->filters.push_back(&c);
+    }
+  }
+
+  for (auto& [name, info] : vars) {
+    if (info.kind == VarKind::kAny) {
+      return Status::InvalidArgument("cannot infer the kind of ?" + name +
+                                     "; add an IS clause");
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 2. Materialize candidate sets per variable (the typed subqueries).
+  // ------------------------------------------------------------------
+  for (auto& [name, info] : vars) {
+    std::vector<NodeRef> candidates;
+    bool narrowed = false;
+
+    switch (info.kind) {
+      case VarKind::kContent: {
+        // Start from the most selective content filter available.
+        std::vector<AnnotationId> ids;
+        bool have_ids = false;
+        for (const Clause* c : info.filters) {
+          if (c->kind == Clause::Kind::kContains) {
+            std::vector<AnnotationId> found = store.SearchPhrase(c->text);
+            if (!have_ids) {
+              ids = std::move(found);
+              have_ids = true;
+            } else {
+              std::vector<AnnotationId> merged;
+              std::set_intersection(ids.begin(), ids.end(), found.begin(), found.end(),
+                                    std::back_inserter(merged));
+              ids = std::move(merged);
+            }
+          }
+        }
+        if (!have_ids) ids = store.Ids();
+        // XPath filters.
+        for (const Clause* c : info.filters) {
+          if (c->kind != Clause::Kind::kXPath) continue;
+          GRAPHITTI_ASSIGN_OR_RETURN(xml::XPathExpr expr, xml::XPathExpr::Compile(c->text));
+          std::vector<AnnotationId> kept;
+          for (AnnotationId id : ids) {
+            const annotation::Annotation* ann = store.Get(id);
+            if (ann != nullptr && ann->content.root() != nullptr &&
+                expr.Matches(ann->content.root())) {
+              kept.push_back(id);
+            }
+          }
+          ids = std::move(kept);
+          have_ids = true;
+        }
+        // CREATOR filters (dc:creator equality).
+        for (const Clause* c : info.filters) {
+          if (c->kind != Clause::Kind::kCreator) continue;
+          std::vector<AnnotationId> kept;
+          for (AnnotationId id : ids) {
+            const annotation::Annotation* ann = store.Get(id);
+            if (ann != nullptr && ann->dc.creator == c->text) kept.push_back(id);
+          }
+          ids = std::move(kept);
+          have_ids = true;
+        }
+        for (AnnotationId id : ids) candidates.push_back(NodeRef::Content(id));
+        narrowed = have_ids;
+        break;
+      }
+
+      case VarKind::kReferent: {
+        std::string type_filter;
+        std::string domain;
+        std::vector<const Clause*> windows;  // kOverlaps + kContainedIn
+        for (const Clause* c : info.filters) {
+          if (c->kind == Clause::Kind::kType) type_filter = c->text;
+          if (c->kind == Clause::Kind::kDomain) domain = c->text;
+          if (c->kind == Clause::Kind::kOverlaps || c->kind == Clause::Kind::kContainedIn) {
+            windows.push_back(c);
+          }
+        }
+        std::vector<ReferentId> ids;
+        if (!windows.empty() && !domain.empty()) {
+          // Index-accelerated spatial subquery. Probing with overlap
+          // semantics is a superset of containment; exact semantics are
+          // applied in the post-filter below.
+          const Clause* probe = windows.front();
+          if (probe->rect_window) {
+            GRAPHITTI_ASSIGN_OR_RETURN(std::vector<spatial::RTreeEntry> hits,
+                                       ctx_.indexes->QueryRegions(domain, probe->rect));
+            for (const auto& h : hits) ids.push_back(h.id);
+          } else {
+            for (const auto& h : ctx_.indexes->QueryIntervals(domain, probe->interval)) {
+              ids.push_back(h.id);
+            }
+          }
+          narrowed = true;
+        } else {
+          ids = store.ReferentIds();
+          narrowed = !windows.empty() || !domain.empty() || !type_filter.empty();
+        }
+        // Canonicalized window geometry: region referents are stored in
+        // canonical coordinates, so CONTAINEDIN rect windows must be
+        // transformed before comparing.
+        auto rect_in_canonical = [&](const Clause* c) -> util::Result<spatial::Rect> {
+          auto mapped = ctx_.indexes->coordinate_systems().ToCanonical(
+              domain.empty() ? c->text : domain, c->rect);
+          if (mapped.ok()) return mapped->second;
+          return c->rect;  // unregistered system: compare raw
+        };
+        for (ReferentId id : ids) {
+          const annotation::Referent* ref = store.GetReferent(id);
+          if (ref == nullptr) continue;
+          const substructure::Substructure& sub = ref->substructure;
+          if (!domain.empty() && sub.domain() != domain) continue;
+          if (!type_filter.empty() &&
+              substructure::SubTypeToString(sub.type()) != type_filter) {
+            continue;
+          }
+          bool keep = true;
+          for (const Clause* w : windows) {
+            if (w->rect_window) {
+              if (sub.type() != substructure::SubType::kRegion) {
+                keep = false;
+                break;
+              }
+              GRAPHITTI_ASSIGN_OR_RETURN(spatial::Rect window_rect, rect_in_canonical(w));
+              // Stored rects are canonical when indexed; a referent's rect
+              // field holds the local coordinates, so canonicalize it too.
+              auto stored = ctx_.indexes->coordinate_systems().ToCanonical(sub.domain(),
+                                                                           sub.rect());
+              spatial::Rect stored_rect = stored.ok() ? stored->second : sub.rect();
+              bool ok_w = w->kind == Clause::Kind::kOverlaps
+                              ? stored_rect.Overlaps(window_rect)
+                              : window_rect.Contains(stored_rect);
+              if (!ok_w) {
+                keep = false;
+                break;
+              }
+            } else {
+              if (sub.type() != substructure::SubType::kInterval) {
+                keep = false;
+                break;
+              }
+              bool ok_w = w->kind == Clause::Kind::kOverlaps
+                              ? sub.interval().Overlaps(w->interval)
+                              : w->interval.Contains(sub.interval());
+              if (!ok_w) {
+                keep = false;
+                break;
+              }
+            }
+          }
+          if (!keep) continue;
+          candidates.push_back(NodeRef::Referent(id));
+        }
+        break;
+      }
+
+      case VarKind::kTerm: {
+        bool exact_only = true;
+        std::vector<std::string> wanted;
+        for (const Clause* c : info.filters) {
+          if (c->kind == Clause::Kind::kTerm) {
+            wanted.push_back(c->text);
+          } else if (c->kind == Clause::Kind::kTermBelow) {
+            exact_only = false;
+            if (ctx_.ontologies == nullptr) {
+              return Status::Unsupported("TERM BELOW requires an ontology resolver");
+            }
+            for (const std::string& q : ctx_.ontologies->ExpandTermBelow(c->text)) {
+              wanted.push_back(q);
+            }
+          }
+        }
+        (void)exact_only;
+        if (wanted.empty()) {
+          candidates = graph.NodesOfKind(NodeKind::kOntologyTerm);
+        } else {
+          narrowed = true;
+          for (const std::string& q : wanted) {
+            auto node = store.FindTermNode(q);
+            if (node.ok()) candidates.push_back(*node);
+          }
+        }
+        break;
+      }
+
+      case VarKind::kObject: {
+        const Clause* table_clause = nullptr;
+        for (const Clause* c : info.filters) {
+          if (c->kind == Clause::Kind::kTable) table_clause = c;
+        }
+        if (table_clause != nullptr) {
+          if (ctx_.objects == nullptr) {
+            return Status::Unsupported("TABLE clauses require an object resolver");
+          }
+          GRAPHITTI_ASSIGN_OR_RETURN(
+              std::vector<uint64_t> ids,
+              ctx_.objects->FindObjects(table_clause->text, table_clause->table_filter));
+          for (uint64_t id : ids) candidates.push_back(NodeRef::Object(id));
+          narrowed = true;
+        } else {
+          candidates = graph.NodesOfKind(NodeKind::kDataObject);
+        }
+        break;
+      }
+
+      case VarKind::kAny:
+        return Status::Internal("unreachable: unresolved kind");
+    }
+
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+    info.candidates = std::move(candidates);
+    info.candidate_set.insert(info.candidates.begin(), info.candidates.end());
+    info.generated = narrowed;
+  }
+
+  // ------------------------------------------------------------------
+  // 3. Decompose constraints into pairwise predicates.
+  // ------------------------------------------------------------------
+  std::vector<PairPredicate> pair_preds;
+  for (const Constraint& cons : query.constraints) {
+    for (const std::string& v : cons.vars) {
+      auto it = vars.find(v);
+      if (it == vars.end()) {
+        return Status::InvalidArgument("constraint references unknown variable ?" + v);
+      }
+      if (it->second.kind != VarKind::kReferent) {
+        return Status::TypeError("constraints apply to referent variables (?" + v + ")");
+      }
+    }
+    switch (cons.kind) {
+      case Constraint::Kind::kConsecutive:
+        for (size_t i = 0; i + 1 < cons.vars.size(); ++i) {
+          pair_preds.push_back({PairPredicate::Kind::kBefore, cons.vars[i], cons.vars[i + 1]});
+          pair_preds.push_back(
+              {PairPredicate::Kind::kSameDomain, cons.vars[i], cons.vars[i + 1]});
+        }
+        break;
+      case Constraint::Kind::kDisjoint:
+        for (size_t i = 0; i < cons.vars.size(); ++i) {
+          for (size_t j = i + 1; j < cons.vars.size(); ++j) {
+            pair_preds.push_back({PairPredicate::Kind::kDisjoint, cons.vars[i], cons.vars[j]});
+          }
+        }
+        break;
+      case Constraint::Kind::kOverlapping:
+        for (size_t i = 0; i < cons.vars.size(); ++i) {
+          for (size_t j = i + 1; j < cons.vars.size(); ++j) {
+            pair_preds.push_back(
+                {PairPredicate::Kind::kOverlapping, cons.vars[i], cons.vars[j]});
+          }
+        }
+        break;
+      case Constraint::Kind::kSameDomain:
+        for (size_t i = 0; i + 1 < cons.vars.size(); ++i) {
+          pair_preds.push_back(
+              {PairPredicate::Kind::kSameDomain, cons.vars[i], cons.vars[i + 1]});
+        }
+        break;
+    }
+  }
+
+  auto eval_pair = [&](const PairPredicate& p, NodeRef a, NodeRef b) -> bool {
+    const annotation::Referent* ra = store.GetReferent(a.id);
+    const annotation::Referent* rb = store.GetReferent(b.id);
+    if (ra == nullptr || rb == nullptr) return false;
+    const substructure::Substructure& sa = ra->substructure;
+    const substructure::Substructure& sb = rb->substructure;
+    switch (p.kind) {
+      case PairPredicate::Kind::kSameDomain:
+        return sa.domain() == sb.domain() && sa.type() == sb.type();
+      case PairPredicate::Kind::kBefore:
+        if (sa.type() != substructure::SubType::kInterval ||
+            sb.type() != substructure::SubType::kInterval) {
+          return false;
+        }
+        return sa.interval().lo < sb.interval().lo;
+      case PairPredicate::Kind::kDisjoint: {
+        auto overlap = substructure::IfOverlap(sa, sb);
+        return overlap.ok() && !*overlap;
+      }
+      case PairPredicate::Kind::kOverlapping: {
+        auto overlap = substructure::IfOverlap(sa, sb);
+        return overlap.ok() && *overlap;
+      }
+    }
+    return false;
+  };
+
+  // ------------------------------------------------------------------
+  // 4. Feasible order: bind variables most-selective-first, preferring
+  //    variables connected to already-bound ones (joinable via a-graph).
+  // ------------------------------------------------------------------
+  std::vector<std::string> order;
+  {
+    std::set<std::string> remaining;
+    for (const auto& [name, _] : vars) remaining.insert(name);
+
+    auto connected_to_bound = [&](const std::string& v,
+                                  const std::set<std::string>& bound) {
+      for (const EdgeInfo& e : edges) {
+        if ((e.var_a == v && bound.count(e.var_b) > 0) ||
+            (e.var_b == v && bound.count(e.var_a) > 0)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    std::set<std::string> bound;
+    if (options_.use_selectivity_order) {
+      while (!remaining.empty()) {
+        std::string best;
+        size_t best_size = SIZE_MAX;
+        bool best_connected = false;
+        for (const std::string& v : remaining) {
+          bool conn = connected_to_bound(v, bound);
+          size_t size = vars[v].candidates.size();
+          // Prefer connected variables; among equals, smaller candidate set.
+          if (std::make_tuple(!conn, size) < std::make_tuple(!best_connected, best_size) ||
+              best.empty()) {
+            best = v;
+            best_size = size;
+            best_connected = conn;
+          }
+        }
+        order.push_back(best);
+        bound.insert(best);
+        remaining.erase(best);
+      }
+    } else {
+      // Naive: declaration order.
+      std::vector<std::string> decl(remaining.begin(), remaining.end());
+      std::sort(decl.begin(), decl.end(), [&](const std::string& a, const std::string& b) {
+        return vars[a].declaration_index < vars[b].declaration_index;
+      });
+      order = std::move(decl);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 5. Execute the join: a binding table over `order`.
+  // ------------------------------------------------------------------
+  QueryResult result;
+  result.target = query.target;
+  ExecutionStats& stats = result.stats;
+
+  std::map<std::string, size_t> var_column;
+  std::vector<std::vector<NodeRef>> rows;  // each row: one NodeRef per bound column
+  rows.emplace_back();                     // seed: single empty row
+
+  for (const std::string& v : order) {
+    VarInfo& info = vars[v];
+    stats.binding_order.push_back(v);
+    stats.candidate_counts.push_back(info.candidates.size());
+
+    // Edges from v to already-bound variables.
+    std::vector<const EdgeInfo*> join_edges;
+    std::vector<const EdgeInfo*> path_edges;  // CONNECTED: path-existence joins
+    for (const EdgeInfo& e : edges) {
+      const std::string& other = (e.var_a == v) ? e.var_b : (e.var_b == v ? e.var_a : "");
+      if (other.empty() || var_column.find(other) == var_column.end()) continue;
+      if (e.clause->kind == Clause::Kind::kConnected) {
+        path_edges.push_back(&e);
+      } else {
+        join_edges.push_back(&e);
+      }
+    }
+
+    std::vector<std::vector<NodeRef>> next_rows;
+    for (const std::vector<NodeRef>& row : rows) {
+      std::vector<NodeRef> domain;
+      if (!join_edges.empty()) {
+        // Expand along the first edge, intersect along the rest.
+        bool first = true;
+        for (const EdgeInfo* e : join_edges) {
+          const std::string& other = (e->var_a == v) ? e->var_b : e->var_a;
+          NodeRef bound_node = row[var_column[other]];
+          std::vector<NodeRef> nbrs =
+              graph.Neighbors(bound_node, /*directed=*/false, e->label);
+          std::vector<NodeRef> filtered;
+          for (NodeRef n : nbrs) {
+            if (info.candidate_set.count(n) > 0) filtered.push_back(n);
+          }
+          std::sort(filtered.begin(), filtered.end());
+          if (first) {
+            domain = std::move(filtered);
+            first = false;
+          } else {
+            std::vector<NodeRef> merged;
+            std::set_intersection(domain.begin(), domain.end(), filtered.begin(),
+                                  filtered.end(), std::back_inserter(merged));
+            domain = std::move(merged);
+          }
+          if (domain.empty()) break;
+        }
+      } else {
+        domain = info.candidates;  // cartesian extension
+      }
+
+      for (NodeRef cand : domain) {
+        // Pairwise constraints that become fully bound with v = cand.
+        bool ok = true;
+        for (const PairPredicate& p : pair_preds) {
+          const std::string* other = nullptr;
+          bool v_is_a = false;
+          if (p.var_a == v) {
+            other = &p.var_b;
+            v_is_a = true;
+          } else if (p.var_b == v) {
+            other = &p.var_a;
+          } else {
+            continue;
+          }
+          auto it = var_column.find(*other);
+          if (it == var_column.end()) continue;  // other not bound yet
+          NodeRef other_node = row[it->second];
+          NodeRef a = v_is_a ? cand : other_node;
+          NodeRef b = v_is_a ? other_node : cand;
+          if (!eval_pair(p, a, b)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        // CONNECTED joins: path existence in the a-graph.
+        for (const EdgeInfo* e : path_edges) {
+          const std::string& other = (e->var_a == v) ? e->var_b : e->var_a;
+          NodeRef other_node = row[var_column[other]];
+          agraph::PathOptions popt;
+          popt.max_hops = e->clause->max_hops == SIZE_MAX ? options_.default_connected_hops
+                                                          : e->clause->max_hops;
+          if (!graph.FindPath(cand, other_node, popt).ok()) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+
+        std::vector<NodeRef> extended = row;
+        extended.push_back(cand);
+        next_rows.push_back(std::move(extended));
+        if (next_rows.size() > options_.max_intermediate_rows) {
+          return Status::OutOfRange("query exceeded max_intermediate_rows (" +
+                                    std::to_string(options_.max_intermediate_rows) + ")");
+        }
+      }
+    }
+    var_column[v] = var_column.size();
+    rows = std::move(next_rows);
+    stats.rows_examined += rows.size();
+    if (rows.empty()) break;
+  }
+
+  // ------------------------------------------------------------------
+  // 6. Collate results per target.
+  // ------------------------------------------------------------------
+  std::string target_var = query.target_var;
+  if (target_var.empty()) {
+    if (query.target == Target::kCount) {
+      // COUNT defaults to the first declared variable of any kind.
+      size_t best_decl = SIZE_MAX;
+      for (const auto& [name, info] : vars) {
+        if (info.declaration_index < best_decl) {
+          best_decl = info.declaration_index;
+          target_var = name;
+        }
+      }
+    } else if (query.target != Target::kGraph) {
+      // kGraph keeps "" (all variables participate).
+      VarKind want = VarKind::kContent;
+      if (query.target == Target::kReferents) want = VarKind::kReferent;
+      size_t best_decl = SIZE_MAX;
+      for (const auto& [name, info] : vars) {
+        if (info.kind == want && info.declaration_index < best_decl) {
+          best_decl = info.declaration_index;
+          target_var = name;
+        }
+      }
+      if (target_var.empty()) {
+        return Status::InvalidArgument("no variable of the result kind in WHERE block");
+      }
+    }
+  } else if (vars.find(target_var) == vars.end()) {
+    return Status::InvalidArgument("unknown target variable ?" + target_var);
+  }
+
+  auto label_for = [&](NodeRef n) { return std::string(graph.NodeLabel(n)); };
+
+  switch (query.target) {
+    case Target::kContents: {
+      std::vector<NodeRef> seen;
+      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
+      for (const auto& row : rows) {
+        if (col == SIZE_MAX || col >= row.size()) break;
+        NodeRef n = row[col];
+        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
+        seen.push_back(n);
+        ResultItem item;
+        item.content_id = n.id;
+        item.label = label_for(n);
+        result.items.push_back(std::move(item));
+      }
+      break;
+    }
+    case Target::kReferents: {
+      std::vector<NodeRef> seen;
+      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
+      for (const auto& row : rows) {
+        if (col == SIZE_MAX || col >= row.size()) break;
+        NodeRef n = row[col];
+        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
+        seen.push_back(n);
+        ResultItem item;
+        item.referent_id = n.id;
+        const annotation::Referent* ref = store.GetReferent(n.id);
+        if (ref != nullptr) item.substructure = ref->substructure;
+        item.label = label_for(n);
+        result.items.push_back(std::move(item));
+      }
+      break;
+    }
+    case Target::kFragments: {
+      GRAPHITTI_ASSIGN_OR_RETURN(xml::XPathExpr expr,
+                                 xml::XPathExpr::Compile(query.return_xpath));
+      std::vector<NodeRef> seen;
+      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
+      for (const auto& row : rows) {
+        if (col == SIZE_MAX || col >= row.size()) break;
+        NodeRef n = row[col];
+        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
+        seen.push_back(n);
+        const annotation::Annotation* ann = store.Get(n.id);
+        if (ann == nullptr || ann->content.root() == nullptr) continue;
+        for (const xml::XPathMatch& m : expr.Evaluate(ann->content.root())) {
+          ResultItem item;
+          item.content_id = n.id;
+          item.fragment = m.is_attribute ? m.value : m.node->ToString(/*pretty=*/false);
+          item.label = label_for(n);
+          result.items.push_back(std::move(item));
+        }
+      }
+      break;
+    }
+    case Target::kCount: {
+      std::set<NodeRef> distinct;
+      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
+      for (const auto& row : rows) {
+        if (col == SIZE_MAX || col >= row.size()) break;
+        distinct.insert(row[col]);
+      }
+      ResultItem item;
+      item.count = distinct.size();
+      item.label = "count(?" + target_var + ") = " + std::to_string(distinct.size());
+      result.items.push_back(std::move(item));
+      break;
+    }
+    case Target::kGraph: {
+      // One connection subgraph per distinct binding row ("each connected
+      // subgraph forms a result page", §III).
+      std::set<std::vector<NodeRef>> seen;
+      for (const auto& row : rows) {
+        std::vector<NodeRef> terminals = row;
+        std::sort(terminals.begin(), terminals.end());
+        terminals.erase(std::unique(terminals.begin(), terminals.end()), terminals.end());
+        if (!seen.insert(terminals).second) continue;
+        auto sg = graph.Connect(terminals);
+        if (!sg.ok()) continue;  // disconnected rows yield no subgraph
+        ResultItem item;
+        item.subgraph = std::move(sg).ValueUnsafe();
+        item.label = "subgraph(" + std::to_string(item.subgraph.nodes.size()) + " nodes)";
+        result.items.push_back(std::move(item));
+      }
+      break;
+    }
+  }
+
+  stats.items_produced = result.items.size();
+
+  // ------------------------------------------------------------------
+  // 7. Paging.
+  // ------------------------------------------------------------------
+  size_t page_size = query.limit;
+  if (page_size == SIZE_MAX) {
+    page_size = (query.target == Target::kGraph) ? 1 : result.items.size();
+  }
+  if (page_size == 0) page_size = 1;
+  result.page_size = page_size;
+  result.total_pages =
+      result.items.empty() ? 1 : (result.items.size() + page_size - 1) / page_size;
+  result.page = std::min(query.page, result.total_pages);
+  size_t begin = (result.page - 1) * page_size;
+  size_t end = std::min(result.items.size(), begin + page_size);
+  for (size_t i = begin; i < end; ++i) result.page_items.push_back(result.items[i]);
+  return result;
+}
+
+Result<std::string> Executor::Explain(const Query& query) const {
+  GRAPHITTI_ASSIGN_OR_RETURN(QueryResult result, Execute(query));
+  std::string out;
+  out += "query: " + query.ToString() + "\n";
+  out += "plan (" + std::string(options_.use_selectivity_order ? "feasible order"
+                                                               : "declaration order") +
+         "):\n";
+  for (size_t i = 0; i < result.stats.binding_order.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ". bind ?" + result.stats.binding_order[i] +
+           "  (candidates: " + std::to_string(result.stats.candidate_counts[i]) + ")\n";
+  }
+  out += "rows examined: " + std::to_string(result.stats.rows_examined) + "\n";
+  out += "items produced: " + std::to_string(result.stats.items_produced) + "\n";
+  out += "pages: " + std::to_string(result.total_pages) +
+         " (page size " + std::to_string(result.page_size) + ")\n";
+  return out;
+}
+
+Result<std::string> Executor::ExplainText(std::string_view query_text) const {
+  GRAPHITTI_ASSIGN_OR_RETURN(Query query, ParseQuery(query_text));
+  return Explain(query);
+}
+
+}  // namespace query
+}  // namespace graphitti

@@ -1,0 +1,55 @@
+// Query executor: "separating subqueries that belong to the different types
+// of data elements, finding a feasible order among these subqueries, and
+// collating partial results from these subqueries into a set of
+// type-extended connection subgraphs" (§II).
+#ifndef GRAPHITTI_QUERY_EXECUTOR_H_
+#define GRAPHITTI_QUERY_EXECUTOR_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "query/context.h"
+#include "query/result.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace query {
+
+struct ExecutorOptions {
+  /// Order subqueries by estimated selectivity (candidate-set size). When
+  /// false, variables are bound in declaration order — the naive baseline
+  /// for the ordering ablation (bench_query_optimizer).
+  bool use_selectivity_order = true;
+  /// Abort with OutOfRange when the intermediate binding table exceeds this.
+  size_t max_intermediate_rows = 1u << 20;
+  /// Hop bound used for CONNECTED clauses without an explicit bound.
+  size_t default_connected_hops = 6;
+};
+
+class Executor {
+ public:
+  explicit Executor(QueryContext context, ExecutorOptions options = {})
+      : ctx_(context), options_(options) {}
+
+  /// Parses and executes `query_text`.
+  util::Result<QueryResult> ExecuteText(std::string_view query_text) const;
+
+  /// Executes a parsed query.
+  util::Result<QueryResult> Execute(const Query& query) const;
+
+  /// Executes the query and renders its plan — the typed subqueries, the
+  /// feasible order chosen, per-variable candidate counts and join sizes —
+  /// as human-readable text (the §II "separating subqueries / feasible
+  /// order" pipeline made visible).
+  util::Result<std::string> Explain(const Query& query) const;
+  util::Result<std::string> ExplainText(std::string_view query_text) const;
+
+ private:
+  QueryContext ctx_;
+  ExecutorOptions options_;
+};
+
+}  // namespace query
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_QUERY_EXECUTOR_H_

@@ -1,0 +1,145 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace graphitti {
+namespace query {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == ':' ||
+         c == '.';
+}
+
+// The reserved words recognized as keywords (anything else stays kIdent).
+bool IsKeywordWord(const std::string& upper) {
+  static const char* kWords[] = {
+      "FIND",   "WHERE",  "CONSTRAIN", "LIMIT",     "PAGE",   "CONTENTS", "REFERENTS",
+      "GRAPH",  "FRAGMENTS", "IS",     "CONTENT",   "REFERENT", "TERM",   "OBJECT",
+      "CONTAINS", "XPATH", "TYPE",    "DOMAIN",    "OVERLAPS", "RECT",   "TABLE",
+      "FILTER", "AND",    "ANNOTATES", "REFERS",   "OF",     "CONNECTED", "BELOW",
+      "RETURN", "COUNT",  "CONTAINEDIN", "CREATOR",
+  };
+  for (const char* w : kWords) {
+    if (upper == w) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto error = [&](const std::string& msg) {
+    return util::Status::ParseError("query lexer: " + msg + " (at offset " +
+                                    std::to_string(pos) + ")");
+  };
+
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (pos < input.size() && input[pos] != '\n') ++pos;
+      continue;
+    }
+    Token tok;
+    tok.offset = pos;
+
+    if (c == '?') {
+      ++pos;
+      size_t start = pos;
+      while (pos < input.size() && IsIdentChar(input[pos])) ++pos;
+      if (pos == start) return error("expected variable name after '?'");
+      tok.type = TokenType::kVariable;
+      tok.text = std::string(input.substr(start, pos - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      ++pos;
+      std::string text;
+      while (pos < input.size() && input[pos] != c) {
+        if (input[pos] == '\\' && pos + 1 < input.size()) {
+          ++pos;
+          text.push_back(input[pos] == 'n' ? '\n' : input[pos]);
+        } else {
+          text.push_back(input[pos]);
+        }
+        ++pos;
+      }
+      if (pos >= input.size()) return error("unterminated string literal");
+      ++pos;
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[pos + 1])))) {
+      size_t start = pos;
+      if (c == '-') ++pos;
+      while (pos < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[pos])) || input[pos] == '.')) {
+        ++pos;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(input.substr(start, pos - start));
+      tok.number = std::stod(tok.text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = pos;
+      while (pos < input.size() && IsIdentChar(input[pos])) ++pos;
+      std::string word(input.substr(start, pos - start));
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (IsKeywordWord(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdent;
+        tok.text = std::move(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation (two-char operators first).
+    if (pos + 1 < input.size()) {
+      std::string_view two = input.substr(pos, 2);
+      if (two == "!=" || two == "<=" || two == ">=") {
+        tok.type = TokenType::kPunct;
+        tok.text = std::string(two);
+        tokens.push_back(std::move(tok));
+        pos += 2;
+        continue;
+      }
+    }
+    if (std::string_view("{}[](),;=<>").find(c) != std::string_view::npos) {
+      tok.type = TokenType::kPunct;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++pos;
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace query
+}  // namespace graphitti

@@ -1,0 +1,44 @@
+// Tokenizer for the Graphitti query language.
+#ifndef GRAPHITTI_QUERY_LEXER_H_
+#define GRAPHITTI_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace graphitti {
+namespace query {
+
+enum class TokenType {
+  kKeyword,   // FIND WHERE CONSTRAIN LIMIT PAGE ... (upper-cased identifiers)
+  kVariable,  // ?name
+  kIdent,     // bare identifier (constraint names, type names)
+  kString,    // 'x' or "x"
+  kNumber,    // integer or decimal (possibly negative)
+  kPunct,     // { } [ ] ( ) , ; =  != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalized: keywords upper-cased, strings unquoted
+  double number = 0;  // kNumber
+  size_t offset = 0;  // byte offset for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsPunct(std::string_view p) const {
+    return type == TokenType::kPunct && text == p;
+  }
+};
+
+/// Tokenizes the full input; the final token is always kEnd.
+util::Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace query
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_QUERY_LEXER_H_

@@ -1,0 +1,381 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace query {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    GRAPHITTI_RETURN_NOT_OK(Expect("FIND"));
+
+    const Token& target = Peek();
+    if (target.IsKeyword("CONTENTS")) {
+      q.target = Target::kContents;
+    } else if (target.IsKeyword("REFERENTS")) {
+      q.target = Target::kReferents;
+    } else if (target.IsKeyword("GRAPH")) {
+      q.target = Target::kGraph;
+    } else if (target.IsKeyword("FRAGMENTS")) {
+      q.target = Target::kFragments;
+    } else if (target.IsKeyword("COUNT")) {
+      q.target = Target::kCount;
+    } else {
+      return Error("expected CONTENTS, REFERENTS, GRAPH, FRAGMENTS or COUNT after FIND");
+    }
+    Advance();
+
+    if (Peek().type == TokenType::kVariable) {
+      q.target_var = Peek().text;
+      Advance();
+    }
+    if (Peek().IsKeyword("XPATH") || Peek().IsKeyword("RETURN")) {
+      Advance();
+      if (Peek().IsKeyword("XPATH")) Advance();  // RETURN XPATH "..."
+      if (Peek().type != TokenType::kString) return Error("expected XPath string");
+      q.return_xpath = Peek().text;
+      Advance();
+    }
+
+    GRAPHITTI_RETURN_NOT_OK(Expect("WHERE"));
+    GRAPHITTI_RETURN_NOT_OK(ExpectPunct("{"));
+    while (!Peek().IsPunct("}")) {
+      if (Peek().type == TokenType::kEnd) return Error("unterminated WHERE block");
+      Clause clause;
+      GRAPHITTI_RETURN_NOT_OK(ParseClause(&clause));
+      q.clauses.push_back(std::move(clause));
+      if (Peek().IsPunct(";")) Advance();
+    }
+    Advance();  // '}'
+
+    if (Peek().IsKeyword("CONSTRAIN")) {
+      Advance();
+      while (true) {
+        Constraint c;
+        GRAPHITTI_RETURN_NOT_OK(ParseConstraint(&c));
+        q.constraints.push_back(std::move(c));
+        if (Peek().IsPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kNumber) return Error("expected number after LIMIT");
+      q.limit = static_cast<size_t>(Peek().number);
+      Advance();
+      if (Peek().IsKeyword("PAGE")) {
+        Advance();
+        if (Peek().type != TokenType::kNumber) return Error("expected number after PAGE");
+        q.page = static_cast<size_t>(Peek().number);
+        if (q.page == 0) return Error("PAGE is 1-based");
+        Advance();
+      }
+    }
+
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing token '" + Peek().text + "'");
+    }
+    if (q.clauses.empty()) return Error("empty WHERE block");
+    if (q.target == Target::kFragments && q.return_xpath.empty()) {
+      return Error("FIND FRAGMENTS requires an XPATH return expression");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("query parser: " + msg + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+  Status Expect(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) return Error("expected '" + std::string(kw) + "'");
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectPunct(std::string_view p) {
+    if (!Peek().IsPunct(p)) return Error("expected '" + std::string(p) + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Result<double> ParseNumber() {
+    if (Peek().type != TokenType::kNumber) return Error("expected number");
+    double v = Peek().number;
+    Advance();
+    return v;
+  }
+
+  Status ParseClause(Clause* clause) {
+    if (Peek().type != TokenType::kVariable) {
+      return Error("clause must start with a ?variable");
+    }
+    clause->var = Peek().text;
+    Advance();
+
+    const Token& op = Peek();
+    if (op.IsKeyword("IS")) {
+      Advance();
+      clause->kind = Clause::Kind::kIs;
+      const Token& kind = Peek();
+      if (kind.IsKeyword("CONTENT")) {
+        clause->is_kind = VarKind::kContent;
+      } else if (kind.IsKeyword("REFERENT")) {
+        clause->is_kind = VarKind::kReferent;
+      } else if (kind.IsKeyword("TERM")) {
+        clause->is_kind = VarKind::kTerm;
+      } else if (kind.IsKeyword("OBJECT")) {
+        clause->is_kind = VarKind::kObject;
+      } else {
+        return Error("expected CONTENT, REFERENT, TERM or OBJECT after IS");
+      }
+      Advance();
+      return Status::OK();
+    }
+    if (op.IsKeyword("CONTAINS")) {
+      Advance();
+      if (Peek().type != TokenType::kString) return Error("expected string after CONTAINS");
+      clause->kind = Clause::Kind::kContains;
+      clause->text = Peek().text;
+      Advance();
+      return Status::OK();
+    }
+    if (op.IsKeyword("XPATH")) {
+      Advance();
+      if (Peek().type != TokenType::kString) return Error("expected string after XPATH");
+      clause->kind = Clause::Kind::kXPath;
+      clause->text = Peek().text;
+      Advance();
+      return Status::OK();
+    }
+    if (op.IsKeyword("TYPE")) {
+      Advance();
+      if (Peek().type != TokenType::kIdent && Peek().type != TokenType::kString) {
+        return Error("expected type name after TYPE");
+      }
+      clause->kind = Clause::Kind::kType;
+      clause->text = util::ToLower(Peek().text);
+      Advance();
+      return Status::OK();
+    }
+    if (op.IsKeyword("DOMAIN")) {
+      Advance();
+      if (Peek().type != TokenType::kString && Peek().type != TokenType::kIdent) {
+        return Error("expected domain after DOMAIN");
+      }
+      clause->kind = Clause::Kind::kDomain;
+      clause->text = Peek().text;
+      Advance();
+      return Status::OK();
+    }
+    if (op.IsKeyword("CREATOR")) {
+      Advance();
+      if (Peek().type != TokenType::kString && Peek().type != TokenType::kIdent) {
+        return Error("expected creator name after CREATOR");
+      }
+      clause->kind = Clause::Kind::kCreator;
+      clause->text = Peek().text;
+      Advance();
+      return Status::OK();
+    }
+    if (op.IsKeyword("OVERLAPS") || op.IsKeyword("CONTAINEDIN")) {
+      Advance();
+      clause->kind = op.IsKeyword("OVERLAPS") ? Clause::Kind::kOverlaps
+                                              : Clause::Kind::kContainedIn;
+      if (Peek().IsKeyword("RECT")) {
+        Advance();
+        GRAPHITTI_RETURN_NOT_OK(ExpectPunct("["));
+        std::vector<double> nums;
+        while (!Peek().IsPunct("]")) {
+          GRAPHITTI_ASSIGN_OR_RETURN(double v, ParseNumber());
+          nums.push_back(v);
+          if (Peek().IsPunct(",")) Advance();
+        }
+        Advance();  // ']'
+        if (nums.size() == 4) {
+          clause->rect = spatial::Rect::Make2D(nums[0], nums[1], nums[2], nums[3]);
+        } else if (nums.size() == 6) {
+          clause->rect =
+              spatial::Rect::Make3D(nums[0], nums[1], nums[2], nums[3], nums[4], nums[5]);
+        } else {
+          return Error("RECT window needs 4 (2D) or 6 (3D) numbers");
+        }
+        clause->rect_window = true;
+        return Status::OK();
+      }
+      GRAPHITTI_RETURN_NOT_OK(ExpectPunct("["));
+      GRAPHITTI_ASSIGN_OR_RETURN(double lo, ParseNumber());
+      GRAPHITTI_RETURN_NOT_OK(ExpectPunct(","));
+      GRAPHITTI_ASSIGN_OR_RETURN(double hi, ParseNumber());
+      GRAPHITTI_RETURN_NOT_OK(ExpectPunct("]"));
+      clause->interval = spatial::Interval(static_cast<int64_t>(lo), static_cast<int64_t>(hi));
+      return Status::OK();
+    }
+    if (op.IsKeyword("TERM")) {
+      Advance();
+      bool below = false;
+      if (Peek().IsKeyword("BELOW")) {
+        below = true;
+        Advance();
+      }
+      if (Peek().type != TokenType::kString && Peek().type != TokenType::kIdent) {
+        return Error("expected term name after TERM");
+      }
+      clause->kind = below ? Clause::Kind::kTermBelow : Clause::Kind::kTerm;
+      clause->text = Peek().text;
+      Advance();
+      return Status::OK();
+    }
+    if (op.IsKeyword("TABLE")) {
+      Advance();
+      if (Peek().type != TokenType::kString && Peek().type != TokenType::kIdent) {
+        return Error("expected table name after TABLE");
+      }
+      clause->kind = Clause::Kind::kTable;
+      clause->text = Peek().text;
+      Advance();
+      if (Peek().IsKeyword("FILTER")) {
+        Advance();
+        GRAPHITTI_ASSIGN_OR_RETURN(clause->table_filter, ParseFilter());
+      }
+      return Status::OK();
+    }
+    if (op.IsKeyword("ANNOTATES") || op.IsKeyword("REFERS") || op.IsKeyword("OF") ||
+        op.IsKeyword("CONNECTED")) {
+      Clause::Kind kind = Clause::Kind::kAnnotates;
+      if (op.IsKeyword("REFERS")) kind = Clause::Kind::kRefersTo;
+      if (op.IsKeyword("OF")) kind = Clause::Kind::kOfObject;
+      if (op.IsKeyword("CONNECTED")) kind = Clause::Kind::kConnected;
+      Advance();
+      if (Peek().type != TokenType::kVariable) {
+        return Error("expected ?variable on the right of the edge clause");
+      }
+      clause->kind = kind;
+      clause->var2 = Peek().text;
+      Advance();
+      return Status::OK();
+    }
+    return Error("unknown clause operator '" + op.text + "'");
+  }
+
+  Result<relational::Predicate> ParseFilter() {
+    GRAPHITTI_ASSIGN_OR_RETURN(relational::Predicate pred, ParseComparison());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      GRAPHITTI_ASSIGN_OR_RETURN(relational::Predicate rhs, ParseComparison());
+      pred = relational::Predicate::And(std::move(pred), std::move(rhs));
+    }
+    return pred;
+  }
+
+  Result<relational::Predicate> ParseComparison() {
+    if (Peek().type != TokenType::kIdent) return Error("expected column name in FILTER");
+    std::string column = Peek().text;
+    Advance();
+
+    relational::CompareOp cmp;
+    const Token& op = Peek();
+    if (op.IsPunct("=")) {
+      cmp = relational::CompareOp::kEq;
+    } else if (op.IsPunct("!=")) {
+      cmp = relational::CompareOp::kNe;
+    } else if (op.IsPunct("<")) {
+      cmp = relational::CompareOp::kLt;
+    } else if (op.IsPunct("<=")) {
+      cmp = relational::CompareOp::kLe;
+    } else if (op.IsPunct(">")) {
+      cmp = relational::CompareOp::kGt;
+    } else if (op.IsPunct(">=")) {
+      cmp = relational::CompareOp::kGe;
+    } else if (op.IsKeyword("CONTAINS")) {
+      cmp = relational::CompareOp::kContains;
+    } else {
+      return Error("expected comparison operator in FILTER");
+    }
+    Advance();
+
+    const Token& lit = Peek();
+    relational::Value value;
+    if (lit.type == TokenType::kString) {
+      value = relational::Value::Str(lit.text);
+    } else if (lit.type == TokenType::kNumber) {
+      if (lit.text.find('.') == std::string::npos) {
+        value = relational::Value::Int(static_cast<int64_t>(lit.number));
+      } else {
+        value = relational::Value::Real(lit.number);
+      }
+    } else if (lit.type == TokenType::kIdent) {
+      value = relational::Value::Str(lit.text);
+    } else {
+      return Error("expected literal in FILTER comparison");
+    }
+    Advance();
+    return relational::Predicate::Compare(std::move(column), cmp, std::move(value));
+  }
+
+  Status ParseConstraint(Constraint* constraint) {
+    if (Peek().type != TokenType::kIdent) return Error("expected constraint name");
+    std::string name = util::ToLower(Peek().text);
+    if (name == "consecutive") {
+      constraint->kind = Constraint::Kind::kConsecutive;
+    } else if (name == "disjoint") {
+      constraint->kind = Constraint::Kind::kDisjoint;
+    } else if (name == "overlapping") {
+      constraint->kind = Constraint::Kind::kOverlapping;
+    } else if (name == "samedomain") {
+      constraint->kind = Constraint::Kind::kSameDomain;
+    } else {
+      return Error("unknown constraint '" + name + "'");
+    }
+    Advance();
+    GRAPHITTI_RETURN_NOT_OK(ExpectPunct("("));
+    while (true) {
+      if (Peek().type != TokenType::kVariable) return Error("expected ?variable in constraint");
+      constraint->vars.push_back(Peek().text);
+      Advance();
+      if (Peek().IsPunct(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    GRAPHITTI_RETURN_NOT_OK(ExpectPunct(")"));
+    if (constraint->vars.size() < 2) {
+      return Error("constraints need at least two variables");
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Query> ParseQuery(std::string_view input) {
+  GRAPHITTI_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace query
+}  // namespace graphitti

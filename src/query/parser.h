@@ -1,0 +1,38 @@
+// Parser for the Graphitti query language.
+//
+// Grammar:
+//   query      := 'FIND' target var? ('XPATH' STRING)? 'WHERE' '{' clauses '}'
+//                 ('CONSTRAIN' constraint (',' constraint)*)?
+//                 ('LIMIT' NUMBER ('PAGE' NUMBER)?)?
+//   target     := 'CONTENTS' | 'REFERENTS' | 'GRAPH' | 'FRAGMENTS'
+//   clauses    := (clause ';')* clause? ;  trailing ';' optional
+//   clause     := var 'IS' ('CONTENT'|'REFERENT'|'TERM'|'OBJECT')
+//               | var 'CONTAINS' STRING
+//               | var 'XPATH' STRING
+//               | var 'TYPE' IDENT
+//               | var 'DOMAIN' STRING
+//               | var 'OVERLAPS' '[' NUM ',' NUM ']'
+//               | var 'OVERLAPS' 'RECT' '[' NUM{4|6} ']'
+//               | var 'TERM' 'BELOW'? STRING
+//               | var 'TABLE' STRING ('FILTER' cmp ('AND' cmp)*)?
+//               | var ('ANNOTATES'|'REFERS'|'OF'|'CONNECTED') var
+//   cmp        := IDENT ('='|'!='|'<'|'<='|'>'|'>='|'CONTAINS') literal
+//   constraint := IDENT '(' var (',' var)* ')'
+#ifndef GRAPHITTI_QUERY_PARSER_H_
+#define GRAPHITTI_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace query {
+
+/// Parses one query. Errors carry offsets into `input`.
+util::Result<Query> ParseQuery(std::string_view input);
+
+}  // namespace query
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_QUERY_PARSER_H_

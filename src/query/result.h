@@ -1,0 +1,62 @@
+// Query results: heterogeneous substructure collections, XML fragments, or
+// connection subgraphs — organized in pages (§II/III).
+#ifndef GRAPHITTI_QUERY_RESULT_H_
+#define GRAPHITTI_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "agraph/agraph.h"
+#include "annotation/annotation.h"
+#include "query/ast.h"
+#include "substructure/substructure.h"
+
+namespace graphitti {
+namespace query {
+
+/// One result item; the populated fields depend on the query target.
+struct ResultItem {
+  // kContents / kFragments
+  annotation::AnnotationId content_id = 0;
+  // kReferents
+  annotation::ReferentId referent_id = 0;
+  substructure::Substructure substructure;
+  // kFragments
+  std::string fragment;
+  // kGraph: a type-extended connection subgraph
+  agraph::SubGraph subgraph;
+  // kCount
+  size_t count = 0;
+  /// Display label (annotation title, substructure description, ...).
+  std::string label;
+};
+
+/// How the executor ran the query (exposed for tests and the ordering
+/// ablation benchmark).
+struct ExecutionStats {
+  /// Variables in the order they were bound ("feasible order", §II).
+  std::vector<std::string> binding_order;
+  /// Candidate-set size per variable, keyed like binding_order.
+  std::vector<size_t> candidate_counts;
+  /// Intermediate binding rows materialized across all joins.
+  size_t rows_examined = 0;
+  /// Final (pre-paging) result item count.
+  size_t items_produced = 0;
+};
+
+struct QueryResult {
+  Target target = Target::kContents;
+  /// All items, pre-paging.
+  std::vector<ResultItem> items;
+  /// The requested page (1-based) sliced from `items`.
+  std::vector<ResultItem> page_items;
+  size_t page = 1;
+  size_t page_size = 0;
+  size_t total_pages = 1;
+  ExecutionStats stats;
+};
+
+}  // namespace query
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_QUERY_RESULT_H_

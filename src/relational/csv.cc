@@ -1,0 +1,230 @@
+#include "relational/csv.h"
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace relational {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(std::string_view field, char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string CellToCsv(const Value& v, char delimiter) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(v.as_int());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+      return buf;
+    }
+    case ValueType::kString:
+      return QuoteField(v.as_string(), delimiter);
+    case ValueType::kBytes: {
+      static const char* kHex = "0123456789abcdef";
+      std::string out = "0x";
+      for (uint8_t b : v.as_bytes()) {
+        out.push_back(kHex[b >> 4]);
+        out.push_back(kHex[b & 0xf]);
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+util::Result<Value> CsvToCell(const std::string& field, const Column& column) {
+  if (field.empty()) {
+    return Value::Null();
+  }
+  switch (column.type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      if (!util::ParseInt64(field, &v)) {
+        return util::Status::ParseError("'" + field + "' is not an integer (column '" +
+                                        column.name + "')");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      double v = 0;
+      if (!util::ParseDouble(field, &v)) {
+        return util::Status::ParseError("'" + field + "' is not a number (column '" +
+                                        column.name + "')");
+      }
+      return Value::Real(v);
+    }
+    case ValueType::kString:
+      return Value::Str(field);
+    case ValueType::kBytes: {
+      if (!util::StartsWith(field, "0x") || field.size() % 2 != 0) {
+        return util::Status::ParseError("blob column '" + column.name +
+                                        "' expects 0x-prefixed hex");
+      }
+      auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      std::vector<uint8_t> bytes;
+      for (size_t i = 2; i + 1 < field.size(); i += 2) {
+        int hi = nibble(field[i]);
+        int lo = nibble(field[i + 1]);
+        if (hi < 0 || lo < 0) {
+          return util::Status::ParseError("bad hex in blob column '" + column.name + "'");
+        }
+        bytes.push_back(static_cast<uint8_t>(hi << 4 | lo));
+      }
+      return Value::Blob(std::move(bytes));
+    }
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+util::Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
+                                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return util::Status::ParseError("unexpected quote mid-field");
+      }
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerated (CRLF)
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) return util::Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string ExportCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = table.schema();
+  if (options.header) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (i) out.push_back(options.delimiter);
+      out += QuoteField(schema.column(i).name, options.delimiter);
+    }
+    out += '\n';
+  }
+  table.Scan([&](RowId, const Row& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(options.delimiter);
+      out += CellToCsv(row[i], options.delimiter);
+    }
+    out += '\n';
+  });
+  return out;
+}
+
+util::Result<size_t> ImportCsv(Table* table, std::string_view csv,
+                               const CsvOptions& options) {
+  if (table == nullptr) return util::Status::InvalidArgument("null table");
+  const Schema& schema = table->schema();
+
+  // Split into records, honoring quoted newlines.
+  std::vector<std::string> records;
+  {
+    std::string current;
+    bool in_quotes = false;
+    for (char c : csv) {
+      if (c == '"') in_quotes = !in_quotes;
+      if (c == '\n' && !in_quotes) {
+        records.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) records.push_back(std::move(current));
+  }
+
+  size_t start = 0;
+  if (options.header) {
+    if (records.empty()) return util::Status::ParseError("missing CSV header");
+    GRAPHITTI_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                               ParseCsvRecord(records[0], options.delimiter));
+    if (names.size() != schema.num_columns()) {
+      return util::Status::ParseError("header has " + std::to_string(names.size()) +
+                                      " columns, schema has " +
+                                      std::to_string(schema.num_columns()));
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] != schema.column(i).name) {
+        return util::Status::ParseError("header column " + std::to_string(i) + " is '" +
+                                        names[i] + "', expected '" + schema.column(i).name +
+                                        "'");
+      }
+    }
+    start = 1;
+  }
+
+  size_t inserted = 0;
+  for (size_t r = start; r < records.size(); ++r) {
+    if (util::Trim(records[r]).empty()) continue;
+    GRAPHITTI_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                               ParseCsvRecord(records[r], options.delimiter));
+    if (fields.size() != schema.num_columns()) {
+      return util::Status::ParseError("record " + std::to_string(r + 1) + " has " +
+                                      std::to_string(fields.size()) + " fields, want " +
+                                      std::to_string(schema.num_columns()));
+    }
+    Row row;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      GRAPHITTI_ASSIGN_OR_RETURN(Value v, CsvToCell(fields[i], schema.column(i)));
+      row.push_back(std::move(v));
+    }
+    GRAPHITTI_RETURN_NOT_OK(table->Insert(std::move(row)).status());
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace relational
+}  // namespace graphitti

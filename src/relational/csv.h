@@ -1,0 +1,43 @@
+// CSV import/export for tables (RFC-4180-style quoting): the bulk path for
+// registering relational records from external tools.
+#ifndef GRAPHITTI_RELATIONAL_CSV_H_
+#define GRAPHITTI_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace relational {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Emit/expect a header row of column names.
+  bool header = true;
+  /// On import: coerce numeric-looking fields into the column type; fields
+  /// that fail coercion become errors (false would store them as strings,
+  /// which the schema then rejects anyway).
+  bool strict = true;
+};
+
+/// Serializes all live rows (header + data). Blobs are hex-encoded.
+std::string ExportCsv(const Table& table, const CsvOptions& options = {});
+
+/// Appends rows parsed from `csv` to `table`, validating against its schema.
+/// With options.header the first row must match the schema's column names
+/// (order included). Returns the number of rows inserted; on error nothing
+/// is guaranteed about partially-inserted prefixes (the caller owns txn
+/// semantics).
+util::Result<size_t> ImportCsv(Table* table, std::string_view csv,
+                               const CsvOptions& options = {});
+
+/// Splits one CSV record honoring quotes; exposed for testing.
+util::Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
+                                                      char delimiter = ',');
+
+}  // namespace relational
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_RELATIONAL_CSV_H_

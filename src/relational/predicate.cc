@@ -1,0 +1,181 @@
+#include "relational/predicate.h"
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace relational {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContains:
+      return "CONTAINS";
+    case CompareOp::kPrefix:
+      return "PREFIX";
+  }
+  return "?";
+}
+
+Predicate Predicate::True() { return Predicate(); }
+
+Predicate Predicate::Compare(std::string column, CompareOp op, Value literal) {
+  Predicate p;
+  p.kind_ = Kind::kCompare;
+  p.column_ = std::move(column);
+  p.op_ = op;
+  p.literal_ = std::move(literal);
+  return p;
+}
+
+Predicate Predicate::And(Predicate lhs, Predicate rhs) {
+  Predicate p;
+  p.kind_ = Kind::kAnd;
+  p.lhs_ = std::make_unique<Predicate>(std::move(lhs));
+  p.rhs_ = std::make_unique<Predicate>(std::move(rhs));
+  return p;
+}
+
+Predicate Predicate::Or(Predicate lhs, Predicate rhs) {
+  Predicate p;
+  p.kind_ = Kind::kOr;
+  p.lhs_ = std::make_unique<Predicate>(std::move(lhs));
+  p.rhs_ = std::make_unique<Predicate>(std::move(rhs));
+  return p;
+}
+
+Predicate Predicate::Not(Predicate inner) {
+  Predicate p;
+  p.kind_ = Kind::kNot;
+  p.lhs_ = std::make_unique<Predicate>(std::move(inner));
+  return p;
+}
+
+Predicate::Predicate(const Predicate& other)
+    : kind_(other.kind_),
+      column_(other.column_),
+      op_(other.op_),
+      literal_(other.literal_) {
+  if (other.lhs_) lhs_ = std::make_unique<Predicate>(*other.lhs_);
+  if (other.rhs_) rhs_ = std::make_unique<Predicate>(*other.rhs_);
+}
+
+Predicate& Predicate::operator=(const Predicate& other) {
+  if (this == &other) return *this;
+  kind_ = other.kind_;
+  column_ = other.column_;
+  op_ = other.op_;
+  literal_ = other.literal_;
+  lhs_ = other.lhs_ ? std::make_unique<Predicate>(*other.lhs_) : nullptr;
+  rhs_ = other.rhs_ ? std::make_unique<Predicate>(*other.rhs_) : nullptr;
+  return *this;
+}
+
+util::Status Predicate::Bind(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return util::Status::OK();
+    case Kind::kCompare: {
+      int idx = schema.FindColumn(column_);
+      if (idx < 0) {
+        return util::Status::NotFound("predicate references unknown column '" + column_ + "'");
+      }
+      if (op_ == CompareOp::kContains || op_ == CompareOp::kPrefix) {
+        if (schema.column(static_cast<size_t>(idx)).type != ValueType::kString) {
+          return util::Status::TypeError("CONTAINS/PREFIX requires a string column ('" +
+                                         column_ + "')");
+        }
+        if (literal_.type() != ValueType::kString) {
+          return util::Status::TypeError("CONTAINS/PREFIX requires a string literal");
+        }
+      }
+      return util::Status::OK();
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+      GRAPHITTI_RETURN_NOT_OK(lhs_->Bind(schema));
+      return rhs_->Bind(schema);
+    case Kind::kNot:
+      return lhs_->Bind(schema);
+  }
+  return util::Status::Internal("unreachable");
+}
+
+bool Predicate::Eval(const Schema& schema, const Row& row) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCompare: {
+      int idx = schema.FindColumn(column_);
+      if (idx < 0 || static_cast<size_t>(idx) >= row.size()) return false;
+      const Value& v = row[static_cast<size_t>(idx)];
+      if (v.is_null() || literal_.is_null()) return false;
+      switch (op_) {
+        case CompareOp::kEq:
+          return v.Compare(literal_) == 0;
+        case CompareOp::kNe:
+          return v.Compare(literal_) != 0;
+        case CompareOp::kLt:
+          return v.Compare(literal_) < 0;
+        case CompareOp::kLe:
+          return v.Compare(literal_) <= 0;
+        case CompareOp::kGt:
+          return v.Compare(literal_) > 0;
+        case CompareOp::kGe:
+          return v.Compare(literal_) >= 0;
+        case CompareOp::kContains:
+          return v.type() == ValueType::kString &&
+                 util::ContainsIgnoreCase(v.as_string(), literal_.as_string());
+        case CompareOp::kPrefix:
+          return v.type() == ValueType::kString &&
+                 util::StartsWith(v.as_string(), literal_.as_string());
+      }
+      return false;
+    }
+    case Kind::kAnd:
+      return lhs_->Eval(schema, row) && rhs_->Eval(schema, row);
+    case Kind::kOr:
+      return lhs_->Eval(schema, row) || rhs_->Eval(schema, row);
+    case Kind::kNot:
+      return !lhs_->Eval(schema, row);
+  }
+  return false;
+}
+
+void Predicate::CollectConjuncts(std::vector<const Predicate*>* out) const {
+  if (kind_ == Kind::kAnd) {
+    lhs_->CollectConjuncts(out);
+    rhs_->CollectConjuncts(out);
+  } else {
+    out->push_back(this);
+  }
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCompare:
+      return column_ + " " + std::string(CompareOpToString(op_)) + " " + literal_.ToString();
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+    case Kind::kNot:
+      return "NOT(" + lhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace relational
+}  // namespace graphitti

@@ -1,0 +1,76 @@
+// Predicate trees over rows, with schema binding and selectivity estimation.
+#ifndef GRAPHITTI_RELATIONAL_PREDICATE_H_
+#define GRAPHITTI_RELATIONAL_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace relational {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains, kPrefix };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// A boolean expression over one row: comparisons on named columns combined
+/// with AND/OR/NOT. Immutable; bind against a Schema before evaluation.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kCompare, kAnd, kOr, kNot };
+
+  /// Always-true predicate (full scan).
+  static Predicate True();
+  /// column <op> literal.
+  static Predicate Compare(std::string column, CompareOp op, Value literal);
+  static Predicate Eq(std::string column, Value literal) {
+    return Compare(std::move(column), CompareOp::kEq, std::move(literal));
+  }
+  static Predicate And(Predicate lhs, Predicate rhs);
+  static Predicate Or(Predicate lhs, Predicate rhs);
+  static Predicate Not(Predicate inner);
+
+  Kind kind() const { return kind_; }
+  const std::string& column() const { return column_; }
+  CompareOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+  const Predicate* lhs() const { return lhs_.get(); }
+  const Predicate* rhs() const { return rhs_.get(); }
+
+  /// Validates that all referenced columns exist (and comparisons are
+  /// type-compatible with the column type).
+  util::Status Bind(const Schema& schema) const;
+
+  /// Evaluates against a row laid out per `schema`. Unbound columns evaluate
+  /// to false. Null semantics: any comparison with NULL is false.
+  bool Eval(const Schema& schema, const Row& row) const;
+
+  /// Collects the top-level AND-conjuncts (itself when not an AND).
+  void CollectConjuncts(std::vector<const Predicate*>* out) const;
+
+  std::string ToString() const;
+
+  Predicate(const Predicate& other);
+  Predicate& operator=(const Predicate& other);
+  Predicate(Predicate&&) = default;
+  Predicate& operator=(Predicate&&) = default;
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  std::string column_;
+  CompareOp op_ = CompareOp::kEq;
+  Value literal_;
+  std::unique_ptr<Predicate> lhs_;
+  std::unique_ptr<Predicate> rhs_;
+};
+
+}  // namespace relational
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_RELATIONAL_PREDICATE_H_

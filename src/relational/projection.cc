@@ -1,0 +1,71 @@
+#include "relational/projection.h"
+
+#include <algorithm>
+
+namespace graphitti {
+namespace relational {
+
+util::Result<std::vector<Row>> Project(const Table& table, const std::vector<RowId>& rows,
+                                       const std::vector<std::string>& columns) {
+  std::vector<int> indexes;
+  for (const std::string& name : columns) {
+    int idx = table.schema().FindColumn(name);
+    if (idx < 0) {
+      return util::Status::NotFound("no column '" + name + "' in '" + table.name() + "'");
+    }
+    indexes.push_back(idx);
+  }
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (RowId id : rows) {
+    const Row* row = table.Get(id);
+    if (row == nullptr) continue;
+    Row projected;
+    projected.reserve(indexes.size());
+    for (int idx : indexes) projected.push_back((*row)[static_cast<size_t>(idx)]);
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+util::Result<std::vector<RowId>> OrderBy(const Table& table, std::vector<RowId> rows,
+                                         std::string_view column, bool ascending) {
+  int idx = table.schema().FindColumn(column);
+  if (idx < 0) {
+    return util::Status::NotFound("no column '" + std::string(column) + "' in '" +
+                                  table.name() + "'");
+  }
+  auto key = [&](RowId id) -> const Value* {
+    const Row* row = table.Get(id);
+    return row == nullptr ? nullptr : &(*row)[static_cast<size_t>(idx)];
+  };
+  std::stable_sort(rows.begin(), rows.end(), [&](RowId a, RowId b) {
+    const Value* va = key(a);
+    const Value* vb = key(b);
+    if (va == nullptr || vb == nullptr) return va == nullptr && vb != nullptr;
+    int cmp = va->Compare(*vb);
+    return ascending ? cmp < 0 : cmp > 0;
+  });
+  return rows;
+}
+
+util::Result<std::vector<Value>> DistinctValues(const Table& table,
+                                                const std::vector<RowId>& rows,
+                                                std::string_view column) {
+  int idx = table.schema().FindColumn(column);
+  if (idx < 0) {
+    return util::Status::NotFound("no column '" + std::string(column) + "' in '" +
+                                  table.name() + "'");
+  }
+  std::vector<Value> out;
+  for (RowId id : rows) {
+    const Row* row = table.Get(id);
+    if (row != nullptr) out.push_back((*row)[static_cast<size_t>(idx)]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace relational
+}  // namespace graphitti

@@ -1,0 +1,34 @@
+// Result-shaping helpers over Select() outputs: projection and ordering.
+// (The query tab's result viewer shows "detailed metadata information stored
+// in the relational system"; these helpers materialize those views.)
+#ifndef GRAPHITTI_RELATIONAL_PROJECTION_H_
+#define GRAPHITTI_RELATIONAL_PROJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace relational {
+
+/// Materializes `columns` (by name) of the given rows, in input order.
+/// Dead row ids are skipped. NotFound for unknown columns.
+util::Result<std::vector<Row>> Project(const Table& table, const std::vector<RowId>& rows,
+                                       const std::vector<std::string>& columns);
+
+/// Returns `rows` sorted by the named column (Value::Compare order; NULLs
+/// first ascending). Stable. NotFound for unknown columns.
+util::Result<std::vector<RowId>> OrderBy(const Table& table, std::vector<RowId> rows,
+                                         std::string_view column, bool ascending = true);
+
+/// Distinct values of `column` over the given rows, sorted ascending.
+util::Result<std::vector<Value>> DistinctValues(const Table& table,
+                                                const std::vector<RowId>& rows,
+                                                std::string_view column);
+
+}  // namespace relational
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_RELATIONAL_PROJECTION_H_

@@ -1,0 +1,46 @@
+#include "relational/schema.h"
+
+namespace graphitti {
+namespace relational {
+
+util::Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return util::Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return util::Status::InvalidArgument("null in non-nullable column '" + col.name + "'");
+      }
+      continue;
+    }
+    bool ok = v.type() == col.type ||
+              (col.type == ValueType::kDouble && v.type() == ValueType::kInt64);
+    if (!ok) {
+      return util::Status::TypeError(
+          "column '" + col.name + "' expects " + std::string(ValueTypeToString(col.type)) +
+          ", got " + std::string(ValueTypeToString(v.type())));
+    }
+  }
+  return util::Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeToString(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace relational
+}  // namespace graphitti

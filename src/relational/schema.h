@@ -1,0 +1,77 @@
+// Table schemas: ordered, typed, named columns.
+#ifndef GRAPHITTI_RELATIONAL_SCHEMA_H_
+#define GRAPHITTI_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace graphitti {
+namespace relational {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = true;
+};
+
+/// An ordered list of typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column, or -1.
+  int FindColumn(std::string_view name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Checks arity, nullability and per-column type agreement (null allowed
+  /// for nullable columns; int accepted where double declared).
+  util::Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Fluent builder: SchemaBuilder().Str("name").Int("len").Build().
+class SchemaBuilder {
+ public:
+  SchemaBuilder& Int(std::string name, bool nullable = true) {
+    columns_.push_back({std::move(name), ValueType::kInt64, nullable});
+    return *this;
+  }
+  SchemaBuilder& Real(std::string name, bool nullable = true) {
+    columns_.push_back({std::move(name), ValueType::kDouble, nullable});
+    return *this;
+  }
+  SchemaBuilder& Str(std::string name, bool nullable = true) {
+    columns_.push_back({std::move(name), ValueType::kString, nullable});
+    return *this;
+  }
+  SchemaBuilder& Blob(std::string name, bool nullable = true) {
+    columns_.push_back({std::move(name), ValueType::kBytes, nullable});
+    return *this;
+  }
+  Schema Build() { return Schema(std::move(columns_)); }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace relational
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_RELATIONAL_SCHEMA_H_

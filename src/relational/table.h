@@ -1,0 +1,117 @@
+// Heap table with secondary indexes and index-aware selection.
+#ifndef GRAPHITTI_RELATIONAL_TABLE_H_
+#define GRAPHITTI_RELATIONAL_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace relational {
+
+using RowId = uint64_t;
+
+enum class IndexKind { kHash, kOrdered };
+
+/// A single-table storage unit: slotted row heap + optional secondary
+/// indexes. Rows are addressed by stable RowIds (slot numbers); deleted
+/// slots are tombstoned and recycled by Vacuum().
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Live row count.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Validates against the schema and appends; returns the new RowId.
+  util::Result<RowId> Insert(Row row);
+
+  /// Replaces the row at `id`. NotFound for dead/unknown ids.
+  util::Status Update(RowId id, Row row);
+
+  /// Tombstones the row at `id`.
+  util::Status Delete(RowId id);
+
+  /// Borrowed pointer to the row, or nullptr when dead/unknown.
+  const Row* Get(RowId id) const;
+
+  /// Cell access by column name; Null when row or column missing.
+  Value GetCell(RowId id, std::string_view column) const;
+
+  /// Calls fn(RowId, const Row&) for every live row.
+  template <typename F>
+  void Scan(F&& fn) const {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (live_[id]) fn(id, rows_[id]);
+    }
+  }
+
+  /// Creates a secondary index on `column`. AlreadyExists if present.
+  util::Status CreateIndex(std::string_view column, IndexKind kind);
+  bool HasIndex(std::string_view column) const;
+
+  /// (column name, kind) of every secondary index (for admin/persistence).
+  std::vector<std::pair<std::string, IndexKind>> IndexDescriptors() const;
+
+  /// RowIds satisfying `pred`, using an index for the most selective
+  /// indexable conjunct when available, else a full scan. Results are in
+  /// RowId order.
+  util::Result<std::vector<RowId>> Select(const Predicate& pred) const;
+
+  /// Like Select but never consults indexes (baseline for benchmarks).
+  util::Result<std::vector<RowId>> SelectScan(const Predicate& pred) const;
+
+  /// Estimated fraction of rows satisfying `pred` (for the query optimizer).
+  /// Uses exact index bucket sizes for indexed equality conjuncts and
+  /// heuristic defaults otherwise. Always in [0, 1].
+  double EstimateSelectivity(const Predicate& pred) const;
+
+  /// Compacts tombstones. Invalidates all previously-returned RowIds; only
+  /// safe when no external component holds row references.
+  void Vacuum();
+
+  std::string ToString() const;
+
+ private:
+  struct Index {
+    IndexKind kind;
+    int column = -1;
+    // Exactly one of these is populated, per kind.
+    std::unordered_map<Value, std::vector<RowId>, ValueHash> hash;
+    std::multimap<Value, RowId> ordered;
+  };
+
+  void IndexInsert(RowId id, const Row& row);
+  void IndexRemove(RowId id, const Row& row);
+
+  /// Finds an index usable for `cmp` (a kCompare predicate); nullptr if none.
+  const Index* FindUsableIndex(const Predicate& cmp) const;
+  std::vector<RowId> ProbeIndex(const Index& index, const Predicate& cmp) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace relational
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_RELATIONAL_TABLE_H_

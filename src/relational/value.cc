@@ -1,0 +1,128 @@
+#include "relational/value.h"
+
+#include <functional>
+
+namespace graphitti {
+namespace relational {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBytes:
+      return "bytes";
+  }
+  return "?";
+}
+
+double Value::AsNumber() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(as_int());
+    case ValueType::kDouble:
+      return as_double();
+    default:
+      return 0.0;
+  }
+}
+
+namespace {
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;  // numerics compare with each other
+    case ValueType::kString:
+      return 2;
+    case ValueType::kBytes:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // null == null
+    case 1: {
+      double a = AsNumber();
+      double b = other.AsNumber();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    case 2: {
+      const std::string& a = as_string();
+      const std::string& b = other.as_string();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    default: {
+      const auto& a = as_bytes();
+      const auto& b = other.as_bytes();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kInt64:
+      return std::hash<int64_t>()(as_int());
+    case ValueType::kDouble: {
+      double d = as_double();
+      // Hash integral doubles like their int64 counterparts so that
+      // Int(5) == Real(5.0) implies equal hashes.
+      int64_t as_i = static_cast<int64_t>(d);
+      if (static_cast<double>(as_i) == d) return std::hash<int64_t>()(as_i);
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(as_string());
+    case ValueType::kBytes: {
+      size_t h = 14695981039346656037ULL;
+      for (uint8_t b : as_bytes()) {
+        h ^= b;
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(as_int());
+    case ValueType::kDouble:
+      return std::to_string(as_double());
+    case ValueType::kString:
+      return as_string();
+    case ValueType::kBytes:
+      return "blob(" + std::to_string(as_bytes().size()) + " bytes)";
+  }
+  return "?";
+}
+
+}  // namespace relational
+}  // namespace graphitti

@@ -1,0 +1,90 @@
+// Typed values for the relational substrate.
+#ifndef GRAPHITTI_RELATIONAL_VALUE_H_
+#define GRAPHITTI_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace graphitti {
+namespace relational {
+
+enum class ValueType { kNull, kInt64, kDouble, kString, kBytes };
+
+std::string_view ValueTypeToString(ValueType type);
+
+/// A dynamically-typed cell value. Bytes carry raw object payloads (the
+/// paper stores "the raw actual data ... in the same tables in their native
+/// formats"); strings carry metadata.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Blob(std::vector<uint8_t> v) { return Value(Repr(std::move(v))); }
+
+  ValueType type() const {
+    switch (repr_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      default:
+        return ValueType::kBytes;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors; behaviour is undefined when the type does not match (callers
+  /// validate via type() or the table schema).
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+  const std::vector<uint8_t>& as_bytes() const {
+    return std::get<std::vector<uint8_t>>(repr_);
+  }
+
+  /// Numeric value as double (int64 widens); 0 for non-numerics.
+  double AsNumber() const;
+
+  /// Total order: null < int/double (numeric order, cross-comparable) <
+  /// string (lexicographic) < bytes (lexicographic). Returns -1/0/+1.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+  /// Display form (blobs render as "blob(<n> bytes)").
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string,
+                            std::vector<uint8_t>>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+  Repr repr_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// A tuple of cell values, positionally matching a table schema.
+using Row = std::vector<Value>;
+
+}  // namespace relational
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_RELATIONAL_VALUE_H_

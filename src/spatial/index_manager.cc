@@ -1,0 +1,119 @@
+#include "spatial/index_manager.h"
+
+namespace graphitti {
+namespace spatial {
+
+IntervalTree* IndexManager::GetOrCreateIntervalTree(std::string_view domain) {
+  auto it = interval_trees_.find(domain);
+  if (it != interval_trees_.end()) return it->second.get();
+  auto tree = std::make_unique<IntervalTree>();
+  IntervalTree* ptr = tree.get();
+  interval_trees_.emplace(std::string(domain), std::move(tree));
+  return ptr;
+}
+
+RTree* IndexManager::GetOrCreateRTree(std::string_view canonical, int dims) {
+  auto it = rtrees_.find(canonical);
+  if (it != rtrees_.end()) return it->second.get();
+  auto tree = std::make_unique<RTree>(dims);
+  RTree* ptr = tree.get();
+  rtrees_.emplace(std::string(canonical), std::move(tree));
+  return ptr;
+}
+
+util::Status IndexManager::AddInterval(std::string_view domain, const Interval& interval,
+                                       uint64_t id) {
+  if (domain.empty()) return util::Status::InvalidArgument("empty interval domain");
+  return GetOrCreateIntervalTree(domain)->Insert(interval, id);
+}
+
+util::Status IndexManager::RemoveInterval(std::string_view domain, const Interval& interval,
+                                          uint64_t id) {
+  auto it = interval_trees_.find(domain);
+  if (it == interval_trees_.end()) {
+    return util::Status::NotFound("no interval domain '" + std::string(domain) + "'");
+  }
+  GRAPHITTI_RETURN_NOT_OK(it->second->Erase(interval, id));
+  if (it->second->empty()) interval_trees_.erase(it);
+  return util::Status::OK();
+}
+
+std::vector<IntervalEntry> IndexManager::QueryIntervals(std::string_view domain,
+                                                        const Interval& window) const {
+  auto it = interval_trees_.find(domain);
+  if (it == interval_trees_.end()) return {};
+  return it->second->Window(window);
+}
+
+std::optional<IntervalEntry> IndexManager::NextInterval(std::string_view domain,
+                                                        int64_t position) const {
+  auto it = interval_trees_.find(domain);
+  if (it == interval_trees_.end()) return std::nullopt;
+  return it->second->NextAfter(position);
+}
+
+const IntervalTree* IndexManager::GetIntervalTree(std::string_view domain) const {
+  auto it = interval_trees_.find(domain);
+  return it == interval_trees_.end() ? nullptr : it->second.get();
+}
+
+util::Status IndexManager::AddRegion(std::string_view system, const Rect& local_rect,
+                                     uint64_t id) {
+  GRAPHITTI_ASSIGN_OR_RETURN(auto canonical, coord_systems_.ToCanonical(system, local_rect));
+  return GetOrCreateRTree(canonical.first, canonical.second.dims)
+      ->Insert(canonical.second, id);
+}
+
+util::Status IndexManager::RemoveRegion(std::string_view system, const Rect& local_rect,
+                                        uint64_t id) {
+  GRAPHITTI_ASSIGN_OR_RETURN(auto canonical, coord_systems_.ToCanonical(system, local_rect));
+  auto it = rtrees_.find(canonical.first);
+  if (it == rtrees_.end()) {
+    return util::Status::NotFound("no region index for system '" + canonical.first + "'");
+  }
+  GRAPHITTI_RETURN_NOT_OK(it->second->Erase(canonical.second, id));
+  if (it->second->empty()) rtrees_.erase(it);
+  return util::Status::OK();
+}
+
+util::Result<std::vector<RTreeEntry>> IndexManager::QueryRegions(
+    std::string_view system, const Rect& local_window) const {
+  GRAPHITTI_ASSIGN_OR_RETURN(auto canonical, coord_systems_.ToCanonical(system, local_window));
+  auto it = rtrees_.find(canonical.first);
+  if (it == rtrees_.end()) return std::vector<RTreeEntry>{};
+  return it->second->Window(canonical.second);
+}
+
+const RTree* IndexManager::GetRTree(std::string_view canonical_system) const {
+  auto it = rtrees_.find(canonical_system);
+  return it == rtrees_.end() ? nullptr : it->second.get();
+}
+
+size_t IndexManager::total_interval_entries() const {
+  size_t n = 0;
+  for (const auto& [_, tree] : interval_trees_) n += tree->size();
+  return n;
+}
+
+size_t IndexManager::total_region_entries() const {
+  size_t n = 0;
+  for (const auto& [_, tree] : rtrees_) n += tree->size();
+  return n;
+}
+
+std::vector<std::string> IndexManager::IntervalDomains() const {
+  std::vector<std::string> out;
+  out.reserve(interval_trees_.size());
+  for (const auto& [name, _] : interval_trees_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> IndexManager::RegionSystems() const {
+  std::vector<std::string> out;
+  out.reserve(rtrees_.size());
+  for (const auto& [name, _] : rtrees_) out.push_back(name);
+  return out;
+}
+
+}  // namespace spatial
+}  // namespace graphitti

@@ -1,0 +1,86 @@
+// Shared substructure indexes: one interval tree per 1D domain (chromosome),
+// one R-tree per canonical coordinate system ("simple techniques ... to keep
+// the number of the index structures small", §II).
+#ifndef GRAPHITTI_SPATIAL_INDEX_MANAGER_H_
+#define GRAPHITTI_SPATIAL_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spatial/coordinate_system.h"
+#include "spatial/interval_tree.h"
+#include "spatial/rtree.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace spatial {
+
+/// Owns all spatial index structures of a Graphitti instance and routes
+/// substructure registrations/queries to the shared per-domain index.
+class IndexManager {
+ public:
+  IndexManager() = default;
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Coordinate systems used to canonicalize region domains.
+  CoordinateSystemRegistry& coordinate_systems() { return coord_systems_; }
+  const CoordinateSystemRegistry& coordinate_systems() const { return coord_systems_; }
+
+  // --- 1D (interval) domains ---
+
+  /// Adds an interval substructure (e.g. a marked gene region) to the shared
+  /// tree for `domain` (e.g. "influenza:segment4" or "mouse:chr11").
+  util::Status AddInterval(std::string_view domain, const Interval& interval, uint64_t id);
+  util::Status RemoveInterval(std::string_view domain, const Interval& interval, uint64_t id);
+
+  /// All (interval, id) entries in `domain` overlapping `window`.
+  std::vector<IntervalEntry> QueryIntervals(std::string_view domain,
+                                            const Interval& window) const;
+
+  /// The entry strictly after `position` in `domain`, if any (the `next`
+  /// operator on ordered 1D data).
+  std::optional<IntervalEntry> NextInterval(std::string_view domain, int64_t position) const;
+
+  /// Borrowed tree for direct traversal; nullptr when the domain is empty.
+  const IntervalTree* GetIntervalTree(std::string_view domain) const;
+
+  // --- 2D/3D (region) domains ---
+
+  /// Adds a region expressed in `system` coordinates; it is transformed to
+  /// the system's canonical frame and stored in the canonical R-tree.
+  /// The system must be registered first.
+  util::Status AddRegion(std::string_view system, const Rect& local_rect, uint64_t id);
+  util::Status RemoveRegion(std::string_view system, const Rect& local_rect, uint64_t id);
+
+  /// All (canonical rect, id) entries overlapping `local_window` (given in
+  /// `system` coordinates).
+  util::Result<std::vector<RTreeEntry>> QueryRegions(std::string_view system,
+                                                     const Rect& local_window) const;
+
+  const RTree* GetRTree(std::string_view canonical_system) const;
+
+  // --- Statistics (the paper's index-count frugality claim) ---
+  size_t num_interval_trees() const { return interval_trees_.size(); }
+  size_t num_rtrees() const { return rtrees_.size(); }
+  size_t total_interval_entries() const;
+  size_t total_region_entries() const;
+  std::vector<std::string> IntervalDomains() const;
+  std::vector<std::string> RegionSystems() const;
+
+ private:
+  IntervalTree* GetOrCreateIntervalTree(std::string_view domain);
+  RTree* GetOrCreateRTree(std::string_view canonical, int dims);
+
+  CoordinateSystemRegistry coord_systems_;
+  std::map<std::string, std::unique_ptr<IntervalTree>, std::less<>> interval_trees_;
+  std::map<std::string, std::unique_ptr<RTree>, std::less<>> rtrees_;
+};
+
+}  // namespace spatial
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_SPATIAL_INDEX_MANAGER_H_

@@ -1,0 +1,65 @@
+// Closed 1D integer intervals for sequence substructures.
+#ifndef GRAPHITTI_SPATIAL_INTERVAL_H_
+#define GRAPHITTI_SPATIAL_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace graphitti {
+namespace spatial {
+
+/// Closed interval [lo, hi] over sequence coordinates (0-based). A single
+/// base is [p, p]. Invariant lo <= hi is enforced at construction sites via
+/// valid().
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = -1;
+
+  Interval() = default;
+  Interval(int64_t lo_in, int64_t hi_in) : lo(lo_in), hi(hi_in) {}
+
+  bool valid() const { return lo <= hi; }
+  int64_t length() const { return valid() ? hi - lo + 1 : 0; }
+
+  bool Overlaps(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+  bool Contains(int64_t point) const { return lo <= point && point <= hi; }
+  bool Contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  /// True when this interval ends strictly before `other` begins (used for
+  /// the "consecutive, non-overlapping" graph constraint in Fig. 3 queries).
+  bool StrictlyBefore(const Interval& other) const { return hi < other.lo; }
+
+  /// Intersection, or nullopt when disjoint (intervals are convex, §II).
+  std::optional<Interval> Intersect(const Interval& other) const {
+    int64_t l = std::max(lo, other.lo);
+    int64_t h = std::min(hi, other.hi);
+    if (l > h) return std::nullopt;
+    return Interval(l, h);
+  }
+
+  /// Smallest interval covering both.
+  Interval Hull(const Interval& other) const {
+    return Interval(std::min(lo, other.lo), std::max(hi, other.hi));
+  }
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator<(const Interval& other) const {
+    return lo != other.lo ? lo < other.lo : hi < other.hi;
+  }
+
+  std::string ToString() const {
+    return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  }
+};
+
+}  // namespace spatial
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_SPATIAL_INTERVAL_H_

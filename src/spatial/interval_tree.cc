@@ -1,0 +1,307 @@
+#include "spatial/interval_tree.h"
+
+#include <algorithm>
+
+namespace graphitti {
+namespace spatial {
+
+struct IntervalTree::Node {
+  Interval iv;
+  uint64_t id;
+  Node* left = nullptr;
+  Node* right = nullptr;
+  int height = 1;
+  int64_t max_hi;
+
+  Node(const Interval& iv_in, uint64_t id_in) : iv(iv_in), id(id_in), max_hi(iv_in.hi) {}
+};
+
+IntervalTree::~IntervalTree() { Destroy(root_); }
+
+IntervalTree::IntervalTree(IntervalTree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+IntervalTree& IntervalTree::operator=(IntervalTree&& other) noexcept {
+  if (this != &other) {
+    Destroy(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void IntervalTree::Destroy(Node* node) {
+  if (node == nullptr) return;
+  Destroy(node->left);
+  Destroy(node->right);
+  delete node;
+}
+
+int IntervalTree::Height(const Node* n) { return n == nullptr ? 0 : n->height; }
+
+int64_t IntervalTree::MaxHi(const Node* n) {
+  return n == nullptr ? INT64_MIN : n->max_hi;
+}
+
+void IntervalTree::Pull(Node* n) {
+  n->height = 1 + std::max(Height(n->left), Height(n->right));
+  n->max_hi = std::max({n->iv.hi, MaxHi(n->left), MaxHi(n->right)});
+}
+
+IntervalTree::Node* IntervalTree::RotateLeft(Node* n) {
+  Node* r = n->right;
+  n->right = r->left;
+  r->left = n;
+  Pull(n);
+  Pull(r);
+  return r;
+}
+
+IntervalTree::Node* IntervalTree::RotateRight(Node* n) {
+  Node* l = n->left;
+  n->left = l->right;
+  l->right = n;
+  Pull(n);
+  Pull(l);
+  return l;
+}
+
+IntervalTree::Node* IntervalTree::Rebalance(Node* n) {
+  Pull(n);
+  int balance = Height(n->left) - Height(n->right);
+  if (balance > 1) {
+    if (Height(n->left->left) < Height(n->left->right)) {
+      n->left = RotateLeft(n->left);
+    }
+    return RotateRight(n);
+  }
+  if (balance < -1) {
+    if (Height(n->right->right) < Height(n->right->left)) {
+      n->right = RotateRight(n->right);
+    }
+    return RotateLeft(n);
+  }
+  return n;
+}
+
+int IntervalTree::CompareKey(const Interval& a, uint64_t aid, const Node* n) {
+  if (a.lo != n->iv.lo) return a.lo < n->iv.lo ? -1 : 1;
+  if (a.hi != n->iv.hi) return a.hi < n->iv.hi ? -1 : 1;
+  if (aid != n->id) return aid < n->id ? -1 : 1;
+  return 0;
+}
+
+IntervalTree::Node* IntervalTree::InsertRec(Node* node, const Interval& interval,
+                                            uint64_t id, bool* inserted) {
+  if (node == nullptr) {
+    *inserted = true;
+    return new Node(interval, id);
+  }
+  int cmp = CompareKey(interval, id, node);
+  if (cmp == 0) {
+    *inserted = false;
+    return node;
+  }
+  if (cmp < 0) {
+    node->left = InsertRec(node->left, interval, id, inserted);
+  } else {
+    node->right = InsertRec(node->right, interval, id, inserted);
+  }
+  return Rebalance(node);
+}
+
+util::Result<IntervalTree> IntervalTree::BulkLoad(std::vector<IntervalEntry> entries) {
+  for (const IntervalEntry& e : entries) {
+    if (!e.interval.valid()) {
+      return util::Status::InvalidArgument("invalid interval " + e.interval.ToString());
+    }
+  }
+  auto key_less = [](const IntervalEntry& a, const IntervalEntry& b) {
+    if (a.interval.lo != b.interval.lo) return a.interval.lo < b.interval.lo;
+    if (a.interval.hi != b.interval.hi) return a.interval.hi < b.interval.hi;
+    return a.id < b.id;
+  };
+  std::sort(entries.begin(), entries.end(), key_less);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i] == entries[i - 1]) {
+      return util::Status::AlreadyExists("duplicate entry " + entries[i].interval.ToString() +
+                                         " id " + std::to_string(entries[i].id));
+    }
+  }
+
+  // Recursive median build; Pull fixes height and max-hi bottom-up.
+  struct Builder {
+    const std::vector<IntervalEntry>& entries;
+    Node* Build(size_t lo, size_t hi) {  // [lo, hi)
+      if (lo >= hi) return nullptr;
+      size_t mid = lo + (hi - lo) / 2;
+      Node* node = new Node(entries[mid].interval, entries[mid].id);
+      node->left = Build(lo, mid);
+      node->right = Build(mid + 1, hi);
+      Pull(node);
+      return node;
+    }
+  };
+  IntervalTree tree;
+  tree.root_ = Builder{entries}.Build(0, entries.size());
+  tree.size_ = entries.size();
+  return tree;
+}
+
+util::Status IntervalTree::Insert(const Interval& interval, uint64_t id) {
+  if (!interval.valid()) {
+    return util::Status::InvalidArgument("invalid interval " + interval.ToString());
+  }
+  bool inserted = false;
+  root_ = InsertRec(root_, interval, id, &inserted);
+  if (!inserted) {
+    return util::Status::AlreadyExists("interval " + interval.ToString() + " id " +
+                                       std::to_string(id) + " already present");
+  }
+  ++size_;
+  return util::Status::OK();
+}
+
+IntervalTree::Node* IntervalTree::PopMin(Node* node, Node** min_out) {
+  if (node->left == nullptr) {
+    *min_out = node;
+    return node->right;
+  }
+  node->left = PopMin(node->left, min_out);
+  return Rebalance(node);
+}
+
+IntervalTree::Node* IntervalTree::EraseRec(Node* node, const Interval& interval,
+                                           uint64_t id, bool* erased) {
+  if (node == nullptr) {
+    *erased = false;
+    return nullptr;
+  }
+  int cmp = CompareKey(interval, id, node);
+  if (cmp < 0) {
+    node->left = EraseRec(node->left, interval, id, erased);
+  } else if (cmp > 0) {
+    node->right = EraseRec(node->right, interval, id, erased);
+  } else {
+    *erased = true;
+    if (node->left == nullptr || node->right == nullptr) {
+      Node* child = node->left != nullptr ? node->left : node->right;
+      delete node;
+      return child;  // child is AVL-balanced already
+    }
+    Node* successor = nullptr;
+    Node* new_right = PopMin(node->right, &successor);
+    successor->left = node->left;
+    successor->right = new_right;
+    delete node;
+    return Rebalance(successor);
+  }
+  return Rebalance(node);
+}
+
+util::Status IntervalTree::Erase(const Interval& interval, uint64_t id) {
+  bool erased = false;
+  root_ = EraseRec(root_, interval, id, &erased);
+  if (!erased) {
+    return util::Status::NotFound("interval " + interval.ToString() + " id " +
+                                  std::to_string(id) + " not found");
+  }
+  --size_;
+  return util::Status::OK();
+}
+
+std::vector<IntervalEntry> IntervalTree::Window(const Interval& window) const {
+  std::vector<IntervalEntry> out;
+  if (!window.valid()) return out;
+  // In-order traversal pruned by the max-hi augmentation: skip any subtree
+  // whose max endpoint is below the window, and right subtrees once lo is
+  // past the window end. Recursion depth is O(log n) thanks to AVL balance.
+  struct Walker {
+    const Interval& window;
+    std::vector<IntervalEntry>* out;
+    void Walk(const Node* node) {
+      if (node == nullptr || MaxHi(node) < window.lo) return;
+      Walk(node->left);
+      if (node->iv.Overlaps(window)) out->push_back({node->iv, node->id});
+      if (node->iv.lo <= window.hi) Walk(node->right);
+    }
+  };
+  Walker{window, &out}.Walk(root_);
+  return out;
+}
+
+std::vector<IntervalEntry> IntervalTree::Stab(int64_t point) const {
+  return Window(Interval(point, point));
+}
+
+std::optional<IntervalEntry> IntervalTree::NextAfter(int64_t position) const {
+  const Node* node = root_;
+  const Node* best = nullptr;
+  while (node != nullptr) {
+    if (node->iv.lo > position) {
+      best = node;  // candidate; anything smaller is in the left subtree
+      node = node->left;
+    } else {
+      node = node->right;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return IntervalEntry{best->iv, best->id};
+}
+
+std::optional<IntervalEntry> IntervalTree::First() const {
+  const Node* node = root_;
+  if (node == nullptr) return std::nullopt;
+  while (node->left != nullptr) node = node->left;
+  return IntervalEntry{node->iv, node->id};
+}
+
+void IntervalTree::ForEach(const std::function<void(const IntervalEntry&)>& fn) const {
+  struct Walker {
+    const std::function<void(const IntervalEntry&)>& fn;
+    void Walk(const Node* node) {
+      if (node == nullptr) return;
+      Walk(node->left);
+      fn({node->iv, node->id});
+      Walk(node->right);
+    }
+  };
+  Walker{fn}.Walk(root_);
+}
+
+int IntervalTree::height() const { return Height(root_); }
+
+bool IntervalTree::CheckInvariants() const {
+  struct Checker {
+    bool ok = true;
+    size_t count = 0;
+    const Node* prev = nullptr;
+
+    std::pair<int, int64_t> Walk(const Node* node) {
+      if (node == nullptr) return {0, INT64_MIN};
+      auto [lh, lmax] = Walk(node->left);
+      // In-order key monotonicity.
+      if (prev != nullptr && CompareKey(prev->iv, prev->id, node) >= 0) ok = false;
+      prev = node;
+      ++count;
+      auto [rh, rmax] = Walk(node->right);
+      int h = 1 + std::max(lh, rh);
+      if (node->height != h) ok = false;
+      if (std::abs(lh - rh) > 1) ok = false;
+      int64_t maxhi = std::max({node->iv.hi, lmax, rmax});
+      if (node->max_hi != maxhi) ok = false;
+      return {h, maxhi};
+    }
+  };
+  Checker checker;
+  checker.Walk(root_);
+  return checker.ok && checker.count == size_;
+}
+
+}  // namespace spatial
+}  // namespace graphitti

@@ -1,0 +1,101 @@
+// Augmented AVL interval tree: O(log n + k) stabbing and window queries.
+//
+// The paper stores "the annotated substructures of the primary data ... in a
+// collection of interval trees for 1D data (e.g. sequences)" with "a single
+// interval tree ... per chromosome instead of per annotated DNA sequence".
+#ifndef GRAPHITTI_SPATIAL_INTERVAL_TREE_H_
+#define GRAPHITTI_SPATIAL_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "spatial/interval.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace graphitti {
+namespace spatial {
+
+/// One stored interval with its payload (a referent id).
+struct IntervalEntry {
+  Interval interval;
+  uint64_t id = 0;
+
+  bool operator==(const IntervalEntry& other) const {
+    return interval == other.interval && id == other.id;
+  }
+};
+
+/// Self-balancing (AVL) interval tree keyed by (lo, hi, id) with subtree
+/// max-hi augmentation. Duplicate (interval, id) pairs are rejected;
+/// identical intervals with distinct ids are fine.
+class IntervalTree {
+ public:
+  IntervalTree() = default;
+  ~IntervalTree();
+  IntervalTree(const IntervalTree&) = delete;
+  IntervalTree& operator=(const IntervalTree&) = delete;
+  IntervalTree(IntervalTree&& other) noexcept;
+  IntervalTree& operator=(IntervalTree&& other) noexcept;
+
+  /// Inserts; InvalidArgument when !interval.valid(), AlreadyExists on dup.
+  util::Status Insert(const Interval& interval, uint64_t id);
+
+  /// Builds a perfectly balanced tree from `entries` in O(n log n) — the
+  /// fast path for reloading persisted corpora. Rejects invalid intervals
+  /// and duplicate (interval, id) pairs.
+  static util::Result<IntervalTree> BulkLoad(std::vector<IntervalEntry> entries);
+
+  /// Removes an exact (interval, id) pair; NotFound if absent.
+  util::Status Erase(const Interval& interval, uint64_t id);
+
+  /// All entries whose interval contains `point`, ordered by (lo, hi, id).
+  std::vector<IntervalEntry> Stab(int64_t point) const;
+
+  /// All entries overlapping `window`, ordered by (lo, hi, id).
+  std::vector<IntervalEntry> Window(const Interval& window) const;
+
+  /// The entry with the smallest (lo, hi, id) such that lo > `position`
+  /// (the `next` substructure operator for ordered 1D domains, §II).
+  std::optional<IntervalEntry> NextAfter(int64_t position) const;
+
+  /// First entry in (lo, hi, id) order, if any.
+  std::optional<IntervalEntry> First() const;
+
+  /// Visits all entries in (lo, hi, id) order.
+  void ForEach(const std::function<void(const IntervalEntry&)>& fn) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  /// Validates AVL balance, key order and max-hi augmentation (test hook).
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  static int Height(const Node* n);
+  static int64_t MaxHi(const Node* n);
+  static void Pull(Node* n);
+  static Node* RotateLeft(Node* n);
+  static Node* RotateRight(Node* n);
+  static Node* Rebalance(Node* n);
+  static int CompareKey(const Interval& a, uint64_t aid, const Node* n);
+
+  Node* InsertRec(Node* node, const Interval& interval, uint64_t id, bool* inserted);
+  Node* EraseRec(Node* node, const Interval& interval, uint64_t id, bool* erased);
+  static Node* PopMin(Node* node, Node** min_out);
+  static void Destroy(Node* node);
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace spatial
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_SPATIAL_INTERVAL_TREE_H_

@@ -1,0 +1,63 @@
+#include "spatial/rect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphitti {
+namespace spatial {
+
+std::optional<Rect> Rect::Intersect(const Rect& other) const {
+  Rect out;
+  out.dims = dims;
+  for (int d = 0; d < dims; ++d) {
+    out.lo[d] = std::max(lo[d], other.lo[d]);
+    out.hi[d] = std::min(hi[d], other.hi[d]);
+    if (out.lo[d] > out.hi[d]) return std::nullopt;
+  }
+  return out;
+}
+
+Rect Rect::Union(const Rect& other) const {
+  Rect out;
+  out.dims = dims;
+  for (int d = 0; d < dims; ++d) {
+    out.lo[d] = std::min(lo[d], other.lo[d]);
+    out.hi[d] = std::max(hi[d], other.hi[d]);
+  }
+  return out;
+}
+
+double Rect::MinDistSq(const Rect& other) const {
+  double dist = 0;
+  for (int d = 0; d < dims; ++d) {
+    double gap = 0;
+    if (other.hi[d] < lo[d]) {
+      gap = lo[d] - other.hi[d];
+    } else if (other.lo[d] > hi[d]) {
+      gap = other.lo[d] - hi[d];
+    }
+    dist += gap * gap;
+  }
+  return dist;
+}
+
+bool Rect::operator==(const Rect& other) const {
+  if (dims != other.dims) return false;
+  for (int d = 0; d < dims; ++d) {
+    if (lo[d] != other.lo[d] || hi[d] != other.hi[d]) return false;
+  }
+  return true;
+}
+
+std::string Rect::ToString() const {
+  std::string out = "[";
+  for (int d = 0; d < dims; ++d) {
+    if (d) out += " x ";
+    out += "(" + std::to_string(lo[d]) + "," + std::to_string(hi[d]) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace spatial
+}  // namespace graphitti

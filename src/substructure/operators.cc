@@ -1,0 +1,140 @@
+#include "substructure/operators.h"
+
+#include <algorithm>
+
+namespace graphitti {
+namespace substructure {
+
+namespace {
+
+util::Status CheckComparable(const Substructure& a, const Substructure& b) {
+  if (a.type() != b.type()) {
+    return util::Status::TypeError(
+        "substructure types differ: " + std::string(SubTypeToString(a.type())) + " vs " +
+        std::string(SubTypeToString(b.type())));
+  }
+  if (a.domain() != b.domain()) {
+    return util::Status::InvalidArgument("substructure domains differ: '" + a.domain() +
+                                         "' vs '" + b.domain() + "'");
+  }
+  if (!a.valid() || !b.valid()) {
+    return util::Status::InvalidArgument("invalid substructure operand");
+  }
+  return util::Status::OK();
+}
+
+bool SortedSetsIntersect(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::vector<uint64_t> SortedSetIntersection(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+util::Result<bool> IfOverlap(const Substructure& a, const Substructure& b) {
+  GRAPHITTI_RETURN_NOT_OK(CheckComparable(a, b));
+  switch (a.type()) {
+    case SubType::kInterval:
+      return a.interval().Overlaps(b.interval());
+    case SubType::kRegion:
+      return a.rect().Overlaps(b.rect());
+    case SubType::kNodeSet:
+    case SubType::kBlockSet:
+    case SubType::kTreeClade:
+      return SortedSetsIntersect(a.elements(), b.elements());
+  }
+  return util::Status::Internal("unreachable");
+}
+
+util::Result<Substructure> Intersect(const Substructure& a, const Substructure& b) {
+  GRAPHITTI_RETURN_NOT_OK(CheckComparable(a, b));
+  if (!a.traits().convex) {
+    return util::Status::Unsupported("intersect is only defined for convex types (" +
+                                     std::string(SubTypeToString(a.type())) +
+                                     " is not convex); see MeetElements for set types");
+  }
+  switch (a.type()) {
+    case SubType::kInterval: {
+      auto hit = a.interval().Intersect(b.interval());
+      if (!hit.has_value()) {
+        return util::Status::NotFound("intervals are disjoint");
+      }
+      return Substructure::MakeInterval(a.domain(), *hit);
+    }
+    case SubType::kRegion: {
+      auto hit = a.rect().Intersect(b.rect());
+      if (!hit.has_value()) {
+        return util::Status::NotFound("regions are disjoint");
+      }
+      return Substructure::MakeRegion(a.domain(), *hit);
+    }
+    default:
+      return util::Status::Internal("unreachable: convex trait on set type");
+  }
+}
+
+util::Result<Substructure> Next(const Substructure& a,
+                                const spatial::IndexManager& index_manager) {
+  if (!a.valid()) return util::Status::InvalidArgument("invalid substructure operand");
+  if (!a.traits().ordered) {
+    return util::Status::Unsupported("next is only defined on ordered domains (" +
+                                     std::string(SubTypeToString(a.type())) + " is unordered)");
+  }
+  switch (a.type()) {
+    case SubType::kInterval: {
+      auto next = index_manager.NextInterval(a.domain(), a.interval().lo);
+      if (!next.has_value()) {
+        return util::Status::NotFound("no annotated substructure after " +
+                                      a.interval().ToString() + " in '" + a.domain() + "'");
+      }
+      return Substructure::MakeInterval(a.domain(), next->interval);
+    }
+    case SubType::kBlockSet: {
+      // Next block: the singleton of the smallest RowId greater than this
+      // block's maximum. Block sets are not spatially indexed, so the
+      // successor is relative to the block itself.
+      uint64_t max_row = a.elements().back();
+      return Substructure::MakeBlockSet(a.domain(), {max_row + 1});
+    }
+    default:
+      return util::Status::Internal("unreachable: ordered trait on unordered type");
+  }
+}
+
+util::Result<Substructure> MeetElements(const Substructure& a, const Substructure& b) {
+  GRAPHITTI_RETURN_NOT_OK(CheckComparable(a, b));
+  if (a.traits().convex) {
+    return util::Status::Unsupported("MeetElements applies to set types; use Intersect");
+  }
+  std::vector<uint64_t> meet = SortedSetIntersection(a.elements(), b.elements());
+  if (meet.empty()) {
+    return util::Status::NotFound("element sets are disjoint");
+  }
+  switch (a.type()) {
+    case SubType::kNodeSet:
+      return Substructure::MakeNodeSet(a.domain(), std::move(meet));
+    case SubType::kBlockSet:
+      return Substructure::MakeBlockSet(a.domain(), std::move(meet));
+    case SubType::kTreeClade:
+      return Substructure::MakeTreeClade(a.domain(), std::move(meet));
+    default:
+      return util::Status::Internal("unreachable");
+  }
+}
+
+}  // namespace substructure
+}  // namespace graphitti

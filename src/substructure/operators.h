@@ -1,0 +1,39 @@
+// The §II substructure operators, with trait gating:
+//   ifOverlap : SUB_X x SUB_X -> {0,1}
+//   next      : SUB_X -> SUB_X        (ordered domains only)
+//   intersect : SUB_X x SUB_X -> SUB_X (convex types only)
+#ifndef GRAPHITTI_SUBSTRUCTURE_OPERATORS_H_
+#define GRAPHITTI_SUBSTRUCTURE_OPERATORS_H_
+
+#include "spatial/index_manager.h"
+#include "substructure/substructure.h"
+#include "util/result.h"
+
+namespace graphitti {
+namespace substructure {
+
+/// True when `a` and `b` overlap. Both must have the same type and domain
+/// (TypeError/InvalidArgument otherwise). Per-type semantics:
+/// intervals/rects: geometric overlap; sets: non-empty intersection.
+util::Result<bool> IfOverlap(const Substructure& a, const Substructure& b);
+
+/// The intersection of two convex substructures (intervals, regions).
+/// Unsupported for non-convex types; NotFound when disjoint.
+util::Result<Substructure> Intersect(const Substructure& a, const Substructure& b);
+
+/// The next *annotated* substructure in the domain ordering after `a`:
+/// for intervals, the indexed entry with the smallest start > a.start (looked
+/// up in `index_manager`'s shared per-domain tree). Unsupported for
+/// unordered types; NotFound when `a` is last.
+util::Result<Substructure> Next(const Substructure& a,
+                                const spatial::IndexManager& index_manager);
+
+/// Element-set intersection for discrete substructures (node sets, block
+/// sets, tree clades). Provided as a lattice `meet` companion to Intersect;
+/// returns an empty-element Error (NotFound) when disjoint.
+util::Result<Substructure> MeetElements(const Substructure& a, const Substructure& b);
+
+}  // namespace substructure
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_SUBSTRUCTURE_OPERATORS_H_

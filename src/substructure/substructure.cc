@@ -1,0 +1,142 @@
+#include "substructure/substructure.h"
+
+#include <algorithm>
+
+namespace graphitti {
+namespace substructure {
+
+std::string_view SubTypeToString(SubType type) {
+  switch (type) {
+    case SubType::kInterval:
+      return "interval";
+    case SubType::kRegion:
+      return "region";
+    case SubType::kNodeSet:
+      return "node-set";
+    case SubType::kBlockSet:
+      return "block-set";
+    case SubType::kTreeClade:
+      return "tree-clade";
+  }
+  return "?";
+}
+
+TypeTraits TraitsOf(SubType type) {
+  switch (type) {
+    case SubType::kInterval:
+      return {.ordered = true, .convex = true};
+    case SubType::kRegion:
+      return {.ordered = false, .convex = true};
+    case SubType::kNodeSet:
+      return {.ordered = false, .convex = false};
+    case SubType::kBlockSet:
+      // RowIds give relational blocks a usable total order (insertion order),
+      // so `next` is meaningful; blocks are not convex.
+      return {.ordered = true, .convex = false};
+    case SubType::kTreeClade:
+      return {.ordered = false, .convex = false};
+  }
+  return {};
+}
+
+namespace {
+std::vector<uint64_t> SortedUnique(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+Substructure Substructure::MakeInterval(std::string domain, spatial::Interval interval) {
+  Substructure s;
+  s.type_ = SubType::kInterval;
+  s.domain_ = std::move(domain);
+  s.interval_ = interval;
+  return s;
+}
+
+Substructure Substructure::MakeRegion(std::string coordinate_system, spatial::Rect rect) {
+  Substructure s;
+  s.type_ = SubType::kRegion;
+  s.domain_ = std::move(coordinate_system);
+  s.rect_ = rect;
+  return s;
+}
+
+Substructure Substructure::MakeNodeSet(std::string graph_id, std::vector<uint64_t> nodes) {
+  Substructure s;
+  s.type_ = SubType::kNodeSet;
+  s.domain_ = std::move(graph_id);
+  s.elements_ = SortedUnique(std::move(nodes));
+  return s;
+}
+
+Substructure Substructure::MakeBlockSet(std::string table, std::vector<uint64_t> row_ids) {
+  Substructure s;
+  s.type_ = SubType::kBlockSet;
+  s.domain_ = std::move(table);
+  s.elements_ = SortedUnique(std::move(row_ids));
+  return s;
+}
+
+Substructure Substructure::MakeTreeClade(std::string tree_id, std::vector<uint64_t> leaf_ids) {
+  Substructure s;
+  s.type_ = SubType::kTreeClade;
+  s.domain_ = std::move(tree_id);
+  s.elements_ = SortedUnique(std::move(leaf_ids));
+  return s;
+}
+
+bool Substructure::valid() const {
+  if (domain_.empty()) return false;
+  switch (type_) {
+    case SubType::kInterval:
+      return interval_.valid();
+    case SubType::kRegion:
+      return rect_.valid();
+    case SubType::kNodeSet:
+    case SubType::kBlockSet:
+    case SubType::kTreeClade:
+      return !elements_.empty();
+  }
+  return false;
+}
+
+bool Substructure::operator==(const Substructure& other) const {
+  if (type_ != other.type_ || domain_ != other.domain_) return false;
+  switch (type_) {
+    case SubType::kInterval:
+      return interval_ == other.interval_;
+    case SubType::kRegion:
+      return rect_ == other.rect_;
+    default:
+      return elements_ == other.elements_;
+  }
+}
+
+std::string Substructure::ToString() const {
+  std::string out(SubTypeToString(type_));
+  out += "@";
+  out += domain_;
+  switch (type_) {
+    case SubType::kInterval:
+      out += interval_.ToString();
+      break;
+    case SubType::kRegion:
+      out += rect_.ToString();
+      break;
+    default: {
+      out += "{";
+      for (size_t i = 0; i < elements_.size() && i < 8; ++i) {
+        if (i) out += ",";
+        out += std::to_string(elements_[i]);
+      }
+      if (elements_.size() > 8) out += ",...";
+      out += "}";
+    }
+  }
+  return out;
+}
+
+}  // namespace substructure
+}  // namespace graphitti

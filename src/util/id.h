@@ -1,0 +1,55 @@
+// Strongly-typed 64-bit identifiers for the different object kinds.
+#ifndef GRAPHITTI_UTIL_ID_H_
+#define GRAPHITTI_UTIL_ID_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace graphitti {
+namespace util {
+
+/// Phantom-typed id wrapper: TypedId<struct FooTag> and TypedId<struct BarTag>
+/// are distinct types, preventing accidental cross-kind id mixups.
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() : value_(kInvalid) {}
+  constexpr explicit TypedId(uint64_t value) : value_(value) {}
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(TypedId a, TypedId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(TypedId a, TypedId b) { return a.value_ < b.value_; }
+
+  static constexpr uint64_t kInvalid = ~0ULL;
+
+ private:
+  uint64_t value_;
+};
+
+/// Monotonic id allocator for a given id type.
+template <typename Id>
+class IdAllocator {
+ public:
+  Id Next() { return Id(next_++); }
+  uint64_t issued() const { return next_; }
+
+ private:
+  uint64_t next_ = 1;  // 0 reserved for "anonymous"
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+namespace std {
+template <typename Tag>
+struct hash<graphitti::util::TypedId<Tag>> {
+  size_t operator()(graphitti::util::TypedId<Tag> id) const {
+    return std::hash<uint64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // GRAPHITTI_UTIL_ID_H_

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Off by default in tests/benchmarks.
+#ifndef GRAPHITTI_UTIL_LOGGING_H_
+#define GRAPHITTI_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace graphitti {
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` >= the process log level.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log line builder; flushes in the destructor.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace graphitti
+
+#define GRAPHITTI_LOG(level) \
+  ::graphitti::util::internal::LogLine(::graphitti::util::LogLevel::level)
+
+#endif  // GRAPHITTI_UTIL_LOGGING_H_

@@ -1,0 +1,31 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace graphitti {
+namespace util {
+
+size_t Rng::Skewed(size_t n) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sample from weights 1/(r+1), r in [0, n).
+  // H(n) ~= ln(n) + gamma; use a direct partial-sum walk for small n and an
+  // approximate inverse for large n to stay O(1) amortized.
+  double h = std::log(static_cast<double>(n)) + 0.5772156649;
+  double target = NextDouble() * h;
+  double r = std::exp(target) - 1.0;
+  if (r < 0) r = 0;
+  size_t idx = static_cast<size_t>(r);
+  return idx >= n ? n - 1 : idx;
+}
+
+std::string Rng::RandomString(size_t len, std::string_view alphabet) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[Next64() % alphabet.size()]);
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace graphitti

@@ -1,0 +1,67 @@
+// Deterministic RNG for workload generation (xoshiro-style splitmix64).
+#ifndef GRAPHITTI_UTIL_RANDOM_H_
+#define GRAPHITTI_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphitti {
+namespace util {
+
+/// Deterministic, seedable PRNG used by all workload generators so that
+/// tests and benchmarks are reproducible across platforms (unlike
+/// std::mt19937 distributions, whose outputs are implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {
+    // Warm up so that small seeds diverge quickly.
+    Next64();
+    Next64();
+  }
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Zipfian-ish skewed pick in [0, n): rank r chosen with weight 1/(r+1).
+  size_t Skewed(size_t n);
+
+  /// Random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Random string over `alphabet` of length `len`.
+  std::string RandomString(size_t len, std::string_view alphabet);
+
+  /// Random DNA string (ACGT).
+  std::string RandomDna(size_t len) { return RandomString(len, "ACGT"); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_RANDOM_H_

@@ -1,0 +1,72 @@
+// Result<T>: a Status or a value (Arrow-style).
+#ifndef GRAPHITTI_UTIL_RESULT_H_
+#define GRAPHITTI_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace graphitti {
+namespace util {
+
+/// Holds either a value of type T or a non-OK Status explaining its absence.
+///
+/// Usage:
+///   Result<int> ParsePort(std::string_view s);
+///   GRAPHITTI_ASSIGN_OR_RETURN(int port, ParsePort(text));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirrors arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is normalized to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error Status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Must only be called when ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueUnsafe() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value, or `alternative` when holding an error.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_RESULT_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace graphitti {
+namespace util {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace util
+}  // namespace graphitti

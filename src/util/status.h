@@ -1,0 +1,125 @@
+// Status: error propagation without exceptions (Arrow/RocksDB style).
+#ifndef GRAPHITTI_UTIL_STATUS_H_
+#define GRAPHITTI_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace graphitti {
+namespace util {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "NotFound"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation: either OK or an error code plus message.
+///
+/// The OK state is represented by a null internal pointer so that copying and
+/// returning OK statuses is free. Follows the Arrow/RocksDB convention: all
+/// fallible public APIs return Status (or Result<T>), never throw.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+/// Propagates a non-OK Status to the caller.
+#define GRAPHITTI_RETURN_NOT_OK(expr)                      \
+  do {                                                     \
+    ::graphitti::util::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                             \
+  } while (0)
+
+/// Evaluates a Result<T> expression and assigns its value, or propagates.
+#define GRAPHITTI_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                    \
+  if (!var.ok()) return var.status();                    \
+  lhs = std::move(var).ValueUnsafe();
+
+#define GRAPHITTI_CONCAT_IMPL(x, y) x##y
+#define GRAPHITTI_CONCAT(x, y) GRAPHITTI_CONCAT_IMPL(x, y)
+
+#define GRAPHITTI_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  GRAPHITTI_ASSIGN_OR_RETURN_IMPL(                                         \
+      GRAPHITTI_CONCAT(_graphitti_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // GRAPHITTI_UTIL_STATUS_H_

@@ -1,0 +1,46 @@
+// Small string helpers shared across modules.
+#ifndef GRAPHITTI_UTIL_STRING_UTIL_H_
+#define GRAPHITTI_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphitti {
+namespace util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive substring test (ASCII).
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Tokenizes into lower-cased alphanumeric words (for keyword indexing).
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Parses a signed 64-bit integer; returns false on any malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double; returns false on any malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_STRING_UTIL_H_

@@ -1,0 +1,250 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace xml {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<XmlDocument> Parse() {
+    SkipProlog();
+    if (AtEnd()) return Status::ParseError("empty XML document");
+    if (Peek() != '<') return Error("expected '<' at document root");
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (!AtEnd()) return Error("trailing content after root element");
+    return XmlDocument(std::move(root).ValueUnsafe());
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  bool LookingAt(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(input_[pos_]))) ++pos_;
+  }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(msg + " (at byte " + std::to_string(pos_) + ")");
+  }
+
+  void SkipProlog() {
+    // XML declaration, comments, PIs, doctype before the root.
+    while (true) {
+      SkipWs();
+      if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 2;
+      } else if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+      } else if (LookingAt("<!DOCTYPE")) {
+        size_t end = input_.find('>', pos_);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWs();
+      if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+      } else if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    ++pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto elem = XmlNode::Element(std::move(name).ValueUnsafe());
+
+    // Attributes.
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Error("unexpected end inside tag");
+      if (Peek() == '/' || Peek() == '>') break;
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWs();
+      if (Peek() != '=') return Error("expected '=' after attribute name");
+      ++pos_;
+      SkipWs();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') return Error("expected quoted attribute value");
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string value = DecodeEntities(input_.substr(start, pos_ - start));
+      ++pos_;
+      if (elem->FindAttribute(*attr_name) != nullptr) {
+        return Error("duplicate attribute '" + *attr_name + "'");
+      }
+      elem->SetAttribute(*attr_name, value);
+    }
+
+    if (Peek() == '/') {
+      ++pos_;
+      if (Peek() != '>') return Error("expected '>' after '/'");
+      ++pos_;
+      return elem;
+    }
+    ++pos_;  // '>'
+
+    // Children until matching close tag.
+    while (true) {
+      if (AtEnd()) return Error("unterminated element <" + elem->tag() + ">");
+      if (LookingAt("</")) {
+        pos_ += 2;
+        auto close = ParseName();
+        if (!close.ok()) return close.status();
+        if (*close != elem->tag()) {
+          return Error("mismatched close tag </" + *close + "> for <" + elem->tag() + ">");
+        }
+        SkipWs();
+        if (Peek() != '>') return Error("expected '>' in close tag");
+        ++pos_;
+        return elem;
+      }
+      if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        elem->AddChild(XmlNode::Comment(std::string(input_.substr(pos_ + 4, end - pos_ - 4))));
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        elem->AddChild(XmlNode::CData(std::string(input_.substr(pos_ + 9, end - pos_ - 9))));
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) return Error("unterminated processing instruction");
+        pos_ = end + 2;
+        continue;
+      }
+      if (Peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        elem->AddChild(std::move(child).ValueUnsafe());
+        continue;
+      }
+      // Text run.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      std::string text = DecodeEntities(input_.substr(start, pos_ - start));
+      // Drop whitespace-only runs (layout noise from pretty-printing).
+      if (!util::Trim(text).empty()) {
+        elem->AddChild(XmlNode::Text(std::string(util::Trim(text))));
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i++]);
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(raw[i++]);
+      continue;
+    }
+    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      bool ok = false;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+        ok = entity.size() > 2;
+      } else {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+        ok = entity.size() > 1;
+      }
+      if (ok && code > 0 && code < 128) {
+        out.push_back(static_cast<char>(code));
+      } else {
+        // Preserve non-ASCII / malformed references verbatim.
+        out.append(raw.substr(i, semi - i + 1));
+      }
+    } else {
+      out.append(raw.substr(i, semi - i + 1));
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+util::Result<XmlDocument> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+}  // namespace xml
+}  // namespace graphitti

@@ -1,0 +1,29 @@
+// Recursive-descent parser for the XML subset used by annotation contents.
+//
+// Supported: elements, attributes, text, comments, CDATA, the five standard
+// entities plus numeric character references, XML declaration (skipped),
+// processing instructions (skipped). Not supported: DTDs, namespaces beyond
+// literal "a:b" tag names (prefixes are kept verbatim, as the paper's
+// "dc:title"-style Dublin Core tags require no resolution).
+#ifndef GRAPHITTI_XML_XML_PARSER_H_
+#define GRAPHITTI_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/result.h"
+#include "xml/xml_node.h"
+
+namespace graphitti {
+namespace xml {
+
+/// Parses a complete XML document. Errors carry a byte offset.
+util::Result<XmlDocument> ParseXml(std::string_view input);
+
+/// Decodes &amp; &lt; &gt; &quot; &apos; and &#NN;/&#xNN; references.
+/// Unknown entities are preserved verbatim.
+std::string DecodeEntities(std::string_view raw);
+
+}  // namespace xml
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_XML_XML_PARSER_H_

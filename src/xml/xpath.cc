@@ -1,0 +1,361 @@
+#include "xml/xpath.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace xml {
+
+using util::Result;
+using util::Status;
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view input) : input_(input) {}
+
+  Result<XPathExpr> Parse() {
+    XPathExpr expr;
+    expr.text_ = std::string(input_);
+    bool first = true;
+    while (pos_ < input_.size()) {
+      XPathExpr::Step step;
+      if (LookingAt("//")) {
+        step.descendant = true;
+        pos_ += 2;
+      } else if (Peek() == '/') {
+        ++pos_;
+      } else if (!first) {
+        return Error("expected '/' between steps");
+      } else {
+        // Relative path: first step is a descendant search from the root's
+        // children unless it names the root itself; treat as child step.
+      }
+      first = false;
+      GRAPHITTI_RETURN_NOT_OK(ParseStep(&step));
+      expr.steps_.push_back(std::move(step));
+      SkipWs();
+    }
+    if (expr.steps_.empty()) return Status::ParseError("empty XPath expression");
+    return expr;
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  bool LookingAt(std::string_view s) const { return input_.substr(pos_, s.size()) == s; }
+  void SkipWs() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_])))
+      ++pos_;
+  }
+  Status Error(std::string msg) const {
+    return Status::ParseError("XPath: " + msg + " (at offset " + std::to_string(pos_) +
+                              " of '" + std::string(input_) + "')");
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Status ParseStep(XPathExpr::Step* step) {
+    SkipWs();
+    if (Peek() == '@') {
+      ++pos_;
+      step->kind = XPathExpr::Step::Kind::kAttribute;
+      step->name = ParseName();
+      if (step->name.empty()) return Error("expected attribute name after '@'");
+    } else if (LookingAt("text()")) {
+      pos_ += 6;
+      step->kind = XPathExpr::Step::Kind::kText;
+    } else if (Peek() == '*') {
+      ++pos_;
+      step->kind = XPathExpr::Step::Kind::kElement;
+      step->name = "*";
+    } else {
+      step->kind = XPathExpr::Step::Kind::kElement;
+      step->name = ParseName();
+      if (step->name.empty()) return Error("expected step name");
+    }
+    // Predicates.
+    while (Peek() == '[') {
+      ++pos_;
+      XPathExpr::Predicate pred;
+      GRAPHITTI_RETURN_NOT_OK(ParsePredicate(&pred));
+      SkipWs();
+      if (Peek() != ']') return Error("expected ']'");
+      ++pos_;
+      step->predicates.push_back(std::move(pred));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicate(XPathExpr::Predicate* pred) {
+    SkipWs();
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      size_t start = pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+      int64_t n = 0;
+      util::ParseInt64(input_.substr(start, pos_ - start), &n);
+      pred->kind = XPathExpr::Predicate::Kind::kPosition;
+      pred->position = n;
+      return Status::OK();
+    }
+    if (LookingAt("contains(")) {
+      pos_ += 9;
+      GRAPHITTI_RETURN_NOT_OK(ParseOperand(&pred->lhs));
+      SkipWs();
+      if (Peek() != ',') return Error("expected ',' in contains()");
+      ++pos_;
+      GRAPHITTI_RETURN_NOT_OK(ParseOperand(&pred->rhs));
+      SkipWs();
+      if (Peek() != ')') return Error("expected ')' in contains()");
+      ++pos_;
+      pred->kind = XPathExpr::Predicate::Kind::kContains;
+      return Status::OK();
+    }
+    GRAPHITTI_RETURN_NOT_OK(ParseOperand(&pred->lhs));
+    SkipWs();
+    if (LookingAt("!=")) {
+      pos_ += 2;
+      pred->kind = XPathExpr::Predicate::Kind::kNotEquals;
+    } else if (Peek() == '=') {
+      ++pos_;
+      pred->kind = XPathExpr::Predicate::Kind::kEquals;
+    } else {
+      return Error("expected comparison operator in predicate");
+    }
+    GRAPHITTI_RETURN_NOT_OK(ParseOperand(&pred->rhs));
+    return Status::OK();
+  }
+
+  Status ParseOperand(XPathExpr::Operand* op) {
+    SkipWs();
+    char c = Peek();
+    if (c == '\'' || c == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != c) ++pos_;
+      if (pos_ >= input_.size()) return Error("unterminated string literal");
+      op->kind = XPathExpr::Operand::Kind::kLiteral;
+      op->value = std::string(input_.substr(start, pos_ - start));
+      ++pos_;
+      return Status::OK();
+    }
+    if (c == '@') {
+      ++pos_;
+      op->kind = XPathExpr::Operand::Kind::kAttribute;
+      op->value = ParseName();
+      if (op->value.empty()) return Error("expected attribute name");
+      return Status::OK();
+    }
+    if (LookingAt("text()")) {
+      pos_ += 6;
+      op->kind = XPathExpr::Operand::Kind::kText;
+      return Status::OK();
+    }
+    // Relative child path a/b/c.
+    std::string path = ParseName();
+    if (path.empty()) return Error("expected operand");
+    while (Peek() == '/') {
+      ++pos_;
+      std::string next = ParseName();
+      if (next.empty()) return Error("expected name after '/' in operand path");
+      path += '/';
+      path += next;
+    }
+    op->kind = XPathExpr::Operand::Kind::kChildPath;
+    op->value = std::move(path);
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+Result<XPathExpr> XPathExpr::Compile(std::string_view expr) {
+  return XPathParser(expr).Parse();
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+std::string XPathExpr::EvalOperand(const Operand& op, const XmlNode* context) {
+  switch (op.kind) {
+    case Operand::Kind::kLiteral:
+      return op.value;
+    case Operand::Kind::kAttribute: {
+      const std::string* v = context->FindAttribute(op.value);
+      return v ? *v : std::string();
+    }
+    case Operand::Kind::kText:
+      return context->InnerText();
+    case Operand::Kind::kChildPath: {
+      const XmlNode* node = context;
+      for (const std::string& part : util::Split(op.value, '/')) {
+        node = node->FirstChildElement(part);
+        if (node == nullptr) return std::string();
+      }
+      return node->InnerText();
+    }
+  }
+  return std::string();
+}
+
+bool XPathExpr::EvalPredicate(const Predicate& pred, const XmlNode* context,
+                              size_t position_1based) {
+  switch (pred.kind) {
+    case Predicate::Kind::kPosition:
+      return static_cast<int64_t>(position_1based) == pred.position;
+    case Predicate::Kind::kEquals:
+      return EvalOperand(pred.lhs, context) == EvalOperand(pred.rhs, context);
+    case Predicate::Kind::kNotEquals:
+      return EvalOperand(pred.lhs, context) != EvalOperand(pred.rhs, context);
+    case Predicate::Kind::kContains:
+      return util::ContainsIgnoreCase(EvalOperand(pred.lhs, context),
+                                      EvalOperand(pred.rhs, context));
+  }
+  return false;
+}
+
+namespace {
+
+void CollectDescendantElements(const XmlNode* node, std::string_view name,
+                               std::vector<const XmlNode*>* out) {
+  for (const auto& child : node->children()) {
+    if (child->is_element()) {
+      if (name == "*" || child->tag() == name) out->push_back(child.get());
+      CollectDescendantElements(child.get(), name, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<XPathMatch> XPathExpr::Evaluate(const XmlNode* root) const {
+  std::vector<XPathMatch> result;
+  if (root == nullptr || steps_.empty()) return result;
+
+  // Current node set. Start with a virtual document node whose only child is
+  // the root element, so that "/annotation/..." matches a root <annotation>.
+  std::vector<const XmlNode*> current;
+
+  for (size_t si = 0; si < steps_.size(); ++si) {
+    const Step& step = steps_[si];
+    std::vector<const XmlNode*> next;
+
+    auto candidates_of = [&](const XmlNode* ctx) {
+      std::vector<const XmlNode*> cands;
+      if (step.kind == Step::Kind::kElement) {
+        if (step.descendant) {
+          CollectDescendantElements(ctx, step.name, &cands);
+        } else {
+          for (const XmlNode* e : ctx->ChildElements(step.name)) cands.push_back(e);
+        }
+      } else if (step.kind == Step::Kind::kText) {
+        for (const auto& child : ctx->children()) {
+          if (child->is_text()) cands.push_back(child.get());
+        }
+      }
+      return cands;
+    };
+
+    if (si == 0) {
+      // First step: match the root element itself (document-style absolute
+      // path), or search descendants when the step is '//' or the root tag
+      // does not match (relative-path convenience).
+      if (step.kind == Step::Kind::kElement) {
+        if (!step.descendant && (step.name == "*" || root->tag() == step.name)) {
+          current = {root};
+        } else {
+          CollectDescendantElements(root, step.name, &current);
+          if (!step.descendant && root->tag() != step.name) {
+            // Fall back: also allow the root itself for '*' handled above.
+          }
+        }
+        // Apply predicates positionally.
+        std::vector<const XmlNode*> filtered;
+        size_t pos = 0;
+        for (const XmlNode* n : current) {
+          ++pos;
+          bool keep = true;
+          for (const Predicate& p : step.predicates) {
+            if (!EvalPredicate(p, n, pos)) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) filtered.push_back(n);
+        }
+        current = std::move(filtered);
+        continue;
+      }
+      // Attribute/text as sole step: operate on root.
+      current = {root};
+    }
+
+    if (step.kind == Step::Kind::kAttribute) {
+      // Terminal-style attribute step: produce matches directly.
+      if (si != steps_.size() - 1) return {};  // attributes must be terminal
+      for (const XmlNode* ctx : current) {
+        const std::string* v = ctx->FindAttribute(step.name);
+        if (v != nullptr) {
+          XPathMatch m;
+          m.node = ctx;
+          m.value = *v;
+          m.is_attribute = true;
+          result.push_back(std::move(m));
+        }
+      }
+      return result;
+    }
+
+    for (const XmlNode* ctx : current) {
+      std::vector<const XmlNode*> cands = candidates_of(ctx);
+      size_t pos = 0;
+      for (const XmlNode* n : cands) {
+        ++pos;
+        bool keep = true;
+        for (const Predicate& p : step.predicates) {
+          if (!EvalPredicate(p, n, pos)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) next.push_back(n);
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) return result;
+  }
+
+  result.reserve(current.size());
+  for (const XmlNode* n : current) {
+    XPathMatch m;
+    m.node = n;
+    m.value = n->InnerText();
+    result.push_back(std::move(m));
+  }
+  return result;
+}
+
+std::vector<XPathMatch> EvaluateXPath(std::string_view expr, const XmlNode* root) {
+  auto compiled = XPathExpr::Compile(expr);
+  if (!compiled.ok()) return {};
+  return compiled->Evaluate(root);
+}
+
+}  // namespace xml
+}  // namespace graphitti

@@ -1,0 +1,92 @@
+// XPath-lite: the path-expression subset Graphitti needs over annotation XML.
+//
+// Supported grammar (subset of XPath 1.0):
+//   path       := ('/' | '//')? step (('/' | '//') step)*
+//   step       := NAME | '*' | '@'NAME | 'text()'
+//   step       := step '[' predicate ']'*
+//   predicate  := NUMBER                      (1-based position)
+//               | operand ('=' | '!=') operand
+//               | 'contains(' operand ',' operand ')'
+//   operand    := '@'NAME | 'text()' | NAME ('/' NAME)* | 'literal' | "literal"
+//
+// Examples used by the system:
+//   /annotation/dc:subject
+//   //referent[@type='sequence']
+//   /annotation/body[contains(text(),'protease')]
+//   //ontology-ref[@term!='unknown'][1]
+#ifndef GRAPHITTI_XML_XPATH_H_
+#define GRAPHITTI_XML_XPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "xml/xml_node.h"
+
+namespace graphitti {
+namespace xml {
+
+/// One match produced by an XPath evaluation.
+struct XPathMatch {
+  /// The matched node, or the owner element when the terminal step is an
+  /// attribute (`.../@name`).
+  const XmlNode* node = nullptr;
+  /// String value: attribute value for attribute steps, inner text otherwise.
+  std::string value;
+  bool is_attribute = false;
+};
+
+/// A compiled XPath expression, reusable across documents.
+class XPathExpr {
+ public:
+  /// Compiles `expr`; returns ParseError on malformed syntax.
+  static util::Result<XPathExpr> Compile(std::string_view expr);
+
+  /// Evaluates against a (sub)tree root. The leading '/' selects the root
+  /// element itself when its tag matches the first step (document-style).
+  std::vector<XPathMatch> Evaluate(const XmlNode* root) const;
+
+  /// True when any match exists (short-circuits).
+  bool Matches(const XmlNode* root) const { return !Evaluate(root).empty(); }
+
+  const std::string& text() const { return text_; }
+
+ private:
+  friend class XPathParser;
+
+  struct Operand {
+    enum class Kind { kLiteral, kAttribute, kText, kChildPath };
+    Kind kind = Kind::kLiteral;
+    std::string value;  // literal text, attribute name, or a/b/c child path
+  };
+
+  struct Predicate {
+    enum class Kind { kPosition, kEquals, kNotEquals, kContains };
+    Kind kind = Kind::kPosition;
+    int64_t position = 0;
+    Operand lhs;
+    Operand rhs;
+  };
+
+  struct Step {
+    bool descendant = false;  // preceded by '//'
+    enum class Kind { kElement, kAttribute, kText } kind = Kind::kElement;
+    std::string name;  // element tag or attribute name; "*" wildcard
+    std::vector<Predicate> predicates;
+  };
+
+  static std::string EvalOperand(const Operand& op, const XmlNode* context);
+  static bool EvalPredicate(const Predicate& pred, const XmlNode* context,
+                            size_t position_1based);
+
+  std::string text_;
+  std::vector<Step> steps_;
+};
+
+/// Convenience: compile + evaluate in one call; empty result on bad syntax.
+std::vector<XPathMatch> EvaluateXPath(std::string_view expr, const XmlNode* root);
+
+}  // namespace xml
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_XML_XPATH_H_

@@ -1,0 +1,278 @@
+#include "xml/xquery.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace graphitti {
+namespace xml {
+
+using util::Result;
+using util::Status;
+
+class XQueryParser {
+ public:
+  explicit XQueryParser(std::string_view input) : input_(input) {}
+
+  Result<XQuery> Parse() {
+    XQuery q;
+    q.text_ = std::string(input_);
+    if (!ConsumeKeyword("for")) return Error("expected 'for'");
+    GRAPHITTI_ASSIGN_OR_RETURN(q.var_, ParseVar());
+    if (!ConsumeKeyword("in")) return Error("expected 'in'");
+    if (!ConsumeKeyword("collection()")) return Error("expected 'collection()'");
+    q.source_path_ = ParsePath();
+    if (ConsumeKeyword("where")) {
+      auto cond = ParseOr(q.var_);
+      if (!cond.ok()) return cond.status();
+      q.where_ = std::move(cond).ValueUnsafe();
+    }
+    if (!ConsumeKeyword("return")) return Error("expected 'return'");
+    GRAPHITTI_ASSIGN_OR_RETURN(q.return_expr_, ParsePathRef(q.var_));
+    SkipWs();
+    if (pos_ != input_.size()) return Error("trailing input after return expression");
+    return q;
+  }
+
+ private:
+  using Condition = XQuery::Condition;
+  using ConditionPtr = XQuery::ConditionPtr;
+  using PathRef = XQuery::PathRef;
+
+  void SkipWs() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_])))
+      ++pos_;
+  }
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  bool LookingAt(std::string_view s) const { return input_.substr(pos_, s.size()) == s; }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipWs();
+    if (!LookingAt(kw)) return false;
+    // Word keywords must not be a prefix of a longer identifier.
+    if (std::isalpha(static_cast<unsigned char>(kw[0]))) {
+      char after = pos_ + kw.size() < input_.size() ? input_[pos_ + kw.size()] : '\0';
+      if (std::isalnum(static_cast<unsigned char>(after)) || after == '_') return false;
+    }
+    pos_ += kw.size();
+    return true;
+  }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError("XQuery: " + msg + " (at offset " + std::to_string(pos_) + ")");
+  }
+
+  Result<std::string> ParseVar() {
+    SkipWs();
+    if (Peek() != '$') return Error("expected '$variable'");
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) || input_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start) return Error("expected variable name after '$'");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // Parses an optional /a/b//c path (no predicates here; XPath handles them).
+  std::string ParsePath() {
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '/' || c == '@' || c == '*' || c == '[' || c == ']' || c == '\'' ||
+          c == '"' || std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':' || c == '-' || c == '.' || c == '(' || c == ')') {
+        // Stop at "(" unless it is part of text().
+        if (c == '(' && !LookingAt("()")) break;
+        if (c == ')' && input_.substr(pos_ - 1, 2) != "()") break;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return std::string(util::Trim(input_.substr(start, pos_ - start)));
+  }
+
+  Result<PathRef> ParsePathRef(const std::string& declared_var) {
+    PathRef ref;
+    GRAPHITTI_ASSIGN_OR_RETURN(ref.var, ParseVar());
+    if (ref.var != declared_var) {
+      return Error("unknown variable '$" + ref.var + "'");
+    }
+    if (Peek() == '/') ref.path = ParsePath();
+    return ref;
+  }
+
+  Result<std::string> ParseStringLiteral() {
+    SkipWs();
+    char q = Peek();
+    if (q != '\'' && q != '"') return Error("expected string literal");
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != q) ++pos_;
+    if (pos_ >= input_.size()) return Error("unterminated string literal");
+    std::string out(input_.substr(start, pos_ - start));
+    ++pos_;
+    return out;
+  }
+
+  Result<ConditionPtr> ParseOr(const std::string& var) {
+    GRAPHITTI_ASSIGN_OR_RETURN(ConditionPtr lhs, ParseAnd(var));
+    while (ConsumeKeyword("or")) {
+      GRAPHITTI_ASSIGN_OR_RETURN(ConditionPtr rhs, ParseAnd(var));
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ConditionPtr> ParseAnd(const std::string& var) {
+    GRAPHITTI_ASSIGN_OR_RETURN(ConditionPtr lhs, ParsePrimary(var));
+    while (ConsumeKeyword("and")) {
+      GRAPHITTI_ASSIGN_OR_RETURN(ConditionPtr rhs, ParsePrimary(var));
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ConditionPtr> ParsePrimary(const std::string& var) {
+    SkipWs();
+    if (ConsumeKeyword("not")) {
+      SkipWs();
+      if (Peek() != '(') return Error("expected '(' after 'not'");
+      ++pos_;
+      GRAPHITTI_ASSIGN_OR_RETURN(ConditionPtr inner, ParseOr(var));
+      SkipWs();
+      if (Peek() != ')') return Error("expected ')' after not(...)");
+      ++pos_;
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kNot;
+      node->lhs = std::move(inner);
+      return ConditionPtr(std::move(node));
+    }
+    if (LookingAt("(")) {
+      ++pos_;
+      GRAPHITTI_ASSIGN_OR_RETURN(ConditionPtr inner, ParseOr(var));
+      SkipWs();
+      if (Peek() != ')') return Error("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    if (ConsumeKeyword("contains")) {
+      SkipWs();
+      if (Peek() != '(') return Error("expected '(' after 'contains'");
+      ++pos_;
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kContains;
+      GRAPHITTI_ASSIGN_OR_RETURN(node->path, ParsePathRef(var));
+      SkipWs();
+      if (Peek() != ',') return Error("expected ',' in contains()");
+      ++pos_;
+      GRAPHITTI_ASSIGN_OR_RETURN(node->literal, ParseStringLiteral());
+      SkipWs();
+      if (Peek() != ')') return Error("expected ')' in contains()");
+      ++pos_;
+      return ConditionPtr(std::move(node));
+    }
+    // path = 'lit' or path != 'lit'
+    auto node = std::make_unique<Condition>();
+    GRAPHITTI_ASSIGN_OR_RETURN(node->path, ParsePathRef(var));
+    SkipWs();
+    if (LookingAt("!=")) {
+      pos_ += 2;
+      node->kind = Condition::Kind::kNotEquals;
+    } else if (Peek() == '=') {
+      ++pos_;
+      node->kind = Condition::Kind::kEquals;
+    } else {
+      return Error("expected '=' or '!=' in condition");
+    }
+    GRAPHITTI_ASSIGN_OR_RETURN(node->literal, ParseStringLiteral());
+    return ConditionPtr(std::move(node));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+Result<XQuery> XQuery::Compile(std::string_view query_text) {
+  return XQueryParser(query_text).Parse();
+}
+
+std::vector<XPathMatch> XQuery::EvalPathRef(const PathRef& ref, const XmlNode* binding) {
+  if (ref.path.empty()) {
+    XPathMatch m;
+    m.node = binding;
+    m.value = binding->InnerText();
+    return {m};
+  }
+  return EvaluateXPath(ref.path, binding);
+}
+
+bool XQuery::EvalCondition(const Condition& cond, const XmlNode* binding) const {
+  switch (cond.kind) {
+    case Condition::Kind::kAnd:
+      return EvalCondition(*cond.lhs, binding) && EvalCondition(*cond.rhs, binding);
+    case Condition::Kind::kOr:
+      return EvalCondition(*cond.lhs, binding) || EvalCondition(*cond.rhs, binding);
+    case Condition::Kind::kNot:
+      return !EvalCondition(*cond.lhs, binding);
+    case Condition::Kind::kContains: {
+      for (const XPathMatch& m : EvalPathRef(cond.path, binding)) {
+        if (util::ContainsIgnoreCase(m.value, cond.literal)) return true;
+      }
+      return false;
+    }
+    case Condition::Kind::kEquals: {
+      for (const XPathMatch& m : EvalPathRef(cond.path, binding)) {
+        if (m.value == cond.literal) return true;
+      }
+      return false;
+    }
+    case Condition::Kind::kNotEquals: {
+      for (const XPathMatch& m : EvalPathRef(cond.path, binding)) {
+        if (m.value != cond.literal) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::vector<XQueryRow> XQuery::Execute(
+    const std::vector<const XmlDocument*>& collection) const {
+  std::vector<XQueryRow> rows;
+  for (size_t di = 0; di < collection.size(); ++di) {
+    const XmlDocument* doc = collection[di];
+    if (doc == nullptr || doc->empty()) continue;
+
+    // Bind $var to each node selected by the source path (or the root).
+    std::vector<const XmlNode*> bindings;
+    if (source_path_.empty()) {
+      bindings.push_back(doc->root());
+    } else {
+      for (const XPathMatch& m : EvaluateXPath(source_path_, doc->root())) {
+        bindings.push_back(m.node);
+      }
+    }
+
+    for (const XmlNode* binding : bindings) {
+      if (where_ != nullptr && !EvalCondition(*where_, binding)) continue;
+      XQueryRow row;
+      row.document_index = di;
+      row.items = EvalPathRef(return_expr_, binding);
+      if (!row.items.empty()) rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace xml
+}  // namespace graphitti

@@ -1,0 +1,93 @@
+// XQuery-lite: the FLWOR subset used for collection search over annotation
+// contents ("collection-searching operations is performed using standard
+// XQuery", §II).
+//
+// Grammar:
+//   query  := 'for' VAR 'in' 'collection()' path?
+//             ('where' cond)? 'return' retexpr
+//   cond   := andCond ('or' andCond)*
+//   andCond:= primary ('and' primary)*
+//   primary:= 'contains(' pathref ',' STRING ')'
+//           | pathref '=' STRING
+//           | pathref '!=' STRING
+//           | 'not' '(' cond ')'
+//           | '(' cond ')'
+//   pathref:= VAR path?          -- path relative to the bound node
+//   retexpr:= VAR path?
+//   VAR    := '$' NAME
+//
+// Example:
+//   for $a in collection()/annotation
+//   where contains($a/body, "protease") and $a/dc:creator = "condit"
+//   return $a/dc:title
+#ifndef GRAPHITTI_XML_XQUERY_H_
+#define GRAPHITTI_XML_XQUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "xml/xml_node.h"
+#include "xml/xpath.h"
+
+namespace graphitti {
+namespace xml {
+
+/// One row of an XQuery result: the document it came from and the matched
+/// nodes/values produced by the return expression.
+struct XQueryRow {
+  size_t document_index = 0;
+  std::vector<XPathMatch> items;
+};
+
+/// A compiled FLWOR query, reusable across collections.
+class XQuery {
+ public:
+  static util::Result<XQuery> Compile(std::string_view query_text);
+
+  XQuery(XQuery&&) = default;
+  XQuery& operator=(XQuery&&) = default;
+
+  /// Runs over a collection of documents; one row per binding that satisfies
+  /// the where-clause and yields at least one return item.
+  std::vector<XQueryRow> Execute(
+      const std::vector<const XmlDocument*>& collection) const;
+
+  const std::string& text() const { return text_; }
+
+ private:
+  XQuery() = default;
+  friend class XQueryParser;
+
+  struct Condition;
+  using ConditionPtr = std::unique_ptr<Condition>;
+
+  struct PathRef {
+    std::string var;
+    std::string path;  // may be empty = the bound node itself
+  };
+
+  struct Condition {
+    enum class Kind { kContains, kEquals, kNotEquals, kAnd, kOr, kNot };
+    Kind kind;
+    PathRef path;          // leaf kinds
+    std::string literal;   // leaf kinds
+    ConditionPtr lhs;      // kAnd/kOr/kNot
+    ConditionPtr rhs;      // kAnd/kOr
+  };
+
+  bool EvalCondition(const Condition& cond, const XmlNode* binding) const;
+  static std::vector<XPathMatch> EvalPathRef(const PathRef& ref, const XmlNode* binding);
+
+  std::string text_;
+  std::string var_;
+  std::string source_path_;  // path applied to each document root (may be empty)
+  ConditionPtr where_;
+  PathRef return_expr_;
+};
+
+}  // namespace xml
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_XML_XQUERY_H_

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "agraph/agraph.h"
+#include "annotation/annotation_store.h"
+#include "spatial/index_manager.h"
+
+namespace graphitti {
+namespace annotation {
+namespace {
+
+class AnnotationStoreTest : public ::testing::Test {
+ protected:
+  AnnotationStoreTest() : store_(&indexes_, &graph_) {
+    (void)indexes_.coordinate_systems().RegisterCanonical("atlas", 2);
+  }
+
+  AnnotationBuilder Simple(const std::string& title, const std::string& body,
+                           const std::string& domain = "chr1", int64_t lo = 0,
+                           int64_t hi = 10, uint64_t object = 0) {
+    AnnotationBuilder b;
+    b.Title(title).Body(body).MarkInterval(domain, lo, hi, object);
+    return b;
+  }
+
+  spatial::IndexManager indexes_;
+  agraph::AGraph graph_;
+  AnnotationStore store_;
+};
+
+TEST_F(AnnotationStoreTest, CommitAssignsIdsAndStoresContent) {
+  auto id = store_.Commit(Simple("first", "protease active site"));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, 1u);
+  const Annotation* ann = store_.Get(*id);
+  ASSERT_NE(ann, nullptr);
+  EXPECT_EQ(ann->dc.title, "first");
+  EXPECT_EQ(ann->referents.size(), 1u);
+  EXPECT_FALSE(ann->content.empty());
+  EXPECT_EQ(store_.size(), 1u);
+}
+
+TEST_F(AnnotationStoreTest, CommitRequiresReferents) {
+  AnnotationBuilder empty;
+  empty.Title("no refs");
+  EXPECT_TRUE(store_.Commit(empty).status().IsInvalidArgument());
+}
+
+TEST_F(AnnotationStoreTest, CommitValidatesMarks) {
+  AnnotationBuilder bad;
+  bad.Title("bad").MarkInterval("chr1", 10, 5);
+  EXPECT_TRUE(store_.Commit(bad).status().IsInvalidArgument());
+  // Unregistered coordinate system fails before any state change.
+  AnnotationBuilder badcs;
+  badcs.Title("bad").MarkRegion("nope", spatial::Rect::Make2D(0, 0, 1, 1));
+  EXPECT_TRUE(store_.Commit(badcs).status().IsNotFound());
+  EXPECT_EQ(store_.size(), 0u);
+  EXPECT_EQ(store_.num_referents(), 0u);
+}
+
+TEST_F(AnnotationStoreTest, CommitPopulatesSpatialIndexes) {
+  ASSERT_TRUE(store_.Commit(Simple("a", "x", "chr1", 0, 10)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "y", "chr1", 5, 15)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("c", "z", "chr2", 0, 10)).ok());
+
+  EXPECT_EQ(indexes_.num_interval_trees(), 2u);
+  EXPECT_EQ(indexes_.QueryIntervals("chr1", {7, 8}).size(), 2u);
+
+  AnnotationBuilder region;
+  region.Title("r").MarkRegion("atlas", spatial::Rect::Make2D(0, 0, 5, 5));
+  ASSERT_TRUE(store_.Commit(region).ok());
+  EXPECT_EQ(indexes_.num_rtrees(), 1u);
+}
+
+TEST_F(AnnotationStoreTest, SharedReferentDeduplication) {
+  // Two annotations marking the identical substructure share one referent —
+  // this is what makes them "indirectly related" (§I).
+  ASSERT_TRUE(store_.Commit(Simple("a", "x", "chr1", 100, 200)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "y", "chr1", 100, 200)).ok());
+  EXPECT_EQ(store_.num_referents(), 1u);
+
+  auto rid = store_.FindReferent(
+      substructure::Substructure::MakeInterval("chr1", {100, 200}));
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(store_.GetReferent(*rid)->refcount, 2u);
+  EXPECT_EQ(store_.AnnotationsOfReferent(*rid), (std::vector<AnnotationId>{1, 2}));
+
+  auto related = graph_.IndirectlyRelatedContents(agraph::NodeRef::Content(1));
+  ASSERT_EQ(related.size(), 1u);
+  EXPECT_EQ(related[0].id, 2u);
+}
+
+TEST_F(AnnotationStoreTest, DuplicateMarkWithinOneAnnotationCollapses) {
+  AnnotationBuilder b;
+  b.Title("dup").MarkInterval("chr1", 0, 5).MarkInterval("chr1", 0, 5);
+  auto id = store_.Commit(b);
+  ASSERT_TRUE(id.ok());
+  const Annotation* ann = store_.Get(*id);
+  EXPECT_EQ(ann->referents.size(), 1u);
+  EXPECT_EQ(store_.GetReferent(ann->referents[0])->refcount, 1u);
+}
+
+TEST_F(AnnotationStoreTest, AGraphWiring) {
+  AnnotationBuilder b;
+  b.Title("wired").Body("text").MarkInterval("chr1", 0, 5, /*object_id=*/42);
+  b.OntologyReference("nif", "NIF:0001");
+  auto id = store_.Commit(b);
+  ASSERT_TRUE(id.ok());
+
+  agraph::NodeRef content = AnnotationStore::ContentNode(*id);
+  ASSERT_TRUE(graph_.HasNode(content));
+  EXPECT_EQ(graph_.NodeLabel(content), "wired");
+
+  auto neighbors = graph_.Neighbors(content);
+  ASSERT_EQ(neighbors.size(), 2u);  // referent + term
+
+  const Annotation* ann = store_.Get(*id);
+  agraph::NodeRef referent = AnnotationStore::ReferentNode(ann->referents[0]);
+  EXPECT_TRUE(graph_.HasEdge(content, referent, kEdgeAnnotates));
+  EXPECT_TRUE(graph_.HasEdge(referent, agraph::NodeRef::Object(42), kEdgeOfObject));
+
+  auto term = store_.FindTermNode("nif:NIF:0001");
+  ASSERT_TRUE(term.ok());
+  EXPECT_TRUE(graph_.HasEdge(content, *term, kEdgeRefersTo));
+  EXPECT_EQ(store_.TermName(*term), "nif:NIF:0001");
+}
+
+TEST_F(AnnotationStoreTest, TermNodesInterned) {
+  agraph::NodeRef a = store_.TermNode("nif:X");
+  agraph::NodeRef b = store_.TermNode("nif:X");
+  agraph::NodeRef c = store_.TermNode("nif:Y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(store_.FindTermNode("nif:Z").status().IsNotFound());
+  EXPECT_EQ(store_.TermName(agraph::NodeRef::Term(999)), "");
+  EXPECT_EQ(store_.TermName(agraph::NodeRef::Content(1)), "");
+}
+
+TEST_F(AnnotationStoreTest, KeywordSearch) {
+  ASSERT_TRUE(store_.Commit(Simple("a", "The protease cleaves here")).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "receptor binding site")).ok());
+  ASSERT_TRUE(store_.Commit(Simple("c", "another PROTEASE motif")).ok());
+
+  EXPECT_EQ(store_.SearchKeyword("protease"), (std::vector<AnnotationId>{1, 3}));
+  EXPECT_EQ(store_.SearchKeyword("Protease"), (std::vector<AnnotationId>{1, 3}));
+  EXPECT_TRUE(store_.SearchKeyword("absent").empty());
+  EXPECT_EQ(store_.SearchAllKeywords({"protease", "motif"}),
+            (std::vector<AnnotationId>{3}));
+}
+
+TEST_F(AnnotationStoreTest, KeywordSearchCoversTitleTagsAndTermRefs) {
+  AnnotationBuilder b;
+  b.Title("hemagglutinin study").Body("body text");
+  b.UserTag("grant", "NIH-123");
+  b.OntologyReference("nif", "Cerebellum");
+  b.MarkInterval("chr1", 0, 1);
+  ASSERT_TRUE(store_.Commit(b).ok());
+  EXPECT_EQ(store_.SearchKeyword("hemagglutinin").size(), 1u);
+  EXPECT_EQ(store_.SearchKeyword("grant").size(), 1u);
+  EXPECT_EQ(store_.SearchKeyword("cerebellum").size(), 1u);
+}
+
+TEST_F(AnnotationStoreTest, PhraseSearch) {
+  ASSERT_TRUE(store_.Commit(Simple("a", "refers to protein.TP53 directly")).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "tp53 protein mentioned separately")).ok());
+  // The paper's example phrase: "protein. TP53".
+  auto hits = store_.SearchPhrase("protein.TP53");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+  // Both share the words.
+  EXPECT_EQ(store_.SearchAllKeywords({"protein", "tp53"}).size(), 2u);
+}
+
+TEST_F(AnnotationStoreTest, XQuerySearch) {
+  ASSERT_TRUE(store_.Commit(Simple("alpha", "protease one")).ok());
+  ASSERT_TRUE(store_.Commit(Simple("beta", "unrelated")).ok());
+  auto hits = store_.XQuerySearch(
+      "for $a in collection()/annotation where contains($a/body, 'protease') return $a");
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_EQ(*hits, (std::vector<AnnotationId>{1}));
+  EXPECT_TRUE(store_.XQuerySearch("garbage").status().IsParseError());
+}
+
+TEST_F(AnnotationStoreTest, RemoveReleasesEverything) {
+  ASSERT_TRUE(store_.Commit(Simple("a", "protease", "chr1", 0, 10)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "protease", "chr1", 0, 10)).ok());
+  EXPECT_EQ(store_.num_referents(), 1u);
+
+  ASSERT_TRUE(store_.Remove(1).ok());
+  // Referent still alive (refcount 1), annotation 1 gone.
+  EXPECT_EQ(store_.Get(1), nullptr);
+  EXPECT_EQ(store_.num_referents(), 1u);
+  EXPECT_EQ(store_.SearchKeyword("protease"), (std::vector<AnnotationId>{2}));
+  EXPECT_FALSE(graph_.HasNode(agraph::NodeRef::Content(1)));
+
+  ASSERT_TRUE(store_.Remove(2).ok());
+  EXPECT_EQ(store_.num_referents(), 0u);
+  EXPECT_EQ(indexes_.num_interval_trees(), 0u);
+  EXPECT_TRUE(store_.SearchKeyword("protease").empty());
+  EXPECT_TRUE(store_.Remove(2).IsNotFound());
+}
+
+TEST_F(AnnotationStoreTest, IdsAndCollection) {
+  ASSERT_TRUE(store_.Commit(Simple("a", "one", "chr1", 0, 10)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "two", "chr1", 20, 30)).ok());
+  EXPECT_EQ(store_.Ids(), (std::vector<AnnotationId>{1, 2}));
+  EXPECT_EQ(store_.ReferentIds().size(), 2u);
+  EXPECT_EQ(store_.Collection().size(), 2u);
+}
+
+TEST_F(AnnotationStoreTest, SetTypedReferentsNotSpatiallyIndexed) {
+  AnnotationBuilder b;
+  b.Title("sets").MarkNodeSet("g1", {1, 2}).MarkBlockSet("t1", {3}).MarkClade("tr", {0});
+  ASSERT_TRUE(store_.Commit(b).ok());
+  EXPECT_EQ(store_.num_referents(), 3u);
+  EXPECT_EQ(indexes_.num_interval_trees(), 0u);
+  EXPECT_EQ(indexes_.num_rtrees(), 0u);
+  // But they are first-class a-graph citizens.
+  EXPECT_EQ(graph_.NodesOfKind(agraph::NodeKind::kReferent).size(), 3u);
+}
+
+}  // namespace
+}  // namespace annotation
+}  // namespace graphitti

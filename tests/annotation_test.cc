@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "annotation/annotation.h"
+#include "annotation/dublin_core.h"
+#include "xml/xml_parser.h"
+#include "xml/xpath.h"
+
+namespace graphitti {
+namespace annotation {
+namespace {
+
+TEST(DublinCoreTest, AppendToSkipsEmptyFields) {
+  DublinCore dc;
+  dc.title = "T";
+  dc.creator = "C";
+  auto root = xml::XmlNode::Element("annotation");
+  dc.AppendTo(root.get());
+  EXPECT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->FirstChildElement("dc:title")->InnerText(), "T");
+  EXPECT_EQ(root->FirstChildElement("dc:creator")->InnerText(), "C");
+  EXPECT_EQ(root->FirstChildElement("dc:subject"), nullptr);
+}
+
+TEST(DublinCoreTest, FromXmlRoundTrip) {
+  DublinCore dc;
+  dc.title = "Observation";
+  dc.creator = "condit";
+  dc.subject = "protein.TP53";
+  dc.date = "2007-11-02";
+  dc.language = "en";
+  auto root = xml::XmlNode::Element("annotation");
+  dc.AppendTo(root.get());
+  DublinCore back = DublinCore::FromXml(root.get());
+  EXPECT_EQ(back, dc);
+}
+
+TEST(DublinCoreTest, FromXmlNullAndMissing) {
+  DublinCore empty = DublinCore::FromXml(nullptr);
+  EXPECT_TRUE(empty.title.empty());
+  auto root = xml::XmlNode::Element("annotation");
+  EXPECT_EQ(DublinCore::FromXml(root.get()), DublinCore{});
+}
+
+TEST(DublinCoreTest, NonEmptyFields) {
+  DublinCore dc;
+  dc.title = "a";
+  dc.rights = "b";
+  auto fields = dc.NonEmptyFields();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].first, "title");
+  EXPECT_EQ(fields[1].first, "rights");
+}
+
+TEST(AnnotationBuilderTest, FluentFieldsAccumulate) {
+  AnnotationBuilder b;
+  b.Title("T").Creator("C").Subject("S").Description("D").Date("2008-01-01").Source("src");
+  b.Body("comment text");
+  b.UserTag("confidence", "high");
+  EXPECT_EQ(b.dc().title, "T");
+  EXPECT_EQ(b.dc().source, "src");
+  EXPECT_EQ(b.body(), "comment text");
+  ASSERT_EQ(b.user_tags().size(), 1u);
+  EXPECT_EQ(b.user_tags()[0].second, "high");
+}
+
+TEST(AnnotationBuilderTest, MarkersAccumulate) {
+  AnnotationBuilder b;
+  b.MarkInterval("chr1", 10, 20, 5)
+      .MarkRegion("atlas", spatial::Rect::Make2D(0, 0, 1, 1), 6)
+      .MarkBlockSet("t", {1, 2}, 7)
+      .MarkNodeSet("g", {3}, 8)
+      .MarkClade("tree", {4, 5}, 9);
+  ASSERT_EQ(b.marks().size(), 5u);
+  EXPECT_EQ(b.marks()[0].first.type(), substructure::SubType::kInterval);
+  EXPECT_EQ(b.marks()[0].second, 5u);
+  EXPECT_EQ(b.marks()[4].first.type(), substructure::SubType::kTreeClade);
+}
+
+TEST(AnnotationBuilderTest, MarkIntervalsAddsOnePerSubinterval) {
+  // "the user ... marks the start and end points of all subintervals that
+  // would be referred to by a single annotation" (Fig. 2 flow).
+  AnnotationBuilder b;
+  b.MarkIntervals("chr1", {{0, 10}, {20, 30}, {40, 50}}, 1);
+  EXPECT_EQ(b.marks().size(), 3u);
+}
+
+TEST(AnnotationBuilderTest, OntologyReferences) {
+  AnnotationBuilder b;
+  b.OntologyReference("nif", "NIF:0001").OntologyReference("go", "GO:42");
+  ASSERT_EQ(b.ontology_refs().size(), 2u);
+  EXPECT_EQ(b.ontology_refs()[0].Qualified(), "nif:NIF:0001");
+}
+
+TEST(AnnotationBuilderTest, BuildContentXmlStructure) {
+  AnnotationBuilder b;
+  b.Title("Observation").Creator("condit").Body("protease site");
+  b.UserTag("confidence", "0.9");
+  b.OntologyReference("nif", "NIF:0001");
+  b.MarkInterval("flu:seg4", 100, 200, 3);
+
+  auto doc = b.BuildContentXml(7);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const xml::XmlNode* root = doc->root();
+  EXPECT_EQ(root->tag(), "annotation");
+  EXPECT_EQ(*root->FindAttribute("id"), "7");
+  EXPECT_EQ(root->FirstChildElement("dc:title")->InnerText(), "Observation");
+  EXPECT_EQ(root->FirstChildElement("body")->InnerText(), "protease site");
+  EXPECT_EQ(root->FirstChildElement("user:confidence")->InnerText(), "0.9");
+
+  auto onto_refs = xml::EvaluateXPath("//ontology-ref", root);
+  ASSERT_EQ(onto_refs.size(), 1u);
+  EXPECT_EQ(*onto_refs[0].node->FindAttribute("term"), "NIF:0001");
+
+  auto ref_refs = xml::EvaluateXPath("//referent-ref[@type='interval']", root);
+  ASSERT_EQ(ref_refs.size(), 1u);
+  EXPECT_EQ(*ref_refs[0].node->FindAttribute("domain"), "flu:seg4");
+  EXPECT_EQ(*ref_refs[0].node->FindAttribute("object"), "3");
+}
+
+TEST(AnnotationBuilderTest, BuildContentXmlParsesBack) {
+  AnnotationBuilder b;
+  b.Title("Round & trip <test>").Body("with \"special\" characters");
+  b.MarkInterval("chr1", 0, 5);
+  auto doc = b.BuildContentXml(1);
+  ASSERT_TRUE(doc.ok());
+  auto reparsed = xml::ParseXml(doc->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->root()->FirstChildElement("dc:title")->InnerText(),
+            "Round & trip <test>");
+}
+
+TEST(AnnotationBuilderTest, AnonymousIdOmitsAttribute) {
+  AnnotationBuilder b;
+  b.Title("x").MarkInterval("d", 0, 1);
+  auto doc = b.BuildContentXml(0);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->FindAttribute("id"), nullptr);
+}
+
+TEST(AnnotationBuilderTest, InvalidMarksRejected) {
+  AnnotationBuilder b;
+  b.MarkInterval("chr1", 10, 5);  // inverted
+  EXPECT_TRUE(b.BuildContentXml(1).status().IsInvalidArgument());
+
+  AnnotationBuilder b2;
+  b2.UserTag("", "value").MarkInterval("d", 0, 1);
+  EXPECT_TRUE(b2.BuildContentXml(1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace annotation
+}  // namespace graphitti

@@ -1,0 +1,159 @@
+// Bulk-loading paths: balanced interval-tree build and STR-packed R-tree.
+#include <gtest/gtest.h>
+
+#include "spatial/interval_tree.h"
+#include "spatial/rtree.h"
+#include "util/random.h"
+
+namespace graphitti {
+namespace spatial {
+namespace {
+
+std::vector<IntervalEntry> RandomIntervals(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<IntervalEntry> out;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t lo = rng.Uniform(0, 100000);
+    out.push_back({Interval(lo, lo + rng.Uniform(1, 500)), i});
+  }
+  return out;
+}
+
+TEST(IntervalBulkLoadTest, EmptyAndSingle) {
+  auto empty = IntervalTree::BulkLoad({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_TRUE(empty->CheckInvariants());
+
+  auto one = IntervalTree::BulkLoad({{Interval(1, 5), 7}});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->size(), 1u);
+  EXPECT_EQ(one->Stab(3).size(), 1u);
+}
+
+TEST(IntervalBulkLoadTest, MatchesIncrementalBuild) {
+  auto entries = RandomIntervals(2000, 5);
+  auto bulk = IntervalTree::BulkLoad(entries);
+  ASSERT_TRUE(bulk.ok());
+  EXPECT_TRUE(bulk->CheckInvariants());
+  EXPECT_EQ(bulk->size(), entries.size());
+
+  IntervalTree incremental;
+  for (const auto& e : entries) ASSERT_TRUE(incremental.Insert(e.interval, e.id).ok());
+
+  util::Rng rng(9);
+  for (int q = 0; q < 50; ++q) {
+    int64_t lo = rng.Uniform(0, 100000);
+    Interval window(lo, lo + 1000);
+    EXPECT_EQ(bulk->Window(window), incremental.Window(window));
+  }
+}
+
+TEST(IntervalBulkLoadTest, BalancedHeight) {
+  auto bulk = IntervalTree::BulkLoad(RandomIntervals(4096, 3));
+  ASSERT_TRUE(bulk.ok());
+  // Perfectly balanced: height == ceil(log2(4096+1)) == 13.
+  EXPECT_LE(bulk->height(), 13);
+}
+
+TEST(IntervalBulkLoadTest, RejectsBadInput) {
+  EXPECT_TRUE(IntervalTree::BulkLoad({{Interval(5, 1), 1}}).status().IsInvalidArgument());
+  EXPECT_TRUE(IntervalTree::BulkLoad({{Interval(1, 5), 1}, {Interval(1, 5), 1}})
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(IntervalBulkLoadTest, SupportsFurtherMutation) {
+  auto tree = IntervalTree::BulkLoad(RandomIntervals(100, 7));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(Interval(999999, 1000000), 12345).ok());
+  auto entries = RandomIntervals(100, 7);
+  ASSERT_TRUE(tree->Erase(entries[0].interval, entries[0].id).ok());
+  EXPECT_TRUE(tree->CheckInvariants());
+  EXPECT_EQ(tree->size(), 100u);
+}
+
+std::vector<RTreeEntry> RandomRects(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<RTreeEntry> out;
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextDouble() * 1000;
+    double y = rng.NextDouble() * 1000;
+    out.push_back({Rect::Make2D(x, y, x + 5 + rng.NextDouble() * 20,
+                                y + 5 + rng.NextDouble() * 20),
+                   i});
+  }
+  return out;
+}
+
+TEST(RTreeBulkLoadTest, EmptyAndSmall) {
+  auto empty = RTree::BulkLoad({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_TRUE(empty->CheckInvariants());
+
+  auto three = RTree::BulkLoad(RandomRects(3, 1));
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ(three->size(), 3u);
+  EXPECT_TRUE(three->CheckInvariants());
+}
+
+class RTreeBulkLoadSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeBulkLoadSizeTest, InvariantsAndQueriesMatchOracle) {
+  auto entries = RandomRects(GetParam(), 11);
+  auto tree = RTree::BulkLoad(entries, 2, 8);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->size(), entries.size());
+  EXPECT_TRUE(tree->CheckInvariants()) << "n=" << GetParam();
+
+  util::Rng rng(13);
+  for (int q = 0; q < 20; ++q) {
+    double x = rng.NextDouble() * 1000;
+    double y = rng.NextDouble() * 1000;
+    Rect window = Rect::Make2D(x, y, x + 100, y + 100);
+    std::vector<uint64_t> expected;
+    for (const auto& e : entries) {
+      if (e.rect.Overlaps(window)) expected.push_back(e.id);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<uint64_t> got;
+    for (const auto& e : tree->Window(window)) got.push_back(e.id);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeBulkLoadSizeTest,
+                         ::testing::Values(1, 4, 5, 8, 9, 17, 33, 64, 100, 257, 1000, 5000));
+
+TEST(RTreeBulkLoadTest, PackedTreeIsShallow) {
+  auto incremental_entries = RandomRects(4096, 21);
+  RTree incremental(2, 8);
+  for (const auto& e : incremental_entries) {
+    ASSERT_TRUE(incremental.Insert(e.rect, e.id).ok());
+  }
+  auto packed = RTree::BulkLoad(incremental_entries, 2, 8);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_LE(packed->height(), incremental.height());
+}
+
+TEST(RTreeBulkLoadTest, RejectsBadInput) {
+  EXPECT_TRUE(
+      RTree::BulkLoad({{Rect::Make3D(0, 0, 0, 1, 1, 1), 1}}, 2).status().IsInvalidArgument());
+  RTreeEntry dup{Rect::Make2D(0, 0, 1, 1), 1};
+  EXPECT_TRUE(RTree::BulkLoad({dup, dup}).status().IsAlreadyExists());
+}
+
+TEST(RTreeBulkLoadTest, SupportsFurtherMutation) {
+  auto entries = RandomRects(200, 31);
+  auto tree = RTree::BulkLoad(entries, 2, 8);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(Rect::Make2D(2000, 2000, 2001, 2001), 9999).ok());
+  ASSERT_TRUE(tree->Erase(entries[5].rect, entries[5].id).ok());
+  EXPECT_TRUE(tree->CheckInvariants());
+  EXPECT_EQ(tree->size(), 200u);
+}
+
+}  // namespace
+}  // namespace spatial
+}  // namespace graphitti

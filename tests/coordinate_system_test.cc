@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "spatial/coordinate_system.h"
+
+namespace graphitti {
+namespace spatial {
+namespace {
+
+TEST(CoordinateSystemTest, RegisterCanonical) {
+  CoordinateSystemRegistry reg;
+  ASSERT_TRUE(reg.RegisterCanonical("atlas_25um", 3).ok());
+  EXPECT_TRUE(reg.Contains("atlas_25um"));
+  EXPECT_EQ(reg.size(), 1u);
+  auto cs = reg.Get("atlas_25um");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->canonical, "atlas_25um");
+  EXPECT_EQ(cs->dims, 3);
+}
+
+TEST(CoordinateSystemTest, DuplicateAndMissing) {
+  CoordinateSystemRegistry reg;
+  ASSERT_TRUE(reg.RegisterCanonical("a", 2).ok());
+  EXPECT_TRUE(reg.RegisterCanonical("a", 2).IsAlreadyExists());
+  EXPECT_TRUE(reg.Get("b").status().IsNotFound());
+  EXPECT_TRUE(reg.RegisterCanonical("bad", 0).IsInvalidArgument());
+  EXPECT_TRUE(reg.RegisterCanonical("bad", 4).IsInvalidArgument());
+}
+
+TEST(CoordinateSystemTest, DerivedTransformsIntoCanonical) {
+  CoordinateSystemRegistry reg;
+  ASSERT_TRUE(reg.RegisterCanonical("atlas_25um", 2).ok());
+  // 50um pixels are 2x canonical units.
+  ASSERT_TRUE(reg.RegisterDerived("atlas_50um", "atlas_25um", {2, 2, 1}, {0, 0, 0}).ok());
+
+  auto mapped = reg.ToCanonical("atlas_50um", Rect::Make2D(10, 10, 20, 20));
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->first, "atlas_25um");
+  EXPECT_EQ(mapped->second, Rect::Make2D(20, 20, 40, 40));
+}
+
+TEST(CoordinateSystemTest, OffsetsAndNegativeScales) {
+  CoordinateSystemRegistry reg;
+  ASSERT_TRUE(reg.RegisterCanonical("c", 2).ok());
+  ASSERT_TRUE(reg.RegisterDerived("flipped", "c", {-1, 1, 1}, {100, 5, 0}).ok());
+  auto mapped = reg.ToCanonical("flipped", Rect::Make2D(10, 0, 20, 10));
+  ASSERT_TRUE(mapped.ok());
+  // x: [10,20] * -1 + 100 = [80, 90] after lo/hi normalization.
+  EXPECT_EQ(mapped->second, Rect::Make2D(80, 5, 90, 15));
+}
+
+TEST(CoordinateSystemTest, CanonicalIdentityTransform) {
+  CoordinateSystemRegistry reg;
+  ASSERT_TRUE(reg.RegisterCanonical("c", 2).ok());
+  Rect r = Rect::Make2D(1, 2, 3, 4);
+  auto mapped = reg.ToCanonical("c", r);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->second, r);
+}
+
+TEST(CoordinateSystemTest, DerivedValidation) {
+  CoordinateSystemRegistry reg;
+  ASSERT_TRUE(reg.RegisterCanonical("c", 2).ok());
+  ASSERT_TRUE(reg.RegisterDerived("d", "c", {2, 2, 1}, {0, 0, 0}).ok());
+  // Chaining off a derived system is rejected.
+  EXPECT_TRUE(reg.RegisterDerived("e", "d", {2, 2, 1}, {0, 0, 0}).IsInvalidArgument());
+  // Unknown canonical.
+  EXPECT_TRUE(reg.RegisterDerived("f", "nope", {1, 1, 1}, {0, 0, 0}).IsNotFound());
+  // Zero scale.
+  EXPECT_TRUE(reg.RegisterDerived("g", "c", {0, 1, 1}, {0, 0, 0}).IsInvalidArgument());
+  // Duplicate name.
+  EXPECT_TRUE(reg.RegisterDerived("d", "c", {1, 1, 1}, {0, 0, 0}).IsAlreadyExists());
+}
+
+TEST(CoordinateSystemTest, DimsMismatchRejected) {
+  CoordinateSystemRegistry reg;
+  ASSERT_TRUE(reg.RegisterCanonical("c3", 3).ok());
+  EXPECT_TRUE(reg.ToCanonical("c3", Rect::Make2D(0, 0, 1, 1)).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spatial
+}  // namespace graphitti

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "relational/csv.h"
+
+namespace graphitti {
+namespace relational {
+namespace {
+
+Schema TestSchema() {
+  return SchemaBuilder().Str("name", false).Int("count").Real("score").Blob("raw").Build();
+}
+
+TEST(CsvRecordTest, SimpleFields) {
+  auto r = ParseCsvRecord("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvRecordTest, QuotedFields) {
+  auto r = ParseCsvRecord(R"(plain,"has,comma","has ""quote""","multi
+line")");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 4u);
+  EXPECT_EQ((*r)[1], "has,comma");
+  EXPECT_EQ((*r)[2], "has \"quote\"");
+  EXPECT_EQ((*r)[3], "multi\nline");
+}
+
+TEST(CsvRecordTest, EmptyFieldsAndCustomDelimiter) {
+  auto r = ParseCsvRecord("a;;c", ';');
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(ParseCsvRecord("")->size(), 1u);
+}
+
+TEST(CsvRecordTest, Errors) {
+  EXPECT_TRUE(ParseCsvRecord("\"unterminated").status().IsParseError());
+  EXPECT_TRUE(ParseCsvRecord("ab\"cd\"").status().IsParseError());
+}
+
+TEST(CsvTest, ExportBasics) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Str("alpha"), Value::Int(3), Value::Real(0.5), Value::Blob({0xab})})
+          .ok());
+  ASSERT_TRUE(t.Insert({Value::Str("with,comma"), Value::Null(), Value::Null(),
+                        Value::Null()})
+                  .ok());
+  std::string csv = ExportCsv(t);
+  EXPECT_EQ(csv,
+            "name,count,score,raw\n"
+            "alpha,3,0.5,0xab\n"
+            "\"with,comma\",,,\n");
+}
+
+TEST(CsvTest, ImportRoundTrip) {
+  Table src("src", TestSchema());
+  ASSERT_TRUE(src.Insert({Value::Str("a \"quoted\" name"), Value::Int(-7),
+                          Value::Real(2.25), Value::Blob({1, 2, 255})})
+                  .ok());
+  ASSERT_TRUE(
+      src.Insert({Value::Str("line\nbreak"), Value::Int(0), Value::Null(), Value::Null()})
+          .ok());
+  std::string csv = ExportCsv(src);
+
+  Table dst("dst", TestSchema());
+  auto n = ImportCsv(&dst, csv);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(dst.GetCell(0, "name").as_string(), "a \"quoted\" name");
+  EXPECT_EQ(dst.GetCell(0, "count").as_int(), -7);
+  EXPECT_EQ(dst.GetCell(0, "raw").as_bytes(), (std::vector<uint8_t>{1, 2, 255}));
+  EXPECT_EQ(dst.GetCell(1, "name").as_string(), "line\nbreak");
+  EXPECT_TRUE(dst.GetCell(1, "score").is_null());
+}
+
+TEST(CsvTest, ImportValidatesHeader) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(ImportCsv(&t, "wrong,header,row,here\na,1,2,0x00\n").status().IsParseError());
+  EXPECT_TRUE(ImportCsv(&t, "name,count\na,1\n").status().IsParseError());
+  EXPECT_TRUE(ImportCsv(&t, "").status().IsParseError());
+  // Headerless import works when disabled.
+  CsvOptions no_header;
+  no_header.header = false;
+  auto n = ImportCsv(&t, "x,1,0.5,0xff\n", no_header);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(CsvTest, ImportTypeErrors) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(
+      ImportCsv(&t, "name,count,score,raw\nx,notanum,0.5,0x00\n").status().IsParseError());
+  EXPECT_TRUE(
+      ImportCsv(&t, "name,count,score,raw\nx,1,bad,0x00\n").status().IsParseError());
+  EXPECT_TRUE(
+      ImportCsv(&t, "name,count,score,raw\nx,1,0.5,zz\n").status().IsParseError());
+  EXPECT_TRUE(
+      ImportCsv(&t, "name,count,score,raw\nx,1,0.5,0xg0\n").status().IsParseError());
+  // Arity mismatch.
+  EXPECT_TRUE(ImportCsv(&t, "name,count,score,raw\nx,1\n").status().IsParseError());
+  // Null in non-nullable column -> schema validation error.
+  EXPECT_TRUE(ImportCsv(&t, "name,count,score,raw\n,1,0.5,0x00\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ImportCsv(nullptr, "x").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  Table t("t", TestSchema());
+  auto n = ImportCsv(&t, "name,count,score,raw\n\nx,1,0.5,0x00\n\n");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(CsvTest, DoublePrecisionSurvives) {
+  Table src("src", SchemaBuilder().Real("v").Build());
+  ASSERT_TRUE(src.Insert({Value::Real(0.1 + 0.2)}).ok());
+  Table dst("dst", SchemaBuilder().Real("v").Build());
+  ASSERT_TRUE(ImportCsv(&dst, ExportCsv(src)).ok());
+  EXPECT_DOUBLE_EQ(dst.GetCell(0, "v").as_double(), 0.1 + 0.2);
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace graphitti

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "core/data_types.h"
+
+namespace graphitti {
+namespace core {
+namespace {
+
+TEST(NewickTest, ParsesSimpleTree) {
+  auto tree = PhyloTree::FromNewick("(A:0.1,(B:0.2,C:0.3)D:0.4)E;");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->size(), 5u);
+  EXPECT_EQ(tree->num_leaves(), 3u);
+  EXPECT_EQ(tree->node(0).name, "E");
+  EXPECT_EQ(tree->node(0).children.size(), 2u);
+
+  uint64_t b = tree->FindNode("B");
+  ASSERT_NE(b, UINT64_MAX);
+  EXPECT_TRUE(tree->node(b).is_leaf());
+  EXPECT_DOUBLE_EQ(tree->node(b).branch_length, 0.2);
+  uint64_t d = tree->FindNode("D");
+  EXPECT_EQ(tree->node(b).parent, d);
+}
+
+TEST(NewickTest, NamesAndLengthsOptional) {
+  auto tree = PhyloTree::FromNewick("((,),);");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->size(), 5u);
+  EXPECT_EQ(tree->num_leaves(), 3u);
+  auto named = PhyloTree::FromNewick("(A,B);");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->num_leaves(), 2u);
+}
+
+TEST(NewickTest, SingleLeaf) {
+  auto tree = PhyloTree::FromNewick("A;");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_TRUE(tree->node(0).is_leaf());
+}
+
+TEST(NewickTest, RoundTrip) {
+  const std::string newick = "(A:0.1,(B:0.2,C:0.3)D:0.4)E;";
+  auto tree = PhyloTree::FromNewick(newick);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->ToNewick(), newick);
+  auto reparsed = PhyloTree::FromNewick(tree->ToNewick());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->size(), tree->size());
+}
+
+TEST(NewickTest, CladeOf) {
+  auto tree = PhyloTree::FromNewick("((A,B)X,(C,(D,E)Y)Z)R;");
+  ASSERT_TRUE(tree.ok());
+  uint64_t x = tree->FindNode("X");
+  auto clade_x = tree->CladeOf(x);
+  EXPECT_EQ(clade_x.size(), 2u);
+  uint64_t z = tree->FindNode("Z");
+  EXPECT_EQ(tree->CladeOf(z).size(), 3u);
+  EXPECT_EQ(tree->CladeOf(0).size(), 5u);  // root clade = all leaves
+  // A leaf's clade is itself.
+  uint64_t a = tree->FindNode("A");
+  EXPECT_EQ(tree->CladeOf(a), (std::vector<uint64_t>{a}));
+  EXPECT_TRUE(tree->CladeOf(999).empty());
+}
+
+TEST(NewickTest, Leaves) {
+  auto tree = PhyloTree::FromNewick("((A,B)X,C)R;");
+  ASSERT_TRUE(tree.ok());
+  auto leaves = tree->Leaves();
+  EXPECT_EQ(leaves.size(), 3u);
+  for (uint64_t l : leaves) EXPECT_TRUE(tree->node(l).is_leaf());
+}
+
+TEST(NewickTest, Errors) {
+  EXPECT_TRUE(PhyloTree::FromNewick("").status().IsParseError());
+  EXPECT_TRUE(PhyloTree::FromNewick("(A,B").status().IsParseError());
+  EXPECT_TRUE(PhyloTree::FromNewick("(A;B);").status().IsParseError());
+  EXPECT_TRUE(PhyloTree::FromNewick("(A:x,B);").status().IsParseError());
+  EXPECT_TRUE(PhyloTree::FromNewick("(A,B); trailing").status().IsParseError());
+}
+
+TEST(InteractionGraphTest, NodesAndEdges) {
+  InteractionGraph g("ppi");
+  auto ha = g.AddNode("HA");
+  auto na = g.AddNode("NA");
+  auto m1 = g.AddNode("M1");
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(g.AddEdge(*ha, *na, "binds").ok());
+  ASSERT_TRUE(g.AddEdge(*na, *m1).ok());
+
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.FindNode("NA"), *na);
+  EXPECT_EQ(g.FindNode("nope"), UINT64_MAX);
+  EXPECT_EQ(g.NodeName(*ha), "HA");
+  EXPECT_EQ(g.Neighbors(*na), (std::vector<uint64_t>{*ha, *m1}));
+}
+
+TEST(InteractionGraphTest, Validation) {
+  InteractionGraph g("x");
+  ASSERT_TRUE(g.AddNode("A").ok());
+  EXPECT_TRUE(g.AddNode("A").status().IsAlreadyExists());
+  EXPECT_TRUE(g.AddNode("").status().IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(0, 99).IsInvalidArgument());
+  EXPECT_TRUE(g.Neighbors(99).empty());
+}
+
+TEST(InteractionGraphTest, TextRoundTrip) {
+  InteractionGraph g("ppi");
+  uint64_t a = *g.AddNode("HA");
+  uint64_t b = *g.AddNode("NA");
+  ASSERT_TRUE(g.AddEdge(a, b, "binds").ok());
+
+  std::string text = g.ToText();
+  auto restored = InteractionGraph::FromText(text, "ppi");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_nodes(), 2u);
+  EXPECT_EQ(restored->num_edges(), 1u);
+  EXPECT_EQ(restored->Neighbors(0), (std::vector<uint64_t>{1}));
+}
+
+TEST(InteractionGraphTest, FromTextErrors) {
+  EXPECT_TRUE(InteractionGraph::FromText("bogus line").status().IsParseError());
+  EXPECT_TRUE(InteractionGraph::FromText("edge x y").status().IsParseError());
+  EXPECT_TRUE(InteractionGraph::FromText("node A\nedge 0 5").status().IsInvalidArgument());
+}
+
+TEST(MsaTest, Validity) {
+  Msa msa;
+  msa.name = "aln";
+  EXPECT_FALSE(msa.valid());
+  msa.rows = {{"s1", "ACGT-"}, {"s2", "AC-TT"}};
+  EXPECT_TRUE(msa.valid());
+  EXPECT_EQ(msa.num_columns(), 5u);
+  msa.rows.push_back({"s3", "AC"});
+  EXPECT_FALSE(msa.valid());
+}
+
+TEST(SchemasTest, BuiltinSchemasHaveKeyColumns) {
+  EXPECT_EQ(DnaSequenceSchema().FindColumn("accession"), 0);
+  EXPECT_GE(DnaSequenceSchema().FindColumn("residues"), 0);
+  EXPECT_GE(RnaSequenceSchema().FindColumn("segment"), 0);
+  EXPECT_GE(ProteinSequenceSchema().FindColumn("protein_name"), 0);
+  EXPECT_GE(ImageSchema().FindColumn("coordinate_system"), 0);
+  EXPECT_GE(ImageSchema().FindColumn("pixels"), 0);
+  EXPECT_GE(PhyloTreeSchema().FindColumn("newick"), 0);
+  EXPECT_GE(InteractionGraphSchema().FindColumn("payload"), 0);
+  EXPECT_GE(MsaSchema().FindColumn("num_columns"), 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace graphitti

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "spatial/interval_tree.h"
+#include "util/random.h"
+
+namespace graphitti {
+namespace spatial {
+namespace {
+
+TEST(IntervalTest, BasicGeometry) {
+  Interval a(10, 20), b(15, 30), c(21, 25);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(a.Contains(10));
+  EXPECT_TRUE(a.Contains(20));
+  EXPECT_FALSE(a.Contains(21));
+  EXPECT_TRUE(Interval(0, 100).Contains(a));
+  EXPECT_FALSE(a.Contains(Interval(0, 100)));
+  EXPECT_TRUE(a.StrictlyBefore(c));
+  EXPECT_FALSE(a.StrictlyBefore(b));
+}
+
+TEST(IntervalTest, IntersectAndHull) {
+  Interval a(10, 20), b(15, 30);
+  auto i = a.Intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, Interval(15, 20));
+  EXPECT_FALSE(a.Intersect(Interval(21, 30)).has_value());
+  // Adjacent closed intervals intersect at the shared point.
+  auto point = a.Intersect(Interval(20, 25));
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(*point, Interval(20, 20));
+  EXPECT_EQ(a.Hull(b), Interval(10, 30));
+}
+
+TEST(IntervalTest, ValidityAndLength) {
+  EXPECT_FALSE(Interval().valid());
+  EXPECT_TRUE(Interval(5, 5).valid());
+  EXPECT_EQ(Interval(5, 5).length(), 1);
+  EXPECT_EQ(Interval(0, 9).length(), 10);
+  EXPECT_EQ(Interval(9, 0).length(), 0);
+}
+
+TEST(IntervalTreeTest, InsertAndStab) {
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Insert(Interval(10, 20), 1).ok());
+  ASSERT_TRUE(tree.Insert(Interval(15, 25), 2).ok());
+  ASSERT_TRUE(tree.Insert(Interval(30, 40), 3).ok());
+  EXPECT_EQ(tree.size(), 3u);
+
+  auto hits = tree.Stab(17);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 2u);
+  EXPECT_TRUE(tree.Stab(26).empty());
+  EXPECT_EQ(tree.Stab(30).size(), 1u);
+}
+
+TEST(IntervalTreeTest, RejectsInvalidAndDuplicate) {
+  IntervalTree tree;
+  EXPECT_TRUE(tree.Insert(Interval(5, 1), 1).IsInvalidArgument());
+  ASSERT_TRUE(tree.Insert(Interval(1, 5), 1).ok());
+  EXPECT_TRUE(tree.Insert(Interval(1, 5), 1).IsAlreadyExists());
+  // Same interval, different id is fine (shared referent locations).
+  EXPECT_TRUE(tree.Insert(Interval(1, 5), 2).ok());
+}
+
+TEST(IntervalTreeTest, EraseMaintainsStructure) {
+  IntervalTree tree;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree.Insert(Interval(i * 10, i * 10 + 15), static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_TRUE(tree.Erase(Interval(50, 65), 5).ok());
+  EXPECT_TRUE(tree.Erase(Interval(50, 65), 5).IsNotFound());
+  EXPECT_EQ(tree.size(), 19u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  auto hits = tree.Stab(55);
+  for (const auto& h : hits) EXPECT_NE(h.id, 5u);
+}
+
+TEST(IntervalTreeTest, NextAfter) {
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Insert(Interval(10, 20), 1).ok());
+  ASSERT_TRUE(tree.Insert(Interval(30, 35), 2).ok());
+  ASSERT_TRUE(tree.Insert(Interval(50, 60), 3).ok());
+
+  auto next = tree.NextAfter(10);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->id, 2u);
+  next = tree.NextAfter(9);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->id, 1u);
+  next = tree.NextAfter(30);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->id, 3u);
+  EXPECT_FALSE(tree.NextAfter(50).has_value());
+}
+
+TEST(IntervalTreeTest, FirstAndForEachOrdered) {
+  IntervalTree tree;
+  ASSERT_TRUE(tree.Insert(Interval(30, 40), 3).ok());
+  ASSERT_TRUE(tree.Insert(Interval(10, 20), 1).ok());
+  ASSERT_TRUE(tree.Insert(Interval(10, 15), 0).ok());
+
+  auto first = tree.First();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->interval, Interval(10, 15));
+
+  std::vector<IntervalEntry> seen;
+  tree.ForEach([&](const IntervalEntry& e) { seen.push_back(e); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].interval, Interval(10, 15));
+  EXPECT_EQ(seen[1].interval, Interval(10, 20));
+  EXPECT_EQ(seen[2].interval, Interval(30, 40));
+}
+
+TEST(IntervalTreeTest, EmptyTreeBehaviour) {
+  IntervalTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.Stab(5).empty());
+  EXPECT_TRUE(tree.Window(Interval(0, 100)).empty());
+  EXPECT_FALSE(tree.NextAfter(0).has_value());
+  EXPECT_FALSE(tree.First().has_value());
+  EXPECT_TRUE(tree.Erase(Interval(1, 2), 1).IsNotFound());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(IntervalTreeTest, HeightStaysLogarithmic) {
+  IntervalTree tree;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    // Sorted insert order: the worst case for an unbalanced BST.
+    ASSERT_TRUE(tree.Insert(Interval(i, i + 1), static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  // AVL bound: height <= 1.44 log2(n+2) ~= 18 for 4096.
+  EXPECT_LE(tree.height(), 18);
+}
+
+TEST(IntervalTreeTest, MoveSemantics) {
+  IntervalTree a;
+  ASSERT_TRUE(a.Insert(Interval(1, 2), 1).ok());
+  IntervalTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): documented reset
+  IntervalTree c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+// Property test: tree window query == brute-force oracle under random
+// insert/erase interleavings.
+class IntervalTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalTreePropertyTest, MatchesBruteForceOracle) {
+  util::Rng rng(GetParam());
+  IntervalTree tree;
+  std::vector<IntervalEntry> oracle;
+
+  uint64_t next_id = 0;
+  for (int step = 0; step < 600; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.65 || oracle.empty()) {
+      int64_t lo = rng.Uniform(0, 1000);
+      int64_t hi = lo + rng.Uniform(0, 80);
+      uint64_t id = next_id++;
+      ASSERT_TRUE(tree.Insert(Interval(lo, hi), id).ok());
+      oracle.push_back({Interval(lo, hi), id});
+    } else {
+      size_t victim = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(oracle.size()) - 1));
+      ASSERT_TRUE(tree.Erase(oracle[victim].interval, oracle[victim].id).ok());
+      oracle.erase(oracle.begin() + static_cast<long>(victim));
+    }
+
+    if (step % 20 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "step " << step;
+      ASSERT_EQ(tree.size(), oracle.size());
+
+      // Window query check.
+      int64_t qlo = rng.Uniform(0, 1000);
+      int64_t qhi = qlo + rng.Uniform(0, 120);
+      Interval window(qlo, qhi);
+      std::vector<IntervalEntry> expected;
+      for (const auto& e : oracle) {
+        if (e.interval.Overlaps(window)) expected.push_back(e);
+      }
+      std::sort(expected.begin(), expected.end(), [](const auto& a, const auto& b) {
+        if (a.interval.lo != b.interval.lo) return a.interval.lo < b.interval.lo;
+        if (a.interval.hi != b.interval.hi) return a.interval.hi < b.interval.hi;
+        return a.id < b.id;
+      });
+      EXPECT_EQ(tree.Window(window), expected);
+
+      // Stab check.
+      int64_t point = rng.Uniform(0, 1000);
+      size_t expected_stabs = 0;
+      for (const auto& e : oracle) {
+        if (e.interval.Contains(point)) ++expected_stabs;
+      }
+      EXPECT_EQ(tree.Stab(point).size(), expected_stabs);
+
+      // NextAfter check.
+      int64_t pos = rng.Uniform(-10, 1100);
+      const IntervalEntry* expected_next = nullptr;
+      for (const auto& e : oracle) {
+        if (e.interval.lo <= pos) continue;
+        if (expected_next == nullptr || e.interval.lo < expected_next->interval.lo ||
+            (e.interval.lo == expected_next->interval.lo &&
+             (e.interval.hi < expected_next->interval.hi ||
+              (e.interval.hi == expected_next->interval.hi && e.id < expected_next->id)))) {
+          expected_next = &e;
+        }
+      }
+      auto got = tree.NextAfter(pos);
+      if (expected_next == nullptr) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, *expected_next);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalTreePropertyTest,
+                         ::testing::Values(3, 17, 29, 71, 113, 2024));
+
+}  // namespace
+}  // namespace spatial
+}  // namespace graphitti

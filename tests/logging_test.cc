@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace graphitti {
+namespace util {
+namespace {
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamMacroBuildsMessages) {
+  // Smoke test: below-threshold messages are dropped without side effects;
+  // above-threshold messages flush on destruction. Both paths must not
+  // crash and must leave the level unchanged.
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  GRAPHITTI_LOG(kDebug) << "dropped " << 42 << " entirely";
+  GRAPHITTI_LOG(kError) << "also dropped at kOff";
+  SetLogLevel(LogLevel::kError);
+  GRAPHITTI_LOG(kWarning) << "below threshold";
+  SetLogLevel(original);
+  EXPECT_EQ(GetLogLevel(), original);
+}
+
+TEST(LoggingTest, LogMessageHonorsThreshold) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  LogMessage(LogLevel::kError, "suppressed");  // must not crash
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace graphitti

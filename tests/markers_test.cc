@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/markers.h"
+
+namespace graphitti {
+namespace core {
+namespace {
+
+using relational::CompareOp;
+using relational::Predicate;
+using relational::Value;
+using substructure::SubType;
+
+TEST(LinearIntervalMarkerTest, ValidatesAgainstSequenceLength) {
+  auto ok = LinearIntervalMarker("chr1", 10, 20, 100);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->type(), SubType::kInterval);
+  EXPECT_EQ(ok->interval(), spatial::Interval(10, 20));
+
+  EXPECT_TRUE(LinearIntervalMarker("chr1", -1, 5, 100).status().IsInvalidArgument());
+  EXPECT_TRUE(LinearIntervalMarker("chr1", 20, 10, 100).status().IsInvalidArgument());
+  EXPECT_TRUE(LinearIntervalMarker("chr1", 90, 100, 100).status().IsOutOfRange());
+  // Inclusive end: [99, 99] of a 100-base sequence is fine.
+  EXPECT_TRUE(LinearIntervalMarker("chr1", 99, 99, 100).ok());
+}
+
+TEST(BlockSetMarkerTest, MarksMatchingRows) {
+  relational::Table t("recs", relational::SchemaBuilder().Str("k").Int("v").Build());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Str(i % 2 ? "odd" : "even"), Value::Int(i)}).ok());
+  }
+  auto block = BlockSetMarker(t, Predicate::Eq("k", Value::Str("odd")));
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->type(), SubType::kBlockSet);
+  EXPECT_EQ(block->domain(), "recs");
+  EXPECT_EQ(block->elements(), (std::vector<uint64_t>{1, 3, 5, 7, 9}));
+
+  EXPECT_TRUE(
+      BlockSetMarker(t, Predicate::Eq("k", Value::Str("none"))).status().IsNotFound());
+  EXPECT_TRUE(
+      BlockSetMarker(t, Predicate::Eq("zzz", Value::Int(1))).status().IsNotFound());
+}
+
+class NeighborhoodTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Path A - B - C - D plus E attached to B.
+    a_ = *graph_.AddNode("A");
+    b_ = *graph_.AddNode("B");
+    c_ = *graph_.AddNode("C");
+    d_ = *graph_.AddNode("D");
+    e_ = *graph_.AddNode("E");
+    ASSERT_TRUE(graph_.AddEdge(a_, b_).ok());
+    ASSERT_TRUE(graph_.AddEdge(b_, c_).ok());
+    ASSERT_TRUE(graph_.AddEdge(c_, d_).ok());
+    ASSERT_TRUE(graph_.AddEdge(b_, e_).ok());
+  }
+  InteractionGraph graph_{"ppi"};
+  uint64_t a_, b_, c_, d_, e_;
+};
+
+TEST_F(NeighborhoodTest, RadiusZeroIsJustTheNode) {
+  auto mark = GraphNeighborhoodMarker(graph_, "B", 0);
+  ASSERT_TRUE(mark.ok());
+  EXPECT_EQ(mark->elements(), (std::vector<uint64_t>{b_}));
+  EXPECT_EQ(mark->domain(), "ppi");
+}
+
+TEST_F(NeighborhoodTest, RadiusGrowsBfs) {
+  auto r1 = GraphNeighborhoodMarker(graph_, "B", 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->elements(), (std::vector<uint64_t>{a_, b_, c_, e_}));
+  auto r2 = GraphNeighborhoodMarker(graph_, "B", 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->elements().size(), 5u);
+  // Custom domain override.
+  auto named = GraphNeighborhoodMarker(graph_, "A", 1, "custom");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->domain(), "custom");
+}
+
+TEST_F(NeighborhoodTest, UnknownCenterFails) {
+  EXPECT_TRUE(GraphNeighborhoodMarker(graph_, "ZZ", 1).status().IsNotFound());
+}
+
+TEST(CladeMarkerTest, MarksLeafSets) {
+  auto tree = PhyloTree::FromNewick("((A,B)X,(C,D)Y)R;");
+  ASSERT_TRUE(tree.ok());
+  auto clade = CladeMarker(*tree, "X", "phylo:flu");
+  ASSERT_TRUE(clade.ok());
+  EXPECT_EQ(clade->type(), SubType::kTreeClade);
+  EXPECT_EQ(clade->domain(), "phylo:flu");
+  EXPECT_EQ(clade->elements().size(), 2u);
+  // Root clade covers every leaf.
+  auto root = CladeMarker(*tree, "R", "phylo:flu");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->elements().size(), 4u);
+  EXPECT_TRUE(CladeMarker(*tree, "nope", "d").status().IsNotFound());
+}
+
+TEST(MsaColumnMarkerTest, ValidatesColumnRange) {
+  Msa msa;
+  msa.name = "aln";
+  msa.rows = {{"s1", "ACGT-ACGT-"}, {"s2", "AC-TTAC-TT"}};
+  auto mark = MsaColumnMarker(msa, 2, 6);
+  ASSERT_TRUE(mark.ok());
+  EXPECT_EQ(mark->domain(), "msa:aln:cols");
+  EXPECT_EQ(mark->interval(), spatial::Interval(2, 6));
+
+  EXPECT_TRUE(MsaColumnMarker(msa, 5, 10).status().IsOutOfRange());
+  EXPECT_TRUE(MsaColumnMarker(msa, -1, 3).status().IsOutOfRange());
+  EXPECT_TRUE(MsaColumnMarker(msa, 6, 2).status().IsOutOfRange());
+  Msa bad;
+  bad.name = "empty";
+  EXPECT_TRUE(MsaColumnMarker(bad, 0, 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace graphitti

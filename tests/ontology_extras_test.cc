@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "ontology/ontology.h"
+
+namespace graphitti {
+namespace ontology {
+namespace {
+
+// Diamond + side branch:
+//        top
+//       /   |
+//    left   right       isolated
+//       |   /
+//      bottom --- leaf (via part_of)
+struct Fixture {
+  Ontology onto{"x"};
+  RelationId is_a, part_of;
+  TermId top, left, right, bottom, leaf, isolated;
+
+  Fixture() {
+    is_a = onto.AddRelationType("is_a");
+    part_of = onto.AddRelationType("part_of");
+    top = *onto.AddTerm("T", "top concept");
+    left = *onto.AddTerm("L", "left branch");
+    right = *onto.AddTerm("R", "right branch");
+    bottom = *onto.AddTerm("B", "bottom node");
+    leaf = *onto.AddTerm("F", "leaf part");
+    isolated = *onto.AddTerm("I", "island");
+    EXPECT_TRUE(onto.AddEdge(left, top, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(right, top, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(bottom, left, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(bottom, right, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(leaf, bottom, part_of).ok());
+  }
+};
+
+TEST(OntologyExtrasTest, AncestorClosure) {
+  Fixture f;
+  EXPECT_EQ(f.onto.AncestorClosure(f.bottom, f.is_a),
+            (std::vector<TermId>{f.top, f.left, f.right, f.bottom}));
+  EXPECT_EQ(f.onto.AncestorClosure(f.top, f.is_a), (std::vector<TermId>{f.top}));
+  // Wrong relation: only the start itself.
+  EXPECT_EQ(f.onto.AncestorClosure(f.leaf, f.is_a), (std::vector<TermId>{f.leaf}));
+  EXPECT_TRUE(f.onto.AncestorClosure(999, f.is_a).empty());
+}
+
+TEST(OntologyExtrasTest, CommonAncestors) {
+  Fixture f;
+  EXPECT_EQ(f.onto.CommonAncestors(f.left, f.right, f.is_a), (std::vector<TermId>{f.top}));
+  // bottom's ancestors vs left's ancestors share top and left.
+  EXPECT_EQ(f.onto.CommonAncestors(f.bottom, f.left, f.is_a),
+            (std::vector<TermId>{f.top, f.left}));
+  EXPECT_TRUE(f.onto.CommonAncestors(f.left, f.isolated, f.is_a).empty());
+}
+
+TEST(OntologyExtrasTest, NearestCommonAncestors) {
+  Fixture f;
+  // left/right meet at top (1 hop each).
+  EXPECT_EQ(f.onto.NearestCommonAncestors(f.left, f.right, f.is_a),
+            (std::vector<TermId>{f.top}));
+  // bottom/left meet at left itself (distance 1 + 0).
+  EXPECT_EQ(f.onto.NearestCommonAncestors(f.bottom, f.left, f.is_a),
+            (std::vector<TermId>{f.left}));
+  // identical terms: the term itself.
+  EXPECT_EQ(f.onto.NearestCommonAncestors(f.top, f.top, f.is_a),
+            (std::vector<TermId>{f.top}));
+  EXPECT_TRUE(f.onto.NearestCommonAncestors(f.left, f.isolated, f.is_a).empty());
+}
+
+TEST(OntologyExtrasTest, PathBetween) {
+  Fixture f;
+  auto path = f.onto.PathBetween(f.leaf, f.top);
+  ASSERT_TRUE(path.ok());
+  // leaf -> bottom -> (left|right) -> top.
+  EXPECT_EQ(path->size(), 4u);
+  EXPECT_EQ(path->front(), f.leaf);
+  EXPECT_EQ(path->back(), f.top);
+
+  auto self = f.onto.PathBetween(f.top, f.top);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(*self, (std::vector<TermId>{f.top}));
+
+  EXPECT_TRUE(f.onto.PathBetween(f.top, f.isolated).status().IsNotFound());
+  EXPECT_TRUE(f.onto.PathBetween(f.top, 999).status().IsInvalidArgument());
+}
+
+TEST(OntologyExtrasTest, FindTermsByLabel) {
+  Fixture f;
+  EXPECT_EQ(f.onto.FindTermsByLabel("branch"), (std::vector<TermId>{f.left, f.right}));
+  EXPECT_EQ(f.onto.FindTermsByLabel("BRANCH"), (std::vector<TermId>{f.left, f.right}));
+  // Matches ids too ("T" appears in several ids: T, B? no—substring of id).
+  EXPECT_EQ(f.onto.FindTermsByLabel("island"), (std::vector<TermId>{f.isolated}));
+  EXPECT_TRUE(f.onto.FindTermsByLabel("zzz").empty());
+  // Empty needle matches everything.
+  EXPECT_EQ(f.onto.FindTermsByLabel("").size(), f.onto.num_terms());
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace graphitti

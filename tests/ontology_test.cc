@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ontology/obo_parser.h"
+#include "ontology/ontology.h"
+#include "util/random.h"
+
+namespace graphitti {
+namespace ontology {
+namespace {
+
+// Builds the running example:
+//           cell (C0)
+//          /        |
+//    neuron (C1)   glia (C2)
+//      /     |         |
+//  motor(C3) sensory(C4) astro(C5)
+// instances: I0,I1 of motor; I2 of sensory; I3 of astro; I4 of glia
+// plus part_of: axon (C6) part_of neuron
+struct Fixture {
+  Ontology onto{"test"};
+  TermId cell, neuron, glia, motor, sensory, astro, axon;
+  TermId i0, i1, i2, i3, i4;
+  RelationId is_a, instance_of, part_of;
+
+  Fixture() {
+    is_a = onto.AddRelationType("is_a");
+    instance_of = onto.AddRelationType("instance_of");
+    part_of = onto.AddRelationType("part_of", Quantifier::kAll);
+    cell = *onto.AddTerm("C0", "cell");
+    neuron = *onto.AddTerm("C1", "neuron");
+    glia = *onto.AddTerm("C2", "glia");
+    motor = *onto.AddTerm("C3", "motor neuron");
+    sensory = *onto.AddTerm("C4", "sensory neuron");
+    astro = *onto.AddTerm("C5", "astrocyte");
+    axon = *onto.AddTerm("C6", "axon");
+    EXPECT_TRUE(onto.AddEdge(neuron, cell, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(glia, cell, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(motor, neuron, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(sensory, neuron, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(astro, glia, is_a).ok());
+    EXPECT_TRUE(onto.AddEdge(axon, neuron, part_of).ok());
+    i0 = *onto.AddInstance("I0", "cell-1");
+    i1 = *onto.AddInstance("I1", "cell-2");
+    i2 = *onto.AddInstance("I2", "cell-3");
+    i3 = *onto.AddInstance("I3", "cell-4");
+    i4 = *onto.AddInstance("I4", "cell-5");
+    EXPECT_TRUE(onto.AddEdge(i0, motor, instance_of).ok());
+    EXPECT_TRUE(onto.AddEdge(i1, motor, instance_of).ok());
+    EXPECT_TRUE(onto.AddEdge(i2, sensory, instance_of).ok());
+    EXPECT_TRUE(onto.AddEdge(i3, astro, instance_of).ok());
+    EXPECT_TRUE(onto.AddEdge(i4, glia, instance_of).ok());
+  }
+};
+
+TEST(OntologyTest, ConstructionAndLookup) {
+  Fixture f;
+  EXPECT_EQ(f.onto.num_terms(), 12u);
+  EXPECT_EQ(f.onto.num_edges(), 11u);
+  EXPECT_EQ(f.onto.FindTerm("C1"), f.neuron);
+  EXPECT_EQ(f.onto.FindTerm("nope"), kInvalidTerm);
+  EXPECT_EQ(f.onto.FindRelation("is_a"), f.is_a);
+  EXPECT_EQ(f.onto.FindRelation("nope"), kInvalidRelation);
+  EXPECT_TRUE(f.onto.term(f.i0).is_instance);
+  EXPECT_FALSE(f.onto.term(f.neuron).is_instance);
+  EXPECT_EQ(f.onto.relation(f.part_of).quantifier, Quantifier::kAll);
+}
+
+TEST(OntologyTest, DuplicatesAndBadEdges) {
+  Fixture f;
+  EXPECT_TRUE(f.onto.AddTerm("C0", "dup").status().IsAlreadyExists());
+  EXPECT_TRUE(f.onto.AddTerm("", "x").status().IsInvalidArgument());
+  EXPECT_TRUE(f.onto.AddEdge(f.cell, 999, f.is_a).IsInvalidArgument());
+  EXPECT_TRUE(f.onto.AddEdge(f.cell, f.cell, f.is_a).IsInvalidArgument());
+  EXPECT_TRUE(f.onto.AddEdge(f.cell, f.neuron, 999).IsInvalidArgument());
+  // AddRelationType is idempotent.
+  EXPECT_EQ(f.onto.AddRelationType("is_a"), f.is_a);
+}
+
+TEST(OntologyTest, ParentsAndChildren) {
+  Fixture f;
+  EXPECT_EQ(f.onto.Parents(f.motor, f.is_a), (std::vector<TermId>{f.neuron}));
+  auto kids = f.onto.Children(f.neuron, f.is_a);
+  std::sort(kids.begin(), kids.end());
+  EXPECT_EQ(kids, (std::vector<TermId>{f.motor, f.sensory}));
+  // Any-relation children of neuron include the part_of axon.
+  auto all_kids = f.onto.Children(f.neuron);
+  EXPECT_EQ(all_kids.size(), 3u);
+}
+
+TEST(OntologyTest, CIReturnsTransitiveInstances) {
+  Fixture f;
+  // CI(cell): every instance below cell.
+  auto all = f.onto.CI(f.cell);
+  EXPECT_EQ(all, (std::vector<TermId>{f.i0, f.i1, f.i2, f.i3, f.i4}));
+  // CI(neuron): only neuron instances.
+  EXPECT_EQ(f.onto.CI(f.neuron), (std::vector<TermId>{f.i0, f.i1, f.i2}));
+  // CI(motor): direct only.
+  EXPECT_EQ(f.onto.CI(f.motor), (std::vector<TermId>{f.i0, f.i1}));
+  // CI of a leaf with no instances.
+  EXPECT_TRUE(f.onto.CI(f.axon).empty());
+}
+
+TEST(OntologyTest, CRIRestrictsToOneRelation) {
+  Fixture f;
+  // Only instance_of edges: direct instances of glia (not astro's).
+  EXPECT_EQ(f.onto.CRI(f.glia, f.instance_of), (std::vector<TermId>{f.i4}));
+  // is_a only: no instances reachable without instance_of.
+  EXPECT_TRUE(f.onto.CRI(f.glia, f.is_a).empty());
+}
+
+TEST(OntologyTest, CmRIUsesRelationSet) {
+  Fixture f;
+  auto got = f.onto.CmRI(f.glia, {f.is_a, f.instance_of});
+  EXPECT_EQ(got, (std::vector<TermId>{f.i3, f.i4}));
+}
+
+TEST(OntologyTest, mCmRIUnionsConcepts) {
+  Fixture f;
+  auto got = f.onto.mCmRI({f.motor, f.astro}, {f.is_a, f.instance_of});
+  EXPECT_EQ(got, (std::vector<TermId>{f.i0, f.i1, f.i3}));
+  EXPECT_TRUE(f.onto.mCmRI({}, {f.is_a}).empty());
+}
+
+TEST(OntologyTest, SubTreeIncludesRootAndDescendants) {
+  Fixture f;
+  auto sub = f.onto.SubTree(f.neuron, f.is_a);
+  EXPECT_EQ(sub, (std::vector<TermId>{f.neuron, f.motor, f.sensory}));
+  // part_of subtree of neuron contains the axon.
+  auto parts = f.onto.SubTree(f.neuron, f.part_of);
+  EXPECT_EQ(parts, (std::vector<TermId>{f.neuron, f.axon}));
+}
+
+TEST(OntologyTest, SubTreeDiff) {
+  Fixture f;
+  auto diff = f.onto.SubTreeDiff(f.cell, f.neuron, f.is_a);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, (std::vector<TermId>{f.cell, f.glia, f.astro}));
+  // y must be a descendant of x.
+  EXPECT_TRUE(f.onto.SubTreeDiff(f.neuron, f.glia, f.is_a).status().IsInvalidArgument());
+  EXPECT_TRUE(f.onto.SubTreeDiff(f.cell, 999, f.is_a).status().IsInvalidArgument());
+}
+
+TEST(OntologyTest, IsDescendant) {
+  Fixture f;
+  EXPECT_TRUE(f.onto.IsDescendant(f.motor, f.cell, f.is_a));
+  EXPECT_TRUE(f.onto.IsDescendant(f.motor, f.neuron, f.is_a));
+  EXPECT_FALSE(f.onto.IsDescendant(f.motor, f.glia, f.is_a));
+  EXPECT_FALSE(f.onto.IsDescendant(f.cell, f.cell, f.is_a));
+  // Not a descendant via the wrong relation.
+  EXPECT_FALSE(f.onto.IsDescendant(f.axon, f.neuron, f.is_a));
+  EXPECT_TRUE(f.onto.IsDescendant(f.axon, f.neuron, f.part_of));
+}
+
+TEST(OntologyTest, DagSharedDescendants) {
+  // A term with two parents (diamond) is visited once.
+  Ontology onto("dag");
+  RelationId is_a = onto.AddRelationType("is_a");
+  TermId top = *onto.AddTerm("T", "top");
+  TermId left = *onto.AddTerm("L", "left");
+  TermId right = *onto.AddTerm("R", "right");
+  TermId bottom = *onto.AddTerm("B", "bottom");
+  ASSERT_TRUE(onto.AddEdge(left, top, is_a).ok());
+  ASSERT_TRUE(onto.AddEdge(right, top, is_a).ok());
+  ASSERT_TRUE(onto.AddEdge(bottom, left, is_a).ok());
+  ASSERT_TRUE(onto.AddEdge(bottom, right, is_a).ok());
+  auto sub = onto.SubTree(top, is_a);
+  EXPECT_EQ(sub.size(), 4u);
+}
+
+// Property test: ops vs brute-force reachability on random ontologies.
+class OntologyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OntologyPropertyTest, SubTreeMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  Ontology onto("rand");
+  RelationId rel_a = onto.AddRelationType("is_a");
+  RelationId rel_b = onto.AddRelationType("part_of");
+
+  const size_t n = 60;
+  std::vector<TermId> terms;
+  for (size_t i = 0; i < n; ++i) {
+    terms.push_back(*onto.AddTerm("T" + std::to_string(i), ""));
+  }
+  // Random DAG edges from higher index to lower (acyclic by construction).
+  std::vector<std::tuple<TermId, TermId, RelationId>> edge_list;
+  for (size_t i = 1; i < n; ++i) {
+    size_t parents = 1 + static_cast<size_t>(rng.Uniform(0, 1));
+    for (size_t p = 0; p < parents; ++p) {
+      TermId parent = terms[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(i) - 1))];
+      RelationId rel = rng.NextBool() ? rel_a : rel_b;
+      ASSERT_TRUE(onto.AddEdge(terms[i], parent, rel).ok());
+      edge_list.emplace_back(terms[i], parent, rel);
+    }
+  }
+
+  // Brute-force descendant computation for a sample of roots.
+  for (int probe = 0; probe < 10; ++probe) {
+    TermId root = terms[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(n) - 1))];
+    RelationId rel = rng.NextBool() ? rel_a : rel_b;
+
+    std::set<TermId> expected{root};
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [src, dst, r] : edge_list) {
+        if (r == rel && expected.count(dst) > 0 && expected.count(src) == 0) {
+          expected.insert(src);
+          changed = true;
+        }
+      }
+    }
+    std::vector<TermId> expected_vec(expected.begin(), expected.end());
+    EXPECT_EQ(onto.SubTree(root, rel), expected_vec) << "root T" << root;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OntologyPropertyTest, ::testing::Values(5, 19, 83, 311));
+
+// --- OBO parsing ---
+
+constexpr const char* kObo = R"(! test ontology
+[Term]
+id: GO:0001
+name: cell
+
+[Term]
+id: GO:0002
+name: neuron
+is_a: GO:0001
+
+[Term]
+id: GO:0003
+name: axon
+relationship: part_of GO:0002
+
+[Instance]
+id: INST:1
+name: specimen-1
+instance_of: GO:0002
+)";
+
+TEST(OboParserTest, ParsesTermsInstancesAndEdges) {
+  auto onto = ParseObo(kObo, "go-lite");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  EXPECT_EQ(onto->name(), "go-lite");
+  EXPECT_EQ(onto->num_terms(), 4u);
+  EXPECT_EQ(onto->num_edges(), 3u);
+
+  TermId cell = onto->FindTerm("GO:0001");
+  TermId neuron = onto->FindTerm("GO:0002");
+  TermId inst = onto->FindTerm("INST:1");
+  ASSERT_NE(cell, kInvalidTerm);
+  EXPECT_EQ(onto->term(neuron).label, "neuron");
+  EXPECT_TRUE(onto->term(inst).is_instance);
+
+  RelationId is_a = onto->FindRelation("is_a");
+  EXPECT_EQ(onto->Parents(neuron, is_a), (std::vector<TermId>{cell}));
+  EXPECT_EQ(onto->CI(cell), (std::vector<TermId>{inst}));
+}
+
+TEST(OboParserTest, RoundTripsThroughToObo) {
+  auto onto = ParseObo(kObo);
+  ASSERT_TRUE(onto.ok());
+  std::string dumped = ToObo(*onto);
+  auto reparsed = ParseObo(dumped);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << dumped;
+  EXPECT_EQ(reparsed->num_terms(), onto->num_terms());
+  EXPECT_EQ(reparsed->num_edges(), onto->num_edges());
+  EXPECT_EQ(reparsed->CI(reparsed->FindTerm("GO:0001")).size(), 1u);
+}
+
+TEST(OboParserTest, Errors) {
+  EXPECT_TRUE(ParseObo("[Term]\nname: no id\n").status().IsParseError());
+  EXPECT_TRUE(ParseObo("[Term]\nid: A\nis_a: MISSING\n").status().IsParseError());
+  EXPECT_TRUE(ParseObo("[Term]\nid: A\nrelationship: broken\n").status().IsParseError());
+  EXPECT_TRUE(ParseObo("[Term]\nid: A\ngarbage line\n").status().IsParseError());
+  EXPECT_TRUE(ParseObo("[Term]\nid: A\n\n[Term]\nid: A\n").status().IsAlreadyExists());
+}
+
+TEST(OboParserTest, UnknownStanzasAndTagsSkipped) {
+  auto onto = ParseObo("[Typedef]\nid: part_of\n\n[Term]\nid: A\nxref: ignored\n");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  EXPECT_EQ(onto->num_terms(), 1u);
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace graphitti

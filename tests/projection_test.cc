@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "relational/projection.h"
+
+namespace graphitti {
+namespace relational {
+namespace {
+
+class ProjectionTest : public ::testing::Test {
+ protected:
+  ProjectionTest()
+      : table_("seq", SchemaBuilder().Str("acc").Str("org").Int("len").Build()) {
+    Add("A3", "H5N1", 30);
+    Add("A1", "H3N2", 10);
+    Add("A2", "H5N1", 20);
+    Add("A0", "H1N1", 20);
+  }
+  void Add(const char* acc, const char* org, int64_t len) {
+    ids_.push_back(*table_.Insert({Value::Str(acc), Value::Str(org), Value::Int(len)}));
+  }
+  Table table_;
+  std::vector<RowId> ids_;
+};
+
+TEST_F(ProjectionTest, ProjectSelectsColumnsInOrder) {
+  auto rows = Project(table_, ids_, {"len", "acc"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0][0].as_int(), 30);
+  EXPECT_EQ((*rows)[0][1].as_string(), "A3");
+}
+
+TEST_F(ProjectionTest, ProjectSkipsDeadRows) {
+  ASSERT_TRUE(table_.Delete(ids_[1]).ok());
+  auto rows = Project(table_, ids_, {"acc"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(ProjectionTest, ProjectUnknownColumn) {
+  EXPECT_TRUE(Project(table_, ids_, {"nope"}).status().IsNotFound());
+}
+
+TEST_F(ProjectionTest, OrderByAscendingAndDescending) {
+  auto asc = OrderBy(table_, ids_, "acc");
+  ASSERT_TRUE(asc.ok());
+  auto names = Project(table_, *asc, {"acc"});
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ((*names)[0][0].as_string(), "A0");
+  EXPECT_EQ((*names)[3][0].as_string(), "A3");
+
+  auto desc = OrderBy(table_, ids_, "len", /*ascending=*/false);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(table_.GetCell((*desc)[0], "len").as_int(), 30);
+  EXPECT_EQ(table_.GetCell((*desc)[3], "len").as_int(), 10);
+}
+
+TEST_F(ProjectionTest, OrderByIsStable) {
+  // Two rows share len=20; their relative input order must be preserved.
+  auto sorted = OrderBy(table_, ids_, "len");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(table_.GetCell((*sorted)[1], "acc").as_string(), "A2");
+  EXPECT_EQ(table_.GetCell((*sorted)[2], "acc").as_string(), "A0");
+}
+
+TEST_F(ProjectionTest, OrderByUnknownColumn) {
+  EXPECT_TRUE(OrderBy(table_, ids_, "nope").status().IsNotFound());
+}
+
+TEST_F(ProjectionTest, DistinctValues) {
+  auto orgs = DistinctValues(table_, ids_, "org");
+  ASSERT_TRUE(orgs.ok());
+  ASSERT_EQ(orgs->size(), 3u);
+  EXPECT_EQ((*orgs)[0].as_string(), "H1N1");
+  EXPECT_EQ((*orgs)[2].as_string(), "H5N1");
+  EXPECT_TRUE(DistinctValues(table_, ids_, "zzz").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace graphitti

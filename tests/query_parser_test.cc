@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace graphitti {
+namespace query {
+namespace {
+
+TEST(QueryParserTest, MinimalContentsQuery) {
+  auto q = ParseQuery("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->target, Target::kContents);
+  ASSERT_EQ(q->clauses.size(), 1u);
+  EXPECT_EQ(q->clauses[0].kind, Clause::Kind::kContains);
+  EXPECT_EQ(q->clauses[0].var, "a");
+  EXPECT_EQ(q->clauses[0].text, "protease");
+  EXPECT_EQ(q->limit, SIZE_MAX);
+}
+
+TEST(QueryParserTest, KeywordsAreCaseInsensitive) {
+  auto q = ParseQuery("find contents where { ?a contains 'x' }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->clauses[0].kind, Clause::Kind::kContains);
+}
+
+TEST(QueryParserTest, AllTargets) {
+  EXPECT_EQ(ParseQuery("FIND REFERENTS WHERE { ?r IS REFERENT }")->target,
+            Target::kReferents);
+  EXPECT_EQ(ParseQuery("FIND GRAPH WHERE { ?r IS REFERENT }")->target, Target::kGraph);
+  auto frag = ParseQuery(
+      "FIND FRAGMENTS ?a XPATH \"/annotation/dc:title\" WHERE { ?a IS CONTENT }");
+  ASSERT_TRUE(frag.ok()) << frag.status().ToString();
+  EXPECT_EQ(frag->target, Target::kFragments);
+  EXPECT_EQ(frag->target_var, "a");
+  EXPECT_EQ(frag->return_xpath, "/annotation/dc:title");
+}
+
+TEST(QueryParserTest, FragmentsRequireXPath) {
+  EXPECT_TRUE(ParseQuery("FIND FRAGMENTS WHERE { ?a IS CONTENT }").status().IsParseError());
+}
+
+TEST(QueryParserTest, IsClauses) {
+  auto q = ParseQuery(
+      "FIND CONTENTS WHERE { ?a IS CONTENT ; ?r IS REFERENT ; ?t IS TERM ; ?o IS OBJECT }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses[0].is_kind, VarKind::kContent);
+  EXPECT_EQ(q->clauses[1].is_kind, VarKind::kReferent);
+  EXPECT_EQ(q->clauses[2].is_kind, VarKind::kTerm);
+  EXPECT_EQ(q->clauses[3].is_kind, VarKind::kObject);
+}
+
+TEST(QueryParserTest, SpatialClauses) {
+  auto q = ParseQuery(R"(FIND REFERENTS WHERE {
+      ?r TYPE interval ;
+      ?r DOMAIN "flu:seg4" ;
+      ?r OVERLAPS [100, 500] ;
+  })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->clauses[0].text, "interval");
+  EXPECT_EQ(q->clauses[1].text, "flu:seg4");
+  EXPECT_EQ(q->clauses[2].interval, spatial::Interval(100, 500));
+  EXPECT_FALSE(q->clauses[2].rect_window);
+}
+
+TEST(QueryParserTest, RectWindows) {
+  auto q2 = ParseQuery("FIND REFERENTS WHERE { ?r OVERLAPS RECT [0, 0, 10, 10] }");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_TRUE(q2->clauses[0].rect_window);
+  EXPECT_EQ(q2->clauses[0].rect.dims, 2);
+
+  auto q3 = ParseQuery("FIND REFERENTS WHERE { ?r OVERLAPS RECT [0,0,0, 10,10,10] }");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(q3->clauses[0].rect.dims, 3);
+
+  EXPECT_TRUE(ParseQuery("FIND REFERENTS WHERE { ?r OVERLAPS RECT [1,2,3] }")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(QueryParserTest, NegativeNumbersInWindows) {
+  auto q = ParseQuery("FIND REFERENTS WHERE { ?r OVERLAPS [-50, -10] }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses[0].interval, spatial::Interval(-50, -10));
+}
+
+TEST(QueryParserTest, TermClauses) {
+  auto q = ParseQuery(
+      "FIND CONTENTS WHERE { ?t TERM \"nif:NIF:0001\" ; ?u TERM BELOW \"nif:NIF:0000\" }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses[0].kind, Clause::Kind::kTerm);
+  EXPECT_EQ(q->clauses[1].kind, Clause::Kind::kTermBelow);
+  EXPECT_EQ(q->clauses[1].text, "nif:NIF:0000");
+}
+
+TEST(QueryParserTest, TableClauseWithFilter) {
+  auto q = ParseQuery(R"(FIND CONTENTS WHERE {
+      ?o TABLE "dna_sequences" FILTER organism = 'H5N1' AND length > 1000 ;
+  })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Clause& c = q->clauses[0];
+  EXPECT_EQ(c.kind, Clause::Kind::kTable);
+  EXPECT_EQ(c.text, "dna_sequences");
+  EXPECT_EQ(c.table_filter.ToString(), "(organism = H5N1 AND length > 1000)");
+}
+
+TEST(QueryParserTest, TableFilterOperators) {
+  auto q = ParseQuery(
+      "FIND CONTENTS WHERE { ?o TABLE 't' FILTER a != 'x' AND b <= 5 AND c >= 1.5 AND "
+      "name CONTAINS 'flu' }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->clauses[0].table_filter.ToString(),
+            "(((a != x AND b <= 5) AND c >= 1.500000) AND name CONTAINS flu)");
+}
+
+TEST(QueryParserTest, EdgeClauses) {
+  auto q = ParseQuery(
+      "FIND GRAPH WHERE { ?a ANNOTATES ?r ; ?a REFERS ?t ; ?r OF ?o ; ?a CONNECTED ?b }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses[0].kind, Clause::Kind::kAnnotates);
+  EXPECT_EQ(q->clauses[0].var2, "r");
+  EXPECT_EQ(q->clauses[1].kind, Clause::Kind::kRefersTo);
+  EXPECT_EQ(q->clauses[2].kind, Clause::Kind::kOfObject);
+  EXPECT_EQ(q->clauses[3].kind, Clause::Kind::kConnected);
+}
+
+TEST(QueryParserTest, Constraints) {
+  auto q = ParseQuery(R"(FIND GRAPH WHERE { ?s1 IS REFERENT ; ?s2 IS REFERENT }
+      CONSTRAIN consecutive(?s1, ?s2), disjoint(?s1, ?s2), overlapping(?s1,?s2),
+                samedomain(?s1,?s2))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->constraints.size(), 4u);
+  EXPECT_EQ(q->constraints[0].kind, Constraint::Kind::kConsecutive);
+  EXPECT_EQ(q->constraints[1].kind, Constraint::Kind::kDisjoint);
+  EXPECT_EQ(q->constraints[2].kind, Constraint::Kind::kOverlapping);
+  EXPECT_EQ(q->constraints[3].kind, Constraint::Kind::kSameDomain);
+  EXPECT_EQ(q->constraints[0].vars, (std::vector<std::string>{"s1", "s2"}));
+}
+
+TEST(QueryParserTest, ConstraintErrors) {
+  EXPECT_TRUE(ParseQuery("FIND GRAPH WHERE { ?a IS CONTENT } CONSTRAIN bogus(?a,?b)")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND GRAPH WHERE { ?a IS CONTENT } CONSTRAIN disjoint(?a)")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(QueryParserTest, LimitAndPage) {
+  auto q = ParseQuery("FIND CONTENTS WHERE { ?a IS CONTENT } LIMIT 10 PAGE 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->limit, 10u);
+  EXPECT_EQ(q->page, 3u);
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a IS CONTENT } LIMIT 5 PAGE 0")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(QueryParserTest, CommentsAndWhitespace) {
+  auto q = ParseQuery(R"(
+    # find protease annotations
+    FIND CONTENTS WHERE {
+      ?a CONTAINS "protease" ;   # keyword filter
+    }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(QueryParserTest, TrailingSemicolonOptional) {
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a IS CONTENT ; }").ok());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a IS CONTENT }").ok());
+}
+
+TEST(QueryParserTest, SyntaxErrors) {
+  EXPECT_TRUE(ParseQuery("").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND NOTHING WHERE { ?a IS CONTENT }").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS { ?a IS CONTENT }").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { }").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a IS CONTENT ").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { IS CONTENT }").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a BOGUS ?b }").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a IS PIZZA }").status().IsParseError());
+  EXPECT_TRUE(
+      ParseQuery("FIND CONTENTS WHERE { ?a CONTAINS 'x' } garbage").status().IsParseError());
+  EXPECT_TRUE(
+      ParseQuery("FIND CONTENTS WHERE { ?a CONTAINS \"unterminated }").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a ANNOTATES }").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("FIND CONTENTS WHERE { ?a OVERLAPS [1 }").status().IsParseError());
+}
+
+TEST(QueryParserTest, ToStringRoundTripParses) {
+  auto q = ParseQuery(R"(FIND GRAPH WHERE {
+      ?a IS CONTENT ; ?a CONTAINS "protease" ;
+      ?s IS REFERENT ; ?s TYPE interval ; ?s DOMAIN "flu:seg4" ;
+      ?a ANNOTATES ?s ;
+  } CONSTRAIN consecutive(?s, ?s) LIMIT 4 PAGE 1)");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString() << "\n" << q->ToString();
+  EXPECT_EQ(q2->clauses.size(), q->clauses.size());
+  EXPECT_EQ(q2->constraints.size(), q->constraints.size());
+  EXPECT_EQ(q2->limit, q->limit);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace graphitti

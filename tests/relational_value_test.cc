@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "relational/predicate.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace graphitti {
+namespace relational {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Int(5).as_int(), 5);
+  EXPECT_EQ(Value::Real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("x").as_string(), "x");
+  EXPECT_EQ(Value::Blob({1, 2}).as_bytes().size(), 2u);
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_EQ(Value::Int(5).Compare(Value::Real(5.0)), 0);
+  EXPECT_LT(Value::Int(4).Compare(Value::Real(4.5)), 0);
+  EXPECT_GT(Value::Real(10.0).Compare(Value::Int(9)), 0);
+}
+
+TEST(ValueTest, TypeOrdering) {
+  // null < numeric < string < bytes
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("")), 0);
+  EXPECT_LT(Value::Str("zzz").Compare(Value::Blob({})), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("abc"), Value::Str("abc"));
+}
+
+TEST(ValueTest, EqualValuesShareHash) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Real(7.0).Hash());
+  EXPECT_EQ(Value::Str("a").Hash(), Value::Str("a").Hash());
+  EXPECT_EQ(Value::Blob({1, 2, 3}).Hash(), Value::Blob({1, 2, 3}).Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(3).ToString(), "3");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Blob({1, 2, 3}).ToString(), "blob(3 bytes)");
+}
+
+TEST(SchemaTest, ValidateRowArity) {
+  Schema s = SchemaBuilder().Str("a").Int("b").Build();
+  EXPECT_TRUE(s.ValidateRow({Value::Str("x"), Value::Int(1)}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value::Str("x")}).IsInvalidArgument());
+  EXPECT_TRUE(
+      s.ValidateRow({Value::Str("x"), Value::Int(1), Value::Int(2)}).IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRowTypes) {
+  Schema s = SchemaBuilder().Str("a").Real("b").Build();
+  EXPECT_TRUE(s.ValidateRow({Value::Str("x"), Value::Real(1.0)}).ok());
+  // Int widens into double columns.
+  EXPECT_TRUE(s.ValidateRow({Value::Str("x"), Value::Int(1)}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::Real(1.0)}).IsTypeError());
+}
+
+TEST(SchemaTest, Nullability) {
+  Schema s = SchemaBuilder().Str("key", /*nullable=*/false).Int("opt").Build();
+  EXPECT_TRUE(s.ValidateRow({Value::Str("x"), Value::Null()}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value::Null(), Value::Int(1)}).IsInvalidArgument());
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = SchemaBuilder().Str("a").Int("b").Build();
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("c"), -1);
+}
+
+TEST(SchemaTest, ToStringIncludesTypesAndConstraints) {
+  Schema s = SchemaBuilder().Str("k", false).Real("v").Build();
+  EXPECT_EQ(s.ToString(), "(k string NOT NULL, v double)");
+}
+
+// --- Predicate ---
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  Schema schema_ = SchemaBuilder().Str("name").Int("len").Real("score").Build();
+  Row row_ = {Value::Str("hemagglutinin"), Value::Int(1700), Value::Real(0.9)};
+};
+
+TEST_F(PredicateTest, TrueMatchesEverything) {
+  EXPECT_TRUE(Predicate::True().Eval(schema_, row_));
+}
+
+TEST_F(PredicateTest, ComparisonOps) {
+  EXPECT_TRUE(Predicate::Eq("len", Value::Int(1700)).Eval(schema_, row_));
+  EXPECT_FALSE(Predicate::Eq("len", Value::Int(1)).Eval(schema_, row_));
+  EXPECT_TRUE(Predicate::Compare("len", CompareOp::kNe, Value::Int(1)).Eval(schema_, row_));
+  EXPECT_TRUE(Predicate::Compare("len", CompareOp::kLt, Value::Int(2000)).Eval(schema_, row_));
+  EXPECT_TRUE(Predicate::Compare("len", CompareOp::kLe, Value::Int(1700)).Eval(schema_, row_));
+  EXPECT_TRUE(Predicate::Compare("len", CompareOp::kGt, Value::Int(10)).Eval(schema_, row_));
+  EXPECT_TRUE(Predicate::Compare("len", CompareOp::kGe, Value::Int(1700)).Eval(schema_, row_));
+  EXPECT_FALSE(Predicate::Compare("len", CompareOp::kGt, Value::Int(1700)).Eval(schema_, row_));
+}
+
+TEST_F(PredicateTest, StringOps) {
+  EXPECT_TRUE(Predicate::Compare("name", CompareOp::kContains, Value::Str("GLUT"))
+                  .Eval(schema_, row_));
+  EXPECT_TRUE(Predicate::Compare("name", CompareOp::kPrefix, Value::Str("hema"))
+                  .Eval(schema_, row_));
+  EXPECT_FALSE(Predicate::Compare("name", CompareOp::kPrefix, Value::Str("gluten"))
+                   .Eval(schema_, row_));
+}
+
+TEST_F(PredicateTest, BooleanCombinators) {
+  Predicate p = Predicate::And(Predicate::Eq("len", Value::Int(1700)),
+                               Predicate::Compare("score", CompareOp::kGt, Value::Real(0.5)));
+  EXPECT_TRUE(p.Eval(schema_, row_));
+  Predicate q = Predicate::Or(Predicate::Eq("len", Value::Int(1)),
+                              Predicate::Eq("name", Value::Str("hemagglutinin")));
+  EXPECT_TRUE(q.Eval(schema_, row_));
+  EXPECT_FALSE(Predicate::Not(q).Eval(schema_, row_));
+}
+
+TEST_F(PredicateTest, NullComparisonsAreFalse) {
+  Row with_null = {Value::Null(), Value::Int(1), Value::Real(0)};
+  EXPECT_FALSE(Predicate::Eq("name", Value::Str("x")).Eval(schema_, with_null));
+  EXPECT_FALSE(
+      Predicate::Compare("name", CompareOp::kNe, Value::Str("x")).Eval(schema_, with_null));
+}
+
+TEST_F(PredicateTest, BindValidatesColumns) {
+  EXPECT_TRUE(Predicate::Eq("len", Value::Int(1)).Bind(schema_).ok());
+  EXPECT_TRUE(Predicate::Eq("missing", Value::Int(1)).Bind(schema_).IsNotFound());
+  EXPECT_TRUE(Predicate::Compare("len", CompareOp::kContains, Value::Str("x"))
+                  .Bind(schema_)
+                  .IsTypeError());
+  EXPECT_TRUE(Predicate::Compare("name", CompareOp::kContains, Value::Int(1))
+                  .Bind(schema_)
+                  .IsTypeError());
+}
+
+TEST_F(PredicateTest, CollectConjuncts) {
+  Predicate p = Predicate::And(
+      Predicate::And(Predicate::Eq("a", Value::Int(1)), Predicate::Eq("b", Value::Int(2))),
+      Predicate::Eq("c", Value::Int(3)));
+  std::vector<const Predicate*> conjuncts;
+  p.CollectConjuncts(&conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST_F(PredicateTest, CopySemantics) {
+  Predicate p = Predicate::And(Predicate::Eq("len", Value::Int(1700)), Predicate::True());
+  Predicate copy = p;
+  EXPECT_EQ(copy.ToString(), p.ToString());
+  EXPECT_TRUE(copy.Eval(schema_, row_));
+}
+
+TEST_F(PredicateTest, ToString) {
+  EXPECT_EQ(Predicate::Eq("len", Value::Int(3)).ToString(), "len = 3");
+  EXPECT_EQ(Predicate::Not(Predicate::True()).ToString(), "NOT(TRUE)");
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace graphitti

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "spatial/rtree.h"
+#include "util/random.h"
+
+namespace graphitti {
+namespace spatial {
+namespace {
+
+TEST(RectTest, Basic2DGeometry) {
+  Rect a = Rect::Make2D(0, 0, 10, 10);
+  Rect b = Rect::Make2D(5, 5, 15, 15);
+  Rect c = Rect::Make2D(11, 11, 12, 12);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(a.Contains(Rect::Make2D(1, 1, 2, 2)));
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_DOUBLE_EQ(a.Volume(), 100.0);
+  EXPECT_DOUBLE_EQ(a.Margin(), 20.0);
+}
+
+TEST(RectTest, IntersectUnionEnlargement) {
+  Rect a = Rect::Make2D(0, 0, 10, 10);
+  Rect b = Rect::Make2D(5, 5, 15, 15);
+  auto i = a.Intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, Rect::Make2D(5, 5, 10, 10));
+  EXPECT_FALSE(a.Intersect(Rect::Make2D(20, 20, 30, 30)).has_value());
+  EXPECT_EQ(a.Union(b), Rect::Make2D(0, 0, 15, 15));
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 225.0 - 100.0);
+}
+
+TEST(RectTest, MinDistSq) {
+  Rect a = Rect::Make2D(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(a.MinDistSq(Rect::Point2D(5, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(a.MinDistSq(Rect::Point2D(13, 14)), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(a.MinDistSq(Rect::Point2D(-3, 5)), 9.0);
+}
+
+TEST(RectTest, ThreeDimensional) {
+  Rect a = Rect::Make3D(0, 0, 0, 10, 10, 10);
+  Rect b = Rect::Make3D(9, 9, 9, 20, 20, 20);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_DOUBLE_EQ(a.Volume(), 1000.0);
+  EXPECT_FALSE(a.Overlaps(Rect::Make3D(0, 0, 11, 10, 10, 20)));
+}
+
+TEST(RectTest, Validity) {
+  EXPECT_TRUE(Rect::Make2D(0, 0, 0, 0).valid());  // degenerate point is fine
+  EXPECT_FALSE(Rect::Make2D(5, 0, 0, 10).valid());
+}
+
+TEST(RTreeTest, InsertAndWindow) {
+  RTree tree(2, 4);
+  for (int i = 0; i < 20; ++i) {
+    double x = i * 10.0;
+    ASSERT_TRUE(tree.Insert(Rect::Make2D(x, 0, x + 5, 5), static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 20u);
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  auto hits = tree.Window(Rect::Make2D(12, 0, 33, 10));
+  std::vector<uint64_t> ids;
+  for (const auto& h : hits) ids.push_back(h.id);
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(RTreeTest, DimensionalityEnforced) {
+  RTree tree(2);
+  EXPECT_TRUE(tree.Insert(Rect::Make3D(0, 0, 0, 1, 1, 1), 1).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert(Rect::Make2D(5, 5, 0, 0), 1).IsInvalidArgument());
+  EXPECT_TRUE(tree.Window(Rect::Make3D(0, 0, 0, 1, 1, 1)).empty());
+}
+
+TEST(RTreeTest, DuplicateRejectedSharedLocationAllowed) {
+  RTree tree(2);
+  Rect r = Rect::Make2D(0, 0, 1, 1);
+  ASSERT_TRUE(tree.Insert(r, 1).ok());
+  EXPECT_TRUE(tree.Insert(r, 1).IsAlreadyExists());
+  EXPECT_TRUE(tree.Insert(r, 2).ok());
+}
+
+TEST(RTreeTest, EraseAndCondense) {
+  RTree tree(2, 4);
+  for (int i = 0; i < 64; ++i) {
+    double x = (i % 8) * 10.0;
+    double y = (i / 8) * 10.0;
+    ASSERT_TRUE(tree.Insert(Rect::Make2D(x, y, x + 8, y + 8), static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int i = 0; i < 48; ++i) {
+    double x = (i % 8) * 10.0;
+    double y = (i / 8) * 10.0;
+    ASSERT_TRUE(tree.Erase(Rect::Make2D(x, y, x + 8, y + 8), static_cast<uint64_t>(i)).ok());
+    ASSERT_TRUE(tree.CheckInvariants()) << "after erase " << i;
+  }
+  EXPECT_EQ(tree.size(), 16u);
+  EXPECT_TRUE(tree.Erase(Rect::Make2D(0, 0, 8, 8), 0).IsNotFound());
+}
+
+TEST(RTreeTest, ContainedIn) {
+  RTree tree(2);
+  ASSERT_TRUE(tree.Insert(Rect::Make2D(1, 1, 2, 2), 1).ok());
+  ASSERT_TRUE(tree.Insert(Rect::Make2D(1, 1, 20, 20), 2).ok());
+  auto hits = tree.ContainedIn(Rect::Make2D(0, 0, 5, 5));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(RTreeTest, NearestNeighbours) {
+  RTree tree(2);
+  for (int i = 0; i < 10; ++i) {
+    double x = i * 10.0;
+    ASSERT_TRUE(tree.Insert(Rect::Make2D(x, 0, x + 1, 1), static_cast<uint64_t>(i)).ok());
+  }
+  auto nn = tree.Nearest(Rect::Point2D(27, 0), 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 3u);  // [30,31] is 3 away from x=27; [20,21] is 6 away
+  EXPECT_EQ(nn[1].id, 2u);
+  // k larger than size returns everything.
+  EXPECT_EQ(tree.Nearest(Rect::Point2D(0, 0), 99).size(), 10u);
+  EXPECT_TRUE(tree.Nearest(Rect::Point2D(0, 0), 0).empty());
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree(2);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Window(Rect::Make2D(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(tree.Erase(Rect::Make2D(0, 0, 1, 1), 1).IsNotFound());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, ForEachVisitsAll) {
+  RTree tree(2, 4);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(tree.Insert(Rect::Make2D(i, i, i + 1, i + 1), static_cast<uint64_t>(i)).ok());
+  }
+  size_t count = 0;
+  tree.ForEach([&](const RTreeEntry&) { ++count; });
+  EXPECT_EQ(count, 30u);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree tree(2, 8);
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.NextDouble() * 1000;
+    double y = rng.NextDouble() * 1000;
+    ASSERT_TRUE(tree.Insert(Rect::Make2D(x, y, x + 5, y + 5), static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  // With fanout 8 and min fill 4, 2000 entries need height <= log4(2000)+1 ~ 7.
+  EXPECT_LE(tree.height(), 7);
+}
+
+struct RTreePropertyParam {
+  uint64_t seed;
+  int dims;
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<RTreePropertyParam> {};
+
+TEST_P(RTreePropertyTest, MatchesBruteForceOracle) {
+  util::Rng rng(GetParam().seed);
+  const int dims = GetParam().dims;
+  RTree tree(dims, 6);
+  std::vector<RTreeEntry> oracle;
+  uint64_t next_id = 0;
+
+  auto random_rect = [&](double max_extent) {
+    double x = rng.NextDouble() * 500;
+    double y = rng.NextDouble() * 500;
+    double w = rng.NextDouble() * max_extent;
+    double h = rng.NextDouble() * max_extent;
+    if (dims == 2) return Rect::Make2D(x, y, x + w, y + h);
+    double z = rng.NextDouble() * 500;
+    double d = rng.NextDouble() * max_extent;
+    return Rect::Make3D(x, y, z, x + w, y + h, z + d);
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    if (rng.NextDouble() < 0.7 || oracle.empty()) {
+      Rect r = random_rect(40);
+      uint64_t id = next_id++;
+      ASSERT_TRUE(tree.Insert(r, id).ok());
+      oracle.push_back({r, id});
+    } else {
+      size_t victim = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(oracle.size()) - 1));
+      ASSERT_TRUE(tree.Erase(oracle[victim].rect, oracle[victim].id).ok());
+      oracle.erase(oracle.begin() + static_cast<long>(victim));
+    }
+
+    if (step % 25 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "step " << step;
+      ASSERT_EQ(tree.size(), oracle.size());
+
+      Rect window = random_rect(100);
+      std::vector<uint64_t> expected;
+      for (const auto& e : oracle) {
+        if (e.rect.Overlaps(window)) expected.push_back(e.id);
+      }
+      std::sort(expected.begin(), expected.end());
+      std::vector<uint64_t> got;
+      for (const auto& e : tree.Window(window)) got.push_back(e.id);
+      EXPECT_EQ(got, expected);
+
+      // Containment oracle.
+      std::vector<uint64_t> expected_contained;
+      for (const auto& e : oracle) {
+        if (window.Contains(e.rect)) expected_contained.push_back(e.id);
+      }
+      std::sort(expected_contained.begin(), expected_contained.end());
+      std::vector<uint64_t> got_contained;
+      for (const auto& e : tree.ContainedIn(window)) got_contained.push_back(e.id);
+      EXPECT_EQ(got_contained, expected_contained);
+    }
+  }
+
+  // kNN oracle at the end.
+  if (!oracle.empty()) {
+    Rect probe = random_rect(0.1);
+    auto nn = tree.Nearest(probe, 5);
+    std::vector<double> oracle_dists;
+    for (const auto& e : oracle) oracle_dists.push_back(e.rect.MinDistSq(probe));
+    std::sort(oracle_dists.begin(), oracle_dists.end());
+    ASSERT_EQ(nn.size(), std::min<size_t>(5, oracle.size()));
+    for (size_t i = 0; i < nn.size(); ++i) {
+      EXPECT_DOUBLE_EQ(nn[i].rect.MinDistSq(probe), oracle_dists[i]) << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndDims, RTreePropertyTest,
+                         ::testing::Values(RTreePropertyParam{11, 2},
+                                           RTreePropertyParam{23, 2},
+                                           RTreePropertyParam{37, 2},
+                                           RTreePropertyParam{11, 3},
+                                           RTreePropertyParam{59, 3},
+                                           RTreePropertyParam{97, 3}));
+
+}  // namespace
+}  // namespace spatial
+}  // namespace graphitti

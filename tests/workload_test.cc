@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "ontology/obo_parser.h"
+
+namespace graphitti {
+namespace core {
+namespace {
+
+TEST(WorkloadTest, InfluenzaCorpusShape) {
+  Graphitti g;
+  InfluenzaParams params;
+  params.num_strains = 4;
+  params.num_segments = 4;
+  params.num_annotations = 50;
+  auto corpus = GenerateInfluenzaStudy(&g, params);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  EXPECT_EQ(corpus->sequence_objects.size(), 16u);
+  EXPECT_EQ(corpus->segment_domains.size(), 4u);
+  EXPECT_EQ(corpus->annotations.size(), 50u);
+  EXPECT_NE(corpus->phylo_object, 0u);
+  EXPECT_NE(corpus->interaction_object, 0u);
+
+  SystemStats stats = g.Stats();
+  EXPECT_EQ(stats.num_annotations, 50u);
+  // Shared per-segment interval trees: at most one per segment domain.
+  EXPECT_LE(stats.num_interval_trees, 4u);
+  EXPECT_GE(stats.interval_entries, 50u);
+  EXPECT_EQ(g.OntologyNames(), (std::vector<std::string>{"flu"}));
+}
+
+TEST(WorkloadTest, InfluenzaIsDeterministic) {
+  InfluenzaParams params;
+  params.num_strains = 2;
+  params.num_segments = 2;
+  params.num_annotations = 20;
+
+  Graphitti g1, g2;
+  auto c1 = GenerateInfluenzaStudy(&g1, params);
+  auto c2 = GenerateInfluenzaStudy(&g2, params);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(g1.Stats().interval_entries, g2.Stats().interval_entries);
+  EXPECT_EQ(g1.Stats().agraph_edges, g2.Stats().agraph_edges);
+  EXPECT_EQ(g1.annotations().SearchKeyword("protease"),
+            g2.annotations().SearchKeyword("protease"));
+}
+
+TEST(WorkloadTest, InfluenzaProteaseFractionRoughlyHolds) {
+  Graphitti g;
+  InfluenzaParams params;
+  params.num_annotations = 200;
+  params.protease_fraction = 0.5;
+  auto corpus = GenerateInfluenzaStudy(&g, params);
+  ASSERT_TRUE(corpus.ok());
+  size_t protease = g.annotations().SearchKeyword("protease").size();
+  EXPECT_GT(protease, 60u);
+  EXPECT_LT(protease, 140u);
+}
+
+TEST(WorkloadTest, BrainAtlasCorpusShape) {
+  Graphitti g;
+  BrainAtlasParams params;
+  params.num_images = 12;
+  params.num_annotations = 30;
+  auto corpus = GenerateBrainAtlas(&g, params);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  EXPECT_EQ(corpus->image_objects.size(), 12u);
+  EXPECT_EQ(corpus->all_systems.size(), 3u);  // canonical + 2 derived
+  EXPECT_EQ(corpus->annotations.size(), 30u);
+
+  SystemStats stats = g.Stats();
+  // The headline claim: one shared R-tree despite 3 coordinate systems.
+  EXPECT_EQ(stats.num_rtrees, 1u);
+  EXPECT_GE(stats.region_entries, 30u);
+  ASSERT_NE(g.GetOntology("nif"), nullptr);
+  // The demo's term is among the region labels.
+  EXPECT_EQ(g.annotations().SearchPhrase("Deep Cerebellar nuclei").empty(), false);
+}
+
+TEST(WorkloadTest, GeneratedOntologyParsesAndScales) {
+  std::string obo = GenerateOntologyObo("T", /*depth=*/3, /*fanout=*/3,
+                                        /*instances_per_leaf=*/2);
+  auto onto = ontology::ParseObo(obo, "t");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  // 1 + 3 + 9 + 27 concepts + 54 instances.
+  EXPECT_EQ(onto->num_terms(), 40u + 54u);
+  ontology::TermId root = onto->FindTerm("T:0");
+  ASSERT_NE(root, ontology::kInvalidTerm);
+  EXPECT_EQ(onto->CI(root).size(), 54u);
+  EXPECT_EQ(onto->SubTree(root, onto->FindRelation("is_a")).size(), 40u);
+}
+
+TEST(WorkloadTest, ProteinNamePool) {
+  util::Rng rng(1);
+  auto pool = ProteinNamePool(25, &rng);
+  EXPECT_EQ(pool.size(), 25u);
+  EXPECT_EQ(pool[0], "TP53");
+  // Generated names beyond the fixed list are non-empty and distinct-ish.
+  EXPECT_FALSE(pool[20].empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace graphitti

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+#include "xml/xpath.h"
+
+namespace graphitti {
+namespace xml {
+namespace {
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = ParseXml(R"(
+      <annotation id="7">
+        <dc:title>Observation on TP53</dc:title>
+        <dc:creator>condit</dc:creator>
+        <body>protease cleavage site near motif</body>
+        <referent-ref type="interval" domain="flu:seg4"/>
+        <referent-ref type="region" domain="atlas"/>
+        <ontology-ref ontology="nif" term="NIF:0001"/>
+        <section>
+          <referent-ref type="interval" domain="flu:seg1"/>
+          <note>nested text</note>
+        </section>
+      </annotation>)");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    doc_ = std::move(parsed).ValueUnsafe();
+  }
+
+  XmlDocument doc_;
+};
+
+TEST_F(XPathTest, AbsolutePathSelectsChildren) {
+  auto matches = EvaluateXPath("/annotation/dc:title", doc_.root());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].value, "Observation on TP53");
+}
+
+TEST_F(XPathTest, DescendantAxisFindsNested) {
+  auto matches = EvaluateXPath("//referent-ref", doc_.root());
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST_F(XPathTest, ChildAxisDoesNotRecurse) {
+  auto matches = EvaluateXPath("/annotation/referent-ref", doc_.root());
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(XPathTest, WildcardStep) {
+  auto matches = EvaluateXPath("/annotation/*", doc_.root());
+  EXPECT_EQ(matches.size(), 7u);
+}
+
+TEST_F(XPathTest, AttributePredicate) {
+  auto matches = EvaluateXPath("//referent-ref[@type='interval']", doc_.root());
+  EXPECT_EQ(matches.size(), 2u);
+  matches = EvaluateXPath("//referent-ref[@type='region']", doc_.root());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(*matches[0].node->FindAttribute("domain"), "atlas");
+}
+
+TEST_F(XPathTest, NotEqualsPredicate) {
+  auto matches = EvaluateXPath("//referent-ref[@type!='interval']", doc_.root());
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(XPathTest, ContainsTextPredicate) {
+  auto matches = EvaluateXPath("/annotation/body[contains(text(),'protease')]", doc_.root());
+  EXPECT_EQ(matches.size(), 1u);
+  matches = EvaluateXPath("/annotation/body[contains(text(),'absent')]", doc_.root());
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(XPathTest, ContainsIsCaseInsensitive) {
+  auto matches = EvaluateXPath("/annotation/body[contains(text(),'PROTEASE')]", doc_.root());
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(XPathTest, PositionPredicate) {
+  auto matches = EvaluateXPath("/annotation/referent-ref[2]", doc_.root());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(*matches[0].node->FindAttribute("type"), "region");
+}
+
+TEST_F(XPathTest, AttributeTerminalStep) {
+  auto matches = EvaluateXPath("//ontology-ref/@term", doc_.root());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(matches[0].is_attribute);
+  EXPECT_EQ(matches[0].value, "NIF:0001");
+}
+
+TEST_F(XPathTest, TextStep) {
+  auto matches = EvaluateXPath("/annotation/body/text()", doc_.root());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].value, "protease cleavage site near motif");
+}
+
+TEST_F(XPathTest, ChildPathOperandInPredicate) {
+  auto matches = EvaluateXPath("/annotation[dc:creator='condit']", doc_.root());
+  EXPECT_EQ(matches.size(), 1u);
+  matches = EvaluateXPath("/annotation[dc:creator='someone']", doc_.root());
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(XPathTest, DeepRelativePathInPredicate) {
+  auto matches = EvaluateXPath("/annotation[section/note='nested text']", doc_.root());
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(XPathTest, ChainedPredicates) {
+  auto matches =
+      EvaluateXPath("//referent-ref[@type='interval'][@domain='flu:seg4']", doc_.root());
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(XPathTest, MatchesShortCircuit) {
+  auto expr = XPathExpr::Compile("//note");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(doc_.root()));
+  auto expr2 = XPathExpr::Compile("//nothing");
+  ASSERT_TRUE(expr2.ok());
+  EXPECT_FALSE(expr2->Matches(doc_.root()));
+}
+
+TEST_F(XPathTest, RelativeFirstStepSearchesDescendants) {
+  // A path not starting with the root tag falls back to descendant search.
+  auto matches = EvaluateXPath("note", doc_.root());
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(XPathCompileTest, Errors) {
+  EXPECT_TRUE(XPathExpr::Compile("").status().IsParseError());
+  EXPECT_TRUE(XPathExpr::Compile("/a[").status().IsParseError());
+  EXPECT_TRUE(XPathExpr::Compile("/a[@x=]").status().IsParseError());
+  EXPECT_TRUE(XPathExpr::Compile("/a[contains(x)]").status().IsParseError());
+  EXPECT_TRUE(XPathExpr::Compile("/a[@x='unterminated]").status().IsParseError());
+}
+
+TEST(XPathCompileTest, AttributeMustBeTerminal) {
+  auto parsed = ParseXml("<a><b x=\"1\"><c/></b></a>");
+  ASSERT_TRUE(parsed.ok());
+  auto expr = XPathExpr::Compile("/a/@x/c");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Evaluate(parsed->root()).empty());
+}
+
+TEST(XPathCompileTest, EvaluateOnNullRootIsEmpty) {
+  auto expr = XPathExpr::Compile("/a");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Evaluate(nullptr).empty());
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace graphitti

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+#include "xml/xquery.h"
+
+namespace graphitti {
+namespace xml {
+namespace {
+
+class XQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddDoc(R"(<annotation><dc:title>First</dc:title><dc:creator>alice</dc:creator>
+              <body>protease cleavage</body></annotation>)");
+    AddDoc(R"(<annotation><dc:title>Second</dc:title><dc:creator>bob</dc:creator>
+              <body>receptor binding</body></annotation>)");
+    AddDoc(R"(<annotation><dc:title>Third</dc:title><dc:creator>alice</dc:creator>
+              <body>protease motif and receptor</body></annotation>)");
+  }
+
+  void AddDoc(std::string_view text) {
+    auto parsed = ParseXml(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    docs_.push_back(std::make_unique<XmlDocument>(std::move(parsed).ValueUnsafe()));
+  }
+
+  std::vector<const XmlDocument*> Collection() const {
+    std::vector<const XmlDocument*> out;
+    for (const auto& d : docs_) out.push_back(d.get());
+    return out;
+  }
+
+  std::vector<std::unique_ptr<XmlDocument>> docs_;
+};
+
+TEST_F(XQueryTest, SelectAll) {
+  auto q = XQuery::Compile("for $a in collection() return $a/dc:title");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rows = q->Execute(Collection());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].items[0].value, "First");
+  EXPECT_EQ(rows[2].items[0].value, "Third");
+}
+
+TEST_F(XQueryTest, WhereContains) {
+  auto q = XQuery::Compile(
+      "for $a in collection() where contains($a/body, 'protease') return $a/dc:title");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rows = q->Execute(Collection());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].document_index, 0u);
+  EXPECT_EQ(rows[1].document_index, 2u);
+}
+
+TEST_F(XQueryTest, WhereEquals) {
+  auto q = XQuery::Compile(
+      "for $a in collection() where $a/dc:creator = 'alice' return $a/dc:title");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Execute(Collection()).size(), 2u);
+}
+
+TEST_F(XQueryTest, WhereNotEquals) {
+  auto q = XQuery::Compile(
+      "for $a in collection() where $a/dc:creator != 'alice' return $a");
+  ASSERT_TRUE(q.ok());
+  auto rows = q->Execute(Collection());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].document_index, 1u);
+}
+
+TEST_F(XQueryTest, AndOrNotConditions) {
+  auto q = XQuery::Compile(
+      "for $a in collection() where contains($a/body,'protease') and "
+      "contains($a/body,'receptor') return $a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Execute(Collection()).size(), 1u);
+
+  q = XQuery::Compile(
+      "for $a in collection() where contains($a/body,'cleavage') or "
+      "contains($a/body,'binding') return $a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Execute(Collection()).size(), 2u);
+
+  q = XQuery::Compile(
+      "for $a in collection() where not(contains($a/body,'protease')) return $a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Execute(Collection()).size(), 1u);
+}
+
+TEST_F(XQueryTest, ParenthesizedConditions) {
+  auto q = XQuery::Compile(
+      "for $a in collection() where ($a/dc:creator='alice' or $a/dc:creator='bob') and "
+      "contains($a/body,'receptor') return $a/dc:title");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->Execute(Collection()).size(), 2u);
+}
+
+TEST_F(XQueryTest, SourcePathBindsSubElements) {
+  auto q = XQuery::Compile("for $t in collection()/annotation/dc:title return $t");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rows = q->Execute(Collection());
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(XQueryTest, EmptyCollection) {
+  auto q = XQuery::Compile("for $a in collection() return $a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Execute({}).empty());
+}
+
+TEST(XQueryCompileTest, Errors) {
+  EXPECT_TRUE(XQuery::Compile("").status().IsParseError());
+  EXPECT_TRUE(XQuery::Compile("for x in collection() return $x").status().IsParseError());
+  EXPECT_TRUE(XQuery::Compile("for $x in docs() return $x").status().IsParseError());
+  EXPECT_TRUE(XQuery::Compile("for $x in collection()").status().IsParseError());
+  EXPECT_TRUE(
+      XQuery::Compile("for $x in collection() return $y").status().IsParseError());
+  EXPECT_TRUE(XQuery::Compile("for $x in collection() where contains($x) return $x")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(XQuery::Compile("for $x in collection() return $x trailing")
+                  .status()
+                  .IsParseError());
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace graphitti
