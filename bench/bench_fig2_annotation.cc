@@ -4,7 +4,10 @@
 //   XML preview -> commit to annotation storage.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/graphitti.h"
 #include "core/workload.h"
@@ -136,6 +139,69 @@ void BM_Fig2_CommitMultiIntervalMarker(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(n) * 4);
 }
 BENCHMARK(BM_Fig2_CommitMultiIntervalMarker);
+
+// Keyword search over a committed corpus: the annotation tab's "find
+// annotations mentioning ..." box. Bodies draw from a skewed vocabulary so
+// posting lists span several orders of magnitude — the multi-keyword case
+// rewards intersecting rare-first.
+const Graphitti& AnnotatedStudy(size_t n) {
+  static std::map<size_t, std::unique_ptr<Graphitti>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto g = FreshStudy(64);
+    Rng rng(21);
+    for (size_t i = 0; i < n; ++i) {
+      AnnotationBuilder b;
+      std::string body = "alpha";                    // in every annotation
+      if (i % 4 == 0) body += " beta";               // 1/4 of the corpus
+      if (i % 16 == 0) body += " gamma";             // 1/16
+      if (i % 64 == 0) body += " delta";             // 1/64
+      if (i % 512 == 0) body += " protease cleavage observed";
+      for (int w = 0; w < 8; ++w) {
+        body += " w" + std::to_string(rng.Next64() % (n / 2 + 1));
+      }
+      int64_t lo = static_cast<int64_t>(rng.Next64() % 100000);
+      b.Title("kw" + std::to_string(i)).Body(body);
+      b.MarkInterval("flu:seg" + std::to_string(i % 8), lo, lo + 50);
+      (void)g->Commit(b);
+    }
+    it = cache.emplace(n, std::move(g)).first;
+  }
+  return *it->second;
+}
+
+void BM_Fig2_KeywordSearch(benchmark::State& state) {
+  const Graphitti& g = AnnotatedStudy(static_cast<size_t>(state.range(0)));
+  size_t found = 0;
+  for (auto _ : state) {
+    found += g.annotations().SearchKeyword("gamma").size();
+  }
+  benchmark::DoNotOptimize(found);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig2_KeywordSearch)->Arg(1000)->Arg(10000);
+
+void BM_Fig2_MultiKeywordSearch(benchmark::State& state) {
+  const Graphitti& g = AnnotatedStudy(static_cast<size_t>(state.range(0)));
+  const std::vector<std::string> words{"alpha", "beta", "gamma", "delta"};
+  size_t found = 0;
+  for (auto _ : state) {
+    found += g.annotations().SearchAllKeywords(words).size();
+  }
+  benchmark::DoNotOptimize(found);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig2_MultiKeywordSearch)->Arg(1000)->Arg(10000);
+
+void BM_Fig2_PhraseSearch(benchmark::State& state) {
+  const Graphitti& g = AnnotatedStudy(static_cast<size_t>(state.range(0)));
+  size_t found = 0;
+  for (auto _ : state) {
+    found += g.annotations().SearchPhrase("protease cleavage").size();
+  }
+  benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_Fig2_PhraseSearch)->Arg(1000)->Arg(10000);
 
 // Preview cost alone (XML build + serialize, no commit).
 void BM_Fig2_XmlPreview(benchmark::State& state) {

@@ -1,10 +1,117 @@
 #include "agraph/agraph.h"
 
 #include <algorithm>
-#include <deque>
 
 namespace graphitti {
 namespace agraph {
+
+util::TraversalScratch& AGraph::Scratch() {
+  // One scratch per thread: concurrent queries on const AGraphs stay safe,
+  // and sequential queries (also across different graphs — stale stamps
+  // never match a fresh epoch) allocate nothing in steady state.
+  thread_local util::TraversalScratch scratch;
+  return scratch;
+}
+
+uint32_t AGraph::FindLabelId(std::string_view label) const {
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? kNoIndex : it->second;
+}
+
+bool AGraph::BuildAllowedBitset(const std::vector<std::string>& allowed_labels,
+                                util::TraversalScratch* s, bool* has_filter) const {
+  *has_filter = !allowed_labels.empty();
+  if (!*has_filter) return true;
+  s->allowed.Reset(labels_.size());
+  bool any = false;
+  for (const std::string& l : allowed_labels) {
+    uint32_t id = FindLabelId(l);
+    if (id != kNoIndex) {
+      s->allowed.Set(id);
+      any = true;
+    }
+  }
+  return any;
+}
+
+uint32_t AGraph::BidirectionalSearch(util::TraversalScratch* s, bool directed,
+                                     size_t max_hops, bool has_filter,
+                                     size_t* length) const {
+  util::BfsSide& fwd = s->fwd;
+  util::BfsSide& bwd = s->bwd;
+  size_t best_len = SIZE_MAX;
+  uint32_t best_meet = kNoIndex;
+  size_t df = 0, db = 0;  // levels fully expanded per side
+
+  // Expands `self` by one BFS level. A meet is scored whenever an edge
+  // touches a node visited by the other side; BFS distances are exact at
+  // discovery, so the running minimum is exact once best_len <= df + db
+  // (any shorter path would already have produced a meet at the node
+  // sitting `df` hops along it).
+  auto expand = [&](util::BfsSide& self, const util::BfsSide& other,
+                    bool forward_side) {
+    self.next.clear();
+    for (uint32_t cur : self.frontier) {
+      auto relax = [&](const Edge& e, bool along_path) {
+        if (has_filter && !s->allowed.Test(e.label)) return;
+        uint32_t u = e.other;
+        if (self.visited.Insert(u)) {
+          self.parent[u] = cur;
+          self.parent_label[u] = e.label;
+          self.parent_forward[u] = along_path ? 1 : 0;
+          self.dist[u] = self.dist[cur] + 1;
+          self.next.push_back(u);
+        }
+        if (other.visited.Contains(u)) {
+          size_t cand = static_cast<size_t>(self.dist[u]) + other.dist[u];
+          if (cand < best_len) {
+            best_len = cand;
+            best_meet = u;
+          }
+        }
+      };
+      if (forward_side) {
+        for (const Edge& e : out_[cur]) relax(e, true);
+        if (!directed) {
+          for (const Edge& e : in_[cur]) relax(e, false);
+        }
+      } else {
+        // Backward side walks edges against their direction; along_path
+        // means the stored edge runs node -> parent (toward the seeds).
+        for (const Edge& e : in_[cur]) relax(e, true);
+        if (!directed) {
+          for (const Edge& e : out_[cur]) relax(e, false);
+        }
+      }
+    }
+    std::swap(self.frontier, self.next);
+  };
+
+  // Seeds shared by both sides meet at distance 0.
+  for (uint32_t seed : fwd.frontier) {
+    if (bwd.visited.Contains(seed)) {
+      *length = 0;
+      return seed;
+    }
+  }
+
+  while (!fwd.frontier.empty() && !bwd.frontier.empty()) {
+    if (best_len <= df + db) break;  // proven minimal
+    if (df + db >= max_hops) break;  // hop budget exhausted
+    if (fwd.frontier.size() <= bwd.frontier.size()) {
+      expand(fwd, bwd, /*forward_side=*/true);
+      ++df;
+    } else {
+      expand(bwd, fwd, /*forward_side=*/false);
+      ++db;
+    }
+  }
+  // When a side exhausts its reachable set, its distances are final, so the
+  // recorded best (a meet at the other side's seed, if connected) is exact.
+  if (best_meet == kNoIndex || best_len > max_hops) return kNoIndex;
+  *length = best_len;
+  return best_meet;
+}
 
 std::string_view NodeKindToString(NodeKind kind) {
   switch (kind) {
@@ -186,22 +293,31 @@ std::vector<EdgeRecord> AGraph::InEdges(NodeRef ref) const {
 std::vector<NodeRef> AGraph::Neighbors(NodeRef ref, bool directed,
                                        std::string_view label) const {
   std::vector<NodeRef> out;
-  auto idx = DenseIndex(ref);
-  if (!idx.ok()) return out;
-  auto match = [&](const Edge& e) {
-    return label.empty() || labels_[e.label] == label;
-  };
-  for (const Edge& e : out_[*idx]) {
-    if (match(e)) out.push_back(refs_[e.other]);
-  }
-  if (!directed) {
-    for (const Edge& e : in_[*idx]) {
-      if (match(e)) out.push_back(refs_[e.other]);
-    }
-  }
+  AppendNeighbors(ref, directed, label, &out);
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+void AGraph::AppendNeighbors(NodeRef ref, bool directed, std::string_view label,
+                             std::vector<NodeRef>* out) const {
+  auto idx = DenseIndex(ref);
+  if (!idx.ok()) return;
+  uint32_t li = kNoIndex;
+  if (!label.empty()) {
+    li = FindLabelId(label);
+    if (li == kNoIndex) return;  // label never interned: no edge carries it
+  }
+  util::TraversalScratch& s = Scratch();
+  s.set_a.Begin(refs_.size());
+  auto take = [&](const Edge& e) {
+    if ((li == kNoIndex || e.label == li) && s.set_a.Insert(e.other)) {
+      out->push_back(refs_[e.other]);
+    }
+  };
+  for (const Edge& e : out_[*idx]) take(e);
+  if (!directed) {
+    for (const Edge& e : in_[*idx]) take(e);
+  }
 }
 
 std::vector<NodeRef> AGraph::NodesOfKind(NodeKind kind) const {
@@ -230,84 +346,81 @@ util::Result<Path> AGraph::FindPath(NodeRef from, NodeRef to,
   GRAPHITTI_ASSIGN_OR_RETURN(uint32_t src, DenseIndex(from));
   GRAPHITTI_ASSIGN_OR_RETURN(uint32_t dst, DenseIndex(to));
 
-  std::vector<uint32_t> allowed;
-  for (const std::string& l : options.allowed_labels) {
-    auto it = label_index_.find(l);
-    if (it != label_index_.end()) allowed.push_back(it->second);
-  }
-  if (!options.allowed_labels.empty() && allowed.empty()) {
-    return util::Status::NotFound("no edges carry any of the allowed labels");
-  }
-  auto label_ok = [&](uint32_t l) {
-    return allowed.empty() ||
-           std::find(allowed.begin(), allowed.end(), l) != allowed.end();
-  };
-
   if (src == dst) {
     Path p;
     p.nodes = {from};
     return p;
   }
 
-  // BFS recording (parent, edge label) per visited node.
-  constexpr uint32_t kUnvisited = ~0u;
-  std::vector<uint32_t> parent(refs_.size(), kUnvisited);
-  std::vector<uint32_t> parent_label(refs_.size(), 0);
-  std::vector<size_t> depth(refs_.size(), 0);
-  std::deque<uint32_t> queue;
-  parent[src] = src;
-  queue.push_back(src);
-
-  bool found = false;
-  while (!queue.empty() && !found) {
-    uint32_t cur = queue.front();
-    queue.pop_front();
-    if (depth[cur] >= options.max_hops) continue;
-    auto visit = [&](const Edge& e) {
-      if (found || !label_ok(e.label) || parent[e.other] != kUnvisited) return;
-      parent[e.other] = cur;
-      parent_label[e.other] = e.label;
-      depth[e.other] = depth[cur] + 1;
-      if (e.other == dst) {
-        found = true;
-        return;
-      }
-      queue.push_back(e.other);
-    };
-    for (const Edge& e : out_[cur]) visit(e);
-    if (!options.directed) {
-      for (const Edge& e : in_[cur]) visit(e);
-    }
+  util::TraversalScratch& s = Scratch();
+  bool has_filter = false;
+  if (!BuildAllowedBitset(options.allowed_labels, &s, &has_filter)) {
+    return util::Status::NotFound("no edges carry any of the allowed labels");
   }
 
-  if (!found) {
-    return util::Status::NotFound("no path from " + from.ToString() + " to " + to.ToString());
+  s.fwd.Prepare(refs_.size());
+  s.bwd.Prepare(refs_.size());
+  s.fwd.Seed(src);
+  s.bwd.Seed(dst);
+  size_t length = 0;
+  uint32_t meet =
+      BidirectionalSearch(&s, options.directed, options.max_hops, has_filter, &length);
+  if (meet == kNoIndex) {
+    return util::Status::NotFound("no path from " + from.ToString() + " to " +
+                                  to.ToString());
   }
 
+  // Stitch src..meet (forward parents, reversed) to meet..dst (backward
+  // parents lead toward dst).
   Path path;
-  uint32_t cur = dst;
-  while (cur != src) {
+  path.nodes.reserve(length + 1);
+  path.edge_labels.reserve(length);
+  uint32_t cur = meet;
+  while (s.fwd.parent[cur] != cur) {
     path.nodes.push_back(refs_[cur]);
-    path.edge_labels.push_back(labels_[parent_label[cur]]);
-    cur = parent[cur];
+    path.edge_labels.push_back(labels_[s.fwd.parent_label[cur]]);
+    cur = s.fwd.parent[cur];
   }
-  path.nodes.push_back(refs_[src]);
+  path.nodes.push_back(refs_[cur]);  // src
   std::reverse(path.nodes.begin(), path.nodes.end());
   std::reverse(path.edge_labels.begin(), path.edge_labels.end());
+  cur = meet;
+  while (s.bwd.parent[cur] != cur) {
+    uint32_t nxt = s.bwd.parent[cur];
+    path.edge_labels.push_back(labels_[s.bwd.parent_label[cur]]);
+    path.nodes.push_back(refs_[nxt]);
+    cur = nxt;
+  }
   return path;
 }
 
 std::vector<NodeRef> AGraph::IndirectlyRelatedContents(NodeRef content) const {
   std::vector<NodeRef> out;
   if (content.kind != NodeKind::kContent) return out;
-  for (const NodeRef& referent : Neighbors(content)) {
-    if (referent.kind != NodeKind::kReferent) continue;
-    for (const NodeRef& other : Neighbors(referent)) {
-      if (other.kind == NodeKind::kContent && other != content) out.push_back(other);
+  auto idx = DenseIndex(content);
+  if (!idx.ok()) return out;
+
+  util::TraversalScratch& s = Scratch();
+  s.set_a.Begin(refs_.size());  // referents already expanded
+  s.set_b.Begin(refs_.size());  // contents already emitted (incl. self)
+  s.set_b.Insert(*idx);
+
+  auto expand_referent = [&](uint32_t r) {
+    if (refs_[r].kind != NodeKind::kReferent || !s.set_a.Insert(r)) return;
+    for (const Edge& e : out_[r]) {
+      if (refs_[e.other].kind == NodeKind::kContent && s.set_b.Insert(e.other)) {
+        out.push_back(refs_[e.other]);
+      }
     }
-  }
+    for (const Edge& e : in_[r]) {
+      if (refs_[e.other].kind == NodeKind::kContent && s.set_b.Insert(e.other)) {
+        out.push_back(refs_[e.other]);
+      }
+    }
+  };
+  for (const Edge& e : out_[*idx]) expand_referent(e.other);
+  for (const Edge& e : in_[*idx]) expand_referent(e.other);
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/dense_set.h"
 #include "util/result.h"
 
 namespace graphitti {
@@ -60,7 +61,11 @@ struct NodeRef {
 
 struct NodeRefHash {
   size_t operator()(const NodeRef& ref) const {
-    return std::hash<uint64_t>()(ref.id * 4 + static_cast<uint64_t>(ref.kind));
+    // (id << 2) | kind is injective but trivially collides bucket-wise for
+    // dense ids across kinds; splitmix64 gives full avalanche, which the
+    // hash-join machinery in the query executor depends on.
+    return static_cast<size_t>(
+        util::Mix64((ref.id << 2) | static_cast<uint64_t>(ref.kind)));
   }
 };
 
@@ -149,6 +154,13 @@ class AGraph {
   std::vector<NodeRef> Neighbors(NodeRef ref, bool directed = false,
                                  std::string_view label = "") const;
 
+  /// Allocation-free variant of Neighbors: appends the distinct neighbours
+  /// to *out (which the caller clears and reuses across calls) in
+  /// unspecified order. Distinctness is only guaranteed among the appended
+  /// nodes, not against pre-existing elements of *out.
+  void AppendNeighbors(NodeRef ref, bool directed, std::string_view label,
+                       std::vector<NodeRef>* out) const;
+
   /// All nodes of a given kind.
   std::vector<NodeRef> NodesOfKind(NodeKind kind) const;
 
@@ -213,8 +225,37 @@ class AGraph {
     uint32_t label;  // interned label id
   };
 
+  static constexpr uint32_t kNoIndex = ~0u;
+
   uint32_t InternLabel(std::string_view label);
+  /// Interned id for `label`, or kNoIndex when never seen.
+  uint32_t FindLabelId(std::string_view label) const;
   util::Result<uint32_t> DenseIndex(NodeRef ref) const;
+
+  // --- traversal core (agraph.cc) ---
+  //
+  // All traversals run on dense indexes over a per-thread epoch-stamped
+  // TraversalScratch — no per-call O(V) allocation — and filter labels
+  // through a LabelBitset over interned ids.
+
+  /// The calling thread's scratch (grows to the largest graph traversed).
+  static util::TraversalScratch& Scratch();
+
+  /// Compiles allowed_labels into s->allowed. Returns false when the filter
+  /// is non-empty but matches no interned label (no edge can pass).
+  /// *has_filter is set when filtering is active.
+  bool BuildAllowedBitset(const std::vector<std::string>& allowed_labels,
+                          util::TraversalScratch* s, bool* has_filter) const;
+
+  /// Bidirectional BFS between the pre-seeded s->fwd and s->bwd sides
+  /// (multi-source on either side). Expands the smaller frontier level by
+  /// level; returns the dense index of a meet node on a shortest
+  /// fwd-seed..bwd-seed path of length <= max_hops (written to *length), or
+  /// kNoIndex when none exists. The forward side follows out-edges (plus
+  /// in-edges when !directed); the backward side is mirrored.
+  uint32_t BidirectionalSearch(util::TraversalScratch* s, bool directed,
+                               size_t max_hops, bool has_filter,
+                               size_t* length) const;
 
   std::unordered_map<NodeRef, uint32_t, NodeRefHash> index_;
   std::vector<NodeRef> refs_;          // dense -> NodeRef

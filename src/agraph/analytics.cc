@@ -1,7 +1,7 @@
 // Admin-tab graph analytics: components, degree stats, bounded path
-// enumeration for exploratory browsing.
+// enumeration for exploratory browsing. All traversals run on the shared
+// epoch-stamped scratch — no per-call O(V) allocation.
 #include <algorithm>
-#include <deque>
 
 #include "agraph/agraph.h"
 
@@ -10,27 +10,21 @@ namespace agraph {
 
 std::vector<std::vector<NodeRef>> AGraph::ConnectedComponents() const {
   std::vector<std::vector<NodeRef>> components;
-  std::vector<bool> seen(refs_.size(), false);
+  util::TraversalScratch& s = Scratch();
+  s.set_a.Begin(refs_.size());
   for (uint32_t start = 0; start < refs_.size(); ++start) {
-    if (seen[start]) continue;
+    if (!s.set_a.Insert(start)) continue;
     std::vector<NodeRef> component;
-    std::deque<uint32_t> queue{start};
-    seen[start] = true;
-    while (!queue.empty()) {
-      uint32_t cur = queue.front();
-      queue.pop_front();
+    s.queue.clear();
+    s.queue.push_back(start);
+    for (size_t head = 0; head < s.queue.size(); ++head) {
+      uint32_t cur = s.queue[head];
       component.push_back(refs_[cur]);
       for (const Edge& e : out_[cur]) {
-        if (!seen[e.other]) {
-          seen[e.other] = true;
-          queue.push_back(e.other);
-        }
+        if (s.set_a.Insert(e.other)) s.queue.push_back(e.other);
       }
       for (const Edge& e : in_[cur]) {
-        if (!seen[e.other]) {
-          seen[e.other] = true;
-          queue.push_back(e.other);
-        }
+        if (s.set_a.Insert(e.other)) s.queue.push_back(e.other);
       }
     }
     std::sort(component.begin(), component.end());
@@ -71,58 +65,60 @@ std::vector<Path> AGraph::AllPaths(NodeRef from, NodeRef to, size_t max_hops,
   auto to_idx = DenseIndex(to);
   if (!from_idx.ok() || !to_idx.ok() || max_paths == 0) return paths;
 
-  std::vector<bool> on_path(refs_.size(), false);
-  std::vector<uint32_t> node_stack;
-  std::vector<uint32_t> label_stack;
+  util::TraversalScratch& s = Scratch();
+  util::EpochVisitSet& on_path = s.set_a;
+  on_path.Begin(refs_.size());
 
-  // Iterative DFS with explicit neighbour cursors to bound stack depth.
+  // Iterative DFS; each frame's cursor indexes the node's out-edges followed
+  // by its in-edges (the undirected view) directly — no materialized merged
+  // adjacency.
   struct Frame {
     uint32_t node;
-    size_t cursor = 0;            // index into the merged adjacency
+    size_t cursor = 0;
   };
-  auto merged_neighbors = [&](uint32_t node) {
-    std::vector<std::pair<uint32_t, uint32_t>> nbrs;  // (other, label)
-    for (const Edge& e : out_[node]) nbrs.emplace_back(e.other, e.label);
-    for (const Edge& e : in_[node]) nbrs.emplace_back(e.other, e.label);
-    return nbrs;
+  auto edge_at = [&](uint32_t node, size_t cursor) -> const Edge* {
+    const std::vector<Edge>& outs = out_[node];
+    if (cursor < outs.size()) return &outs[cursor];
+    size_t j = cursor - outs.size();
+    const std::vector<Edge>& ins = in_[node];
+    return j < ins.size() ? &ins[j] : nullptr;
   };
 
   std::vector<Frame> stack;
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adj_stack;
+  std::vector<uint32_t> node_stack;
+  std::vector<uint32_t> label_stack;
   stack.push_back({*from_idx});
-  adj_stack.push_back(merged_neighbors(*from_idx));
-  on_path[*from_idx] = true;
+  on_path.Insert(*from_idx);
   node_stack.push_back(*from_idx);
 
   while (!stack.empty() && paths.size() < max_paths) {
     Frame& frame = stack.back();
-    const auto& nbrs = adj_stack.back();
-    if (frame.cursor >= nbrs.size() || node_stack.size() > max_hops) {
+    const Edge* edge = edge_at(frame.node, frame.cursor);
+    if (edge == nullptr || node_stack.size() > max_hops) {
       // Backtrack (also cuts off when the hop budget cannot admit children).
-      on_path[frame.node] = false;
+      on_path.Erase(frame.node);
       node_stack.pop_back();
       if (!label_stack.empty()) label_stack.pop_back();
       stack.pop_back();
-      adj_stack.pop_back();
       continue;
     }
-    auto [next, label] = nbrs[frame.cursor++];
-    if (on_path[next]) continue;
+    ++frame.cursor;
+    uint32_t next = edge->other;
+    if (on_path.Contains(next)) continue;
     if (next == *to_idx) {
       Path p;
       for (uint32_t n : node_stack) p.nodes.push_back(refs_[n]);
       p.nodes.push_back(refs_[next]);
       for (uint32_t l : label_stack) p.edge_labels.push_back(labels_[l]);
-      p.edge_labels.push_back(labels_[label]);
+      p.edge_labels.push_back(labels_[edge->label]);
       paths.push_back(std::move(p));
       continue;
     }
     if (node_stack.size() >= max_hops) continue;  // no budget to go deeper
-    on_path[next] = true;
+    on_path.Insert(next);
     node_stack.push_back(next);
-    label_stack.push_back(label);
+    label_stack.push_back(edge->label);
     stack.push_back({next});
-    adj_stack.push_back(merged_neighbors(next));
   }
   return paths;
 }

@@ -1,14 +1,33 @@
 // connect(node1, node2, ...): connection subgraph via the distance-network
 // Steiner-tree heuristic (Kou-Markowsky-Berman flavoured, grown greedily).
+//
+// Each greedy wave finds the missing terminal nearest to the current
+// component with a meet-in-the-middle search: a multi-source forward BFS
+// from the component against a multi-source backward BFS from all missing
+// terminals. Both run on the per-thread epoch-stamped scratch, so a wave
+// allocates nothing beyond the (output-sized) tree bookkeeping.
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <set>
+#include <tuple>
+#include <unordered_map>
 
 #include "agraph/agraph.h"
 
 namespace graphitti {
 namespace agraph {
+
+namespace {
+
+// One selected tree edge, deduplicated on the undirected key (a, b, label)
+// while remembering the stored direction for the output EdgeRecord.
+struct TreeEdge {
+  uint32_t a;  // min(dense endpoints)
+  uint32_t b;  // max(dense endpoints)
+  uint32_t label;
+  uint32_t from;
+  uint32_t to;
+};
+
+}  // namespace
 
 util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
                                        const ConnectOptions& options) const {
@@ -23,119 +42,99 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
   std::sort(term_idx.begin(), term_idx.end());
   term_idx.erase(std::unique(term_idx.begin(), term_idx.end()), term_idx.end());
 
-  std::vector<uint32_t> allowed;
-  for (const std::string& l : options.allowed_labels) {
-    auto it = label_index_.find(l);
-    if (it != label_index_.end()) allowed.push_back(it->second);
-  }
-  if (!options.allowed_labels.empty() && allowed.empty()) {
+  util::TraversalScratch& s = Scratch();
+  bool has_filter = false;
+  if (!BuildAllowedBitset(options.allowed_labels, &s, &has_filter)) {
     return util::Status::NotFound("no edges carry any of the allowed labels");
   }
-  auto label_ok = [&](uint32_t l) {
-    return allowed.empty() ||
-           std::find(allowed.begin(), allowed.end(), l) != allowed.end();
+
+  // Component membership lives in set_a for the whole call; the BFS sides
+  // re-Prepare per wave (disjoint scratch members, see dense_set.h).
+  s.set_a.Begin(refs_.size());
+  std::vector<uint32_t> component{term_idx[0]};
+  s.set_a.Insert(term_idx[0]);
+  std::vector<uint32_t> missing(term_idx.begin() + 1, term_idx.end());
+
+  std::vector<TreeEdge> tree;
+  auto add_tree_edge = [&](uint32_t from, uint32_t to, uint32_t label) {
+    uint32_t a = std::min(from, to);
+    uint32_t b = std::max(from, to);
+    for (const TreeEdge& e : tree) {
+      if (e.a == a && e.b == b && e.label == label) return;
+    }
+    tree.push_back({a, b, label, from, to});
+  };
+  auto add_component_node = [&](uint32_t n) {
+    if (s.set_a.Insert(n)) component.push_back(n);
   };
 
-  // Greedy tree growth: start from the first terminal; repeatedly BFS from
-  // the current component (multi-source) to the nearest missing terminal and
-  // merge the connecting path. Each BFS is O(V+E); there are <= |T|-1 waves.
-  std::set<uint32_t> component{term_idx[0]};
-  std::set<uint32_t> missing(term_idx.begin() + 1, term_idx.end());
-  // Edges selected for the subgraph, as (min_idx, max_idx, label).
-  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> tree_edges;
-  // Remember one concrete directed record per selected edge for output.
-  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, std::pair<uint32_t, uint32_t>>
-      edge_direction;  // key -> (from,to)
-
-  constexpr uint32_t kUnvisited = ~0u;
   while (!missing.empty()) {
-    std::vector<uint32_t> parent(refs_.size(), kUnvisited);
-    std::vector<uint32_t> parent_label(refs_.size(), 0);
-    std::vector<size_t> depth(refs_.size(), 0);
-    std::deque<uint32_t> queue;
-    for (uint32_t c : component) {
-      parent[c] = c;
-      queue.push_back(c);
-    }
+    s.fwd.Prepare(refs_.size());
+    s.bwd.Prepare(refs_.size());
+    for (uint32_t c : component) s.fwd.Seed(c);
+    for (uint32_t t : missing) s.bwd.Seed(t);
 
-    uint32_t reached = kUnvisited;
-    while (!queue.empty() && reached == kUnvisited) {
-      uint32_t cur = queue.front();
-      queue.pop_front();
-      if (depth[cur] >= options.max_hops) continue;
-      auto visit = [&](const Edge& e, bool forward) {
-        (void)forward;
-        if (reached != kUnvisited || !label_ok(e.label) || parent[e.other] != kUnvisited) {
-          return;
-        }
-        parent[e.other] = cur;
-        parent_label[e.other] = e.label;
-        depth[e.other] = depth[cur] + 1;
-        if (missing.count(e.other) > 0) {
-          reached = e.other;
-          return;
-        }
-        queue.push_back(e.other);
-      };
-      for (const Edge& e : out_[cur]) visit(e, true);
-      for (const Edge& e : in_[cur]) visit(e, false);
-    }
-
-    if (reached == kUnvisited) {
+    size_t length = 0;
+    uint32_t meet = BidirectionalSearch(&s, /*directed=*/false, options.max_hops,
+                                        has_filter, &length);
+    if (meet == kNoIndex) {
       return util::Status::NotFound(
           "terminals are not in one connected component (unreached: " +
-          refs_[*missing.begin()].ToString() + ")");
+          refs_[missing.front()].ToString() + ")");
     }
 
-    // Merge the path from `reached` back into the component.
-    uint32_t cur = reached;
-    while (component.count(cur) == 0) {
-      uint32_t par = parent[cur];
-      uint32_t label = parent_label[cur];
-      uint32_t a = std::min(cur, par);
-      uint32_t b = std::max(cur, par);
-      auto key = std::make_tuple(a, b, label);
-      if (tree_edges.insert(key).second) {
-        // Preserve the stored direction: the actual edge may be par->cur or
-        // cur->par; look it up in out_[par].
-        bool forward = false;
-        for (const Edge& e : out_[par]) {
-          if (e.other == cur && e.label == label) {
-            forward = true;
-            break;
-          }
-        }
-        edge_direction[key] = forward ? std::make_pair(par, cur) : std::make_pair(cur, par);
+    // Merge meet..component (forward parents; parent_forward means the edge
+    // is stored parent -> node).
+    uint32_t cur = meet;
+    while (!s.set_a.Contains(cur)) {
+      uint32_t par = s.fwd.parent[cur];
+      if (s.fwd.parent_forward[cur]) {
+        add_tree_edge(par, cur, s.fwd.parent_label[cur]);
+      } else {
+        add_tree_edge(cur, par, s.fwd.parent_label[cur]);
       }
-      component.insert(cur);
+      add_component_node(cur);
       cur = par;
     }
-    missing.erase(reached);
+    // Merge meet..terminal (backward parents lead to the reached terminal;
+    // parent_forward means the edge is stored node -> parent).
+    cur = meet;
+    while (s.bwd.parent[cur] != cur) {
+      uint32_t nxt = s.bwd.parent[cur];
+      if (s.bwd.parent_forward[cur]) {
+        add_tree_edge(cur, nxt, s.bwd.parent_label[cur]);
+      } else {
+        add_tree_edge(nxt, cur, s.bwd.parent_label[cur]);
+      }
+      add_component_node(nxt);
+      cur = nxt;
+    }
+    uint32_t reached = cur;
+    add_component_node(reached);
+    missing.erase(std::remove(missing.begin(), missing.end(), reached), missing.end());
   }
 
-  // Prune: repeatedly drop non-terminal nodes of degree <= 1 in the tree.
-  std::set<uint32_t> terminal_set(term_idx.begin(), term_idx.end());
+  // Prune: repeatedly drop non-terminal nodes of tree-degree <= 1 (the tree
+  // is output-sized, so the repeated degree recount stays cheap).
+  util::EpochVisitSet& terminal_set = s.set_b;
+  terminal_set.Begin(refs_.size());
+  for (uint32_t t : term_idx) terminal_set.Insert(t);
   bool changed = true;
   while (changed) {
     changed = false;
-    std::map<uint32_t, size_t> degree;
-    for (const auto& [a, b, l] : tree_edges) {
-      (void)l;
-      ++degree[a];
-      ++degree[b];
+    std::unordered_map<uint32_t, size_t> degree;
+    for (const TreeEdge& e : tree) {
+      ++degree[e.a];
+      ++degree[e.b];
     }
     for (auto it = component.begin(); it != component.end();) {
       uint32_t node = *it;
-      if (terminal_set.count(node) == 0 && degree[node] <= 1) {
-        // Remove the node and its single incident edge.
-        for (auto eit = tree_edges.begin(); eit != tree_edges.end();) {
-          if (std::get<0>(*eit) == node || std::get<1>(*eit) == node) {
-            edge_direction.erase(*eit);
-            eit = tree_edges.erase(eit);
-          } else {
-            ++eit;
-          }
-        }
+      if (!terminal_set.Contains(node) && degree[node] <= 1) {
+        tree.erase(std::remove_if(tree.begin(), tree.end(),
+                                  [&](const TreeEdge& e) {
+                                    return e.a == node || e.b == node;
+                                  }),
+                   tree.end());
         it = component.erase(it);
         changed = true;
       } else {
@@ -147,8 +146,12 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
   SubGraph sg;
   for (uint32_t n : component) sg.nodes.push_back(refs_[n]);
   std::sort(sg.nodes.begin(), sg.nodes.end());
-  for (const auto& [key, dir] : edge_direction) {
-    sg.edges.push_back({refs_[dir.first], refs_[dir.second], labels_[std::get<2>(key)]});
+  std::sort(tree.begin(), tree.end(), [](const TreeEdge& x, const TreeEdge& y) {
+    return std::tie(x.a, x.b, x.label) < std::tie(y.a, y.b, y.label);
+  });
+  sg.edges.reserve(tree.size());
+  for (const TreeEdge& e : tree) {
+    sg.edges.push_back({refs_[e.from], refs_[e.to], labels_[e.label]});
   }
   return sg;
 }

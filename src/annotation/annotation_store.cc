@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/dense_set.h"
 #include "util/string_util.h"
 #include "xml/xquery.h"
 
@@ -226,6 +227,9 @@ std::string ContentText(const Annotation& ann) {
 
 void AnnotationStore::IndexContentText(AnnotationId id, const Annotation& ann) {
   std::string text = ContentText(ann);
+  // Phrase search matches the serialized content only (not tags/terms),
+  // case-insensitively; cache the lower-cased form once at commit.
+  lower_text_.emplace(id, util::ToLower(text));
   for (const auto& [k, v] : ann.user_tags) {
     text += ' ';
     text += k;
@@ -239,46 +243,73 @@ void AnnotationStore::IndexContentText(AnnotationId id, const Annotation& ann) {
   std::vector<std::string> words = util::TokenizeWords(text);
   std::sort(words.begin(), words.end());
   words.erase(std::unique(words.begin(), words.end()), words.end());
-  for (const std::string& w : words) {
-    keyword_index_[w].push_back(id);  // ids arrive in ascending order
+  std::vector<uint32_t>& token_list = tokens_of_[id];
+  token_list.reserve(words.size());
+  for (std::string& w : words) {
+    auto [it, inserted] = token_ids_.emplace(std::move(w), postings_.size());
+    if (inserted) postings_.emplace_back();
+    std::vector<AnnotationId>& posting = postings_[it->second];
+    // Ids normally arrive ascending; forced ids (persistence replay) may
+    // not, so keep the posting sorted either way.
+    if (posting.empty() || posting.back() < id) {
+      posting.push_back(id);
+    } else {
+      posting.insert(std::upper_bound(posting.begin(), posting.end(), id), id);
+    }
+    token_list.push_back(it->second);
   }
 }
 
 void AnnotationStore::UnindexContentText(AnnotationId id) {
-  for (auto it = keyword_index_.begin(); it != keyword_index_.end();) {
-    auto& ids = it->second;
-    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
-    if (ids.empty()) {
-      it = keyword_index_.erase(it);
-    } else {
-      ++it;
+  auto it = tokens_of_.find(id);
+  if (it != tokens_of_.end()) {
+    for (uint32_t tid : it->second) {
+      std::vector<AnnotationId>& posting = postings_[tid];
+      auto pos = std::lower_bound(posting.begin(), posting.end(), id);
+      if (pos != posting.end() && *pos == id) posting.erase(pos);
     }
+    tokens_of_.erase(it);
   }
+  lower_text_.erase(id);
 }
 
 std::vector<AnnotationId> AnnotationStore::SearchKeyword(std::string_view word) const {
   std::vector<std::string> tokens = util::TokenizeWords(word);
   if (tokens.size() != 1) return SearchAllKeywords(tokens);
-  auto it = keyword_index_.find(tokens[0]);
-  return it == keyword_index_.end() ? std::vector<AnnotationId>{} : it->second;
+  auto it = token_ids_.find(tokens[0]);
+  return it == token_ids_.end() ? std::vector<AnnotationId>{} : postings_[it->second];
 }
 
 std::vector<AnnotationId> AnnotationStore::SearchAllKeywords(
     const std::vector<std::string>& words) const {
-  std::vector<AnnotationId> acc;
-  bool first = true;
+  // Resolve every word to its posting list up front. A word tokenizing to
+  // several tokens requires all of them (phrase-less AND semantics, as
+  // before); a word with no tokens or an unindexed token matches nothing.
+  std::vector<const std::vector<AnnotationId>*> lists;
+  if (words.empty()) return {};
   for (const std::string& w : words) {
-    std::vector<AnnotationId> ids = SearchKeyword(w);
-    if (first) {
-      acc = std::move(ids);
-      first = false;
-    } else {
-      std::vector<AnnotationId> merged;
-      std::set_intersection(acc.begin(), acc.end(), ids.begin(), ids.end(),
-                            std::back_inserter(merged));
-      acc = std::move(merged);
+    std::vector<std::string> tokens = util::TokenizeWords(w);
+    if (tokens.empty()) return {};
+    for (const std::string& t : tokens) {
+      auto it = token_ids_.find(t);
+      if (it == token_ids_.end()) return {};
+      lists.push_back(&postings_[it->second]);
     }
-    if (acc.empty()) break;
+  }
+  std::sort(lists.begin(), lists.end());
+  lists.erase(std::unique(lists.begin(), lists.end()), lists.end());
+  // Intersect in ascending posting-size order: every later intersection runs
+  // against a result no larger than the rarest list, and galloping makes
+  // rare-against-common cost logarithmic in the common list's size.
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<AnnotationId>* a, const std::vector<AnnotationId>* b) {
+              return a->size() < b->size();
+            });
+  std::vector<AnnotationId> acc = *lists.front();
+  std::vector<AnnotationId> merged;
+  for (size_t i = 1; i < lists.size() && !acc.empty(); ++i) {
+    util::IntersectSorted(acc, *lists[i], &merged);
+    std::swap(acc, merged);
   }
   return acc;
 }
@@ -291,11 +322,13 @@ std::vector<AnnotationId> AnnotationStore::SearchPhrase(std::string_view phrase)
   } else {
     candidates = SearchAllKeywords(tokens);
   }
+  std::string lower_phrase = util::ToLower(phrase);
   std::vector<AnnotationId> out;
   for (AnnotationId id : candidates) {
-    const Annotation* ann = Get(id);
-    if (ann == nullptr) continue;
-    if (util::ContainsIgnoreCase(ContentText(*ann), phrase)) out.push_back(id);
+    auto it = lower_text_.find(id);
+    if (it != lower_text_.end() && it->second.find(lower_phrase) != std::string::npos) {
+      out.push_back(id);
+    }
   }
   return out;
 }

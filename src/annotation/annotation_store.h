@@ -123,7 +123,18 @@ class AnnotationStore {
   std::map<AnnotationId, Annotation> annotations_;
   std::map<ReferentId, Referent> referents_;
   std::map<std::string, ReferentId> referent_by_key_;  // Substructure::ToString() key
-  std::map<std::string, std::vector<AnnotationId>> keyword_index_;
+
+  // Keyword inverted index with interned tokens: token string -> dense token
+  // id; postings_[token id] is the ascending posting list of annotations
+  // containing the token. tokens_of_ records each annotation's token ids so
+  // removal is O(annotation tokens), not O(vocabulary). lower_text_ caches
+  // the lower-cased serialized content per annotation so phrase search never
+  // re-derives (and re-lowers) it per candidate.
+  std::unordered_map<std::string, uint32_t> token_ids_;
+  std::vector<std::vector<AnnotationId>> postings_;
+  std::unordered_map<AnnotationId, std::vector<uint32_t>> tokens_of_;
+  std::unordered_map<AnnotationId, std::string> lower_text_;
+
   std::map<std::string, uint64_t> term_node_ids_;
   std::vector<std::string> term_names_;  // dense id -> qualified name
 

@@ -503,56 +503,68 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   std::vector<std::vector<NodeRef>> rows;  // each row: one NodeRef per bound column
   rows.emplace_back();                     // seed: single empty row
 
+  // Buffers reused across every clause evaluation and row extension: the
+  // join machinery below is hash-based (semi-joins over NodeRef keys via
+  // NodeRefHash), so per-row work allocates nothing in steady state.
+  std::vector<NodeRef> domain_buf;
+  std::vector<NodeRef> nbr_buf;
+  std::unordered_set<NodeRef, NodeRefHash> nbr_set;
+
   for (const std::string& v : order) {
     VarInfo& info = vars[v];
     stats.binding_order.push_back(v);
     stats.candidate_counts.push_back(info.candidates.size());
 
-    // Edges from v to already-bound variables.
-    std::vector<const EdgeInfo*> join_edges;
-    std::vector<const EdgeInfo*> path_edges;  // CONNECTED: path-existence joins
+    // Edges from v to already-bound variables, with the bound column
+    // resolved once per variable instead of per row.
+    std::vector<std::pair<const EdgeInfo*, size_t>> join_edges;
+    std::vector<std::pair<const EdgeInfo*, size_t>> path_edges;  // CONNECTED joins
     for (const EdgeInfo& e : edges) {
       const std::string& other = (e.var_a == v) ? e.var_b : (e.var_b == v ? e.var_a : "");
-      if (other.empty() || var_column.find(other) == var_column.end()) continue;
+      if (other.empty()) continue;
+      auto col = var_column.find(other);
+      if (col == var_column.end()) continue;
       if (e.clause->kind == Clause::Kind::kConnected) {
-        path_edges.push_back(&e);
+        path_edges.emplace_back(&e, col->second);
       } else {
-        join_edges.push_back(&e);
+        join_edges.emplace_back(&e, col->second);
       }
     }
 
     std::vector<std::vector<NodeRef>> next_rows;
     for (const std::vector<NodeRef>& row : rows) {
-      std::vector<NodeRef> domain;
+      const std::vector<NodeRef>* domain = &info.candidates;  // cartesian extension
       if (!join_edges.empty()) {
-        // Expand along the first edge, intersect along the rest.
+        // Expand along the first edge (hash-filtered against v's candidate
+        // set), then hash semi-join along the rest.
         bool first = true;
-        for (const EdgeInfo* e : join_edges) {
-          const std::string& other = (e->var_a == v) ? e->var_b : e->var_a;
-          NodeRef bound_node = row[var_column[other]];
-          std::vector<NodeRef> nbrs =
-              graph.Neighbors(bound_node, /*directed=*/false, e->label);
-          std::vector<NodeRef> filtered;
-          for (NodeRef n : nbrs) {
-            if (info.candidate_set.count(n) > 0) filtered.push_back(n);
-          }
-          std::sort(filtered.begin(), filtered.end());
+        for (const auto& [e, col] : join_edges) {
+          NodeRef bound_node = row[col];
+          nbr_buf.clear();
+          graph.AppendNeighbors(bound_node, /*directed=*/false, e->label, &nbr_buf);
           if (first) {
-            domain = std::move(filtered);
+            domain_buf.clear();
+            for (NodeRef n : nbr_buf) {
+              if (info.candidate_set.count(n) > 0) domain_buf.push_back(n);
+            }
             first = false;
           } else {
-            std::vector<NodeRef> merged;
-            std::set_intersection(domain.begin(), domain.end(), filtered.begin(),
-                                  filtered.end(), std::back_inserter(merged));
-            domain = std::move(merged);
+            nbr_set.clear();
+            nbr_set.insert(nbr_buf.begin(), nbr_buf.end());
+            domain_buf.erase(std::remove_if(domain_buf.begin(), domain_buf.end(),
+                                            [&](NodeRef n) {
+                                              return nbr_set.count(n) == 0;
+                                            }),
+                             domain_buf.end());
           }
-          if (domain.empty()) break;
+          if (domain_buf.empty()) break;
         }
-      } else {
-        domain = info.candidates;  // cartesian extension
+        // Deterministic extension order (and the order the seed produced).
+        std::sort(domain_buf.begin(), domain_buf.end());
+        domain = &domain_buf;
       }
 
-      for (NodeRef cand : domain) {
+      for (NodeRef cand : *domain) {
         // Pairwise constraints that become fully bound with v = cand.
         bool ok = true;
         for (const PairPredicate& p : pair_preds) {
@@ -578,9 +590,8 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         }
         if (!ok) continue;
         // CONNECTED joins: path existence in the a-graph.
-        for (const EdgeInfo* e : path_edges) {
-          const std::string& other = (e->var_a == v) ? e->var_b : e->var_a;
-          NodeRef other_node = row[var_column[other]];
+        for (const auto& [e, col] : path_edges) {
+          NodeRef other_node = row[col];
           agraph::PathOptions popt;
           popt.max_hops = e->clause->max_hops == SIZE_MAX ? options_.default_connected_hops
                                                           : e->clause->max_hops;
@@ -643,13 +654,12 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
 
   switch (query.target) {
     case Target::kContents: {
-      std::vector<NodeRef> seen;
+      std::unordered_set<NodeRef, NodeRefHash> seen;
       size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
       for (const auto& row : rows) {
         if (col == SIZE_MAX || col >= row.size()) break;
         NodeRef n = row[col];
-        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
-        seen.push_back(n);
+        if (!seen.insert(n).second) continue;
         ResultItem item;
         item.content_id = n.id;
         item.label = label_for(n);
@@ -658,13 +668,12 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       break;
     }
     case Target::kReferents: {
-      std::vector<NodeRef> seen;
+      std::unordered_set<NodeRef, NodeRefHash> seen;
       size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
       for (const auto& row : rows) {
         if (col == SIZE_MAX || col >= row.size()) break;
         NodeRef n = row[col];
-        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
-        seen.push_back(n);
+        if (!seen.insert(n).second) continue;
         ResultItem item;
         item.referent_id = n.id;
         const annotation::Referent* ref = store.GetReferent(n.id);
@@ -677,13 +686,12 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     case Target::kFragments: {
       GRAPHITTI_ASSIGN_OR_RETURN(xml::XPathExpr expr,
                                  xml::XPathExpr::Compile(query.return_xpath));
-      std::vector<NodeRef> seen;
+      std::unordered_set<NodeRef, NodeRefHash> seen;
       size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
       for (const auto& row : rows) {
         if (col == SIZE_MAX || col >= row.size()) break;
         NodeRef n = row[col];
-        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
-        seen.push_back(n);
+        if (!seen.insert(n).second) continue;
         const annotation::Annotation* ann = store.Get(n.id);
         if (ann == nullptr || ann->content.root() == nullptr) continue;
         for (const xml::XPathMatch& m : expr.Evaluate(ann->content.root())) {
@@ -697,7 +705,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       break;
     }
     case Target::kCount: {
-      std::set<NodeRef> distinct;
+      std::unordered_set<NodeRef, NodeRefHash> distinct;
       size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
       for (const auto& row : rows) {
         if (col == SIZE_MAX || col >= row.size()) break;

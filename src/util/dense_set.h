@@ -1,0 +1,177 @@
+// Epoch-stamped scratch structures and sorted-list intersection for the
+// zero-allocation traversal and search hot paths.
+//
+// The traversal core works over dense node indexes. Instead of allocating
+// (and zeroing) O(V) visited/parent/depth arrays per query, each structure
+// here keeps its arrays alive across calls and invalidates them in O(1) by
+// bumping a 64-bit generation counter: an entry is live only when its stamp
+// equals the current epoch. Arrays grow monotonically to the largest graph
+// seen by the owning thread and are never shrunk.
+//
+// Discipline: a TraversalScratch is single-threaded and non-reentrant — a
+// routine holding one of its sub-structures across a call into another
+// routine that Begin()s the same sub-structure reads stale stamps. Callers
+// (the a-graph) keep one scratch per thread and never nest users of the
+// same member.
+#ifndef GRAPHITTI_UTIL_DENSE_SET_H_
+#define GRAPHITTI_UTIL_DENSE_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graphitti {
+namespace util {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix. Used to turn trivially
+/// colliding keys (e.g. `id * 4 + kind`) into well-distributed hashes.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Set of dense ids [0, n) with O(1) amortized clear via epoch stamping.
+class EpochVisitSet {
+ public:
+  /// Starts a new generation over ids [0, n). No clearing: stamps from
+  /// earlier generations (or other graphs sharing the scratch) never match.
+  void Begin(size_t n) {
+    if (stamps_.size() < n) stamps_.resize(n, 0);
+    ++epoch_;
+  }
+
+  bool Contains(uint32_t i) const { return stamps_[i] == epoch_; }
+
+  /// Returns true when `i` was not yet a member this generation.
+  bool Insert(uint32_t i) {
+    if (stamps_[i] == epoch_) return false;
+    stamps_[i] = epoch_;
+    return true;
+  }
+
+  /// Removes `i` from the current generation (epoch_ >= 1 after Begin).
+  void Erase(uint32_t i) { stamps_[i] = 0; }
+
+ private:
+  std::vector<uint64_t> stamps_;
+  uint64_t epoch_ = 0;  // 64-bit: never wraps in practice
+};
+
+/// Membership bitset over interned edge-label ids; replaces linear
+/// std::find over allowed_labels in the traversal inner loop.
+class LabelBitset {
+ public:
+  void Reset(size_t num_labels) { words_.assign((num_labels + 63) / 64, 0); }
+  void Set(uint32_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  bool Test(uint32_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+/// One direction of a (possibly bidirectional) BFS: epoch-stamped visited
+/// set plus parent/label/distance arrays that are only read for nodes
+/// visited in the current generation, so they need no clearing.
+struct BfsSide {
+  EpochVisitSet visited;
+  std::vector<uint32_t> parent;        // dense index of the BFS predecessor
+  std::vector<uint32_t> parent_label;  // interned label of the tree edge
+  std::vector<uint8_t> parent_forward; // true: edge stored parent->node
+                                       // (forward side) / node->parent
+                                       // (backward side)
+  std::vector<uint32_t> dist;
+  std::vector<uint32_t> frontier;
+  std::vector<uint32_t> next;
+
+  void Prepare(size_t n) {
+    visited.Begin(n);
+    if (parent.size() < n) {
+      parent.resize(n);
+      parent_label.resize(n);
+      parent_forward.resize(n);
+      dist.resize(n);
+    }
+    frontier.clear();
+    next.clear();
+  }
+
+  /// Seeds a BFS root (its own parent, distance 0).
+  void Seed(uint32_t i) {
+    if (!visited.Insert(i)) return;
+    parent[i] = i;
+    parent_label[i] = 0;
+    parent_forward[i] = 0;
+    dist[i] = 0;
+    frontier.push_back(i);
+  }
+};
+
+/// Per-thread scratch for every a-graph traversal. Members are disjoint so
+/// one routine can use several at once, but no routine may recurse into
+/// another user of the same member (see file comment).
+struct TraversalScratch {
+  BfsSide fwd;
+  BfsSide bwd;
+  LabelBitset allowed;
+  EpochVisitSet set_a;
+  EpochVisitSet set_b;
+  std::vector<uint32_t> queue;  // generic worklist (head-index iteration)
+};
+
+/// Intersects two ascending sorted ranges into *out (cleared first).
+/// Iterates the smaller range; when the size ratio is large it gallops
+/// (exponential probe + binary search) through the larger range instead of
+/// stepping linearly, making multi-term keyword search cost
+/// O(|small| log |large|) rather than O(|small| + |large|).
+template <typename T>
+void IntersectSorted(const T* a, size_t na, const T* b, size_t nb,
+                     std::vector<T>* out) {
+  out->clear();
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return;
+  if (na >= 16 && nb / na < 8) {
+    // Comparable sizes: linear two-pointer merge.
+    size_t i = 0, j = 0;
+    while (i < na && j < nb) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (b[j] < a[i]) {
+        ++j;
+      } else {
+        out->push_back(a[i]);
+        ++i;
+        ++j;
+      }
+    }
+    return;
+  }
+  // Galloping: monotone cursor into b, exponential probe per element of a.
+  size_t lo = 0;
+  for (size_t i = 0; i < na && lo < nb; ++i) {
+    const T& x = a[i];
+    if (b[lo] < x) {
+      size_t bound = 1;
+      while (lo + bound < nb && b[lo + bound] < x) bound <<= 1;
+      size_t hi = std::min(lo + bound + 1, nb);
+      lo = static_cast<size_t>(std::lower_bound(b + lo, b + hi, x) - b);
+    }
+    if (lo < nb && b[lo] == x) out->push_back(x);
+  }
+}
+
+template <typename T>
+void IntersectSorted(const std::vector<T>& a, const std::vector<T>& b,
+                     std::vector<T>* out) {
+  IntersectSorted(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_DENSE_SET_H_
