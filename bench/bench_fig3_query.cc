@@ -104,6 +104,12 @@ void BM_Fig3_ProteaseGraphQuery(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(graphs);
   state.counters["annotations"] = static_cast<double>(state.range(0));
+  // Columnar binding-table footprint (peak join width / bytes held).
+  auto r = g.Query(query);
+  if (r.ok()) {
+    state.counters["peak_rows"] = static_cast<double>(r->stats.peak_rows);
+    state.counters["peak_bytes"] = static_cast<double>(r->stats.peak_bytes);
+  }
 }
 BENCHMARK(BM_Fig3_ProteaseGraphQuery)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
 

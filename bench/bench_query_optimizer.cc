@@ -51,6 +51,11 @@ void BM_FeasibleOrder(benchmark::State& state) {
   }
   state.counters["rows_examined_per_query"] =
       static_cast<double>(rows) / static_cast<double>(state.iterations());
+  auto r = g.Query(kSkewedQuery, opts);
+  if (r.ok()) {
+    state.counters["peak_rows"] = static_cast<double>(r->stats.peak_rows);
+    state.counters["peak_bytes"] = static_cast<double>(r->stats.peak_bytes);
+  }
 }
 BENCHMARK(BM_FeasibleOrder)->Arg(500)->Arg(2000);
 
@@ -65,6 +70,11 @@ void BM_NaiveDeclarationOrder(benchmark::State& state) {
   }
   state.counters["rows_examined_per_query"] =
       static_cast<double>(rows) / static_cast<double>(state.iterations());
+  auto r = g.Query(kSkewedQuery, opts);
+  if (r.ok()) {
+    state.counters["peak_rows"] = static_cast<double>(r->stats.peak_rows);
+    state.counters["peak_bytes"] = static_cast<double>(r->stats.peak_bytes);
+  }
 }
 BENCHMARK(BM_NaiveDeclarationOrder)->Arg(500)->Arg(2000);
 

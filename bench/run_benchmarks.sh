@@ -10,7 +10,8 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 shift || true
 
-BENCHES=(bench_agraph_ops bench_fig2_annotation bench_fig3_query bench_query_optimizer)
+BENCHES=(bench_agraph_ops bench_fig2_annotation bench_fig3_query bench_query_optimizer
+         bench_interval_tree bench_rtree)
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "build dir '$BUILD_DIR' not found; configure first:" >&2

@@ -52,18 +52,19 @@ uint32_t AGraph::BidirectionalSearch(util::TraversalScratch* s, bool directed,
                     bool forward_side) {
     self.next.clear();
     for (uint32_t cur : self.frontier) {
+      const uint32_t next_dist = self.nodes[cur].dist + 1;
       auto relax = [&](const Edge& e, bool along_path) {
         if (has_filter && !s->allowed.Test(e.label)) return;
         uint32_t u = e.other;
-        if (self.visited.Insert(u)) {
-          self.parent[u] = cur;
-          self.parent_label[u] = e.label;
-          self.parent_forward[u] = along_path ? 1 : 0;
-          self.dist[u] = self.dist[cur] + 1;
+        util::BfsNode& nu = self.nodes[u];
+        if (nu.stamp != self.epoch) {
+          nu = {self.epoch, cur, next_dist, e.label,
+                static_cast<uint8_t>(along_path ? 1 : 0)};
           self.next.push_back(u);
         }
-        if (other.visited.Contains(u)) {
-          size_t cand = static_cast<size_t>(self.dist[u]) + other.dist[u];
+        const util::BfsNode& ou = other.nodes[u];
+        if (ou.stamp == other.epoch) {
+          size_t cand = static_cast<size_t>(nu.dist) + ou.dist;
           if (cand < best_len) {
             best_len = cand;
             best_meet = u;
@@ -89,7 +90,7 @@ uint32_t AGraph::BidirectionalSearch(util::TraversalScratch* s, bool directed,
 
   // Seeds shared by both sides meet at distance 0.
   for (uint32_t seed : fwd.frontier) {
-    if (bwd.visited.Contains(seed)) {
+    if (bwd.Visited(seed)) {
       *length = 0;
       return seed;
     }
@@ -322,11 +323,24 @@ void AGraph::AppendNeighbors(NodeRef ref, bool directed, std::string_view label,
 
 std::vector<NodeRef> AGraph::NodesOfKind(NodeKind kind) const {
   std::vector<NodeRef> out;
-  for (const NodeRef& ref : refs_) {
-    if (ref.kind == kind) out.push_back(ref);
-  }
+  ForEachNodeOfKind(kind, [&](NodeRef ref) { out.push_back(ref); });
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void AGraph::ForEachNodeOfKind(NodeKind kind,
+                               const std::function<void(NodeRef)>& fn) const {
+  for (const NodeRef& ref : refs_) {
+    if (ref.kind == kind) fn(ref);
+  }
+}
+
+size_t AGraph::CountNodesOfKind(NodeKind kind) const {
+  size_t n = 0;
+  for (const NodeRef& ref : refs_) {
+    if (ref.kind == kind) ++n;
+  }
+  return n;
 }
 
 void AGraph::ForEachNode(const std::function<void(NodeRef, std::string_view)>& fn) const {
@@ -376,22 +390,57 @@ util::Result<Path> AGraph::FindPath(NodeRef from, NodeRef to,
   path.nodes.reserve(length + 1);
   path.edge_labels.reserve(length);
   uint32_t cur = meet;
-  while (s.fwd.parent[cur] != cur) {
+  while (s.fwd.nodes[cur].parent != cur) {
     path.nodes.push_back(refs_[cur]);
-    path.edge_labels.push_back(labels_[s.fwd.parent_label[cur]]);
-    cur = s.fwd.parent[cur];
+    path.edge_labels.push_back(labels_[s.fwd.nodes[cur].parent_label]);
+    cur = s.fwd.nodes[cur].parent;
   }
   path.nodes.push_back(refs_[cur]);  // src
   std::reverse(path.nodes.begin(), path.nodes.end());
   std::reverse(path.edge_labels.begin(), path.edge_labels.end());
   cur = meet;
-  while (s.bwd.parent[cur] != cur) {
-    uint32_t nxt = s.bwd.parent[cur];
-    path.edge_labels.push_back(labels_[s.bwd.parent_label[cur]]);
+  while (s.bwd.nodes[cur].parent != cur) {
+    uint32_t nxt = s.bwd.nodes[cur].parent;
+    path.edge_labels.push_back(labels_[s.bwd.nodes[cur].parent_label]);
     path.nodes.push_back(refs_[nxt]);
     cur = nxt;
   }
   return path;
+}
+
+void AGraph::AppendReachable(NodeRef from, const PathOptions& options,
+                             std::vector<NodeRef>* out) const {
+  auto idx = DenseIndex(from);
+  if (!idx.ok()) return;  // unknown node: nothing is reachable
+  util::TraversalScratch& s = Scratch();
+  bool has_filter = false;
+  bool any_label = BuildAllowedBitset(options.allowed_labels, &s, &has_filter);
+  out->push_back(from);  // distance 0: FindPath(x, x) trivially succeeds
+  if (!any_label) return;  // label filter matches no interned label
+  s.fwd.Prepare(refs_.size());
+  s.fwd.Seed(*idx);
+  size_t depth = 0;
+  while (!s.fwd.frontier.empty() && depth < options.max_hops) {
+    s.fwd.next.clear();
+    for (uint32_t cur : s.fwd.frontier) {
+      const uint32_t next_dist = s.fwd.nodes[cur].dist + 1;
+      auto relax = [&](const Edge& e) {
+        if (has_filter && !s.allowed.Test(e.label)) return;
+        util::BfsNode& nu = s.fwd.nodes[e.other];
+        if (nu.stamp != s.fwd.epoch) {
+          nu = {s.fwd.epoch, cur, next_dist, e.label, 1};
+          s.fwd.next.push_back(e.other);
+          out->push_back(refs_[e.other]);
+        }
+      };
+      for (const Edge& e : out_[cur]) relax(e);
+      if (!options.directed) {
+        for (const Edge& e : in_[cur]) relax(e);
+      }
+    }
+    std::swap(s.fwd.frontier, s.fwd.next);
+    ++depth;
+  }
 }
 
 std::vector<NodeRef> AGraph::IndirectlyRelatedContents(NodeRef content) const {

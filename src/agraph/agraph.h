@@ -161,8 +161,16 @@ class AGraph {
   void AppendNeighbors(NodeRef ref, bool directed, std::string_view label,
                        std::vector<NodeRef>* out) const;
 
-  /// All nodes of a given kind.
+  /// All nodes of a given kind, sorted.
   std::vector<NodeRef> NodesOfKind(NodeKind kind) const;
+
+  /// Streams every node of `kind` in insertion (dense) order without
+  /// materializing a vector — the candidate-enumeration fast path for the
+  /// query executor.
+  void ForEachNodeOfKind(NodeKind kind, const std::function<void(NodeRef)>& fn) const;
+
+  /// Number of nodes of `kind` (one dense scan, no allocation).
+  size_t CountNodesOfKind(NodeKind kind) const;
 
   /// Visits every node.
   void ForEachNode(const std::function<void(NodeRef, std::string_view)>& fn) const;
@@ -177,6 +185,14 @@ class AGraph {
   /// path(node1, node2): a shortest path under `options` (BFS). NotFound
   /// when unreachable.
   util::Result<Path> FindPath(NodeRef from, NodeRef to, const PathOptions& options = {}) const;
+
+  /// Appends every node whose shortest-path distance from `from` is at most
+  /// `options.max_hops` (including `from` itself) to *out, in BFS order.
+  /// One bounded BFS answers FindPath-existence for all candidates at once:
+  /// `x ∈ reachable(from)` iff `FindPath(x, from, options)` succeeds under
+  /// the undirected default. Unknown `from` appends nothing.
+  void AppendReachable(NodeRef from, const PathOptions& options,
+                       std::vector<NodeRef>* out) const;
 
   /// connect(node1, node2, ...): a connection subgraph intervening the given
   /// nodes — a pruned union of shortest paths (distance-network Steiner

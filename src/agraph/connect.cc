@@ -4,11 +4,14 @@
 // Each greedy wave finds the missing terminal nearest to the current
 // component with a meet-in-the-middle search: a multi-source forward BFS
 // from the component against a multi-source backward BFS from all missing
-// terminals. Both run on the per-thread epoch-stamped scratch, so a wave
-// allocates nothing beyond the (output-sized) tree bookkeeping.
+// terminals. Both run on the per-thread epoch-stamped scratch, and the
+// call-local bookkeeping (terminal list, component, tree edges) lives in
+// per-thread reused buffers, so the whole call allocates nothing in steady
+// state beyond the returned SubGraph. The query executor's GRAPH target
+// calls Connect once per distinct result row, which makes this per-call
+// constant the collation hot path.
 #include <algorithm>
 #include <tuple>
-#include <unordered_map>
 
 #include "agraph/agraph.h"
 
@@ -27,6 +30,21 @@ struct TreeEdge {
   uint32_t to;
 };
 
+// Call-local buffers reused across Connect calls (cleared per call). One set
+// per thread: concurrent Connects on const graphs stay safe, mirroring
+// AGraph::Scratch().
+struct ConnectBuffers {
+  std::vector<uint32_t> term_idx;
+  std::vector<uint32_t> component;
+  std::vector<uint32_t> missing;
+  std::vector<TreeEdge> tree;
+};
+
+ConnectBuffers& Buffers() {
+  thread_local ConnectBuffers buffers;
+  return buffers;
+}
+
 }  // namespace
 
 util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
@@ -34,7 +52,9 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
   if (terminals.empty()) {
     return util::Status::InvalidArgument("connect() requires at least one terminal");
   }
-  std::vector<uint32_t> term_idx;
+  ConnectBuffers& buf = Buffers();
+  std::vector<uint32_t>& term_idx = buf.term_idx;
+  term_idx.clear();
   for (const NodeRef& t : terminals) {
     GRAPHITTI_ASSIGN_OR_RETURN(uint32_t idx, DenseIndex(t));
     term_idx.push_back(idx);
@@ -51,11 +71,15 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
   // Component membership lives in set_a for the whole call; the BFS sides
   // re-Prepare per wave (disjoint scratch members, see dense_set.h).
   s.set_a.Begin(refs_.size());
-  std::vector<uint32_t> component{term_idx[0]};
+  std::vector<uint32_t>& component = buf.component;
+  component.clear();
+  component.push_back(term_idx[0]);
   s.set_a.Insert(term_idx[0]);
-  std::vector<uint32_t> missing(term_idx.begin() + 1, term_idx.end());
+  std::vector<uint32_t>& missing = buf.missing;
+  missing.assign(term_idx.begin() + 1, term_idx.end());
 
-  std::vector<TreeEdge> tree;
+  std::vector<TreeEdge>& tree = buf.tree;
+  tree.clear();
   auto add_tree_edge = [&](uint32_t from, uint32_t to, uint32_t label) {
     uint32_t a = std::min(from, to);
     uint32_t b = std::max(from, to);
@@ -87,11 +111,11 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
     // is stored parent -> node).
     uint32_t cur = meet;
     while (!s.set_a.Contains(cur)) {
-      uint32_t par = s.fwd.parent[cur];
-      if (s.fwd.parent_forward[cur]) {
-        add_tree_edge(par, cur, s.fwd.parent_label[cur]);
+      uint32_t par = s.fwd.nodes[cur].parent;
+      if (s.fwd.nodes[cur].parent_forward) {
+        add_tree_edge(par, cur, s.fwd.nodes[cur].parent_label);
       } else {
-        add_tree_edge(cur, par, s.fwd.parent_label[cur]);
+        add_tree_edge(cur, par, s.fwd.nodes[cur].parent_label);
       }
       add_component_node(cur);
       cur = par;
@@ -99,12 +123,12 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
     // Merge meet..terminal (backward parents lead to the reached terminal;
     // parent_forward means the edge is stored node -> parent).
     cur = meet;
-    while (s.bwd.parent[cur] != cur) {
-      uint32_t nxt = s.bwd.parent[cur];
-      if (s.bwd.parent_forward[cur]) {
-        add_tree_edge(cur, nxt, s.bwd.parent_label[cur]);
+    while (s.bwd.nodes[cur].parent != cur) {
+      uint32_t nxt = s.bwd.nodes[cur].parent;
+      if (s.bwd.nodes[cur].parent_forward) {
+        add_tree_edge(cur, nxt, s.bwd.nodes[cur].parent_label);
       } else {
-        add_tree_edge(nxt, cur, s.bwd.parent_label[cur]);
+        add_tree_edge(nxt, cur, s.bwd.nodes[cur].parent_label);
       }
       add_component_node(nxt);
       cur = nxt;
@@ -114,22 +138,25 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
     missing.erase(std::remove(missing.begin(), missing.end(), reached), missing.end());
   }
 
-  // Prune: repeatedly drop non-terminal nodes of tree-degree <= 1 (the tree
-  // is output-sized, so the repeated degree recount stays cheap).
+  // Prune: repeatedly drop non-terminal nodes of tree-degree <= 1. Degrees
+  // are recounted by scanning the (output-sized) tree per node, which beats
+  // a per-round hash map at the sizes Connect produces; peeling to the
+  // 1-degree closure is confluent, so live recounting reaches the same
+  // fixpoint as a per-round snapshot.
   util::EpochVisitSet& terminal_set = s.set_b;
   terminal_set.Begin(refs_.size());
   for (uint32_t t : term_idx) terminal_set.Insert(t);
+  auto tree_degree = [&](uint32_t node) {
+    size_t d = 0;
+    for (const TreeEdge& e : tree) d += (e.a == node) + (e.b == node);
+    return d;
+  };
   bool changed = true;
   while (changed) {
     changed = false;
-    std::unordered_map<uint32_t, size_t> degree;
-    for (const TreeEdge& e : tree) {
-      ++degree[e.a];
-      ++degree[e.b];
-    }
     for (auto it = component.begin(); it != component.end();) {
       uint32_t node = *it;
-      if (!terminal_set.Contains(node) && degree[node] <= 1) {
+      if (!terminal_set.Contains(node) && tree_degree(node) <= 1) {
         tree.erase(std::remove_if(tree.begin(), tree.end(),
                                   [&](const TreeEdge& e) {
                                     return e.a == node || e.b == node;
@@ -144,6 +171,7 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
   }
 
   SubGraph sg;
+  sg.nodes.reserve(component.size());
   for (uint32_t n : component) sg.nodes.push_back(refs_[n]);
   std::sort(sg.nodes.begin(), sg.nodes.end());
   std::sort(tree.begin(), tree.end(), [](const TreeEdge& x, const TreeEdge& y) {

@@ -50,6 +50,7 @@ util::Result<ReferentId> AnnotationStore::InternReferent(
   ref.refcount = 1;
   referents_.emplace(id, std::move(ref));
   referent_by_key_.emplace(std::move(key), id);
+  referents_by_domain_[sub.domain()].push_back(id);
 
   agraph::NodeRef node = ReferentNode(id);
   graph_->EnsureNode(node, sub.ToString());
@@ -79,6 +80,12 @@ void AnnotationStore::ReleaseReferent(ReferentId id) {
       break;
   }
   (void)graph_->RemoveNode(ReferentNode(id));
+  auto dom = referents_by_domain_.find(ref.substructure.domain());
+  if (dom != referents_by_domain_.end()) {
+    auto pos = std::lower_bound(dom->second.begin(), dom->second.end(), id);
+    if (pos != dom->second.end() && *pos == id) dom->second.erase(pos);
+    if (dom->second.empty()) referents_by_domain_.erase(dom);
+  }
   referent_by_key_.erase(ref.substructure.ToString());
   referents_.erase(it);
 }
@@ -183,6 +190,27 @@ std::vector<ReferentId> AnnotationStore::ReferentIds() const {
   out.reserve(referents_.size());
   for (const auto& [id, _] : referents_) out.push_back(id);
   return out;
+}
+
+void AnnotationStore::ForEachAnnotation(
+    const std::function<void(AnnotationId, const Annotation&)>& fn) const {
+  for (const auto& [id, ann] : annotations_) fn(id, ann);
+}
+
+void AnnotationStore::ForEachReferent(
+    const std::function<void(ReferentId, const Referent&)>& fn) const {
+  for (const auto& [id, ref] : referents_) fn(id, ref);
+}
+
+void AnnotationStore::ForEachReferentInDomain(
+    std::string_view domain,
+    const std::function<void(ReferentId, const Referent&)>& fn) const {
+  auto it = referents_by_domain_.find(domain);
+  if (it == referents_by_domain_.end()) return;
+  for (ReferentId id : it->second) {
+    auto ref = referents_.find(id);
+    if (ref != referents_.end()) fn(id, ref->second);
+  }
 }
 
 std::vector<AnnotationId> AnnotationStore::AnnotationsOfReferent(ReferentId id) const {
@@ -323,6 +351,9 @@ std::vector<AnnotationId> AnnotationStore::SearchPhrase(std::string_view phrase)
     candidates = SearchAllKeywords(tokens);
   }
   std::string lower_phrase = util::ToLower(phrase);
+  // The substring verification below is required even for single-word
+  // phrases: posting lists also index user-tag keys and ontology terms,
+  // which are not part of the serialized content this search matches.
   std::vector<AnnotationId> out;
   for (AnnotationId id : candidates) {
     auto it = lower_text_.find(id);

@@ -10,9 +10,11 @@
 #ifndef GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
 #define GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +66,27 @@ class AnnotationStore {
 
   /// All referent ids, ascending.
   std::vector<ReferentId> ReferentIds() const;
+
+  // --- Streaming enumeration (the query executor's candidate feeds) ---
+  //
+  // These visit store entries in ascending-id order without materializing an
+  // id vector and with direct access to the entry, so a filtering consumer
+  // pays no per-id lookup.
+
+  /// Visits every annotation in ascending id order.
+  void ForEachAnnotation(
+      const std::function<void(AnnotationId, const Annotation&)>& fn) const;
+
+  /// Visits every referent in ascending id order.
+  void ForEachReferent(
+      const std::function<void(ReferentId, const Referent&)>& fn) const;
+
+  /// Visits the referents whose substructure domain equals `domain`, in
+  /// ascending id order. Index-backed: O(|referents in domain|), not
+  /// O(|all referents|) — the fast path for DOMAIN-filtered subqueries.
+  void ForEachReferentInDomain(
+      std::string_view domain,
+      const std::function<void(ReferentId, const Referent&)>& fn) const;
 
   /// Annotations referencing the given referent.
   std::vector<AnnotationId> AnnotationsOfReferent(ReferentId id) const;
@@ -123,6 +146,9 @@ class AnnotationStore {
   std::map<AnnotationId, Annotation> annotations_;
   std::map<ReferentId, Referent> referents_;
   std::map<std::string, ReferentId> referent_by_key_;  // Substructure::ToString() key
+  // Domain -> ascending referent ids (ids are monotonically issued, so
+  // push_back keeps each list sorted). Drives ForEachReferentInDomain.
+  std::map<std::string, std::vector<ReferentId>, std::less<>> referents_by_domain_;
 
   // Keyword inverted index with interned tokens: token string -> dense token
   // id; postings_[token id] is the ascending posting list of annotations

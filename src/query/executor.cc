@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "query/binding_table.h"
 #include "query/parser.h"
 #include "substructure/operators.h"
+#include "util/dense_set.h"
 #include "xml/xpath.h"
 
 namespace graphitti {
@@ -22,15 +25,24 @@ using annotation::ReferentId;
 using util::Result;
 using util::Status;
 
-/// Per-variable compiled info.
+/// Per-variable compiled info. Constrained variables stream their
+/// candidates into `streamed` (sorted + deduplicated); the hash set for
+/// join membership is built lazily, only when the variable is actually
+/// bound through a join edge. Unconstrained variables (no single-var
+/// filters) skip enumeration entirely — membership is a kind check against
+/// the a-graph, the count comes from the owning store, and `streamed` is
+/// materialized lazily only for cartesian extension.
 struct VarInfo {
   std::string name;
   size_t declaration_index = 0;  // first clause mentioning it
   VarKind kind = VarKind::kAny;
-  std::vector<const Clause*> filters;      // single-var clauses
-  std::vector<NodeRef> candidates;         // materialized candidate set
-  std::unordered_set<NodeRef, NodeRefHash> candidate_set;
-  bool generated = false;  // candidates computed from its own clauses
+  std::vector<const Clause*> filters;  // single-var clauses
+  bool unconstrained = false;
+  size_t candidate_count = 0;
+  std::vector<NodeRef> streamed;  // sorted unique candidates (when enumerated)
+  bool streamed_ready = false;
+  std::unordered_set<NodeRef, NodeRefHash> candidate_set;  // lazy, joins only
+  bool set_ready = false;
 };
 
 /// Pairwise constraint predicate between two bound variables.
@@ -110,6 +122,229 @@ Status MergeKind(VarInfo* info, VarKind kind) {
   return Status::OK();
 }
 
+NodeKind ToNodeKind(VarKind kind) {
+  switch (kind) {
+    case VarKind::kContent:
+      return NodeKind::kContent;
+    case VarKind::kReferent:
+      return NodeKind::kReferent;
+    case VarKind::kTerm:
+      return NodeKind::kOntologyTerm;
+    case VarKind::kObject:
+      return NodeKind::kDataObject;
+    case VarKind::kAny:
+      break;
+  }
+  return NodeKind::kContent;  // unreachable: kinds are resolved before use
+}
+
+/// Borrowed referent pointers memoized per execution, so constraint
+/// evaluation and candidate filters pay one store lookup per distinct
+/// referent instead of one per binding row.
+using ReferentCache = std::unordered_map<uint64_t, const annotation::Referent*>;
+
+/// Streams every candidate for `info` — its typed subquery with all
+/// single-variable filters applied — into `emit`, without materializing the
+/// intermediate id vectors the row-based executor built per filter stage.
+/// Referent enumeration prefills *referent_cache as a side effect.
+/// *emitted_ordered is set when the stream is ascending and duplicate-free
+/// (store-order feeds), letting the consumer skip its sort+dedup pass.
+Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
+                        ReferentCache* referent_cache, bool* emitted_ordered,
+                        const std::function<void(NodeRef)>& emit) {
+  const annotation::AnnotationStore& store = *ctx.store;
+  const agraph::AGraph& graph = *ctx.graph;
+
+  switch (info.kind) {
+    case VarKind::kContent: {
+      // Start from the most selective content filter available: the
+      // intersection of CONTAINS posting hits.
+      std::vector<AnnotationId> ids;
+      bool have_ids = false;
+      for (const Clause* c : info.filters) {
+        if (c->kind == Clause::Kind::kContains) {
+          std::vector<AnnotationId> found = store.SearchPhrase(c->text);
+          if (!have_ids) {
+            ids = std::move(found);
+            have_ids = true;
+          } else {
+            std::vector<AnnotationId> merged;
+            std::set_intersection(ids.begin(), ids.end(), found.begin(), found.end(),
+                                  std::back_inserter(merged));
+            ids = std::move(merged);
+          }
+        }
+      }
+      // Remaining content filters are applied inline while streaming.
+      std::vector<xml::XPathExpr> xpaths;
+      std::vector<const std::string*> creators;
+      for (const Clause* c : info.filters) {
+        if (c->kind == Clause::Kind::kXPath) {
+          GRAPHITTI_ASSIGN_OR_RETURN(xml::XPathExpr expr, xml::XPathExpr::Compile(c->text));
+          xpaths.push_back(std::move(expr));
+        } else if (c->kind == Clause::Kind::kCreator) {
+          creators.push_back(&c->text);
+        }
+      }
+      auto passes = [&](const annotation::Annotation& ann) {
+        for (const xml::XPathExpr& expr : xpaths) {
+          if (ann.content.root() == nullptr || !expr.Matches(ann.content.root())) {
+            return false;
+          }
+        }
+        for (const std::string* creator : creators) {
+          if (ann.dc.creator != *creator) return false;
+        }
+        return true;
+      };
+      *emitted_ordered = true;  // posting lists and the store stream ascend
+      if (have_ids) {
+        for (AnnotationId id : ids) {
+          const annotation::Annotation* ann = store.Get(id);
+          if (ann != nullptr && passes(*ann)) emit(NodeRef::Content(id));
+        }
+      } else {
+        store.ForEachAnnotation([&](AnnotationId id, const annotation::Annotation& ann) {
+          if (passes(ann)) emit(NodeRef::Content(id));
+        });
+      }
+      return Status::OK();
+    }
+
+    case VarKind::kReferent: {
+      std::string type_filter;
+      std::string domain;
+      std::vector<const Clause*> windows;  // kOverlaps + kContainedIn
+      for (const Clause* c : info.filters) {
+        if (c->kind == Clause::Kind::kType) type_filter = c->text;
+        if (c->kind == Clause::Kind::kDomain) domain = c->text;
+        if (c->kind == Clause::Kind::kOverlaps || c->kind == Clause::Kind::kContainedIn) {
+          windows.push_back(c);
+        }
+      }
+      // Canonicalized window geometry: region referents are stored in
+      // canonical coordinates, so CONTAINEDIN rect windows must be
+      // transformed before comparing.
+      auto rect_in_canonical = [&](const Clause* c) -> spatial::Rect {
+        auto mapped = ctx.indexes->coordinate_systems().ToCanonical(
+            domain.empty() ? c->text : domain, c->rect);
+        if (mapped.ok()) return mapped->second;
+        return c->rect;  // unregistered system: compare raw
+      };
+      auto keep = [&](ReferentId id, const annotation::Referent& ref) {
+        const substructure::Substructure& sub = ref.substructure;
+        if (!domain.empty() && sub.domain() != domain) return false;
+        if (!type_filter.empty() &&
+            substructure::SubTypeToString(sub.type()) != type_filter) {
+          return false;
+        }
+        for (const Clause* w : windows) {
+          if (w->rect_window) {
+            if (sub.type() != substructure::SubType::kRegion) return false;
+            spatial::Rect window_rect = rect_in_canonical(w);
+            // Stored rects are canonical when indexed; a referent's rect
+            // field holds the local coordinates, so canonicalize it too.
+            auto stored = ctx.indexes->coordinate_systems().ToCanonical(sub.domain(),
+                                                                        sub.rect());
+            spatial::Rect stored_rect = stored.ok() ? stored->second : sub.rect();
+            bool ok_w = w->kind == Clause::Kind::kOverlaps
+                            ? stored_rect.Overlaps(window_rect)
+                            : window_rect.Contains(stored_rect);
+            if (!ok_w) return false;
+          } else {
+            if (sub.type() != substructure::SubType::kInterval) return false;
+            bool ok_w = w->kind == Clause::Kind::kOverlaps
+                            ? sub.interval().Overlaps(w->interval)
+                            : w->interval.Contains(sub.interval());
+            if (!ok_w) return false;
+          }
+        }
+        (void)id;
+        return true;
+      };
+      auto visit = [&](ReferentId id, const annotation::Referent& ref) {
+        referent_cache->emplace(id, &ref);
+        if (keep(id, ref)) emit(NodeRef::Referent(id));
+      };
+      if (!windows.empty() && !domain.empty()) {
+        // Index-accelerated spatial subquery. Probing with overlap semantics
+        // is a superset of containment; exact semantics live in keep().
+        // Index hits stream in tree order, not id order.
+        const Clause* probe = windows.front();
+        auto visit_id = [&](uint64_t id) {
+          const annotation::Referent* ref = store.GetReferent(id);
+          if (ref != nullptr) visit(id, *ref);
+        };
+        if (probe->rect_window) {
+          GRAPHITTI_RETURN_NOT_OK(ctx.indexes->ForEachRegion(
+              domain, probe->rect,
+              [&](const spatial::RTreeEntry& h) { visit_id(h.id); }));
+        } else {
+          ctx.indexes->ForEachInterval(
+              domain, probe->interval,
+              [&](const spatial::IntervalEntry& h) { visit_id(h.id); });
+        }
+      } else if (!domain.empty()) {
+        // DOMAIN-only subquery: index-backed, O(|referents in domain|).
+        *emitted_ordered = true;
+        store.ForEachReferentInDomain(domain, visit);
+      } else {
+        *emitted_ordered = true;
+        store.ForEachReferent(visit);
+      }
+      return Status::OK();
+    }
+
+    case VarKind::kTerm: {
+      std::vector<std::string> wanted;
+      for (const Clause* c : info.filters) {
+        if (c->kind == Clause::Kind::kTerm) {
+          wanted.push_back(c->text);
+        } else if (c->kind == Clause::Kind::kTermBelow) {
+          if (ctx.ontologies == nullptr) {
+            return Status::Unsupported("TERM BELOW requires an ontology resolver");
+          }
+          for (const std::string& q : ctx.ontologies->ExpandTermBelow(c->text)) {
+            wanted.push_back(q);
+          }
+        }
+      }
+      if (wanted.empty()) {
+        graph.ForEachNodeOfKind(NodeKind::kOntologyTerm, emit);
+      } else {
+        for (const std::string& q : wanted) {
+          auto node = store.FindTermNode(q);
+          if (node.ok()) emit(*node);
+        }
+      }
+      return Status::OK();
+    }
+
+    case VarKind::kObject: {
+      const Clause* table_clause = nullptr;
+      for (const Clause* c : info.filters) {
+        if (c->kind == Clause::Kind::kTable) table_clause = c;
+      }
+      if (table_clause != nullptr) {
+        if (ctx.objects == nullptr) {
+          return Status::Unsupported("TABLE clauses require an object resolver");
+        }
+        GRAPHITTI_ASSIGN_OR_RETURN(
+            std::vector<uint64_t> ids,
+            ctx.objects->FindObjects(table_clause->text, table_clause->table_filter));
+        for (uint64_t id : ids) emit(NodeRef::Object(id));
+      } else {
+        graph.ForEachNodeOfKind(NodeKind::kDataObject, emit);
+      }
+      return Status::OK();
+    }
+
+    case VarKind::kAny:
+      break;
+  }
+  return Status::Internal("unreachable: unresolved kind");
+}
+
 }  // namespace
 
 Result<QueryResult> Executor::ExecuteText(std::string_view query_text) const {
@@ -162,211 +397,91 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   }
 
   // ------------------------------------------------------------------
-  // 2. Materialize candidate sets per variable (the typed subqueries).
+  // 2. Candidate enumeration per variable (the typed subqueries), streamed
+  //    into membership sets. Variables with no narrowing filter never
+  //    enumerate: their domain is "every node of the kind", answered by a
+  //    kind check during joins and a store count for ordering.
   // ------------------------------------------------------------------
+  ReferentCache referent_cache;
   for (auto& [name, info] : vars) {
-    std::vector<NodeRef> candidates;
-    bool narrowed = false;
-
-    switch (info.kind) {
-      case VarKind::kContent: {
-        // Start from the most selective content filter available.
-        std::vector<AnnotationId> ids;
-        bool have_ids = false;
-        for (const Clause* c : info.filters) {
-          if (c->kind == Clause::Kind::kContains) {
-            std::vector<AnnotationId> found = store.SearchPhrase(c->text);
-            if (!have_ids) {
-              ids = std::move(found);
-              have_ids = true;
-            } else {
-              std::vector<AnnotationId> merged;
-              std::set_intersection(ids.begin(), ids.end(), found.begin(), found.end(),
-                                    std::back_inserter(merged));
-              ids = std::move(merged);
-            }
-          }
-        }
-        if (!have_ids) ids = store.Ids();
-        // XPath filters.
-        for (const Clause* c : info.filters) {
-          if (c->kind != Clause::Kind::kXPath) continue;
-          GRAPHITTI_ASSIGN_OR_RETURN(xml::XPathExpr expr, xml::XPathExpr::Compile(c->text));
-          std::vector<AnnotationId> kept;
-          for (AnnotationId id : ids) {
-            const annotation::Annotation* ann = store.Get(id);
-            if (ann != nullptr && ann->content.root() != nullptr &&
-                expr.Matches(ann->content.root())) {
-              kept.push_back(id);
-            }
-          }
-          ids = std::move(kept);
-          have_ids = true;
-        }
-        // CREATOR filters (dc:creator equality).
-        for (const Clause* c : info.filters) {
-          if (c->kind != Clause::Kind::kCreator) continue;
-          std::vector<AnnotationId> kept;
-          for (AnnotationId id : ids) {
-            const annotation::Annotation* ann = store.Get(id);
-            if (ann != nullptr && ann->dc.creator == c->text) kept.push_back(id);
-          }
-          ids = std::move(kept);
-          have_ids = true;
-        }
-        for (AnnotationId id : ids) candidates.push_back(NodeRef::Content(id));
-        narrowed = have_ids;
-        break;
+    if (info.filters.empty()) {
+      info.unconstrained = true;
+      switch (info.kind) {
+        case VarKind::kContent:
+          info.candidate_count = store.size();
+          break;
+        case VarKind::kReferent:
+          info.candidate_count = store.num_referents();
+          break;
+        case VarKind::kTerm:
+          info.candidate_count = graph.CountNodesOfKind(NodeKind::kOntologyTerm);
+          break;
+        case VarKind::kObject:
+          info.candidate_count = graph.CountNodesOfKind(NodeKind::kDataObject);
+          break;
+        case VarKind::kAny:
+          return Status::Internal("unreachable: unresolved kind");
       }
-
-      case VarKind::kReferent: {
-        std::string type_filter;
-        std::string domain;
-        std::vector<const Clause*> windows;  // kOverlaps + kContainedIn
-        for (const Clause* c : info.filters) {
-          if (c->kind == Clause::Kind::kType) type_filter = c->text;
-          if (c->kind == Clause::Kind::kDomain) domain = c->text;
-          if (c->kind == Clause::Kind::kOverlaps || c->kind == Clause::Kind::kContainedIn) {
-            windows.push_back(c);
-          }
-        }
-        std::vector<ReferentId> ids;
-        if (!windows.empty() && !domain.empty()) {
-          // Index-accelerated spatial subquery. Probing with overlap
-          // semantics is a superset of containment; exact semantics are
-          // applied in the post-filter below.
-          const Clause* probe = windows.front();
-          if (probe->rect_window) {
-            GRAPHITTI_ASSIGN_OR_RETURN(std::vector<spatial::RTreeEntry> hits,
-                                       ctx_.indexes->QueryRegions(domain, probe->rect));
-            for (const auto& h : hits) ids.push_back(h.id);
-          } else {
-            for (const auto& h : ctx_.indexes->QueryIntervals(domain, probe->interval)) {
-              ids.push_back(h.id);
-            }
-          }
-          narrowed = true;
-        } else {
-          ids = store.ReferentIds();
-          narrowed = !windows.empty() || !domain.empty() || !type_filter.empty();
-        }
-        // Canonicalized window geometry: region referents are stored in
-        // canonical coordinates, so CONTAINEDIN rect windows must be
-        // transformed before comparing.
-        auto rect_in_canonical = [&](const Clause* c) -> util::Result<spatial::Rect> {
-          auto mapped = ctx_.indexes->coordinate_systems().ToCanonical(
-              domain.empty() ? c->text : domain, c->rect);
-          if (mapped.ok()) return mapped->second;
-          return c->rect;  // unregistered system: compare raw
-        };
-        for (ReferentId id : ids) {
-          const annotation::Referent* ref = store.GetReferent(id);
-          if (ref == nullptr) continue;
-          const substructure::Substructure& sub = ref->substructure;
-          if (!domain.empty() && sub.domain() != domain) continue;
-          if (!type_filter.empty() &&
-              substructure::SubTypeToString(sub.type()) != type_filter) {
-            continue;
-          }
-          bool keep = true;
-          for (const Clause* w : windows) {
-            if (w->rect_window) {
-              if (sub.type() != substructure::SubType::kRegion) {
-                keep = false;
-                break;
-              }
-              GRAPHITTI_ASSIGN_OR_RETURN(spatial::Rect window_rect, rect_in_canonical(w));
-              // Stored rects are canonical when indexed; a referent's rect
-              // field holds the local coordinates, so canonicalize it too.
-              auto stored = ctx_.indexes->coordinate_systems().ToCanonical(sub.domain(),
-                                                                           sub.rect());
-              spatial::Rect stored_rect = stored.ok() ? stored->second : sub.rect();
-              bool ok_w = w->kind == Clause::Kind::kOverlaps
-                              ? stored_rect.Overlaps(window_rect)
-                              : window_rect.Contains(stored_rect);
-              if (!ok_w) {
-                keep = false;
-                break;
-              }
-            } else {
-              if (sub.type() != substructure::SubType::kInterval) {
-                keep = false;
-                break;
-              }
-              bool ok_w = w->kind == Clause::Kind::kOverlaps
-                              ? sub.interval().Overlaps(w->interval)
-                              : w->interval.Contains(sub.interval());
-              if (!ok_w) {
-                keep = false;
-                break;
-              }
-            }
-          }
-          if (!keep) continue;
-          candidates.push_back(NodeRef::Referent(id));
-        }
-        break;
-      }
-
-      case VarKind::kTerm: {
-        bool exact_only = true;
-        std::vector<std::string> wanted;
-        for (const Clause* c : info.filters) {
-          if (c->kind == Clause::Kind::kTerm) {
-            wanted.push_back(c->text);
-          } else if (c->kind == Clause::Kind::kTermBelow) {
-            exact_only = false;
-            if (ctx_.ontologies == nullptr) {
-              return Status::Unsupported("TERM BELOW requires an ontology resolver");
-            }
-            for (const std::string& q : ctx_.ontologies->ExpandTermBelow(c->text)) {
-              wanted.push_back(q);
-            }
-          }
-        }
-        (void)exact_only;
-        if (wanted.empty()) {
-          candidates = graph.NodesOfKind(NodeKind::kOntologyTerm);
-        } else {
-          narrowed = true;
-          for (const std::string& q : wanted) {
-            auto node = store.FindTermNode(q);
-            if (node.ok()) candidates.push_back(*node);
-          }
-        }
-        break;
-      }
-
-      case VarKind::kObject: {
-        const Clause* table_clause = nullptr;
-        for (const Clause* c : info.filters) {
-          if (c->kind == Clause::Kind::kTable) table_clause = c;
-        }
-        if (table_clause != nullptr) {
-          if (ctx_.objects == nullptr) {
-            return Status::Unsupported("TABLE clauses require an object resolver");
-          }
-          GRAPHITTI_ASSIGN_OR_RETURN(
-              std::vector<uint64_t> ids,
-              ctx_.objects->FindObjects(table_clause->text, table_clause->table_filter));
-          for (uint64_t id : ids) candidates.push_back(NodeRef::Object(id));
-          narrowed = true;
-        } else {
-          candidates = graph.NodesOfKind(NodeKind::kDataObject);
-        }
-        break;
-      }
-
-      case VarKind::kAny:
-        return Status::Internal("unreachable: unresolved kind");
+      continue;
     }
-
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-    info.candidates = std::move(candidates);
-    info.candidate_set.insert(info.candidates.begin(), info.candidates.end());
-    info.generated = narrowed;
+    bool ordered = false;
+    GRAPHITTI_RETURN_NOT_OK(ForEachCandidate(
+        ctx_, info, &referent_cache, &ordered,
+        [&info = info](NodeRef n) { info.streamed.push_back(n); }));
+    if (!ordered) {
+      std::sort(info.streamed.begin(), info.streamed.end());
+      info.streamed.erase(std::unique(info.streamed.begin(), info.streamed.end()),
+                          info.streamed.end());
+    }
+    info.streamed_ready = true;
+    info.candidate_count = info.streamed.size();
   }
+
+  // Membership test for hash semi-joins: candidate-set probe (built lazily
+  // at bind time), or a kind check when the variable is unconstrained
+  // (a-graph neighbours of the right kind are committed store entries by
+  // construction).
+  auto is_candidate = [&](const VarInfo& info, NodeRef n) {
+    if (info.unconstrained) return n.kind == ToNodeKind(info.kind);
+    return info.candidate_set.count(n) > 0;
+  };
+  auto ensure_candidate_set = [&](VarInfo& info) {
+    if (info.unconstrained || info.set_ready) return;
+    info.set_ready = true;
+    info.candidate_set.reserve(info.streamed.size());
+    info.candidate_set.insert(info.streamed.begin(), info.streamed.end());
+  };
+
+  // Sorted candidate vector for variables bound without a join edge
+  // (cartesian extension needs a deterministic ascending order). For
+  // unconstrained variables it materializes lazily from the stores.
+  auto sorted_candidates = [&](VarInfo& info) -> const std::vector<NodeRef>& {
+    if (info.streamed_ready) return info.streamed;
+    info.streamed_ready = true;
+    switch (info.kind) {
+      case VarKind::kContent:
+        info.streamed.reserve(store.size());
+        store.ForEachAnnotation([&](AnnotationId id, const annotation::Annotation&) {
+          info.streamed.push_back(NodeRef::Content(id));  // ascending by id
+        });
+        break;
+      case VarKind::kReferent:
+        info.streamed.reserve(store.num_referents());
+        store.ForEachReferent([&](ReferentId id, const annotation::Referent&) {
+          info.streamed.push_back(NodeRef::Referent(id));  // ascending by id
+        });
+        break;
+      case VarKind::kTerm:
+      case VarKind::kObject:
+        graph.ForEachNodeOfKind(ToNodeKind(info.kind),
+                                [&](NodeRef n) { info.streamed.push_back(n); });
+        std::sort(info.streamed.begin(), info.streamed.end());
+        break;
+      case VarKind::kAny:
+        break;
+    }
+    return info.streamed;
+  };
 
   // ------------------------------------------------------------------
   // 3. Decompose constraints into pairwise predicates.
@@ -414,9 +529,17 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     }
   }
 
+  auto referent_of = [&](NodeRef n) -> const annotation::Referent* {
+    auto it = referent_cache.find(n.id);
+    if (it != referent_cache.end()) return it->second;
+    const annotation::Referent* ref = store.GetReferent(n.id);
+    referent_cache.emplace(n.id, ref);
+    return ref;
+  };
+
   auto eval_pair = [&](const PairPredicate& p, NodeRef a, NodeRef b) -> bool {
-    const annotation::Referent* ra = store.GetReferent(a.id);
-    const annotation::Referent* rb = store.GetReferent(b.id);
+    const annotation::Referent* ra = referent_of(a);
+    const annotation::Referent* rb = referent_of(b);
     if (ra == nullptr || rb == nullptr) return false;
     const substructure::Substructure& sa = ra->substructure;
     const substructure::Substructure& sb = rb->substructure;
@@ -469,7 +592,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         bool best_connected = false;
         for (const std::string& v : remaining) {
           bool conn = connected_to_bound(v, bound);
-          size_t size = vars[v].candidates.size();
+          size_t size = vars[v].candidate_count;
           // Prefer connected variables; among equals, smaller candidate set.
           if (std::make_tuple(!conn, size) < std::make_tuple(!best_connected, best_size) ||
               best.empty()) {
@@ -493,27 +616,62 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   }
 
   // ------------------------------------------------------------------
-  // 5. Execute the join: a binding table over `order`.
+  // 5. Execute the join on the columnar binding table: extending a variable
+  //    appends (value, parent) pairs to one column; prior bindings are
+  //    shared through parent links and never copied.
   // ------------------------------------------------------------------
   QueryResult result;
   result.target = query.target;
   ExecutionStats& stats = result.stats;
 
   std::map<std::string, size_t> var_column;
-  std::vector<std::vector<NodeRef>> rows;  // each row: one NodeRef per bound column
-  rows.emplace_back();                     // seed: single empty row
+  BindingTable table;
 
-  // Buffers reused across every clause evaluation and row extension: the
-  // join machinery below is hash-based (semi-joins over NodeRef keys via
-  // NodeRefHash), so per-row work allocates nothing in steady state.
+  // Buffers reused across every row extension; steady-state per-row work
+  // allocates nothing.
+  std::vector<NodeRef> row_buf;
   std::vector<NodeRef> domain_buf;
   std::vector<NodeRef> nbr_buf;
   std::unordered_set<NodeRef, NodeRefHash> nbr_set;
 
+  // Single-edge join domains memoized per level: many rows bind the same
+  // node in the join column, and the filtered+sorted neighbour domain is a
+  // pure function of that node, so each distinct bound node expands once
+  // per level instead of once per row.
+  std::unordered_map<NodeRef, std::vector<NodeRef>, NodeRefHash> domain_cache;
+
+  // Reachability cache for CONNECTED joins: one bounded BFS per distinct
+  // (bound node, hop limit) instead of one FindPath per binding row.
+  struct ReachKey {
+    NodeRef node;
+    size_t hops;
+    bool operator==(const ReachKey& o) const { return node == o.node && hops == o.hops; }
+  };
+  struct ReachKeyHash {
+    size_t operator()(const ReachKey& k) const {
+      return static_cast<size_t>(util::Mix64(NodeRefHash{}(k.node) ^ (k.hops * 0x9e3779b97f4a7c15ull)));
+    }
+  };
+  std::unordered_map<ReachKey, std::unordered_set<NodeRef, NodeRefHash>, ReachKeyHash>
+      reach_cache;
+  std::vector<NodeRef> reach_buf;
+  auto reachable_from = [&](NodeRef node, size_t hops)
+      -> const std::unordered_set<NodeRef, NodeRefHash>& {
+    auto [it, inserted] = reach_cache.try_emplace(ReachKey{node, hops});
+    if (inserted) {
+      agraph::PathOptions popt;
+      popt.max_hops = hops;
+      reach_buf.clear();
+      graph.AppendReachable(node, popt, &reach_buf);
+      it->second.insert(reach_buf.begin(), reach_buf.end());
+    }
+    return it->second;
+  };
+
   for (const std::string& v : order) {
     VarInfo& info = vars[v];
     stats.binding_order.push_back(v);
-    stats.candidate_counts.push_back(info.candidates.size());
+    stats.candidate_counts.push_back(info.candidate_count);
 
     // Edges from v to already-bound variables, with the bound column
     // resolved once per variable instead of per row.
@@ -531,21 +689,74 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       }
     }
 
-    std::vector<std::vector<NodeRef>> next_rows;
-    for (const std::vector<NodeRef>& row : rows) {
-      const std::vector<NodeRef>* domain = &info.candidates;  // cartesian extension
-      if (!join_edges.empty()) {
+    // Pairwise constraints that become fully bound with v, with the other
+    // side's column resolved once per variable.
+    struct BoundPred {
+      const PairPredicate* pred;
+      size_t other_col;
+      bool v_is_a;
+    };
+    std::vector<BoundPred> bound_preds;
+    for (const PairPredicate& p : pair_preds) {
+      const std::string* other = nullptr;
+      bool v_is_a = false;
+      if (p.var_a == v) {
+        other = &p.var_b;
+        v_is_a = true;
+      } else if (p.var_b == v) {
+        other = &p.var_a;
+      } else {
+        continue;
+      }
+      auto it = var_column.find(*other);
+      if (it == var_column.end()) continue;  // other not bound yet
+      bound_preds.push_back({&p, it->second, v_is_a});
+    }
+
+    const std::vector<NodeRef>* cartesian = nullptr;
+    if (join_edges.empty()) {
+      cartesian = &sorted_candidates(info);
+    } else {
+      ensure_candidate_set(info);
+    }
+    domain_cache.clear();  // keyed on bound node; valid for one level only
+
+    size_t prev_rows = table.BeginColumn();
+    if (prev_rows > UINT32_MAX) {
+      return Status::OutOfRange("binding table exceeds 2^32 rows per level");
+    }
+    for (size_t row = 0; row < prev_rows; ++row) {
+      table.ReadParentRow(row, &row_buf);
+
+      const std::vector<NodeRef>* domain = cartesian;
+      if (join_edges.size() == 1) {
+        // Single-edge join: the filtered+sorted neighbour domain depends
+        // only on the bound node, so memoize it per level.
+        const auto& [e, col] = join_edges.front();
+        NodeRef bound_node = row_buf[col];
+        auto [it, inserted] = domain_cache.try_emplace(bound_node);
+        if (inserted) {
+          nbr_buf.clear();
+          graph.AppendNeighbors(bound_node, /*directed=*/false, e->label, &nbr_buf);
+          for (NodeRef n : nbr_buf) {
+            if (is_candidate(info, n)) it->second.push_back(n);
+          }
+          // Deterministic extension order.
+          std::sort(it->second.begin(), it->second.end());
+        }
+        domain = &it->second;
+      } else if (!join_edges.empty()) {
         // Expand along the first edge (hash-filtered against v's candidate
-        // set), then hash semi-join along the rest.
+        // domain), then hash semi-join along the rest.
         bool first = true;
         for (const auto& [e, col] : join_edges) {
-          NodeRef bound_node = row[col];
+          NodeRef bound_node = row_buf[col];
           nbr_buf.clear();
           graph.AppendNeighbors(bound_node, /*directed=*/false, e->label, &nbr_buf);
           if (first) {
             domain_buf.clear();
             for (NodeRef n : nbr_buf) {
-              if (info.candidate_set.count(n) > 0) domain_buf.push_back(n);
+              if (is_candidate(info, n)) domain_buf.push_back(n);
             }
             first = false;
           } else {
@@ -559,7 +770,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
           }
           if (domain_buf.empty()) break;
         }
-        // Deterministic extension order (and the order the seed produced).
+        // Deterministic extension order.
         std::sort(domain_buf.begin(), domain_buf.end());
         domain = &domain_buf;
       }
@@ -567,55 +778,43 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       for (NodeRef cand : *domain) {
         // Pairwise constraints that become fully bound with v = cand.
         bool ok = true;
-        for (const PairPredicate& p : pair_preds) {
-          const std::string* other = nullptr;
-          bool v_is_a = false;
-          if (p.var_a == v) {
-            other = &p.var_b;
-            v_is_a = true;
-          } else if (p.var_b == v) {
-            other = &p.var_a;
-          } else {
-            continue;
-          }
-          auto it = var_column.find(*other);
-          if (it == var_column.end()) continue;  // other not bound yet
-          NodeRef other_node = row[it->second];
-          NodeRef a = v_is_a ? cand : other_node;
-          NodeRef b = v_is_a ? other_node : cand;
-          if (!eval_pair(p, a, b)) {
+        for (const BoundPred& bp : bound_preds) {
+          NodeRef other_node = row_buf[bp.other_col];
+          NodeRef a = bp.v_is_a ? cand : other_node;
+          NodeRef b = bp.v_is_a ? other_node : cand;
+          if (!eval_pair(*bp.pred, a, b)) {
             ok = false;
             break;
           }
         }
         if (!ok) continue;
-        // CONNECTED joins: path existence in the a-graph.
+        // CONNECTED joins: path existence in the a-graph, answered by the
+        // per-bound-node reachability cache.
         for (const auto& [e, col] : path_edges) {
-          NodeRef other_node = row[col];
-          agraph::PathOptions popt;
-          popt.max_hops = e->clause->max_hops == SIZE_MAX ? options_.default_connected_hops
-                                                          : e->clause->max_hops;
-          if (!graph.FindPath(cand, other_node, popt).ok()) {
+          NodeRef other_node = row_buf[col];
+          size_t hops = e->clause->max_hops == SIZE_MAX ? options_.default_connected_hops
+                                                        : e->clause->max_hops;
+          if (reachable_from(other_node, hops).count(cand) == 0) {
             ok = false;
             break;
           }
         }
         if (!ok) continue;
 
-        std::vector<NodeRef> extended = row;
-        extended.push_back(cand);
-        next_rows.push_back(std::move(extended));
-        if (next_rows.size() > options_.max_intermediate_rows) {
+        table.Append(cand, row);
+        if (table.OpenRows() > options_.max_intermediate_rows) {
           return Status::OutOfRange("query exceeded max_intermediate_rows (" +
                                     std::to_string(options_.max_intermediate_rows) + ")");
         }
       }
     }
+    table.EndColumn();
     var_column[v] = var_column.size();
-    rows = std::move(next_rows);
-    stats.rows_examined += rows.size();
-    if (rows.empty()) break;
+    stats.rows_examined += table.NumRows();
+    if (table.NumRows() == 0) break;
   }
+  stats.peak_rows = table.peak_rows();
+  stats.peak_bytes = table.ByteSize();
 
   // ------------------------------------------------------------------
   // 6. Collate results per target.
@@ -652,13 +851,22 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
 
   auto label_for = [&](NodeRef n) { return std::string(graph.NodeLabel(n)); };
 
+  // Rows of the final (closed) column; a join level that emptied out (or a
+  // target variable the loop never reached) contributes no rows.
+  size_t final_rows = table.num_columns() == 0 ? 1 : table.NumRows();
+  auto target_col = [&]() -> size_t {
+    auto it = var_column.find(target_var);
+    return it == var_column.end() ? SIZE_MAX : it->second;
+  };
+
   switch (query.target) {
     case Target::kContents: {
       std::unordered_set<NodeRef, NodeRefHash> seen;
-      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
-      for (const auto& row : rows) {
-        if (col == SIZE_MAX || col >= row.size()) break;
-        NodeRef n = row[col];
+      size_t col = target_col();
+      if (col != SIZE_MAX) result.items.reserve(final_rows);
+      for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        table.ReadRow(row, &row_buf);
+        NodeRef n = row_buf[col];
         if (!seen.insert(n).second) continue;
         ResultItem item;
         item.content_id = n.id;
@@ -669,10 +877,11 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     }
     case Target::kReferents: {
       std::unordered_set<NodeRef, NodeRefHash> seen;
-      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
-      for (const auto& row : rows) {
-        if (col == SIZE_MAX || col >= row.size()) break;
-        NodeRef n = row[col];
+      size_t col = target_col();
+      if (col != SIZE_MAX) result.items.reserve(final_rows);
+      for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        table.ReadRow(row, &row_buf);
+        NodeRef n = row_buf[col];
         if (!seen.insert(n).second) continue;
         ResultItem item;
         item.referent_id = n.id;
@@ -687,10 +896,10 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       GRAPHITTI_ASSIGN_OR_RETURN(xml::XPathExpr expr,
                                  xml::XPathExpr::Compile(query.return_xpath));
       std::unordered_set<NodeRef, NodeRefHash> seen;
-      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
-      for (const auto& row : rows) {
-        if (col == SIZE_MAX || col >= row.size()) break;
-        NodeRef n = row[col];
+      size_t col = target_col();
+      for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        table.ReadRow(row, &row_buf);
+        NodeRef n = row_buf[col];
         if (!seen.insert(n).second) continue;
         const annotation::Annotation* ann = store.Get(n.id);
         if (ann == nullptr || ann->content.root() == nullptr) continue;
@@ -706,10 +915,10 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     }
     case Target::kCount: {
       std::unordered_set<NodeRef, NodeRefHash> distinct;
-      size_t col = var_column.count(target_var) ? var_column[target_var] : SIZE_MAX;
-      for (const auto& row : rows) {
-        if (col == SIZE_MAX || col >= row.size()) break;
-        distinct.insert(row[col]);
+      size_t col = target_col();
+      for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        table.ReadRow(row, &row_buf);
+        distinct.insert(row_buf[col]);
       }
       ResultItem item;
       item.count = distinct.size();
@@ -719,13 +928,23 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     }
     case Target::kGraph: {
       // One connection subgraph per distinct binding row ("each connected
-      // subgraph forms a result page", §III).
-      std::set<std::vector<NodeRef>> seen;
-      for (const auto& row : rows) {
-        std::vector<NodeRef> terminals = row;
+      // subgraph forms a result page", §III). Distinctness of the sorted
+      // terminal set is tracked by a splitmix64-combined row hash instead
+      // of an ordered set of row vectors — O(row) hashing, no per-row
+      // allocation or lexicographic tree compares. A 64-bit collision
+      // would drop one subgraph; at the max_intermediate_rows default
+      // (2^20 rows) the odds are ~2^-25 per query, accepted for the
+      // collation speed.
+      std::unordered_set<uint64_t> seen;
+      std::vector<NodeRef> terminals;
+      for (size_t row = 0; row < final_rows; ++row) {
+        table.ReadRow(row, &row_buf);
+        terminals = row_buf;
         std::sort(terminals.begin(), terminals.end());
         terminals.erase(std::unique(terminals.begin(), terminals.end()), terminals.end());
-        if (!seen.insert(terminals).second) continue;
+        uint64_t h = util::Mix64(0x51ab7c1ed15ull ^ terminals.size());
+        for (NodeRef t : terminals) h = util::Mix64(h ^ NodeRefHash{}(t));
+        if (!seen.insert(h).second) continue;
         auto sg = graph.Connect(terminals);
         if (!sg.ok()) continue;  // disconnected rows yield no subgraph
         ResultItem item;
@@ -753,6 +972,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   result.page = std::min(query.page, result.total_pages);
   size_t begin = (result.page - 1) * page_size;
   size_t end = std::min(result.items.size(), begin + page_size);
+  result.page_items.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) result.page_items.push_back(result.items[i]);
   return result;
 }
@@ -769,6 +989,8 @@ Result<std::string> Executor::Explain(const Query& query) const {
            "  (candidates: " + std::to_string(result.stats.candidate_counts[i]) + ")\n";
   }
   out += "rows examined: " + std::to_string(result.stats.rows_examined) + "\n";
+  out += "peak rows: " + std::to_string(result.stats.peak_rows) +
+         " (binding table: " + std::to_string(result.stats.peak_bytes) + " bytes)\n";
   out += "items produced: " + std::to_string(result.stats.items_produced) + "\n";
   out += "pages: " + std::to_string(result.total_pages) +
          " (page size " + std::to_string(result.page_size) + ")\n";

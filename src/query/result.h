@@ -42,6 +42,12 @@ struct ExecutionStats {
   size_t rows_examined = 0;
   /// Final (pre-paging) result item count.
   size_t items_produced = 0;
+  /// Largest single join level (columnar binding-table width peak).
+  size_t peak_rows = 0;
+  /// Bytes held by the columnar binding table at the end of the join
+  /// (values + parent links across all columns — the table keeps every
+  /// level because rows share prefixes through parent links).
+  size_t peak_bytes = 0;
 };
 
 struct QueryResult {

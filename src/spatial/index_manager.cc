@@ -45,6 +45,14 @@ std::vector<IntervalEntry> IndexManager::QueryIntervals(std::string_view domain,
   return it->second->Window(window);
 }
 
+void IndexManager::ForEachInterval(
+    std::string_view domain, const Interval& window,
+    const std::function<void(const IntervalEntry&)>& fn) const {
+  auto it = interval_trees_.find(domain);
+  if (it == interval_trees_.end()) return;
+  it->second->ForEachOverlap(window, fn);
+}
+
 std::optional<IntervalEntry> IndexManager::NextInterval(std::string_view domain,
                                                         int64_t position) const {
   auto it = interval_trees_.find(domain);
@@ -82,6 +90,16 @@ util::Result<std::vector<RTreeEntry>> IndexManager::QueryRegions(
   auto it = rtrees_.find(canonical.first);
   if (it == rtrees_.end()) return std::vector<RTreeEntry>{};
   return it->second->Window(canonical.second);
+}
+
+util::Status IndexManager::ForEachRegion(
+    std::string_view system, const Rect& local_window,
+    const std::function<void(const RTreeEntry&)>& fn) const {
+  GRAPHITTI_ASSIGN_OR_RETURN(auto canonical, coord_systems_.ToCanonical(system, local_window));
+  auto it = rtrees_.find(canonical.first);
+  if (it == rtrees_.end()) return util::Status::OK();
+  it->second->ForEachOverlap(canonical.second, fn);
+  return util::Status::OK();
 }
 
 const RTree* IndexManager::GetRTree(std::string_view canonical_system) const {

@@ -4,6 +4,7 @@
 #ifndef GRAPHITTI_SPATIAL_INDEX_MANAGER_H_
 #define GRAPHITTI_SPATIAL_INDEX_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,6 +42,11 @@ class IndexManager {
   std::vector<IntervalEntry> QueryIntervals(std::string_view domain,
                                             const Interval& window) const;
 
+  /// Streams the entries in `domain` overlapping `window` in (lo, hi, id)
+  /// order — QueryIntervals without the materialized vector.
+  void ForEachInterval(std::string_view domain, const Interval& window,
+                       const std::function<void(const IntervalEntry&)>& fn) const;
+
   /// The entry strictly after `position` in `domain`, if any (the `next`
   /// operator on ordered 1D data).
   std::optional<IntervalEntry> NextInterval(std::string_view domain, int64_t position) const;
@@ -60,6 +66,12 @@ class IndexManager {
   /// `system` coordinates).
   util::Result<std::vector<RTreeEntry>> QueryRegions(std::string_view system,
                                                      const Rect& local_window) const;
+
+  /// Streams the (canonical rect, id) entries overlapping `local_window` in
+  /// tree order — QueryRegions without the materialized, id-sorted vector.
+  /// Fails only when `system` cannot be canonicalized.
+  util::Status ForEachRegion(std::string_view system, const Rect& local_window,
+                             const std::function<void(const RTreeEntry&)>& fn) const;
 
   const RTree* GetRTree(std::string_view canonical_system) const;
 

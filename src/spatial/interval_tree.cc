@@ -96,25 +96,6 @@ int IntervalTree::CompareKey(const Interval& a, uint64_t aid, const Node* n) {
   return 0;
 }
 
-IntervalTree::Node* IntervalTree::InsertRec(Node* node, const Interval& interval,
-                                            uint64_t id, bool* inserted) {
-  if (node == nullptr) {
-    *inserted = true;
-    return new Node(interval, id);
-  }
-  int cmp = CompareKey(interval, id, node);
-  if (cmp == 0) {
-    *inserted = false;
-    return node;
-  }
-  if (cmp < 0) {
-    node->left = InsertRec(node->left, interval, id, inserted);
-  } else {
-    node->right = InsertRec(node->right, interval, id, inserted);
-  }
-  return Rebalance(node);
-}
-
 util::Result<IntervalTree> IntervalTree::BulkLoad(std::vector<IntervalEntry> entries) {
   for (const IntervalEntry& e : entries) {
     if (!e.interval.valid()) {
@@ -157,13 +138,38 @@ util::Status IntervalTree::Insert(const Interval& interval, uint64_t id) {
   if (!interval.valid()) {
     return util::Status::InvalidArgument("invalid interval " + interval.ToString());
   }
-  bool inserted = false;
-  root_ = InsertRec(root_, interval, id, &inserted);
-  if (!inserted) {
-    return util::Status::AlreadyExists("interval " + interval.ToString() + " id " +
-                                       std::to_string(id) + " already present");
+  // Iterative descent recording the child-link slot at each visited node, so
+  // the commit path (ingest) never recurses — adversarial insertion orders
+  // cannot grow the stack. An AVL tree of 2^64 keys is at most ~92 levels
+  // deep; 128 slots cover it with margin.
+  constexpr int kMaxDepth = 128;
+  Node** slots[kMaxDepth];
+  int depth = 0;
+  Node** slot = &root_;
+  while (*slot != nullptr) {
+    int cmp = CompareKey(interval, id, *slot);
+    if (cmp == 0) {
+      return util::Status::AlreadyExists("interval " + interval.ToString() + " id " +
+                                         std::to_string(id) + " already present");
+    }
+    slots[depth++] = slot;
+    slot = cmp < 0 ? &(*slot)->left : &(*slot)->right;
   }
+  *slot = new Node(interval, id);
   ++size_;
+  // Explicit rebalancing path: walk the recorded slots bottom-up; a rotation
+  // rewrites the parent's child link through the saved slot. Once a level
+  // keeps its root, height AND max-hi, every ancestor's Pull inputs are
+  // unchanged, so the walk stops early — a win the recursive form (which
+  // always re-Pulled the full path) could not have.
+  for (int i = depth - 1; i >= 0; --i) {
+    Node* n = *slots[i];
+    int old_height = n->height;
+    int64_t old_max_hi = n->max_hi;
+    Node* r = Rebalance(n);
+    *slots[i] = r;
+    if (r == n && n->height == old_height && n->max_hi == old_max_hi) break;
+  }
   return util::Status::OK();
 }
 
@@ -215,12 +221,30 @@ util::Status IntervalTree::Erase(const Interval& interval, uint64_t id) {
   return util::Status::OK();
 }
 
-std::vector<IntervalEntry> IntervalTree::Window(const Interval& window) const {
-  std::vector<IntervalEntry> out;
-  if (!window.valid()) return out;
+void IntervalTree::ForEachOverlap(
+    const Interval& window, const std::function<void(const IntervalEntry&)>& fn) const {
+  if (!window.valid()) return;
   // In-order traversal pruned by the max-hi augmentation: skip any subtree
   // whose max endpoint is below the window, and right subtrees once lo is
   // past the window end. Recursion depth is O(log n) thanks to AVL balance.
+  struct Walker {
+    const Interval& window;
+    const std::function<void(const IntervalEntry&)>& fn;
+    void Walk(const Node* node) {
+      if (node == nullptr || MaxHi(node) < window.lo) return;
+      Walk(node->left);
+      if (node->iv.Overlaps(window)) fn({node->iv, node->id});
+      if (node->iv.lo <= window.hi) Walk(node->right);
+    }
+  };
+  Walker{window, fn}.Walk(root_);
+}
+
+std::vector<IntervalEntry> IntervalTree::Window(const Interval& window) const {
+  // Same pruned in-order walk as ForEachOverlap with a direct push_back:
+  // the materializing form stays free of a per-hit std::function call.
+  std::vector<IntervalEntry> out;
+  if (!window.valid()) return out;
   struct Walker {
     const Interval& window;
     std::vector<IntervalEntry>* out;

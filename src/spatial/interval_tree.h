@@ -58,6 +58,11 @@ class IntervalTree {
   /// All entries overlapping `window`, ordered by (lo, hi, id).
   std::vector<IntervalEntry> Window(const Interval& window) const;
 
+  /// Visits every entry overlapping `window` in (lo, hi, id) order without
+  /// materializing a result vector (the streaming form of Window()).
+  void ForEachOverlap(const Interval& window,
+                      const std::function<void(const IntervalEntry&)>& fn) const;
+
   /// The entry with the smallest (lo, hi, id) such that lo > `position`
   /// (the `next` substructure operator for ordered 1D domains, §II).
   std::optional<IntervalEntry> NextAfter(int64_t position) const;
@@ -86,7 +91,6 @@ class IntervalTree {
   static Node* Rebalance(Node* n);
   static int CompareKey(const Interval& a, uint64_t aid, const Node* n);
 
-  Node* InsertRec(Node* node, const Interval& interval, uint64_t id, bool* inserted);
   Node* EraseRec(Node* node, const Interval& interval, uint64_t id, bool* erased);
   static Node* PopMin(Node* node, Node** min_out);
   static void Destroy(Node* node);

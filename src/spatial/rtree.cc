@@ -387,20 +387,29 @@ util::Status RTree::Erase(const Rect& rect, uint64_t id) {
   return util::Status::OK();
 }
 
-std::vector<RTreeEntry> RTree::Window(const Rect& window) const {
-  std::vector<RTreeEntry> out;
-  if (window.dims != dims_ || !window.valid()) return out;
-  std::function<void(const Node*)> walk = [&](const Node* node) {
-    for (const NodeEntry& e : node->entries) {
-      if (!e.rect.Overlaps(window)) continue;
-      if (node->leaf) {
-        out.push_back({e.rect, e.id});
-      } else {
-        walk(e.child.get());
+void RTree::ForEachOverlap(const Rect& window,
+                           const std::function<void(const RTreeEntry&)>& fn) const {
+  if (window.dims != dims_ || !window.valid()) return;
+  struct Walker {
+    const Rect& window;
+    const std::function<void(const RTreeEntry&)>& fn;
+    void Walk(const Node* node) const {
+      for (const NodeEntry& e : node->entries) {
+        if (!e.rect.Overlaps(window)) continue;
+        if (node->leaf) {
+          fn({e.rect, e.id});
+        } else {
+          Walk(e.child.get());
+        }
       }
     }
   };
-  walk(root_.get());
+  Walker{window, fn}.Walk(root_.get());
+}
+
+std::vector<RTreeEntry> RTree::Window(const Rect& window) const {
+  std::vector<RTreeEntry> out;
+  ForEachOverlap(window, [&](const RTreeEntry& e) { out.push_back(e); });
   std::sort(out.begin(), out.end(),
             [](const RTreeEntry& a, const RTreeEntry& b) { return a.id < b.id; });
   return out;

@@ -53,6 +53,12 @@ class RTree {
   /// All entries whose rect overlaps `window`, sorted by id.
   std::vector<RTreeEntry> Window(const Rect& window) const;
 
+  /// Visits every entry overlapping `window` in tree (unspecified) order —
+  /// the streaming form of Window() for consumers that do not need the
+  /// id-sorted materialized vector.
+  void ForEachOverlap(const Rect& window,
+                      const std::function<void(const RTreeEntry&)>& fn) const;
+
   /// All entries fully contained in `window`, sorted by id.
   std::vector<RTreeEntry> ContainedIn(const Rect& window) const;
 

@@ -207,6 +207,61 @@ TEST_F(AnnotationStoreTest, IdsAndCollection) {
   EXPECT_EQ(store_.Collection().size(), 2u);
 }
 
+TEST_F(AnnotationStoreTest, PhraseSearchVerifiesAgainstContentOnly) {
+  // Posting lists index user-tag keys and ontology terms, but phrase search
+  // matches the serialized content only — a tag/term-only hit must not
+  // survive the substring verification (regression: a "single-token phrase
+  // is implied by its posting list" shortcut would skip it).
+  AnnotationBuilder b = Simple("t", "hello world");
+  b.UserTag("zebraxq", "v");
+  ASSERT_TRUE(store_.Commit(b).ok());
+  EXPECT_EQ(store_.SearchKeyword("zebraxq").size(), 1u);  // token is indexed
+  EXPECT_TRUE(store_.SearchPhrase("zebraxq").empty());    // but not content
+  EXPECT_EQ(store_.SearchPhrase("hello").size(), 1u);
+}
+
+TEST_F(AnnotationStoreTest, StreamingEnumerationMatchesIds) {
+  ASSERT_TRUE(store_.Commit(Simple("a", "one", "chr1", 0, 10)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "two", "chr2", 20, 30)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("c", "three", "chr1", 40, 50)).ok());
+
+  std::vector<AnnotationId> streamed;
+  store_.ForEachAnnotation([&](AnnotationId id, const Annotation& ann) {
+    EXPECT_EQ(ann.id, id);
+    streamed.push_back(id);
+  });
+  EXPECT_EQ(streamed, store_.Ids());
+
+  std::vector<ReferentId> refs;
+  store_.ForEachReferent([&](ReferentId id, const Referent& ref) {
+    EXPECT_EQ(ref.id, id);
+    refs.push_back(id);
+  });
+  EXPECT_EQ(refs, store_.ReferentIds());
+}
+
+TEST_F(AnnotationStoreTest, ForEachReferentInDomainIsIndexBacked) {
+  ASSERT_TRUE(store_.Commit(Simple("a", "one", "chr1", 0, 10)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("b", "two", "chr2", 20, 30)).ok());
+  ASSERT_TRUE(store_.Commit(Simple("c", "three", "chr1", 40, 50)).ok());
+
+  auto domain_ids = [&](std::string_view domain) {
+    std::vector<ReferentId> out;
+    store_.ForEachReferentInDomain(domain, [&](ReferentId id, const Referent& ref) {
+      EXPECT_EQ(ref.substructure.domain(), domain);
+      out.push_back(id);
+    });
+    return out;
+  };
+  EXPECT_EQ(domain_ids("chr1"), (std::vector<ReferentId>{1, 3}));  // ascending
+  EXPECT_EQ(domain_ids("chr2"), (std::vector<ReferentId>{2}));
+  EXPECT_TRUE(domain_ids("chr9").empty());
+
+  // Removing the last annotation of a referent drops it from the domain list.
+  ASSERT_TRUE(store_.Remove(1).ok());
+  EXPECT_EQ(domain_ids("chr1"), (std::vector<ReferentId>{3}));
+}
+
 TEST_F(AnnotationStoreTest, SetTypedReferentsNotSpatiallyIndexed) {
   AnnotationBuilder b;
   b.Title("sets").MarkNodeSet("g1", {1, 2}).MarkBlockSet("t1", {3}).MarkClade("tr", {0});

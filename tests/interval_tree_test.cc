@@ -142,6 +142,19 @@ TEST(IntervalTreeTest, HeightStaysLogarithmic) {
   EXPECT_LE(tree.height(), 18);
 }
 
+TEST(IntervalTreeTest, ForEachOverlapStreamsWindowInOrder) {
+  IntervalTree tree;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(Interval(i * 3, i * 3 + 10), static_cast<uint64_t>(i)).ok());
+  }
+  Interval window(30, 60);
+  std::vector<IntervalEntry> streamed;
+  tree.ForEachOverlap(window, [&](const IntervalEntry& e) { streamed.push_back(e); });
+  EXPECT_EQ(streamed, tree.Window(window));
+  // Invalid windows stream nothing.
+  tree.ForEachOverlap(Interval(9, 3), [&](const IntervalEntry&) { FAIL(); });
+}
+
 TEST(IntervalTreeTest, MoveSemantics) {
   IntervalTree a;
   ASSERT_TRUE(a.Insert(Interval(1, 2), 1).ok());

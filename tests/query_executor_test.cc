@@ -295,6 +295,52 @@ TEST_F(ExecutorTest, RowLimitGuard) {
   EXPECT_TRUE(r.status().IsOutOfRange());
 }
 
+TEST_F(ExecutorTest, RowLimitBoundaryIsInclusive) {
+  // The fixture holds exactly 6 annotations, so binding ?a materializes a
+  // 6-row level: a limit of exactly 6 must pass, 5 must fail.
+  ExecutorOptions at_limit;
+  at_limit.max_intermediate_rows = 6;
+  auto ok = Executor(Context(), at_limit).ExecuteText("FIND CONTENTS WHERE { ?a IS CONTENT }");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->items.size(), 6u);
+  EXPECT_EQ(ok->stats.peak_rows, 6u);
+
+  ExecutorOptions one_under;
+  one_under.max_intermediate_rows = 5;
+  auto fail =
+      Executor(Context(), one_under).ExecuteText("FIND CONTENTS WHERE { ?a IS CONTENT }");
+  EXPECT_TRUE(fail.status().IsOutOfRange());
+}
+
+TEST_F(ExecutorTest, PeakStatsTrackBindingTable) {
+  auto r = Run(
+      "FIND CONTENTS WHERE { ?a CONTAINS \"protease\" ; ?s IS REFERENT ; ?a ANNOTATES ?s }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 4 protease contents, each annotating one referent: both levels hold 4
+  // rows, and the columnar table stores every level (values + parents).
+  EXPECT_EQ(r->stats.peak_rows, 4u);
+  EXPECT_GT(r->stats.peak_bytes, 0u);
+  EXPECT_LE(r->stats.peak_bytes,
+            r->stats.rows_examined * (sizeof(agraph::NodeRef) + sizeof(uint32_t)));
+}
+
+TEST_F(ExecutorTest, ConnectedHonorsHopBudget) {
+  // Two protease contents connect through referents and the shared data
+  // object (content - referent - object - referent - content = 4 hops).
+  const char* q =
+      "FIND CONTENTS WHERE { ?a CONTAINS \"alpha\" ; ?b CONTAINS \"beta\" ; "
+      "?a CONNECTED ?b }";
+  auto within = Run(q);  // default hop budget is 6
+  ASSERT_TRUE(within.ok()) << within.status().ToString();
+  EXPECT_EQ(within->items.size(), 1u);
+
+  ExecutorOptions tight;
+  tight.default_connected_hops = 3;
+  auto beyond = Executor(Context(), tight).ExecuteText(q);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond->items.empty());
+}
+
 TEST_F(ExecutorTest, EmptyResultIsOkNotError) {
   auto r = Run("FIND CONTENTS WHERE { ?a CONTAINS \"zzz-no-such-keyword\" }");
   ASSERT_TRUE(r.ok());
@@ -316,6 +362,46 @@ TEST_F(ExecutorTest, SelectivityAndNaiveOrdersAgreeOnResults) {
   std::vector<AnnotationId> a, b;
   for (const auto& i : fast->items) a.push_back(i.content_id);
   for (const auto& i : slow->items) b.push_back(i.content_id);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ExecutorTest, OrderingsAgreeOnMultiVariableJoins) {
+  // Four variables, two join edges, constraints and a GRAPH target: the
+  // binding orders differ, the collated result sets must not.
+  const char* q = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s2 IS REFERENT ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } CONSTRAIN consecutive(?s1, ?s2), disjoint(?s1, ?s2))";
+  ExecutorOptions naive;
+  naive.use_selectivity_order = false;
+  auto fast = Executor(Context()).ExecuteText(q);
+  auto slow = Executor(Context(), naive).ExecuteText(q);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_NE(fast->stats.binding_order, slow->stats.binding_order);
+
+  auto subgraph_keys = [](const QueryResult& r) {
+    std::vector<std::vector<agraph::NodeRef>> keys;
+    for (const auto& item : r.items) keys.push_back(item.subgraph.nodes);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(subgraph_keys(*fast), subgraph_keys(*slow));
+
+  // Same check on a 3-variable CONTENTS query through the object join.
+  const char* q2 =
+      "FIND CONTENTS WHERE { ?a CONTAINS \"protease\" ; ?s IS REFERENT ; ?a ANNOTATES ?s ;"
+      " ?o TABLE \"dna_sequences\" ; ?s OF ?o }";
+  auto fast2 = Executor(Context()).ExecuteText(q2);
+  auto slow2 = Executor(Context(), naive).ExecuteText(q2);
+  ASSERT_TRUE(fast2.ok());
+  ASSERT_TRUE(slow2.ok());
+  std::vector<AnnotationId> a, b;
+  for (const auto& i : fast2->items) a.push_back(i.content_id);
+  for (const auto& i : slow2->items) b.push_back(i.content_id);
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   EXPECT_EQ(a, b);

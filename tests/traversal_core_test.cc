@@ -120,6 +120,38 @@ TEST(TraversalCoreTest, FindPathMatchesReferenceBfs) {
   }
 }
 
+TEST(TraversalCoreTest, AppendReachableMatchesFindPathExistence) {
+  // The reachability set from `from` within `max_hops` must contain exactly
+  // the nodes FindPath reaches under the same options — the contract the
+  // query executor's CONNECTED-join cache depends on.
+  for (uint64_t seed : {3u, 17u}) {
+    AGraph g = RandomGraph(seed, 50, 35);
+    util::Rng rng(seed * 13);
+    for (int trial = 0; trial < 12; ++trial) {
+      NodeRef from = NodeRef::Content(rng.Next64() % 50);
+      PathOptions opt;
+      opt.directed = (trial % 3 == 0);
+      if (trial % 4 == 1) opt.allowed_labels = {"a", "c"};
+      opt.max_hops = trial % 6;
+      std::vector<NodeRef> reach;
+      g.AppendReachable(from, opt, &reach);
+      std::unordered_set<NodeRef, NodeRefHash> reach_set(reach.begin(), reach.end());
+      EXPECT_EQ(reach.size(), reach_set.size()) << "duplicates in reachable set";
+      for (uint64_t i = 0; i < 50; ++i) {
+        NodeRef to = NodeRef::Content(i);
+        bool expected = ReferenceDistance(g, from, to, opt).has_value();
+        EXPECT_EQ(reach_set.count(to) > 0, expected)
+            << from.ToString() << "->" << to.ToString() << " trial " << trial;
+      }
+    }
+  }
+  // Unknown source: nothing is reachable.
+  AGraph g = RandomGraph(5, 10, 5);
+  std::vector<NodeRef> reach;
+  g.AppendReachable(NodeRef::Content(999), PathOptions{}, &reach);
+  EXPECT_TRUE(reach.empty());
+}
+
 TEST(TraversalCoreTest, RepeatedCallsReuseScratchIdentically) {
   AGraph g = RandomGraph(99, 40, 30);
   PathOptions opt;
