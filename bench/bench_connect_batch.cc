@@ -1,0 +1,106 @@
+// CONNECT-BATCH: batched GRAPH collation — many binding rows whose terminal
+// sets overlap — comparing one Steiner heuristic per row (the pre-batch
+// collation) against ConnectBatch's shared per-terminal BFS trees.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "agraph/agraph.h"
+#include "util/random.h"
+
+namespace {
+
+using graphitti::agraph::AGraph;
+using graphitti::agraph::ConnectBatch;
+using graphitti::agraph::NodeRef;
+using graphitti::util::Rng;
+
+// Annotation-shaped a-graph (same construction as bench_agraph_ops):
+// contents annotate referents drawn from a shared pool, plus term edges.
+std::unique_ptr<AGraph> BuildAnnotationGraph(size_t n, uint64_t seed) {
+  auto g = std::make_unique<AGraph>();
+  Rng rng(seed);
+  size_t pool = n / 2;
+  for (size_t r = 0; r < pool; ++r) {
+    (void)g->AddNode(NodeRef::Referent(r));
+  }
+  size_t terms = std::max<size_t>(1, n / 10);
+  for (size_t t = 0; t < terms; ++t) {
+    (void)g->AddNode(NodeRef::Term(t));
+  }
+  for (size_t c = 0; c < n; ++c) {
+    (void)g->AddNode(NodeRef::Content(c));
+    for (int k = 0; k < 3; ++k) {
+      (void)g->AddEdge(NodeRef::Content(c), NodeRef::Referent(rng.Next64() % pool),
+                       "annotates");
+    }
+    (void)g->AddEdge(NodeRef::Content(c), NodeRef::Term(rng.Next64() % terms), "refers-to");
+  }
+  return g;
+}
+
+const AGraph& SharedGraph(size_t n) {
+  static std::map<size_t, std::unique_ptr<AGraph>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, BuildAnnotationGraph(n, 42)).first;
+  return *it->second;
+}
+
+// Binding rows in the executor's GRAPH-collation shape: 4 terminals per row
+// sampled from a pool of 64 distinct nodes, so terminals repeat heavily
+// across rows (distinct rows, shared terminals).
+std::vector<std::vector<NodeRef>> MakeRows(size_t num_rows, size_t n) {
+  Rng rng(9);
+  std::vector<NodeRef> pool;
+  for (size_t i = 0; i < 64; ++i) pool.push_back(NodeRef::Content(rng.Next64() % n));
+  std::vector<std::vector<NodeRef>> rows(num_rows);
+  for (auto& row : rows) {
+    for (int k = 0; k < 4; ++k) {
+      row.push_back(pool[static_cast<size_t>(rng.Next64()) % pool.size()]);
+    }
+  }
+  return rows;
+}
+
+// Pre-batch collation: one full Connect per row.
+void BM_ConnectPerRow(benchmark::State& state) {
+  const size_t n = 20000;
+  const AGraph& g = SharedGraph(n);
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), n);
+  size_t nodes_out = 0;
+  for (auto _ : state) {
+    for (const auto& row : rows) {
+      auto sg = g.Connect(row);
+      if (sg.ok()) nodes_out += sg->nodes.size();
+    }
+  }
+  benchmark::DoNotOptimize(nodes_out);
+  state.counters["rows"] = static_cast<double>(rows.size());
+}
+BENCHMARK(BM_ConnectPerRow)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Batched collation: one ConnectBatch for all rows, per-terminal BFS trees
+// shared.
+void BM_ConnectBatched(benchmark::State& state) {
+  const size_t n = 20000;
+  const AGraph& g = SharedGraph(n);
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), n);
+  size_t nodes_out = 0;
+  size_t trees = 0;
+  for (auto _ : state) {
+    ConnectBatch batch(g);
+    for (const auto& row : rows) {
+      auto sg = batch.Connect(row);
+      if (sg.ok()) nodes_out += sg->nodes.size();
+    }
+    trees = batch.trees_built();
+  }
+  benchmark::DoNotOptimize(nodes_out);
+  state.counters["rows"] = static_cast<double>(rows.size());
+  state.counters["trees_built"] = static_cast<double>(trees);
+}
+BENCHMARK(BM_ConnectBatched)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

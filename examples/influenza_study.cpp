@@ -94,7 +94,7 @@ int main() {
   auto keyword = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" } LIMIT 5 PAGE 1");
   std::printf("protease annotations: %zu total, page 1 of %zu:\n",
               keyword->items.size(), keyword->total_pages);
-  for (const auto& item : keyword->page_items) {
+  for (const auto& item : keyword->Page()) {
     std::printf("  [%llu] %s\n", static_cast<unsigned long long>(item.content_id),
                 item.label.c_str());
   }
@@ -104,7 +104,7 @@ int main() {
       "?s OVERLAPS [0, 600] } LIMIT 5");
   std::printf("marked substructures on seg0 overlapping [0,600]: %zu, e.g.:\n",
               spatial->items.size());
-  for (const auto& item : spatial->page_items) {
+  for (const auto& item : spatial->Page()) {
     std::printf("  %s\n", item.substructure.ToString().c_str());
   }
 

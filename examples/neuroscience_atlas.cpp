@@ -91,7 +91,7 @@ int main() {
       "\" ; ?s OVERLAPS RECT [0,0,0, 3000,3000,3000] } LIMIT 5");
   std::printf("regions in the [0,3000]^3 atlas corner: %zu total, first page:\n",
               window->items.size());
-  for (const auto& item : window->page_items) {
+  for (const auto& item : window->Page()) {
     std::printf("  %s\n", item.substructure.ToString().c_str());
   }
 
@@ -103,12 +103,21 @@ int main() {
               below->items.size());
 
   // --- GRAPH result pages ("each connected subgraph forms a result page").
+  // Subgraphs are materialized lazily, one page at a time: page 1 comes
+  // back from Query, further pages through MaterializePage.
   auto graphs = g.Query(
       "FIND GRAPH WHERE { ?a CONTAINS \"Deep Cerebellar\" ; ?s IS REFERENT ; "
       "?a ANNOTATES ?s } LIMIT 1 PAGE 1");
   std::printf("connection-subgraph result pages: %zu (showing page 1: %s)\n",
               graphs->total_pages,
-              graphs->page_items.empty() ? "-" : graphs->page_items[0].label.c_str());
+              graphs->Page().empty() ? "-" : graphs->Page()[0].label.c_str());
+  if (graphs->total_pages > 1) {
+    if (g.MaterializePage(&*graphs, 2).ok()) {
+      std::printf("  flipped to page 2: %s (%zu subgraph(s) built so far)\n",
+                  graphs->Page()[0].label.c_str(),
+                  graphs->stats.subgraphs_materialized);
+    }
+  }
 
   std::printf("\nfinal stats: %s\n", g.Stats().ToString().c_str());
   return 0;

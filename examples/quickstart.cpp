@@ -55,7 +55,7 @@ int main() {
     return 1;
   }
   std::printf("\nquery matched %zu annotation(s):\n", result->items.size());
-  for (const auto& item : result->page_items) {
+  for (const auto& item : result->Page()) {
     std::printf("  annotation %llu: %s\n",
                 static_cast<unsigned long long>(item.content_id), item.label.c_str());
   }

@@ -19,15 +19,15 @@ uint32_t AGraph::FindLabelId(std::string_view label) const {
 }
 
 bool AGraph::BuildAllowedBitset(const std::vector<std::string>& allowed_labels,
-                                util::TraversalScratch* s, bool* has_filter) const {
+                                util::LabelBitset* allowed, bool* has_filter) const {
   *has_filter = !allowed_labels.empty();
   if (!*has_filter) return true;
-  s->allowed.Reset(labels_.size());
+  allowed->Reset(labels_.size());
   bool any = false;
   for (const std::string& l : allowed_labels) {
     uint32_t id = FindLabelId(l);
     if (id != kNoIndex) {
-      s->allowed.Set(id);
+      allowed->Set(id);
       any = true;
     }
   }
@@ -368,7 +368,7 @@ util::Result<Path> AGraph::FindPath(NodeRef from, NodeRef to,
 
   util::TraversalScratch& s = Scratch();
   bool has_filter = false;
-  if (!BuildAllowedBitset(options.allowed_labels, &s, &has_filter)) {
+  if (!BuildAllowedBitset(options.allowed_labels, &s.allowed, &has_filter)) {
     return util::Status::NotFound("no edges carry any of the allowed labels");
   }
 
@@ -414,7 +414,7 @@ void AGraph::AppendReachable(NodeRef from, const PathOptions& options,
   if (!idx.ok()) return;  // unknown node: nothing is reachable
   util::TraversalScratch& s = Scratch();
   bool has_filter = false;
-  bool any_label = BuildAllowedBitset(options.allowed_labels, &s, &has_filter);
+  bool any_label = BuildAllowedBitset(options.allowed_labels, &s.allowed, &has_filter);
   out->push_back(from);  // distance 0: FindPath(x, x) trivially succeeds
   if (!any_label) return;  // label filter matches no interned label
   s.fwd.Prepare(refs_.size());

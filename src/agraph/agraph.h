@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -22,6 +23,8 @@
 
 namespace graphitti {
 namespace agraph {
+
+class ConnectBatch;
 
 /// The four kinds of nodes the a-graph joins.
 enum class NodeKind : uint8_t {
@@ -110,6 +113,11 @@ struct PathOptions {
 
 struct ConnectOptions {
   std::vector<std::string> allowed_labels;
+  /// Hop budget per merged connection path: every terminal the subgraph
+  /// absorbs must lie within this many hops of some *other terminal*
+  /// (the distance-network heuristic connects terminal pairs; a terminal
+  /// only reachable through the middle of another pair's path does not
+  /// qualify).
   size_t max_hops = SIZE_MAX;
 };
 
@@ -197,7 +205,9 @@ class AGraph {
   /// connect(node1, node2, ...): a connection subgraph intervening the given
   /// nodes — a pruned union of shortest paths (distance-network Steiner
   /// heuristic) over the undirected view. NotFound when the terminals do not
-  /// share one connected component.
+  /// share one connected component. Implemented as a ConnectBatch of one
+  /// row, so per-row Connect and batched connect are edge-set-identical by
+  /// construction.
   util::Result<SubGraph> Connect(const std::vector<NodeRef>& terminals,
                                  const ConnectOptions& options = {}) const;
 
@@ -257,11 +267,11 @@ class AGraph {
   /// The calling thread's scratch (grows to the largest graph traversed).
   static util::TraversalScratch& Scratch();
 
-  /// Compiles allowed_labels into s->allowed. Returns false when the filter
+  /// Compiles allowed_labels into *allowed. Returns false when the filter
   /// is non-empty but matches no interned label (no edge can pass).
   /// *has_filter is set when filtering is active.
   bool BuildAllowedBitset(const std::vector<std::string>& allowed_labels,
-                          util::TraversalScratch* s, bool* has_filter) const;
+                          util::LabelBitset* allowed, bool* has_filter) const;
 
   /// Bidirectional BFS between the pre-seeded s->fwd and s->bwd sides
   /// (multi-source on either side). Expands the smaller frontier level by
@@ -273,6 +283,8 @@ class AGraph {
                                size_t max_hops, bool has_filter,
                                size_t* length) const;
 
+  friend class ConnectBatch;
+
   std::unordered_map<NodeRef, uint32_t, NodeRefHash> index_;
   std::vector<NodeRef> refs_;          // dense -> NodeRef
   std::vector<std::string> node_labels_;
@@ -281,6 +293,59 @@ class AGraph {
   std::vector<std::string> labels_;    // interned edge labels
   std::map<std::string, uint32_t, std::less<>> label_index_;
   size_t num_edges_ = 0;
+};
+
+/// Batched connect over a shared set of BFS shortest-path trees (§III
+/// collation). The query executor's GRAPH target produces many binding rows
+/// whose terminal sets overlap heavily; running the Steiner heuristic per
+/// row re-discovers the same shortest paths over and over. A ConnectBatch
+/// instead builds one BFS tree per *distinct terminal node* — lazily, ring
+/// by ring, only as deep as some row needs it — and assembles every row's
+/// subgraph from those shared trees.
+///
+/// Results are edge-set-identical to calling AGraph::Connect per row:
+/// Connect delegates to a single-row batch, and the greedy wave / path /
+/// prune logic is shared and fully deterministic (rings are scanned in
+/// ascending radius, terminals and attachment nodes tie-break on dense
+/// index), so pre-expanded trees from earlier rows never change a later
+/// row's answer.
+///
+/// A batch borrows the graph: the graph must not be mutated while the batch
+/// is alive, and the batch must be created and destroyed on one thread (its
+/// tree storage is recycled through a thread-local pool, which is what makes
+/// one-shot Connect calls allocation-free in steady state). Memory is
+/// O(distinct terminals x num_nodes); callers bound it by batching one
+/// result page at a time.
+class ConnectBatch {
+ public:
+  explicit ConnectBatch(const AGraph& graph, ConnectOptions options = {});
+  ~ConnectBatch();
+  ConnectBatch(const ConnectBatch&) = delete;
+  ConnectBatch& operator=(const ConnectBatch&) = delete;
+
+  /// Connection subgraph for one row of terminals. Same contract as
+  /// AGraph::Connect: InvalidArgument on an empty row, NotFound when a
+  /// terminal is unknown or the row is not in one connected component.
+  util::Result<SubGraph> Connect(const std::vector<NodeRef>& terminals);
+
+  /// BFS shortest-path trees built so far (== distinct terminals seen
+  /// across every row this batch connected).
+  size_t trees_built() const;
+
+ private:
+  struct TerminalTree;
+  struct State;
+
+  /// The (possibly pre-existing) tree rooted at dense index `terminal`.
+  TerminalTree& TreeFor(uint32_t terminal);
+  /// Expands `tree` by one BFS ring (all nodes at distance radius + 1).
+  void ExpandRing(TerminalTree* tree);
+
+  const AGraph* graph_;
+  ConnectOptions options_;
+  bool has_filter_ = false;
+  bool filter_unsatisfiable_ = false;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace agraph

@@ -1,16 +1,28 @@
 // connect(node1, node2, ...): connection subgraph via the distance-network
 // Steiner-tree heuristic (Kou-Markowsky-Berman flavoured, grown greedily).
 //
-// Each greedy wave finds the missing terminal nearest to the current
-// component with a meet-in-the-middle search: a multi-source forward BFS
-// from the component against a multi-source backward BFS from all missing
-// terminals. Both run on the per-thread epoch-stamped scratch, and the
-// call-local bookkeeping (terminal list, component, tree edges) lives in
-// per-thread reused buffers, so the whole call allocates nothing in steady
-// state beyond the returned SubGraph. The query executor's GRAPH target
-// calls Connect once per distinct result row, which makes this per-call
-// constant the collation hot path.
+// The heuristic runs entirely on per-terminal BFS shortest-path trees: the
+// canonical meet of each terminal pair (shortest connection distance + meet
+// node) is found by expanding the two trees level-synchronized to half the
+// pair distance, and the subgraph is grown Prim-style by attaching the
+// cheapest missing terminal and merging the two tree paths through the
+// meet. Trees are expanded lazily (only as deep as some pair needs), owned
+// by a ConnectBatch, and pair meets are memoized per batch, so connecting
+// many rows whose terminal sets overlap — the query executor's GRAPH
+// collation — builds each distinct terminal's tree once and resolves each
+// recurring pair once, instead of re-running the search per row. Every
+// choice ties-break on dense indexes through schedule-free definitions, so
+// a tree pre-expanded by an earlier row never changes a later row's
+// answer: batch results are edge-set-identical to per-row Connect, which
+// simply runs a batch of one.
+//
+// Tree record arrays — the O(V) part — are epoch-stamped and recycled
+// through a byte-capped thread-local pool, and batch States (maps +
+// call-local buffers) are recycled the same way, so one-shot Connect calls
+// in steady state allocate only per-terminal map nodes and the returned
+// SubGraph.
 #include <algorithm>
+#include <memory>
 #include <tuple>
 
 #include "agraph/agraph.h"
@@ -19,6 +31,8 @@ namespace graphitti {
 namespace agraph {
 
 namespace {
+
+constexpr uint32_t kNone = ~0u;
 
 // One selected tree edge, deduplicated on the undirected key (a, b, label)
 // while remembering the stored direction for the output EdgeRecord.
@@ -30,112 +44,332 @@ struct TreeEdge {
   uint32_t to;
 };
 
-// Call-local buffers reused across Connect calls (cleared per call). One set
-// per thread: concurrent Connects on const graphs stay safe, mirroring
-// AGraph::Scratch().
-struct ConnectBuffers {
-  std::vector<uint32_t> term_idx;
-  std::vector<uint32_t> component;
-  std::vector<uint32_t> missing;
-  std::vector<TreeEdge> tree;
-};
-
-ConnectBuffers& Buffers() {
-  thread_local ConnectBuffers buffers;
-  return buffers;
-}
-
 }  // namespace
 
-util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
-                                       const ConnectOptions& options) const {
+/// BFS shortest-path tree rooted at one terminal, expanded ring by ring.
+/// Ring r (nodes at exactly distance r from the root) is
+/// order[ring_offsets[r], ring_offsets[r+1]); parents point one ring
+/// rootward. Records are live only when their stamp matches the tree's
+/// epoch, so a recycled tree never clears its O(V) array.
+struct ConnectBatch::TerminalTree {
+  struct Rec {
+    uint64_t stamp = 0;
+    uint32_t parent = 0;
+    uint32_t label = 0;          // interned label of the edge to parent
+    uint32_t dist = 0;           // hops from the root terminal
+    uint8_t parent_forward = 0;  // edge stored parent -> node
+  };
+
+  std::vector<Rec> recs;
+  uint64_t epoch = 0;
+  uint32_t root = 0;
+  size_t radius = 0;  // deepest expanded ring
+  bool exhausted = false;
+  std::vector<uint32_t> order;        // BFS discovery order
+  std::vector<size_t> ring_offsets;   // radius + 2 entries once seeded
+};
+
+struct ConnectBatch::State {
+  // Trees are recycled per thread so the dominant cost of a fresh tree —
+  // zeroing its O(V) record array — is paid once per thread, not per
+  // Connect call. The pool is capped in bytes (recs arrays scale with the
+  // graph), so a batch that grew hundreds of trees — or trees sized for a
+  // huge graph — frees the excess on destruction instead of stranding it.
+  struct Pool {
+    static constexpr size_t kMaxFreeBytes = size_t{64} << 20;
+    std::vector<std::unique_ptr<TerminalTree>> free_trees;
+    size_t free_bytes = 0;
+    uint64_t next_epoch = 0;
+  };
+  static Pool& ThreadPool() {
+    thread_local Pool pool;
+    return pool;
+  }
+
+  static size_t TreeBytes(const TerminalTree& t) {
+    return t.recs.capacity() * sizeof(TerminalTree::Rec) +
+           t.order.capacity() * sizeof(uint32_t) +
+           t.ring_offsets.capacity() * sizeof(size_t);
+  }
+
+  // States themselves (the maps and call-local buffers) are also recycled
+  // per thread, so repeated one-shot Connects reuse bucket arrays and
+  // vector capacity instead of reallocating per call.
+  static std::vector<std::unique_ptr<State>>& FreeStates() {
+    thread_local std::vector<std::unique_ptr<State>> free_states;
+    return free_states;
+  }
+  static std::unique_ptr<State> Borrow() {
+    auto& free_states = FreeStates();
+    if (free_states.empty()) return std::make_unique<State>();
+    std::unique_ptr<State> st = std::move(free_states.back());
+    free_states.pop_back();
+    return st;
+  }
+  static void Return(std::unique_ptr<State> st) {
+    st->trees.clear();
+    st->pair_meets.clear();
+    auto& free_states = FreeStates();
+    if (free_states.size() < 4) free_states.push_back(std::move(st));
+  }
+
+  /// Canonical meet between two terminal trees: the shortest connection
+  /// distance and the smallest-dense-index meet node among the pairs
+  /// registered by the trees' synchronized half-depth expansion (a pure
+  /// function of the graph; see Connect). dist == SIZE_MAX when the
+  /// terminals are not connectable within max_hops.
+  struct PairMeet {
+    size_t dist = SIZE_MAX;
+    uint32_t meet = kNone;
+  };
+
+  util::LabelBitset allowed;
+  std::unordered_map<uint32_t, std::unique_ptr<TerminalTree>> trees;
+  std::unordered_map<uint64_t, PairMeet> pair_meets;  // key: min<<32 | max
+  // Call-local buffers reused across rows (cleared per row).
+  std::vector<uint32_t> term_idx;
+  std::vector<uint32_t> component;
+  std::vector<uint32_t> connected;  // terminals absorbed so far
+  std::vector<uint32_t> missing;
+  std::vector<TreeEdge> tree_edges;
+};
+
+ConnectBatch::ConnectBatch(const AGraph& graph, ConnectOptions options)
+    : graph_(&graph), options_(std::move(options)), state_(State::Borrow()) {
+  filter_unsatisfiable_ = !graph_->BuildAllowedBitset(options_.allowed_labels,
+                                                      &state_->allowed, &has_filter_);
+}
+
+ConnectBatch::~ConnectBatch() {
+  State::Pool& pool = State::ThreadPool();
+  for (auto& [idx, tree] : state_->trees) {
+    const size_t bytes = State::TreeBytes(*tree);
+    if (pool.free_bytes + bytes > State::Pool::kMaxFreeBytes) continue;
+    pool.free_bytes += bytes;
+    pool.free_trees.push_back(std::move(tree));
+  }
+  State::Return(std::move(state_));
+}
+
+size_t ConnectBatch::trees_built() const { return state_->trees.size(); }
+
+ConnectBatch::TerminalTree& ConnectBatch::TreeFor(uint32_t terminal) {
+  auto [it, inserted] = state_->trees.try_emplace(terminal);
+  if (!inserted) return *it->second;
+
+  State::Pool& pool = State::ThreadPool();
+  if (!pool.free_trees.empty()) {
+    it->second = std::move(pool.free_trees.back());
+    pool.free_trees.pop_back();
+    pool.free_bytes -= State::TreeBytes(*it->second);
+  } else {
+    it->second = std::make_unique<TerminalTree>();
+  }
+  TerminalTree& tree = *it->second;
+  if (tree.recs.size() < graph_->refs_.size()) {
+    tree.recs.resize(graph_->refs_.size());  // fresh records carry stamp 0
+  }
+  tree.epoch = ++pool.next_epoch;
+  tree.root = terminal;
+  tree.radius = 0;
+  tree.exhausted = false;
+  tree.order.clear();
+  tree.order.push_back(terminal);
+  tree.ring_offsets.clear();
+  tree.ring_offsets.push_back(0);
+  tree.ring_offsets.push_back(1);
+  TerminalTree::Rec& rec = tree.recs[terminal];
+  rec.stamp = tree.epoch;
+  rec.parent = terminal;
+  rec.label = 0;
+  rec.dist = 0;
+  rec.parent_forward = 0;
+  return tree;
+}
+
+void ConnectBatch::ExpandRing(TerminalTree* tree) {
+  const size_t begin = tree->ring_offsets[tree->radius];
+  const size_t end = tree->ring_offsets[tree->radius + 1];
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t v = tree->order[i];
+    const uint32_t next_dist = static_cast<uint32_t>(tree->radius) + 1;
+    for (const AGraph::Edge& e : graph_->out_[v]) {
+      if (has_filter_ && !state_->allowed.Test(e.label)) continue;
+      TerminalTree::Rec& rec = tree->recs[e.other];
+      if (rec.stamp == tree->epoch) continue;
+      rec.stamp = tree->epoch;
+      rec.parent = v;
+      rec.label = e.label;
+      rec.dist = next_dist;
+      rec.parent_forward = 1;  // stored v -> other
+      tree->order.push_back(e.other);
+    }
+    for (const AGraph::Edge& e : graph_->in_[v]) {
+      if (has_filter_ && !state_->allowed.Test(e.label)) continue;
+      TerminalTree::Rec& rec = tree->recs[e.other];
+      if (rec.stamp == tree->epoch) continue;
+      rec.stamp = tree->epoch;
+      rec.parent = v;
+      rec.label = e.label;
+      rec.dist = next_dist;
+      rec.parent_forward = 0;  // stored other -> v
+      tree->order.push_back(e.other);
+    }
+  }
+  tree->ring_offsets.push_back(tree->order.size());
+  ++tree->radius;
+  if (tree->ring_offsets[tree->radius] == tree->ring_offsets[tree->radius + 1]) {
+    tree->exhausted = true;
+  }
+}
+
+util::Result<SubGraph> ConnectBatch::Connect(const std::vector<NodeRef>& terminals) {
   if (terminals.empty()) {
     return util::Status::InvalidArgument("connect() requires at least one terminal");
   }
-  ConnectBuffers& buf = Buffers();
-  std::vector<uint32_t>& term_idx = buf.term_idx;
-  term_idx.clear();
-  for (const NodeRef& t : terminals) {
-    GRAPHITTI_ASSIGN_OR_RETURN(uint32_t idx, DenseIndex(t));
-    term_idx.push_back(idx);
-  }
-  std::sort(term_idx.begin(), term_idx.end());
-  term_idx.erase(std::unique(term_idx.begin(), term_idx.end()), term_idx.end());
-
-  util::TraversalScratch& s = Scratch();
-  bool has_filter = false;
-  if (!BuildAllowedBitset(options.allowed_labels, &s, &has_filter)) {
+  if (filter_unsatisfiable_) {
     return util::Status::NotFound("no edges carry any of the allowed labels");
   }
+  const AGraph& g = *graph_;
+  State& st = *state_;
+  st.term_idx.clear();
+  for (const NodeRef& t : terminals) {
+    GRAPHITTI_ASSIGN_OR_RETURN(uint32_t idx, g.DenseIndex(t));
+    st.term_idx.push_back(idx);
+  }
+  std::sort(st.term_idx.begin(), st.term_idx.end());
+  st.term_idx.erase(std::unique(st.term_idx.begin(), st.term_idx.end()),
+                    st.term_idx.end());
 
-  // Component membership lives in set_a for the whole call; the BFS sides
-  // re-Prepare per wave (disjoint scratch members, see dense_set.h).
-  s.set_a.Begin(refs_.size());
-  std::vector<uint32_t>& component = buf.component;
-  component.clear();
-  component.push_back(term_idx[0]);
-  s.set_a.Insert(term_idx[0]);
-  std::vector<uint32_t>& missing = buf.missing;
-  missing.assign(term_idx.begin() + 1, term_idx.end());
+  // Component membership lives in set_a for the whole row (the trees keep
+  // their own epoch-stamped records, so no scratch member is nested).
+  util::TraversalScratch& s = AGraph::Scratch();
+  s.set_a.Begin(g.refs_.size());
+  st.component.clear();
+  st.component.push_back(st.term_idx[0]);
+  s.set_a.Insert(st.term_idx[0]);
+  st.missing.assign(st.term_idx.begin() + 1, st.term_idx.end());  // ascending
 
-  std::vector<TreeEdge>& tree = buf.tree;
-  tree.clear();
+  std::vector<TreeEdge>& tree_edges = st.tree_edges;
+  tree_edges.clear();
   auto add_tree_edge = [&](uint32_t from, uint32_t to, uint32_t label) {
     uint32_t a = std::min(from, to);
     uint32_t b = std::max(from, to);
-    for (const TreeEdge& e : tree) {
+    for (const TreeEdge& e : tree_edges) {
       if (e.a == a && e.b == b && e.label == label) return;
     }
-    tree.push_back({a, b, label, from, to});
+    tree_edges.push_back({a, b, label, from, to});
   };
   auto add_component_node = [&](uint32_t n) {
-    if (s.set_a.Insert(n)) component.push_back(n);
+    if (s.set_a.Insert(n)) st.component.push_back(n);
   };
 
-  while (!missing.empty()) {
-    s.fwd.Prepare(refs_.size());
-    s.bwd.Prepare(refs_.size());
-    for (uint32_t c : component) s.fwd.Seed(c);
-    for (uint32_t t : missing) s.bwd.Seed(t);
+  // Canonical meet between the trees of two terminals, memoized per batch
+  // — this is where rows sharing terminals stop paying for each other.
+  // Both trees expand level-synchronized; after completing level L every
+  // meet node x with max(dist_a(x), dist_b(x)) <= L has been scored, so
+  // the midpoint of a shortest a..b connection of length D is scored by
+  // level ceil(D/2) and the first level that scores a valid pair proves
+  // the minimum — each tree stops at roughly half the pair distance.
+  // Minimal meets deeper than that (e.g. dist 1+3 for D=4) exist but are
+  // never scanned; the canonical winner is the min dense index among
+  // minimal meets with max-depth <= ceil(D/2), a set defined by the two
+  // distance functions alone — a pure function of the graph, never of how
+  // deep earlier rows happened to expand either tree. Keep the scan and
+  // this definition in lockstep: scoring deeper meets (or skipping the
+  // rec.dist > level cap below) silently breaks batch-vs-per-row identity.
+  auto pair_meet = [&](uint32_t t1, uint32_t t2) -> State::PairMeet {
+    const uint64_t key =
+        (static_cast<uint64_t>(std::min(t1, t2)) << 32) | std::max(t1, t2);
+    auto memo = st.pair_meets.find(key);
+    if (memo != st.pair_meets.end()) return memo->second;
+    TerminalTree& a = TreeFor(t1);
+    TerminalTree& b = TreeFor(t2);  // map values are stable unique_ptrs
+    State::PairMeet best;
+    auto scan_ring = [&](const TerminalTree& ring_tree, const TerminalTree& ball_tree,
+                         size_t level) {
+      if (ring_tree.radius < level) return;
+      for (size_t i = ring_tree.ring_offsets[level];
+           i < ring_tree.ring_offsets[level + 1]; ++i) {
+        const uint32_t x = ring_tree.order[i];
+        const TerminalTree::Rec& rec = ball_tree.recs[x];
+        // Records deeper than the synchronized level never contribute:
+        // they re-register at their own level via the other scan.
+        if (rec.stamp != ball_tree.epoch || rec.dist > level) continue;
+        const size_t d = level + rec.dist;
+        if (d > options_.max_hops) continue;
+        if (d < best.dist || (d == best.dist && x < best.meet)) {
+          best.dist = d;
+          best.meet = x;
+        }
+      }
+    };
+    for (size_t level = 0; level <= options_.max_hops; ++level) {
+      while (a.radius < level && !a.exhausted) ExpandRing(&a);
+      while (b.radius < level && !b.exhausted) ExpandRing(&b);
+      scan_ring(a, b, level);
+      scan_ring(b, a, level);
+      if (best.meet != kNone) break;  // first scored level proves the minimum
+      const bool a_alive = !a.exhausted || a.radius > level;
+      const bool b_alive = !b.exhausted || b.radius > level;
+      if (!a_alive && !b_alive) break;
+    }
+    st.pair_meets.emplace(key, best);
+    return best;
+  };
 
-    size_t length = 0;
-    uint32_t meet = BidirectionalSearch(&s, /*directed=*/false, options.max_hops,
-                                        has_filter, &length);
-    if (meet == kNoIndex) {
+  st.connected.clear();
+  st.connected.push_back(st.term_idx[0]);
+  while (!st.missing.empty()) {
+    // Distance-network Prim step: attach the missing terminal with the
+    // cheapest connection to any absorbed terminal. The winner ties-break
+    // on (distance, missing terminal, absorbed terminal, meet node) — all
+    // dense indexes, so the choice is deterministic and row-order-free.
+    size_t best_d = SIZE_MAX;
+    uint32_t best_t = kNone;
+    uint32_t best_from = kNone;
+    uint32_t best_x = kNone;
+    for (uint32_t t : st.missing) {
+      for (uint32_t c : st.connected) {
+        State::PairMeet pm = pair_meet(c, t);
+        if (pm.dist == SIZE_MAX) continue;
+        if (std::make_tuple(pm.dist, t, c, pm.meet) <
+            std::make_tuple(best_d, best_t, best_from, best_x)) {
+          best_d = pm.dist;
+          best_t = t;
+          best_from = c;
+          best_x = pm.meet;
+        }
+      }
+    }
+    if (best_t == kNone) {
       return util::Status::NotFound(
           "terminals are not in one connected component (unreached: " +
-          refs_[missing.front()].ToString() + ")");
+          g.refs_[st.missing.front()].ToString() + ")");
     }
 
-    // Merge meet..component (forward parents; parent_forward means the edge
-    // is stored parent -> node).
-    uint32_t cur = meet;
-    while (!s.set_a.Contains(cur)) {
-      uint32_t par = s.fwd.nodes[cur].parent;
-      if (s.fwd.nodes[cur].parent_forward) {
-        add_tree_edge(par, cur, s.fwd.nodes[cur].parent_label);
-      } else {
-        add_tree_edge(cur, par, s.fwd.nodes[cur].parent_label);
-      }
+    // Merge meet..absorbed-terminal and meet..attached-terminal along the
+    // two trees' parent chains (both lead rootward, away from the meet).
+    auto merge_path = [&](uint32_t root) {
+      const TerminalTree& tree = *st.trees.find(root)->second;
+      uint32_t cur = best_x;
       add_component_node(cur);
-      cur = par;
-    }
-    // Merge meet..terminal (backward parents lead to the reached terminal;
-    // parent_forward means the edge is stored node -> parent).
-    cur = meet;
-    while (s.bwd.nodes[cur].parent != cur) {
-      uint32_t nxt = s.bwd.nodes[cur].parent;
-      if (s.bwd.nodes[cur].parent_forward) {
-        add_tree_edge(cur, nxt, s.bwd.nodes[cur].parent_label);
-      } else {
-        add_tree_edge(nxt, cur, s.bwd.nodes[cur].parent_label);
+      while (cur != root) {
+        const TerminalTree::Rec& rec = tree.recs[cur];
+        if (rec.parent_forward) {
+          add_tree_edge(rec.parent, cur, rec.label);
+        } else {
+          add_tree_edge(cur, rec.parent, rec.label);
+        }
+        add_component_node(rec.parent);
+        cur = rec.parent;
       }
-      add_component_node(nxt);
-      cur = nxt;
-    }
-    uint32_t reached = cur;
-    add_component_node(reached);
-    missing.erase(std::remove(missing.begin(), missing.end(), reached), missing.end());
+    };
+    merge_path(best_from);
+    merge_path(best_t);
+    st.connected.push_back(best_t);
+    st.missing.erase(std::remove(st.missing.begin(), st.missing.end(), best_t),
+                     st.missing.end());
   }
 
   // Prune: repeatedly drop non-terminal nodes of tree-degree <= 1. Degrees
@@ -144,25 +378,25 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
   // 1-degree closure is confluent, so live recounting reaches the same
   // fixpoint as a per-round snapshot.
   util::EpochVisitSet& terminal_set = s.set_b;
-  terminal_set.Begin(refs_.size());
-  for (uint32_t t : term_idx) terminal_set.Insert(t);
+  terminal_set.Begin(g.refs_.size());
+  for (uint32_t t : st.term_idx) terminal_set.Insert(t);
   auto tree_degree = [&](uint32_t node) {
     size_t d = 0;
-    for (const TreeEdge& e : tree) d += (e.a == node) + (e.b == node);
+    for (const TreeEdge& e : tree_edges) d += (e.a == node) + (e.b == node);
     return d;
   };
   bool changed = true;
   while (changed) {
     changed = false;
-    for (auto it = component.begin(); it != component.end();) {
+    for (auto it = st.component.begin(); it != st.component.end();) {
       uint32_t node = *it;
       if (!terminal_set.Contains(node) && tree_degree(node) <= 1) {
-        tree.erase(std::remove_if(tree.begin(), tree.end(),
-                                  [&](const TreeEdge& e) {
-                                    return e.a == node || e.b == node;
-                                  }),
-                   tree.end());
-        it = component.erase(it);
+        tree_edges.erase(std::remove_if(tree_edges.begin(), tree_edges.end(),
+                                        [&](const TreeEdge& e) {
+                                          return e.a == node || e.b == node;
+                                        }),
+                         tree_edges.end());
+        it = st.component.erase(it);
         changed = true;
       } else {
         ++it;
@@ -171,17 +405,24 @@ util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
   }
 
   SubGraph sg;
-  sg.nodes.reserve(component.size());
-  for (uint32_t n : component) sg.nodes.push_back(refs_[n]);
+  sg.nodes.reserve(st.component.size());
+  for (uint32_t n : st.component) sg.nodes.push_back(g.refs_[n]);
   std::sort(sg.nodes.begin(), sg.nodes.end());
-  std::sort(tree.begin(), tree.end(), [](const TreeEdge& x, const TreeEdge& y) {
-    return std::tie(x.a, x.b, x.label) < std::tie(y.a, y.b, y.label);
-  });
-  sg.edges.reserve(tree.size());
-  for (const TreeEdge& e : tree) {
-    sg.edges.push_back({refs_[e.from], refs_[e.to], labels_[e.label]});
+  std::sort(tree_edges.begin(), tree_edges.end(),
+            [](const TreeEdge& x, const TreeEdge& y) {
+              return std::tie(x.a, x.b, x.label) < std::tie(y.a, y.b, y.label);
+            });
+  sg.edges.reserve(tree_edges.size());
+  for (const TreeEdge& e : tree_edges) {
+    sg.edges.push_back({g.refs_[e.from], g.refs_[e.to], g.labels_[e.label]});
   }
   return sg;
+}
+
+util::Result<SubGraph> AGraph::Connect(const std::vector<NodeRef>& terminals,
+                                       const ConnectOptions& options) const {
+  ConnectBatch batch(*this, options);
+  return batch.Connect(terminals);
 }
 
 }  // namespace agraph

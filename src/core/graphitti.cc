@@ -273,16 +273,24 @@ util::Result<query::QueryResult> Graphitti::Query(std::string_view query_text) c
   return Query(query_text, query::ExecutorOptions{});
 }
 
-util::Result<query::QueryResult> Graphitti::Query(
-    std::string_view query_text, const query::ExecutorOptions& options) const {
+query::QueryContext Graphitti::MakeQueryContext() const {
   query::QueryContext ctx;
   ctx.store = store_.get();
   ctx.indexes = &indexes_;
   ctx.graph = &graph_;
   ctx.objects = this;
   ctx.ontologies = this;
-  query::Executor executor(ctx, options);
+  return ctx;
+}
+
+util::Result<query::QueryResult> Graphitti::Query(
+    std::string_view query_text, const query::ExecutorOptions& options) const {
+  query::Executor executor(MakeQueryContext(), options);
   return executor.ExecuteText(query_text);
+}
+
+util::Status Graphitti::MaterializePage(query::QueryResult* result, size_t page) const {
+  return query::Executor(MakeQueryContext()).MaterializePage(result, page);
 }
 
 CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {

@@ -134,6 +134,15 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   util::Result<query::QueryResult> Query(std::string_view query_text,
                                          const query::ExecutorOptions& options) const;
 
+  /// Flips `result` (produced by Query) to `page` and lazily materializes
+  /// that page's connection subgraphs (GRAPH targets build subgraphs only
+  /// for pages actually viewed; see query::Executor::MaterializePage).
+  /// Subgraphs are built against the engine's *current* state: flip all
+  /// pages you need before mutating (Commit/RemoveAnnotation/...), or a
+  /// later page may disagree with what the query saw — a row whose
+  /// terminal was since removed materializes as "subgraph(disconnected)".
+  util::Status MaterializePage(query::QueryResult* result, size_t page) const;
+
   /// The correlated-data viewer: related annotations/objects/terms around a
   /// node ("what other annotations have been made on this sequence").
   CorrelatedData Correlated(agraph::NodeRef node) const;
@@ -175,6 +184,9 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
  private:
   uint64_t RegisterObject(std::string_view table, relational::RowId row,
                           std::string label);
+
+  /// Borrowed-view context wiring shared by Query / MaterializePage.
+  query::QueryContext MakeQueryContext() const;
 
   relational::Catalog catalog_;
   spatial::IndexManager indexes_;

@@ -50,9 +50,12 @@ class BindingTable {
   /// Rows appended to the open column so far.
   size_t OpenRows() const { return cols_.back().values.size(); }
 
-  /// Closes the open column, folding its size into peak_rows().
+  /// Closes the open column, folding its size into peak_rows() and the
+  /// table's byte footprint into peak_bytes().
   void EndColumn() {
     if (cols_.back().values.size() > peak_rows_) peak_rows_ = cols_.back().values.size();
+    size_t bytes = ByteSize();
+    if (bytes > peak_bytes_) peak_bytes_ = bytes;
   }
 
   /// Reads the bindings of parent row `row` — a row of the column preceding
@@ -69,6 +72,10 @@ class BindingTable {
 
   /// Largest single-column row count seen (the table's peak width).
   size_t peak_rows() const { return peak_rows_; }
+
+  /// Running maximum of ByteSize() across closed columns — the true peak,
+  /// which keeps holding even if columns are later dropped or shrunk.
+  size_t peak_bytes() const { return peak_bytes_; }
 
   /// Total bytes held by all columns (values + parent links).
   size_t ByteSize() const {
@@ -99,6 +106,7 @@ class BindingTable {
 
   std::vector<Column> cols_;
   size_t peak_rows_ = 0;
+  size_t peak_bytes_ = 0;
 };
 
 }  // namespace query

@@ -814,7 +814,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     if (table.NumRows() == 0) break;
   }
   stats.peak_rows = table.peak_rows();
-  stats.peak_bytes = table.ByteSize();
+  stats.peak_bytes = table.peak_bytes();
 
   // ------------------------------------------------------------------
   // 6. Collate results per target.
@@ -927,14 +927,20 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       break;
     }
     case Target::kGraph: {
-      // One connection subgraph per distinct binding row ("each connected
-      // subgraph forms a result page", §III). Distinctness of the sorted
-      // terminal set is tracked by a splitmix64-combined row hash instead
-      // of an ordered set of row vectors — O(row) hashing, no per-row
-      // allocation or lexicographic tree compares. A 64-bit collision
-      // would drop one subgraph; at the max_intermediate_rows default
-      // (2^20 rows) the odds are ~2^-25 per query, accepted for the
-      // collation speed.
+      // One row handle per distinct binding row ("each connected subgraph
+      // forms a result page", §III). Distinctness of the sorted terminal
+      // set is tracked by a splitmix64-combined row hash instead of an
+      // ordered set of row vectors — O(row) hashing, no per-row allocation
+      // or lexicographic tree compares. A 64-bit collision would drop one
+      // subgraph; at the max_intermediate_rows default (2^20 rows) the
+      // odds are ~2^-25 per query, accepted for the collation speed.
+      //
+      // The subgraphs themselves are NOT built here: collation stores the
+      // terminal sets only, and MaterializePage runs the (batched) Steiner
+      // heuristic for just the rows of the requested page. Connectivity is
+      // therefore also decided lazily — a row whose terminals do not share
+      // a component keeps its handle and materializes to an empty,
+      // "(disconnected)"-labelled subgraph.
       std::unordered_set<uint64_t> seen;
       std::vector<NodeRef> terminals;
       for (size_t row = 0; row < final_rows; ++row) {
@@ -945,11 +951,9 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         uint64_t h = util::Mix64(0x51ab7c1ed15ull ^ terminals.size());
         for (NodeRef t : terminals) h = util::Mix64(h ^ NodeRefHash{}(t));
         if (!seen.insert(h).second) continue;
-        auto sg = graph.Connect(terminals);
-        if (!sg.ok()) continue;  // disconnected rows yield no subgraph
         ResultItem item;
-        item.subgraph = std::move(sg).ValueUnsafe();
-        item.label = "subgraph(" + std::to_string(item.subgraph.nodes.size()) + " nodes)";
+        item.label = "row(" + std::to_string(terminals.size()) + " terminals)";
+        item.terminals = std::move(terminals);  // reassigned from row_buf next row
         result.items.push_back(std::move(item));
       }
       break;
@@ -959,7 +963,9 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   stats.items_produced = result.items.size();
 
   // ------------------------------------------------------------------
-  // 7. Paging.
+  // 7. Paging: slice the requested page and materialize it (for GRAPH
+  //    targets this is where — and the only place where — connection
+  //    subgraphs get built).
   // ------------------------------------------------------------------
   size_t page_size = query.limit;
   if (page_size == SIZE_MAX) {
@@ -967,14 +973,55 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   }
   if (page_size == 0) page_size = 1;
   result.page_size = page_size;
-  result.total_pages =
-      result.items.empty() ? 1 : (result.items.size() + page_size - 1) / page_size;
-  result.page = std::min(query.page, result.total_pages);
-  size_t begin = (result.page - 1) * page_size;
-  size_t end = std::min(result.items.size(), begin + page_size);
-  result.page_items.reserve(end - begin);
-  for (size_t i = begin; i < end; ++i) result.page_items.push_back(result.items[i]);
+  result.total_pages = (result.items.size() + page_size - 1) / page_size;
+  GRAPHITTI_RETURN_NOT_OK(MaterializePage(&result, query.page));
   return result;
+}
+
+util::Status Executor::MaterializePage(QueryResult* result, size_t page) const {
+  if (result->page_size == 0) {
+    return Status::InvalidArgument("result has no page size (not produced by Execute?)");
+  }
+  if (result->items.empty()) {
+    // Empty results have no pages: total_pages == 0, page 0, empty slice.
+    result->page = 0;
+    result->page_first = 0;
+    result->page_count = 0;
+    return Status::OK();
+  }
+  // Clamp into [1, total_pages]: a programmatically built Query may carry
+  // page == 0 (the parser rejects it, the Context API cannot), which would
+  // otherwise underflow the slice arithmetic below.
+  if (page == 0) page = 1;
+  result->page = std::min(page, result->total_pages);
+  size_t begin = (result->page - 1) * result->page_size;
+  size_t end = std::min(result->items.size(), begin + result->page_size);
+  result->page_first = begin;
+  result->page_count = end - begin;
+  if (result->target != Target::kGraph) return Status::OK();
+
+  if (ctx_.graph == nullptr) {
+    return Status::InvalidArgument("QueryContext must provide a graph");
+  }
+  // One batched connect per materialization: every distinct terminal on
+  // the page grows its BFS shortest-path tree once, shared by all of the
+  // page's rows.
+  agraph::ConnectBatch batch(*ctx_.graph);
+  for (size_t i = begin; i < end; ++i) {
+    ResultItem& item = result->items[i];
+    if (item.subgraph_ready) continue;
+    auto sg = batch.Connect(item.terminals);
+    item.subgraph_ready = true;
+    if (sg.ok()) {
+      item.subgraph = std::move(sg).ValueUnsafe();
+      item.label = "subgraph(" + std::to_string(item.subgraph.nodes.size()) + " nodes)";
+    } else {
+      item.label = "subgraph(disconnected)";
+    }
+    ++result->stats.subgraphs_materialized;
+  }
+  result->stats.connect_trees_built += batch.trees_built();
+  return Status::OK();
 }
 
 Result<std::string> Executor::Explain(const Query& query) const {
@@ -994,6 +1041,12 @@ Result<std::string> Executor::Explain(const Query& query) const {
   out += "items produced: " + std::to_string(result.stats.items_produced) + "\n";
   out += "pages: " + std::to_string(result.total_pages) +
          " (page size " + std::to_string(result.page_size) + ")\n";
+  if (query.target == Target::kGraph) {
+    out += "subgraphs materialized: " +
+           std::to_string(result.stats.subgraphs_materialized) + " (page " +
+           std::to_string(result.page) + " only; connect trees built: " +
+           std::to_string(result.stats.connect_trees_built) + ")\n";
+  }
   return out;
 }
 

@@ -34,8 +34,20 @@ class Executor {
   /// Parses and executes `query_text`.
   util::Result<QueryResult> ExecuteText(std::string_view query_text) const;
 
-  /// Executes a parsed query.
+  /// Executes a parsed query. The requested page is materialized before
+  /// returning (GRAPH subgraphs are built for that page only); flip to
+  /// another page with MaterializePage.
   util::Result<QueryResult> Execute(const Query& query) const;
+
+  /// Repositions `result` on `page` (1-based; 0 is clamped to 1, overflow
+  /// clamps to the last page; an empty result has no pages and stays on
+  /// page 0) and, for GRAPH targets, materializes the page's connection
+  /// subgraphs from their terminal row handles through one batched connect
+  /// — per-terminal BFS trees are shared across the page's rows. Already
+  /// materialized items are never rebuilt, so flipping pages is idempotent
+  /// and page N's subgraphs are identical whether or not other pages were
+  /// materialized first.
+  util::Status MaterializePage(QueryResult* result, size_t page) const;
 
   /// Executes the query and renders its plan — the typed subqueries, the
   /// feasible order chosen, per-variable candidate counts and join sizes —

@@ -1,5 +1,13 @@
 // Query results: heterogeneous substructure collections, XML fragments, or
 // connection subgraphs — organized in pages (§II/III).
+//
+// GRAPH targets are paged lazily: `items` holds one lightweight row handle
+// (the row's sorted distinct terminal nodes) per distinct binding row, and
+// the connection subgraphs themselves are only materialized — via
+// Executor::MaterializePage, batched through agraph::ConnectBatch — for the
+// rows of the requested page. The paper's §III presents connection
+// subgraphs as the paged presentation layer over binding rows; building
+// 100k Steiner subgraphs to show page 1 of 100k rows violated exactly that.
 #ifndef GRAPHITTI_QUERY_RESULT_H_
 #define GRAPHITTI_QUERY_RESULT_H_
 
@@ -23,8 +31,14 @@ struct ResultItem {
   substructure::Substructure substructure;
   // kFragments
   std::string fragment;
-  // kGraph: a type-extended connection subgraph
+  // kGraph: the row handle — sorted distinct terminal nodes of the binding
+  // row. Always populated at collation time; cheap to carry per row.
+  std::vector<agraph::NodeRef> terminals;
+  // kGraph: the row's type-extended connection subgraph. Empty until the
+  // item's page is materialized (subgraph_ready distinguishes "not yet
+  // materialized" from "materialized but disconnected").
   agraph::SubGraph subgraph;
+  bool subgraph_ready = false;
   // kCount
   size_t count = 0;
   /// Display label (annotation title, substructure description, ...).
@@ -44,22 +58,46 @@ struct ExecutionStats {
   size_t items_produced = 0;
   /// Largest single join level (columnar binding-table width peak).
   size_t peak_rows = 0;
-  /// Bytes held by the columnar binding table at the end of the join
-  /// (values + parent links across all columns — the table keeps every
-  /// level because rows share prefixes through parent links).
+  /// Running maximum of the bytes held by the columnar binding table
+  /// across join levels (values + parent links across all columns).
   size_t peak_bytes = 0;
+  /// Connection subgraphs materialized so far — grows with each
+  /// MaterializePage call, and stays proportional to the pages actually
+  /// viewed, not to the result size.
+  size_t subgraphs_materialized = 0;
+  /// Per-terminal BFS trees built by batched connects across all
+  /// MaterializePage calls.
+  size_t connect_trees_built = 0;
 };
 
 struct QueryResult {
   Target target = Target::kContents;
-  /// All items, pre-paging.
+  /// All items, pre-paging. For kGraph these are row handles; see
+  /// ResultItem::terminals / subgraph_ready.
   std::vector<ResultItem> items;
-  /// The requested page (1-based) sliced from `items`.
-  std::vector<ResultItem> page_items;
-  size_t page = 1;
+  /// Current page, 1-based; 0 when the result is empty (no pages exist).
+  size_t page = 0;
   size_t page_size = 0;
-  size_t total_pages = 1;
+  /// Number of pages; 0 when `items` is empty.
+  size_t total_pages = 0;
+  /// The current page as an index range over `items` (replaces the old
+  /// `page_items` deep copy; see Page()).
+  size_t page_first = 0;
+  size_t page_count = 0;
   ExecutionStats stats;
+
+  /// Borrowed, iterable view of the current page's slice of `items`.
+  /// Invalidated by anything that mutates `items`.
+  struct PageView {
+    const ResultItem* first = nullptr;
+    size_t count = 0;
+    const ResultItem* begin() const { return first; }
+    const ResultItem* end() const { return first + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const ResultItem& operator[](size_t i) const { return first[i]; }
+  };
+  PageView Page() const { return {items.data() + page_first, page_count}; }
 };
 
 }  // namespace query

@@ -1,0 +1,161 @@
+// Differential tests for ConnectBatch: batched connect over shared
+// per-terminal BFS trees must be edge-set-identical to per-row
+// AGraph::Connect, regardless of how rows share terminals or in which
+// order they are connected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "agraph/agraph.h"
+#include "util/random.h"
+
+namespace graphitti {
+namespace agraph {
+namespace {
+
+using util::Rng;
+
+// Random annotation-shaped graph: a connected backbone plus chords, two
+// edge labels.
+AGraph RandomGraph(uint64_t seed, uint64_t n, int chords) {
+  Rng rng(seed);
+  AGraph g;
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddNode(NodeRef::Content(i)).ok());
+  }
+  for (uint64_t i = 1; i < n; ++i) {
+    uint64_t parent = rng.Next64() % i;
+    EXPECT_TRUE(g.AddEdge(NodeRef::Content(parent), NodeRef::Content(i), "annotates").ok());
+  }
+  for (int extra = 0; extra < chords; ++extra) {
+    uint64_t a = rng.Next64() % n;
+    uint64_t b = rng.Next64() % n;
+    if (a == b) continue;
+    const char* label = (extra % 3 == 0) ? "refers-to" : "annotates";
+    EXPECT_TRUE(g.AddEdge(NodeRef::Content(a), NodeRef::Content(b), label).ok());
+  }
+  return g;
+}
+
+// Rows drawn from a small terminal pool, so terminals repeat across rows
+// (the executor's GRAPH collation shape).
+std::vector<std::vector<NodeRef>> RandomRows(Rng* rng, uint64_t n, size_t num_rows,
+                                             size_t pool_size) {
+  std::vector<NodeRef> pool;
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(NodeRef::Content(rng->Next64() % n));
+  }
+  std::vector<std::vector<NodeRef>> rows(num_rows);
+  for (auto& row : rows) {
+    size_t k = 2 + static_cast<size_t>(rng->Uniform(0, 3));
+    for (size_t i = 0; i < k; ++i) {
+      row.push_back(pool[static_cast<size_t>(rng->Next64()) % pool.size()]);
+    }
+  }
+  return rows;
+}
+
+void ExpectIdentical(const SubGraph& batched, const SubGraph& per_row, size_t row) {
+  EXPECT_EQ(batched.nodes, per_row.nodes) << "node set differs on row " << row;
+  ASSERT_EQ(batched.edges.size(), per_row.edges.size()) << "edge count differs on row " << row;
+  for (size_t e = 0; e < batched.edges.size(); ++e) {
+    EXPECT_EQ(batched.edges[e], per_row.edges[e]) << "edge " << e << " differs on row " << row;
+  }
+}
+
+class ConnectBatchDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConnectBatchDifferentialTest, MatchesPerRowConnectOnRandomGraphs) {
+  Rng rng(GetParam());
+  AGraph g = RandomGraph(GetParam(), 120, 80);
+  auto rows = RandomRows(&rng, 120, 40, 12);
+
+  ConnectBatch batch(g);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto batched = batch.Connect(rows[i]);
+    auto per_row = g.Connect(rows[i]);
+    ASSERT_EQ(batched.ok(), per_row.ok()) << "status differs on row " << i;
+    if (!batched.ok()) continue;
+    ExpectIdentical(*batched, *per_row, i);
+  }
+  // At most one tree per distinct terminal across all rows (a row's first
+  // terminal seeds the component, so it may never need a tree) — far fewer
+  // than the per-row heuristic's one search per row per terminal.
+  std::vector<NodeRef> distinct;
+  size_t terminal_instances = 0;
+  for (const auto& row : rows) {
+    for (NodeRef t : row) distinct.push_back(t);
+    terminal_instances += row.size();
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  EXPECT_GT(batch.trees_built(), 0u);
+  EXPECT_LE(batch.trees_built(), distinct.size());
+  EXPECT_LT(batch.trees_built(), terminal_instances);
+}
+
+TEST_P(ConnectBatchDifferentialTest, MatchesUnderLabelFilterAndHopBudget) {
+  Rng rng(GetParam() ^ 0xabcdefull);
+  AGraph g = RandomGraph(GetParam() + 1, 100, 90);
+  auto rows = RandomRows(&rng, 100, 25, 10);
+
+  ConnectOptions options;
+  options.allowed_labels = {"annotates"};
+  options.max_hops = 4;
+  ConnectBatch batch(g, options);
+  size_t connected = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto batched = batch.Connect(rows[i]);
+    auto per_row = g.Connect(rows[i], options);
+    ASSERT_EQ(batched.ok(), per_row.ok()) << "status differs on row " << i;
+    if (!batched.ok()) continue;
+    ++connected;
+    ExpectIdentical(*batched, *per_row, i);
+  }
+  // The hop budget must actually bite on some rows and pass on others for
+  // this differential to mean anything.
+  EXPECT_GT(connected, 0u);
+  EXPECT_LT(connected, rows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConnectBatchDifferentialTest,
+                         ::testing::Values(3, 17, 59, 127, 951));
+
+TEST(ConnectBatchTest, SharedTreesSurviveDisconnectedRows) {
+  AGraph g;
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.AddNode(NodeRef::Content(i)).ok());
+  }
+  ASSERT_TRUE(g.AddEdge(NodeRef::Content(0), NodeRef::Content(1), "e").ok());
+  ASSERT_TRUE(g.AddEdge(NodeRef::Content(1), NodeRef::Content(2), "e").ok());
+  // Content(3) is an island.
+  ConnectBatch batch(g);
+  auto island = batch.Connect({NodeRef::Content(0), NodeRef::Content(3)});
+  EXPECT_TRUE(island.status().IsNotFound());
+  auto ok = batch.Connect({NodeRef::Content(0), NodeRef::Content(2)});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->nodes.size(), 3u);
+  EXPECT_EQ(ok->edges.size(), 2u);
+  // Row-level contract matches Connect: empty rows and unknown terminals.
+  EXPECT_TRUE(batch.Connect({}).status().IsInvalidArgument());
+  EXPECT_TRUE(batch.Connect({NodeRef::Content(0), NodeRef::Content(99)})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ConnectBatchTest, UnsatisfiableLabelFilterRejectsEveryRow) {
+  AGraph g;
+  ASSERT_TRUE(g.AddNode(NodeRef::Content(0)).ok());
+  ASSERT_TRUE(g.AddNode(NodeRef::Content(1)).ok());
+  ASSERT_TRUE(g.AddEdge(NodeRef::Content(0), NodeRef::Content(1), "e").ok());
+  ConnectOptions options;
+  options.allowed_labels = {"no-such-label"};
+  ConnectBatch batch(g, options);
+  EXPECT_TRUE(batch.Connect({NodeRef::Content(0), NodeRef::Content(1)})
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace agraph
+}  // namespace graphitti

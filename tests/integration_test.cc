@@ -223,7 +223,8 @@ TEST(IntegrationTest, FullGeneratedStudyQueries) {
       "?s DOMAIN \"flu:seg1\" } LIMIT 1 PAGE 1");
   ASSERT_TRUE(graph_result.ok()) << graph_result.status().ToString();
   if (!graph_result->items.empty()) {
-    EXPECT_EQ(graph_result->page_items.size(), 1u);
+    EXPECT_EQ(graph_result->Page().size(), 1u);
+    EXPECT_TRUE(graph_result->Page()[0].subgraph_ready);
   }
 
   // Remove a batch of annotations and confirm the stores shrink consistently.

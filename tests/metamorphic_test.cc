@@ -126,7 +126,10 @@ TEST_P(MetamorphicTest, GraphResultsAreValidConnectionSubgraphs) {
       "?a ANNOTATES ?s ; ?s DOMAIN \"" +
       corpus_.segment_domains[1] + "\" } LIMIT 200 PAGE 1");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  for (const auto& item : r->items) {
+  // Subgraphs materialize per page; LIMIT 200 puts every checked row on
+  // page 1 of the view.
+  for (const auto& item : r->Page()) {
+    ASSERT_TRUE(item.subgraph_ready);
     const agraph::SubGraph& sg = item.subgraph;
     ASSERT_FALSE(sg.nodes.empty());
     // Every edge endpoint is a member node.

@@ -163,11 +163,13 @@ TEST_F(ExecutorTest, TheFigure3ProteaseQuery) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   // Exactly one assignment satisfies the ordering: the four protease marks.
   ASSERT_EQ(r->items.size(), 1u);
+  ASSERT_TRUE(r->items[0].subgraph_ready);  // page 1 is materialized eagerly
   const agraph::SubGraph& sg = r->items[0].subgraph;
   EXPECT_GE(sg.nodes.size(), 8u);  // 4 contents + 4 referents
   // Graph target pages one subgraph per page.
-  EXPECT_EQ(r->page_items.size(), 1u);
+  EXPECT_EQ(r->Page().size(), 1u);
   EXPECT_EQ(r->total_pages, 1u);
+  EXPECT_EQ(r->stats.subgraphs_materialized, 1u);
 }
 
 TEST_F(ExecutorTest, ConstraintsPruneViolations) {
@@ -204,15 +206,30 @@ TEST_F(ExecutorTest, PagingSlicesItems) {
   auto r = Run("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" } LIMIT 3 PAGE 1");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->items.size(), 4u);
-  EXPECT_EQ(r->page_items.size(), 3u);
+  EXPECT_EQ(r->Page().size(), 3u);
   EXPECT_EQ(r->total_pages, 2u);
   auto r2 = Run("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" } LIMIT 3 PAGE 2");
   ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(r2->page_items.size(), 1u);
+  EXPECT_EQ(r2->Page().size(), 1u);
+  EXPECT_EQ(r2->Page()[0].content_id, r2->items[3].content_id);
   // Page overflow clamps to the last page.
   auto r3 = Run("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" } LIMIT 3 PAGE 99");
   ASSERT_TRUE(r3.ok());
   EXPECT_EQ(r3->page, 2u);
+}
+
+TEST_F(ExecutorTest, PageZeroFromContextApiClampsToFirstPage) {
+  // The parser guards PAGE >= 1, but a programmatically built Query does
+  // not; page == 0 used to underflow (page - 1) * page_size to SIZE_MAX.
+  auto q = ParseQuery("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" } LIMIT 3 PAGE 1");
+  ASSERT_TRUE(q.ok());
+  q->page = 0;
+  Executor ex(Context());
+  auto r = ex.Execute(*q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->page, 1u);
+  EXPECT_EQ(r->Page().size(), 3u);
+  EXPECT_EQ(r->Page()[0].content_id, r->items[0].content_id);
 }
 
 TEST_F(ExecutorTest, SelectivityOrderBindsSmallSetsFirst) {
@@ -345,8 +362,68 @@ TEST_F(ExecutorTest, EmptyResultIsOkNotError) {
   auto r = Run("FIND CONTENTS WHERE { ?a CONTAINS \"zzz-no-such-keyword\" }");
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->items.empty());
-  EXPECT_TRUE(r->page_items.empty());
-  EXPECT_EQ(r->total_pages, 1u);
+  EXPECT_TRUE(r->Page().empty());
+  // Zero results means zero pages — Explain must not claim a page exists.
+  EXPECT_EQ(r->total_pages, 0u);
+  EXPECT_EQ(r->page, 0u);
+}
+
+TEST_F(ExecutorTest, GraphCollationIsLazyPerPage) {
+  // Pair query: 4 protease annotations x 4 give 16 binding rows, deduped
+  // on the unordered terminal set to 10 distinct rows over 5 pages.
+  const char* q = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s2 IS REFERENT ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } LIMIT 2 PAGE 1)";
+  auto r = Run(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->items.size(), 10u);
+  EXPECT_EQ(r->total_pages, 5u);
+  // Subgraph construction is proportional to the requested page, not the
+  // result size: only page 1's two rows were materialized.
+  EXPECT_EQ(r->stats.subgraphs_materialized, 2u);
+  for (size_t i = 0; i < r->items.size(); ++i) {
+    EXPECT_EQ(r->items[i].subgraph_ready, i < 2) << "item " << i;
+    EXPECT_FALSE(r->items[i].terminals.empty()) << "item " << i;
+    if (i >= 2) EXPECT_TRUE(r->items[i].subgraph.nodes.empty()) << "item " << i;
+  }
+}
+
+TEST_F(ExecutorTest, MaterializePageIsOrderIndependent) {
+  const char* q = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s2 IS REFERENT ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } LIMIT 2 PAGE 1)";
+  Executor ex(Context());
+  // (a) jump straight to page 3; (b) flip through page 2 first.
+  auto direct = ex.ExecuteText(q);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(ex.MaterializePage(&*direct, 3).ok());
+  auto flipped = ex.ExecuteText(q);
+  ASSERT_TRUE(flipped.ok());
+  ASSERT_TRUE(ex.MaterializePage(&*flipped, 2).ok());
+  ASSERT_TRUE(ex.MaterializePage(&*flipped, 3).ok());
+  EXPECT_EQ(direct->page, 3u);
+  EXPECT_EQ(flipped->page, 3u);
+  ASSERT_EQ(direct->Page().size(), flipped->Page().size());
+  for (size_t i = 0; i < direct->Page().size(); ++i) {
+    ASSERT_TRUE(direct->Page()[i].subgraph_ready);
+    ASSERT_TRUE(flipped->Page()[i].subgraph_ready);
+    // Page 3's subgraphs are bit-identical whether or not page 2 was
+    // materialized first, and identical to a per-row Connect on the handle.
+    EXPECT_EQ(direct->Page()[i].subgraph.nodes, flipped->Page()[i].subgraph.nodes);
+    EXPECT_EQ(direct->Page()[i].subgraph.edges, flipped->Page()[i].subgraph.edges);
+    auto per_row = graph_.Connect(direct->Page()[i].terminals);
+    ASSERT_TRUE(per_row.ok());
+    EXPECT_EQ(direct->Page()[i].subgraph.nodes, per_row->nodes);
+    EXPECT_EQ(direct->Page()[i].subgraph.edges, per_row->edges);
+  }
+  // Re-materializing an already-built page is a no-op.
+  size_t built = flipped->stats.subgraphs_materialized;
+  ASSERT_TRUE(ex.MaterializePage(&*flipped, 2).ok());
+  EXPECT_EQ(flipped->stats.subgraphs_materialized, built);
 }
 
 TEST_F(ExecutorTest, SelectivityAndNaiveOrdersAgreeOnResults) {
@@ -385,7 +462,7 @@ TEST_F(ExecutorTest, OrderingsAgreeOnMultiVariableJoins) {
 
   auto subgraph_keys = [](const QueryResult& r) {
     std::vector<std::vector<agraph::NodeRef>> keys;
-    for (const auto& item : r.items) keys.push_back(item.subgraph.nodes);
+    for (const auto& item : r.items) keys.push_back(item.terminals);
     std::sort(keys.begin(), keys.end());
     return keys;
   };
