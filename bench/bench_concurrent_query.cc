@@ -1,0 +1,162 @@
+// Concurrent query throughput: the first multi-core numbers in the BENCH
+// trajectory. Measures fig-3-style read throughput at 1/2/4/8 reader
+// threads against one shared engine, (a) read-only and (b) while one
+// writer thread continuously commits and removes annotations through the
+// engine's reader-writer gate (core::Graphitti serializes mutations on the
+// exclusive side; queries share the read side).
+//
+// The read-only series is the scaling baseline: the per-thread traversal
+// scratch and connect pools make const-graph queries embarrassingly
+// parallel, so throughput should scale near-linearly until memory
+// bandwidth. The with-writer series shows what a sustained annotation
+// stream costs the query tab.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <string>
+
+#include "core/graphitti.h"
+#include "core/workload.h"
+
+namespace {
+
+using graphitti::annotation::AnnotationBuilder;
+using graphitti::core::GenerateInfluenzaStudy;
+using graphitti::core::Graphitti;
+using graphitti::core::InfluenzaParams;
+using graphitti::util::Rng;
+
+// One shared engine for every benchmark in this binary (threads hammer the
+// same instance — that is the point). Magic-static init is thread-safe.
+Graphitti& SharedInstance() {
+  static Graphitti* engine = [] {
+    auto* g = new Graphitti();
+    InfluenzaParams params;
+    params.num_annotations = 2000;
+    params.protease_fraction = 0.15;
+    if (!GenerateInfluenzaStudy(g, params).ok()) std::abort();
+    return g;
+  }();
+  return *engine;
+}
+
+// One reader iteration: a keyword CONTENTS query plus a spatial REFERENTS
+// window — the query-formulation panel's two common conditions.
+size_t RunReaderQueries(Graphitti& g, Rng* rng) {
+  size_t items = 0;
+  auto contents = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" }");
+  if (contents.ok()) items += contents->items.size();
+  int64_t lo = rng->Uniform(0, 1500);
+  auto referents = g.Query(
+      "FIND REFERENTS WHERE { ?s TYPE interval ; ?s DOMAIN \"flu:seg" +
+      std::to_string(rng->Uniform(0, 7)) + "\" ; ?s OVERLAPS [" + std::to_string(lo) +
+      ", " + std::to_string(lo + 300) + "] }");
+  if (referents.ok()) items += referents->items.size();
+  return items;
+}
+
+// One writer iteration: commit an annotation marking two fresh intervals in
+// a writer-private domain, then remove it — both sides of the exclusive
+// gate, with the corpus size held steady.
+void RunWriterCycle(Graphitti& g, uint64_t cycle) {
+  int64_t base = static_cast<int64_t>((cycle % 100000) * 16);
+  AnnotationBuilder b;
+  b.Title("writer-churn " + std::to_string(cycle))
+      .Creator("bench-writer")
+      .Body("transient churn annotation")
+      .MarkInterval("bench:churn", base, base + 5)
+      .MarkInterval("bench:churn", base + 6, base + 11);
+  auto id = g.Commit(b);
+  if (id.ok()) (void)g.RemoveAnnotation(*id);
+}
+
+// Read-only scaling: every thread is a reader.
+void BM_ConcurrentQuery_ReadOnly(benchmark::State& state) {
+  Graphitti& g = SharedInstance();
+  Rng rng(1000 + static_cast<uint64_t>(state.thread_index()));
+  size_t items = 0;
+  for (auto _ : state) {
+    items += RunReaderQueries(g, &rng);
+  }
+  benchmark::DoNotOptimize(items);
+  state.SetItemsProcessed(state.iterations() * 2);  // two queries per iter
+  state.counters["reader_threads"] = static_cast<double>(state.threads());
+}
+BENCHMARK(BM_ConcurrentQuery_ReadOnly)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Readers with one concurrent writer. Every benchmark thread is a reader;
+// a dedicated background std::thread churns commit/remove cycles for the
+// whole measurement window (benchmark threads start together, so the
+// writer covers the readers' timed region), making WithWriter/threads:N
+// directly comparable to ReadOnly/threads:N.
+void BM_ConcurrentQuery_WithWriter(benchmark::State& state) {
+  Graphitti& g = SharedInstance();
+  static std::atomic<int> active_readers{0};
+  static std::atomic<bool> stop_writer{false};
+  static std::unique_ptr<std::thread> writer;
+  // Pre-loop code on every thread finishes before any thread starts
+  // iterating (benchmark threads synchronize on a start barrier at the
+  // top of the state loop), so the reader count and the writer are in
+  // place before the first timed iteration.
+  active_readers.fetch_add(1, std::memory_order_acq_rel);
+  if (state.thread_index() == 0) {
+    stop_writer.store(false, std::memory_order_release);
+    writer = std::make_unique<std::thread>([&g] {
+      uint64_t cycle = uint64_t{1} << 32;
+      while (!stop_writer.load(std::memory_order_acquire)) {
+        RunWriterCycle(g, cycle++);
+      }
+    });
+  }
+  Rng rng(2000 + static_cast<uint64_t>(state.thread_index()));
+  size_t items = 0;
+  for (auto _ : state) {
+    items += RunReaderQueries(g, &rng);
+  }
+  benchmark::DoNotOptimize(items);
+  // The writer must churn until the LAST reader finishes its timed loop,
+  // not just thread 0 — otherwise the tail of the other readers'
+  // measurement would run writer-free and overstate their throughput.
+  active_readers.fetch_sub(1, std::memory_order_acq_rel);
+  if (state.thread_index() == 0) {
+    while (active_readers.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+    stop_writer.store(true, std::memory_order_release);
+    writer->join();
+    writer.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // two queries per iter
+  state.counters["reader_threads"] = static_cast<double>(state.threads());
+}
+BENCHMARK(BM_ConcurrentQuery_WithWriter)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Writer-only baseline: the exclusive side with no reader contention, for
+// reading the with-writer numbers (how much commit/remove throughput the
+// churn thread is even capable of).
+void BM_ConcurrentQuery_WriterOnly(benchmark::State& state) {
+  Graphitti& g = SharedInstance();
+  uint64_t cycle = uint64_t{1} << 48;
+  for (auto _ : state) {
+    RunWriterCycle(g, cycle++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentQuery_WriterOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

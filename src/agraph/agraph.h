@@ -262,7 +262,11 @@ class AGraph {
   //
   // All traversals run on dense indexes over a per-thread epoch-stamped
   // TraversalScratch — no per-call O(V) allocation — and filter labels
-  // through a LabelBitset over interned ids.
+  // through a LabelBitset over interned ids. Because the scratch is
+  // thread_local (as are the ConnectBatch pools below), every const
+  // traversal is safe to run from many threads at once against an
+  // unchanging graph; the engine's reader-writer gate (core::Graphitti)
+  // guarantees the "unchanging" part while readers are in flight.
 
   /// The calling thread's scratch (grows to the largest graph traversed).
   static util::TraversalScratch& Scratch();
@@ -313,9 +317,12 @@ class AGraph {
 /// A batch borrows the graph: the graph must not be mutated while the batch
 /// is alive, and the batch must be created and destroyed on one thread (its
 /// tree storage is recycled through a thread-local pool, which is what makes
-/// one-shot Connect calls allocation-free in steady state). Memory is
-/// O(distinct terminals x num_nodes); callers bound it by batching one
-/// result page at a time.
+/// one-shot Connect calls allocation-free in steady state). Distinct
+/// batches on distinct threads are fully independent — each thread has its
+/// own pool — so concurrent readers may each run their own ConnectBatch
+/// against a gate-protected graph. Memory is O(distinct terminals x
+/// num_nodes) per thread; callers bound it by batching one result page at
+/// a time.
 class ConnectBatch {
  public:
   explicit ConnectBatch(const AGraph& graph, ConnectOptions options = {});

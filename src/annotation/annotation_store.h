@@ -7,6 +7,15 @@
 //      inserted into the shared interval-tree/R-tree indexes,
 //   3. content/referent/term/object nodes and labeled edges are added to
 //      the a-graph.
+//
+// Thread-safety: the store performs no synchronization of its own; the
+// owning core::Graphitti runs Commit/Remove on its gate's exclusive side
+// and everything else on the shared side. The store keeps that split
+// clean by building ALL read-acceleration state eagerly at commit time —
+// keyword postings, the per-annotation lowercase text that phrase search
+// scans (lower_text_), the per-domain referent index — so no const search
+// method ever writes. The one non-const lookup, TermNode (creates the
+// term node on first use), is only called from Commit.
 #ifndef GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
 #define GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
 

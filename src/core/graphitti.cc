@@ -50,6 +50,7 @@ Graphitti::Graphitti() {
 }
 
 util::Status Graphitti::RegisterCoordinateSystem(std::string_view name, int dims) {
+  util::RwGate::ExclusiveLock gate(gate_);
   return indexes_.coordinate_systems().RegisterCanonical(name, dims);
 }
 
@@ -57,11 +58,13 @@ util::Status Graphitti::RegisterDerivedCoordinateSystem(
     std::string_view name, std::string_view canonical,
     const std::array<double, spatial::Rect::kMaxDims>& scale,
     const std::array<double, spatial::Rect::kMaxDims>& offset) {
+  util::RwGate::ExclusiveLock gate(gate_);
   return indexes_.coordinate_systems().RegisterDerived(name, canonical, scale, offset);
 }
 
 util::Result<const ontology::Ontology*> Graphitti::LoadOntology(
     std::string name, std::string_view obo_text) {
+  util::RwGate::ExclusiveLock gate(gate_);
   if (ontologies_.find(name) != ontologies_.end()) {
     return Status::AlreadyExists("ontology '" + name + "' already loaded");
   }
@@ -71,11 +74,13 @@ util::Result<const ontology::Ontology*> Graphitti::LoadOntology(
 }
 
 const ontology::Ontology* Graphitti::GetOntology(std::string_view name) const {
+  util::RwGate::SharedLock gate(gate_);
   auto it = ontologies_.find(name);
   return it == ontologies_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> Graphitti::OntologyNames() const {
+  util::RwGate::SharedLock gate(gate_);
   std::vector<std::string> out;
   for (const auto& [name, _] : ontologies_) out.push_back(name);
   return out;
@@ -99,6 +104,7 @@ util::Result<uint64_t> Graphitti::IngestDnaSequence(std::string accession,
                                                     std::string organism,
                                                     std::string segment,
                                                     std::string residues) {
+  util::RwGate::ExclusiveLock gate(gate_);
   relational::Table* table = catalog_.GetTable(kTableDna);
   int64_t length = static_cast<int64_t>(residues.size());
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -113,6 +119,7 @@ util::Result<uint64_t> Graphitti::IngestRnaSequence(std::string accession,
                                                     std::string organism,
                                                     std::string segment,
                                                     std::string residues) {
+  util::RwGate::ExclusiveLock gate(gate_);
   relational::Table* table = catalog_.GetTable(kTableRna);
   int64_t length = static_cast<int64_t>(residues.size());
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -127,6 +134,7 @@ util::Result<uint64_t> Graphitti::IngestProteinSequence(std::string accession,
                                                         std::string organism,
                                                         std::string protein_name,
                                                         std::string residues) {
+  util::RwGate::ExclusiveLock gate(gate_);
   relational::Table* table = catalog_.GetTable(kTableProtein);
   int64_t length = static_cast<int64_t>(residues.size());
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -142,6 +150,7 @@ util::Result<uint64_t> Graphitti::IngestImage(std::string name,
                                               std::string modality, int64_t width,
                                               int64_t height, int64_t depth,
                                               std::vector<uint8_t> pixels) {
+  util::RwGate::ExclusiveLock gate(gate_);
   if (!indexes_.coordinate_systems().Contains(coordinate_system)) {
     return Status::NotFound("coordinate system '" + coordinate_system +
                             "' not registered; call RegisterCoordinateSystem first");
@@ -156,6 +165,7 @@ util::Result<uint64_t> Graphitti::IngestImage(std::string name,
 }
 
 util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_view newick) {
+  util::RwGate::ExclusiveLock gate(gate_);
   GRAPHITTI_ASSIGN_OR_RETURN(PhyloTree tree, PhyloTree::FromNewick(newick));
   relational::Table* table = catalog_.GetTable(kTablePhyloTree);
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -166,6 +176,7 @@ util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_
 }
 
 util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph& graph) {
+  util::RwGate::ExclusiveLock gate(gate_);
   if (graph.name().empty()) {
     return Status::InvalidArgument("interaction graph needs a name");
   }
@@ -181,6 +192,7 @@ util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph&
 }
 
 util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
+  util::RwGate::ExclusiveLock gate(gate_);
   if (!msa.valid()) {
     return Status::InvalidArgument("MSA rows must be non-empty and share one length");
   }
@@ -199,11 +211,13 @@ util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
 
 util::Result<relational::Table*> Graphitti::CreateTable(std::string name,
                                                         relational::Schema schema) {
+  util::RwGate::ExclusiveLock gate(gate_);
   return catalog_.CreateTable(std::move(name), std::move(schema));
 }
 
 util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relational::Row row,
                                                std::string label) {
+  util::RwGate::ExclusiveLock gate(gate_);
   relational::Table* t = catalog_.GetTable(table);
   if (t == nullptr) {
     return Status::NotFound("table '" + std::string(table) + "' not found");
@@ -216,11 +230,18 @@ util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relationa
 }
 
 const ObjectInfo* Graphitti::GetObject(uint64_t object_id) const {
+  util::RwGate::SharedLock gate(gate_);
   auto it = objects_.find(object_id);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
+size_t Graphitti::num_objects() const {
+  util::RwGate::SharedLock gate(gate_);
+  return objects_.size();
+}
+
 const relational::Row* Graphitti::GetObjectRow(uint64_t object_id) const {
+  util::RwGate::SharedLock gate(gate_);
   const ObjectInfo* info = GetObject(object_id);
   if (info == nullptr) return nullptr;
   const relational::Table* table = catalog_.GetTable(info->table);
@@ -230,6 +251,7 @@ const relational::Row* Graphitti::GetObjectRow(uint64_t object_id) const {
 
 util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
     std::string_view table, const relational::Predicate& filter) const {
+  util::RwGate::SharedLock gate(gate_);
   const relational::Table* t = catalog_.GetTable(table);
   if (t == nullptr) {
     return Status::NotFound("table '" + std::string(table) + "' not found");
@@ -247,15 +269,18 @@ util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
 
 util::Result<annotation::AnnotationId> Graphitti::Commit(
     const annotation::AnnotationBuilder& builder) {
+  util::RwGate::ExclusiveLock gate(gate_);
   return store_->Commit(builder);
 }
 
 util::Status Graphitti::RemoveAnnotation(annotation::AnnotationId id) {
+  util::RwGate::ExclusiveLock gate(gate_);
   return store_->Remove(id);
 }
 
 std::vector<annotation::AnnotationId> Graphitti::AnnotationsOnObject(
     uint64_t object_id) const {
+  util::RwGate::SharedLock gate(gate_);
   std::vector<annotation::AnnotationId> out;
   agraph::NodeRef object_node = agraph::NodeRef::Object(object_id);
   for (const agraph::NodeRef& ref : graph_.Neighbors(object_node)) {
@@ -285,15 +310,22 @@ query::QueryContext Graphitti::MakeQueryContext() const {
 
 util::Result<query::QueryResult> Graphitti::Query(
     std::string_view query_text, const query::ExecutorOptions& options) const {
+  // Shared side for the whole parse + execute + first-page materialization:
+  // the executor sees one commit-consistent engine snapshot. The resolver
+  // callbacks (FindObjects/ExpandTermBelow) re-enter the gate, which is a
+  // per-thread no-op.
+  util::RwGate::SharedLock gate(gate_);
   query::Executor executor(MakeQueryContext(), options);
   return executor.ExecuteText(query_text);
 }
 
 util::Status Graphitti::MaterializePage(query::QueryResult* result, size_t page) const {
+  util::RwGate::SharedLock gate(gate_);
   return query::Executor(MakeQueryContext()).MaterializePage(result, page);
 }
 
 CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
+  util::RwGate::SharedLock gate(gate_);
   CorrelatedData out;
   // One-hop neighbourhood, stepping through referents to their annotations
   // and objects (the "search, browse and explore" right panel).
@@ -331,6 +363,7 @@ CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
 }
 
 SystemStats Graphitti::Stats() const {
+  util::RwGate::SharedLock gate(gate_);
   SystemStats s;
   s.num_tables = catalog_.num_tables();
   s.total_rows = catalog_.TotalRows();
@@ -348,7 +381,13 @@ SystemStats Graphitti::Stats() const {
   return s;
 }
 
+std::string Graphitti::ExportAGraph() const {
+  util::RwGate::SharedLock gate(gate_);
+  return graph_.ToText();
+}
+
 void Graphitti::VacuumTables() {
+  util::RwGate::ExclusiveLock gate(gate_);
   for (const std::string& name : catalog_.TableNames()) {
     catalog_.GetTable(name)->Vacuum();
   }
@@ -356,15 +395,18 @@ void Graphitti::VacuumTables() {
 
 util::Result<std::vector<uint64_t>> Graphitti::FindObjects(
     const std::string& table, const relational::Predicate& filter) const {
+  util::RwGate::SharedLock gate(gate_);
   return SearchObjects(table, filter);
 }
 
 std::string Graphitti::DescribeObject(uint64_t object_id) const {
+  util::RwGate::SharedLock gate(gate_);
   const ObjectInfo* info = GetObject(object_id);
   return info == nullptr ? ("object-" + std::to_string(object_id)) : info->label;
 }
 
 std::vector<std::string> Graphitti::ExpandTermBelow(const std::string& qualified) const {
+  util::RwGate::SharedLock gate(gate_);
   std::vector<std::string> out;
   size_t colon = qualified.find(':');
   if (colon == std::string::npos) {

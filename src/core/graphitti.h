@@ -4,6 +4,28 @@
 //   - annotate: search objects, mark substructures, commit annotations,
 //   - query: text queries over data + annotations,
 //   - admin: statistics, export, vacuum.
+//
+// Thread-safety contract. A Graphitti instance may be shared across
+// threads: every public method below is tagged [shared] or [exclusive]
+// and takes the corresponding side of the engine's reader-writer gate
+// (util::RwGate). [shared] methods run concurrently with each other;
+// [exclusive] methods serialize against everything, so a reader always
+// observes either the pre- or post-state of a mutation across all
+// substrates at once — never a half-applied commit. The gate is
+// reentrant per thread (Query may call back into FindObjects), but a
+// [shared] method must never call an [exclusive] one on the same
+// instance (shared->exclusive upgrade; aborts in every build mode).
+//
+// Two escape hatches are NOT gated and are single-threaded-use only:
+//   - the substrate accessors (catalog()/indexes()/graph()/annotations())
+//     hand out direct mutable references for power users and tests;
+//   - GetObjectRow returns a pointer into table storage, which an
+//     [exclusive] call (IngestRecord into the same table, VacuumTables)
+//     may reallocate; in a multi-threaded setting use it only while
+//     writers are quiescent, like the substrate accessors. GetObject and
+//     GetOntology pointers are stable for the engine's lifetime (objects
+//     and ontologies are registered into node-stable maps and never
+//     erased).
 #ifndef GRAPHITTI_CORE_GRAPHITTI_H_
 #define GRAPHITTI_CORE_GRAPHITTI_H_
 
@@ -20,6 +42,7 @@
 #include "query/executor.h"
 #include "relational/catalog.h"
 #include "spatial/index_manager.h"
+#include "util/rw_gate.h"
 
 namespace graphitti {
 namespace core {
@@ -70,6 +93,9 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   Graphitti& operator=(const Graphitti&) = delete;
 
   // --- Substrate access (power users / tests) ---
+  //
+  // UNGATED: these bypass the reader-writer gate entirely. Use them only
+  // while no other thread touches the engine (setup, teardown, tests).
   relational::Catalog& catalog() { return catalog_; }
   const relational::Catalog& catalog() const { return catalog_; }
   spatial::IndexManager& indexes() { return indexes_; }
@@ -80,19 +106,28 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   const annotation::AnnotationStore& annotations() const { return *store_; }
 
   // --- Coordinate systems (for image/3D regions) ---
+
+  /// [exclusive] Registers a canonical coordinate system.
   util::Status RegisterCoordinateSystem(std::string_view name, int dims);
+  /// [exclusive] Registers a derived (scaled/offset) coordinate system.
   util::Status RegisterDerivedCoordinateSystem(
       std::string_view name, std::string_view canonical,
       const std::array<double, spatial::Rect::kMaxDims>& scale,
       const std::array<double, spatial::Rect::kMaxDims>& offset);
 
   // --- Ontologies (OntoQuest substrate) ---
+
+  /// [exclusive] Parses and installs an OBO ontology under `name`.
   util::Result<const ontology::Ontology*> LoadOntology(std::string name,
                                                        std::string_view obo_text);
+  /// [shared] Borrowed ontology pointer (stable until engine destruction;
+  /// ontologies are never unloaded).
   const ontology::Ontology* GetOntology(std::string_view name) const;
+  /// [shared] Names of all loaded ontologies.
   std::vector<std::string> OntologyNames() const;
 
   // --- Ingestion (the admin/registration flow). Each returns an object id.
+  //     All [exclusive].
   util::Result<uint64_t> IngestDnaSequence(std::string accession, std::string organism,
                                            std::string segment, std::string residues);
   util::Result<uint64_t> IngestRnaSequence(std::string accession, std::string organism,
@@ -107,78 +142,118 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   util::Result<uint64_t> IngestInteractionGraph(const InteractionGraph& graph);
   util::Result<uint64_t> IngestMsa(const Msa& msa);
 
-  /// Creates a user-defined table (relational records are annotable too).
+  /// [exclusive] Creates a user-defined table (relational records are
+  /// annotable too). The returned Table* is a substrate handle: rows
+  /// inserted through it directly bypass the gate (see IngestRecord).
   util::Result<relational::Table*> CreateTable(std::string name, relational::Schema schema);
-  /// Inserts a record into any table and registers it as a data object.
+  /// [exclusive] Inserts a record into any table and registers it as a
+  /// data object.
   util::Result<uint64_t> IngestRecord(std::string_view table, relational::Row row,
                                       std::string label = "");
 
   // --- Objects ---
+
+  /// [shared] Object registration info; the pointer is stable for the
+  /// engine's lifetime (objects are never erased).
   const ObjectInfo* GetObject(uint64_t object_id) const;
-  size_t num_objects() const { return objects_.size(); }
-  /// The metadata row of an object (nullptr when it or its table is gone).
+  /// [shared] Number of registered objects.
+  size_t num_objects() const;
+  /// [shared] The metadata row of an object (nullptr when it or its table
+  /// is gone). The pointer aims into table storage that [exclusive] calls
+  /// may reallocate — cross-thread users must only dereference it while
+  /// writers are quiescent (single-threaded escape hatch, like the
+  /// substrate accessors).
   const relational::Row* GetObjectRow(uint64_t object_id) const;
 
-  /// The annotation tab's search window: find objects by metadata predicate.
+  /// [shared] The annotation tab's search window: find objects by metadata
+  /// predicate.
   util::Result<std::vector<uint64_t>> SearchObjects(
       std::string_view table, const relational::Predicate& filter) const;
 
   // --- Annotation (the annotate tab) ---
+
+  /// [exclusive] Commits a built annotation across all substrates
+  /// atomically with respect to concurrent [shared] readers.
   util::Result<annotation::AnnotationId> Commit(const annotation::AnnotationBuilder& builder);
+  /// [exclusive] Removes an annotation (and any orphaned referents).
   util::Status RemoveAnnotation(annotation::AnnotationId id);
-  /// Annotations whose referents mark the given object.
+  /// [shared] Annotations whose referents mark the given object.
   std::vector<annotation::AnnotationId> AnnotationsOnObject(uint64_t object_id) const;
 
   // --- Query (the query tab) ---
+
+  /// [shared] Parses and executes a query; concurrent Query calls from
+  /// many threads scale across cores (per-thread traversal scratch).
   util::Result<query::QueryResult> Query(std::string_view query_text) const;
   util::Result<query::QueryResult> Query(std::string_view query_text,
                                          const query::ExecutorOptions& options) const;
 
-  /// Flips `result` (produced by Query) to `page` and lazily materializes
-  /// that page's connection subgraphs (GRAPH targets build subgraphs only
-  /// for pages actually viewed; see query::Executor::MaterializePage).
-  /// Subgraphs are built against the engine's *current* state: flip all
-  /// pages you need before mutating (Commit/RemoveAnnotation/...), or a
-  /// later page may disagree with what the query saw — a row whose
-  /// terminal was since removed materializes as "subgraph(disconnected)".
+  /// [shared] Flips `result` (produced by Query) to `page` and lazily
+  /// materializes that page's connection subgraphs (GRAPH targets build
+  /// subgraphs only for pages actually viewed; see
+  /// query::Executor::MaterializePage).
+  ///
+  /// Subgraphs are built against the engine state visible at *this* call,
+  /// under the gate's shared side: the call itself can never observe a
+  /// half-applied commit, but an [exclusive] mutation committed between
+  /// the original Query and a later page flip (or between two flips) is
+  /// visible to the later flip. Flip all pages you need before mutating —
+  /// or before yielding to writer threads — or a later page may disagree
+  /// with what the query saw; a row whose terminal was since removed
+  /// materializes as "subgraph(disconnected)". `result` itself is owned
+  /// by the caller and must not be shared across threads without external
+  /// synchronization.
   util::Status MaterializePage(query::QueryResult* result, size_t page) const;
 
-  /// The correlated-data viewer: related annotations/objects/terms around a
-  /// node ("what other annotations have been made on this sequence").
+  /// [shared] The correlated-data viewer: related annotations/objects/terms
+  /// around a node ("what other annotations have been made on this
+  /// sequence").
   CorrelatedData Correlated(agraph::NodeRef node) const;
 
   // --- Persistence ---
-  /// Saves the full engine state (tables, objects, coordinate systems,
-  /// ontologies, annotations) under `directory` (created if needed).
+
+  /// [shared] Saves the full engine state (tables, objects, coordinate
+  /// systems, ontologies, annotations) under `directory` (created if
+  /// needed). Holds the shared side for the whole dump, so the snapshot
+  /// is commit-consistent.
   util::Status SaveTo(const std::string& directory) const;
   /// Rebuilds an engine from a directory written by SaveTo. Annotation ids
   /// and object ids are preserved; spatial indexes and the a-graph are
-  /// reconstructed by replaying commits.
+  /// reconstructed by replaying commits. (Static: gates only the fresh
+  /// instance it builds.)
   static util::Result<std::unique_ptr<Graphitti>> LoadFrom(const std::string& directory);
 
-  /// Restores an object registration with an explicit id (persistence/admin
-  /// use only; fails on id collision).
+  /// [exclusive] Restores an object registration with an explicit id
+  /// (persistence/admin use only; fails on id collision).
   util::Status RestoreObject(uint64_t object_id, std::string_view table,
                              relational::RowId row, std::string label);
 
   // --- Admin tab ---
+
+  /// [shared] Cross-substrate statistics snapshot.
   SystemStats Stats() const;
-  std::string ExportAGraph() const { return graph_.ToText(); }
-  /// Cross-store consistency check: every referent is indexed exactly once,
-  /// every content/referent/object node in the a-graph has a backing record,
-  /// and edge labels are well-formed. Returns the first violation found.
+  /// [shared] Line-oriented a-graph dump.
+  std::string ExportAGraph() const;
+  /// [shared] Cross-store consistency check: every referent is indexed
+  /// exactly once, every content/referent/object node in the a-graph has a
+  /// backing record, and edge labels are well-formed. Returns the first
+  /// violation found.
   util::Status ValidateIntegrity() const;
-  /// Compacts tombstoned rows in every table. Unsafe while objects hold row
-  /// ids; provided for bulk-delete admin workflows.
+  /// [exclusive] Compacts tombstoned rows in every table. Unsafe while
+  /// objects hold row ids; provided for bulk-delete admin workflows.
   void VacuumTables();
 
   // --- query::ObjectResolver ---
+  //
+  // [shared] Gated entry points in their own right, and also invoked
+  // *under* an outer Query's shared hold (the gate is reentrant).
   util::Result<std::vector<uint64_t>> FindObjects(
       const std::string& table, const relational::Predicate& filter) const override;
   std::string DescribeObject(uint64_t object_id) const override;
 
   // --- query::OntologyResolver ---
-  /// Qualified = "<ontology-name>:<term-id>", split at the first ':'.
+  /// [shared] Qualified = "<ontology-name>:<term-id>", split at the first
+  /// ':'. Reentrant under Query like the object resolver above.
   std::vector<std::string> ExpandTermBelow(const std::string& qualified) const override;
 
  private:
@@ -187,6 +262,11 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
 
   /// Borrowed-view context wiring shared by Query / MaterializePage.
   query::QueryContext MakeQueryContext() const;
+
+  /// The engine gate. Public methods lock it per the [shared]/[exclusive]
+  /// tags above; private helpers and substrates assume the caller holds
+  /// the right side.
+  util::RwGate gate_;
 
   relational::Catalog catalog_;
   spatial::IndexManager indexes_;

@@ -188,6 +188,9 @@ Result<std::string> ReadFile(const fs::path& path) {
 }  // namespace
 
 Status Graphitti::SaveTo(const std::string& directory) const {
+  // Shared side for the whole dump: the snapshot is commit-consistent and
+  // concurrent queries keep serving while it is written.
+  util::RwGate::SharedLock gate(gate_);
   std::error_code ec;
   fs::create_directories(fs::path(directory) / "tables", ec);
   fs::create_directories(fs::path(directory) / "ontologies", ec);
@@ -297,6 +300,7 @@ Status Graphitti::SaveTo(const std::string& directory) const {
 
 util::Status Graphitti::RestoreObject(uint64_t object_id, std::string_view table,
                                       relational::RowId row, std::string label) {
+  util::RwGate::ExclusiveLock gate(gate_);
   if (object_id == 0) return Status::InvalidArgument("object id 0 is reserved");
   if (objects_.count(object_id) > 0) {
     return Status::AlreadyExists("object id " + std::to_string(object_id) + " in use");
@@ -480,6 +484,7 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
 }
 
 util::Status Graphitti::ValidateIntegrity() const {
+  util::RwGate::SharedLock gate(gate_);
   // 1. Every referent is backed by the right index entry (spatial kinds) and
   //    an a-graph node.
   for (annotation::ReferentId rid : store_->ReferentIds()) {

@@ -2,6 +2,29 @@
 // of data elements, finding a feasible order among these subqueries, and
 // collating partial results from these subqueries into a set of
 // type-extended connection subgraphs" (§II).
+//
+// Thread-safety contract. An Executor is a cheap, stateless view over a
+// QueryContext: every method below is const and reads the borrowed
+// substrates without mutating them, so any number of Executors (or calls
+// on one Executor) may run concurrently on different threads AS LONG AS
+// no one mutates the underlying stores meanwhile. The executor performs
+// no synchronization of its own — when the context is borrowed from a
+// core::Graphitti, the facade's reader-writer gate provides it (Query /
+// MaterializePage hold the shared side for the duration of the call; see
+// core/graphitti.h). Callers wiring a QueryContext by hand own that
+// exclusion themselves.
+//
+// Read-side caches and where they live (the const-safety audit):
+//   - per-execution state (CONNECTED reachability cache, join-domain
+//     memos, referent-pointer memo, binding table) is local to each
+//     Execute call — never shared across threads;
+//   - per-thread state (a-graph TraversalScratch, ConnectBatch tree/state
+//     pools) is thread_local inside src/agraph — concurrent readers never
+//     share it;
+//   - store-resident read-acceleration state (keyword postings, the
+//     phrase-search lowercase text, per-domain referent index) is built
+//     at Commit/Remove time, on the writer's exclusive side — the read
+//     path never lazily populates store state.
 #ifndef GRAPHITTI_QUERY_EXECUTOR_H_
 #define GRAPHITTI_QUERY_EXECUTOR_H_
 
@@ -47,6 +70,14 @@ class Executor {
   /// materialized items are never rebuilt, so flipping pages is idempotent
   /// and page N's subgraphs are identical whether or not other pages were
   /// materialized first.
+  ///
+  /// Concurrency: subgraphs are built from the graph state visible at this
+  /// call. Through core::Graphitti the call holds the engine gate's shared
+  /// side, so it cannot observe a half-applied commit — but a mutation
+  /// committed *between* the Query and a later flip is visible to the
+  /// flip. Flip every page you need before letting writers in, or a later
+  /// page may disagree with what the query saw. `result` itself is
+  /// caller-owned: two threads must not flip the same QueryResult at once.
   util::Status MaterializePage(QueryResult* result, size_t page) const;
 
   /// Executes the query and renders its plan — the typed subqueries, the

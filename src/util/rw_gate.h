@@ -1,0 +1,151 @@
+// RwGate: the engine-level reader-writer gate (ROADMAP concurrency item).
+//
+// core::Graphitti wraps every public entry point in one of these locks:
+// read operations (Query, MaterializePage, Search*, getters, the resolver
+// callbacks) take the shared side and run concurrently with each other;
+// mutations (Ingest*, Commit, RemoveAnnotation, index (re)builds) take the
+// exclusive side and observe/establish a quiescent engine. Readers
+// therefore always see either the pre-commit or the post-commit state of
+// the multi-store pipeline (annotation store + spatial indexes + a-graph +
+// catalog), never a half-applied commit.
+//
+// Reentrancy. The facade's read paths nest: Query holds the shared side
+// and calls back into FindObjects / ExpandTermBelow, which are themselves
+// public, gated entry points. std::shared_mutex makes recursive
+// lock_shared undefined (and practically deadlock-prone once a writer
+// queues between the two acquisitions), so the gate tracks, per thread,
+// which gates the thread already holds: re-acquiring a held gate — shared
+// under shared, shared under exclusive, exclusive under exclusive — is a
+// no-op, and only the outermost guard touches the mutex. The one illegal
+// shape is the shared->exclusive upgrade (a read path calling a mutation),
+// which self-deadlocks under any honest rw-lock; it aborts in every build
+// mode (silently skipping the acquisition would run the mutation under a
+// shared hold).
+//
+// Fairness caveat: the gate inherits std::shared_mutex's platform policy,
+// and glibc's default pthread rwlock prefers readers — a sustained stream
+// of overlapping shared holds can starve a queued writer indefinitely.
+// At current scales commits interleave fine (reader holds are short and
+// gaps are frequent), but a write-heavy deployment under saturating read
+// load needs either PTHREAD_RWLOCK_PREFER_WRITER_NONRECURSIVE_NP-style
+// writer preference or the planned epoch-based design below, where
+// writers never wait for reader drain at all.
+//
+// The tracking list is a flat thread_local vector scanned linearly: depth
+// is 1-2 in practice and entries are 16 bytes, so a scan beats any hashed
+// scheme. The gate is a named wrapper rather than a bare std::shared_mutex
+// so the mutation side has a single seam for later epoch-based reclamation
+// (writers bump an epoch, readers pin one) without touching call sites.
+#ifndef GRAPHITTI_UTIL_RW_GATE_H_
+#define GRAPHITTI_UTIL_RW_GATE_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <shared_mutex>
+#include <vector>
+
+namespace graphitti {
+namespace util {
+
+class RwGate {
+ public:
+  RwGate() = default;
+  RwGate(const RwGate&) = delete;
+  RwGate& operator=(const RwGate&) = delete;
+
+  /// RAII shared ("reader") guard. Reentrant: constructing one on a thread
+  /// that already holds this gate (either side) is a no-op.
+  class SharedLock {
+   public:
+    explicit SharedLock(const RwGate& gate) : gate_(&gate) {
+      if (HeldIndex(gate_) != kNotHeld) return;  // reentrant: already safe
+      gate_->mu_.lock_shared();
+      Held().push_back({gate_, /*exclusive=*/false});
+      engaged_ = true;
+    }
+    ~SharedLock() {
+      if (!engaged_) return;
+      PopHeld(gate_);
+      gate_->mu_.unlock_shared();
+    }
+    SharedLock(const SharedLock&) = delete;
+    SharedLock& operator=(const SharedLock&) = delete;
+
+   private:
+    const RwGate* gate_;
+    bool engaged_ = false;
+  };
+
+  /// RAII exclusive ("writer") guard. Reentrant under an exclusive hold;
+  /// aborts (all build modes) on a shared->exclusive upgrade attempt (a
+  /// gated read path must never call a gated mutation — restructure the
+  /// caller instead).
+  class ExclusiveLock {
+   public:
+    explicit ExclusiveLock(const RwGate& gate) : gate_(&gate) {
+      size_t held = HeldIndex(gate_);
+      if (held != kNotHeld) {
+        if (!Held()[held].exclusive) {
+          // A shared->exclusive upgrade would self-deadlock; fail loudly
+          // in every build mode — silently skipping the acquisition (the
+          // NDEBUG behavior of a bare assert) would run the mutation
+          // under a shared hold, racing concurrent readers.
+          assert(false && "RwGate: shared->exclusive upgrade would self-deadlock");
+          std::abort();
+        }
+        return;  // reentrant exclusive hold
+      }
+      gate_->mu_.lock();
+      Held().push_back({gate_, /*exclusive=*/true});
+      engaged_ = true;
+    }
+    ~ExclusiveLock() {
+      if (!engaged_) return;
+      PopHeld(gate_);
+      gate_->mu_.unlock();
+    }
+    ExclusiveLock(const ExclusiveLock&) = delete;
+    ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+   private:
+    const RwGate* gate_;
+    bool engaged_ = false;
+  };
+
+ private:
+  struct HeldEntry {
+    const RwGate* gate;
+    bool exclusive;
+  };
+
+  static constexpr size_t kNotHeld = static_cast<size_t>(-1);
+
+  /// Gates held by the calling thread, outermost first.
+  static std::vector<HeldEntry>& Held() {
+    thread_local std::vector<HeldEntry> held;
+    return held;
+  }
+
+  static size_t HeldIndex(const RwGate* gate) {
+    const std::vector<HeldEntry>& held = Held();
+    for (size_t i = 0; i < held.size(); ++i) {
+      if (held[i].gate == gate) return i;
+    }
+    return kNotHeld;
+  }
+
+  static void PopHeld(const RwGate* gate) {
+    std::vector<HeldEntry>& held = Held();
+    // Guards are scoped, so the entry being released is the innermost one.
+    assert(!held.empty() && held.back().gate == gate);
+    (void)gate;
+    held.pop_back();
+  }
+
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_RW_GATE_H_

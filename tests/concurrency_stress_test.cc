@@ -1,0 +1,332 @@
+// Multi-threaded stress tests for the engine's reader-writer gate
+// (util/rw_gate.h wired through core::Graphitti): N reader threads issue
+// fig-3-style queries while a writer commits and removes annotations, and
+// every result must be snapshot-consistent — a reader may see the engine
+// before or after any given commit, but never in between.
+//
+// The torn-read detector: every "sentinel" annotation the writer commits
+// marks exactly TWO fresh intervals, so the number of distinct referents
+// joined through sentinel contents is even in every committed state. A
+// reader observing an odd count caught a half-applied commit (content and
+// first ANNOTATES edge in, second referent not yet indexed) — precisely
+// the anomaly class the gate exists to rule out.
+//
+// Run under TSan in CI (see .github/workflows/ci.yml): the invariants
+// catch torn *values*, TSan catches torn *memory*.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/graphitti.h"
+
+namespace graphitti {
+namespace core {
+namespace {
+
+using annotation::AnnotationBuilder;
+using annotation::AnnotationId;
+
+constexpr size_t kStableAnnotations = 24;
+
+// Thread-safe failure sink: gtest assertions are not safe off the main
+// thread, so worker threads record violations and the main thread asserts
+// after joining.
+class Failures {
+ public:
+  void Add(std::string message) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (messages_.size() < 20) messages_.push_back(std::move(message));
+  }
+  std::vector<std::string> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return messages_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> messages_;
+};
+
+// A small static corpus the writer never touches: 4 sequences on domain
+// chrQ, kStableAnnotations annotations whose bodies carry the unique token
+// "stalwart" and which mark one distinct chrQ interval each. Reader-side
+// counts over this corpus are invariant for the whole test.
+void BuildStableCorpus(Graphitti* g) {
+  std::vector<uint64_t> objects;
+  for (int i = 0; i < 4; ++i) {
+    auto obj = g->IngestDnaSequence("STB" + std::to_string(i), "H5N1", "chrQ",
+                                    std::string(200, 'A'));
+    ASSERT_TRUE(obj.ok());
+    objects.push_back(*obj);
+  }
+  for (size_t i = 0; i < kStableAnnotations; ++i) {
+    AnnotationBuilder b;
+    b.Title("stable " + std::to_string(i))
+        .Creator("curator")
+        .Body("stalwart baseline annotation number " + std::to_string(i))
+        .MarkInterval("chrQ", static_cast<int64_t>(i) * 10,
+                      static_cast<int64_t>(i) * 10 + 5, objects[i % objects.size()]);
+    ASSERT_TRUE(g->Commit(b).ok());
+  }
+}
+
+// One writer cycle: commit a sentinel annotation marking two fresh chrS
+// intervals; remember it for a later (also gated) removal. Runs on writer
+// threads, so failures go through the sink, never through gtest macros.
+AnnotationId CommitSentinel(Graphitti* g, uint64_t cycle, Failures* failures) {
+  int64_t base = static_cast<int64_t>(cycle) * 16;
+  AnnotationBuilder b;
+  b.Title("sentinel " + std::to_string(cycle))
+      .Creator("writer")
+      .Body("sentinel churn annotation")
+      .MarkInterval("chrS", base, base + 5)
+      .MarkInterval("chrS", base + 6, base + 11);
+  auto id = g->Commit(b);
+  if (!id.ok()) {
+    failures->Add("sentinel commit failed: " + id.status().ToString());
+    return 0;
+  }
+  return *id;
+}
+
+void ReaderLoop(const Graphitti& g, size_t iterations, Failures* failures,
+                std::atomic<size_t>* queries_served) {
+  const std::string parity_query =
+      "FIND COUNT ?r WHERE { ?c CONTAINS \"sentinel\" ; ?c ANNOTATES ?r ; "
+      "?r IS REFERENT }";
+  const std::string stable_query = "FIND CONTENTS WHERE { ?a CONTAINS \"stalwart\" }";
+  const std::string graph_query =
+      "FIND GRAPH WHERE { ?a CONTAINS \"stalwart\" ; ?s IS REFERENT ; "
+      "?a ANNOTATES ?s ; ?s DOMAIN \"chrQ\" } LIMIT 5 PAGE 1";
+
+  for (size_t i = 0; i < iterations; ++i) {
+    // (1) The static corpus is untouched by the writer: its count is exact.
+    auto stable = g.Query(stable_query);
+    if (!stable.ok()) {
+      failures->Add("stable query failed: " + stable.status().ToString());
+    } else if (stable->items.size() != kStableAnnotations) {
+      failures->Add("stable count " + std::to_string(stable->items.size()) +
+                    " != " + std::to_string(kStableAnnotations));
+    }
+
+    // (2) Torn-read parity: sentinels always contribute referents in pairs.
+    auto parity = g.Query(parity_query);
+    if (!parity.ok()) {
+      failures->Add("parity query failed: " + parity.status().ToString());
+    } else if (parity->items.size() != 1) {
+      failures->Add("parity query produced no count item");
+    } else if (parity->items[0].count % 2 != 0) {
+      failures->Add("TORN READ: odd sentinel referent count " +
+                    std::to_string(parity->items[0].count));
+    }
+
+    // (3) Paged GRAPH query + a page flip: lazy subgraph materialization
+    // through ConnectBatch, under the gate, against stable terminals only.
+    auto graph = g.Query(graph_query);
+    if (!graph.ok()) {
+      failures->Add("graph query failed: " + graph.status().ToString());
+    } else {
+      if (graph->total_pages < 2) {
+        failures->Add("graph query lost rows: " + std::to_string(graph->total_pages) +
+                      " pages");
+      }
+      auto flip = g.MaterializePage(&*graph, 2);
+      if (!flip.ok()) {
+        failures->Add("page flip failed: " + flip.ToString());
+      } else {
+        for (size_t k = graph->page_first; k < graph->page_first + graph->page_count;
+             ++k) {
+          const auto& item = graph->items[k];
+          if (!item.subgraph_ready || item.label.rfind("subgraph(", 0) != 0) {
+            failures->Add("page-2 item not materialized: " + item.label);
+          }
+          // Stable rows join one content to one referent: never disconnected.
+          if (item.label == "subgraph(disconnected)") {
+            failures->Add("stable row materialized disconnected");
+          }
+        }
+      }
+    }
+
+    // (4) Assorted shared-side surfaces.
+    if (i % 8 == 0) {
+      SystemStats stats = g.Stats();
+      if (stats.num_annotations < kStableAnnotations) {
+        failures->Add("stats lost stable annotations: " +
+                      std::to_string(stats.num_annotations));
+      }
+      if (g.num_objects() < 4) failures->Add("objects disappeared");
+    }
+    queries_served->fetch_add(3, std::memory_order_relaxed);
+  }
+}
+
+TEST(ConcurrencyStressTest, ReadersKeepServingDuringCommitsAndRemovals) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+
+  constexpr size_t kReaders = 4;
+  constexpr size_t kReaderIterations = 60;
+  constexpr size_t kWriterCycles = 300;
+
+  Failures failures;
+  std::atomic<size_t> queries_served{0};
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&] {
+    std::vector<AnnotationId> live;
+    for (uint64_t cycle = 0; cycle < kWriterCycles; ++cycle) {
+      AnnotationId id = CommitSentinel(&g, cycle, &failures);
+      if (id != 0) live.push_back(id);
+      // Keep a rolling window of ~8 live sentinels so removals constantly
+      // race the readers too.
+      if (live.size() > 8) {
+        auto status = g.RemoveAnnotation(live.front());
+        if (!status.ok()) failures.Add("remove failed: " + status.ToString());
+        live.erase(live.begin());
+      }
+    }
+    for (AnnotationId id : live) (void)g.RemoveAnnotation(id);
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back(
+        [&] { ReaderLoop(g, kReaderIterations, &failures, &queries_served); });
+  }
+  for (std::thread& t : readers) t.join();
+  writer.join();
+
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_EQ(queries_served.load(), kReaders * kReaderIterations * 3);
+
+  // Post-stress: all sentinels removed, stable corpus intact, cross-store
+  // invariants hold.
+  auto count = g.Query("FIND COUNT ?c WHERE { ?c CONTAINS \"sentinel\" }");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->items[0].count, 0u);
+  EXPECT_TRUE(g.ValidateIntegrity().ok());
+  EXPECT_EQ(g.Stats().num_annotations, kStableAnnotations);
+}
+
+// Regression (ISSUE 4 satellite): a Commit racing a long-running Query must
+// never yield a torn read. The reader hammers the parity join while the
+// writer commits and immediately removes two-referent annotations — the
+// tightest possible interleaving of the two gate sides. Repeat-under-load:
+// every single reader iteration asserts the invariant.
+TEST(ConcurrencyStressTest, CommitRacingQueryNeverTearsBindings) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+
+  Failures failures;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t cycle = 1u << 20;  // disjoint interval range from other tests
+    while (!stop.load(std::memory_order_acquire)) {
+      AnnotationId id = CommitSentinel(&g, cycle++, &failures);
+      if (id != 0) {
+        auto status = g.RemoveAnnotation(id);
+        if (!status.ok()) failures.Add("remove failed: " + status.ToString());
+      }
+    }
+  });
+
+  const std::string join_query =
+      "FIND REFERENTS WHERE { ?c CONTAINS \"sentinel\" ; ?c ANNOTATES ?r ; "
+      "?r IS REFERENT }";
+  for (size_t i = 0; i < 200; ++i) {
+    auto r = g.Query(join_query);
+    if (!r.ok()) {
+      failures.Add("join query failed: " + r.status().ToString());
+      continue;
+    }
+    // Every sentinel contributes exactly 2 referents; a commit is visible
+    // either fully (both referents bound) or not at all.
+    if (r->items.size() % 2 != 0) {
+      failures.Add("TORN READ: " + std::to_string(r->items.size()) +
+                   " sentinel referents");
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+  EXPECT_TRUE(g.ValidateIntegrity().ok());
+}
+
+// Mutation exclusivity: concurrent writers serialize; no lost updates, no
+// duplicate ids, and the cross-store pipeline stays consistent.
+TEST(ConcurrencyStressTest, ConcurrentWritersSerializeCleanly) {
+  Graphitti g;
+  constexpr size_t kWriters = 4;
+  constexpr size_t kPerWriter = 50;
+
+  std::vector<std::vector<AnnotationId>> ids(kWriters);
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&g, &ids, w] {
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        AnnotationBuilder b;
+        int64_t base = static_cast<int64_t>(w) * 100000 + static_cast<int64_t>(i) * 10;
+        b.Title("writer " + std::to_string(w) + " #" + std::to_string(i))
+            .Body("parallel ingest")
+            .MarkInterval("chrW" + std::to_string(w), base, base + 5);
+        auto id = g.Commit(b);
+        if (id.ok()) ids[w].push_back(*id);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  std::vector<AnnotationId> all;
+  for (const auto& per_writer : ids) {
+    EXPECT_EQ(per_writer.size(), kPerWriter);
+    all.insert(all.end(), per_writer.begin(), per_writer.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+      << "duplicate annotation ids issued";
+  EXPECT_EQ(g.Stats().num_annotations, kWriters * kPerWriter);
+  EXPECT_TRUE(g.ValidateIntegrity().ok());
+}
+
+// The gate itself: reentrant shared acquisition must not deadlock even
+// with a writer continuously queued behind the readers (the lost-wakeup /
+// writer-priority interleaving that makes naive recursive lock_shared
+// deadlock in practice).
+TEST(ConcurrencyStressTest, ReentrantReadsSurviveWriterPressure) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+  Failures failures;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t cycle = 1u << 24;
+    while (!stop.load(std::memory_order_acquire)) {
+      AnnotationId id = CommitSentinel(&g, cycle++, &failures);
+      if (id != 0) (void)g.RemoveAnnotation(id);
+    }
+  });
+  // TABLE clauses force the executor to call back into FindObjects — a
+  // nested (reentrant) shared acquisition under the outer Query hold.
+  for (size_t i = 0; i < 100; ++i) {
+    auto r = g.Query(
+        "FIND CONTENTS WHERE { ?o TABLE dna_sequences ; ?s OF ?o ; "
+        "?a ANNOTATES ?s }");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->items.size(), kStableAnnotations);
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace graphitti
