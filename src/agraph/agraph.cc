@@ -149,28 +149,52 @@ util::Result<uint32_t> AGraph::DenseIndex(NodeRef ref) const {
   return it->second;
 }
 
-util::Status AGraph::AddNode(NodeRef ref, std::string label) {
-  if (index_.find(ref) != index_.end()) {
-    return util::Status::AlreadyExists("node " + ref.ToString() + " already in a-graph");
-  }
+void AGraph::Reserve(size_t additional_nodes) {
+  size_t total = refs_.size() + additional_nodes;
+  index_.reserve(total);
+  refs_.reserve(total);
+  node_labels_.reserve(total);
+  out_.reserve(total);
+  in_.reserve(total);
+}
+
+uint32_t AGraph::InsertNodeUnchecked(NodeRef ref, std::string label) {
   uint32_t idx = static_cast<uint32_t>(refs_.size());
   index_.emplace(ref, idx);
   refs_.push_back(ref);
   node_labels_.push_back(std::move(label));
   out_.emplace_back();
   in_.emplace_back();
+  return idx;
+}
+
+util::Status AGraph::AddNode(NodeRef ref, std::string label) {
+  if (index_.find(ref) != index_.end()) {
+    return util::Status::AlreadyExists("node " + ref.ToString() + " already in a-graph");
+  }
+  InsertNodeUnchecked(ref, std::move(label));
   return util::Status::OK();
 }
 
 void AGraph::EnsureNode(NodeRef ref, std::string_view label) {
+  (void)EnsureNodeIndex(ref, label);
+}
+
+uint32_t AGraph::EnsureNodeIndex(NodeRef ref, std::string_view label) {
   auto it = index_.find(ref);
   if (it != index_.end()) {
     if (!label.empty() && node_labels_[it->second].empty()) {
       node_labels_[it->second] = std::string(label);
     }
-    return;
+    return it->second;
   }
-  (void)AddNode(ref, std::string(label));
+  return InsertNodeUnchecked(ref, std::string(label));
+}
+
+void AGraph::AddEdgeIndexed(uint32_t from, uint32_t to, uint32_t label_id) {
+  out_[from].push_back({to, label_id});
+  in_[to].push_back({from, label_id});
+  ++num_edges_;
 }
 
 util::Status AGraph::RemoveNode(NodeRef ref) {

@@ -132,8 +132,30 @@ class AGraph {
   AGraph(AGraph&&) = default;
   AGraph& operator=(AGraph&&) = default;
 
+  /// Pre-sizes node storage (dense arrays + the ref index) for
+  /// `additional_nodes` more nodes, so a batched commit pays one growth
+  /// instead of repeated reallocations and hash rehashes. Edge adjacency is
+  /// per-node and grows on demand. Idempotent and never shrinks.
+  void Reserve(size_t additional_nodes);
+
   /// Adds a node with a display label; AlreadyExists when present.
   util::Status AddNode(NodeRef ref, std::string label = "");
+
+  // --- Index-based batch wiring -------------------------------------
+  //
+  // A batched commit touches the same content node for every one of its
+  // marks; these entry points let it resolve each NodeRef and edge label
+  // to its dense id ONCE and wire edges without re-hashing. Dense indexes
+  // are stable only until the next RemoveNode (swap-with-last
+  // compaction), so never hold them across mutations.
+
+  /// EnsureNode that also returns the node's dense index.
+  uint32_t EnsureNodeIndex(NodeRef ref, std::string_view label = "");
+  /// Interns an edge label, returning its id for AddEdgeIndexed.
+  uint32_t InternEdgeLabel(std::string_view label) { return InternLabel(label); }
+  /// Adds an edge between dense indexes with a pre-interned label id —
+  /// AddEdge without any hashing. Indexes/label id must be live.
+  void AddEdgeIndexed(uint32_t from, uint32_t to, uint32_t label_id);
 
   /// Idempotent node registration (no error when present).
   void EnsureNode(NodeRef ref, std::string_view label = "");
@@ -254,6 +276,9 @@ class AGraph {
   static constexpr uint32_t kNoIndex = ~0u;
 
   uint32_t InternLabel(std::string_view label);
+  /// Raw node insertion (no existence check); AddNode/EnsureNodeIndex's
+  /// shared tail, keeping the five parallel arrays in one place.
+  uint32_t InsertNodeUnchecked(NodeRef ref, std::string label);
   /// Interned id for `label`, or kNoIndex when never seen.
   uint32_t FindLabelId(std::string_view label) const;
   util::Result<uint32_t> DenseIndex(NodeRef ref) const;

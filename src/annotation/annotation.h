@@ -127,6 +127,10 @@ class AnnotationBuilder {
   static util::Result<AnnotationBuilder> FromContentXml(const xml::XmlNode* root);
 
  private:
+  // The store's consuming CommitBatch moves metadata out of builders it
+  // owns instead of copying (the persistence-reload fast path).
+  friend class AnnotationStore;
+
   DublinCore dc_;
   std::string body_;
   std::vector<std::pair<std::string, std::string>> user_tags_;

@@ -1,6 +1,7 @@
 #include "annotation/annotation_store.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/dense_set.h"
 #include "util/string_util.h"
@@ -13,16 +14,27 @@ AnnotationStore::AnnotationStore(spatial::IndexManager* indexes, agraph::AGraph*
     : indexes_(indexes), graph_(graph) {}
 
 util::Result<ReferentId> AnnotationStore::InternReferent(
-    const substructure::Substructure& sub, uint64_t object_id) {
+    const substructure::Substructure& sub, uint64_t object_id, BatchStaging* staging,
+    uint32_t* node_index, MarkUndo* undo) {
   if (!sub.valid()) {
     return util::Status::InvalidArgument("invalid substructure: " + sub.ToString());
   }
+  // Serialized once per intern: this string is both the dedup map key and
+  // the a-graph display label (ToString is hot under bulk ingest).
   std::string key = sub.ToString();
   auto it = referent_by_key_.find(key);
   if (it != referent_by_key_.end()) {
     Referent& ref = referents_[it->second];
     ++ref.refcount;
-    if (ref.object_id == 0) ref.object_id = object_id;
+    if (ref.object_id == 0 && object_id != 0) {
+      // Object-id adoption mutates a *shared* referent; record it so a
+      // caller whose commit later fails can restore the pre-commit state.
+      if (undo != nullptr) undo->adoptions.push_back(it->second);
+      ref.object_id = object_id;
+    }
+    if (node_index != nullptr) {
+      *node_index = graph_->EnsureNodeIndex(ReferentNode(it->second));
+    }
     return it->second;
   }
 
@@ -31,13 +43,26 @@ util::Result<ReferentId> AnnotationStore::InternReferent(
   // Spatial kinds join the shared per-domain index; this is where the
   // "one interval tree per chromosome / one R-tree per coordinate system"
   // policy is applied. Validation errors (unknown coordinate system,
-  // invalid rect) surface here, before any state change.
+  // invalid rect) surface here, before any state change. A batch defers
+  // the insertion into per-domain accumulators (flushed as one bulk build
+  // per domain) but canonicalizes regions now, so flush cannot fail.
   switch (sub.type()) {
     case substructure::SubType::kInterval:
-      GRAPHITTI_RETURN_NOT_OK(indexes_->AddInterval(sub.domain(), sub.interval(), id));
+      if (staging != nullptr) {
+        staging->intervals[sub.domain()].push_back({sub.interval(), id});
+      } else {
+        GRAPHITTI_RETURN_NOT_OK(indexes_->AddInterval(sub.domain(), sub.interval(), id));
+      }
       break;
     case substructure::SubType::kRegion:
-      GRAPHITTI_RETURN_NOT_OK(indexes_->AddRegion(sub.domain(), sub.rect(), id));
+      if (staging != nullptr) {
+        GRAPHITTI_ASSIGN_OR_RETURN(
+            auto canonical,
+            indexes_->coordinate_systems().ToCanonical(sub.domain(), sub.rect()));
+        staging->regions[canonical.first].push_back({canonical.second, id});
+      } else {
+        GRAPHITTI_RETURN_NOT_OK(indexes_->AddRegion(sub.domain(), sub.rect(), id));
+      }
       break;
     default:
       break;  // set-typed referents are stored in the referent table only
@@ -48,14 +73,20 @@ util::Result<ReferentId> AnnotationStore::InternReferent(
   ref.substructure = sub;
   ref.object_id = object_id;
   ref.refcount = 1;
-  referents_.emplace(id, std::move(ref));
-  referent_by_key_.emplace(std::move(key), id);
+  // Referent ids are issued monotonically and never reused, so the new id
+  // always sorts last — the end hint makes this an O(1) append.
+  referents_.emplace_hint(referents_.end(), id, std::move(ref));
   referents_by_domain_[sub.domain()].push_back(id);
 
   agraph::NodeRef node = ReferentNode(id);
-  graph_->EnsureNode(node, sub.ToString());
+  uint32_t idx = graph_->EnsureNodeIndex(node, key);
+  if (node_index != nullptr) *node_index = idx;
+  referent_by_key_.emplace(std::move(key), id);
   if (object_id != 0) {
     agraph::NodeRef object_node = agraph::NodeRef::Object(object_id);
+    if (undo != nullptr && !graph_->HasNode(object_node)) {
+      undo->created_object_nodes.push_back(object_node);
+    }
     graph_->EnsureNode(object_node);
     (void)graph_->AddEdge(node, object_node, kEdgeOfObject);
   }
@@ -130,8 +161,37 @@ util::Result<AnnotationId> AnnotationStore::Commit(const AnnotationBuilder& buil
                      ann.dc.title.empty() ? ("annotation-" + std::to_string(id))
                                           : ann.dc.title);
 
+  MarkUndo undo;
   for (const auto& [sub, object_id] : builder.marks()) {
-    GRAPHITTI_ASSIGN_OR_RETURN(ReferentId rid, InternReferent(sub, object_id));
+    util::Result<ReferentId> rid_or =
+        InternReferent(sub, object_id, nullptr, nullptr, &undo);
+    if (!rid_or.ok()) {
+      // A mark can still fail after the up-front checks (e.g. a region
+      // whose rect dims mismatch its registered coordinate system, caught
+      // at canonicalization). Roll back everything staged for this
+      // annotation — release the referents interned so far (dropping
+      // index entries and a-graph nodes for the ones this commit created)
+      // and the content node — so a failed Commit leaves the store
+      // exactly as it was.
+      for (auto rit = ann.referents.rbegin(); rit != ann.referents.rend(); ++rit) {
+        ReleaseReferent(*rit);
+      }
+      // Shared referents whose object id this commit adopted (they had
+      // none) go back to unowned; referents released to zero above are
+      // simply gone from the map.
+      for (ReferentId rid : undo.adoptions) {
+        auto ar = referents_.find(rid);
+        if (ar != referents_.end()) ar->second.object_id = 0;
+      }
+      // Object nodes this commit created are isolated by now (their only
+      // edges came from referents released above) — remove them too.
+      for (const agraph::NodeRef& obj : undo.created_object_nodes) {
+        (void)graph_->RemoveNode(obj);
+      }
+      (void)graph_->RemoveNode(content_node);
+      return rid_or.status();
+    }
+    ReferentId rid = *rid_or;
     // Skip duplicate referent links within one annotation.
     if (std::find(ann.referents.begin(), ann.referents.end(), rid) != ann.referents.end()) {
       // InternReferent already bumped the refcount; undo the extra count.
@@ -154,12 +214,227 @@ util::Result<AnnotationId> AnnotationStore::Commit(const AnnotationBuilder& buil
   return id;
 }
 
+util::Result<std::vector<AnnotationId>> AnnotationStore::CommitBatch(
+    const std::vector<AnnotationBuilder>& builders,
+    const std::vector<AnnotationId>& forced_ids,
+    std::vector<xml::XmlDocument>* prebuilt_contents) {
+  return CommitBatchImpl(builders, forced_ids, prebuilt_contents, /*consume=*/false);
+}
+
+util::Result<std::vector<AnnotationId>> AnnotationStore::CommitBatch(
+    std::vector<AnnotationBuilder>&& builders,
+    const std::vector<AnnotationId>& forced_ids,
+    std::vector<xml::XmlDocument>* prebuilt_contents) {
+  return CommitBatchImpl(builders, forced_ids, prebuilt_contents, /*consume=*/true);
+}
+
+util::Result<std::vector<AnnotationId>> AnnotationStore::CommitBatchImpl(
+    const std::vector<AnnotationBuilder>& builders,
+    const std::vector<AnnotationId>& forced_ids,
+    std::vector<xml::XmlDocument>* prebuilt_contents, bool consume) {
+  std::vector<AnnotationId> ids;
+  if (builders.empty()) return ids;
+  if (!forced_ids.empty() && forced_ids.size() != builders.size()) {
+    return util::Status::InvalidArgument(
+        "forced_ids must be empty or have one entry per builder");
+  }
+  if (prebuilt_contents != nullptr && prebuilt_contents->size() != builders.size()) {
+    return util::Status::InvalidArgument(
+        "prebuilt_contents must be null or have one document per builder");
+  }
+
+  // --- Validate. Nothing in this block touches shared state, so any error
+  // rejects the whole batch with the store untouched. Id assignment mirrors
+  // a loop of Commit exactly: forced ids jump the counter forward, fresh
+  // ids continue from it.
+  ids.reserve(builders.size());
+  std::vector<xml::XmlDocument> contents;
+  contents.reserve(builders.size());
+  std::unordered_set<AnnotationId> assigned;
+  assigned.reserve(builders.size());
+  uint64_t next_id = next_annotation_id_;
+  size_t node_estimate = 0;
+  size_t total_marks = 0;
+  for (size_t i = 0; i < builders.size(); ++i) {
+    const AnnotationBuilder& b = builders[i];
+    if (b.marks().empty()) {
+      return util::Status::InvalidArgument(
+          "builder " + std::to_string(i) +
+          ": an annotation must mark at least one referent (it is a linker object)");
+    }
+    total_marks += b.marks().size();
+    AnnotationId forced = forced_ids.empty() ? 0 : forced_ids[i];
+    if (forced != 0 && (annotations_.count(forced) > 0 || assigned.count(forced) > 0)) {
+      return util::Status::AlreadyExists("annotation id " + std::to_string(forced) +
+                                         " already in use");
+    }
+    AnnotationId id = forced != 0 ? forced : next_id;
+    assigned.insert(id);
+    next_id = std::max(next_id, id + 1);
+    if (prebuilt_contents != nullptr && !(*prebuilt_contents)[i].empty()) {
+      // Reload fast path: the content document was just parsed from disk;
+      // adopt it instead of re-serializing the builder. BuildContentXml's
+      // own validation still has to happen (it rejects empty user-tag
+      // names; substructure validity is checked in the marks loop below).
+      for (const auto& [name, value] : b.user_tags()) {
+        (void)value;
+        if (name.empty()) {
+          return util::Status::InvalidArgument("user tag with empty name");
+        }
+      }
+      xml::XmlDocument content = std::move((*prebuilt_contents)[i]);
+      content.root()->SetAttribute("id", std::to_string(id));
+      contents.push_back(std::move(content));
+    } else {
+      GRAPHITTI_ASSIGN_OR_RETURN(xml::XmlDocument content, b.BuildContentXml(id));
+      contents.push_back(std::move(content));
+    }
+    ids.push_back(id);
+    node_estimate += 1 + b.marks().size() + b.ontology_refs().size();
+    for (const auto& [sub, object_id] : b.marks()) {
+      (void)object_id;
+      if (!sub.valid()) {
+        return util::Status::InvalidArgument("invalid marked substructure: " +
+                                             sub.ToString());
+      }
+      if (sub.type() == substructure::SubType::kRegion) {
+        // The staged flush below must not be able to fail. ToCanonical's
+        // only failure modes are an unknown system and a rect/system dims
+        // mismatch, so checking those here (without transforming — the
+        // staging pass does the one real canonicalization per mark)
+        // guarantees it.
+        GRAPHITTI_ASSIGN_OR_RETURN(int cs_dims,
+                                   indexes_->coordinate_systems().Dims(sub.domain()));
+        if (sub.rect().dims != cs_dims) {
+          return util::Status::InvalidArgument(
+              "rect dims " + std::to_string(sub.rect().dims) + " != system dims " +
+              std::to_string(cs_dims));
+        }
+      }
+    }
+  }
+
+  // --- Stage: annotation records, referent interning with spatial
+  // insertion deferred into per-domain accumulators, a-graph nodes/edges
+  // (with capacity reserved from batch totals), and keyword tokens.
+  graph_->Reserve(node_estimate);
+  referent_by_key_.reserve(referent_by_key_.size() + total_marks);
+  lower_text_.reserve(lower_text_.size() + builders.size());
+  BatchStaging staging;
+  // Token posting appends go straight onto the shared lists; first_size
+  // records each touched list's pre-batch length (SIZE_MAX = untouched) so
+  // the flush can restore sortedness with at most one sort + merge per
+  // touched token instead of a global sort over every (token, id) pair.
+  std::vector<size_t> first_size(postings_.size(), SIZE_MAX);
+  std::vector<uint32_t> touched;
+  // Scratch reused across the whole batch: the tokenization buffer, its
+  // word views, and the token-lookup key.
+  std::string text_buf;
+  std::vector<std::string_view> words;
+  // The batch's two edge labels, interned once; edges below are wired by
+  // dense index so the per-mark path never re-hashes refs or labels.
+  const uint32_t annotates_label = graph_->InternEdgeLabel(kEdgeAnnotates);
+  const uint32_t refers_to_label = graph_->InternEdgeLabel(kEdgeRefersTo);
+  for (size_t i = 0; i < builders.size(); ++i) {
+    const AnnotationBuilder& b = builders[i];
+    AnnotationId id = ids[i];
+    Annotation ann;
+    ann.id = id;
+    if (consume) {
+      // The rvalue overload owns the builders: steal the metadata strings
+      // instead of copying 50k of them on reload.
+      AnnotationBuilder& mb = const_cast<AnnotationBuilder&>(b);
+      ann.dc = std::move(mb.dc_);
+      ann.body = std::move(mb.body_);
+      ann.user_tags = std::move(mb.user_tags_);
+      ann.ontology_refs = std::move(mb.ontology_refs_);
+    } else {
+      ann.dc = b.dc();
+      ann.body = b.body();
+      ann.user_tags = b.user_tags();
+      ann.ontology_refs = b.ontology_refs();
+    }
+    ann.content = std::move(contents[i]);
+
+    agraph::NodeRef content_node = ContentNode(id);
+    const uint32_t content_idx = graph_->EnsureNodeIndex(
+        content_node, ann.dc.title.empty() ? ("annotation-" + std::to_string(id))
+                                           : ann.dc.title);
+
+    for (const auto& [sub, object_id] : b.marks()) {
+      // Cannot fail: everything InternReferent checks was validated above.
+      uint32_t ref_idx = 0;
+      GRAPHITTI_ASSIGN_OR_RETURN(ReferentId rid,
+                                 InternReferent(sub, object_id, &staging, &ref_idx));
+      // Skip duplicate referent links within one annotation.
+      if (std::find(ann.referents.begin(), ann.referents.end(), rid) !=
+          ann.referents.end()) {
+        auto it = referents_.find(rid);
+        if (it != referents_.end() && it->second.refcount > 1) --it->second.refcount;
+        continue;
+      }
+      ann.referents.push_back(rid);
+      graph_->AddEdgeIndexed(content_idx, ref_idx, annotates_label);
+    }
+
+    for (const OntologyRef& oref : ann.ontology_refs) {
+      graph_->AddEdgeIndexed(content_idx,
+                             graph_->EnsureNodeIndex(TermNode(oref.Qualified())),
+                             refers_to_label);
+    }
+
+    // One-pass keyword accumulation: tokens are interned now but postings
+    // are merged once at flush instead of appended per commit.
+    size_t content_len = TokenizeForIndex(ann, &text_buf, &words);
+    lower_text_.emplace(id, std::string(text_buf.data(), content_len));
+    for (std::string_view w : words) {
+      uint32_t tid = InternToken(w);
+      if (tid >= first_size.size()) first_size.resize(postings_.size(), SIZE_MAX);
+      std::vector<AnnotationId>& posting = postings_[tid];
+      if (first_size[tid] == SIZE_MAX) {
+        first_size[tid] = posting.size();
+        touched.push_back(tid);
+      }
+      posting.push_back(id);
+    }
+
+    if (annotations_.empty() || annotations_.rbegin()->first < id) {
+      annotations_.emplace_hint(annotations_.end(), id, std::move(ann));
+    } else {
+      annotations_.emplace(id, std::move(ann));
+    }
+  }
+  next_annotation_id_ = std::max(next_annotation_id_, next_id);
+
+  // --- Flush: one bulk tree build per touched domain, one sorted merge
+  // pass over the batch's postings.
+  for (auto& [domain, entries] : staging.intervals) {
+    GRAPHITTI_RETURN_NOT_OK(indexes_->BulkLoadIntervals(domain, std::move(entries)));
+  }
+  for (auto& [system, entries] : staging.regions) {
+    GRAPHITTI_RETURN_NOT_OK(indexes_->BulkLoadRegions(system, std::move(entries)));
+  }
+  for (uint32_t tid : touched) {
+    std::vector<AnnotationId>& posting = postings_[tid];
+    const size_t old_size = first_size[tid];
+    auto appended = posting.begin() + static_cast<std::ptrdiff_t>(old_size);
+    // Batch ids ascend except when forced ids interleave, so the appended
+    // run is almost always already sorted and the merge below the
+    // pre-batch prefix almost always skips.
+    if (!std::is_sorted(appended, posting.end())) std::sort(appended, posting.end());
+    if (old_size > 0 && posting[old_size] < posting[old_size - 1]) {
+      std::inplace_merge(posting.begin(), appended, posting.end());
+    }
+  }
+  return ids;
+}
+
 util::Status AnnotationStore::Remove(AnnotationId id) {
   auto it = annotations_.find(id);
   if (it == annotations_.end()) {
     return util::Status::NotFound("annotation " + std::to_string(id) + " not found");
   }
-  UnindexContentText(id);
+  UnindexContentText(id, it->second);
   (void)graph_->RemoveNode(ContentNode(id));
   // Release referents after the content node is gone so AnnotationsOfReferent
   // stays consistent.
@@ -205,7 +480,7 @@ void AnnotationStore::ForEachReferent(
 void AnnotationStore::ForEachReferentInDomain(
     std::string_view domain,
     const std::function<void(ReferentId, const Referent&)>& fn) const {
-  auto it = referents_by_domain_.find(domain);
+  auto it = referents_by_domain_.find(std::string(domain));
   if (it == referents_by_domain_.end()) return;
   for (ReferentId id : it->second) {
     auto ref = referents_.find(id);
@@ -231,33 +506,33 @@ util::Result<ReferentId> AnnotationStore::FindReferent(
   return it->second;
 }
 
-namespace {
-
-// Collects all descendant text with single-space separators between nodes
-// (InnerText would merge adjacent words across element boundaries).
-void CollectTextSeparated(const xml::XmlNode* node, std::string* out) {
-  if (node->is_text()) {
-    if (!out->empty()) out->push_back(' ');
-    out->append(node->text());
+size_t AnnotationStore::TokenizeForIndex(const Annotation& ann, std::string* text_buf,
+                                         std::vector<std::string_view>* words) {
+  std::string& text = *text_buf;
+  text.clear();
+  // The content document's text nodes are exactly the annotation's field
+  // values in build order — dc fields, body, user-tag values (content
+  // always round-trips BuildContentXml; see CommitBatch's prebuilt-content
+  // contract) — so the search text is assembled from the contiguous struct
+  // fields instead of a pointer-chasing DOM walk. Semantics match
+  // CollectTextSeparated over the built DOM, including the empty-tag-value
+  // separator case.
+  ann.dc.AppendValuesSeparated(&text);
+  if (!ann.body.empty()) {
+    if (!text.empty()) text.push_back(' ');
+    text.append(ann.body);
   }
-  for (const auto& child : node->children()) {
-    CollectTextSeparated(child.get(), out);
+  for (const auto& [k, v] : ann.user_tags) {
+    (void)k;
+    if (!text.empty()) text.push_back(' ');
+    text.append(v);
   }
-}
-
-std::string ContentText(const Annotation& ann) {
-  std::string text;
-  if (ann.content.root() != nullptr) CollectTextSeparated(ann.content.root(), &text);
-  return text;
-}
-
-}  // namespace
-
-void AnnotationStore::IndexContentText(AnnotationId id, const Annotation& ann) {
-  std::string text = ContentText(ann);
-  // Phrase search matches the serialized content only (not tags/terms),
-  // case-insensitively; cache the lower-cased form once at commit.
-  lower_text_.emplace(id, util::ToLower(text));
+  // One lower-casing pass over the content, in place; the buffer then
+  // serves both the phrase cache (the commit paths copy the content
+  // prefix into lower_text_) and tokenization (TokenizeWordViews does no
+  // case folding of its own).
+  for (char& c : text) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  const size_t content_len = text.size();
   for (const auto& [k, v] : ann.user_tags) {
     text += ' ';
     text += k;
@@ -268,15 +543,32 @@ void AnnotationStore::IndexContentText(AnnotationId id, const Annotation& ann) {
     text += ' ';
     text += oref.term;
   }
-  std::vector<std::string> words = util::TokenizeWords(text);
-  std::sort(words.begin(), words.end());
-  words.erase(std::unique(words.begin(), words.end()), words.end());
-  std::vector<uint32_t>& token_list = tokens_of_[id];
-  token_list.reserve(words.size());
-  for (std::string& w : words) {
-    auto [it, inserted] = token_ids_.emplace(std::move(w), postings_.size());
-    if (inserted) postings_.emplace_back();
-    std::vector<AnnotationId>& posting = postings_[it->second];
+  for (size_t i = content_len; i < text.size(); ++i) {
+    text[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  words->clear();
+  util::TokenizeWordViews(text, words);
+  std::sort(words->begin(), words->end());
+  words->erase(std::unique(words->begin(), words->end()), words->end());
+  return content_len;
+}
+
+uint32_t AnnotationStore::InternToken(std::string_view w) {
+  uint32_t tid = token_ids_.Intern(w);
+  if (tid == postings_.size()) postings_.emplace_back();
+  return tid;
+}
+
+void AnnotationStore::IndexContentText(AnnotationId id, const Annotation& ann) {
+  std::string text_buf;
+  std::vector<std::string_view> words;
+  size_t content_len = TokenizeForIndex(ann, &text_buf, &words);
+  // Phrase search matches the serialized content only (not tags/terms),
+  // case-insensitively; cache the lower-cased form once at commit.
+  lower_text_.emplace(id, std::string(text_buf.data(), content_len));
+  for (std::string_view w : words) {
+    uint32_t tid = InternToken(w);
+    std::vector<AnnotationId>& posting = postings_[tid];
     // Ids normally arrive ascending; forced ids (persistence replay) may
     // not, so keep the posting sorted either way.
     if (posting.empty() || posting.back() < id) {
@@ -284,19 +576,23 @@ void AnnotationStore::IndexContentText(AnnotationId id, const Annotation& ann) {
     } else {
       posting.insert(std::upper_bound(posting.begin(), posting.end(), id), id);
     }
-    token_list.push_back(it->second);
   }
 }
 
-void AnnotationStore::UnindexContentText(AnnotationId id) {
-  auto it = tokens_of_.find(id);
-  if (it != tokens_of_.end()) {
-    for (uint32_t tid : it->second) {
-      std::vector<AnnotationId>& posting = postings_[tid];
-      auto pos = std::lower_bound(posting.begin(), posting.end(), id);
-      if (pos != posting.end() && *pos == id) posting.erase(pos);
-    }
-    tokens_of_.erase(it);
+void AnnotationStore::UnindexContentText(AnnotationId id, const Annotation& ann) {
+  // Tokens are recomputed from the annotation's fields — the same
+  // deterministic derivation commit used — instead of being materialized
+  // per annotation at ingest: removal is rare, ingest is hot, and the
+  // per-annotation token vectors were pure ingest overhead.
+  std::string text_buf;
+  std::vector<std::string_view> words;
+  TokenizeForIndex(ann, &text_buf, &words);
+  for (std::string_view w : words) {
+    uint32_t tid = token_ids_.Find(w);
+    if (tid == util::StringInterner::kNone) continue;
+    std::vector<AnnotationId>& posting = postings_[tid];
+    auto pos = std::lower_bound(posting.begin(), posting.end(), id);
+    if (pos != posting.end() && *pos == id) posting.erase(pos);
   }
   lower_text_.erase(id);
 }
@@ -304,8 +600,8 @@ void AnnotationStore::UnindexContentText(AnnotationId id) {
 std::vector<AnnotationId> AnnotationStore::SearchKeyword(std::string_view word) const {
   std::vector<std::string> tokens = util::TokenizeWords(word);
   if (tokens.size() != 1) return SearchAllKeywords(tokens);
-  auto it = token_ids_.find(tokens[0]);
-  return it == token_ids_.end() ? std::vector<AnnotationId>{} : postings_[it->second];
+  uint32_t tid = token_ids_.Find(tokens[0]);
+  return tid == util::StringInterner::kNone ? std::vector<AnnotationId>{} : postings_[tid];
 }
 
 std::vector<AnnotationId> AnnotationStore::SearchAllKeywords(
@@ -319,9 +615,9 @@ std::vector<AnnotationId> AnnotationStore::SearchAllKeywords(
     std::vector<std::string> tokens = util::TokenizeWords(w);
     if (tokens.empty()) return {};
     for (const std::string& t : tokens) {
-      auto it = token_ids_.find(t);
-      if (it == token_ids_.end()) return {};
-      lists.push_back(&postings_[it->second]);
+      uint32_t tid = token_ids_.Find(t);
+      if (tid == util::StringInterner::kNone) return {};
+      lists.push_back(&postings_[tid]);
     }
   }
   std::sort(lists.begin(), lists.end());

@@ -30,6 +30,7 @@
 #include "agraph/agraph.h"
 #include "annotation/annotation.h"
 #include "spatial/index_manager.h"
+#include "util/string_interner.h"
 #include "util/result.h"
 
 namespace graphitti {
@@ -53,12 +54,55 @@ class AnnotationStore {
 
   /// Commits a built annotation: assigns ids, materializes the XML, indexes
   /// substructures (deduplicating identical marks into shared referents),
-  /// and extends the a-graph. Rolls back nothing on failure: errors are
-  /// validated up front (invalid marks, unknown coordinate systems).
-  /// `forced_id` (non-zero) preserves a persisted id; it must not collide
-  /// with an existing annotation.
+  /// and extends the a-graph. Errors are validated up front (invalid marks,
+  /// unknown coordinate systems); a failure that can only surface mid-way
+  /// through the marks loop (e.g. a region whose rect dims mismatch its
+  /// registered coordinate system) rolls back the referents and content
+  /// node staged for this annotation, so a failed Commit never leaves the
+  /// store half-mutated. `forced_id` (non-zero) preserves a persisted id;
+  /// it must not collide with an existing annotation.
   util::Result<AnnotationId> Commit(const AnnotationBuilder& builder,
                                     AnnotationId forced_id = 0);
+
+  /// Commits a batch of annotations through the bulk pipeline. Every
+  /// builder is validated up front — marks, coordinate systems (including
+  /// rect-dims canonicalization), forced-id collisions against the store
+  /// and within the batch — before any state changes, so a bad builder
+  /// rejects the whole batch with the store untouched (all-or-nothing,
+  /// unlike a loop of Commit which stops at the first failure). Referent
+  /// interning then stages spatial insertion into per-domain interval and
+  /// per-canonical-system region accumulators that flush through
+  /// IndexManager::BulkLoadIntervals / BulkLoadRegions (one tree build per
+  /// touched domain); keyword postings append in one pass (ids ascend, so
+  /// appends are already sorted) with per-touched-token sortedness repair
+  /// at flush for out-of-order forced ids; a-graph node capacity is
+  /// reserved from batch totals and edges wire by dense index. On
+  /// success, observable state (assigned ids, query answers, a-graph
+  /// shape, integrity) is identical to committing the builders one by one.
+  /// `forced_ids`, when non-empty, must have one entry per builder
+  /// (0 = assign fresh) — the persistence-reload path.
+  ///
+  /// `prebuilt_contents`, when non-null, must have one document per
+  /// builder; a non-empty document is *consumed* (moved, id attribute
+  /// restamped) as that annotation's content instead of re-serializing the
+  /// builder through BuildContentXml — the reload fast path, where the
+  /// content was just parsed from disk. An empty document falls back to
+  /// BuildContentXml. Callers must pass documents that round-trip to the
+  /// builder (FromContentXml(doc) == builder), or stored content and
+  /// search text will disagree with the per-commit path.
+  util::Result<std::vector<AnnotationId>> CommitBatch(
+      const std::vector<AnnotationBuilder>& builders,
+      const std::vector<AnnotationId>& forced_ids = {},
+      std::vector<xml::XmlDocument>* prebuilt_contents = nullptr);
+
+  /// Consuming overload: identical observable semantics, but each
+  /// annotation's metadata (Dublin Core fields, body, user tags, ontology
+  /// refs) is moved out of its builder instead of copied — for callers
+  /// that discard the builders afterwards, like persistence reload.
+  util::Result<std::vector<AnnotationId>> CommitBatch(
+      std::vector<AnnotationBuilder>&& builders,
+      const std::vector<AnnotationId>& forced_ids = {},
+      std::vector<xml::XmlDocument>* prebuilt_contents = nullptr);
 
   /// Removes an annotation; referents drop a refcount and disappear from
   /// spatial indexes and the a-graph when orphaned.
@@ -142,10 +186,64 @@ class AnnotationStore {
   }
 
  private:
+  /// Undo log for one Commit's marks loop: shared referents whose object
+  /// id the commit adopted (had none before), and object nodes the commit
+  /// created in the a-graph — restored/removed if a later mark fails, so a
+  /// failed Commit leaves no trace.
+  struct MarkUndo {
+    std::vector<ReferentId> adoptions;
+    std::vector<agraph::NodeRef> created_object_nodes;
+  };
+
+  /// Deferred spatial insertions for one CommitBatch: interval entries per
+  /// 1D domain and canonical-frame region entries per canonical system,
+  /// flushed through the IndexManager bulk builds after staging.
+  /// Flush order across domains is independent (one tree per domain), so
+  /// hashed maps are fine — and cheaper, as these are probed once per mark.
+  struct BatchStaging {
+    std::unordered_map<std::string, std::vector<spatial::IntervalEntry>> intervals;
+    std::unordered_map<std::string, std::vector<spatial::RTreeEntry>> regions;
+  };
+
+  /// Shared CommitBatch engine. `consume` is true only for the rvalue
+  /// overload, which owns the builders and may steal their metadata.
+  util::Result<std::vector<AnnotationId>> CommitBatchImpl(
+      const std::vector<AnnotationBuilder>& builders,
+      const std::vector<AnnotationId>& forced_ids,
+      std::vector<xml::XmlDocument>* prebuilt_contents, bool consume);
+
+  /// Tokenizes `ann`'s search text (content text, user-tag keys, ontology
+  /// terms) into `words` — sorted, deduplicated views into `text_buf` —
+  /// and returns the length of the lowered *content* prefix in `text_buf`
+  /// (what the commit paths copy into lower_text_; this function itself
+  /// mutates no store state, so the removal path reuses it freely). Both
+  /// out-params are caller-owned scratch, reusable across calls (a batch
+  /// tokenizes thousands of annotations with two allocations total); the
+  /// views die with the next reuse of `text_buf`.
+  size_t TokenizeForIndex(const Annotation& ann, std::string* text_buf,
+                          std::vector<std::string_view>* words);
+  /// Token id for `w`, interning it (with an empty posting list) on first
+  /// sight.
+  uint32_t InternToken(std::string_view w);
   void IndexContentText(AnnotationId id, const Annotation& ann);
-  void UnindexContentText(AnnotationId id);
+  /// Drops `ann`'s postings by re-deriving its token set from the stored
+  /// fields (the same deterministic derivation IndexContentText used), so
+  /// ingest never materializes per-annotation token vectors.
+  void UnindexContentText(AnnotationId id, const Annotation& ann);
+  /// Interns (or refcounts) the referent for `sub`. With `staging` null,
+  /// spatial kinds are inserted into the shared index immediately
+  /// (per-commit path); with `staging` set, the index entry is accumulated
+  /// for a later bulk flush instead (batch path).
+  /// `node_index`, when non-null, receives the referent's a-graph dense
+  /// index so batch callers can wire edges without re-hashing the ref
+  /// (valid only until the next node removal). `undo`, when non-null,
+  /// collects the side effects a failing commit must reverse (object-id
+  /// adoptions, object nodes created).
   util::Result<ReferentId> InternReferent(const substructure::Substructure& sub,
-                                          uint64_t object_id);
+                                          uint64_t object_id,
+                                          BatchStaging* staging = nullptr,
+                                          uint32_t* node_index = nullptr,
+                                          MarkUndo* undo = nullptr);
   /// Removes one reference to `id`, erasing the referent entirely at zero.
   void ReleaseReferent(ReferentId id);
 
@@ -154,20 +252,26 @@ class AnnotationStore {
 
   std::map<AnnotationId, Annotation> annotations_;
   std::map<ReferentId, Referent> referents_;
-  std::map<std::string, ReferentId> referent_by_key_;  // Substructure::ToString() key
+  // Substructure::ToString() key -> referent. Hashed, not ordered: the key
+  // is only ever used for exact lookup, and bulk ingest hammers it once per
+  // mark.
+  std::unordered_map<std::string, ReferentId> referent_by_key_;
   // Domain -> ascending referent ids (ids are monotonically issued, so
   // push_back keeps each list sorted). Drives ForEachReferentInDomain.
-  std::map<std::string, std::vector<ReferentId>, std::less<>> referents_by_domain_;
+  // Hashed: only per-domain lookups, never ordered iteration. Queries pay
+  // one short std::string construction per call (C++17 unordered maps have
+  // no heterogeneous find); ingest probes it once per new referent.
+  std::unordered_map<std::string, std::vector<ReferentId>> referents_by_domain_;
 
   // Keyword inverted index with interned tokens: token string -> dense token
   // id; postings_[token id] is the ascending posting list of annotations
-  // containing the token. tokens_of_ records each annotation's token ids so
-  // removal is O(annotation tokens), not O(vocabulary). lower_text_ caches
-  // the lower-cased serialized content per annotation so phrase search never
-  // re-derives (and re-lowers) it per candidate.
-  std::unordered_map<std::string, uint32_t> token_ids_;
+  // containing the token. Removal re-derives an annotation's token set from
+  // its stored fields (see UnindexContentText), so ingest stores no
+  // per-annotation token vectors. lower_text_ caches the lower-cased
+  // serialized content per annotation so phrase search never re-derives
+  // (and re-lowers) it per candidate.
+  util::StringInterner token_ids_;
   std::vector<std::vector<AnnotationId>> postings_;
-  std::unordered_map<AnnotationId, std::vector<uint32_t>> tokens_of_;
   std::unordered_map<AnnotationId, std::string> lower_text_;
 
   std::map<std::string, uint64_t> term_node_ids_;

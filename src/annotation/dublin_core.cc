@@ -42,11 +42,33 @@ void DublinCore::AppendTo(xml::XmlNode* parent) const {
 DublinCore DublinCore::FromXml(const xml::XmlNode* element) {
   DublinCore dc;
   if (element == nullptr) return dc;
-  for (const FieldDesc& f : kFields) {
-    const xml::XmlNode* child = element->FirstChildElement(std::string("dc:") + f.name);
-    if (child != nullptr) dc.*(f.member) = child->InnerText();
+  // One pass over the children (instead of one FirstChildElement scan per
+  // field — this runs once per annotation on persistence reload). Only the
+  // first occurrence of each field is taken, matching FirstChildElement.
+  uint32_t seen = 0;
+  for (const auto& child : element->children()) {
+    if (!child->is_element()) continue;
+    std::string_view tag = child->tag();
+    if (tag.substr(0, 3) != "dc:") continue;
+    tag.remove_prefix(3);
+    for (size_t i = 0; i < kFields.size(); ++i) {
+      if ((seen & (1u << i)) == 0 && tag == kFields[i].name) {
+        dc.*(kFields[i].member) = child->InnerText();
+        seen |= 1u << i;
+        break;
+      }
+    }
   }
   return dc;
+}
+
+void DublinCore::AppendValuesSeparated(std::string* out) const {
+  for (const FieldDesc& f : kFields) {
+    const std::string& value = this->*(f.member);
+    if (value.empty()) continue;
+    if (!out->empty()) out->push_back(' ');
+    out->append(value);
+  }
 }
 
 std::vector<std::pair<std::string, std::string>> DublinCore::NonEmptyFields() const {

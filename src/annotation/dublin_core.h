@@ -38,6 +38,12 @@ struct DublinCore {
   /// (field-name, value) pairs for the non-empty fields.
   std::vector<std::pair<std::string, std::string>> NonEmptyFields() const;
 
+  /// Appends the non-empty field values in canonical field order,
+  /// space-separating them from any existing buffer content — the Dublin
+  /// Core slice of an annotation's search text, without building a DOM
+  /// walk or a pair vector.
+  void AppendValuesSeparated(std::string* out) const;
+
   bool operator==(const DublinCore& other) const;
 };
 

@@ -273,6 +273,12 @@ util::Result<annotation::AnnotationId> Graphitti::Commit(
   return store_->Commit(builder);
 }
 
+util::Result<std::vector<annotation::AnnotationId>> Graphitti::CommitBatch(
+    const std::vector<annotation::AnnotationBuilder>& builders) {
+  util::RwGate::ExclusiveLock gate(gate_);
+  return store_->CommitBatch(builders);
+}
+
 util::Status Graphitti::RemoveAnnotation(annotation::AnnotationId id) {
   util::RwGate::ExclusiveLock gate(gate_);
   return store_->Remove(id);

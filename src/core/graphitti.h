@@ -175,6 +175,17 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// [exclusive] Commits a built annotation across all substrates
   /// atomically with respect to concurrent [shared] readers.
   util::Result<annotation::AnnotationId> Commit(const annotation::AnnotationBuilder& builder);
+  /// [exclusive] Commits a batch of annotations through the bulk pipeline:
+  /// the gate's exclusive side is taken once for the whole batch (not per
+  /// annotation), referent index insertions flush as one bulk tree build
+  /// per touched domain, and keyword postings append in one pass. On
+  /// success the observable state (assigned ids, query answers, a-graph
+  /// shape) is identical to a loop of Commit over the same builders; on
+  /// failure the batch is all-or-nothing — validation rejects the whole
+  /// batch before any state changes. Readers never observe a partially
+  /// applied batch. The ingest fast path for corpus loads.
+  util::Result<std::vector<annotation::AnnotationId>> CommitBatch(
+      const std::vector<annotation::AnnotationBuilder>& builders);
   /// [exclusive] Removes an annotation (and any orphaned referents).
   util::Status RemoveAnnotation(annotation::AnnotationId id);
   /// [shared] Annotations whose referents mark the given object.

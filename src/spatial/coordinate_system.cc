@@ -84,6 +84,15 @@ util::Result<CoordinateSystem> CoordinateSystemRegistry::Get(std::string_view na
   return it->second;
 }
 
+util::Result<int> CoordinateSystemRegistry::Dims(std::string_view name) const {
+  auto it = systems_.find(name);
+  if (it == systems_.end()) {
+    return util::Status::NotFound("coordinate system '" + std::string(name) +
+                                  "' not registered");
+  }
+  return it->second.dims;
+}
+
 util::Result<std::pair<std::string, Rect>> CoordinateSystemRegistry::ToCanonical(
     std::string_view system, const Rect& local) const {
   GRAPHITTI_ASSIGN_OR_RETURN(CoordinateSystem cs, Get(system));

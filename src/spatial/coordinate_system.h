@@ -49,6 +49,10 @@ class CoordinateSystemRegistry {
   /// Lookup; NotFound if unregistered.
   util::Result<CoordinateSystem> Get(std::string_view name) const;
 
+  /// Dims of a registered system, without copying the full record — lets
+  /// validation passes check rect arity cheaply before transforming.
+  util::Result<int> Dims(std::string_view name) const;
+
   /// Transforms `local` from `system` into that system's canonical frame and
   /// reports the canonical system name.
   util::Result<std::pair<std::string, Rect>> ToCanonical(std::string_view system,

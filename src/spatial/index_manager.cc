@@ -38,6 +38,28 @@ util::Status IndexManager::RemoveInterval(std::string_view domain, const Interva
   return util::Status::OK();
 }
 
+util::Status IndexManager::BulkLoadIntervals(std::string_view domain,
+                                             std::vector<IntervalEntry> entries) {
+  if (entries.empty()) return util::Status::OK();
+  if (domain.empty()) return util::Status::InvalidArgument("empty interval domain");
+  auto it = interval_trees_.find(domain);
+  if (it != interval_trees_.end() && !it->second->empty()) {
+    // Merge-rebuild: drain the existing tree and pack old + new entries in
+    // one build. BulkLoad sorts everything anyway, so draining in tree
+    // order costs nothing extra.
+    entries.reserve(entries.size() + it->second->size());
+    it->second->ForEach([&](const IntervalEntry& e) { entries.push_back(e); });
+  }
+  GRAPHITTI_ASSIGN_OR_RETURN(IntervalTree tree, IntervalTree::BulkLoad(std::move(entries)));
+  if (it != interval_trees_.end()) {
+    *it->second = std::move(tree);
+  } else {
+    interval_trees_.emplace(std::string(domain),
+                            std::make_unique<IntervalTree>(std::move(tree)));
+  }
+  return util::Status::OK();
+}
+
 std::vector<IntervalEntry> IndexManager::QueryIntervals(std::string_view domain,
                                                         const Interval& window) const {
   auto it = interval_trees_.find(domain);
@@ -81,6 +103,36 @@ util::Status IndexManager::RemoveRegion(std::string_view system, const Rect& loc
   }
   GRAPHITTI_RETURN_NOT_OK(it->second->Erase(canonical.second, id));
   if (it->second->empty()) rtrees_.erase(it);
+  return util::Status::OK();
+}
+
+util::Status IndexManager::BulkLoadRegions(std::string_view system,
+                                           std::vector<RTreeEntry> entries) {
+  if (entries.empty()) return util::Status::OK();
+  GRAPHITTI_ASSIGN_OR_RETURN(CoordinateSystem cs, coord_systems_.Get(system));
+  for (RTreeEntry& e : entries) {
+    if (e.rect.dims != cs.dims) {
+      return util::Status::InvalidArgument("rect dims " + std::to_string(e.rect.dims) +
+                                           " != system dims " + std::to_string(cs.dims));
+    }
+    if (!e.rect.valid()) {
+      return util::Status::InvalidArgument("invalid rect " + e.rect.ToString());
+    }
+    e.rect = cs.ToCanonical(e.rect);
+  }
+  auto it = rtrees_.find(cs.canonical);
+  if (it != rtrees_.end() && !it->second->empty()) {
+    // Merge-rebuild: drain the existing canonical tree into the batch and
+    // rebuild once via STR.
+    entries.reserve(entries.size() + it->second->size());
+    it->second->ForEach([&](const RTreeEntry& e) { entries.push_back(e); });
+  }
+  GRAPHITTI_ASSIGN_OR_RETURN(RTree tree, RTree::BulkLoad(std::move(entries), cs.dims));
+  if (it != rtrees_.end()) {
+    *it->second = std::move(tree);
+  } else {
+    rtrees_.emplace(cs.canonical, std::make_unique<RTree>(std::move(tree)));
+  }
   return util::Status::OK();
 }
 

@@ -38,6 +38,18 @@ class IndexManager {
   util::Status AddInterval(std::string_view domain, const Interval& interval, uint64_t id);
   util::Status RemoveInterval(std::string_view domain, const Interval& interval, uint64_t id);
 
+  /// Bulk entry point for batched ingest and persistence reload: adds all
+  /// `entries` to `domain`'s shared tree in one build instead of one Insert
+  /// per entry. When the domain has no tree yet (the persistence-reload /
+  /// first-batch case) the entries are packed into a fresh perfectly
+  /// balanced tree via IntervalTree::BulkLoad; otherwise the existing
+  /// entries are drained and rebuilt together with the new ones in a single
+  /// merge-rebuild. Rejects invalid intervals and duplicate (interval, id)
+  /// pairs (against each other or the existing tree) without touching the
+  /// stored tree.
+  util::Status BulkLoadIntervals(std::string_view domain,
+                                 std::vector<IntervalEntry> entries);
+
   /// All (interval, id) entries in `domain` overlapping `window`.
   std::vector<IntervalEntry> QueryIntervals(std::string_view domain,
                                             const Interval& window) const;
@@ -61,6 +73,18 @@ class IndexManager {
   /// The system must be registered first.
   util::Status AddRegion(std::string_view system, const Rect& local_rect, uint64_t id);
   util::Status RemoveRegion(std::string_view system, const Rect& local_rect, uint64_t id);
+
+  /// Bulk entry point for batched ingest: adds all `entries` (rects in
+  /// `system` coordinates) to the canonical R-tree in one build. Fresh
+  /// domains are packed via the STR bulk load (RTree::BulkLoad); a
+  /// non-empty canonical tree is drained and merge-rebuilt together with
+  /// the new entries. Callers batching across derived systems should
+  /// canonicalize while accumulating and pass the canonical system name, so
+  /// systems sharing one canonical frame flush as a single build (the
+  /// canonical transform is the identity, so pre-canonicalized rects pass
+  /// through unchanged). Validation errors (unknown system, dims mismatch,
+  /// invalid rect, duplicates) leave the stored tree untouched.
+  util::Status BulkLoadRegions(std::string_view system, std::vector<RTreeEntry> entries);
 
   /// All (canonical rect, id) entries overlapping `local_window` (given in
   /// `system` coordinates).

@@ -115,12 +115,21 @@ bool Substructure::operator==(const Substructure& other) const {
 }
 
 std::string Substructure::ToString() const {
-  std::string out(SubTypeToString(type_));
-  out += "@";
+  std::string_view type_name = SubTypeToString(type_);
+  std::string out;
+  // One allocation for the common interval case: this string is built once
+  // per mark on bulk ingest (it is the referent dedup key).
+  out.reserve(type_name.size() + 1 + domain_.size() + 48);
+  out += type_name;
+  out += '@';
   out += domain_;
   switch (type_) {
     case SubType::kInterval:
-      out += interval_.ToString();
+      out += '[';
+      out += std::to_string(interval_.lo);
+      out += ',';
+      out += std::to_string(interval_.hi);
+      out += ']';
       break;
     case SubType::kRegion:
       out += rect_.ToString();

@@ -1,0 +1,94 @@
+// Flat open-addressing string interner: string -> dense uint32 id.
+//
+// Purpose-built for hot intern loops (keyword tokens: ~8 probes per
+// annotation on bulk ingest). Compared with unordered_map<string,uint32>,
+// a probe touches one contiguous slot array plus (on candidate match) the
+// id's string — no bucket-node chase — and a cached per-id hash makes
+// rehashing and slot comparison cheap. Ids are dense and issued in intern
+// order, so callers can use them to index side arrays (posting lists).
+#ifndef GRAPHITTI_UTIL_STRING_INTERNER_H_
+#define GRAPHITTI_UTIL_STRING_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphitti {
+namespace util {
+
+class StringInterner {
+ public:
+  static constexpr uint32_t kNone = ~0u;
+
+  /// Id for `s`, interning it (next dense id) when unseen.
+  uint32_t Intern(std::string_view s) {
+    if ((strings_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+    uint64_t h = Hash(s);
+    size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    while (slots_[i] != kNone) {
+      uint32_t id = slots_[i];
+      if (hashes_[id] == h && strings_[id] == s) return id;
+      i = (i + 1) & mask;
+    }
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    slots_[i] = id;
+    hashes_.push_back(h);
+    strings_.emplace_back(s);
+    return id;
+  }
+
+  /// Id for `s`, or kNone when never interned. Never mutates (safe for
+  /// concurrent readers under the engine's shared gate).
+  uint32_t Find(std::string_view s) const {
+    if (slots_.empty()) return kNone;
+    uint64_t h = Hash(s);
+    size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    while (slots_[i] != kNone) {
+      uint32_t id = slots_[i];
+      if (hashes_[id] == h && strings_[id] == s) return id;
+      i = (i + 1) & mask;
+    }
+    return kNone;
+  }
+
+  const std::string& StringOf(uint32_t id) const { return strings_[id]; }
+  size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+ private:
+  static uint64_t Hash(std::string_view s) {
+    // FNV-1a 64 with a finalizing mix (short keys cluster otherwise).
+    uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  void Grow() {
+    size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    slots_.assign(cap, kNone);
+    size_t mask = cap - 1;
+    for (uint32_t id = 0; id < strings_.size(); ++id) {
+      size_t i = static_cast<size_t>(hashes_[id]) & mask;
+      while (slots_[i] != kNone) i = (i + 1) & mask;
+      slots_[i] = id;
+    }
+  }
+
+  std::vector<std::string> strings_;  // id -> string
+  std::vector<uint64_t> hashes_;      // id -> cached hash
+  std::vector<uint32_t> slots_;       // open-addressed table of ids
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_STRING_INTERNER_H_

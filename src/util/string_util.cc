@@ -81,18 +81,30 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
 }
 
 std::vector<std::string> TokenizeWords(std::string_view text) {
+  // One source of truth for the alphanumeric-run scan: the view tokenizer
+  // below. Indexing and query tokenization must never drift apart, or
+  // committed annotations stop matching searches.
+  std::vector<std::string_view> views;
+  TokenizeWordViews(text, &views);
   std::vector<std::string> out;
-  std::string cur;
-  for (char c : text) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    } else if (!cur.empty()) {
-      out.push_back(std::move(cur));
-      cur.clear();
-    }
+  out.reserve(views.size());
+  for (std::string_view v : views) {
+    std::string w(v);
+    for (char& c : w) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    out.push_back(std::move(w));
   }
-  if (!cur.empty()) out.push_back(std::move(cur));
   return out;
+}
+
+void TokenizeWordViews(std::string_view text, std::vector<std::string_view>* out) {
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && !std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < n && std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out->push_back(text.substr(start, i - start));
+  }
 }
 
 bool ParseInt64(std::string_view s, int64_t* out) {

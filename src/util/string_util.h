@@ -34,6 +34,12 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 /// Tokenizes into lower-cased alphanumeric words (for keyword indexing).
 std::vector<std::string> TokenizeWords(std::string_view text);
 
+/// Splits `text` into maximal alphanumeric runs as views into `text` —
+/// TokenizeWords without the per-word allocations or case folding (callers
+/// lower-case the backing buffer first). Views are appended to `out` and
+/// remain valid only while the backing buffer is unchanged.
+void TokenizeWordViews(std::string_view text, std::vector<std::string_view>* out);
+
 /// Parses a signed 64-bit integer; returns false on any malformed input.
 bool ParseInt64(std::string_view s, int64_t* out);
 

@@ -41,10 +41,24 @@ void XmlNode::SetAttribute(std::string_view name, std::string_view value) {
   attributes_.emplace_back(std::string(name), std::string(value));
 }
 
+void XmlNode::AppendAttribute(std::string name, std::string value) {
+  // Elements with attributes usually carry several (referent-refs have
+  // 6+); one up-front reservation beats three vector doublings.
+  if (attributes_.capacity() == 0) attributes_.reserve(4);
+  attributes_.emplace_back(std::move(name), std::move(value));
+}
+
 XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
   child->parent_ = this;
   children_.push_back(std::move(child));
   return children_.back().get();
+}
+
+std::vector<std::unique_ptr<XmlNode>> XmlNode::TakeChildren() {
+  std::vector<std::unique_ptr<XmlNode>> out;
+  out.swap(children_);
+  for (auto& child : out) child->parent_ = nullptr;
+  return out;
 }
 
 XmlNode* XmlNode::AddElement(std::string tag) { return AddChild(Element(std::move(tag))); }
@@ -78,10 +92,16 @@ std::vector<const XmlNode*> XmlNode::ChildElements(std::string_view tag) const {
 }
 
 std::string XmlNode::InnerText() const {
+  // Fast path for the overwhelmingly common <tag>text</tag> shape.
+  if (children_.size() == 1 && children_[0]->is_text()) return children_[0]->text_;
   std::string out;
-  if (is_text()) out += text_;
-  for (const auto& child : children_) out += child->InnerText();
+  AppendInnerText(&out);
   return out;
+}
+
+void XmlNode::AppendInnerText(std::string* out) const {
+  if (is_text()) out->append(text_);
+  for (const auto& child : children_) child->AppendInnerText(out);
 }
 
 size_t XmlNode::SubtreeSize() const {

@@ -40,6 +40,9 @@ class XmlNode {
   /// Returns the attribute value or nullptr if absent.
   const std::string* FindAttribute(std::string_view name) const;
   void SetAttribute(std::string_view name, std::string_view value);
+  /// Appends without the existing-name scan or value copy — for callers
+  /// (the parser) that already checked for duplicates.
+  void AppendAttribute(std::string name, std::string value);
 
   // --- Tree structure ---
   XmlNode* parent() const { return parent_; }
@@ -53,6 +56,12 @@ class XmlNode {
   /// Convenience: append <tag>text</tag> and return the element.
   XmlNode* AddElementWithText(std::string tag, std::string text);
 
+  /// Detaches and returns all children (parent links cleared); this node
+  /// becomes a leaf. The persistence reload path uses this to turn the
+  /// parsed <annotations> wrapper's children into per-annotation documents
+  /// without deep-copying the subtrees.
+  std::vector<std::unique_ptr<XmlNode>> TakeChildren();
+
   /// First child element with the given tag, or nullptr.
   const XmlNode* FirstChildElement(std::string_view tag) const;
   XmlNode* FirstChildElement(std::string_view tag);
@@ -61,6 +70,8 @@ class XmlNode {
 
   /// Concatenated text of all descendant text nodes.
   std::string InnerText() const;
+  /// InnerText appended into a caller-owned buffer (no temporaries).
+  void AppendInnerText(std::string* out) const;
 
   /// Number of nodes in this subtree (including this node).
   size_t SubtreeSize() const;

@@ -36,8 +36,9 @@ class Parser {
   bool LookingAt(std::string_view s) const {
     return input_.substr(pos_, s.size()) == s;
   }
+  static bool IsWs(char c) { return c == ' ' || c == '\n' || c == '\t' || c == '\r'; }
   void SkipWs() {
-    while (!AtEnd() && std::isspace(static_cast<unsigned char>(input_[pos_]))) ++pos_;
+    while (!AtEnd() && IsWs(input_[pos_])) ++pos_;
   }
 
   Status Error(std::string msg) const {
@@ -78,36 +79,42 @@ class Parser {
     }
   }
 
+  // ASCII-only name classes: the locale-aware <cctype> calls cost a
+  // function call per character, which is measurable on multi-MB corpora.
   static bool IsNameStart(char c) {
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    char l = static_cast<char>(c | 0x20);
+    return (l >= 'a' && l <= 'z') || c == '_' || c == ':';
   }
   static bool IsNameChar(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
-           c == '-' || c == '.';
+    return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
   }
 
-  Result<std::string> ParseName() {
-    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+  // Zero-copy: the returned view aims into the input buffer; callers copy
+  // only where a name must be owned (element tags, attribute names), and
+  // close-tag names are compared without ever materializing a string.
+  bool ParseName(std::string_view* out) {
+    if (AtEnd() || !IsNameStart(Peek())) return false;
     size_t start = pos_;
     ++pos_;
     while (!AtEnd() && IsNameChar(Peek())) ++pos_;
-    return std::string(input_.substr(start, pos_ - start));
+    *out = input_.substr(start, pos_ - start);
+    return true;
   }
 
   Result<std::unique_ptr<XmlNode>> ParseElement() {
     if (Peek() != '<') return Error("expected '<'");
     ++pos_;
-    auto name = ParseName();
-    if (!name.ok()) return name.status();
-    auto elem = XmlNode::Element(std::move(name).ValueUnsafe());
+    std::string_view name;
+    if (!ParseName(&name)) return Error("expected name");
+    auto elem = XmlNode::Element(std::string(name));
 
     // Attributes.
     while (true) {
       SkipWs();
       if (AtEnd()) return Error("unexpected end inside tag");
       if (Peek() == '/' || Peek() == '>') break;
-      auto attr_name = ParseName();
-      if (!attr_name.ok()) return attr_name.status();
+      std::string_view attr_name;
+      if (!ParseName(&attr_name)) return Error("expected name");
       SkipWs();
       if (Peek() != '=') return Error("expected '=' after attribute name");
       ++pos_;
@@ -116,14 +123,17 @@ class Parser {
       if (quote != '"' && quote != '\'') return Error("expected quoted attribute value");
       ++pos_;
       size_t start = pos_;
-      while (!AtEnd() && Peek() != quote) ++pos_;
-      if (AtEnd()) return Error("unterminated attribute value");
+      pos_ = input_.find(quote, pos_);
+      if (pos_ == std::string_view::npos) {
+        pos_ = input_.size();
+        return Error("unterminated attribute value");
+      }
       std::string value = DecodeEntities(input_.substr(start, pos_ - start));
       ++pos_;
-      if (elem->FindAttribute(*attr_name) != nullptr) {
-        return Error("duplicate attribute '" + *attr_name + "'");
+      if (elem->FindAttribute(attr_name) != nullptr) {
+        return Error("duplicate attribute '" + std::string(attr_name) + "'");
       }
-      elem->SetAttribute(*attr_name, value);
+      elem->AppendAttribute(std::string(attr_name), std::move(value));
     }
 
     if (Peek() == '/') {
@@ -139,10 +149,11 @@ class Parser {
       if (AtEnd()) return Error("unterminated element <" + elem->tag() + ">");
       if (LookingAt("</")) {
         pos_ += 2;
-        auto close = ParseName();
-        if (!close.ok()) return close.status();
-        if (*close != elem->tag()) {
-          return Error("mismatched close tag </" + *close + "> for <" + elem->tag() + ">");
+        std::string_view close;
+        if (!ParseName(&close)) return Error("expected name");
+        if (close != elem->tag()) {
+          return Error("mismatched close tag </" + std::string(close) + "> for <" +
+                       elem->tag() + ">");
         }
         SkipWs();
         if (Peek() != '>') return Error("expected '>' in close tag");
@@ -177,11 +188,22 @@ class Parser {
       }
       // Text run.
       size_t start = pos_;
-      while (!AtEnd() && Peek() != '<') ++pos_;
-      std::string text = DecodeEntities(input_.substr(start, pos_ - start));
-      // Drop whitespace-only runs (layout noise from pretty-printing).
-      if (!util::Trim(text).empty()) {
-        elem->AddChild(XmlNode::Text(std::string(util::Trim(text))));
+      pos_ = input_.find('<', pos_);
+      if (pos_ == std::string_view::npos) pos_ = input_.size();
+      // Drop whitespace-only runs (layout noise from pretty-printing)
+      // before decoding, so indentation between elements never allocates.
+      std::string_view raw = util::Trim(input_.substr(start, pos_ - start));
+      if (!raw.empty()) {
+        std::string text = DecodeEntities(raw);
+        // Entities can decode to whitespace; re-trim and drop if empty.
+        std::string_view trimmed = util::Trim(text);
+        if (!trimmed.empty()) {
+          // Already tight (the usual case): hand the buffer over instead
+          // of copying it a second time.
+          elem->AddChild(trimmed.size() == text.size()
+                             ? XmlNode::Text(std::move(text))
+                             : XmlNode::Text(std::string(trimmed)));
+        }
       }
     }
   }
@@ -193,12 +215,20 @@ class Parser {
 }  // namespace
 
 std::string DecodeEntities(std::string_view raw) {
+  // Fast path: no entities at all (the overwhelmingly common case for
+  // attribute values and text runs) — one bulk copy, no per-char loop.
+  size_t first = raw.find('&');
+  if (first == std::string_view::npos) return std::string(raw);
   std::string out;
   out.reserve(raw.size());
-  size_t i = 0;
+  out.append(raw.substr(0, first));
+  size_t i = first;
   while (i < raw.size()) {
     if (raw[i] != '&') {
-      out.push_back(raw[i++]);
+      size_t next = raw.find('&', i);
+      if (next == std::string_view::npos) next = raw.size();
+      out.append(raw.substr(i, next - i));
+      i = next;
       continue;
     }
     size_t semi = raw.find(';', i);

@@ -1,0 +1,372 @@
+// ISSUE-5 bulk-commit pipeline tests: CommitBatch must be observably
+// identical to a loop of Commit (ids, spatial query answers, keyword
+// search, a-graph shape, integrity), all-or-nothing on a bad builder, and
+// the per-commit path must roll back cleanly when a mark fails mid-loop.
+// Also the corpus-scale persistence round trip: bulk-reloaded trees must
+// answer window/next/nearest queries identically to the incrementally
+// built originals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graphitti.h"
+#include "util/random.h"
+
+namespace graphitti {
+namespace {
+
+namespace fs = std::filesystem;
+
+using annotation::AnnotationBuilder;
+using annotation::AnnotationId;
+using core::Graphitti;
+using spatial::Interval;
+using spatial::IntervalEntry;
+using spatial::Rect;
+using spatial::RTreeEntry;
+using util::Rng;
+
+constexpr int kNumSegments = 6;
+constexpr int kNumChromosomes = 3;
+
+std::unique_ptr<Graphitti> FreshEngine() {
+  auto g = std::make_unique<Graphitti>();
+  EXPECT_TRUE(g->RegisterCoordinateSystem("atlas", 2).ok());
+  EXPECT_TRUE(g->RegisterDerivedCoordinateSystem("stack50um", "atlas", {2.0, 2.0, 1.0},
+                                                 {10.0, 20.0, 0.0})
+                  .ok());
+  return g;
+}
+
+// Randomized mixed-shape corpus: intervals over several 1D domains, regions
+// through both the canonical and a derived coordinate system, repeated marks
+// (shared referents), user tags, ontology refs, and a skewed vocabulary.
+std::vector<AnnotationBuilder> MakeCorpus(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<AnnotationBuilder> builders;
+  builders.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    AnnotationBuilder b;
+    std::string body = "alpha";
+    if (i % 4 == 0) body += " beta";
+    if (i % 16 == 0) body += " gamma observed near the mark";
+    body += " w" + std::to_string(rng.Next64() % (n / 4 + 1));
+    b.Title("bulk" + std::to_string(i)).Creator("tester").Body(body);
+    // A quarter of annotations re-mark a small pool of intervals, so the
+    // batch exercises shared referents (refcount > 1) within one batch.
+    int64_t lo = (i % 4 == 0) ? static_cast<int64_t>(100 * (rng.Next64() % 8))
+                              : static_cast<int64_t>(rng.Next64() % 100000);
+    b.MarkInterval("flu:seg" + std::to_string(i % kNumSegments), lo, lo + 50);
+    if (i % 3 == 0) {
+      int64_t lo2 = static_cast<int64_t>(rng.Next64() % 50000);
+      b.MarkInterval("mouse:chr" + std::to_string(i % kNumChromosomes), lo2, lo2 + 30);
+    }
+    if (i % 5 == 0) {
+      double x = static_cast<double>(rng.Next64() % 2048);
+      double y = static_cast<double>(rng.Next64() % 2048);
+      b.MarkRegion(i % 2 ? "stack50um" : "atlas", Rect::Make2D(x, y, x + 8, y + 8));
+    }
+    if (i % 7 == 0) b.UserTag("grade", i % 2 ? "high" : "low");
+    if (i % 11 == 0) b.OntologyReference("go", "GO:000" + std::to_string(i % 5));
+    builders.push_back(std::move(b));
+  }
+  return builders;
+}
+
+std::vector<uint64_t> IntervalIds(const std::vector<IntervalEntry>& entries) {
+  std::vector<uint64_t> ids;
+  ids.reserve(entries.size());
+  for (const IntervalEntry& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> RegionIds(const std::vector<RTreeEntry>& entries) {
+  std::vector<uint64_t> ids;
+  ids.reserve(entries.size());
+  for (const RTreeEntry& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Asserts that `a` and `b` answer the same spatial window/next/nearest and
+// keyword probes identically. Tree *shapes* may differ (incremental vs
+// bulk-packed), so id sets — not traversal order — are compared where order
+// is shape-dependent.
+void ExpectSameAnswers(const Graphitti& a, const Graphitti& b) {
+  EXPECT_EQ(a.Stats().ToString(), b.Stats().ToString());
+  Rng rng(77);
+  for (int s = 0; s < kNumSegments; ++s) {
+    std::string domain = "flu:seg" + std::to_string(s);
+    for (int probe = 0; probe < 8; ++probe) {
+      int64_t lo = static_cast<int64_t>(rng.Next64() % 100000);
+      Interval w{lo, lo + 500};
+      EXPECT_EQ(IntervalIds(a.indexes().QueryIntervals(domain, w)),
+                IntervalIds(b.indexes().QueryIntervals(domain, w)))
+          << domain << " window [" << w.lo << "," << w.hi << "]";
+      auto na = a.indexes().NextInterval(domain, lo);
+      auto nb = b.indexes().NextInterval(domain, lo);
+      ASSERT_EQ(na.has_value(), nb.has_value()) << domain << " next@" << lo;
+      if (na) {
+        EXPECT_EQ(na->interval, nb->interval);
+        EXPECT_EQ(na->id, nb->id);
+      }
+    }
+  }
+  for (int c = 0; c < kNumChromosomes; ++c) {
+    std::string domain = "mouse:chr" + std::to_string(c);
+    Interval w{0, 50000};
+    EXPECT_EQ(IntervalIds(a.indexes().QueryIntervals(domain, w)),
+              IntervalIds(b.indexes().QueryIntervals(domain, w)));
+  }
+  for (int probe = 0; probe < 8; ++probe) {
+    double x = static_cast<double>(rng.Next64() % 2048);
+    double y = static_cast<double>(rng.Next64() % 2048);
+    Rect w = Rect::Make2D(x, y, x + 300, y + 300);
+    auto ra = a.indexes().QueryRegions("atlas", w);
+    auto rb = b.indexes().QueryRegions("atlas", w);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(RegionIds(*ra), RegionIds(*rb));
+    // Derived-system windows canonicalize before the tree walk; both
+    // engines must agree through that transform too.
+    auto da = a.indexes().QueryRegions("stack50um", w);
+    auto db = b.indexes().QueryRegions("stack50um", w);
+    ASSERT_TRUE(da.ok() && db.ok());
+    EXPECT_EQ(RegionIds(*da), RegionIds(*db));
+    const spatial::RTree* ta = a.indexes().GetRTree("atlas");
+    const spatial::RTree* tb = b.indexes().GetRTree("atlas");
+    ASSERT_EQ(ta != nullptr, tb != nullptr);
+    if (ta != nullptr) {
+      EXPECT_EQ(RegionIds(ta->Nearest(Rect::Point2D(x, y), 5)),
+                RegionIds(tb->Nearest(Rect::Point2D(x, y), 5)));
+    }
+  }
+  for (const char* word : {"alpha", "beta", "gamma", "w0", "w3", "grade", "nosuchword"}) {
+    EXPECT_EQ(a.annotations().SearchKeyword(word), b.annotations().SearchKeyword(word))
+        << "keyword " << word;
+  }
+  EXPECT_EQ(a.annotations().SearchPhrase("observed near the mark"),
+            b.annotations().SearchPhrase("observed near the mark"));
+}
+
+TEST(CommitBatch, MatchesLoopOfCommitOnRandomizedBuilders) {
+  const std::vector<AnnotationBuilder> corpus = MakeCorpus(29, 400);
+
+  auto loop = FreshEngine();
+  std::vector<AnnotationId> loop_ids;
+  for (const AnnotationBuilder& b : corpus) {
+    auto id = loop->Commit(b);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    loop_ids.push_back(*id);
+  }
+
+  auto batched = FreshEngine();
+  auto batch_ids = batched->CommitBatch(corpus);
+  ASSERT_TRUE(batch_ids.ok()) << batch_ids.status().ToString();
+
+  EXPECT_EQ(loop_ids, *batch_ids);
+  // The a-graph dump is insertion-ordered, so batched == per-commit must
+  // hold line-for-line, not just as a set.
+  EXPECT_EQ(loop->ExportAGraph(), batched->ExportAGraph());
+  ExpectSameAnswers(*loop, *batched);
+  EXPECT_TRUE(loop->ValidateIntegrity().ok());
+  EXPECT_TRUE(batched->ValidateIntegrity().ok());
+}
+
+TEST(CommitBatch, SecondBatchMergeRebuildsNonEmptyTrees) {
+  // First batch packs fresh trees; the second must merge-rebuild (drain +
+  // bulk build) and still agree with one flat loop of Commit.
+  const std::vector<AnnotationBuilder> first = MakeCorpus(5, 150);
+  const std::vector<AnnotationBuilder> second = MakeCorpus(13, 150);
+
+  auto loop = FreshEngine();
+  for (const AnnotationBuilder& b : first) ASSERT_TRUE(loop->Commit(b).ok());
+  for (const AnnotationBuilder& b : second) ASSERT_TRUE(loop->Commit(b).ok());
+
+  auto batched = FreshEngine();
+  ASSERT_TRUE(batched->CommitBatch(first).ok());
+  ASSERT_TRUE(batched->CommitBatch(second).ok());
+
+  EXPECT_EQ(loop->ExportAGraph(), batched->ExportAGraph());
+  ExpectSameAnswers(*loop, *batched);
+  EXPECT_TRUE(batched->ValidateIntegrity().ok());
+}
+
+TEST(CommitBatch, AllOrNothingOnBadBuilder) {
+  auto g = FreshEngine();
+  const std::string before = g->Stats().ToString();
+  const std::string graph_before = g->ExportAGraph();
+
+  std::vector<AnnotationBuilder> batch = MakeCorpus(3, 20);
+  AnnotationBuilder bad;
+  bad.Title("bad").Body("zeta");
+  bad.MarkInterval("flu:seg0", 1, 10);
+  bad.MarkRegion("nosuchsystem", Rect::Make2D(0, 0, 5, 5));
+  batch.push_back(std::move(bad));
+
+  auto ids = g->CommitBatch(batch);
+  EXPECT_FALSE(ids.ok());
+  // Validation rejected the whole batch before any state change.
+  EXPECT_EQ(g->Stats().ToString(), before);
+  EXPECT_EQ(g->ExportAGraph(), graph_before);
+  EXPECT_TRUE(g->annotations().SearchKeyword("alpha").empty());
+  EXPECT_TRUE(g->ValidateIntegrity().ok());
+
+  // The id counter was not consumed: the next commit starts at 1.
+  batch.pop_back();
+  auto ok_ids = g->CommitBatch(batch);
+  ASSERT_TRUE(ok_ids.ok());
+  EXPECT_EQ(ok_ids->front(), 1u);
+}
+
+TEST(CommitBatch, RejectsDimsMismatchUpFront) {
+  // Passes the registered-system check but fails canonicalization (3D rect
+  // in a 2D system) — must be caught in validation, not at flush.
+  auto g = FreshEngine();
+  std::vector<AnnotationBuilder> batch;
+  AnnotationBuilder ok;
+  ok.Title("fine").Body("body").MarkInterval("flu:seg0", 1, 10);
+  batch.push_back(std::move(ok));
+  AnnotationBuilder bad;
+  bad.Title("bad").Body("body").MarkRegion("atlas", Rect::Make3D(0, 0, 0, 1, 1, 1));
+  batch.push_back(std::move(bad));
+
+  EXPECT_FALSE(g->CommitBatch(batch).ok());
+  EXPECT_EQ(g->Stats().num_annotations, 0u);
+  EXPECT_TRUE(g->indexes().QueryIntervals("flu:seg0", {0, 100}).empty());
+  EXPECT_TRUE(g->ValidateIntegrity().ok());
+}
+
+TEST(CommitBatch, ForcedIdCollisionsRejected) {
+  auto g = FreshEngine();
+  AnnotationBuilder a;
+  a.Title("a").Body("one").MarkInterval("flu:seg0", 1, 10);
+  ASSERT_TRUE(g->Commit(a).ok());  // takes id 1
+
+  std::vector<AnnotationBuilder> batch;
+  AnnotationBuilder b;
+  b.Title("b").Body("two").MarkInterval("flu:seg0", 2, 11);
+  batch.push_back(b);
+  batch.push_back(b);
+
+  // Collision with an existing annotation.
+  EXPECT_FALSE(g->annotations().CommitBatch(batch, {1, 0}).ok());
+  // Collision within the batch itself.
+  EXPECT_FALSE(g->annotations().CommitBatch(batch, {7, 7}).ok());
+  // Size mismatch.
+  EXPECT_FALSE(g->annotations().CommitBatch(batch, {7}).ok());
+  EXPECT_EQ(g->Stats().num_annotations, 1u);
+  EXPECT_TRUE(g->ValidateIntegrity().ok());
+
+  // Valid forced ids interleave with fresh assignment: forced 7 jumps the
+  // counter, the fresh one continues past it.
+  auto ids = g->annotations().CommitBatch(batch, {7, 0});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<AnnotationId>{7, 8}));
+  EXPECT_TRUE(g->ValidateIntegrity().ok());
+}
+
+// Regression for the ISSUE-5 bugfix: a mark that fails partway through
+// Commit's marks loop (valid substructure, registered system, but the rect
+// dims mismatch its coordinate system — caught only at index insertion)
+// used to leave earlier marks half-committed: referents interned, index
+// entries and a-graph nodes live.
+TEST(CommitRollback, MidLoopMarkFailureLeavesStoreUntouched) {
+  auto g = FreshEngine();
+
+  // A pre-existing annotation whose referent the failing commit re-marks:
+  // rollback must only drop the refcount it added, not destroy the shared
+  // referent.
+  AnnotationBuilder existing;
+  existing.Title("existing").Body("keeper").MarkInterval("flu:seg1", 10, 50);
+  ASSERT_TRUE(g->Commit(existing).ok());
+
+  const std::string stats_before = g->Stats().ToString();
+  const std::string graph_before = g->ExportAGraph();
+
+  for (const Rect& bad_rect : {Rect::Make3D(0, 0, 0, 1, 1, 1)}) {
+    AnnotationBuilder failing;
+    failing.Title("failing").Body("doomed words");
+    // Shared with `existing`, and adopting an object id the shared
+    // referent did not have — rollback must restore it to unowned.
+    failing.MarkInterval("flu:seg1", 10, 50, /*object_id=*/7);
+    // Fresh referent, fresh domain, and an object id with no pre-existing
+    // a-graph node: rollback must also drop the object node it created
+    // (the ExportAGraph comparison below catches a leak).
+    failing.MarkInterval("flu:seg2", 5, 9, /*object_id=*/99);
+    failing.MarkRegion("atlas", bad_rect);      // fails at index insertion
+    auto id = g->Commit(failing);
+    ASSERT_FALSE(id.ok());
+  }
+  {
+    auto shared = g->annotations().FindReferent(
+        substructure::Substructure::MakeInterval("flu:seg1", {10, 50}));
+    ASSERT_TRUE(shared.ok());
+    ASSERT_NE(g->annotations().GetReferent(*shared), nullptr);
+    EXPECT_EQ(g->annotations().GetReferent(*shared)->object_id, 0u)
+        << "failed commit must roll back object-id adoption on shared referents";
+  }
+  // Unknown coordinate system fails the same way (third mark, after two
+  // referents were interned).
+  {
+    AnnotationBuilder failing;
+    failing.Title("failing2").Body("doomed words");
+    failing.MarkInterval("flu:seg1", 10, 50);
+    failing.MarkInterval("flu:seg2", 5, 9);
+    failing.MarkRegion("nosuchsystem", Rect::Make2D(0, 0, 1, 1));
+    ASSERT_FALSE(g->Commit(failing).ok());
+  }
+
+  // Exactly the pre-failure state: no leaked referents, index entries,
+  // a-graph nodes, or postings.
+  EXPECT_EQ(g->Stats().ToString(), stats_before);
+  EXPECT_EQ(g->ExportAGraph(), graph_before);
+  EXPECT_TRUE(g->indexes().QueryIntervals("flu:seg2", {0, 100}).empty());
+  ASSERT_EQ(g->indexes().QueryIntervals("flu:seg1", {0, 100}).size(), 1u);
+  EXPECT_TRUE(g->annotations().SearchKeyword("doomed").empty());
+  EXPECT_EQ(g->annotations().SearchKeyword("keeper").size(), 1u);
+  EXPECT_TRUE(g->ValidateIntegrity().ok());
+
+  // The failed commits consumed no ids, and the shared referent still
+  // resolves for new commits.
+  AnnotationBuilder next;
+  next.Title("next").Body("fresh").MarkInterval("flu:seg1", 10, 50);
+  auto id = g->Commit(next);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 2u);
+  EXPECT_EQ(g->Stats().num_referents, 1u);  // still the one shared referent
+  EXPECT_TRUE(g->ValidateIntegrity().ok());
+}
+
+TEST(BulkReload, TenThousandAnnotationRoundTrip) {
+  // Incrementally built original vs bulk-reloaded copy: LoadFrom now packs
+  // each domain's tree in one bulk build, and must answer window/next/
+  // nearest probes identically to the insert-at-a-time originals.
+  constexpr size_t kN = 10000;
+  auto original = FreshEngine();
+  for (const AnnotationBuilder& b : MakeCorpus(41, kN)) {
+    ASSERT_TRUE(original->Commit(b).ok());
+  }
+
+  fs::path dir = fs::temp_directory_path() / "graphitti_bulk_commit_test_10k";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  ASSERT_TRUE(original->SaveTo(dir.string()).ok());
+
+  auto reloaded = Graphitti::LoadFrom(dir.string());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  EXPECT_EQ((*reloaded)->Stats().num_annotations, kN);
+  ExpectSameAnswers(*original, **reloaded);
+  EXPECT_TRUE((*reloaded)->ValidateIntegrity().ok());
+
+  fs::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace graphitti
