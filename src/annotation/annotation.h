@@ -51,7 +51,12 @@ struct Annotation {
   std::vector<std::pair<std::string, std::string>> user_tags;
   std::vector<ReferentId> referents;
   std::vector<OntologyRef> ontology_refs;
-  xml::XmlDocument content;  // materialized XML (the stored form)
+  /// Materialized XML (the stored form). May be cold after a binary-snapshot
+  /// restore (empty document, serialized bytes parked in the store) until
+  /// first access hydrates it — access through AnnotationStore::ContentOf /
+  /// ContentXml / HasContent instead of reading this field directly.
+  /// `mutable` because hydration is a logically-const cache fill.
+  mutable xml::XmlDocument content;
 };
 
 /// Fluent builder reproducing the annotation-tab flow (Fig. 2): fill Dublin

@@ -5,6 +5,7 @@
 
 #include "util/dense_set.h"
 #include "util/string_util.h"
+#include "xml/xml_parser.h"
 #include "xml/xquery.h"
 
 namespace graphitti {
@@ -440,6 +441,11 @@ util::Status AnnotationStore::Remove(AnnotationId id) {
   // stays consistent.
   for (ReferentId rid : it->second.referents) ReleaseReferent(rid);
   annotations_.erase(it);
+  if (has_cold_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(hydrate_mu_);
+    cold_content_.erase(id);
+    if (cold_content_.empty()) has_cold_.store(false, std::memory_order_release);
+  }
   return util::Status::OK();
 }
 
@@ -663,8 +669,54 @@ std::vector<AnnotationId> AnnotationStore::SearchPhrase(std::string_view phrase)
 std::vector<const xml::XmlDocument*> AnnotationStore::Collection() const {
   std::vector<const xml::XmlDocument*> out;
   out.reserve(annotations_.size());
-  for (const auto& [_, ann] : annotations_) out.push_back(&ann.content);
+  for (const auto& [_, ann] : annotations_) out.push_back(&ContentOf(ann));
   return out;
+}
+
+const xml::XmlDocument& AnnotationStore::ContentOf(const Annotation& ann) const {
+  // Fast path: no cold entries anywhere, so every DOM is hot and immutable
+  // — safe to read without the lock. While has_cold_ is set, ann.content
+  // may be written by a concurrent hydration, so ALL access goes through
+  // the mutex (even for annotations that were never cold: the flag is
+  // store-wide, and distinguishing per-annotation would need the map
+  // lookup the lock protects anyway).
+  if (!has_cold_.load(std::memory_order_acquire)) return ann.content;
+  std::lock_guard<std::mutex> lock(hydrate_mu_);
+  auto it = cold_content_.find(ann.id);
+  if (it == cold_content_.end()) return ann.content;  // hydrated by a racer
+  util::Result<xml::XmlDocument> doc = xml::ParseXml(it->second);
+  // The bytes were serialized by our own snapshot writer and CRC-verified;
+  // a parse failure is unreachable short of a logic bug, in which case the
+  // annotation degrades to content-less rather than crashing a recovery.
+  if (doc.ok()) ann.content = std::move(*doc);
+  cold_content_.erase(it);
+  if (cold_content_.empty()) has_cold_.store(false, std::memory_order_release);
+  return ann.content;
+}
+
+std::string AnnotationStore::ContentXml(const Annotation& ann) const {
+  if (has_cold_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(hydrate_mu_);
+    auto it = cold_content_.find(ann.id);
+    // Still cold: the stored bytes verbatim, no parse + re-serialize
+    // round-trip (this is what makes snapshot-of-a-restored-engine
+    // byte-stable).
+    if (it != cold_content_.end()) return it->second;
+    // Hydrated under this mutex by some earlier holder; the DOM is
+    // immutable from then on, so serializing after unlock is safe.
+  }
+  return ann.content.ToString(false);
+}
+
+bool AnnotationStore::HasContent(const Annotation& ann) const {
+  if (!has_cold_.load(std::memory_order_acquire)) return !ann.content.empty();
+  std::lock_guard<std::mutex> lock(hydrate_mu_);
+  return !ann.content.empty() || cold_content_.count(ann.id) > 0;
+}
+
+std::string_view AnnotationStore::LowerTextOf(AnnotationId id) const {
+  auto it = lower_text_.find(id);
+  return it == lower_text_.end() ? std::string_view() : std::string_view(it->second);
 }
 
 util::Result<std::vector<AnnotationId>> AnnotationStore::XQuerySearch(
@@ -682,6 +734,167 @@ util::Result<std::vector<AnnotationId>> AnnotationStore::XQuerySearch(
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+util::Status AnnotationStore::RestoreSnapshotState(
+    std::vector<RestoredReferent> referents, std::vector<RestoredAnnotation> annotations,
+    RestoredKeywordIndex keyword_index, std::vector<std::string> term_names,
+    uint64_t next_annotation_id, uint64_t next_referent_id) {
+  if (!annotations_.empty() || !referents_.empty() || !postings_.empty() ||
+      !term_names_.empty()) {
+    return util::Status::Internal("RestoreSnapshotState requires an empty store");
+  }
+  if (keyword_index.tokens.size() != keyword_index.postings.size()) {
+    return util::Status::Internal("snapshot keyword index tokens/postings length mismatch");
+  }
+
+  // Term ids are dense and 1-based; the maps restore up front, but each
+  // term's a-graph NODE is created lazily at its first referencing edge
+  // below — the same order the original commits produced, so the graph
+  // round-trips node for node.
+  term_names_ = std::move(term_names);
+  for (size_t i = 0; i < term_names_.size(); ++i) {
+    term_node_ids_.emplace(term_names_[i], i + 1);
+  }
+
+  // Referents: table + dedup key + domain index now, spatial entries
+  // staged for one bulk tree build per domain (the same pipeline as
+  // CommitBatch). A-graph referent nodes are created lazily at first use.
+  BatchStaging staging;
+  // Per-referent facts the annotation loop below needs — the restored
+  // Referent's address, its dedup key (reused as the a-graph node label so
+  // Substructure::ToString runs once per referent, not twice) and the
+  // of-object edge flag — collected in one hash map so that loop does one
+  // lookup per reference instead of an rb-tree find plus a re-serialize.
+  struct RefAux {
+    const Referent* ref;
+    std::string_view key;  // into referent_by_key_ (node-stable keys)
+    bool object_edge;
+  };
+  std::unordered_map<ReferentId, RefAux> ref_aux;
+  ref_aux.reserve(referents.size());
+  referent_by_key_.reserve(referents.size());
+  // Snapshot referents cluster by domain (commit order), so remember the
+  // last domain bucket instead of re-hashing the domain string every row.
+  std::string_view last_domain;
+  std::vector<ReferentId>* last_domain_vec = nullptr;
+  uint64_t prev_rid = 0;
+  for (RestoredReferent& rr : referents) {
+    if (rr.ref.id <= prev_rid) {
+      return util::Status::Internal("snapshot referents not ascending by id");
+    }
+    prev_rid = rr.ref.id;
+    auto ref_it = referents_.emplace_hint(referents_.end(), rr.ref.id, std::move(rr.ref));
+    const Referent& ref = ref_it->second;
+    const substructure::Substructure& sub = ref.substructure;
+    switch (sub.type()) {
+      case substructure::SubType::kInterval:
+        staging.intervals[sub.domain()].push_back({sub.interval(), ref.id});
+        break;
+      case substructure::SubType::kRegion: {
+        GRAPHITTI_ASSIGN_OR_RETURN(
+            auto canonical,
+            indexes_->coordinate_systems().ToCanonical(sub.domain(), sub.rect()));
+        staging.regions[canonical.first].push_back({canonical.second, ref.id});
+        break;
+      }
+      default:
+        break;
+    }
+    if (last_domain_vec == nullptr || last_domain != sub.domain()) {
+      last_domain_vec = &referents_by_domain_[sub.domain()];
+      last_domain = sub.domain();
+    }
+    last_domain_vec->push_back(ref.id);
+    auto key_it = referent_by_key_.emplace(sub.ToString(), ref.id).first;
+    ref_aux.emplace(ref.id, RefAux{&ref, key_it->first, rr.object_edge});
+  }
+  for (auto& [domain, entries] : staging.intervals) {
+    GRAPHITTI_RETURN_NOT_OK(indexes_->BulkLoadIntervals(domain, std::move(entries)));
+  }
+  for (auto& [system, entries] : staging.regions) {
+    GRAPHITTI_RETURN_NOT_OK(indexes_->BulkLoadRegions(system, std::move(entries)));
+  }
+
+  // Keyword index: token strings intern in dense-id order and posting
+  // lists adopt verbatim — no document is tokenized at restore time.
+  postings_.reserve(keyword_index.tokens.size());
+  for (size_t i = 0; i < keyword_index.tokens.size(); ++i) {
+    uint32_t tid = InternToken(keyword_index.tokens[i]);
+    if (tid != i) {
+      return util::Status::Internal("snapshot keyword index has a duplicate token");
+    }
+    postings_[tid] = std::move(keyword_index.postings[i]);
+  }
+
+  // Annotations: metadata hot, content cold, a-graph wired in commit
+  // order (content node; per first-use referent: referent node, then its
+  // of-object edge, then the annotates edge; then term edges).
+  const uint32_t annotates_label = graph_->InternEdgeLabel(kEdgeAnnotates);
+  const uint32_t refers_to_label = graph_->InternEdgeLabel(kEdgeRefersTo);
+  graph_->Reserve(annotations.size() + referents_.size() + term_names_.size());
+  lower_text_.reserve(annotations.size());
+  cold_content_.reserve(annotations.size());
+  uint64_t prev_aid = 0;
+  for (RestoredAnnotation& ra : annotations) {
+    Annotation& ann = ra.ann;
+    const AnnotationId id = ann.id;
+    if (id <= prev_aid) {
+      return util::Status::Internal("snapshot annotations not ascending by id");
+    }
+    prev_aid = id;
+    const uint32_t content_idx = graph_->EnsureNodeIndex(
+        ContentNode(id), ann.dc.title.empty() ? ("annotation-" + std::to_string(id))
+                                              : ann.dc.title);
+    for (ReferentId rid : ann.referents) {
+      auto rit = ref_aux.find(rid);
+      if (rit == ref_aux.end()) {
+        return util::Status::Internal("snapshot annotation " + std::to_string(id) +
+                                      " references unknown referent " + std::to_string(rid));
+      }
+      const RefAux& aux = rit->second;
+      agraph::NodeRef rnode = ReferentNode(rid);
+      uint32_t ref_idx;
+      if (!graph_->HasNode(rnode)) {
+        ref_idx = graph_->EnsureNodeIndex(rnode, aux.key);
+        if (aux.ref->object_id != 0 && aux.object_edge) {
+          agraph::NodeRef object_node = agraph::NodeRef::Object(aux.ref->object_id);
+          graph_->EnsureNode(object_node);
+          (void)graph_->AddEdge(rnode, object_node, kEdgeOfObject);
+        }
+      } else {
+        ref_idx = graph_->EnsureNodeIndex(rnode);
+      }
+      graph_->AddEdgeIndexed(content_idx, ref_idx, annotates_label);
+    }
+    for (const OntologyRef& oref : ann.ontology_refs) {
+      std::string qualified = oref.Qualified();
+      auto tit = term_node_ids_.find(qualified);
+      if (tit == term_node_ids_.end()) {
+        return util::Status::Internal("snapshot annotation " + std::to_string(id) +
+                                      " references unknown term '" + qualified + "'");
+      }
+      agraph::NodeRef tnode = agraph::NodeRef::Term(tit->second);
+      if (!graph_->HasNode(tnode)) graph_->EnsureNode(tnode, qualified);
+      graph_->AddEdgeIndexed(content_idx, graph_->EnsureNodeIndex(tnode), refers_to_label);
+    }
+    lower_text_.emplace(id, std::move(ra.lower_text));
+    cold_content_.emplace(id, std::move(ra.content_xml));
+    annotations_.emplace_hint(annotations_.end(), id, std::move(ann));
+  }
+
+  // Terms whose every referencing annotation was later removed keep their
+  // (edge-less) node in the original graph; recreate those too, appended
+  // after everything else.
+  for (size_t i = 0; i < term_names_.size(); ++i) {
+    agraph::NodeRef tnode = agraph::NodeRef::Term(i + 1);
+    if (!graph_->HasNode(tnode)) graph_->EnsureNode(tnode, term_names_[i]);
+  }
+
+  next_annotation_id_ = next_annotation_id;
+  next_referent_id_ = next_referent_id;
+  has_cold_.store(!cold_content_.empty(), std::memory_order_release);
+  return util::Status::OK();
 }
 
 agraph::NodeRef AnnotationStore::TermNode(const std::string& qualified) {

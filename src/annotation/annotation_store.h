@@ -19,9 +19,11 @@
 #ifndef GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
 #define GRAPHITTI_ANNOTATION_ANNOTATION_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -160,8 +162,85 @@ class AnnotationStore {
   /// index when the phrase tokenizes to at least one word.
   std::vector<AnnotationId> SearchPhrase(std::string_view phrase) const;
 
-  /// The XML collection view for XQuery ("collection()").
+  /// The XML collection view for XQuery ("collection()"). Hydrates any
+  /// still-cold documents (see ContentOf).
   std::vector<const xml::XmlDocument*> Collection() const;
+
+  // --- Content access (lazy hydration) ---
+  //
+  // After a binary-snapshot restore, annotation content arrives as
+  // serialized XML bytes parked in cold_content_; the DOM is parsed on
+  // first access instead of at load time (parsing 50k documents dominates
+  // restart cost). These accessors are the only sanctioned way to read
+  // Annotation::content — they are safe under the engine's shared gate
+  // (internal mutex + atomic fast path), and on a store with no cold
+  // entries (every store that never restored a snapshot) the fast path is
+  // a single relaxed-ish atomic load.
+
+  /// The annotation's content DOM, hydrating it from the cold bytes first
+  /// if needed. The returned reference lives as long as the annotation.
+  const xml::XmlDocument& ContentOf(const Annotation& ann) const;
+
+  /// The serialized content (ToString(false) form) WITHOUT hydrating:
+  /// returns the cold bytes verbatim when present, else serializes the hot
+  /// DOM. Byte-exact across snapshot round-trips.
+  std::string ContentXml(const Annotation& ann) const;
+
+  /// Whether the annotation has any content (hot or cold) — the integrity
+  /// check's replacement for `!ann.content.empty()`.
+  bool HasContent(const Annotation& ann) const;
+
+  // --- Snapshot restore ---
+
+  /// One referent as decoded from a snapshot.
+  struct RestoredReferent {
+    Referent ref;
+    /// Whether the a-graph had a referent->object "of-object" edge (absent
+    /// when a later commit adopted the object id without re-marking).
+    bool object_edge = false;
+  };
+
+  /// One annotation as decoded from a snapshot: metadata hot, content cold.
+  struct RestoredAnnotation {
+    Annotation ann;           // content left empty
+    std::string content_xml;  // serialized content, hydrated on demand
+    std::string lower_text;   // pre-lowered content text for phrase search
+  };
+
+  /// The keyword index as decoded from a snapshot: token strings in dense
+  /// id order with their ascending posting lists. Restoring this verbatim
+  /// skips re-tokenizing every document at load time.
+  struct RestoredKeywordIndex {
+    std::vector<std::string> tokens;
+    std::vector<std::vector<AnnotationId>> postings;
+  };
+
+  /// Rebuilds the full store state from decoded snapshot sections. The
+  /// store must be empty; `referents` and `annotations` must be ascending
+  /// by id; object nodes referenced by referents must already exist in the
+  /// a-graph (core::Graphitti restores objects first). Spatial entries are
+  /// bulk-loaded per domain; a-graph nodes/edges are wired in the same
+  /// order the original commits produced, so ExportAGraph of a restored
+  /// engine matches the saved one line for line.
+  util::Status RestoreSnapshotState(std::vector<RestoredReferent> referents,
+                                    std::vector<RestoredAnnotation> annotations,
+                                    RestoredKeywordIndex keyword_index,
+                                    std::vector<std::string> term_names,
+                                    uint64_t next_annotation_id,
+                                    uint64_t next_referent_id);
+
+  // --- Snapshot encode accessors (core/durability.cc) ---
+  const std::vector<std::string>& TermNames() const { return term_names_; }
+  size_t NumTokens() const { return postings_.size(); }
+  std::string_view TokenString(uint32_t token_id) const {
+    return token_ids_.StringOf(token_id);
+  }
+  const std::vector<AnnotationId>& PostingsOf(uint32_t token_id) const {
+    return postings_[token_id];
+  }
+  std::string_view LowerTextOf(AnnotationId id) const;
+  uint64_t next_annotation_id() const { return next_annotation_id_; }
+  uint64_t next_referent_id() const { return next_referent_id_; }
 
   /// Runs a compiled-on-the-fly XQuery over the collection; returns matching
   /// annotation ids (document order).
@@ -279,6 +358,15 @@ class AnnotationStore {
 
   uint64_t next_annotation_id_ = 1;
   uint64_t next_referent_id_ = 1;
+
+  // Cold content store for snapshot-restored annotations: id -> serialized
+  // XML not yet parsed into Annotation::content. ContentOf moves entries
+  // out as they hydrate; has_cold_ flips false when the map drains, which
+  // re-arms the lock-free fast path. All mutable: hydration is a
+  // logically-const cache fill performed under hydrate_mu_.
+  mutable std::unordered_map<AnnotationId, std::string> cold_content_;
+  mutable std::mutex hydrate_mu_;
+  mutable std::atomic<bool> has_cold_{false};
 };
 
 }  // namespace annotation

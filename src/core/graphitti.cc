@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/durability.h"
+
 namespace graphitti {
 namespace core {
 
@@ -50,44 +52,70 @@ Graphitti::Graphitti() {
 }
 
 util::Status Graphitti::RegisterCoordinateSystem(std::string_view name, int dims) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
-  return indexes_.coordinate_systems().RegisterCanonical(name, dims);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
+  GRAPHITTI_RETURN_NOT_OK(indexes_.coordinate_systems().RegisterCanonical(name, dims));
+  if (env_ != nullptr) {
+    GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kCoordSystem,
+                                      walrec::EncodeCoordSystem(name, dims)));
+  }
+  return Status::OK();
 }
 
 util::Status Graphitti::RegisterDerivedCoordinateSystem(
     std::string_view name, std::string_view canonical,
     const std::array<double, spatial::Rect::kMaxDims>& scale,
     const std::array<double, spatial::Rect::kMaxDims>& offset) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
-  return indexes_.coordinate_systems().RegisterDerived(name, canonical, scale, offset);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
+  GRAPHITTI_RETURN_NOT_OK(
+      indexes_.coordinate_systems().RegisterDerived(name, canonical, scale, offset));
+  if (env_ != nullptr) {
+    GRAPHITTI_RETURN_NOT_OK(
+        WalAppend(persist::WalRecordType::kDerivedCoordSystem,
+                  walrec::EncodeDerivedCoordSystem(name, canonical, scale, offset)));
+  }
+  return Status::OK();
 }
 
 util::Result<const ontology::Ontology*> Graphitti::LoadOntology(
     std::string name, std::string_view obo_text) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (ontologies_.find(name) != ontologies_.end()) {
     return Status::AlreadyExists("ontology '" + name + "' already loaded");
   }
   GRAPHITTI_ASSIGN_OR_RETURN(ontology::Ontology onto, ontology::ParseObo(obo_text, name));
   auto [it, _] = ontologies_.emplace(std::move(name), std::move(onto));
+  if (env_ != nullptr) {
+    // The original OBO text is logged verbatim (not re-serialized), so
+    // replay parses exactly what this call parsed.
+    GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kOntology,
+                                      walrec::EncodeOntology(it->first, obo_text)));
+  }
   return &it->second;
 }
 
 const ontology::Ontology* Graphitti::GetOntology(std::string_view name) const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   auto it = ontologies_.find(name);
   return it == ontologies_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> Graphitti::OntologyNames() const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   std::vector<std::string> out;
   for (const auto& [name, _] : ontologies_) out.push_back(name);
   return out;
 }
 
-uint64_t Graphitti::RegisterObject(std::string_view table, relational::RowId row,
-                                   std::string label) {
+util::Result<uint64_t> Graphitti::RegisterObject(std::string_view table,
+                                                 relational::RowId row, std::string label) {
   uint64_t id = next_object_id_++;
   ObjectInfo info;
   info.id = id;
@@ -96,7 +124,20 @@ uint64_t Graphitti::RegisterObject(std::string_view table, relational::RowId row
   info.label = std::move(label);
   graph_.EnsureNode(agraph::NodeRef::Object(id), info.label);
   object_by_row_[info.table][row] = id;
-  objects_.emplace(id, std::move(info));
+  const ObjectInfo& stored = objects_.emplace(id, std::move(info)).first->second;
+  if (env_ != nullptr) {
+    // The kObject record carries the freshly inserted row's values so
+    // replay can re-insert it (the row and the registration are one
+    // logical mutation; see ApplyWalRecord).
+    const relational::Row* values = catalog_.GetTable(table)->Get(row);
+    if (values == nullptr) {
+      return Status::Internal("object " + std::to_string(id) + " registered over row " +
+                              std::to_string(row) + " that is not in table '" +
+                              std::string(table) + "'");
+    }
+    GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kObject,
+                                      walrec::EncodeObject(stored, *values)));
+  }
   return id;
 }
 
@@ -104,7 +145,9 @@ util::Result<uint64_t> Graphitti::IngestDnaSequence(std::string accession,
                                                     std::string organism,
                                                     std::string segment,
                                                     std::string residues) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   relational::Table* table = catalog_.GetTable(kTableDna);
   int64_t length = static_cast<int64_t>(residues.size());
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -119,7 +162,9 @@ util::Result<uint64_t> Graphitti::IngestRnaSequence(std::string accession,
                                                     std::string organism,
                                                     std::string segment,
                                                     std::string residues) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   relational::Table* table = catalog_.GetTable(kTableRna);
   int64_t length = static_cast<int64_t>(residues.size());
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -134,7 +179,9 @@ util::Result<uint64_t> Graphitti::IngestProteinSequence(std::string accession,
                                                         std::string organism,
                                                         std::string protein_name,
                                                         std::string residues) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   relational::Table* table = catalog_.GetTable(kTableProtein);
   int64_t length = static_cast<int64_t>(residues.size());
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -150,7 +197,9 @@ util::Result<uint64_t> Graphitti::IngestImage(std::string name,
                                               std::string modality, int64_t width,
                                               int64_t height, int64_t depth,
                                               std::vector<uint8_t> pixels) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (!indexes_.coordinate_systems().Contains(coordinate_system)) {
     return Status::NotFound("coordinate system '" + coordinate_system +
                             "' not registered; call RegisterCoordinateSystem first");
@@ -165,7 +214,9 @@ util::Result<uint64_t> Graphitti::IngestImage(std::string name,
 }
 
 util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_view newick) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   GRAPHITTI_ASSIGN_OR_RETURN(PhyloTree tree, PhyloTree::FromNewick(newick));
   relational::Table* table = catalog_.GetTable(kTablePhyloTree);
   GRAPHITTI_ASSIGN_OR_RETURN(
@@ -176,7 +227,9 @@ util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_
 }
 
 util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph& graph) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (graph.name().empty()) {
     return Status::InvalidArgument("interaction graph needs a name");
   }
@@ -192,7 +245,9 @@ util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph&
 }
 
 util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (!msa.valid()) {
     return Status::InvalidArgument("MSA rows must be non-empty and share one length");
   }
@@ -211,13 +266,27 @@ util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
 
 util::Result<relational::Table*> Graphitti::CreateTable(std::string name,
                                                         relational::Schema schema) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
-  return catalog_.CreateTable(std::move(name), std::move(schema));
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
+  // Encode before the catalog consumes name/schema; discarded if it
+  // rejects them (the non-durable common case pays nothing: env_ check).
+  std::string record;
+  if (env_ != nullptr) record = walrec::EncodeCreateTable(name, schema);
+  GRAPHITTI_ASSIGN_OR_RETURN(relational::Table * created,
+                             catalog_.CreateTable(std::move(name), std::move(schema)));
+  if (env_ != nullptr) {
+    GRAPHITTI_RETURN_NOT_OK(
+        WalAppend(persist::WalRecordType::kCreateTable, std::move(record)));
+  }
+  return created;
 }
 
 util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relational::Row row,
                                                std::string label) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
   relational::Table* t = catalog_.GetTable(table);
   if (t == nullptr) {
     return Status::NotFound("table '" + std::string(table) + "' not found");
@@ -230,17 +299,20 @@ util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relationa
 }
 
 const ObjectInfo* Graphitti::GetObject(uint64_t object_id) const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   auto it = objects_.find(object_id);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
 size_t Graphitti::num_objects() const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   return objects_.size();
 }
 
 const relational::Row* Graphitti::GetObjectRow(uint64_t object_id) const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   const ObjectInfo* info = GetObject(object_id);
   if (info == nullptr) return nullptr;
@@ -251,6 +323,7 @@ const relational::Row* Graphitti::GetObjectRow(uint64_t object_id) const {
 
 util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
     std::string_view table, const relational::Predicate& filter) const {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::SharedLock gate(gate_);
   const relational::Table* t = catalog_.GetTable(table);
   if (t == nullptr) {
@@ -269,23 +342,46 @@ util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
 
 util::Result<annotation::AnnotationId> Graphitti::Commit(
     const annotation::AnnotationBuilder& builder) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
-  return store_->Commit(builder);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
+  GRAPHITTI_ASSIGN_OR_RETURN(annotation::AnnotationId id, store_->Commit(builder));
+  if (env_ != nullptr) {
+    GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kCommitBatch,
+                                      walrec::EncodeCommitBatch(*store_, {id})));
+  }
+  return id;
 }
 
 util::Result<std::vector<annotation::AnnotationId>> Graphitti::CommitBatch(
     const std::vector<annotation::AnnotationBuilder>& builders) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
-  return store_->CommitBatch(builders);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
+  GRAPHITTI_ASSIGN_OR_RETURN(std::vector<annotation::AnnotationId> ids,
+                             store_->CommitBatch(builders));
+  if (env_ != nullptr && !ids.empty()) {
+    GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kCommitBatch,
+                                      walrec::EncodeCommitBatch(*store_, ids)));
+  }
+  return ids;
 }
 
 util::Status Graphitti::RemoveAnnotation(annotation::AnnotationId id) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
-  return store_->Remove(id);
+  GRAPHITTI_RETURN_NOT_OK(WalGuard());
+  GRAPHITTI_RETURN_NOT_OK(store_->Remove(id));
+  if (env_ != nullptr) {
+    GRAPHITTI_RETURN_NOT_OK(
+        WalAppend(persist::WalRecordType::kRemove, walrec::EncodeRemove(id)));
+  }
+  return Status::OK();
 }
 
 std::vector<annotation::AnnotationId> Graphitti::AnnotationsOnObject(
     uint64_t object_id) const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   std::vector<annotation::AnnotationId> out;
   agraph::NodeRef object_node = agraph::NodeRef::Object(object_id);
@@ -320,17 +416,20 @@ util::Result<query::QueryResult> Graphitti::Query(
   // the executor sees one commit-consistent engine snapshot. The resolver
   // callbacks (FindObjects/ExpandTermBelow) re-enter the gate, which is a
   // per-thread no-op.
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::SharedLock gate(gate_);
   query::Executor executor(MakeQueryContext(), options);
   return executor.ExecuteText(query_text);
 }
 
 util::Status Graphitti::MaterializePage(query::QueryResult* result, size_t page) const {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::SharedLock gate(gate_);
   return query::Executor(MakeQueryContext()).MaterializePage(result, page);
 }
 
 CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   CorrelatedData out;
   // One-hop neighbourhood, stepping through referents to their annotations
@@ -369,6 +468,7 @@ CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
 }
 
 SystemStats Graphitti::Stats() const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   SystemStats s;
   s.num_tables = catalog_.num_tables();
@@ -388,30 +488,42 @@ SystemStats Graphitti::Stats() const {
 }
 
 std::string Graphitti::ExportAGraph() const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   return graph_.ToText();
 }
 
 void Graphitti::VacuumTables() {
+  (void)EnsureHydrated();
   util::RwGate::ExclusiveLock gate(gate_);
+  if (!WalGuard().ok()) return;  // poisoned: refuse rather than diverge
   for (const std::string& name : catalog_.TableNames()) {
     catalog_.GetTable(name)->Vacuum();
+  }
+  if (env_ != nullptr) {
+    // Vacuum renumbers row ids, so replay must reproduce it at the same
+    // point in the op sequence. A failed append just poisons; the void
+    // signature has no error channel, and subsequent mutators refuse.
+    (void)WalAppend(persist::WalRecordType::kVacuum, std::string());
   }
 }
 
 util::Result<std::vector<uint64_t>> Graphitti::FindObjects(
     const std::string& table, const relational::Predicate& filter) const {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::SharedLock gate(gate_);
   return SearchObjects(table, filter);
 }
 
 std::string Graphitti::DescribeObject(uint64_t object_id) const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   const ObjectInfo* info = GetObject(object_id);
   return info == nullptr ? ("object-" + std::to_string(object_id)) : info->label;
 }
 
 std::vector<std::string> Graphitti::ExpandTermBelow(const std::string& qualified) const {
+  (void)EnsureHydrated();
   util::RwGate::SharedLock gate(gate_);
   std::vector<std::string> out;
   size_t colon = qualified.find(':');

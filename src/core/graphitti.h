@@ -29,8 +29,10 @@
 #ifndef GRAPHITTI_CORE_GRAPHITTI_H_
 #define GRAPHITTI_CORE_GRAPHITTI_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,9 @@
 #include "core/data_types.h"
 #include "ontology/obo_parser.h"
 #include "ontology/ontology.h"
+#include "persist/env.h"
+#include "persist/recovery.h"
+#include "persist/wal.h"
 #include "query/executor.h"
 #include "relational/catalog.h"
 #include "spatial/index_manager.h"
@@ -83,6 +88,24 @@ struct CorrelatedData {
   std::vector<std::string> terms;  // qualified ontology term names
 };
 
+/// Configuration for a crash-safe (OpenDurable) engine.
+struct DurabilityOptions {
+  /// WAL group-commit policy: fsync every record (default) or every
+  /// `interval_ms` milliseconds (a crash may then lose the last interval's
+  /// commits, but never tear one).
+  persist::WalOptions wal;
+  /// Filesystem seam; nullptr = the real filesystem (persist::Env::Default).
+  /// Tests inject persist::FaultInjectionEnv here.
+  persist::Env* env = nullptr;
+  /// Build the full in-memory state during OpenDurable instead of on first
+  /// access. The default (deferred hydration) makes restart I/O-bound: open
+  /// reads and CRC-verifies the snapshot and truncates any torn WAL tail,
+  /// then the first public call pays the decode + index/graph rebuild once.
+  /// Set true to move that cost back into OpenDurable (e.g. to front-load
+  /// it before serving traffic).
+  bool eager_restore = false;
+};
+
 class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
  public:
   /// Creates the engine with the built-in type tables registered and
@@ -96,14 +119,40 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   //
   // UNGATED: these bypass the reader-writer gate entirely. Use them only
   // while no other thread touches the engine (setup, teardown, tests).
-  relational::Catalog& catalog() { return catalog_; }
-  const relational::Catalog& catalog() const { return catalog_; }
-  spatial::IndexManager& indexes() { return indexes_; }
-  const spatial::IndexManager& indexes() const { return indexes_; }
-  agraph::AGraph& graph() { return graph_; }
-  const agraph::AGraph& graph() const { return graph_; }
-  annotation::AnnotationStore& annotations() { return *store_; }
-  const annotation::AnnotationStore& annotations() const { return *store_; }
+  // They do force deferred recovery first, so a freshly opened durable
+  // engine hands out fully hydrated substrates.
+  relational::Catalog& catalog() {
+    (void)EnsureHydrated();
+    return catalog_;
+  }
+  const relational::Catalog& catalog() const {
+    (void)EnsureHydrated();
+    return catalog_;
+  }
+  spatial::IndexManager& indexes() {
+    (void)EnsureHydrated();
+    return indexes_;
+  }
+  const spatial::IndexManager& indexes() const {
+    (void)EnsureHydrated();
+    return indexes_;
+  }
+  agraph::AGraph& graph() {
+    (void)EnsureHydrated();
+    return graph_;
+  }
+  const agraph::AGraph& graph() const {
+    (void)EnsureHydrated();
+    return graph_;
+  }
+  annotation::AnnotationStore& annotations() {
+    (void)EnsureHydrated();
+    return *store_;
+  }
+  const annotation::AnnotationStore& annotations() const {
+    (void)EnsureHydrated();
+    return *store_;
+  }
 
   // --- Coordinate systems (for image/3D regions) ---
 
@@ -172,8 +221,11 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
 
   // --- Annotation (the annotate tab) ---
 
-  /// [exclusive] Commits a built annotation across all substrates
-  /// atomically with respect to concurrent [shared] readers.
+  /// [exclusive] [durable] Commits a built annotation across all substrates
+  /// atomically with respect to concurrent [shared] readers. On a durable
+  /// engine the committed annotation is appended to the WAL (and fsynced
+  /// per the group-commit policy) before this returns: a post-return crash
+  /// recovers it.
   util::Result<annotation::AnnotationId> Commit(const annotation::AnnotationBuilder& builder);
   /// [exclusive] Commits a batch of annotations through the bulk pipeline:
   /// the gate's exclusive side is taken once for the whole batch (not per
@@ -184,9 +236,12 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// failure the batch is all-or-nothing — validation rejects the whole
   /// batch before any state changes. Readers never observe a partially
   /// applied batch. The ingest fast path for corpus loads.
+  /// [durable] The whole batch is one WAL record: recovery replays it
+  /// all-or-nothing, so a crash mid-anything never resurfaces a torn batch.
   util::Result<std::vector<annotation::AnnotationId>> CommitBatch(
       const std::vector<annotation::AnnotationBuilder>& builders);
-  /// [exclusive] Removes an annotation (and any orphaned referents).
+  /// [exclusive] [durable] Removes an annotation (and any orphaned
+  /// referents).
   util::Status RemoveAnnotation(annotation::AnnotationId id);
   /// [shared] Annotations whose referents mark the given object.
   std::vector<annotation::AnnotationId> AnnotationsOnObject(uint64_t object_id) const;
@@ -226,13 +281,55 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// [shared] Saves the full engine state (tables, objects, coordinate
   /// systems, ontologies, annotations) under `directory` (created if
   /// needed). Holds the shared side for the whole dump, so the snapshot
-  /// is commit-consistent.
+  /// is commit-consistent. Every file is written atomically (temp + fsync
+  /// + rename + directory fsync): a crash mid-save leaves the previous
+  /// save intact, never a torn file.
   util::Status SaveTo(const std::string& directory) const;
-  /// Rebuilds an engine from a directory written by SaveTo. Annotation ids
-  /// and object ids are preserved; spatial indexes and the a-graph are
-  /// reconstructed by replaying commits. (Static: gates only the fresh
-  /// instance it builds.)
+  /// Rebuilds an engine from a directory written by SaveTo — or, when the
+  /// directory holds a durable engine's snapshot-<g>/wal-<g> files, by
+  /// binary recovery (snapshot restore + WAL-tail replay; a torn final WAL
+  /// record is truncated, mismatched snapshot/WAL generations are refused
+  /// with kInternal). The returned engine is NOT durable — new mutations
+  /// are not logged; use OpenDurable for that. Annotation ids and object
+  /// ids are preserved; spatial indexes and the a-graph are reconstructed.
+  /// (Static: gates only the fresh instance it builds.)
   static util::Result<std::unique_ptr<Graphitti>> LoadFrom(const std::string& directory);
+
+  // --- Durability (crash safety: WAL + checkpoints) ---
+
+  /// Opens (or creates) a crash-safe engine rooted at `directory`:
+  /// recovers the newest valid snapshot, replays the WAL tail (a torn
+  /// final record is a clean truncation point, not an error), attaches
+  /// the WAL, and from then on logs every [durable]-tagged mutation
+  /// before it returns. A directory written by legacy SaveTo is upgraded
+  /// in place (XML load + immediate Checkpoint). Refuses directories
+  /// whose snapshot/WAL generations cannot be recovered faithfully.
+  ///
+  /// Restart cost: by default the open itself is I/O-bound — it reads and
+  /// CRC-verifies the snapshot and settles the WAL (torn-tail truncation,
+  /// generation checks) but defers the in-memory state build to the first
+  /// public call (options.eager_restore moves it back into the open).
+  /// Either way, every crash-safety decision is made before this returns.
+  ///
+  /// NOT durable (not logged, in-memory only until the next Checkpoint):
+  /// mutations through the ungated substrate accessors (catalog()/graph()/
+  /// annotations()), direct Table handles (CreateTable's return, secondary
+  /// CreateIndex calls), and RestoreObject.
+  static util::Result<std::unique_ptr<Graphitti>> OpenDurable(
+      const std::string& directory, const DurabilityOptions& options = {});
+
+  /// [exclusive] Writes a fresh atomic snapshot (generation g+1), starts
+  /// an empty WAL for it, and deletes the previous generation's files.
+  /// Bounds recovery time (restart replays only the post-checkpoint tail)
+  /// and heals a poisoned WAL: after any WAL I/O failure the engine
+  /// refuses further durable mutations until a Checkpoint succeeds.
+  util::Status Checkpoint();
+
+  /// Whether this engine was opened through OpenDurable.
+  bool IsDurable() const { return env_ != nullptr; }
+
+  /// The current checkpoint generation (0 until the first Checkpoint).
+  uint64_t generation() const { return generation_; }
 
   /// [exclusive] Restores an object registration with an explicit id
   /// (persistence/admin use only; fails on id collision).
@@ -268,11 +365,68 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   std::vector<std::string> ExpandTermBelow(const std::string& qualified) const override;
 
  private:
-  uint64_t RegisterObject(std::string_view table, relational::RowId row,
-                          std::string label);
+  /// Registers a freshly inserted row as a data object and (durable
+  /// engines) logs a kObject WAL record carrying the row's values, so
+  /// replay can re-insert it. The only failure mode is that WAL append.
+  util::Result<uint64_t> RegisterObject(std::string_view table, relational::RowId row,
+                                        std::string label);
 
   /// Borrowed-view context wiring shared by Query / MaterializePage.
   query::QueryContext MakeQueryContext() const;
+
+  // --- Durability plumbing (core/durability.cc) ---
+
+  /// Refuses durable mutations after a WAL I/O failure (wal_failed_), so
+  /// the durable log never silently develops a gap; OK on non-durable
+  /// engines. Call at the top of every [durable] mutator, before any
+  /// state changes.
+  util::Status WalGuard() const;
+  /// Appends (and per policy fsyncs) one record; a failure poisons the
+  /// engine (wal_failed_) until the next successful Checkpoint. No-op on
+  /// non-durable engines.
+  util::Status WalAppend(persist::WalRecordType type, std::string payload);
+  /// Serializes complete engine state into a snapshot body.
+  std::string EncodeSnapshotBody() const;
+  /// Rebuilds state from a snapshot body; requires a freshly constructed
+  /// engine.
+  util::Status RestoreFromSnapshotBody(std::string_view body);
+  /// Applies one WAL record during recovery (idempotent: duplicate
+  /// deliveries of already-applied records are skipped).
+  util::Status ApplyWalRecord(const persist::WalRecord& record);
+  /// Shared recovery core for LoadFrom (read-only) and OpenDurable.
+  static util::Result<std::unique_ptr<Graphitti>> RecoverBinary(
+      persist::Env* env, const std::string& directory, const DurabilityOptions& options,
+      persist::RecoveryPlan plan, bool attach_wal);
+
+  // --- Deferred recovery (the fast-restart path) ---
+  //
+  // Unless DurabilityOptions::eager_restore is set, RecoverBinary performs
+  // only the crash-safety work at open — CRC-verify the snapshot, read the
+  // WAL and truncate its torn tail, refuse bad generations — and stashes
+  // the verified bytes here. The first public call (every one starts with
+  // EnsureHydrated(), *before* taking the gate) decodes the snapshot and
+  // replays the WAL tail under a top-level exclusive hold. A hydration
+  // failure (which a CRC-clean snapshot makes effectively a logic bug)
+  // poisons the engine: the error is sticky and every subsequent
+  // Status/Result entry point returns it.
+
+  /// Stashed, already-verified recovery input awaiting first access.
+  struct PendingRestore {
+    bool has_snapshot = false;
+    std::string snapshot_body;
+    std::vector<persist::WalRecord> wal_records;
+  };
+
+  /// Fast path for the per-call hook: one relaxed-cost atomic load when the
+  /// engine is hydrated (always, for non-durable/eager engines).
+  util::Status EnsureHydrated() const {
+    if (!hydration_pending_.load(std::memory_order_acquire)) return util::Status::OK();
+    return HydrateNow();
+  }
+  /// Slow path: decode + replay under hydrate_mu_ and the gate's exclusive
+  /// side. Must be entered before this thread holds the gate (the hook
+  /// ordering above guarantees it).
+  util::Status HydrateNow() const;
 
   /// The engine gate. Public methods lock it per the [shared]/[exclusive]
   /// tags above; private helpers and substrates assume the caller holds
@@ -288,6 +442,22 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   std::map<uint64_t, ObjectInfo> objects_;
   std::map<std::string, std::map<relational::RowId, uint64_t>, std::less<>> object_by_row_;
   uint64_t next_object_id_ = 1;
+
+  // Durability state (all inert on non-durable engines: env_ == nullptr).
+  persist::Env* env_ = nullptr;  // borrowed (Default() or a test env)
+  std::string durable_dir_;
+  persist::WalOptions wal_options_;
+  std::unique_ptr<persist::WalWriter> wal_;
+  bool wal_failed_ = false;
+  uint64_t generation_ = 0;
+
+  // Deferred recovery state (mutable: hydration is triggered from const
+  // entry points; see EnsureHydrated). hydration_pending_ is the lone
+  // cross-thread signal; the rest is guarded by hydrate_mu_.
+  mutable std::atomic<bool> hydration_pending_{false};
+  mutable std::mutex hydrate_mu_;
+  mutable std::unique_ptr<PendingRestore> pending_restore_;
+  mutable util::Status hydrate_status_;  // sticky first hydration failure
 };
 
 }  // namespace core

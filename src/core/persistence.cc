@@ -17,6 +17,7 @@
 
 #include "core/graphitti.h"
 #include "ontology/obo_parser.h"
+#include "persist/recovery.h"
 #include "util/string_util.h"
 #include "xml/xml_parser.h"
 
@@ -170,11 +171,10 @@ Result<ValueType> ParseTypeCode(std::string_view code) {
 }
 
 Status WriteFile(const fs::path& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open '" + path.string() + "' for writing");
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) return Status::Internal("write failed for '" + path.string() + "'");
-  return Status::OK();
+  // Atomic replace (temp + fsync + rename + directory fsync): a crash
+  // mid-save leaves either the previous version of this file or the new
+  // one, never a torn hybrid.
+  return persist::Env::Default()->WriteFileAtomic(path.string(), content);
 }
 
 Result<std::string> ReadFile(const fs::path& path) {
@@ -190,6 +190,7 @@ Result<std::string> ReadFile(const fs::path& path) {
 Status Graphitti::SaveTo(const std::string& directory) const {
   // Shared side for the whole dump: the snapshot is commit-consistent and
   // concurrent queries keep serving while it is written.
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::SharedLock gate(gate_);
   std::error_code ec;
   fs::create_directories(fs::path(directory) / "tables", ec);
@@ -288,7 +289,7 @@ Status Graphitti::SaveTo(const std::string& directory) const {
     for (annotation::AnnotationId id : store_->Ids()) {
       const annotation::Annotation* ann = store_->Get(id);
       if (ann != nullptr) {
-        out += ann->content.ToString(/*pretty=*/false);
+        out += store_->ContentXml(*ann);
         out += '\n';
       }
     }
@@ -307,6 +308,7 @@ Status Graphitti::SaveTo(const std::string& directory) const {
 
 util::Status Graphitti::RestoreObject(uint64_t object_id, std::string_view table,
                                       relational::RowId row, std::string label) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::ExclusiveLock gate(gate_);
   if (object_id == 0) return Status::InvalidArgument("object id 0 is reserved");
   if (objects_.count(object_id) > 0) {
@@ -329,6 +331,21 @@ util::Status Graphitti::RestoreObject(uint64_t object_id, std::string_view table
 
 Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& directory) {
   fs::path dir(directory);
+
+  // A durable engine's directory (snapshot-<g>/wal-<g>) loads through
+  // binary recovery; a legacy manifest.txt save falls through to the XML
+  // path below. The returned engine is read-only with respect to
+  // durability either way (no WAL attached).
+  {
+    persist::Env* env = persist::Env::Default();
+    GRAPHITTI_ASSIGN_OR_RETURN(persist::RecoveryPlan plan,
+                               persist::PlanRecovery(*env, directory));
+    if (plan.kind == persist::RecoveryPlan::Kind::kBinary) {
+      return RecoverBinary(env, directory, DurabilityOptions{}, std::move(plan),
+                           /*attach_wal=*/false);
+    }
+  }
+
   auto g = std::make_unique<Graphitti>();
 
   // --- manifest ---
@@ -512,6 +529,7 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
 }
 
 util::Status Graphitti::ValidateIntegrity() const {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::RwGate::SharedLock gate(gate_);
   // 1. Every referent is backed by the right index entry (spatial kinds) and
   //    an a-graph node.
@@ -554,7 +572,7 @@ util::Status Graphitti::ValidateIntegrity() const {
     if (!graph_.HasNode(agraph::NodeRef::Content(id))) {
       return Status::Internal("annotation " + std::to_string(id) + " missing from a-graph");
     }
-    if (ann->content.empty()) {
+    if (!store_->HasContent(*ann)) {
       return Status::Internal("annotation " + std::to_string(id) + " has empty content");
     }
     for (annotation::ReferentId rid : ann->referents) {

@@ -1,0 +1,180 @@
+#include "persist/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace graphitti {
+namespace persist {
+
+namespace fs = std::filesystem;
+using util::Result;
+using util::Status;
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " failed for '" + path + "': " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::Internal("append on closed file '" + path_ + "'");
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("sync on closed file '" + path_ + "'");
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path,
+                                                        bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) const override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open '" + path + "'");
+    // Size up front and read in one call: streambuf-to-stringstream copies
+    // chunk-by-chunk and reallocates its way up, which is several times
+    // slower on snapshot-sized files.
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0) return Status::Internal("cannot size '" + path + "'");
+    in.seekg(0);
+    std::string out(static_cast<size_t>(size), '\0');
+    in.read(out.data(), size);
+    if (in.gcount() != size || in.bad()) {
+      return Status::Internal("read failed for '" + path + "'");
+    }
+    return out;
+  }
+
+  bool FileExists(const std::string& path) const override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) const override {
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      return Status::NotFound("directory '" + dir + "' not found");
+    }
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::Internal("listing '" + dir + "': " + ec.message());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return Status::Internal("cannot create '" + dir + "': " + ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("'" + path + "' not found");
+      return Errno("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open(dir)", dir);
+    Status s;
+    if (::fsync(fd) != 0) s = Errno("fsync(dir)", dir);
+    ::close(fd);
+    return s;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status Env::WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  GRAPHITTI_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                             NewWritableFile(tmp, /*truncate=*/true));
+  GRAPHITTI_RETURN_NOT_OK(file->Append(data));
+  GRAPHITTI_RETURN_NOT_OK(file->Sync());
+  GRAPHITTI_RETURN_NOT_OK(file->Close());
+  GRAPHITTI_RETURN_NOT_OK(RenameFile(tmp, path));
+  return SyncDir(ParentDir(path));
+}
+
+}  // namespace persist
+}  // namespace graphitti

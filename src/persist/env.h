@@ -1,0 +1,97 @@
+// persist::Env — the filesystem seam of the durability layer.
+//
+// All WAL and snapshot I/O goes through this abstraction (LevelDB-style)
+// so that crash behavior is testable: the default Env talks POSIX
+// (open/write/fsync/rename), while FaultInjectionEnv (fault_env.h) keeps an
+// in-memory filesystem that models what survives a crash — file bytes
+// beyond the last fsync are dropped, and namespace operations (create,
+// rename, remove) not yet pinned by a directory fsync are rolled back.
+//
+// The durability protocol the rest of src/persist/ builds on top:
+//   - WAL appends become durable at WritableFile::Sync.
+//   - New files (including the WAL itself) exist durably only after a
+//     SyncDir of their parent directory.
+//   - WriteFileAtomic = write temp -> fsync temp -> rename over target ->
+//     fsync directory; a crash anywhere leaves either the old or the new
+//     complete file, never a torn one.
+#ifndef GRAPHITTI_PERSIST_ENV_H_
+#define GRAPHITTI_PERSIST_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace graphitti {
+namespace persist {
+
+/// An append-only writable file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. On error the file may contain
+  /// any prefix of `data` (a short write) — callers must treat the handle
+  /// as poisoned.
+  virtual util::Status Append(std::string_view data) = 0;
+
+  /// Makes every byte appended so far durable (fdatasync semantics). On
+  /// error, durability of recent appends is unknown.
+  virtual util::Status Sync() = 0;
+
+  virtual util::Status Close() = 0;
+};
+
+/// Minimal filesystem interface. All paths are plain strings; directories
+/// are separated with '/'.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  /// Opens `path` for writing. `truncate` discards existing content;
+  /// otherwise appends to it (creating the file if absent). The new file
+  /// entry is durable only after SyncDir of the parent.
+  virtual util::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual util::Result<std::string> ReadFileToString(const std::string& path) const = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  /// File names (not paths) inside `dir`, sorted. NotFound when the
+  /// directory does not exist.
+  virtual util::Result<std::vector<std::string>> ListDir(const std::string& dir) const = 0;
+
+  virtual util::Status CreateDirs(const std::string& dir) = 0;
+
+  virtual util::Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename). Durable only
+  /// after SyncDir of the parent directory.
+  virtual util::Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual util::Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Makes the directory's entries (creations, renames, removals) durable.
+  virtual util::Status SyncDir(const std::string& dir) = 0;
+
+  /// Crash-safe whole-file write: temp file + fsync + rename + directory
+  /// fsync. Non-virtual — composed from the primitives above, so every Env
+  /// implementation (including the fault-injecting one) gets the same
+  /// protocol.
+  util::Status WriteFileAtomic(const std::string& path, std::string_view data);
+};
+
+/// "/a/b/c" -> "/a/b"; "c" -> "."  (the parent to SyncDir after renames).
+std::string ParentDir(const std::string& path);
+
+}  // namespace persist
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_PERSIST_ENV_H_

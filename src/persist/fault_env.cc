@@ -1,0 +1,220 @@
+#include "persist/fault_env.h"
+
+#include <algorithm>
+
+namespace graphitti {
+namespace persist {
+
+using util::Result;
+using util::Status;
+
+// Not in an anonymous namespace: FaultInjectionEnv names it as a friend.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    GRAPHITTI_RETURN_NOT_OK(env_->CheckWritable());
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return Status::Internal("append to removed file '" + path_ + "'");
+    }
+    uint64_t granted = env_->GrantWrite(data.size());
+    it->second.data.append(data.data(), static_cast<size_t>(granted));
+    if (granted < data.size()) {
+      return Status::Internal("injected short write on '" + path_ + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    GRAPHITTI_RETURN_NOT_OK(env_->CheckWritable());
+    if (env_->fail_syncs_ > 0) {
+      --env_->fail_syncs_;
+      return Status::Internal("injected fsync failure on '" + path_ + "'");
+    }
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return Status::Internal("sync of removed file '" + path_ + "'");
+    }
+    it->second.synced = it->second.data.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+};
+
+Status FaultInjectionEnv::CheckWritable() const {
+  if (poisoned_) {
+    return Status::Internal("filesystem poisoned by injected crash (call Crash())");
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjectionEnv::GrantWrite(uint64_t want) {
+  uint64_t left = crash_after_bytes_ - bytes_written_;
+  uint64_t granted = std::min(want, left);
+  bytes_written_ += granted;
+  if (granted < want) poisoned_ = true;
+  return granted;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(const std::string& path,
+                                                                         bool truncate) {
+  GRAPHITTI_RETURN_NOT_OK(CheckWritable());
+  auto it = files_.find(path);
+  PendingOp op;
+  op.kind = OpKind::kCreate;
+  op.path = path;
+  if (it != files_.end()) {
+    if (truncate) {
+      // An existing file truncated to empty: crashing before SyncDir may
+      // still restore the old inode in this model (conservative: the create
+      // entry itself is what the directory fsync pins).
+      op.had_prior = true;
+      op.prior = it->second;
+      it->second = FileState{};
+      pending_[ParentDir(path)].push_back(std::move(op));
+    }
+    // Append mode on an existing file changes no namespace state.
+  } else {
+    files_[path] = FileState{};
+    pending_[ParentDir(path)].push_back(std::move(op));
+  }
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultWritableFile>(this, path));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("cannot open '" + path + "'");
+  return it->second.data;
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(const std::string& dir) const {
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    (void)state;
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(path.substr(prefix.size()));
+    }
+  }
+  // Directories are implicit in this model; an empty listing is still valid.
+  return names;
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
+  (void)dir;  // directories are implicit
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  GRAPHITTI_RETURN_NOT_OK(CheckWritable());
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("'" + path + "' not found");
+  PendingOp op;
+  op.kind = OpKind::kRemove;
+  op.path = path;
+  op.had_prior = true;
+  op.prior = std::move(it->second);
+  files_.erase(it);
+  pending_[ParentDir(path)].push_back(std::move(op));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from, const std::string& to) {
+  GRAPHITTI_RETURN_NOT_OK(CheckWritable());
+  auto src = files_.find(from);
+  if (src == files_.end()) return Status::NotFound("'" + from + "' not found");
+  PendingOp op;
+  op.kind = OpKind::kRename;
+  op.from = from;
+  op.path = to;
+  auto dst = files_.find(to);
+  if (dst != files_.end()) {
+    op.had_prior = true;
+    op.prior = std::move(dst->second);
+    files_.erase(dst);
+  }
+  files_[to] = std::move(src->second);
+  files_.erase(from);
+  pending_[ParentDir(to)].push_back(std::move(op));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path, uint64_t size) {
+  GRAPHITTI_RETURN_NOT_OK(CheckWritable());
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("'" + path + "' not found");
+  FileState& f = it->second;
+  if (size < f.data.size()) f.data.resize(static_cast<size_t>(size));
+  f.synced = std::min<uint64_t>(f.synced, f.data.size());
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  GRAPHITTI_RETURN_NOT_OK(CheckWritable());
+  if (fail_syncs_ > 0) {
+    --fail_syncs_;
+    return Status::Internal("injected fsync failure on dir '" + dir + "'");
+  }
+  pending_.erase(dir);
+  return Status::OK();
+}
+
+void FaultInjectionEnv::Crash() {
+  // Undo un-pinned namespace ops, newest first, so interleaved operations on
+  // the same names unwind correctly. Lists are per-directory in insertion
+  // order; ops on the same path always live in the same directory list, so
+  // per-list reverse order is sufficient.
+  for (auto& [dir, list] : pending_) {
+    (void)dir;
+    for (auto it = list.rbegin(); it != list.rend(); ++it) {
+      PendingOp& op = *it;
+      switch (op.kind) {
+        case OpKind::kCreate:
+          if (op.had_prior) {
+            files_[op.path] = std::move(op.prior);
+          } else {
+            files_.erase(op.path);
+          }
+          break;
+        case OpKind::kRemove:
+          files_[op.path] = std::move(op.prior);
+          break;
+        case OpKind::kRename: {
+          auto cur = files_.find(op.path);
+          if (cur != files_.end()) {
+            files_[op.from] = std::move(cur->second);
+            files_.erase(op.path);
+          }
+          if (op.had_prior) files_[op.path] = std::move(op.prior);
+          break;
+        }
+      }
+    }
+  }
+  pending_.clear();
+  for (auto& [path, f] : files_) {
+    (void)path;
+    if (f.data.size() > f.synced) f.data.resize(static_cast<size_t>(f.synced));
+  }
+  poisoned_ = false;
+  crash_after_bytes_ = UINT64_MAX;
+  bytes_written_ = 0;
+  fail_syncs_ = 0;
+}
+
+}  // namespace persist
+}  // namespace graphitti

@@ -1,0 +1,114 @@
+// FaultInjectionEnv — an in-memory Env that models exactly what a POSIX
+// filesystem guarantees across a crash, and nothing more.
+//
+// Two layers of state per file:
+//   - data:   all bytes written so far (what a live reader sees)
+//   - synced: the prefix length made durable by the last Sync()
+// and per directory a journal of namespace operations (create / rename /
+// remove) not yet pinned by SyncDir.
+//
+// Crash() discards everything the protocol never made durable: pending
+// namespace ops are undone in reverse order, then every file is truncated
+// back to its synced prefix. A durability bug in the WAL/snapshot protocol
+// therefore shows up as lost or torn state in the recovery torture test
+// (tests/recovery_fault_test.cc) instead of silently passing on a real
+// filesystem that happened to flush in a friendly order.
+//
+// Fault knobs:
+//   - set_crash_after_bytes(k): the k-th appended byte (counted across all
+//     files from now on) is the last one that reaches `data`; the append
+//     that crosses the limit performs a short write and fails, and every
+//     subsequent write/sync/namespace op fails until Crash() is called.
+//   - set_fail_syncs(n): the next n Sync()/SyncDir() calls fail (without
+//     making anything durable).
+#ifndef GRAPHITTI_PERSIST_FAULT_ENV_H_
+#define GRAPHITTI_PERSIST_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/env.h"
+
+namespace graphitti {
+namespace persist {
+
+class FaultInjectionEnv : public Env {
+ public:
+  FaultInjectionEnv() = default;
+
+  // --- Env interface -------------------------------------------------------
+  util::Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path,
+                                                              bool truncate) override;
+  util::Result<std::string> ReadFileToString(const std::string& path) const override;
+  bool FileExists(const std::string& path) const override;
+  util::Result<std::vector<std::string>> ListDir(const std::string& dir) const override;
+  util::Status CreateDirs(const std::string& dir) override;
+  util::Status RemoveFile(const std::string& path) override;
+  util::Status RenameFile(const std::string& from, const std::string& to) override;
+  util::Status TruncateFile(const std::string& path, uint64_t size) override;
+  util::Status SyncDir(const std::string& dir) override;
+
+  // --- fault schedule ------------------------------------------------------
+
+  /// After `n` more appended bytes (across all files), writes start failing;
+  /// the crossing write lands a short prefix. Resets the running counter.
+  void set_crash_after_bytes(uint64_t n) {
+    crash_after_bytes_ = n;
+    bytes_written_ = 0;
+    poisoned_ = false;
+  }
+
+  /// The next `n` Sync()/SyncDir() calls fail without syncing anything.
+  void set_fail_syncs(int n) { fail_syncs_ = n; }
+
+  /// Total bytes appended since the last set_crash_after_bytes (for sizing
+  /// crash schedules: run once fault-free, read this, then iterate k over it).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Whether a write limit has been hit (subsequent ops fail until Crash()).
+  bool poisoned() const { return poisoned_; }
+
+  /// Simulates power loss + restart: rolls back namespace ops not pinned by
+  /// SyncDir (reverse order), truncates every file to its synced prefix, and
+  /// clears fault state so recovery code can run against the survivor.
+  void Crash();
+
+ private:
+  friend class FaultWritableFile;
+
+  struct FileState {
+    std::string data;
+    uint64_t synced = 0;
+  };
+
+  enum class OpKind { kCreate, kRename, kRemove };
+
+  // A namespace operation not yet made durable by SyncDir(parent).
+  struct PendingOp {
+    OpKind kind;
+    std::string path;           // created/removed path, or rename target
+    std::string from;           // rename source
+    bool had_prior = false;     // target existed before (rename/remove/create-truncate)
+    FileState prior;            // its state, for rollback
+  };
+
+  // Consumes write budget; returns how many of `want` bytes may land.
+  uint64_t GrantWrite(uint64_t want);
+  util::Status CheckWritable() const;
+
+  std::map<std::string, FileState> files_;
+  std::map<std::string, std::vector<PendingOp>> pending_;  // keyed by parent dir
+
+  uint64_t crash_after_bytes_ = UINT64_MAX;
+  uint64_t bytes_written_ = 0;
+  int fail_syncs_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace persist
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_PERSIST_FAULT_ENV_H_

@@ -1,0 +1,79 @@
+#include "persist/snapshot.h"
+
+#include <cstring>
+
+#include "persist/format.h"
+#include "util/crc32c.h"
+
+namespace graphitti {
+namespace persist {
+
+using util::Result;
+using util::Status;
+
+namespace {
+constexpr size_t kHeaderSize = 16;  // magic + version + generation
+constexpr size_t kTrailerSize = 4;  // crc32c
+}  // namespace
+
+std::string SnapshotFileName(uint64_t generation) {
+  return "snapshot-" + std::to_string(generation);
+}
+
+std::string WalFileName(uint64_t generation) {
+  return "wal-" + std::to_string(generation);
+}
+
+std::optional<uint64_t> ParseGeneration(std::string_view name, std::string_view prefix) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  std::string_view digits = name.substr(prefix.size());
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+Status WriteSnapshotFile(Env* env, const std::string& path, uint64_t generation,
+                         std::string_view body) {
+  Encoder enc;
+  enc.PutRaw(std::string_view(kSnapshotMagic, 4));
+  enc.PutU32(kSnapshotVersion);
+  enc.PutU64(generation);
+  enc.PutRaw(body);
+  uint32_t crc = util::Crc32c(enc.buffer());
+  enc.PutU32(crc);
+  return env->WriteFileAtomic(path, enc.buffer());
+}
+
+Result<SnapshotContents> ReadSnapshotFile(const Env& env, const std::string& path) {
+  GRAPHITTI_ASSIGN_OR_RETURN(std::string data, env.ReadFileToString(path));
+  if (data.size() < kHeaderSize + kTrailerSize) {
+    return Status::Internal("snapshot '" + path + "' is truncated");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, 4) != 0) {
+    return Status::Internal("snapshot '" + path + "' has bad magic");
+  }
+  const std::string_view checked(data.data(), data.size() - kTrailerSize);
+  Decoder trailer(std::string_view(data.data() + checked.size(), kTrailerSize));
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t stored_crc, trailer.GetU32());
+  if (util::Crc32c(checked) != stored_crc) {
+    return Status::Internal("snapshot '" + path + "' fails its checksum");
+  }
+  Decoder header(std::string_view(data.data() + 4, 12));
+  GRAPHITTI_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  if (version != kSnapshotVersion) {
+    return Status::Internal("snapshot '" + path + "' has unsupported version " +
+                            std::to_string(version));
+  }
+  SnapshotContents contents;
+  GRAPHITTI_ASSIGN_OR_RETURN(contents.generation, header.GetU64());
+  contents.body = data.substr(kHeaderSize, data.size() - kHeaderSize - kTrailerSize);
+  return contents;
+}
+
+}  // namespace persist
+}  // namespace graphitti

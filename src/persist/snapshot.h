@@ -1,0 +1,56 @@
+// Snapshot file framing and durable-directory file naming.
+//
+// A binary snapshot is one atomically-written file:
+//   "GSNP" | u32 version (1) | u64 generation | body bytes | u32 crc32c
+// where the CRC covers everything before it (header + body). The body's
+// encoding belongs to the engine (core/durability.cc); this layer only
+// guarantees that a reader either gets the complete body back or a clear
+// kInternal — never a torn or bit-rotted snapshot silently accepted.
+//
+// Durable directory layout (see recovery.h for how it is interpreted):
+//   snapshot-<gen>   full engine state as of checkpoint <gen>
+//   wal-<gen>        mutations applied after snapshot <gen>
+#ifndef GRAPHITTI_PERSIST_SNAPSHOT_H_
+#define GRAPHITTI_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "persist/env.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace graphitti {
+namespace persist {
+
+inline constexpr char kSnapshotMagic[4] = {'G', 'S', 'N', 'P'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+std::string SnapshotFileName(uint64_t generation);
+std::string WalFileName(uint64_t generation);
+
+/// "snapshot-12" with prefix "snapshot-" -> 12; nullopt when the name does
+/// not match `<prefix><decimal>` exactly.
+std::optional<uint64_t> ParseGeneration(std::string_view name, std::string_view prefix);
+
+/// Frames `body` and writes it via Env::WriteFileAtomic: a crash during the
+/// write leaves the previous snapshot (or no file), never a torn one.
+util::Status WriteSnapshotFile(Env* env, const std::string& path, uint64_t generation,
+                               std::string_view body);
+
+struct SnapshotContents {
+  uint64_t generation = 0;
+  std::string body;
+};
+
+/// Reads and verifies a snapshot file (magic, version, generation field,
+/// trailing CRC). kInternal on any mismatch — the caller decides whether an
+/// invalid snapshot is fatal or just skipped for an older one.
+util::Result<SnapshotContents> ReadSnapshotFile(const Env& env, const std::string& path);
+
+}  // namespace persist
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_PERSIST_SNAPSHOT_H_

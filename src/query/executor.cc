@@ -188,7 +188,9 @@ Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
       }
       auto passes = [&](const annotation::Annotation& ann) {
         for (const xml::XPathExpr& expr : xpaths) {
-          if (ann.content.root() == nullptr || !expr.Matches(ann.content.root())) {
+          // ContentOf hydrates snapshot-restored cold content on demand.
+          const xml::XmlDocument& content = store.ContentOf(ann);
+          if (content.root() == nullptr || !expr.Matches(content.root())) {
             return false;
           }
         }
@@ -902,8 +904,10 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         NodeRef n = row_buf[col];
         if (!seen.insert(n).second) continue;
         const annotation::Annotation* ann = store.Get(n.id);
-        if (ann == nullptr || ann->content.root() == nullptr) continue;
-        for (const xml::XPathMatch& m : expr.Evaluate(ann->content.root())) {
+        if (ann == nullptr) continue;
+        const xml::XmlDocument& content = store.ContentOf(*ann);
+        if (content.root() == nullptr) continue;
+        for (const xml::XPathMatch& m : expr.Evaluate(content.root())) {
           ResultItem item;
           item.content_id = n.id;
           item.fragment = m.is_attribute ? m.value : m.node->ToString(/*pretty=*/false);

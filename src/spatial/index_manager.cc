@@ -43,6 +43,23 @@ util::Status IndexManager::BulkLoadIntervals(std::string_view domain,
   if (entries.empty()) return util::Status::OK();
   if (domain.empty()) return util::Status::InvalidArgument("empty interval domain");
   auto it = interval_trees_.find(domain);
+  if (it != interval_trees_.end() && small_batch_factor_ != 0 &&
+      entries.size() * small_batch_factor_ <= it->second->size()) {
+    // Small batch against a large tree: per-entry inserts beat a full
+    // merge-rebuild. Roll back on failure so the tree stays untouched,
+    // matching the rebuild path's all-or-nothing contract.
+    IntervalTree* tree = it->second.get();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      util::Status s = tree->Insert(entries[i].interval, entries[i].id);
+      if (!s.ok()) {
+        for (size_t j = 0; j < i; ++j) {
+          (void)tree->Erase(entries[j].interval, entries[j].id);
+        }
+        return s;
+      }
+    }
+    return util::Status::OK();
+  }
   if (it != interval_trees_.end() && !it->second->empty()) {
     // Merge-rebuild: drain the existing tree and pack old + new entries in
     // one build. BulkLoad sorts everything anyway, so draining in tree
@@ -121,6 +138,22 @@ util::Status IndexManager::BulkLoadRegions(std::string_view system,
     e.rect = cs.ToCanonical(e.rect);
   }
   auto it = rtrees_.find(cs.canonical);
+  if (it != rtrees_.end() && small_batch_factor_ != 0 &&
+      entries.size() * small_batch_factor_ <= it->second->size()) {
+    // Small batch vs. large canonical tree: per-entry inserts with
+    // rollback (entries are already canonicalized and validated above).
+    RTree* tree = it->second.get();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      util::Status s = tree->Insert(entries[i].rect, entries[i].id);
+      if (!s.ok()) {
+        for (size_t j = 0; j < i; ++j) {
+          (void)tree->Erase(entries[j].rect, entries[j].id);
+        }
+        return s;
+      }
+    }
+    return util::Status::OK();
+  }
   if (it != rtrees_.end() && !it->second->empty()) {
     // Merge-rebuild: drain the existing canonical tree into the batch and
     // rebuild once via STR.

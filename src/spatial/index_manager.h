@@ -31,6 +31,17 @@ class IndexManager {
   CoordinateSystemRegistry& coordinate_systems() { return coord_systems_; }
   const CoordinateSystemRegistry& coordinate_systems() const { return coord_systems_; }
 
+  /// Small-batch routing threshold for the BulkLoad* entry points: a batch
+  /// with `entries.size() * factor <= existing tree size` falls back to
+  /// per-entry inserts (with rollback on failure) instead of draining and
+  /// rebuilding the whole tree — appending 3 entries to a 50k-entry tree
+  /// should not pay a 50k rebuild. 0 disables the fallback (every batch
+  /// rebuilds). Default 16: per-entry insertion is O(k log n) against the
+  /// rebuild's O((n + k) log(n + k)), so the cliff sits well past the
+  /// point where rebuild amortizes.
+  void set_small_batch_factor(size_t factor) { small_batch_factor_ = factor; }
+  size_t small_batch_factor() const { return small_batch_factor_; }
+
   // --- 1D (interval) domains ---
 
   /// Adds an interval substructure (e.g. a marked gene region) to the shared
@@ -114,6 +125,7 @@ class IndexManager {
   CoordinateSystemRegistry coord_systems_;
   std::map<std::string, std::unique_ptr<IntervalTree>, std::less<>> interval_trees_;
   std::map<std::string, std::unique_ptr<RTree>, std::less<>> rtrees_;
+  size_t small_batch_factor_ = 16;
 };
 
 }  // namespace spatial

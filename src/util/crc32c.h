@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding WAL records and binary snapshots (src/persist/). The
+// Castagnoli polynomial is the storage-stack standard (iSCSI, ext4, LevelDB,
+// RocksDB) because its error-detection properties beat CRC32/IEEE for the
+// burst errors torn writes produce.
+#ifndef GRAPHITTI_UTIL_CRC32C_H_
+#define GRAPHITTI_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace graphitti {
+namespace util {
+
+/// Extends `crc` (the checksum of some byte prefix) over `n` more bytes.
+/// Software slicing-by-4 implementation: no SSE4.2 dependency, ~1.5 GB/s —
+/// WAL replay is parse-bound long before it is checksum-bound.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Checksum of one complete buffer.
+inline uint32_t Crc32c(const void* data, size_t n) { return Crc32cExtend(0, data, n); }
+inline uint32_t Crc32c(std::string_view data) { return Crc32c(data.data(), data.size()); }
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_CRC32C_H_

@@ -102,6 +102,77 @@ TEST(IndexManagerTest, RemoveRegionDropsEmptyTree) {
   EXPECT_TRUE(mgr.RemoveRegion("cs", Rect::Make2D(0, 0, 1, 1), 1).IsNotFound());
 }
 
+TEST(IndexManagerTest, SmallBatchBulkLoadMatchesRebuildPath) {
+  IndexManager mgr;
+  std::vector<IntervalEntry> base;
+  for (uint64_t i = 0; i < 200; ++i) {
+    int64_t lo = static_cast<int64_t>(i) * 10;
+    base.push_back({Interval(lo, lo + 5), i});
+  }
+  ASSERT_TRUE(mgr.BulkLoadIntervals("chr1", base).ok());
+
+  // 3 * factor(16) = 48 <= 200: routes to per-entry inserts instead of a
+  // drain-and-rebuild of all 203 entries.
+  std::vector<IntervalEntry> small = {{Interval(3, 4), 1000},
+                                      {Interval(503, 504), 1001},
+                                      {Interval(1903, 1904), 1002}};
+  ASSERT_TRUE(mgr.BulkLoadIntervals("chr1", small).ok());
+  EXPECT_EQ(mgr.total_interval_entries(), 203u);
+  auto hits = mgr.QueryIntervals("chr1", Interval(503, 504));
+  ASSERT_EQ(hits.size(), 2u);  // base entry 50 and new entry 1001
+
+  // With the fallback disabled the same call takes the rebuild path and
+  // must be query-equivalent.
+  mgr.set_small_batch_factor(0);
+  std::vector<IntervalEntry> more = {{Interval(7, 8), 2000}};
+  ASSERT_TRUE(mgr.BulkLoadIntervals("chr1", more).ok());
+  EXPECT_EQ(mgr.total_interval_entries(), 204u);
+  EXPECT_EQ(mgr.QueryIntervals("chr1", Interval(0, 9)).size(), 3u);
+}
+
+TEST(IndexManagerTest, SmallBatchBulkLoadRollsBackOnFailure) {
+  IndexManager mgr;
+  std::vector<IntervalEntry> base;
+  for (uint64_t i = 0; i < 100; ++i) {
+    int64_t lo = static_cast<int64_t>(i) * 10;
+    base.push_back({Interval(lo, lo + 5), i});
+  }
+  ASSERT_TRUE(mgr.BulkLoadIntervals("chr1", base).ok());
+
+  // Second entry collides with existing entry 7: the whole batch must roll
+  // back (all-or-nothing, matching the rebuild path's contract).
+  std::vector<IntervalEntry> bad = {{Interval(1, 2), 500}, {Interval(70, 75), 7}};
+  EXPECT_TRUE(mgr.BulkLoadIntervals("chr1", bad).IsAlreadyExists());
+  EXPECT_EQ(mgr.total_interval_entries(), 100u);
+  for (const IntervalEntry& e : mgr.QueryIntervals("chr1", Interval(1, 2))) {
+    EXPECT_NE(e.id, 500u);  // the rolled-back first entry must be gone
+  }
+}
+
+TEST(IndexManagerTest, SmallBatchRegionBulkLoadCanonicalizes) {
+  IndexManager mgr;
+  ASSERT_TRUE(mgr.coordinate_systems().RegisterCanonical("atlas_25um", 2).ok());
+  ASSERT_TRUE(mgr.coordinate_systems()
+                  .RegisterDerived("atlas_50um", "atlas_25um", {2, 2, 1}, {0, 0, 0})
+                  .ok());
+  std::vector<RTreeEntry> base;
+  for (uint64_t i = 0; i < 100; ++i) {
+    double x = static_cast<double>(i) * 20.0;
+    base.push_back({Rect::Make2D(x, 0, x + 10, 10), i});
+  }
+  ASSERT_TRUE(mgr.BulkLoadRegions("atlas_25um", base).ok());
+
+  // A small batch in the derived system still lands canonicalized in the
+  // shared tree.
+  std::vector<RTreeEntry> small = {{Rect::Make2D(0, 0, 5, 5), 900}};
+  ASSERT_TRUE(mgr.BulkLoadRegions("atlas_50um", small).ok());
+  EXPECT_EQ(mgr.num_rtrees(), 1u);
+  EXPECT_EQ(mgr.total_region_entries(), 101u);
+  auto hits = mgr.QueryRegions("atlas_25um", Rect::Make2D(9, 9, 9.5, 9.5));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);  // base entry 0 and the scaled 50um region
+}
+
 TEST(IndexManagerTest, GetTreeAccessors) {
   IndexManager mgr;
   EXPECT_EQ(mgr.GetIntervalTree("chr1"), nullptr);

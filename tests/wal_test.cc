@@ -1,0 +1,161 @@
+#include "persist/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "persist/fault_env.h"
+
+namespace graphitti {
+namespace persist {
+namespace {
+
+constexpr char kPath[] = "/db/wal-0";
+
+std::unique_ptr<WalWriter> MustOpen(Env* env, uint64_t generation = 0,
+                                    const WalOptions& options = {}) {
+  auto w = WalWriter::Open(env, kPath, generation, options);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(*w);
+}
+
+TEST(WalTest, RoundTripsRecords) {
+  FaultInjectionEnv env;
+  {
+    auto w = MustOpen(&env);
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "payload-one").ok());
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kRemove, "").ok());
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kVacuum, "x").ok());
+  }
+  auto contents = ReadWal(env, kPath);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->generation, 0u);
+  EXPECT_FALSE(contents->truncated_tail);
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[0].type, WalRecordType::kCommitBatch);
+  EXPECT_EQ(contents->records[0].payload, "payload-one");
+  EXPECT_EQ(contents->records[1].type, WalRecordType::kRemove);
+  EXPECT_EQ(contents->records[1].payload, "");
+  EXPECT_EQ(contents->records[2].payload, "x");
+}
+
+TEST(WalTest, TornTailIsACleanTruncationPoint) {
+  FaultInjectionEnv env;
+  {
+    auto w = MustOpen(&env);
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "first record").ok());
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "second record").ok());
+  }
+  std::string data = *env.ReadFileToString(kPath);
+  // Chop bytes off the end of the last record: every cut length must still
+  // read back as exactly the first record.
+  for (size_t cut = 1; cut < 12; ++cut) {
+    ASSERT_TRUE(env.TruncateFile(kPath, data.size() - cut).ok());
+    auto contents = ReadWal(env, kPath);
+    ASSERT_TRUE(contents.ok()) << "cut=" << cut << ": " << contents.status().ToString();
+    EXPECT_TRUE(contents->truncated_tail);
+    ASSERT_EQ(contents->records.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(contents->records[0].payload, "first record");
+  }
+}
+
+TEST(WalTest, ReopenTruncatesTornTailAndAppends) {
+  FaultInjectionEnv env;
+  {
+    auto w = MustOpen(&env);
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "kept").ok());
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "torn away").ok());
+  }
+  std::string data = *env.ReadFileToString(kPath);
+  ASSERT_TRUE(env.TruncateFile(kPath, data.size() - 3).ok());
+  {
+    auto w = MustOpen(&env);  // reopen: validates header, truncates torn tail
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "appended after").ok());
+  }
+  auto contents = ReadWal(env, kPath);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents->truncated_tail);
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[0].payload, "kept");
+  EXPECT_EQ(contents->records[1].payload, "appended after");
+}
+
+TEST(WalTest, CorruptRecordStopsReplayAtPrefix) {
+  FaultInjectionEnv env;
+  {
+    auto w = MustOpen(&env);
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "aaaaaaaaaa").ok());
+    ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "bbbbbbbbbb").ok());
+  }
+  std::string data = *env.ReadFileToString(kPath);
+  data[data.size() - 2] ^= 0x40;  // flip a bit inside the second payload
+  {
+    auto f = env.NewWritableFile(kPath, /*truncate=*/true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(data).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  auto contents = ReadWal(env, kPath);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->truncated_tail);
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].payload, "aaaaaaaaaa");
+}
+
+TEST(WalTest, GenerationMismatchRefused) {
+  FaultInjectionEnv env;
+  { auto w = MustOpen(&env, /*generation=*/3); }
+  auto reopened = WalWriter::Open(&env, kPath, /*generation=*/4, WalOptions{});
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsInternal()) << reopened.status().ToString();
+
+  auto contents = ReadWal(env, kPath);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->generation, 3u);
+}
+
+TEST(WalTest, EmptyWalReadsBackEmpty) {
+  FaultInjectionEnv env;
+  { auto w = MustOpen(&env); }
+  auto contents = ReadWal(env, kPath);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_FALSE(contents->truncated_tail);
+}
+
+TEST(WalTest, GarbageHeaderRefused) {
+  FaultInjectionEnv env;
+  {
+    auto f = env.NewWritableFile(kPath, true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("this is not a WAL header at all").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  EXPECT_FALSE(ReadWal(env, kPath).ok());
+  EXPECT_FALSE(WalWriter::Open(&env, kPath, 0, WalOptions{}).ok());
+}
+
+TEST(WalTest, IntervalSyncPolicyLeavesTailUnsyncedUntilDeadline) {
+  FaultInjectionEnv env;
+  WalOptions opts;
+  opts.sync_policy = WalOptions::SyncPolicy::kInterval;
+  opts.interval_ms = 60 * 1000;  // nothing syncs within this test
+  auto w = MustOpen(&env, 0, opts);
+  ASSERT_TRUE(w->AppendRecord(WalRecordType::kCommitBatch, "group committed").ok());
+  // A crash now loses the unsynced record but keeps the synced header.
+  env.Crash();
+  auto contents = ReadWal(env, kPath);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->records.empty());
+  // Explicit Sync() pins the tail.
+  auto w2 = MustOpen(&env, 0, opts);
+  ASSERT_TRUE(w2->AppendRecord(WalRecordType::kCommitBatch, "pinned").ok());
+  ASSERT_TRUE(w2->Sync().ok());
+  env.Crash();
+  contents = ReadWal(env, kPath);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].payload, "pinned");
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace graphitti
