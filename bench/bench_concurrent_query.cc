@@ -1,22 +1,31 @@
-// Concurrent query throughput: the first multi-core numbers in the BENCH
+// Concurrent query throughput: the multi-core numbers in the BENCH
 // trajectory. Measures fig-3-style read throughput at 1/2/4/8 reader
 // threads against one shared engine, (a) read-only and (b) while one
-// writer thread continuously commits and removes annotations through the
-// engine's reader-writer gate (core::Graphitti serializes mutations on the
-// exclusive side; queries share the read side).
+// writer thread continuously commits and removes annotations. Readers pin
+// an engine version for the duration of each query (epoch-pinned
+// copy-on-write publication); writers build the next version off to the
+// side and publish it with a pointer swing, so neither side ever blocks
+// the other.
 //
 // The read-only series is the scaling baseline: the per-thread traversal
 // scratch and connect pools make const-graph queries embarrassingly
 // parallel, so throughput should scale near-linearly until memory
 // bandwidth. The with-writer series shows what a sustained annotation
-// stream costs the query tab.
+// stream costs the query tab; its per-iteration p99 latency counter
+// (p99_us, averaged across reader threads) against the read-only p99 is
+// the churn tail-latency picture — under epoch pinning the two should be
+// within a small constant of each other, where a reader-writer gate would
+// let each commit stall every in-flight reader.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <thread>
 #include <string>
+#include <vector>
 
 #include "core/graphitti.h"
 #include "core/workload.h"
@@ -58,6 +67,17 @@ size_t RunReaderQueries(Graphitti& g, Rng* rng) {
   return items;
 }
 
+// Per-iteration latency tail. Each reader thread records every iteration's
+// wall time and reports its own p99; the counter averages across threads
+// (kAvgThreads), giving the mean per-thread p99 for the run.
+double P99Micros(std::vector<double>& lat_us) {
+  if (lat_us.empty()) return 0.0;
+  size_t idx = std::min(lat_us.size() - 1, (lat_us.size() * 99) / 100);
+  std::nth_element(lat_us.begin(), lat_us.begin() + static_cast<ptrdiff_t>(idx),
+                   lat_us.end());
+  return lat_us[idx];
+}
+
 // One writer iteration: commit an annotation marking two fresh intervals in
 // a writer-private domain, then remove it — both sides of the exclusive
 // gate, with the corpus size held steady.
@@ -78,12 +98,19 @@ void BM_ConcurrentQuery_ReadOnly(benchmark::State& state) {
   Graphitti& g = SharedInstance();
   Rng rng(1000 + static_cast<uint64_t>(state.thread_index()));
   size_t items = 0;
+  std::vector<double> lat_us;
   for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
     items += RunReaderQueries(g, &rng);
+    lat_us.push_back(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
   }
   benchmark::DoNotOptimize(items);
   state.SetItemsProcessed(state.iterations() * 2);  // two queries per iter
   state.counters["reader_threads"] = static_cast<double>(state.threads());
+  state.counters["p99_us"] =
+      benchmark::Counter(P99Micros(lat_us), benchmark::Counter::kAvgThreads);
 }
 BENCHMARK(BM_ConcurrentQuery_ReadOnly)
     ->Threads(1)
@@ -119,8 +146,13 @@ void BM_ConcurrentQuery_WithWriter(benchmark::State& state) {
   }
   Rng rng(2000 + static_cast<uint64_t>(state.thread_index()));
   size_t items = 0;
+  std::vector<double> lat_us;
   for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
     items += RunReaderQueries(g, &rng);
+    lat_us.push_back(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
   }
   benchmark::DoNotOptimize(items);
   // The writer must churn until the LAST reader finishes its timed loop,
@@ -137,6 +169,8 @@ void BM_ConcurrentQuery_WithWriter(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2);  // two queries per iter
   state.counters["reader_threads"] = static_cast<double>(state.threads());
+  state.counters["p99_us"] =
+      benchmark::Counter(P99Micros(lat_us), benchmark::Counter::kAvgThreads);
 }
 BENCHMARK(BM_ConcurrentQuery_WithWriter)
     ->Threads(1)

@@ -1,0 +1,125 @@
+// Intra-query parallel scaling: one query, many workers. Where
+// bench_concurrent_query measures many independent readers, this bench
+// gives a SINGLE fig-3-style query a worker budget
+// (query::ExecutorOptions::workers) and tracks how the three parallel
+// sections scale: chunked candidate filtering (XPath evaluation over the
+// content stream), per-worker join row shards, and concurrent
+// per-terminal BFS tree expansion inside the page's ConnectBatch. All
+// three merge in deterministic chunk order, so results are bit-identical
+// across worker counts — the only thing that may change is the wall
+// clock.
+//
+// Run on a multi-core box (the CI bench lane); on one core the pool is
+// empty and every series collapses to the workers=1 number.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/graphitti.h"
+#include "core/workload.h"
+#include "query/executor.h"
+
+namespace {
+
+using graphitti::core::GenerateInfluenzaStudy;
+using graphitti::core::Graphitti;
+using graphitti::core::InfluenzaParams;
+using graphitti::query::ExecutorOptions;
+
+Graphitti& FluInstance(size_t n) {
+  static std::map<size_t, std::unique_ptr<Graphitti>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto g = std::make_unique<Graphitti>();
+    InfluenzaParams params;
+    params.num_annotations = n;
+    params.protease_fraction = 0.15;
+    if (!GenerateInfluenzaStudy(g.get(), params).ok()) std::abort();
+    it = cache.emplace(n, std::move(g)).first;
+  }
+  return *it->second;
+}
+
+ExecutorOptions Workers(benchmark::State& state) {
+  ExecutorOptions opts;
+  opts.workers = static_cast<size_t>(state.range(0));
+  return opts;
+}
+
+// The flagship pair-of-protease join (join-dominated: tens of thousands of
+// binding rows sharded across workers, one 10-row page of connects).
+void BM_Parallel_ProteaseJoin(benchmark::State& state) {
+  Graphitti& g = FluInstance(2000);
+  const ExecutorOptions opts = Workers(state);
+  const std::string query = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s1 DOMAIN "flu:seg2" ;
+      ?s2 IS REFERENT ; ?s2 DOMAIN "flu:seg2" ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } CONSTRAIN consecutive(?s1, ?s2), disjoint(?s1, ?s2) LIMIT 10 PAGE 1)";
+  size_t items = 0;
+  for (auto _ : state) {
+    auto r = g.Query(query, opts);
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Parallel_ProteaseJoin)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Candidate-filter bound: XPath predicate evaluated over every content
+// candidate (the chunked ForEachCandidate path).
+void BM_Parallel_XPathFilter(benchmark::State& state) {
+  Graphitti& g = FluInstance(5000);
+  const ExecutorOptions opts = Workers(state);
+  const std::string query =
+      "FIND CONTENTS WHERE { ?a CONTAINS \"segment\" ; "
+      "?a XPATH \"/annotation[contains(body,'protease')]\" }";
+  size_t items = 0;
+  for (auto _ : state) {
+    auto r = g.Query(query, opts);
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Parallel_XPathFilter)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Connect-bound: page flips over a subgraph-heavy result. The first Query
+// caches the ConnectBatch (with its worker budget) on the result; each
+// iteration flips to a fresh page, so the measured work is per-terminal
+// BFS tree growth — the batch's parallel section.
+void BM_Parallel_PageFlipConnects(benchmark::State& state) {
+  Graphitti& g = FluInstance(2000);
+  const ExecutorOptions opts = Workers(state);
+  const std::string query = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s1 DOMAIN "flu:seg2" ;
+      ?s2 IS REFERENT ; ?s2 DOMAIN "flu:seg2" ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } LIMIT 8 PAGE 1)";
+  auto r = g.Query(query, opts);
+  if (!r.ok() || r->total_pages < 2) std::abort();
+  size_t page = 1;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    page = page % r->total_pages + 1;  // walk pages round-robin
+    if (!g.MaterializePage(&*r, page).ok()) std::abort();
+    for (const auto& item : r->Page()) nodes += item.subgraph.nodes.size();
+  }
+  benchmark::DoNotOptimize(nodes);
+  state.counters["workers"] = static_cast<double>(state.range(0));
+  state.counters["trees_built"] = static_cast<double>(r->stats.connect_trees_built);
+}
+BENCHMARK(BM_Parallel_PageFlipConnects)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

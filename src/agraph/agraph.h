@@ -22,6 +22,9 @@
 #include "util/result.h"
 
 namespace graphitti {
+namespace util {
+class ThreadPool;
+}  // namespace util
 namespace agraph {
 
 class ConnectBatch;
@@ -119,6 +122,14 @@ struct ConnectOptions {
   /// only reachable through the middle of another pair's path does not
   /// qualify).
   size_t max_hops = SIZE_MAX;
+  /// Total workers (including the caller) for per-terminal BFS tree
+  /// expansion inside a ConnectBatch. 1 = serial. Distinct trees expand
+  /// independently and ring scans stay serial, so the resulting subgraphs
+  /// are bit-identical across worker counts.
+  size_t workers = 1;
+  /// Pool supplying helper threads when workers > 1. nullptr falls back
+  /// to util::ThreadPool::Shared().
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Directed labeled multigraph with interned labels and per-node adjacency
@@ -209,6 +220,21 @@ class AGraph {
 
   size_t num_nodes() const { return index_.size(); }
   size_t num_edges() const { return num_edges_; }
+
+  /// Deep copy (every member is a value type) for copy-on-write version
+  /// publication (util/epoch.h).
+  AGraph Clone() const {
+    AGraph copy;
+    copy.index_ = index_;
+    copy.refs_ = refs_;
+    copy.node_labels_ = node_labels_;
+    copy.out_ = out_;
+    copy.in_ = in_;
+    copy.labels_ = labels_;
+    copy.label_index_ = label_index_;
+    copy.num_edges_ = num_edges_;
+    return copy;
+  }
 
   // --- §II primitives ---
 
@@ -340,14 +366,16 @@ class AGraph {
 /// row's answer.
 ///
 /// A batch borrows the graph: the graph must not be mutated while the batch
-/// is alive, and the batch must be created and destroyed on one thread (its
-/// tree storage is recycled through a thread-local pool, which is what makes
-/// one-shot Connect calls allocation-free in steady state). Distinct
-/// batches on distinct threads are fully independent — each thread has its
-/// own pool — so concurrent readers may each run their own ConnectBatch
-/// against a gate-protected graph. Memory is O(distinct terminals x
-/// num_nodes) per thread; callers bound it by batching one result page at
-/// a time.
+/// is alive (under the engine's epoch scheme a pinned version never is).
+/// One batch must not be used from two threads at once, but it may be
+/// created, used, and destroyed on *different* threads — e.g. a batch
+/// cached on a QueryResult and driven by whichever thread flips pages.
+/// Tree storage is recycled through thread-local pools (what makes one-shot
+/// Connect calls allocation-free in steady state); tree liveness stamps
+/// come from a process-global counter, so storage recycled across threads
+/// can never alias a live stamp. Distinct batches on distinct threads are
+/// fully independent. Memory is O(distinct terminals x num_nodes) per
+/// batch; callers bound it by batching one result page at a time.
 class ConnectBatch {
  public:
   explicit ConnectBatch(const AGraph& graph, ConnectOptions options = {});
@@ -363,6 +391,10 @@ class ConnectBatch {
   /// BFS shortest-path trees built so far (== distinct terminals seen
   /// across every row this batch connected).
   size_t trees_built() const;
+
+  /// The graph this batch borrows (cache-invalidation hook for callers
+  /// that keep a batch across calls, e.g. QueryResult::connect_batch).
+  const AGraph* graph() const { return graph_; }
 
  private:
   struct TerminalTree;

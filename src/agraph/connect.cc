@@ -10,7 +10,14 @@
 // by a ConnectBatch, and pair meets are memoized per batch, so connecting
 // many rows whose terminal sets overlap — the query executor's GRAPH
 // collation — builds each distinct terminal's tree once and resolves each
-// recurring pair once, instead of re-running the search per row. Every
+// recurring pair once, instead of re-running the search per row. Pair
+// resolution is itself lazy inside the Prim loop: a pair that has scanned
+// L meet-free levels is known to be >= 2L-1 apart, so once any candidate
+// resolves, pairs whose lower bound exceeds it stop expanding — cold
+// many-terminal rows touch far fewer than all O(k^2) pairs. When
+// ConnectOptions::workers > 1, the distinct trees one resolution sweep
+// needs are expanded in parallel on a thread pool (ring contents are a
+// pure function of the root, so helpers change nothing but time). Every
 // choice ties-break on dense indexes through schedule-free definitions, so
 // a tree pre-expanded by an earlier row never changes a later row's
 // answer: batch results are edge-set-identical to per-row Connect, which
@@ -22,10 +29,12 @@
 // in steady state allocate only per-terminal map nodes and the returned
 // SubGraph.
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <tuple>
 
 #include "agraph/agraph.h"
+#include "util/thread_pool.h"
 
 namespace graphitti {
 namespace agraph {
@@ -33,6 +42,14 @@ namespace agraph {
 namespace {
 
 constexpr uint32_t kNone = ~0u;
+
+// Tree liveness stamps come from one process-global counter, NOT the
+// thread-local recycling pools: trees can be recycled across threads (a
+// batch cached on a QueryResult is destroyed on whichever thread flips its
+// last page), and a per-thread counter could re-issue a stamp still present
+// in a recycled record array. Relaxed order suffices — the handoff of the
+// arrays themselves provides the synchronization.
+std::atomic<uint64_t> g_tree_epoch{0};
 
 // One selected tree edge, deduplicated on the undirected key (a, b, label)
 // while remembering the stored direction for the output EdgeRecord.
@@ -79,7 +96,6 @@ struct ConnectBatch::State {
     static constexpr size_t kMaxFreeBytes = size_t{64} << 20;
     std::vector<std::unique_ptr<TerminalTree>> free_trees;
     size_t free_bytes = 0;
-    uint64_t next_epoch = 0;
   };
   static Pool& ThreadPool() {
     thread_local Pool pool;
@@ -109,6 +125,8 @@ struct ConnectBatch::State {
   static void Return(std::unique_ptr<State> st) {
     st->trees.clear();
     st->pair_meets.clear();
+    st->pair_tasks.clear();
+    st->expand_list.clear();
     auto& free_states = FreeStates();
     if (free_states.size() < 4) free_states.push_back(std::move(st));
   }
@@ -116,11 +134,24 @@ struct ConnectBatch::State {
   /// Canonical meet between two terminal trees: the shortest connection
   /// distance and the smallest-dense-index meet node among the pairs
   /// registered by the trees' synchronized half-depth expansion (a pure
-  /// function of the graph; see Connect). dist == SIZE_MAX when the
-  /// terminals are not connectable within max_hops.
+  /// function of the graph; see Connect). Entries resolve incrementally:
+  /// `next_level` counts the synchronized levels already scanned meet-free
+  /// (so the pair distance is >= 2*next_level - 1 until `resolved`), and
+  /// once `resolved` is set, dist/meet are final — dist == SIZE_MAX when
+  /// the terminals are not connectable within max_hops.
   struct PairMeet {
     size_t dist = SIZE_MAX;
     uint32_t meet = kNone;
+    uint32_t next_level = 0;
+    bool resolved = false;
+  };
+
+  /// One (absorbed terminal, missing terminal) pair of the current Prim
+  /// round, pointing at its memoized (possibly partial) meet entry.
+  struct PairTask {
+    uint32_t c;  // absorbed-side terminal
+    uint32_t t;  // missing terminal
+    PairMeet* pm;
   };
 
   util::LabelBitset allowed;
@@ -132,6 +163,10 @@ struct ConnectBatch::State {
   std::vector<uint32_t> connected;  // terminals absorbed so far
   std::vector<uint32_t> missing;
   std::vector<TreeEdge> tree_edges;
+  // Lazy pair-resolution scratch (cleared per Prim round / sweep).
+  std::vector<PairTask> pair_tasks;
+  std::vector<TerminalTree*> expand_list;
+  std::vector<size_t> expand_targets;
 };
 
 ConnectBatch::ConnectBatch(const AGraph& graph, ConnectOptions options)
@@ -169,7 +204,7 @@ ConnectBatch::TerminalTree& ConnectBatch::TreeFor(uint32_t terminal) {
   if (tree.recs.size() < graph_->refs_.size()) {
     tree.recs.resize(graph_->refs_.size());  // fresh records carry stamp 0
   }
-  tree.epoch = ++pool.next_epoch;
+  tree.epoch = g_tree_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   tree.root = terminal;
   tree.radius = 0;
   tree.exhausted = false;
@@ -278,44 +313,111 @@ util::Result<SubGraph> ConnectBatch::Connect(const std::vector<NodeRef>& termina
   // deep earlier rows happened to expand either tree. Keep the scan and
   // this definition in lockstep: scoring deeper meets (or skipping the
   // rec.dist > level cap below) silently breaks batch-vs-per-row identity.
-  auto pair_meet = [&](uint32_t t1, uint32_t t2) -> State::PairMeet {
+  auto meet_entry = [&](uint32_t t1, uint32_t t2) -> State::PairMeet& {
     const uint64_t key =
         (static_cast<uint64_t>(std::min(t1, t2)) << 32) | std::max(t1, t2);
-    auto memo = st.pair_meets.find(key);
-    if (memo != st.pair_meets.end()) return memo->second;
-    TerminalTree& a = TreeFor(t1);
-    TerminalTree& b = TreeFor(t2);  // map values are stable unique_ptrs
-    State::PairMeet best;
-    auto scan_ring = [&](const TerminalTree& ring_tree, const TerminalTree& ball_tree,
-                         size_t level) {
-      if (ring_tree.radius < level) return;
-      for (size_t i = ring_tree.ring_offsets[level];
-           i < ring_tree.ring_offsets[level + 1]; ++i) {
-        const uint32_t x = ring_tree.order[i];
-        const TerminalTree::Rec& rec = ball_tree.recs[x];
-        // Records deeper than the synchronized level never contribute:
-        // they re-register at their own level via the other scan.
-        if (rec.stamp != ball_tree.epoch || rec.dist > level) continue;
-        const size_t d = level + rec.dist;
-        if (d > options_.max_hops) continue;
-        if (d < best.dist || (d == best.dist && x < best.meet)) {
-          best.dist = d;
-          best.meet = x;
+    return st.pair_meets[key];  // node-based: pointers stay stable
+  };
+  // Scanning levels 0..next_level-1 meet-free proves any connection is
+  // scored no earlier than level next_level, i.e. its length is at least
+  // 2*next_level - 1. (Distinct terminals are always >= 1 apart.)
+  auto meet_lower_bound = [](const State::PairMeet& pm) -> size_t {
+    return pm.next_level == 0 ? 1 : 2 * static_cast<size_t>(pm.next_level) - 1;
+  };
+  auto scan_ring = [&](const TerminalTree& ring_tree,
+                       const TerminalTree& ball_tree, size_t level,
+                       State::PairMeet* best) {
+    if (ring_tree.radius < level) return;
+    for (size_t i = ring_tree.ring_offsets[level];
+         i < ring_tree.ring_offsets[level + 1]; ++i) {
+      const uint32_t x = ring_tree.order[i];
+      const TerminalTree::Rec& rec = ball_tree.recs[x];
+      // Records deeper than the synchronized level never contribute:
+      // they re-register at their own level via the other scan.
+      if (rec.stamp != ball_tree.epoch || rec.dist > level) continue;
+      const size_t d = level + rec.dist;
+      if (d > options_.max_hops) continue;
+      if (d < best->dist || (d == best->dist && x < best->meet)) {
+        best->dist = d;
+        best->meet = x;
+      }
+    }
+  };
+
+  util::ThreadPool* pool = nullptr;
+  if (options_.workers > 1) {
+    pool = options_.pool != nullptr ? options_.pool : util::ThreadPool::Shared();
+  }
+
+  // One lazy-resolution sweep over the current round's pairs: every
+  // unresolved pair whose lower bound could still beat `bound` scans one
+  // more synchronized level (expanding both trees there first — distinct
+  // trees in parallel when configured). Returns false once no pair can
+  // advance, i.e. every pair still able to matter is resolved.
+  auto advance_pairs = [&](size_t bound) -> bool {
+    st.expand_list.clear();
+    st.expand_targets.clear();
+    auto want_radius = [&](TerminalTree& tree, size_t target) {
+      if (tree.radius >= target || tree.exhausted) return;
+      for (size_t i = 0; i < st.expand_list.size(); ++i) {
+        if (st.expand_list[i] == &tree) {
+          st.expand_targets[i] = std::max(st.expand_targets[i], target);
+          return;
         }
       }
+      st.expand_list.push_back(&tree);
+      st.expand_targets.push_back(target);
     };
-    for (size_t level = 0; level <= options_.max_hops; ++level) {
-      while (a.radius < level && !a.exhausted) ExpandRing(&a);
-      while (b.radius < level && !b.exhausted) ExpandRing(&b);
-      scan_ring(a, b, level);
-      scan_ring(b, a, level);
-      if (best.meet != kNone) break;  // first scored level proves the minimum
+    bool any = false;
+    for (State::PairTask& p : st.pair_tasks) {
+      State::PairMeet& pm = *p.pm;
+      if (pm.resolved || meet_lower_bound(pm) > bound) continue;
+      if (pm.next_level > options_.max_hops) {
+        pm.resolved = true;  // dist stays SIZE_MAX: hop budget exhausted
+        continue;
+      }
+      any = true;
+      want_radius(TreeFor(p.c), pm.next_level);
+      want_radius(TreeFor(p.t), pm.next_level);
+    }
+    if (!any) return false;
+
+    // Ring contents are a pure function of (root, filter), so expanding
+    // distinct trees on helper threads changes nothing but wall clock.
+    auto expand_one = [&](size_t i) {
+      TerminalTree* tree = st.expand_list[i];
+      const size_t target = st.expand_targets[i];
+      while (tree->radius < target && !tree->exhausted) ExpandRing(tree);
+    };
+    if (pool != nullptr && st.expand_list.size() > 1) {
+      pool->ParallelFor(st.expand_list.size(), options_.workers - 1, expand_one);
+    } else {
+      for (size_t i = 0; i < st.expand_list.size(); ++i) expand_one(i);
+    }
+
+    // Scans stay serial: they are cheap next to expansion and mutate the
+    // shared memo entries.
+    for (State::PairTask& p : st.pair_tasks) {
+      State::PairMeet& pm = *p.pm;
+      if (pm.resolved || meet_lower_bound(pm) > bound) continue;
+      const size_t level = pm.next_level;
+      TerminalTree& a = *st.trees.find(p.c)->second;
+      TerminalTree& b = *st.trees.find(p.t)->second;
+      scan_ring(a, b, level, &pm);
+      scan_ring(b, a, level, &pm);
+      if (pm.meet != kNone) {
+        pm.resolved = true;  // first scored level proves the minimum
+        continue;
+      }
       const bool a_alive = !a.exhausted || a.radius > level;
       const bool b_alive = !b.exhausted || b.radius > level;
-      if (!a_alive && !b_alive) break;
+      if (!a_alive && !b_alive) {
+        pm.resolved = true;  // dist stays SIZE_MAX: both trees dead
+        continue;
+      }
+      ++pm.next_level;
     }
-    st.pair_meets.emplace(key, best);
-    return best;
+    return true;
   };
 
   st.connected.clear();
@@ -325,22 +427,40 @@ util::Result<SubGraph> ConnectBatch::Connect(const std::vector<NodeRef>& termina
     // cheapest connection to any absorbed terminal. The winner ties-break
     // on (distance, missing terminal, absorbed terminal, meet node) — all
     // dense indexes, so the choice is deterministic and row-order-free.
+    // Pairs resolve lazily: each sweep advances only the pairs whose lower
+    // bound could still beat (or tie, and out-tie-break) the best resolved
+    // candidate, so a cold many-terminal row stops expanding most of its
+    // O(k^2) pairs as soon as one short connection resolves. An unresolved
+    // pair's final distance is >= its lower bound > best_d, so it can
+    // never displace the winner — the winner is identical to the eager
+    // all-pairs evaluation, and so is each resolved entry's value.
+    st.pair_tasks.clear();
+    for (uint32_t t : st.missing) {
+      for (uint32_t c : st.connected) {
+        st.pair_tasks.push_back({c, t, &meet_entry(c, t)});
+      }
+    }
     size_t best_d = SIZE_MAX;
     uint32_t best_t = kNone;
     uint32_t best_from = kNone;
     uint32_t best_x = kNone;
-    for (uint32_t t : st.missing) {
-      for (uint32_t c : st.connected) {
-        State::PairMeet pm = pair_meet(c, t);
-        if (pm.dist == SIZE_MAX) continue;
-        if (std::make_tuple(pm.dist, t, c, pm.meet) <
+    for (;;) {
+      best_d = SIZE_MAX;
+      best_t = kNone;
+      best_from = kNone;
+      best_x = kNone;
+      for (const State::PairTask& p : st.pair_tasks) {
+        const State::PairMeet& pm = *p.pm;
+        if (!pm.resolved || pm.dist == SIZE_MAX) continue;
+        if (std::make_tuple(pm.dist, p.t, p.c, pm.meet) <
             std::make_tuple(best_d, best_t, best_from, best_x)) {
           best_d = pm.dist;
-          best_t = t;
-          best_from = c;
+          best_t = p.t;
+          best_from = p.c;
           best_x = pm.meet;
         }
       }
+      if (!advance_pairs(best_d)) break;
     }
     if (best_t == kNone) {
       return util::Status::NotFound(

@@ -927,5 +927,40 @@ std::string AnnotationStore::TermName(agraph::NodeRef ref) const {
   return term_names_[ref.id - 1];
 }
 
+std::unique_ptr<AnnotationStore> AnnotationStore::Clone(
+    spatial::IndexManager* indexes, agraph::AGraph* graph) const {
+  auto copy = std::make_unique<AnnotationStore>(indexes, graph);
+  // Serialize against concurrent reader-side cold-content hydration (the
+  // only mutation a published store can see: ContentOf moving an entry
+  // from cold_content_ into Annotation::content under hydrate_mu_).
+  std::lock_guard<std::mutex> lock(hydrate_mu_);
+  for (const auto& [id, ann] : annotations_) {
+    Annotation& a = copy->annotations_[id];
+    a.id = ann.id;
+    a.dc = ann.dc;
+    a.body = ann.body;
+    a.user_tags = ann.user_tags;
+    a.referents = ann.referents;
+    a.ontology_refs = ann.ontology_refs;
+    if (ann.content.root() != nullptr) {
+      a.content.set_root(ann.content.root()->Clone());
+    }
+  }
+  copy->referents_ = referents_;
+  copy->referent_by_key_ = referent_by_key_;
+  copy->referents_by_domain_ = referents_by_domain_;
+  copy->token_ids_ = token_ids_;
+  copy->postings_ = postings_;
+  copy->lower_text_ = lower_text_;
+  copy->term_node_ids_ = term_node_ids_;
+  copy->term_names_ = term_names_;
+  copy->next_annotation_id_ = next_annotation_id_;
+  copy->next_referent_id_ = next_referent_id_;
+  copy->cold_content_ = cold_content_;
+  copy->has_cold_.store(has_cold_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  return copy;
+}
+
 }  // namespace annotation
 }  // namespace graphitti

@@ -52,6 +52,14 @@ class AnnotationStore {
   AnnotationStore(const AnnotationStore&) = delete;
   AnnotationStore& operator=(const AnnotationStore&) = delete;
 
+  /// Deep copy for copy-on-write version publication (util/epoch.h): the
+  /// clone borrows `indexes`/`graph` (the *clone's* counterparts, not this
+  /// store's). Safe to call while reader threads hydrate cold content on
+  /// this store concurrently — the copy runs under hydrate_mu_, the only
+  /// lock those logically-const fills take.
+  std::unique_ptr<AnnotationStore> Clone(spatial::IndexManager* indexes,
+                                         agraph::AGraph* graph) const;
+
   // --- Commit / remove ---
 
   /// Commits a built annotation: assigns ids, materializes the XML, indexes

@@ -378,11 +378,10 @@ Status Graphitti::WalAppend(persist::WalRecordType type, std::string payload) {
 
 // --- WAL replay ---
 
-Status Graphitti::ApplyWalRecord(const persist::WalRecord& record) {
-  // Replay runs on an unpublished engine with wal_ unattached, so the
-  // public mutators it calls log nothing. The outer exclusive hold makes
-  // their own acquisitions reentrant no-ops.
-  util::RwGate::ExclusiveLock gate(gate_);
+Status Graphitti::ApplyWalRecord(const persist::WalRecord& record, EngineState& state) {
+  // Boot/recovery mode: `state` is the initial version, not yet observable
+  // by any reader, so it is mutated in place through the substrates
+  // directly (never the public mutators, which would publish and log).
   Decoder dec(record.payload);
   switch (record.type) {
     case persist::WalRecordType::kCommitBatch: {
@@ -396,7 +395,7 @@ Status Graphitti::ApplyWalRecord(const persist::WalRecord& record) {
         GRAPHITTI_ASSIGN_OR_RETURN(std::string xml, dec.GetString());
         // Duplicate delivery of an already-applied record (e.g. replay
         // after a crash mid-checkpoint-cleanup): skip the whole batch.
-        if (store_->Get(id) != nullptr) return Status::OK();
+        if (state.store->Get(id) != nullptr) return Status::OK();
         ids.push_back(id);
         xmls.push_back(std::move(xml));
       }
@@ -412,11 +411,11 @@ Status Graphitti::ApplyWalRecord(const persist::WalRecord& record) {
         builders.push_back(std::move(builder));
         contents.push_back(std::move(doc));
       }
-      return store_->CommitBatch(std::move(builders), ids, &contents).status();
+      return state.store->CommitBatch(std::move(builders), ids, &contents).status();
     }
     case persist::WalRecordType::kRemove: {
       GRAPHITTI_ASSIGN_OR_RETURN(AnnotationId id, dec.GetU64());
-      Status s = store_->Remove(id);
+      Status s = state.store->Remove(id);
       return s.IsNotFound() ? Status::OK() : s;  // duplicate delivery
     }
     case persist::WalRecordType::kObject: {
@@ -425,14 +424,17 @@ Status Graphitti::ApplyWalRecord(const persist::WalRecord& record) {
       GRAPHITTI_ASSIGN_OR_RETURN(std::string label, dec.GetString());
       GRAPHITTI_ASSIGN_OR_RETURN(RowId logged_rid, dec.GetU64());
       GRAPHITTI_ASSIGN_OR_RETURN(uint32_t ncols, dec.GetU32());
-      if (objects_.count(object_id) > 0) return Status::OK();  // duplicate
+      {
+        std::lock_guard<std::mutex> meta(meta_mu_);
+        if (objects_.count(object_id) > 0) return Status::OK();  // duplicate
+      }
       Row row;
       row.reserve(ncols);
       for (uint32_t i = 0; i < ncols; ++i) {
         GRAPHITTI_ASSIGN_OR_RETURN(Value v, DecodeValue(&dec));
         row.push_back(std::move(v));
       }
-      Table* t = catalog_.GetTable(table);
+      Table* t = state.catalog.GetTable(table);
       if (t == nullptr) {
         return Status::Internal("WAL object record targets missing table '" + table + "'");
       }
@@ -444,24 +446,24 @@ Status Graphitti::ApplyWalRecord(const persist::WalRecord& record) {
                                 " != logged " + std::to_string(logged_rid) +
                                 " (WAL does not match its base state)");
       }
-      return RestoreObject(object_id, table, rid, std::move(label));
+      return RestoreObjectInto(state, object_id, table, rid, std::move(label));
     }
     case persist::WalRecordType::kCreateTable: {
       GRAPHITTI_ASSIGN_OR_RETURN(std::string name, dec.GetString());
       GRAPHITTI_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(&dec));
-      Status s = catalog_.CreateTable(std::move(name), std::move(schema)).status();
+      Status s = state.catalog.CreateTable(std::move(name), std::move(schema)).status();
       return s.IsAlreadyExists() ? Status::OK() : s;
     }
     case persist::WalRecordType::kOntology: {
       GRAPHITTI_ASSIGN_OR_RETURN(std::string name, dec.GetString());
       GRAPHITTI_ASSIGN_OR_RETURN(std::string obo, dec.GetString());
-      Status s = LoadOntology(std::move(name), obo).status();
+      Status s = LoadOntologyInto(std::move(name), obo);
       return s.IsAlreadyExists() ? Status::OK() : s;
     }
     case persist::WalRecordType::kCoordSystem: {
       GRAPHITTI_ASSIGN_OR_RETURN(std::string name, dec.GetString());
       GRAPHITTI_ASSIGN_OR_RETURN(uint8_t dims, dec.GetU8());
-      Status s = RegisterCoordinateSystem(name, dims);
+      Status s = state.indexes.coordinate_systems().RegisterCanonical(name, dims);
       return s.IsAlreadyExists() ? Status::OK() : s;
     }
     case persist::WalRecordType::kDerivedCoordSystem: {
@@ -475,11 +477,14 @@ Status Graphitti::ApplyWalRecord(const persist::WalRecord& record) {
       for (double& v : offset) {
         GRAPHITTI_ASSIGN_OR_RETURN(v, dec.GetDouble());
       }
-      Status s = RegisterDerivedCoordinateSystem(name, canonical, scale, offset);
+      Status s = state.indexes.coordinate_systems().RegisterDerived(name, canonical, scale,
+                                                                   offset);
       return s.IsAlreadyExists() ? Status::OK() : s;
     }
     case persist::WalRecordType::kVacuum:
-      VacuumTables();
+      for (const std::string& name : state.catalog.TableNames()) {
+        state.catalog.GetTable(name)->Vacuum();
+      }
       return Status::OK();
   }
   return Status::Internal("unknown WAL record type " +
@@ -488,11 +493,11 @@ Status Graphitti::ApplyWalRecord(const persist::WalRecord& record) {
 
 // --- Snapshot encode ---
 
-std::string Graphitti::EncodeSnapshotBody() const {
+std::string Graphitti::EncodeSnapshotBody(const EngineState& state) const {
   Encoder enc;
 
   // Coordinate systems, canonical-first (restore re-registers in order).
-  std::vector<spatial::CoordinateSystem> systems = indexes_.coordinate_systems().All();
+  std::vector<spatial::CoordinateSystem> systems = state.indexes.coordinate_systems().All();
   enc.PutU32(static_cast<uint32_t>(systems.size()));
   for (const spatial::CoordinateSystem& cs : systems) {
     enc.PutString(cs.name);
@@ -505,11 +510,11 @@ std::string Graphitti::EncodeSnapshotBody() const {
   // Tables: schema + index descriptors + rows in scan order. Objects below
   // reference rows by scan ordinal (restore re-inserts contiguously, so
   // ordinal == RowId there — the same trick as the legacy XML save).
-  std::vector<std::string> table_names = catalog_.TableNames();
+  std::vector<std::string> table_names = state.catalog.TableNames();
   enc.PutU32(static_cast<uint32_t>(table_names.size()));
   std::map<std::string, std::unordered_map<RowId, uint64_t>> ordinals;
   for (const std::string& name : table_names) {
-    const Table* table = catalog_.GetTable(name);
+    const Table* table = state.catalog.GetTable(name);
     enc.PutString(name);
     EncodeSchema(&enc, table->schema());
     std::vector<std::pair<std::string, IndexKind>> idx = table->IndexDescriptors();
@@ -527,8 +532,13 @@ std::string Graphitti::EncodeSnapshotBody() const {
     });
   }
 
-  // Objects (skipping ones whose table/row is gone, like the XML save).
+  // Objects and ontologies live in engine metadata, not the versioned
+  // state; meta_mu_ covers the reads. A registration racing this encode
+  // would reference a row the snapshot's `state` lacks — the ordinal skip
+  // below drops it, matching the snapshot's version cut. (Checkpoint holds
+  // commit_mu_, so in practice no such race exists there.)
   {
+    std::lock_guard<std::mutex> meta(meta_mu_);
     std::vector<std::pair<const ObjectInfo*, uint64_t>> live;
     live.reserve(objects_.size());
     for (const auto& [id, info] : objects_) {
@@ -547,18 +557,17 @@ std::string Graphitti::EncodeSnapshotBody() const {
       enc.PutString(info->label);
     }
     enc.PutU64(next_object_id_);
-  }
 
-  // Ontologies.
-  enc.PutU32(static_cast<uint32_t>(ontologies_.size()));
-  for (const auto& [name, onto] : ontologies_) {
-    enc.PutString(name);
-    enc.PutString(ontology::ToObo(onto));
+    enc.PutU32(static_cast<uint32_t>(ontologies_.size()));
+    for (const auto& [name, onto] : ontologies_) {
+      enc.PutString(name);
+      enc.PutString(ontology::ToObo(onto));
+    }
   }
 
   // Annotation store: term names, the keyword index verbatim, referents,
   // annotations.
-  const AnnotationStore& store = *store_;
+  const AnnotationStore& store = *state.store;
   const std::vector<std::string>& terms = store.TermNames();
   enc.PutU32(static_cast<uint32_t>(terms.size()));
   for (const std::string& t : terms) enc.PutString(t);
@@ -580,9 +589,9 @@ std::string Graphitti::EncodeSnapshotBody() const {
     // later commit adopted the object id without re-marking, and restore
     // must not invent it.
     bool edge = ref.object_id != 0 &&
-                graph_.HasEdge(AnnotationStore::ReferentNode(rid),
-                               agraph::NodeRef::Object(ref.object_id),
-                               annotation::kEdgeOfObject);
+                state.graph.HasEdge(AnnotationStore::ReferentNode(rid),
+                                    agraph::NodeRef::Object(ref.object_id),
+                                    annotation::kEdgeOfObject);
     enc.PutU8(edge ? 1 : 0);
     EncodeSubstructure(&enc, ref.substructure);
   });
@@ -617,11 +626,12 @@ std::string Graphitti::EncodeSnapshotBody() const {
 
 // --- Snapshot restore ---
 
-Status Graphitti::RestoreFromSnapshotBody(std::string_view body) {
+Status Graphitti::RestoreFromSnapshotBody(std::string_view body, EngineState& state) {
   Decoder dec(body);
 
-  // Coordinate systems (env_ is unattached on the fresh engine, so the
-  // public registrars log nothing).
+  // Boot/recovery mode: `state` is not yet observable by any reader, so
+  // it is rebuilt in place through the substrates directly (never the
+  // public mutators, which would publish and log).
   GRAPHITTI_ASSIGN_OR_RETURN(uint32_t ncs, dec.GetU32());
   for (uint32_t i = 0; i < ncs; ++i) {
     GRAPHITTI_ASSIGN_OR_RETURN(std::string name, dec.GetString());
@@ -636,10 +646,10 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body) {
       GRAPHITTI_ASSIGN_OR_RETURN(v, dec.GetDouble());
     }
     if (name == canonical) {
-      GRAPHITTI_RETURN_NOT_OK(RegisterCoordinateSystem(name, dims));
+      GRAPHITTI_RETURN_NOT_OK(state.indexes.coordinate_systems().RegisterCanonical(name, dims));
     } else {
       GRAPHITTI_RETURN_NOT_OK(
-          RegisterDerivedCoordinateSystem(name, canonical, scale, offset));
+          state.indexes.coordinate_systems().RegisterDerived(name, canonical, scale, offset));
     }
   }
 
@@ -650,9 +660,9 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body) {
   for (uint32_t i = 0; i < ntables; ++i) {
     GRAPHITTI_ASSIGN_OR_RETURN(std::string name, dec.GetString());
     GRAPHITTI_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(&dec));
-    Table* table = catalog_.GetTable(name);
+    Table* table = state.catalog.GetTable(name);
     if (table == nullptr) {
-      GRAPHITTI_ASSIGN_OR_RETURN(table, catalog_.CreateTable(name, std::move(schema)));
+      GRAPHITTI_ASSIGN_OR_RETURN(table, state.catalog.CreateTable(name, std::move(schema)));
     }
     GRAPHITTI_ASSIGN_OR_RETURN(uint32_t nidx, dec.GetU32());
     for (uint32_t j = 0; j < nidx; ++j) {
@@ -691,17 +701,20 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body) {
                               " beyond table '" + table + "'");
     }
     GRAPHITTI_RETURN_NOT_OK(
-        RestoreObject(object_id, table, it->second[ordinal], std::move(label)));
+        RestoreObjectInto(state, object_id, table, it->second[ordinal], std::move(label)));
   }
   GRAPHITTI_ASSIGN_OR_RETURN(uint64_t next_object, dec.GetU64());
-  next_object_id_ = std::max(next_object_id_, next_object);
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    next_object_id_ = std::max(next_object_id_, next_object);
+  }
 
   // Ontologies.
   GRAPHITTI_ASSIGN_OR_RETURN(uint32_t nontos, dec.GetU32());
   for (uint32_t i = 0; i < nontos; ++i) {
     GRAPHITTI_ASSIGN_OR_RETURN(std::string name, dec.GetString());
     GRAPHITTI_ASSIGN_OR_RETURN(std::string obo, dec.GetString());
-    GRAPHITTI_RETURN_NOT_OK(LoadOntology(std::move(name), obo).status());
+    GRAPHITTI_RETURN_NOT_OK(LoadOntologyInto(std::move(name), obo));
   }
 
   // Annotation store.
@@ -785,9 +798,9 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body) {
     return Status::Internal("snapshot body has " + std::to_string(dec.remaining()) +
                             " trailing bytes");
   }
-  return store_->RestoreSnapshotState(std::move(referents), std::move(annotations),
-                                      std::move(keyword_index), std::move(term_names),
-                                      next_ann, next_ref);
+  return state.store->RestoreSnapshotState(std::move(referents), std::move(annotations),
+                                           std::move(keyword_index), std::move(term_names),
+                                           next_ann, next_ref);
 }
 
 // --- Recovery and checkpointing ---
@@ -807,11 +820,14 @@ Result<std::unique_ptr<Graphitti>> Graphitti::RecoverBinary(
     wal_records = std::move(wal.records);
   }
   if (options.eager_restore) {
+    // The engine is brand new: its initial version has no observers, so
+    // recovery rebuilds it in place.
+    EngineState& state = *g->CurrentState();
     if (plan.has_snapshot) {
-      GRAPHITTI_RETURN_NOT_OK(g->RestoreFromSnapshotBody(plan.snapshot_body));
+      GRAPHITTI_RETURN_NOT_OK(g->RestoreFromSnapshotBody(plan.snapshot_body, state));
     }
     for (const persist::WalRecord& rec : wal_records) {
-      GRAPHITTI_RETURN_NOT_OK(g->ApplyWalRecord(rec));
+      GRAPHITTI_RETURN_NOT_OK(g->ApplyWalRecord(rec, state));
     }
   } else if (plan.has_snapshot || !wal_records.empty()) {
     // Fast restart: the snapshot body is already CRC-verified, so decoding
@@ -847,33 +863,28 @@ Status Graphitti::HydrateNow() const {
   std::lock_guard<std::mutex> lk(self->hydrate_mu_);
   if (!hydration_pending_.load(std::memory_order_relaxed)) return Status::OK();
   if (!hydrate_status_.ok()) return hydrate_status_;  // poisoned: never retried
-  util::RwGate::ExclusiveLock gate(gate_);
-  // Clear the pending flag before decoding: RestoreFromSnapshotBody and
-  // ApplyWalRecord call hooked public registrars on this same thread, and
-  // those must take the fast path (their gate acquisitions are reentrant
-  // no-ops under this exclusive hold). Other threads that observe the
-  // cleared flag early simply block on the gate until hydration finishes.
+  // hydration_pending_ stays true for the whole decode: every other
+  // thread's EnsureHydrated funnels here and blocks on hydrate_mu_, so no
+  // reader can pin (let alone observe) the half-built initial version.
+  // The boot-mode helpers mutate that version in place and never touch
+  // the WAL, so nothing gets re-logged.
   std::unique_ptr<PendingRestore> stash = std::move(self->pending_restore_);
-  self->hydration_pending_.store(false, std::memory_order_release);
-  // Replay mutators must not re-log records that are already in the WAL
-  // attached at open; detach it for the duration (WalAppend no-ops).
-  std::unique_ptr<persist::WalWriter> attached_wal = std::move(self->wal_);
+  EngineState& state = *self->CurrentState();
   Status st;
-  if (stash->has_snapshot) st = self->RestoreFromSnapshotBody(stash->snapshot_body);
+  if (stash->has_snapshot) st = self->RestoreFromSnapshotBody(stash->snapshot_body, state);
   if (st.ok()) {
     for (const persist::WalRecord& rec : stash->wal_records) {
-      st = self->ApplyWalRecord(rec);
+      st = self->ApplyWalRecord(rec, state);
       if (!st.ok()) break;
     }
   }
-  self->wal_ = std::move(attached_wal);
   if (!st.ok()) {
     // Should be unreachable for a CRC-clean snapshot + settled WAL; if it
     // happens, poison rather than serve the partial state.
     self->hydrate_status_ = st;
-    self->hydration_pending_.store(true, std::memory_order_release);
     return st;
   }
+  self->hydration_pending_.store(false, std::memory_order_release);
   return Status::OK();
 }
 
@@ -900,7 +911,10 @@ Result<std::unique_ptr<Graphitti>> Graphitti::OpenDurable(const std::string& dir
 
 Status Graphitti::Checkpoint() {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  // Checkpointing serializes against *writers* (commit_mu_), never against
+  // readers: the current version is immutable once published, so encoding
+  // it races nothing, and readers keep pinning and serving throughout.
+  std::lock_guard<std::mutex> commit(commit_mu_);
   if (env_ == nullptr) {
     return Status::Unsupported("Checkpoint() requires an OpenDurable engine");
   }
@@ -912,7 +926,7 @@ Status Graphitti::Checkpoint() {
   // generation's files deleted — a crash mid-cleanup leaves stale files
   // that PlanRecovery recognizes and removes.
   const uint64_t next_gen = generation_ + 1;
-  std::string body = EncodeSnapshotBody();
+  std::string body = EncodeSnapshotBody(*CurrentState());
   GRAPHITTI_RETURN_NOT_OK(persist::WriteSnapshotFile(
       env_, durable_dir_ + "/" + persist::SnapshotFileName(next_gen), next_gen, body));
   GRAPHITTI_ASSIGN_OR_RETURN(

@@ -9,9 +9,37 @@ namespace core {
 
 using relational::IndexKind;
 using relational::Row;
+using relational::RowId;
 using relational::Value;
 using util::Result;
 using util::Status;
+
+namespace {
+
+/// Resolver bound to one pinned engine version: the query executor's
+/// TABLE / TERM BELOW callbacks answer from the same snapshot the rest of
+/// the query runs against, not from whatever version is current when the
+/// callback fires.
+struct BoundResolver : public query::ObjectResolver, public query::OntologyResolver {
+  BoundResolver(const Graphitti* engine, const Graphitti::EngineState* state)
+      : engine_(engine), state_(state) {}
+
+  util::Result<std::vector<uint64_t>> FindObjects(
+      const std::string& table, const relational::Predicate& filter) const override {
+    return engine_->SearchObjectsIn(*state_, table, filter);
+  }
+  std::string DescribeObject(uint64_t object_id) const override {
+    return engine_->DescribeObject(object_id);  // metadata: append-only
+  }
+  std::vector<std::string> ExpandTermBelow(const std::string& qualified) const override {
+    return engine_->ExpandTermBelow(qualified);  // metadata: append-only
+  }
+
+  const Graphitti* engine_;
+  const Graphitti::EngineState* state_;
+};
+
+}  // namespace
 
 std::string SystemStats::ToString() const {
   std::string out;
@@ -30,12 +58,15 @@ std::string SystemStats::ToString() const {
   return out;
 }
 
-Graphitti::Graphitti() {
-  store_ = std::make_unique<annotation::AnnotationStore>(&indexes_, &graph_);
+// --- EngineState ---
 
+Graphitti::EngineState::EngineState()
+    : store(std::make_unique<annotation::AnnotationStore>(&indexes, &graph)) {}
+
+void Graphitti::EngineState::InstallBuiltins() {
   auto create = [&](std::string_view name, relational::Schema schema,
                     std::string_view key_column) {
-    auto table = catalog_.CreateTable(std::string(name), std::move(schema));
+    auto table = catalog.CreateTable(std::string(name), std::move(schema));
     (void)(*table)->CreateIndex(key_column, IndexKind::kHash);
   };
   create(kTableDna, DnaSequenceSchema(), "accession");
@@ -46,20 +77,93 @@ Graphitti::Graphitti() {
   create(kTableInteractionGraph, InteractionGraphSchema(), "name");
   create(kTableMsa, MsaSchema(), "name");
   // Organism is a common search key in both sequence tables.
-  (void)catalog_.GetTable(kTableDna)->CreateIndex("organism", IndexKind::kHash);
-  (void)catalog_.GetTable(kTableRna)->CreateIndex("organism", IndexKind::kHash);
-  (void)catalog_.GetTable(kTableProtein)->CreateIndex("organism", IndexKind::kHash);
+  (void)catalog.GetTable(kTableDna)->CreateIndex("organism", IndexKind::kHash);
+  (void)catalog.GetTable(kTableRna)->CreateIndex("organism", IndexKind::kHash);
+  (void)catalog.GetTable(kTableProtein)->CreateIndex("organism", IndexKind::kHash);
 }
+
+std::unique_ptr<Graphitti::EngineState> Graphitti::EngineState::Clone() const {
+  auto copy = std::make_unique<EngineState>();
+  copy->catalog = catalog.Clone();
+  copy->indexes = indexes.Clone();
+  copy->graph = graph.Clone();
+  copy->store = store->Clone(&copy->indexes, &copy->graph);
+  return copy;
+}
+
+Graphitti::Graphitti() {
+  auto initial = std::make_unique<EngineState>();
+  initial->InstallBuiltins();
+  epochs_->Publish(std::move(initial), /*tag=*/0);
+}
+
+// --- Version publication plumbing ---
+
+std::unique_ptr<Graphitti::EngineState> Graphitti::AcquireScratch() {
+  if (!state_dirty_.load(std::memory_order_acquire)) {
+    uint64_t tag = 0;
+    std::unique_ptr<util::Versioned> standby = epochs_->TakeRecyclable(&tag);
+    if (standby != nullptr) {
+      auto* state = static_cast<EngineState*>(standby.get());
+      bool caught_up = true;
+      for (const PendingOp& pending : pending_ops_) {
+        if (pending.seq <= tag) continue;  // already baked into the standby
+        if (!pending.op(*state).ok()) {
+          caught_up = false;  // replay diverged: discard, clone below
+          break;
+        }
+      }
+      if (caught_up) {
+        standby.release();
+        return std::unique_ptr<EngineState>(state);
+      }
+    }
+  }
+  // No recyclable standby (a long reader still pins it, a direct substrate
+  // mutation made replay unsound, or the op log was truncated): pay one
+  // full clone and restart the recycle chain from here.
+  state_dirty_.store(false, std::memory_order_release);
+  pending_ops_.clear();
+  epochs_->DropRecyclable();
+  return CurrentState()->Clone();
+}
+
+void Graphitti::PublishOp(std::unique_ptr<EngineState> next, EngineOp op) {
+  const uint64_t seq = ++op_seq_;
+  const uint64_t prev_tag = current_tag_;
+  epochs_->Publish(std::move(next), seq);
+  current_tag_ = seq;
+  if (op == nullptr) {
+    // Unreplayable mutation: the just-retired version can never be caught
+    // up, so stop it from being recycled and drop the op log.
+    pending_ops_.clear();
+    epochs_->DropRecyclable();
+    return;
+  }
+  pending_ops_.push_back({seq, std::move(op)});
+  // Ops at or below the new recycle candidate's tag (the previous current)
+  // are baked into it; only newer ones are needed to catch it up.
+  while (!pending_ops_.empty() && pending_ops_.front().seq <= prev_tag) {
+    pending_ops_.pop_front();
+  }
+}
+
+// --- Coordinate systems ---
 
 util::Status Graphitti::RegisterCoordinateSystem(std::string_view name, int dims) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  GRAPHITTI_RETURN_NOT_OK(indexes_.coordinate_systems().RegisterCanonical(name, dims));
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  EngineOp op = [name = std::string(name), dims](EngineState& s) {
+    return s.indexes.coordinate_systems().RegisterCanonical(name, dims);
+  };
+  GRAPHITTI_RETURN_NOT_OK(op(*scratch));
   if (env_ != nullptr) {
     GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kCoordSystem,
                                       walrec::EncodeCoordSystem(name, dims)));
   }
+  PublishOp(std::move(scratch), std::move(op));
   return Status::OK();
 }
 
@@ -68,14 +172,37 @@ util::Status Graphitti::RegisterDerivedCoordinateSystem(
     const std::array<double, spatial::Rect::kMaxDims>& scale,
     const std::array<double, spatial::Rect::kMaxDims>& offset) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  GRAPHITTI_RETURN_NOT_OK(
-      indexes_.coordinate_systems().RegisterDerived(name, canonical, scale, offset));
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  EngineOp op = [name = std::string(name), canonical = std::string(canonical), scale,
+                 offset](EngineState& s) {
+    return s.indexes.coordinate_systems().RegisterDerived(name, canonical, scale, offset);
+  };
+  GRAPHITTI_RETURN_NOT_OK(op(*scratch));
   if (env_ != nullptr) {
     GRAPHITTI_RETURN_NOT_OK(
         WalAppend(persist::WalRecordType::kDerivedCoordSystem,
                   walrec::EncodeDerivedCoordSystem(name, canonical, scale, offset)));
+  }
+  PublishOp(std::move(scratch), std::move(op));
+  return Status::OK();
+}
+
+// --- Ontologies (engine-level metadata: no version publication) ---
+
+util::Status Graphitti::LoadOntologyInto(std::string name, std::string_view obo_text) {
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    if (ontologies_.find(name) != ontologies_.end()) {
+      return Status::AlreadyExists("ontology '" + name + "' already loaded");
+    }
+  }
+  GRAPHITTI_ASSIGN_OR_RETURN(ontology::Ontology onto, ontology::ParseObo(obo_text, name));
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  auto [it, inserted] = ontologies_.emplace(std::move(name), std::move(onto));
+  if (!inserted) {
+    return Status::AlreadyExists("ontology '" + it->first + "' already loaded");
   }
   return Status::OK();
 }
@@ -83,61 +210,91 @@ util::Status Graphitti::RegisterDerivedCoordinateSystem(
 util::Result<const ontology::Ontology*> Graphitti::LoadOntology(
     std::string name, std::string_view obo_text) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  if (ontologies_.find(name) != ontologies_.end()) {
-    return Status::AlreadyExists("ontology '" + name + "' already loaded");
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    if (ontologies_.find(name) != ontologies_.end()) {
+      return Status::AlreadyExists("ontology '" + name + "' already loaded");
+    }
   }
   GRAPHITTI_ASSIGN_OR_RETURN(ontology::Ontology onto, ontology::ParseObo(obo_text, name));
-  auto [it, _] = ontologies_.emplace(std::move(name), std::move(onto));
   if (env_ != nullptr) {
-    // The original OBO text is logged verbatim (not re-serialized), so
-    // replay parses exactly what this call parsed.
-    GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kOntology,
-                                      walrec::EncodeOntology(it->first, obo_text)));
+    // Logged (verbatim, so replay parses exactly what this call parsed)
+    // BEFORE the registry insert makes it observable: a WAL failure means
+    // the ontology never appears at all.
+    GRAPHITTI_RETURN_NOT_OK(
+        WalAppend(persist::WalRecordType::kOntology, walrec::EncodeOntology(name, obo_text)));
   }
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  auto [it, _] = ontologies_.emplace(std::move(name), std::move(onto));
   return &it->second;
 }
 
 const ontology::Ontology* Graphitti::GetOntology(std::string_view name) const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
+  std::lock_guard<std::mutex> meta(meta_mu_);
   auto it = ontologies_.find(name);
   return it == ontologies_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> Graphitti::OntologyNames() const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
+  std::lock_guard<std::mutex> meta(meta_mu_);
   std::vector<std::string> out;
   for (const auto& [name, _] : ontologies_) out.push_back(name);
   return out;
 }
 
-util::Result<uint64_t> Graphitti::RegisterObject(std::string_view table,
-                                                 relational::RowId row, std::string label) {
-  uint64_t id = next_object_id_++;
+// --- Ingestion ---
+
+util::Result<uint64_t> Graphitti::CommitRowInsert(std::unique_ptr<EngineState> scratch,
+                                                  std::string table, relational::Row row,
+                                                  std::string label) {
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    id = next_object_id_++;
+  }
+  // The op re-derives the row id deterministically on replay; the first
+  // application reports it through the shared slot.
+  auto out_rid = std::make_shared<RowId>(0);
+  EngineOp op = [table, row = std::move(row), label, id, out_rid](EngineState& s) -> Status {
+    relational::Table* t = s.catalog.GetTable(table);
+    if (t == nullptr) {
+      return Status::Internal("table '" + table + "' missing during op replay");
+    }
+    GRAPHITTI_ASSIGN_OR_RETURN(*out_rid, t->Insert(row));
+    s.graph.EnsureNode(agraph::NodeRef::Object(id), label);
+    return Status::OK();
+  };
+  GRAPHITTI_RETURN_NOT_OK(op(*scratch));
+  const RowId rid = *out_rid;
+
   ObjectInfo info;
   info.id = id;
-  info.table = std::string(table);
-  info.row = row;
+  info.table = table;
+  info.row = rid;
   info.label = std::move(label);
-  graph_.EnsureNode(agraph::NodeRef::Object(id), info.label);
-  object_by_row_[info.table][row] = id;
-  const ObjectInfo& stored = objects_.emplace(id, std::move(info)).first->second;
   if (env_ != nullptr) {
     // The kObject record carries the freshly inserted row's values so
     // replay can re-insert it (the row and the registration are one
-    // logical mutation; see ApplyWalRecord).
-    const relational::Row* values = catalog_.GetTable(table)->Get(row);
+    // logical mutation; see ApplyWalRecord). A failed append discards the
+    // unpublished scratch: the mutation never becomes visible.
+    const Row* values = scratch->catalog.GetTable(table)->Get(rid);
     if (values == nullptr) {
       return Status::Internal("object " + std::to_string(id) + " registered over row " +
-                              std::to_string(row) + " that is not in table '" +
-                              std::string(table) + "'");
+                              std::to_string(rid) + " that is not in table '" + table + "'");
     }
-    GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kObject,
-                                      walrec::EncodeObject(stored, *values)));
+    GRAPHITTI_RETURN_NOT_OK(
+        WalAppend(persist::WalRecordType::kObject, walrec::EncodeObject(info, *values)));
   }
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    object_by_row_[info.table][rid] = id;
+    objects_.emplace(id, std::move(info));
+  }
+  PublishOp(std::move(scratch), std::move(op));
   return id;
 }
 
@@ -146,16 +303,14 @@ util::Result<uint64_t> Graphitti::IngestDnaSequence(std::string accession,
                                                     std::string segment,
                                                     std::string residues) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  relational::Table* table = catalog_.GetTable(kTableDna);
   int64_t length = static_cast<int64_t>(residues.size());
-  GRAPHITTI_ASSIGN_OR_RETURN(
-      relational::RowId row,
-      table->Insert({Value::Str(accession), Value::Str(std::move(organism)),
-                     Value::Str(std::move(segment)), Value::Int(length),
-                     Value::Str(std::move(residues))}));
-  return RegisterObject(kTableDna, row, std::string(kTableDna) + "/" + accession);
+  Row row{Value::Str(accession), Value::Str(std::move(organism)),
+          Value::Str(std::move(segment)), Value::Int(length),
+          Value::Str(std::move(residues))};
+  return CommitRowInsert(AcquireScratch(), std::string(kTableDna), std::move(row),
+                         std::string(kTableDna) + "/" + accession);
 }
 
 util::Result<uint64_t> Graphitti::IngestRnaSequence(std::string accession,
@@ -163,16 +318,14 @@ util::Result<uint64_t> Graphitti::IngestRnaSequence(std::string accession,
                                                     std::string segment,
                                                     std::string residues) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  relational::Table* table = catalog_.GetTable(kTableRna);
   int64_t length = static_cast<int64_t>(residues.size());
-  GRAPHITTI_ASSIGN_OR_RETURN(
-      relational::RowId row,
-      table->Insert({Value::Str(accession), Value::Str(std::move(organism)),
-                     Value::Str(std::move(segment)), Value::Int(length),
-                     Value::Str(std::move(residues))}));
-  return RegisterObject(kTableRna, row, std::string(kTableRna) + "/" + accession);
+  Row row{Value::Str(accession), Value::Str(std::move(organism)),
+          Value::Str(std::move(segment)), Value::Int(length),
+          Value::Str(std::move(residues))};
+  return CommitRowInsert(AcquireScratch(), std::string(kTableRna), std::move(row),
+                         std::string(kTableRna) + "/" + accession);
 }
 
 util::Result<uint64_t> Graphitti::IngestProteinSequence(std::string accession,
@@ -180,16 +333,14 @@ util::Result<uint64_t> Graphitti::IngestProteinSequence(std::string accession,
                                                         std::string protein_name,
                                                         std::string residues) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  relational::Table* table = catalog_.GetTable(kTableProtein);
   int64_t length = static_cast<int64_t>(residues.size());
-  GRAPHITTI_ASSIGN_OR_RETURN(
-      relational::RowId row,
-      table->Insert({Value::Str(accession), Value::Str(std::move(organism)),
-                     Value::Str(std::move(protein_name)), Value::Int(length),
-                     Value::Str(std::move(residues))}));
-  return RegisterObject(kTableProtein, row, std::string(kTableProtein) + "/" + accession);
+  Row row{Value::Str(accession), Value::Str(std::move(organism)),
+          Value::Str(std::move(protein_name)), Value::Int(length),
+          Value::Str(std::move(residues))};
+  return CommitRowInsert(AcquireScratch(), std::string(kTableProtein), std::move(row),
+                         std::string(kTableProtein) + "/" + accession);
 }
 
 util::Result<uint64_t> Graphitti::IngestImage(std::string name,
@@ -198,55 +349,48 @@ util::Result<uint64_t> Graphitti::IngestImage(std::string name,
                                               int64_t height, int64_t depth,
                                               std::vector<uint8_t> pixels) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  if (!indexes_.coordinate_systems().Contains(coordinate_system)) {
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  if (!scratch->indexes.coordinate_systems().Contains(coordinate_system)) {
     return Status::NotFound("coordinate system '" + coordinate_system +
                             "' not registered; call RegisterCoordinateSystem first");
   }
-  relational::Table* table = catalog_.GetTable(kTableImage);
-  GRAPHITTI_ASSIGN_OR_RETURN(
-      relational::RowId row,
-      table->Insert({Value::Str(name), Value::Str(std::move(coordinate_system)),
-                     Value::Str(std::move(modality)), Value::Int(width), Value::Int(height),
-                     Value::Int(depth), Value::Blob(std::move(pixels))}));
-  return RegisterObject(kTableImage, row, std::string(kTableImage) + "/" + name);
+  Row row{Value::Str(name), Value::Str(std::move(coordinate_system)),
+          Value::Str(std::move(modality)), Value::Int(width), Value::Int(height),
+          Value::Int(depth), Value::Blob(std::move(pixels))};
+  return CommitRowInsert(std::move(scratch), std::string(kTableImage), std::move(row),
+                         std::string(kTableImage) + "/" + name);
 }
 
 util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_view newick) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   GRAPHITTI_ASSIGN_OR_RETURN(PhyloTree tree, PhyloTree::FromNewick(newick));
-  relational::Table* table = catalog_.GetTable(kTablePhyloTree);
-  GRAPHITTI_ASSIGN_OR_RETURN(
-      relational::RowId row,
-      table->Insert({Value::Str(name), Value::Int(static_cast<int64_t>(tree.num_leaves())),
-                     Value::Str(std::string(newick))}));
-  return RegisterObject(kTablePhyloTree, row, std::string(kTablePhyloTree) + "/" + name);
+  Row row{Value::Str(name), Value::Int(static_cast<int64_t>(tree.num_leaves())),
+          Value::Str(std::string(newick))};
+  return CommitRowInsert(AcquireScratch(), std::string(kTablePhyloTree), std::move(row),
+                         std::string(kTablePhyloTree) + "/" + name);
 }
 
 util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph& graph) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (graph.name().empty()) {
     return Status::InvalidArgument("interaction graph needs a name");
   }
-  relational::Table* table = catalog_.GetTable(kTableInteractionGraph);
-  GRAPHITTI_ASSIGN_OR_RETURN(
-      relational::RowId row,
-      table->Insert({Value::Str(graph.name()),
-                     Value::Int(static_cast<int64_t>(graph.num_nodes())),
-                     Value::Int(static_cast<int64_t>(graph.num_edges())),
-                     Value::Str(graph.ToText())}));
-  return RegisterObject(kTableInteractionGraph, row,
-                        std::string(kTableInteractionGraph) + "/" + graph.name());
+  Row row{Value::Str(graph.name()), Value::Int(static_cast<int64_t>(graph.num_nodes())),
+          Value::Int(static_cast<int64_t>(graph.num_edges())), Value::Str(graph.ToText())};
+  return CommitRowInsert(AcquireScratch(), std::string(kTableInteractionGraph),
+                         std::move(row),
+                         std::string(kTableInteractionGraph) + "/" + graph.name());
 }
 
 util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (!msa.valid()) {
     return Status::InvalidArgument("MSA rows must be non-empty and share one length");
@@ -255,139 +399,185 @@ util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
   for (const auto& [name, seq] : msa.rows) {
     payload += name + "\t" + seq + "\n";
   }
-  relational::Table* table = catalog_.GetTable(kTableMsa);
-  GRAPHITTI_ASSIGN_OR_RETURN(
-      relational::RowId row,
-      table->Insert({Value::Str(msa.name), Value::Int(static_cast<int64_t>(msa.rows.size())),
-                     Value::Int(static_cast<int64_t>(msa.num_columns())),
-                     Value::Str(payload)}));
-  return RegisterObject(kTableMsa, row, std::string(kTableMsa) + "/" + msa.name);
+  Row row{Value::Str(msa.name), Value::Int(static_cast<int64_t>(msa.rows.size())),
+          Value::Int(static_cast<int64_t>(msa.num_columns())), Value::Str(payload)};
+  return CommitRowInsert(AcquireScratch(), std::string(kTableMsa), std::move(row),
+                         std::string(kTableMsa) + "/" + msa.name);
 }
 
 util::Result<relational::Table*> Graphitti::CreateTable(std::string name,
                                                         relational::Schema schema) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  // Encode before the catalog consumes name/schema; discarded if it
+  // Encode before the op consumes name/schema; discarded if the catalog
   // rejects them (the non-durable common case pays nothing: env_ check).
   std::string record;
   if (env_ != nullptr) record = walrec::EncodeCreateTable(name, schema);
-  GRAPHITTI_ASSIGN_OR_RETURN(relational::Table * created,
-                             catalog_.CreateTable(std::move(name), std::move(schema)));
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  EngineOp op = [name, schema](EngineState& s) {
+    return s.catalog.CreateTable(name, schema).status();
+  };
+  GRAPHITTI_RETURN_NOT_OK(op(*scratch));
   if (env_ != nullptr) {
     GRAPHITTI_RETURN_NOT_OK(
         WalAppend(persist::WalRecordType::kCreateTable, std::move(record)));
   }
-  return created;
+  PublishOp(std::move(scratch), std::move(op));
+  // The returned handle allows direct (unversioned) inserts; make the next
+  // commit clone rather than trust op replay.
+  MarkStateDirty();
+  return CurrentState()->catalog.GetTable(name);
 }
 
 util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relational::Row row,
                                                std::string label) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  relational::Table* t = catalog_.GetTable(table);
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  relational::Table* t = scratch->catalog.GetTable(table);
   if (t == nullptr) {
     return Status::NotFound("table '" + std::string(table) + "' not found");
   }
-  GRAPHITTI_ASSIGN_OR_RETURN(relational::RowId rid, t->Insert(std::move(row)));
   if (label.empty()) {
-    label = std::string(table) + "/row" + std::to_string(rid);
+    label = std::string(table) + "/row" + std::to_string(t->NextRowId());
   }
-  return RegisterObject(table, rid, std::move(label));
+  return CommitRowInsert(std::move(scratch), std::string(table), std::move(row),
+                         std::move(label));
 }
+
+// --- Objects ---
 
 const ObjectInfo* Graphitti::GetObject(uint64_t object_id) const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
+  std::lock_guard<std::mutex> meta(meta_mu_);
   auto it = objects_.find(object_id);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
 size_t Graphitti::num_objects() const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
+  std::lock_guard<std::mutex> meta(meta_mu_);
   return objects_.size();
 }
 
 const relational::Row* Graphitti::GetObjectRow(uint64_t object_id) const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
-  const ObjectInfo* info = GetObject(object_id);
-  if (info == nullptr) return nullptr;
-  const relational::Table* table = catalog_.GetTable(info->table);
+  std::string table_name;
+  RowId row = 0;
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) return nullptr;
+    table_name = it->second.table;
+    row = it->second.row;
+  }
+  util::EpochPin pin = epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
+  const relational::Table* table = state.catalog.GetTable(table_name);
   if (table == nullptr) return nullptr;
-  return table->Get(info->row);
+  return table->Get(row);
 }
 
-util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
-    std::string_view table, const relational::Predicate& filter) const {
-  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::SharedLock gate(gate_);
-  const relational::Table* t = catalog_.GetTable(table);
+util::Result<std::vector<uint64_t>> Graphitti::SearchObjectsIn(
+    const EngineState& state, std::string_view table,
+    const relational::Predicate& filter) const {
+  const relational::Table* t = state.catalog.GetTable(table);
   if (t == nullptr) {
     return Status::NotFound("table '" + std::string(table) + "' not found");
   }
-  GRAPHITTI_ASSIGN_OR_RETURN(std::vector<relational::RowId> rows, t->Select(filter));
+  GRAPHITTI_ASSIGN_OR_RETURN(std::vector<RowId> rows, t->Select(filter));
   std::vector<uint64_t> out;
+  std::lock_guard<std::mutex> meta(meta_mu_);
   auto tit = object_by_row_.find(table);
   if (tit == object_by_row_.end()) return out;
-  for (relational::RowId r : rows) {
+  for (RowId r : rows) {
     auto rit = tit->second.find(r);
     if (rit != tit->second.end()) out.push_back(rit->second);
   }
   return out;
 }
 
+util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
+    std::string_view table, const relational::Predicate& filter) const {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
+  util::EpochPin pin = epochs_->PinCurrent();
+  return SearchObjectsIn(*static_cast<const EngineState*>(pin.get()), table, filter);
+}
+
+// --- Annotation ---
+
 util::Result<annotation::AnnotationId> Graphitti::Commit(
     const annotation::AnnotationBuilder& builder) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  GRAPHITTI_ASSIGN_OR_RETURN(annotation::AnnotationId id, store_->Commit(builder));
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  auto out_id = std::make_shared<annotation::AnnotationId>(0);
+  EngineOp op = [builder, out_id](EngineState& s) -> Status {
+    GRAPHITTI_ASSIGN_OR_RETURN(*out_id, s.store->Commit(builder));
+    return Status::OK();
+  };
+  GRAPHITTI_RETURN_NOT_OK(op(*scratch));
+  const annotation::AnnotationId id = *out_id;
   if (env_ != nullptr) {
     GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kCommitBatch,
-                                      walrec::EncodeCommitBatch(*store_, {id})));
+                                      walrec::EncodeCommitBatch(*scratch->store, {id})));
   }
+  PublishOp(std::move(scratch), std::move(op));
   return id;
 }
 
 util::Result<std::vector<annotation::AnnotationId>> Graphitti::CommitBatch(
     const std::vector<annotation::AnnotationBuilder>& builders) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
   GRAPHITTI_ASSIGN_OR_RETURN(std::vector<annotation::AnnotationId> ids,
-                             store_->CommitBatch(builders));
+                             scratch->store->CommitBatch(builders));
   if (env_ != nullptr && !ids.empty()) {
     GRAPHITTI_RETURN_NOT_OK(WalAppend(persist::WalRecordType::kCommitBatch,
-                                      walrec::EncodeCommitBatch(*store_, ids)));
+                                      walrec::EncodeCommitBatch(*scratch->store, ids)));
+  }
+  if (builders.size() > kMaxReplayBatch) {
+    // Replaying a bulk load onto the standby would double its cost;
+    // publish unreplayable and let the next commit pay one clone.
+    PublishOp(std::move(scratch), nullptr);
+  } else {
+    PublishOp(std::move(scratch), [builders](EngineState& s) {
+      return s.store->CommitBatch(builders).status();
+    });
   }
   return ids;
 }
 
 util::Status Graphitti::RemoveAnnotation(annotation::AnnotationId id) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
-  GRAPHITTI_RETURN_NOT_OK(store_->Remove(id));
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  EngineOp op = [id](EngineState& s) { return s.store->Remove(id); };
+  GRAPHITTI_RETURN_NOT_OK(op(*scratch));
   if (env_ != nullptr) {
     GRAPHITTI_RETURN_NOT_OK(
         WalAppend(persist::WalRecordType::kRemove, walrec::EncodeRemove(id)));
   }
+  PublishOp(std::move(scratch), std::move(op));
   return Status::OK();
 }
 
 std::vector<annotation::AnnotationId> Graphitti::AnnotationsOnObject(
     uint64_t object_id) const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
+  util::EpochPin pin = epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
   std::vector<annotation::AnnotationId> out;
   agraph::NodeRef object_node = agraph::NodeRef::Object(object_id);
-  for (const agraph::NodeRef& ref : graph_.Neighbors(object_node)) {
+  for (const agraph::NodeRef& ref : state.graph.Neighbors(object_node)) {
     if (ref.kind != agraph::NodeKind::kReferent) continue;
-    for (const agraph::NodeRef& content : graph_.Neighbors(ref)) {
+    for (const agraph::NodeRef& content : state.graph.Neighbors(ref)) {
       if (content.kind == agraph::NodeKind::kContent) out.push_back(content.id);
     }
   }
@@ -396,51 +586,64 @@ std::vector<annotation::AnnotationId> Graphitti::AnnotationsOnObject(
   return out;
 }
 
+// --- Query ---
+
 util::Result<query::QueryResult> Graphitti::Query(std::string_view query_text) const {
   return Query(query_text, query::ExecutorOptions{});
 }
 
-query::QueryContext Graphitti::MakeQueryContext() const {
-  query::QueryContext ctx;
-  ctx.store = store_.get();
-  ctx.indexes = &indexes_;
-  ctx.graph = &graph_;
-  ctx.objects = this;
-  ctx.ontologies = this;
-  return ctx;
-}
-
 util::Result<query::QueryResult> Graphitti::Query(
     std::string_view query_text, const query::ExecutorOptions& options) const {
-  // Shared side for the whole parse + execute + first-page materialization:
-  // the executor sees one commit-consistent engine snapshot. The resolver
-  // callbacks (FindObjects/ExpandTermBelow) re-enter the gate, which is a
-  // per-thread no-op.
+  // Pin once for the whole parse + execute + first-page materialization:
+  // the executor sees one commit-consistent version and is never blocked
+  // by (or blocks) writers. The pin rides along on the result so page
+  // flips keep answering from the same snapshot.
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::SharedLock gate(gate_);
-  query::Executor executor(MakeQueryContext(), options);
-  return executor.ExecuteText(query_text);
+  util::EpochPin pin = epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
+  BoundResolver resolver(this, &state);
+  query::QueryContext ctx;
+  ctx.store = state.store.get();
+  ctx.indexes = &state.indexes;
+  ctx.graph = &state.graph;
+  ctx.objects = &resolver;
+  ctx.ontologies = &resolver;
+  query::Executor executor(ctx, options);
+  util::Result<query::QueryResult> result = executor.ExecuteText(query_text);
+  if (result.ok()) result->snapshot = std::move(pin);
+  return result;
 }
 
 util::Status Graphitti::MaterializePage(query::QueryResult* result, size_t page) const {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::SharedLock gate(gate_);
-  return query::Executor(MakeQueryContext()).MaterializePage(result, page);
+  // Prefer the result's own pinned snapshot (results from Query always
+  // carry one); fall back to the current version for hand-built results.
+  util::EpochPin pin = result->snapshot ? result->snapshot : epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
+  BoundResolver resolver(this, &state);
+  query::QueryContext ctx;
+  ctx.store = state.store.get();
+  ctx.indexes = &state.indexes;
+  ctx.graph = &state.graph;
+  ctx.objects = &resolver;
+  ctx.ontologies = &resolver;
+  return query::Executor(ctx).MaterializePage(result, page);
 }
 
 CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
+  util::EpochPin pin = epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
   CorrelatedData out;
   // One-hop neighbourhood, stepping through referents to their annotations
   // and objects (the "search, browse and explore" right panel).
-  std::vector<agraph::NodeRef> frontier = graph_.Neighbors(node);
+  std::vector<agraph::NodeRef> frontier = state.graph.Neighbors(node);
   frontier.push_back(node);
   std::vector<agraph::NodeRef> expanded;
   for (const agraph::NodeRef& n : frontier) {
     expanded.push_back(n);
     if (n.kind == agraph::NodeKind::kReferent || n.kind == agraph::NodeKind::kContent) {
-      for (const agraph::NodeRef& m : graph_.Neighbors(n)) expanded.push_back(m);
+      for (const agraph::NodeRef& m : state.graph.Neighbors(n)) expanded.push_back(m);
     }
   }
   std::sort(expanded.begin(), expanded.end());
@@ -458,7 +661,7 @@ CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
         out.objects.push_back(n.id);
         break;
       case agraph::NodeKind::kOntologyTerm: {
-        std::string name = store_->TermName(n);
+        std::string name = state.store->TermName(n);
         if (!name.empty()) out.terms.push_back(name);
         break;
       }
@@ -467,21 +670,25 @@ CorrelatedData Graphitti::Correlated(agraph::NodeRef node) const {
   return out;
 }
 
+// --- Admin ---
+
 SystemStats Graphitti::Stats() const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
+  util::EpochPin pin = epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
   SystemStats s;
-  s.num_tables = catalog_.num_tables();
-  s.total_rows = catalog_.TotalRows();
+  s.num_tables = state.catalog.num_tables();
+  s.total_rows = state.catalog.TotalRows();
+  s.num_annotations = state.store->size();
+  s.num_referents = state.store->num_referents();
+  s.num_interval_trees = state.indexes.num_interval_trees();
+  s.num_rtrees = state.indexes.num_rtrees();
+  s.interval_entries = state.indexes.total_interval_entries();
+  s.region_entries = state.indexes.total_region_entries();
+  s.agraph_nodes = state.graph.num_nodes();
+  s.agraph_edges = state.graph.num_edges();
+  std::lock_guard<std::mutex> meta(meta_mu_);
   s.num_objects = objects_.size();
-  s.num_annotations = store_->size();
-  s.num_referents = store_->num_referents();
-  s.num_interval_trees = indexes_.num_interval_trees();
-  s.num_rtrees = indexes_.num_rtrees();
-  s.interval_entries = indexes_.total_interval_entries();
-  s.region_entries = indexes_.total_region_entries();
-  s.agraph_nodes = graph_.num_nodes();
-  s.agraph_edges = graph_.num_edges();
   s.num_ontologies = ontologies_.size();
   for (const auto& [_, onto] : ontologies_) s.ontology_terms += onto.num_terms();
   return s;
@@ -489,42 +696,48 @@ SystemStats Graphitti::Stats() const {
 
 std::string Graphitti::ExportAGraph() const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
-  return graph_.ToText();
+  util::EpochPin pin = epochs_->PinCurrent();
+  return static_cast<const EngineState*>(pin.get())->graph.ToText();
 }
 
 void Graphitti::VacuumTables() {
   (void)EnsureHydrated();
-  util::RwGate::ExclusiveLock gate(gate_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   if (!WalGuard().ok()) return;  // poisoned: refuse rather than diverge
-  for (const std::string& name : catalog_.TableNames()) {
-    catalog_.GetTable(name)->Vacuum();
-  }
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  EngineOp op = [](EngineState& s) {
+    for (const std::string& name : s.catalog.TableNames()) {
+      s.catalog.GetTable(name)->Vacuum();
+    }
+    return Status::OK();
+  };
+  if (!op(*scratch).ok()) return;
   if (env_ != nullptr) {
     // Vacuum renumbers row ids, so replay must reproduce it at the same
-    // point in the op sequence. A failed append just poisons; the void
-    // signature has no error channel, and subsequent mutators refuse.
-    (void)WalAppend(persist::WalRecordType::kVacuum, std::string());
+    // point in the record sequence. A failed append poisons and discards
+    // the scratch (the void signature has no error channel); subsequent
+    // mutators refuse.
+    if (!WalAppend(persist::WalRecordType::kVacuum, std::string()).ok()) return;
   }
+  PublishOp(std::move(scratch), std::move(op));
 }
+
+// --- Resolver entry points ---
 
 util::Result<std::vector<uint64_t>> Graphitti::FindObjects(
     const std::string& table, const relational::Predicate& filter) const {
-  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::SharedLock gate(gate_);
   return SearchObjects(table, filter);
 }
 
 std::string Graphitti::DescribeObject(uint64_t object_id) const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
-  const ObjectInfo* info = GetObject(object_id);
-  return info == nullptr ? ("object-" + std::to_string(object_id)) : info->label;
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  auto it = objects_.find(object_id);
+  return it == objects_.end() ? ("object-" + std::to_string(object_id)) : it->second.label;
 }
 
 std::vector<std::string> Graphitti::ExpandTermBelow(const std::string& qualified) const {
   (void)EnsureHydrated();
-  util::RwGate::SharedLock gate(gate_);
   std::vector<std::string> out;
   size_t colon = qualified.find(':');
   if (colon == std::string::npos) {
@@ -533,11 +746,13 @@ std::vector<std::string> Graphitti::ExpandTermBelow(const std::string& qualified
   }
   std::string onto_name = qualified.substr(0, colon);
   std::string term_id = qualified.substr(colon + 1);
-  const ontology::Ontology* onto = GetOntology(onto_name);
-  if (onto == nullptr) {
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  auto oit = ontologies_.find(onto_name);
+  if (oit == ontologies_.end()) {
     out.push_back(qualified);
     return out;
   }
+  const ontology::Ontology* onto = &oit->second;
   ontology::TermId term = onto->FindTerm(term_id);
   if (term == ontology::kInvalidTerm) {
     out.push_back(qualified);

@@ -5,31 +5,50 @@
 //   - query: text queries over data + annotations,
 //   - admin: statistics, export, vacuum.
 //
-// Thread-safety contract. A Graphitti instance may be shared across
-// threads: every public method below is tagged [shared] or [exclusive]
-// and takes the corresponding side of the engine's reader-writer gate
-// (util::RwGate). [shared] methods run concurrently with each other;
-// [exclusive] methods serialize against everything, so a reader always
-// observes either the pre- or post-state of a mutation across all
-// substrates at once — never a half-applied commit. The gate is
-// reentrant per thread (Query may call back into FindObjects), but a
-// [shared] method must never call an [exclusive] one on the same
-// instance (shared->exclusive upgrade; aborts in every build mode).
+// Thread-safety contract: epoch-pinned copy-on-write state publication.
+// A Graphitti instance may be shared across threads. The engine's
+// versioned state — catalog, spatial indexes, a-graph, annotation store —
+// lives in an immutable EngineState version published through a
+// util::EpochManager. Every method below is tagged [read] or [commit]:
 //
-// Two escape hatches are NOT gated and are single-threaded-use only:
+//   [read]    pins the current version on entry (one mutex-protected
+//             counter bump) and runs entirely against that frozen
+//             snapshot. Reads never take the commit lock, never block
+//             behind a writer, and scale across cores; a reader always
+//             observes a commit-consistent state across all substrates at
+//             once — never a half-applied mutation.
+//   [commit]  serializes on the engine's commit mutex, builds the next
+//             version off to the side (recycling the previous version by
+//             op replay when possible — see AcquireScratch), appends to
+//             the WAL, then publishes with a single pointer swing.
+//             In-flight readers keep their pinned version; new readers
+//             see the new one. Durable ordering is commit -> WAL record
+//             -> publish: a mutation is never visible to any reader
+//             before it is in the log, so a crash cannot surface an
+//             un-logged version (WAL failure discards the unpublished
+//             scratch and poisons the engine until Checkpoint).
+//
+// Engine-level metadata that is append-only and node-stable (object
+// registrations, loaded ontologies) sits beside the versioned state under
+// its own small mutex; GetObject / GetOntology pointers are stable for
+// the engine's lifetime as before.
+//
+// Two escape hatches bypass versioning and are single-threaded-use only:
 //   - the substrate accessors (catalog()/indexes()/graph()/annotations())
-//     hand out direct mutable references for power users and tests;
-//   - GetObjectRow returns a pointer into table storage, which an
-//     [exclusive] call (IngestRecord into the same table, VacuumTables)
-//     may reallocate; in a multi-threaded setting use it only while
-//     writers are quiescent, like the substrate accessors. GetObject and
-//     GetOntology pointers are stable for the engine's lifetime (objects
-//     and ontologies are registered into node-stable maps and never
-//     erased).
+//     hand out direct references INTO THE CURRENT VERSION for power users
+//     and tests; mutating through them marks the engine so the next
+//     commit clones instead of recycling, but concurrent readers of the
+//     same version would observe the mutation — use only while no other
+//     thread touches the engine.
+//   - GetObjectRow returns a pointer into the current version's table
+//     storage, which a [commit] call may retire; dereference it only
+//     while writers are quiescent.
 #ifndef GRAPHITTI_CORE_GRAPHITTI_H_
 #define GRAPHITTI_CORE_GRAPHITTI_H_
 
 #include <atomic>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,7 +66,7 @@
 #include "query/executor.h"
 #include "relational/catalog.h"
 #include "spatial/index_manager.h"
-#include "util/rw_gate.h"
+#include "util/epoch.h"
 
 namespace graphitti {
 namespace core {
@@ -108,6 +127,26 @@ struct DurabilityOptions {
 
 class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
  public:
+  /// One immutable published version of the engine's versioned state: the
+  /// four substrates that must stay mutually consistent. Heap-allocated
+  /// and never moved once built (the store borrows pointers to its sibling
+  /// indexes/graph). Readers reach it through an util::EpochPin; writers
+  /// build the next one via Clone() or op-replay recycling.
+  struct EngineState : util::Versioned {
+    relational::Catalog catalog;
+    spatial::IndexManager indexes;
+    agraph::AGraph graph;
+    std::unique_ptr<annotation::AnnotationStore> store;
+
+    EngineState();
+    ~EngineState() override = default;
+    /// Registers the built-in type tables with their hash indexes (fresh
+    /// engines only; restored states decode their tables instead).
+    void InstallBuiltins();
+    /// Deep copy; the copy's store borrows the copy's indexes/graph.
+    std::unique_ptr<EngineState> Clone() const;
+  };
+
   /// Creates the engine with the built-in type tables registered and
   /// indexed (accession/name hash indexes).
   Graphitti();
@@ -117,48 +156,55 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
 
   // --- Substrate access (power users / tests) ---
   //
-  // UNGATED: these bypass the reader-writer gate entirely. Use them only
-  // while no other thread touches the engine (setup, teardown, tests).
-  // They do force deferred recovery first, so a freshly opened durable
-  // engine hands out fully hydrated substrates.
+  // UNVERSIONED ESCAPE HATCH: these return references into the *current*
+  // version without pinning it. Use them only while no other thread
+  // touches the engine (setup, teardown, tests). The non-const overloads
+  // mark the state dirty so the next commit clones rather than replaying
+  // onto a recycled version that missed the direct mutation. They force
+  // deferred recovery first, so a freshly opened durable engine hands out
+  // fully hydrated substrates.
   relational::Catalog& catalog() {
     (void)EnsureHydrated();
-    return catalog_;
+    MarkStateDirty();
+    return CurrentState()->catalog;
   }
   const relational::Catalog& catalog() const {
     (void)EnsureHydrated();
-    return catalog_;
+    return CurrentState()->catalog;
   }
   spatial::IndexManager& indexes() {
     (void)EnsureHydrated();
-    return indexes_;
+    MarkStateDirty();
+    return CurrentState()->indexes;
   }
   const spatial::IndexManager& indexes() const {
     (void)EnsureHydrated();
-    return indexes_;
+    return CurrentState()->indexes;
   }
   agraph::AGraph& graph() {
     (void)EnsureHydrated();
-    return graph_;
+    MarkStateDirty();
+    return CurrentState()->graph;
   }
   const agraph::AGraph& graph() const {
     (void)EnsureHydrated();
-    return graph_;
+    return CurrentState()->graph;
   }
   annotation::AnnotationStore& annotations() {
     (void)EnsureHydrated();
-    return *store_;
+    MarkStateDirty();
+    return *CurrentState()->store;
   }
   const annotation::AnnotationStore& annotations() const {
     (void)EnsureHydrated();
-    return *store_;
+    return *CurrentState()->store;
   }
 
   // --- Coordinate systems (for image/3D regions) ---
 
-  /// [exclusive] Registers a canonical coordinate system.
+  /// [commit] Registers a canonical coordinate system.
   util::Status RegisterCoordinateSystem(std::string_view name, int dims);
-  /// [exclusive] Registers a derived (scaled/offset) coordinate system.
+  /// [commit] Registers a derived (scaled/offset) coordinate system.
   util::Status RegisterDerivedCoordinateSystem(
       std::string_view name, std::string_view canonical,
       const std::array<double, spatial::Rect::kMaxDims>& scale,
@@ -166,17 +212,17 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
 
   // --- Ontologies (OntoQuest substrate) ---
 
-  /// [exclusive] Parses and installs an OBO ontology under `name`.
+  /// [commit] Parses and installs an OBO ontology under `name`.
   util::Result<const ontology::Ontology*> LoadOntology(std::string name,
                                                        std::string_view obo_text);
-  /// [shared] Borrowed ontology pointer (stable until engine destruction;
+  /// [read] Borrowed ontology pointer (stable until engine destruction;
   /// ontologies are never unloaded).
   const ontology::Ontology* GetOntology(std::string_view name) const;
-  /// [shared] Names of all loaded ontologies.
+  /// [read] Names of all loaded ontologies.
   std::vector<std::string> OntologyNames() const;
 
   // --- Ingestion (the admin/registration flow). Each returns an object id.
-  //     All [exclusive].
+  //     All [commit].
   util::Result<uint64_t> IngestDnaSequence(std::string accession, std::string organism,
                                            std::string segment, std::string residues);
   util::Result<uint64_t> IngestRnaSequence(std::string accession, std::string organism,
@@ -191,99 +237,110 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   util::Result<uint64_t> IngestInteractionGraph(const InteractionGraph& graph);
   util::Result<uint64_t> IngestMsa(const Msa& msa);
 
-  /// [exclusive] Creates a user-defined table (relational records are
-  /// annotable too). The returned Table* is a substrate handle: rows
-  /// inserted through it directly bypass the gate (see IngestRecord).
+  /// [commit] Creates a user-defined table (relational records are
+  /// annotable too). The returned Table* points into the version current
+  /// at return and is a substrate handle: rows inserted through it
+  /// directly bypass versioning (single-threaded escape hatch, like the
+  /// substrate accessors; the engine is marked dirty accordingly).
   util::Result<relational::Table*> CreateTable(std::string name, relational::Schema schema);
-  /// [exclusive] Inserts a record into any table and registers it as a
+  /// [commit] Inserts a record into any table and registers it as a
   /// data object.
   util::Result<uint64_t> IngestRecord(std::string_view table, relational::Row row,
                                       std::string label = "");
 
   // --- Objects ---
 
-  /// [shared] Object registration info; the pointer is stable for the
+  /// [read] Object registration info; the pointer is stable for the
   /// engine's lifetime (objects are never erased).
   const ObjectInfo* GetObject(uint64_t object_id) const;
-  /// [shared] Number of registered objects.
+  /// [read] Number of registered objects.
   size_t num_objects() const;
-  /// [shared] The metadata row of an object (nullptr when it or its table
-  /// is gone). The pointer aims into table storage that [exclusive] calls
-  /// may reallocate — cross-thread users must only dereference it while
-  /// writers are quiescent (single-threaded escape hatch, like the
-  /// substrate accessors).
+  /// [read] The metadata row of an object (nullptr when it or its table
+  /// is gone). The pointer aims into the current version's table storage,
+  /// which a [commit] call may retire — cross-thread users must only
+  /// dereference it while writers are quiescent (single-threaded escape
+  /// hatch, like the substrate accessors).
   const relational::Row* GetObjectRow(uint64_t object_id) const;
 
-  /// [shared] The annotation tab's search window: find objects by metadata
+  /// [read] The annotation tab's search window: find objects by metadata
   /// predicate.
   util::Result<std::vector<uint64_t>> SearchObjects(
       std::string_view table, const relational::Predicate& filter) const;
+  /// [read] SearchObjects against an explicit pinned version (the query
+  /// executor resolves against its snapshot through this).
+  util::Result<std::vector<uint64_t>> SearchObjectsIn(
+      const EngineState& state, std::string_view table,
+      const relational::Predicate& filter) const;
 
   // --- Annotation (the annotate tab) ---
 
-  /// [exclusive] [durable] Commits a built annotation across all substrates
-  /// atomically with respect to concurrent [shared] readers. On a durable
-  /// engine the committed annotation is appended to the WAL (and fsynced
-  /// per the group-commit policy) before this returns: a post-return crash
-  /// recovers it.
+  /// [commit] [durable] Commits a built annotation across all substrates
+  /// atomically with respect to concurrent [read]ers. On a durable engine
+  /// the annotation is appended to the WAL (and fsynced per the
+  /// group-commit policy) before it is published: a post-return crash
+  /// recovers it, and a WAL failure means the commit never becomes
+  /// visible at all.
   util::Result<annotation::AnnotationId> Commit(const annotation::AnnotationBuilder& builder);
-  /// [exclusive] Commits a batch of annotations through the bulk pipeline:
-  /// the gate's exclusive side is taken once for the whole batch (not per
+  /// [commit] Commits a batch of annotations through the bulk pipeline:
+  /// the commit lock is taken once for the whole batch (not per
   /// annotation), referent index insertions flush as one bulk tree build
   /// per touched domain, and keyword postings append in one pass. On
   /// success the observable state (assigned ids, query answers, a-graph
   /// shape) is identical to a loop of Commit over the same builders; on
-  /// failure the batch is all-or-nothing — validation rejects the whole
-  /// batch before any state changes. Readers never observe a partially
-  /// applied batch. The ingest fast path for corpus loads.
+  /// failure the batch is all-or-nothing — it is applied to an
+  /// unpublished scratch version, so readers never observe any of it.
+  /// The ingest fast path for corpus loads.
   /// [durable] The whole batch is one WAL record: recovery replays it
   /// all-or-nothing, so a crash mid-anything never resurfaces a torn batch.
   util::Result<std::vector<annotation::AnnotationId>> CommitBatch(
       const std::vector<annotation::AnnotationBuilder>& builders);
-  /// [exclusive] [durable] Removes an annotation (and any orphaned
+  /// [commit] [durable] Removes an annotation (and any orphaned
   /// referents).
   util::Status RemoveAnnotation(annotation::AnnotationId id);
-  /// [shared] Annotations whose referents mark the given object.
+  /// [read] Annotations whose referents mark the given object.
   std::vector<annotation::AnnotationId> AnnotationsOnObject(uint64_t object_id) const;
 
   // --- Query (the query tab) ---
 
-  /// [shared] Parses and executes a query; concurrent Query calls from
-  /// many threads scale across cores (per-thread traversal scratch).
+  /// [read] Parses and executes a query against the version current at
+  /// entry; concurrent Query calls from many threads scale across cores
+  /// and are never blocked by writers. The returned result carries a pin
+  /// on that version (QueryResult::snapshot), so later page flips replay
+  /// against exactly the state the query saw. Set ExecutorOptions::workers
+  /// > 1 to also parallelize a single query's candidate filtering, join,
+  /// and connection-tree construction across the shared thread pool.
   util::Result<query::QueryResult> Query(std::string_view query_text) const;
   util::Result<query::QueryResult> Query(std::string_view query_text,
                                          const query::ExecutorOptions& options) const;
 
-  /// [shared] Flips `result` (produced by Query) to `page` and lazily
+  /// [read] Flips `result` (produced by Query) to `page` and lazily
   /// materializes that page's connection subgraphs (GRAPH targets build
   /// subgraphs only for pages actually viewed; see
   /// query::Executor::MaterializePage).
   ///
-  /// Subgraphs are built against the engine state visible at *this* call,
-  /// under the gate's shared side: the call itself can never observe a
-  /// half-applied commit, but an [exclusive] mutation committed between
-  /// the original Query and a later page flip (or between two flips) is
-  /// visible to the later flip. Flip all pages you need before mutating —
-  /// or before yielding to writer threads — or a later page may disagree
-  /// with what the query saw; a row whose terminal was since removed
-  /// materializes as "subgraph(disconnected)". `result` itself is owned
-  /// by the caller and must not be shared across threads without external
-  /// synchronization.
+  /// Subgraphs are built against the snapshot pinned by the original
+  /// Query (QueryResult::snapshot): page flips are stable under
+  /// concurrent writers — a commit between the Query and a later flip
+  /// (or between two flips) never changes what a page shows, and the
+  /// connection trees cached on the result stay valid because the pin
+  /// keeps their graph alive. `result` itself is owned by the caller and
+  /// must not be shared across threads without external synchronization.
   util::Status MaterializePage(query::QueryResult* result, size_t page) const;
 
-  /// [shared] The correlated-data viewer: related annotations/objects/terms
+  /// [read] The correlated-data viewer: related annotations/objects/terms
   /// around a node ("what other annotations have been made on this
   /// sequence").
   CorrelatedData Correlated(agraph::NodeRef node) const;
 
   // --- Persistence ---
 
-  /// [shared] Saves the full engine state (tables, objects, coordinate
+  /// [read] Saves the full engine state (tables, objects, coordinate
   /// systems, ontologies, annotations) under `directory` (created if
-  /// needed). Holds the shared side for the whole dump, so the snapshot
-  /// is commit-consistent. Every file is written atomically (temp + fsync
-  /// + rename + directory fsync): a crash mid-save leaves the previous
-  /// save intact, never a torn file.
+  /// needed). Pins the current version for the whole dump, so the save is
+  /// commit-consistent and never blocks concurrent readers or writers.
+  /// Every file is written atomically (temp + fsync + rename + directory
+  /// fsync): a crash mid-save leaves the previous save intact, never a
+  /// torn file.
   util::Status SaveTo(const std::string& directory) const;
   /// Rebuilds an engine from a directory written by SaveTo — or, when the
   /// directory holds a durable engine's snapshot-<g>/wal-<g> files, by
@@ -292,7 +349,6 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// with kInternal). The returned engine is NOT durable — new mutations
   /// are not logged; use OpenDurable for that. Annotation ids and object
   /// ids are preserved; spatial indexes and the a-graph are reconstructed.
-  /// (Static: gates only the fresh instance it builds.)
   static util::Result<std::unique_ptr<Graphitti>> LoadFrom(const std::string& directory);
 
   // --- Durability (crash safety: WAL + checkpoints) ---
@@ -301,9 +357,10 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// recovers the newest valid snapshot, replays the WAL tail (a torn
   /// final record is a clean truncation point, not an error), attaches
   /// the WAL, and from then on logs every [durable]-tagged mutation
-  /// before it returns. A directory written by legacy SaveTo is upgraded
-  /// in place (XML load + immediate Checkpoint). Refuses directories
-  /// whose snapshot/WAL generations cannot be recovered faithfully.
+  /// before it publishes. A directory written by legacy SaveTo is
+  /// upgraded in place (XML load + immediate Checkpoint). Refuses
+  /// directories whose snapshot/WAL generations cannot be recovered
+  /// faithfully.
   ///
   /// Restart cost: by default the open itself is I/O-bound — it reads and
   /// CRC-verifies the snapshot and settles the WAL (torn-tail truncation,
@@ -312,17 +369,19 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// Either way, every crash-safety decision is made before this returns.
   ///
   /// NOT durable (not logged, in-memory only until the next Checkpoint):
-  /// mutations through the ungated substrate accessors (catalog()/graph()/
-  /// annotations()), direct Table handles (CreateTable's return, secondary
-  /// CreateIndex calls), and RestoreObject.
+  /// mutations through the unversioned substrate accessors (catalog()/
+  /// graph()/annotations()), direct Table handles (CreateTable's return,
+  /// secondary CreateIndex calls), and RestoreObject.
   static util::Result<std::unique_ptr<Graphitti>> OpenDurable(
       const std::string& directory, const DurabilityOptions& options = {});
 
-  /// [exclusive] Writes a fresh atomic snapshot (generation g+1), starts
+  /// [commit] Writes a fresh atomic snapshot (generation g+1), starts
   /// an empty WAL for it, and deletes the previous generation's files.
-  /// Bounds recovery time (restart replays only the post-checkpoint tail)
-  /// and heals a poisoned WAL: after any WAL I/O failure the engine
-  /// refuses further durable mutations until a Checkpoint succeeds.
+  /// Serializes against other [commit] calls only — readers keep serving
+  /// from their pinned versions throughout. Bounds recovery time (restart
+  /// replays only the post-checkpoint tail) and heals a poisoned WAL:
+  /// after any WAL I/O failure the engine refuses further durable
+  /// mutations until a Checkpoint succeeds.
   util::Status Checkpoint();
 
   /// Whether this engine was opened through OpenDurable.
@@ -331,68 +390,129 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// The current checkpoint generation (0 until the first Checkpoint).
   uint64_t generation() const { return generation_; }
 
-  /// [exclusive] Restores an object registration with an explicit id
+  /// [commit] Restores an object registration with an explicit id
   /// (persistence/admin use only; fails on id collision).
   util::Status RestoreObject(uint64_t object_id, std::string_view table,
                              relational::RowId row, std::string label);
 
   // --- Admin tab ---
 
-  /// [shared] Cross-substrate statistics snapshot.
+  /// [read] Cross-substrate statistics snapshot.
   SystemStats Stats() const;
-  /// [shared] Line-oriented a-graph dump.
+  /// [read] Line-oriented a-graph dump.
   std::string ExportAGraph() const;
-  /// [shared] Cross-store consistency check: every referent is indexed
+  /// [read] Cross-store consistency check: every referent is indexed
   /// exactly once, every content/referent/object node in the a-graph has a
   /// backing record, and edge labels are well-formed. Returns the first
   /// violation found.
   util::Status ValidateIntegrity() const;
-  /// [exclusive] Compacts tombstoned rows in every table. Unsafe while
+  /// [commit] Compacts tombstoned rows in every table. Unsafe while
   /// objects hold row ids; provided for bulk-delete admin workflows.
   void VacuumTables();
 
+  // --- Version-lifecycle observability (tests / diagnostics) ---
+
+  /// Number of engine-state versions currently alive: the published one,
+  /// plus any still pinned by in-flight readers or results, plus at most
+  /// one parked recycle standby.
+  size_t live_engine_versions() const { return epochs_->live_versions(); }
+  /// Monotonic count of published versions (bumps once per [commit] that
+  /// changes versioned state).
+  uint64_t engine_epoch() const { return epochs_->current_epoch(); }
+
   // --- query::ObjectResolver ---
   //
-  // [shared] Gated entry points in their own right, and also invoked
-  // *under* an outer Query's shared hold (the gate is reentrant).
+  // [read] Entry points in their own right; the query executor resolves
+  // against its pinned snapshot via SearchObjectsIn instead.
   util::Result<std::vector<uint64_t>> FindObjects(
       const std::string& table, const relational::Predicate& filter) const override;
   std::string DescribeObject(uint64_t object_id) const override;
 
   // --- query::OntologyResolver ---
-  /// [shared] Qualified = "<ontology-name>:<term-id>", split at the first
-  /// ':'. Reentrant under Query like the object resolver above.
+  /// [read] Qualified = "<ontology-name>:<term-id>", split at the first
+  /// ':'.
   std::vector<std::string> ExpandTermBelow(const std::string& qualified) const override;
 
  private:
-  /// Registers a freshly inserted row as a data object and (durable
-  /// engines) logs a kObject WAL record carrying the row's values, so
-  /// replay can re-insert it. The only failure mode is that WAL append.
-  util::Result<uint64_t> RegisterObject(std::string_view table, relational::RowId row,
-                                        std::string label);
+  /// A deterministic, re-appliable versioned mutation: applying it to the
+  /// state it was logged against always reproduces the same result
+  /// (fresh ids come from counters inside the state). The commit path
+  /// applies it to scratch; AcquireScratch replays it to catch a recycled
+  /// standby up.
+  using EngineOp = std::function<util::Status(EngineState&)>;
+  struct PendingOp {
+    uint64_t seq = 0;
+    EngineOp op;
+  };
 
-  /// Borrowed-view context wiring shared by Query / MaterializePage.
-  query::QueryContext MakeQueryContext() const;
+  /// Batches larger than this publish without a recorded op (replaying
+  /// them onto the standby would double the bulk-ingest cost); the
+  /// standby is dropped and the next commit pays one clone instead.
+  static constexpr size_t kMaxReplayBatch = 64;
+
+  /// The current version. Writer-side (commit_mu_ holder) or
+  /// single-threaded use; readers pin via epochs_->PinCurrent() instead.
+  EngineState* CurrentState() const {
+    return static_cast<EngineState*>(epochs_->Current());
+  }
+
+  /// Makes the next commit clone instead of recycling (a direct substrate
+  /// mutation happened that op replay cannot reproduce).
+  void MarkStateDirty() { state_dirty_.store(true, std::memory_order_release); }
+
+  /// Commit-side (commit_mu_ held): a mutable next-version to apply the
+  /// op to. Recycles the drained previous version by replaying the ops it
+  /// missed; falls back to a full Clone() of current when no standby is
+  /// available (long reader still pins it, dirty direct mutation, or the
+  /// op log was truncated by an unreplayable batch).
+  std::unique_ptr<EngineState> AcquireScratch();
+
+  /// Commit-side (commit_mu_ held): publishes `next` as the new current
+  /// version and records `op` for standby replay (nullptr = unreplayable;
+  /// the op log is cleared and the standby dropped).
+  void PublishOp(std::unique_ptr<EngineState> next, EngineOp op);
+
+  /// Shared tail of the seven Ingest* methods and IngestRecord: applies
+  /// "insert row + register object `label`" to scratch, WAL-logs the
+  /// kObject record, inserts the registration metadata, publishes.
+  /// commit_mu_ held.
+  util::Result<uint64_t> CommitRowInsert(std::unique_ptr<EngineState> scratch,
+                                         std::string table, relational::Row row,
+                                         std::string label);
+
+  /// Registers object metadata + a-graph node into `state` directly (boot
+  /// and recovery; no versioning). Shared by snapshot restore, WAL object
+  /// replay, and LoadFrom.
+  util::Status RestoreObjectInto(EngineState& state, uint64_t object_id,
+                                 std::string_view table, relational::RowId row,
+                                 std::string label);
+  /// Parses and installs an ontology into engine metadata without
+  /// logging (boot and recovery). AlreadyExists is returned, not
+  /// tolerated — callers decide.
+  util::Status LoadOntologyInto(std::string name, std::string_view obo_text);
 
   // --- Durability plumbing (core/durability.cc) ---
 
   /// Refuses durable mutations after a WAL I/O failure (wal_failed_), so
   /// the durable log never silently develops a gap; OK on non-durable
-  /// engines. Call at the top of every [durable] mutator, before any
-  /// state changes.
+  /// engines. Call under commit_mu_ at the top of every [durable]
+  /// mutator, before any state changes.
   util::Status WalGuard() const;
   /// Appends (and per policy fsyncs) one record; a failure poisons the
   /// engine (wal_failed_) until the next successful Checkpoint. No-op on
-  /// non-durable engines.
+  /// non-durable engines. Under commit_mu_; the caller must discard its
+  /// unpublished scratch on failure so the un-logged mutation never
+  /// becomes visible.
   util::Status WalAppend(persist::WalRecordType type, std::string payload);
-  /// Serializes complete engine state into a snapshot body.
-  std::string EncodeSnapshotBody() const;
-  /// Rebuilds state from a snapshot body; requires a freshly constructed
-  /// engine.
-  util::Status RestoreFromSnapshotBody(std::string_view body);
-  /// Applies one WAL record during recovery (idempotent: duplicate
-  /// deliveries of already-applied records are skipped).
-  util::Status ApplyWalRecord(const persist::WalRecord& record);
+  /// Serializes one version (+ engine metadata) into a snapshot body.
+  std::string EncodeSnapshotBody(const EngineState& state) const;
+  /// Rebuilds `state` from a snapshot body. Boot/recovery only: `state`
+  /// must be a freshly constructed version no reader can observe.
+  util::Status RestoreFromSnapshotBody(std::string_view body, EngineState& state);
+  /// Applies one WAL record to `state` during recovery (idempotent:
+  /// duplicate deliveries of already-applied records are skipped).
+  /// Boot/recovery only, like RestoreFromSnapshotBody.
+  util::Status ApplyWalRecord(const persist::WalRecord& record, EngineState& state);
   /// Shared recovery core for LoadFrom (read-only) and OpenDurable.
   static util::Result<std::unique_ptr<Graphitti>> RecoverBinary(
       persist::Env* env, const std::string& directory, const DurabilityOptions& options,
@@ -404,11 +524,13 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   // only the crash-safety work at open — CRC-verify the snapshot, read the
   // WAL and truncate its torn tail, refuse bad generations — and stashes
   // the verified bytes here. The first public call (every one starts with
-  // EnsureHydrated(), *before* taking the gate) decodes the snapshot and
-  // replays the WAL tail under a top-level exclusive hold. A hydration
-  // failure (which a CRC-clean snapshot makes effectively a logic bug)
-  // poisons the engine: the error is sticky and every subsequent
-  // Status/Result entry point returns it.
+  // EnsureHydrated()) decodes the snapshot and replays the WAL tail into
+  // the initial version in place, which is sound because no reader can
+  // have pinned it: hydration_pending_ stays true for the whole decode,
+  // so every other thread blocks in HydrateNow on hydrate_mu_ until the
+  // state is complete. A hydration failure (which a CRC-clean snapshot
+  // makes effectively a logic bug) poisons the engine: the error is
+  // sticky and every subsequent Status/Result entry point returns it.
 
   /// Stashed, already-verified recovery input awaiting first access.
   struct PendingRestore {
@@ -423,27 +545,41 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
     if (!hydration_pending_.load(std::memory_order_acquire)) return util::Status::OK();
     return HydrateNow();
   }
-  /// Slow path: decode + replay under hydrate_mu_ and the gate's exclusive
-  /// side. Must be entered before this thread holds the gate (the hook
-  /// ordering above guarantees it).
+  /// Slow path: decode + replay into the initial version under
+  /// hydrate_mu_.
   util::Status HydrateNow() const;
 
-  /// The engine gate. Public methods lock it per the [shared]/[exclusive]
-  /// tags above; private helpers and substrates assume the caller holds
-  /// the right side.
-  util::RwGate gate_;
+  /// Version publication. Readers pin through it; writers publish under
+  /// commit_mu_. shared_ptr-owned so pins on long-lived query results
+  /// keep their snapshot alive independently of the engine.
+  std::shared_ptr<util::EpochManager> epochs_ =
+      std::make_shared<util::EpochManager>();
 
-  relational::Catalog catalog_;
-  spatial::IndexManager indexes_;
-  agraph::AGraph graph_;
-  std::unique_ptr<annotation::AnnotationStore> store_;
+  /// Serializes writers: scratch acquisition, WAL appends, publication,
+  /// checkpointing. Readers never take it.
+  mutable std::mutex commit_mu_;
+  /// Op log for standby recycling (commit_mu_ held). Invariant: contains
+  /// every op with seq greater than the recycle candidate's tag.
+  std::deque<PendingOp> pending_ops_;
+  uint64_t op_seq_ = 0;       // last published op sequence number
+  uint64_t current_tag_ = 0;  // tag of the currently published version
+  /// Set by the unversioned escape hatches: the current version was
+  /// mutated in place, so the parked standby can no longer be caught up
+  /// by op replay.
+  std::atomic<bool> state_dirty_{false};
+
+  // Engine-level metadata: append-only, values node-stable once inserted
+  // (GetObject/GetOntology hand out long-lived pointers). Guarded by
+  // meta_mu_; writers additionally serialize on commit_mu_.
+  mutable std::mutex meta_mu_;
   std::map<std::string, ontology::Ontology, std::less<>> ontologies_;
-
   std::map<uint64_t, ObjectInfo> objects_;
   std::map<std::string, std::map<relational::RowId, uint64_t>, std::less<>> object_by_row_;
   uint64_t next_object_id_ = 1;
 
   // Durability state (all inert on non-durable engines: env_ == nullptr).
+  // Mutated under commit_mu_ (or during boot/hydration, before the engine
+  // is shared).
   persist::Env* env_ = nullptr;  // borrowed (Default() or a test env)
   std::string durable_dir_;
   persist::WalOptions wal_options_;

@@ -188,10 +188,27 @@ Result<std::string> ReadFile(const fs::path& path) {
 }  // namespace
 
 Status Graphitti::SaveTo(const std::string& directory) const {
-  // Shared side for the whole dump: the snapshot is commit-consistent and
-  // concurrent queries keep serving while it is written.
+  // The dump reads one pinned version, so it is commit-consistent without
+  // blocking anyone: writers keep publishing and readers keep serving
+  // while it is written. Engine metadata (objects, ontologies) is copied
+  // out under meta_mu_ up front; objects registered after the pin may
+  // reference rows the pinned tables lack and are skipped by the ordinal
+  // filter below, matching the version cut.
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::SharedLock gate(gate_);
+  util::EpochPin pin = epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
+  std::map<uint64_t, ObjectInfo> objects_copy;
+  uint64_t next_object_id_copy = 0;
+  std::vector<std::pair<std::string, std::string>> ontology_dumps;
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    objects_copy.insert(objects_.begin(), objects_.end());
+    next_object_id_copy = next_object_id_;
+    ontology_dumps.reserve(ontologies_.size());
+    for (const auto& [name, onto] : ontologies_) {
+      ontology_dumps.emplace_back(name, ontology::ToObo(onto));
+    }
+  }
   std::error_code ec;
   fs::create_directories(fs::path(directory) / "tables", ec);
   fs::create_directories(fs::path(directory) / "ontologies", ec);
@@ -199,8 +216,8 @@ Status Graphitti::SaveTo(const std::string& directory) const {
   fs::path dir(directory);
 
   // --- tables ---
-  for (const std::string& name : catalog_.TableNames()) {
-    const Table* table = catalog_.GetTable(name);
+  for (const std::string& name : state.catalog.TableNames()) {
+    const Table* table = state.catalog.GetTable(name);
     std::string out;
     // Header line 1: columns "name:type[:notnull]".
     const Schema& schema = table->schema();
@@ -235,14 +252,14 @@ Status Graphitti::SaveTo(const std::string& directory) const {
   // --- objects (row ordinal = position in scan order above) ---
   {
     std::map<std::string, std::map<relational::RowId, size_t>> ordinals;
-    for (const std::string& name : catalog_.TableNames()) {
+    for (const std::string& name : state.catalog.TableNames()) {
       size_t ordinal = 0;
       auto& table_ordinals = ordinals[name];
-      catalog_.GetTable(name)->Scan(
+      state.catalog.GetTable(name)->Scan(
           [&](relational::RowId id, const Row&) { table_ordinals[id] = ordinal++; });
     }
     std::string out;
-    for (const auto& [id, info] : objects_) {
+    for (const auto& [id, info] : objects_copy) {
       auto tit = ordinals.find(info.table);
       if (tit == ordinals.end()) continue;  // table dropped; object is stale
       auto rit = tit->second.find(info.row);
@@ -256,7 +273,7 @@ Status Graphitti::SaveTo(const std::string& directory) const {
   // --- coordinate systems ---
   {
     std::string out;
-    for (const auto& cs : indexes_.coordinate_systems().All()) {
+    for (const auto& cs : state.indexes.coordinate_systems().All()) {
       out += EscapeField(cs.name) + '\t' + EscapeField(cs.canonical) + '\t' +
              std::to_string(cs.dims);
       char buf[32];
@@ -274,9 +291,8 @@ Status Graphitti::SaveTo(const std::string& directory) const {
   }
 
   // --- ontologies ---
-  for (const auto& [name, onto] : ontologies_) {
-    GRAPHITTI_RETURN_NOT_OK(
-        WriteFile(dir / "ontologies" / (name + ".obo"), ontology::ToObo(onto)));
+  for (const auto& [name, obo] : ontology_dumps) {
+    GRAPHITTI_RETURN_NOT_OK(WriteFile(dir / "ontologies" / (name + ".obo"), obo));
   }
 
   // --- annotations ---
@@ -286,10 +302,10 @@ Status Graphitti::SaveTo(const std::string& directory) const {
     // whitespace. Still plain XML — pretty-print a single annotation via
     // content.ToString(true) when a human needs to read one.
     std::string out = "<annotations>\n";
-    for (annotation::AnnotationId id : store_->Ids()) {
-      const annotation::Annotation* ann = store_->Get(id);
+    for (annotation::AnnotationId id : state.store->Ids()) {
+      const annotation::Annotation* ann = state.store->Get(id);
       if (ann != nullptr) {
-        out += store_->ContentXml(*ann);
+        out += state.store->ContentXml(*ann);
         out += '\n';
       }
     }
@@ -300,32 +316,70 @@ Status Graphitti::SaveTo(const std::string& directory) const {
   // --- manifest ---
   {
     std::string out = "graphitti-save-v1\n";
-    out += "next_object_id\t" + std::to_string(next_object_id_) + '\n';
+    out += "next_object_id\t" + std::to_string(next_object_id_copy) + '\n';
     GRAPHITTI_RETURN_NOT_OK(WriteFile(dir / "manifest.txt", out));
   }
   return Status::OK();
 }
 
-util::Status Graphitti::RestoreObject(uint64_t object_id, std::string_view table,
-                                      relational::RowId row, std::string label) {
-  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::ExclusiveLock gate(gate_);
+util::Status Graphitti::RestoreObjectInto(EngineState& state, uint64_t object_id,
+                                          std::string_view table, relational::RowId row,
+                                          std::string label) {
   if (object_id == 0) return Status::InvalidArgument("object id 0 is reserved");
+  if (state.catalog.GetTable(table) == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  std::lock_guard<std::mutex> meta(meta_mu_);
   if (objects_.count(object_id) > 0) {
     return Status::AlreadyExists("object id " + std::to_string(object_id) + " in use");
-  }
-  if (catalog_.GetTable(table) == nullptr) {
-    return Status::NotFound("table '" + std::string(table) + "' not found");
   }
   ObjectInfo info;
   info.id = object_id;
   info.table = std::string(table);
   info.row = row;
   info.label = std::move(label);
-  graph_.EnsureNode(agraph::NodeRef::Object(object_id), info.label);
+  state.graph.EnsureNode(agraph::NodeRef::Object(object_id), info.label);
   object_by_row_[info.table][row] = object_id;
   objects_.emplace(object_id, std::move(info));
   next_object_id_ = std::max(next_object_id_, object_id + 1);
+  return Status::OK();
+}
+
+util::Status Graphitti::RestoreObject(uint64_t object_id, std::string_view table,
+                                      relational::RowId row, std::string label) {
+  GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  if (object_id == 0) return Status::InvalidArgument("object id 0 is reserved");
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    if (objects_.count(object_id) > 0) {
+      return Status::AlreadyExists("object id " + std::to_string(object_id) + " in use");
+    }
+  }
+  if (CurrentState()->catalog.GetTable(table) == nullptr) {
+    return Status::NotFound("table '" + std::string(table) + "' not found");
+  }
+  // Not WAL-logged: the caller adopts an existing row (legacy-load /
+  // import paths), and the row's own kObject record or snapshot already
+  // carries it where durability is in play.
+  std::unique_ptr<EngineState> scratch = AcquireScratch();
+  EngineOp op = [object_id, label](EngineState& s) {
+    s.graph.EnsureNode(agraph::NodeRef::Object(object_id), label);
+    return Status::OK();
+  };
+  GRAPHITTI_RETURN_NOT_OK(op(*scratch));
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    ObjectInfo info;
+    info.id = object_id;
+    info.table = std::string(table);
+    info.row = row;
+    info.label = std::move(label);
+    object_by_row_[info.table][row] = object_id;
+    objects_.emplace(object_id, std::move(info));
+    next_object_id_ = std::max(next_object_id_, object_id + 1);
+  }
+  PublishOp(std::move(scratch), std::move(op));
   return Status::OK();
 }
 
@@ -347,6 +401,10 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
   }
 
   auto g = std::make_unique<Graphitti>();
+  // Boot mode: the fresh engine's initial version has no observers yet,
+  // so the legacy save is replayed into it in place through the
+  // substrates — one version, no per-row publishes.
+  EngineState& state = *g->CurrentState();
 
   // --- manifest ---
   GRAPHITTI_ASSIGN_OR_RETURN(std::string manifest, ReadFile(dir / "manifest.txt"));
@@ -388,9 +446,9 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
         }
       }
 
-      Table* table = g->catalog().GetTable(name);
+      Table* table = state.catalog.GetTable(name);
       if (table == nullptr) {
-        GRAPHITTI_ASSIGN_OR_RETURN(table, g->catalog().CreateTable(name, sb.Build()));
+        GRAPHITTI_ASSIGN_OR_RETURN(table, state.catalog.CreateTable(name, sb.Build()));
       }
       // Indexes (line 2); built-ins already have theirs.
       if (!lines[1].empty()) {
@@ -436,10 +494,10 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
         return Status::ParseError("bad ids in objects.tsv");
       }
       // Rows were re-inserted contiguously, so ordinal == RowId after load.
-      GRAPHITTI_RETURN_NOT_OK(g->RestoreObject(static_cast<uint64_t>(id),
-                                               UnescapeField(fields[1]),
-                                               static_cast<relational::RowId>(ordinal),
-                                               UnescapeField(fields[3])));
+      GRAPHITTI_RETURN_NOT_OK(g->RestoreObjectInto(state, static_cast<uint64_t>(id),
+                                                   UnescapeField(fields[1]),
+                                                   static_cast<relational::RowId>(ordinal),
+                                                   UnescapeField(fields[3])));
     }
   }
 
@@ -459,7 +517,8 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
         return Status::ParseError("bad dims in coordinate_systems.tsv");
       }
       if (name == canonical) {
-        GRAPHITTI_RETURN_NOT_OK(g->RegisterCoordinateSystem(name, static_cast<int>(dims)));
+        GRAPHITTI_RETURN_NOT_OK(state.indexes.coordinate_systems().RegisterCanonical(
+            name, static_cast<int>(dims)));
       } else {
         std::array<double, spatial::Rect::kMaxDims> scale{};
         std::array<double, spatial::Rect::kMaxDims> offset{};
@@ -470,7 +529,8 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
             return Status::ParseError("bad transform in coordinate_systems.tsv");
           }
         }
-        GRAPHITTI_RETURN_NOT_OK(g->RegisterDerivedCoordinateSystem(name, canonical, scale, offset));
+        GRAPHITTI_RETURN_NOT_OK(
+            state.indexes.coordinate_systems().RegisterDerived(name, canonical, scale, offset));
       }
     }
   }
@@ -480,8 +540,7 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
     for (const auto& entry : fs::directory_iterator(dir / "ontologies")) {
       if (entry.path().extension() != ".obo") continue;
       GRAPHITTI_ASSIGN_OR_RETURN(std::string text, ReadFile(entry.path()));
-      GRAPHITTI_RETURN_NOT_OK(
-          g->LoadOntology(entry.path().stem().string(), text).status());
+      GRAPHITTI_RETURN_NOT_OK(g->LoadOntologyInto(entry.path().stem().string(), text));
     }
   }
 
@@ -521,28 +580,34 @@ Result<std::unique_ptr<Graphitti>> Graphitti::LoadFrom(const std::string& direct
       contents.emplace_back(std::move(child));
     }
     GRAPHITTI_RETURN_NOT_OK(
-        g->annotations()
-            .CommitBatch(std::move(builders), forced_ids, &contents)
-            .status());
+        state.store->CommitBatch(std::move(builders), forced_ids, &contents).status());
   }
   return g;
 }
 
 util::Status Graphitti::ValidateIntegrity() const {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  util::RwGate::SharedLock gate(gate_);
+  // One pinned version is checked end to end; cross-checks against engine
+  // metadata (object registrations) copy it out under meta_mu_ first.
+  util::EpochPin pin = epochs_->PinCurrent();
+  const auto& state = *static_cast<const EngineState*>(pin.get());
+  std::map<uint64_t, ObjectInfo> objects_copy;
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    objects_copy.insert(objects_.begin(), objects_.end());
+  }
   // 1. Every referent is backed by the right index entry (spatial kinds) and
   //    an a-graph node.
-  for (annotation::ReferentId rid : store_->ReferentIds()) {
-    const annotation::Referent* ref = store_->GetReferent(rid);
+  for (annotation::ReferentId rid : state.store->ReferentIds()) {
+    const annotation::Referent* ref = state.store->GetReferent(rid);
     if (ref == nullptr) return Status::Internal("referent table inconsistent");
     const auto& sub = ref->substructure;
-    if (!graph_.HasNode(agraph::NodeRef::Referent(rid))) {
+    if (!state.graph.HasNode(agraph::NodeRef::Referent(rid))) {
       return Status::Internal("referent " + std::to_string(rid) + " missing from a-graph");
     }
     if (sub.type() == substructure::SubType::kInterval) {
       bool found = false;
-      for (const auto& e : indexes_.QueryIntervals(sub.domain(), sub.interval())) {
+      for (const auto& e : state.indexes.QueryIntervals(sub.domain(), sub.interval())) {
         if (e.id == rid && e.interval == sub.interval()) found = true;
       }
       if (!found) {
@@ -550,7 +615,7 @@ util::Status Graphitti::ValidateIntegrity() const {
                                 " missing from interval index '" + sub.domain() + "'");
       }
     } else if (sub.type() == substructure::SubType::kRegion) {
-      auto hits = indexes_.QueryRegions(sub.domain(), sub.rect());
+      auto hits = state.indexes.QueryRegions(sub.domain(), sub.rect());
       if (!hits.ok()) return hits.status();
       bool found = false;
       for (const auto& e : *hits) {
@@ -567,16 +632,16 @@ util::Status Graphitti::ValidateIntegrity() const {
   }
 
   // 2. Every annotation's content node exists and its referents resolve.
-  for (annotation::AnnotationId id : store_->Ids()) {
-    const annotation::Annotation* ann = store_->Get(id);
-    if (!graph_.HasNode(agraph::NodeRef::Content(id))) {
+  for (annotation::AnnotationId id : state.store->Ids()) {
+    const annotation::Annotation* ann = state.store->Get(id);
+    if (!state.graph.HasNode(agraph::NodeRef::Content(id))) {
       return Status::Internal("annotation " + std::to_string(id) + " missing from a-graph");
     }
-    if (!store_->HasContent(*ann)) {
+    if (!state.store->HasContent(*ann)) {
       return Status::Internal("annotation " + std::to_string(id) + " has empty content");
     }
     for (annotation::ReferentId rid : ann->referents) {
-      if (store_->GetReferent(rid) == nullptr) {
+      if (state.store->GetReferent(rid) == nullptr) {
         return Status::Internal("annotation " + std::to_string(id) +
                                 " references dead referent " + std::to_string(rid));
       }
@@ -586,29 +651,29 @@ util::Status Graphitti::ValidateIntegrity() const {
   // 3. Every a-graph content/referent node has a backing record; object
   //    nodes have registrations.
   Status status = Status::OK();
-  graph_.ForEachNode([&](agraph::NodeRef ref, std::string_view) {
+  state.graph.ForEachNode([&](agraph::NodeRef ref, std::string_view) {
     if (!status.ok()) return;
     switch (ref.kind) {
       case agraph::NodeKind::kContent:
-        if (store_->Get(ref.id) == nullptr) {
+        if (state.store->Get(ref.id) == nullptr) {
           status = Status::Internal("a-graph content node " + std::to_string(ref.id) +
                                     " has no stored annotation");
         }
         break;
       case agraph::NodeKind::kReferent:
-        if (store_->GetReferent(ref.id) == nullptr) {
+        if (state.store->GetReferent(ref.id) == nullptr) {
           status = Status::Internal("a-graph referent node " + std::to_string(ref.id) +
                                     " has no referent record");
         }
         break;
       case agraph::NodeKind::kDataObject:
-        if (objects_.find(ref.id) == objects_.end()) {
+        if (objects_copy.find(ref.id) == objects_copy.end()) {
           status = Status::Internal("a-graph object node " + std::to_string(ref.id) +
                                     " is not registered");
         }
         break;
       case agraph::NodeKind::kOntologyTerm:
-        if (store_->TermName(ref).empty()) {
+        if (state.store->TermName(ref).empty()) {
           status = Status::Internal("a-graph term node " + std::to_string(ref.id) +
                                     " has no interned name");
         }
@@ -618,8 +683,8 @@ util::Status Graphitti::ValidateIntegrity() const {
   GRAPHITTI_RETURN_NOT_OK(status);
 
   // 4. Objects point at live rows.
-  for (const auto& [id, info] : objects_) {
-    const Table* table = catalog_.GetTable(info.table);
+  for (const auto& [id, info] : objects_copy) {
+    const Table* table = state.catalog.GetTable(info.table);
     if (table == nullptr || table->Get(info.row) == nullptr) {
       return Status::Internal("object " + std::to_string(id) + " points at a dead row in '" +
                               info.table + "'");

@@ -61,7 +61,8 @@ struct WalOptions {
 };
 
 /// Appender. Not thread-safe: the engine calls it while holding its
-/// exclusive RwGate, which already serializes writers.
+/// commit mutex, which already serializes writers (readers are never
+/// involved — they run against pinned engine versions).
 class WalWriter {
  public:
   /// Creates `path` with a fresh header (generation `generation`), or reopens

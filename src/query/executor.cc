@@ -1,6 +1,7 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -149,8 +150,12 @@ using ReferentCache = std::unordered_map<uint64_t, const annotation::Referent*>;
 /// Referent enumeration prefills *referent_cache as a side effect.
 /// *emitted_ordered is set when the stream is ascending and duplicate-free
 /// (store-order feeds), letting the consumer skip its sort+dedup pass.
+/// With workers > 1 and a pool, expensive per-candidate filters (XPath
+/// matching) fan out over id chunks; chunk outputs concatenate in order,
+/// so the emitted stream is identical to the serial one.
 Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
                         ReferentCache* referent_cache, bool* emitted_ordered,
+                        util::ThreadPool* pool, size_t workers,
                         const std::function<void(NodeRef)>& emit) {
   const annotation::AnnotationStore& store = *ctx.store;
   const agraph::AGraph& graph = *ctx.graph;
@@ -200,7 +205,33 @@ Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
         return true;
       };
       *emitted_ordered = true;  // posting lists and the store stream ascend
-      if (have_ids) {
+      // XPath matching dominates content filtering; with workers > 1 the
+      // per-annotation filter fans out over contiguous id chunks and the
+      // chunk outputs concatenate in order (ids ascend, so the stream is
+      // the serial one). Creator-only filters stay serial — a string
+      // compare is cheaper than the fan-out.
+      const bool parallel_filter = pool != nullptr && workers > 1 && !xpaths.empty();
+      if (parallel_filter && !have_ids) {
+        ids.reserve(store.size());
+        store.ForEachAnnotation(
+            [&](AnnotationId id, const annotation::Annotation&) { ids.push_back(id); });
+        have_ids = true;
+      }
+      if (parallel_filter && ids.size() > 1) {
+        const size_t chunks = std::min(ids.size(), workers);
+        std::vector<std::vector<AnnotationId>> kept(chunks);
+        pool->ParallelFor(chunks, workers - 1, [&](size_t ci) {
+          const size_t lo = ids.size() * ci / chunks;
+          const size_t hi = ids.size() * (ci + 1) / chunks;
+          for (size_t i = lo; i < hi; ++i) {
+            const annotation::Annotation* ann = store.Get(ids[i]);
+            if (ann != nullptr && passes(*ann)) kept[ci].push_back(ids[i]);
+          }
+        });
+        for (const std::vector<AnnotationId>& chunk : kept) {
+          for (AnnotationId id : chunk) emit(NodeRef::Content(id));
+        }
+      } else if (have_ids) {
         for (AnnotationId id : ids) {
           const annotation::Annotation* ann = store.Get(id);
           if (ann != nullptr && passes(*ann)) emit(NodeRef::Content(id));
@@ -361,6 +392,14 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   const annotation::AnnotationStore& store = *ctx_.store;
   const agraph::AGraph& graph = *ctx_.graph;
 
+  // Intra-query parallelism: resolved once, used by candidate filtering
+  // and the join. workers == 1 (the default) keeps every stage serial.
+  util::ThreadPool* pool = nullptr;
+  if (options_.workers > 1) {
+    pool = options_.pool != nullptr ? options_.pool : util::ThreadPool::Shared();
+  }
+  const size_t workers = pool != nullptr ? options_.workers : 1;
+
   // ------------------------------------------------------------------
   // 1. Collect variables, infer kinds, split clauses into per-variable
   //    subqueries and inter-variable edges (the §II decomposition).
@@ -428,7 +467,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     }
     bool ordered = false;
     GRAPHITTI_RETURN_NOT_OK(ForEachCandidate(
-        ctx_, info, &referent_cache, &ordered,
+        ctx_, info, &referent_cache, &ordered, pool, workers,
         [&info = info](NodeRef n) { info.streamed.push_back(n); }));
     if (!ordered) {
       std::sort(info.streamed.begin(), info.streamed.end());
@@ -531,17 +570,23 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     }
   }
 
-  auto referent_of = [&](NodeRef n) -> const annotation::Referent* {
+  // `overlay` receives misses so the shared enumeration-time cache
+  // (referent_cache) stays read-only during the join — join workers probe
+  // it concurrently and record their own misses per worker.
+  auto referent_of = [&](ReferentCache& overlay, NodeRef n) -> const annotation::Referent* {
     auto it = referent_cache.find(n.id);
     if (it != referent_cache.end()) return it->second;
+    auto hit = overlay.find(n.id);
+    if (hit != overlay.end()) return hit->second;
     const annotation::Referent* ref = store.GetReferent(n.id);
-    referent_cache.emplace(n.id, ref);
+    overlay.emplace(n.id, ref);
     return ref;
   };
 
-  auto eval_pair = [&](const PairPredicate& p, NodeRef a, NodeRef b) -> bool {
-    const annotation::Referent* ra = referent_of(a);
-    const annotation::Referent* rb = referent_of(b);
+  auto eval_pair = [&](ReferentCache& overlay, const PairPredicate& p, NodeRef a,
+                       NodeRef b) -> bool {
+    const annotation::Referent* ra = referent_of(overlay, a);
+    const annotation::Referent* rb = referent_of(overlay, b);
     if (ra == nullptr || rb == nullptr) return false;
     const substructure::Substructure& sa = ra->substructure;
     const substructure::Substructure& sb = rb->substructure;
@@ -629,21 +674,12 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   std::map<std::string, size_t> var_column;
   BindingTable table;
 
-  // Buffers reused across every row extension; steady-state per-row work
-  // allocates nothing.
+  // Row buffer for collation (step 6); the join below keeps its own
+  // per-worker buffers.
   std::vector<NodeRef> row_buf;
-  std::vector<NodeRef> domain_buf;
-  std::vector<NodeRef> nbr_buf;
-  std::unordered_set<NodeRef, NodeRefHash> nbr_set;
 
-  // Single-edge join domains memoized per level: many rows bind the same
-  // node in the join column, and the filtered+sorted neighbour domain is a
-  // pure function of that node, so each distinct bound node expands once
-  // per level instead of once per row.
-  std::unordered_map<NodeRef, std::vector<NodeRef>, NodeRefHash> domain_cache;
-
-  // Reachability cache for CONNECTED joins: one bounded BFS per distinct
-  // (bound node, hop limit) instead of one FindPath per binding row.
+  // Reachability cache key for CONNECTED joins: one bounded BFS per
+  // distinct (bound node, hop limit) instead of one FindPath per row.
   struct ReachKey {
     NodeRef node;
     size_t hops;
@@ -654,18 +690,37 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       return static_cast<size_t>(util::Mix64(NodeRefHash{}(k.node) ^ (k.hops * 0x9e3779b97f4a7c15ull)));
     }
   };
-  std::unordered_map<ReachKey, std::unordered_set<NodeRef, NodeRefHash>, ReachKeyHash>
-      reach_cache;
-  std::vector<NodeRef> reach_buf;
-  auto reachable_from = [&](NodeRef node, size_t hops)
+
+  // Everything one join worker touches while extending rows. The serial
+  // path is just the one-worker special case of the same code. Caches are
+  // per worker: a distinct bound node may expand on two workers (duplicate
+  // work, never a race); steady-state per-row work allocates nothing.
+  struct WorkerState {
+    std::vector<NodeRef> row_buf;
+    std::vector<NodeRef> domain_buf;
+    std::vector<NodeRef> nbr_buf;
+    std::unordered_set<NodeRef, NodeRefHash> nbr_set;
+    // Single-edge join domains memoized per level: many rows bind the same
+    // node in the join column, and the filtered+sorted neighbour domain is
+    // a pure function of that node.
+    std::unordered_map<NodeRef, std::vector<NodeRef>, NodeRefHash> domain_cache;
+    std::unordered_map<ReachKey, std::unordered_set<NodeRef, NodeRefHash>, ReachKeyHash>
+        reach_cache;
+    std::vector<NodeRef> reach_buf;
+    ReferentCache referent_overlay;
+    std::vector<std::pair<NodeRef, size_t>> out;  // (candidate, parent row)
+  };
+  std::vector<WorkerState> wstates(workers);
+
+  auto reachable_from = [&](WorkerState& w, NodeRef node, size_t hops)
       -> const std::unordered_set<NodeRef, NodeRefHash>& {
-    auto [it, inserted] = reach_cache.try_emplace(ReachKey{node, hops});
+    auto [it, inserted] = w.reach_cache.try_emplace(ReachKey{node, hops});
     if (inserted) {
       agraph::PathOptions popt;
       popt.max_hops = hops;
-      reach_buf.clear();
-      graph.AppendReachable(node, popt, &reach_buf);
-      it->second.insert(reach_buf.begin(), reach_buf.end());
+      w.reach_buf.clear();
+      graph.AppendReachable(node, popt, &w.reach_buf);
+      it->second.insert(w.reach_buf.begin(), w.reach_buf.end());
     }
     return it->second;
   };
@@ -721,26 +776,42 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     } else {
       ensure_candidate_set(info);
     }
-    domain_cache.clear();  // keyed on bound node; valid for one level only
+    for (WorkerState& w : wstates) {
+      w.domain_cache.clear();  // keyed on bound node; valid for one level only
+      w.out.clear();
+    }
 
     size_t prev_rows = table.BeginColumn();
     if (prev_rows > UINT32_MAX) {
       return Status::OutOfRange("binding table exceeds 2^32 rows per level");
     }
-    for (size_t row = 0; row < prev_rows; ++row) {
-      table.ReadParentRow(row, &row_buf);
+
+    // Emitted-row budget shared across workers: the table-size limit is
+    // enforced at the (serial) append below; this counter just lets
+    // workers stop producing once the level is doomed to OutOfRange.
+    std::atomic<size_t> emitted{0};
+    std::atomic<bool> over_limit{false};
+
+    // Extends one parent row: computes the candidate domain, filters it
+    // through the bound pairwise predicates and CONNECTED reachability, and
+    // collects (candidate, parent) pairs into the worker's output. A pure
+    // function of the row given the frozen substrates, so rows partition
+    // freely across workers; outputs append back in worker-chunk order,
+    // making the table bit-identical to the serial build.
+    auto extend_row = [&](WorkerState& w, size_t row) {
+      table.ReadParentRow(row, &w.row_buf);
 
       const std::vector<NodeRef>* domain = cartesian;
       if (join_edges.size() == 1) {
         // Single-edge join: the filtered+sorted neighbour domain depends
         // only on the bound node, so memoize it per level.
         const auto& [e, col] = join_edges.front();
-        NodeRef bound_node = row_buf[col];
-        auto [it, inserted] = domain_cache.try_emplace(bound_node);
+        NodeRef bound_node = w.row_buf[col];
+        auto [it, inserted] = w.domain_cache.try_emplace(bound_node);
         if (inserted) {
-          nbr_buf.clear();
-          graph.AppendNeighbors(bound_node, /*directed=*/false, e->label, &nbr_buf);
-          for (NodeRef n : nbr_buf) {
+          w.nbr_buf.clear();
+          graph.AppendNeighbors(bound_node, /*directed=*/false, e->label, &w.nbr_buf);
+          for (NodeRef n : w.nbr_buf) {
             if (is_candidate(info, n)) it->second.push_back(n);
           }
           // Deterministic extension order.
@@ -752,39 +823,39 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         // domain), then hash semi-join along the rest.
         bool first = true;
         for (const auto& [e, col] : join_edges) {
-          NodeRef bound_node = row_buf[col];
-          nbr_buf.clear();
-          graph.AppendNeighbors(bound_node, /*directed=*/false, e->label, &nbr_buf);
+          NodeRef bound_node = w.row_buf[col];
+          w.nbr_buf.clear();
+          graph.AppendNeighbors(bound_node, /*directed=*/false, e->label, &w.nbr_buf);
           if (first) {
-            domain_buf.clear();
-            for (NodeRef n : nbr_buf) {
-              if (is_candidate(info, n)) domain_buf.push_back(n);
+            w.domain_buf.clear();
+            for (NodeRef n : w.nbr_buf) {
+              if (is_candidate(info, n)) w.domain_buf.push_back(n);
             }
             first = false;
           } else {
-            nbr_set.clear();
-            nbr_set.insert(nbr_buf.begin(), nbr_buf.end());
-            domain_buf.erase(std::remove_if(domain_buf.begin(), domain_buf.end(),
-                                            [&](NodeRef n) {
-                                              return nbr_set.count(n) == 0;
-                                            }),
-                             domain_buf.end());
+            w.nbr_set.clear();
+            w.nbr_set.insert(w.nbr_buf.begin(), w.nbr_buf.end());
+            w.domain_buf.erase(std::remove_if(w.domain_buf.begin(), w.domain_buf.end(),
+                                              [&](NodeRef n) {
+                                                return w.nbr_set.count(n) == 0;
+                                              }),
+                               w.domain_buf.end());
           }
-          if (domain_buf.empty()) break;
+          if (w.domain_buf.empty()) break;
         }
         // Deterministic extension order.
-        std::sort(domain_buf.begin(), domain_buf.end());
-        domain = &domain_buf;
+        std::sort(w.domain_buf.begin(), w.domain_buf.end());
+        domain = &w.domain_buf;
       }
 
       for (NodeRef cand : *domain) {
         // Pairwise constraints that become fully bound with v = cand.
         bool ok = true;
         for (const BoundPred& bp : bound_preds) {
-          NodeRef other_node = row_buf[bp.other_col];
+          NodeRef other_node = w.row_buf[bp.other_col];
           NodeRef a = bp.v_is_a ? cand : other_node;
           NodeRef b = bp.v_is_a ? other_node : cand;
-          if (!eval_pair(*bp.pred, a, b)) {
+          if (!eval_pair(w.referent_overlay, *bp.pred, a, b)) {
             ok = false;
             break;
           }
@@ -793,22 +864,56 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         // CONNECTED joins: path existence in the a-graph, answered by the
         // per-bound-node reachability cache.
         for (const auto& [e, col] : path_edges) {
-          NodeRef other_node = row_buf[col];
+          NodeRef other_node = w.row_buf[col];
           size_t hops = e->clause->max_hops == SIZE_MAX ? options_.default_connected_hops
                                                         : e->clause->max_hops;
-          if (reachable_from(other_node, hops).count(cand) == 0) {
+          if (reachable_from(w, other_node, hops).count(cand) == 0) {
             ok = false;
             break;
           }
         }
         if (!ok) continue;
 
-        table.Append(cand, row);
+        w.out.push_back({cand, row});
+        if (emitted.fetch_add(1, std::memory_order_relaxed) >=
+            options_.max_intermediate_rows) {
+          over_limit.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
+    if (workers > 1 && prev_rows > 1) {
+      // One contiguous row chunk per worker; each ParallelFor index runs
+      // exactly once, so worker state is never shared between live bodies.
+      pool->ParallelFor(workers, workers - 1, [&](size_t ci) {
+        WorkerState& w = wstates[ci];
+        const size_t lo = prev_rows * ci / workers;
+        const size_t hi = prev_rows * (ci + 1) / workers;
+        for (size_t row = lo; row < hi; ++row) {
+          if (over_limit.load(std::memory_order_relaxed)) return;
+          extend_row(w, row);
+        }
+      });
+    } else {
+      for (size_t row = 0; row < prev_rows; ++row) {
+        if (over_limit.load(std::memory_order_relaxed)) break;
+        extend_row(wstates.front(), row);
+      }
+    }
+    if (over_limit.load(std::memory_order_relaxed)) {
+      return Status::OutOfRange("query exceeded max_intermediate_rows (" +
+                                std::to_string(options_.max_intermediate_rows) + ")");
+    }
+    for (WorkerState& w : wstates) {
+      for (const auto& [cand, parent] : w.out) {
+        table.Append(cand, parent);
         if (table.OpenRows() > options_.max_intermediate_rows) {
           return Status::OutOfRange("query exceeded max_intermediate_rows (" +
                                     std::to_string(options_.max_intermediate_rows) + ")");
         }
       }
+      w.out.clear();
     }
     table.EndColumn();
     var_column[v] = var_column.size();
@@ -1007,10 +1112,25 @@ util::Status Executor::MaterializePage(QueryResult* result, size_t page) const {
   if (ctx_.graph == nullptr) {
     return Status::InvalidArgument("QueryContext must provide a graph");
   }
-  // One batched connect per materialization: every distinct terminal on
-  // the page grows its BFS shortest-path tree once, shared by all of the
-  // page's rows.
-  agraph::ConnectBatch batch(*ctx_.graph);
+  // One batched connect for the whole result, cached across flips: every
+  // distinct terminal ever materialized grows its BFS shortest-path tree
+  // once, shared by all of this page's rows AND every later page. The
+  // result's epoch pin (QueryResult::snapshot, set by core::Graphitti)
+  // keeps the graph the batch borrows alive and frozen, so flipping back
+  // to a page long after later commits rebuilds nothing and changes
+  // nothing. Tree expansion inside the batch parallelizes per
+  // ExecutorOptions::workers.
+  if (result->connect_batch == nullptr ||
+      result->connect_batch->graph() != ctx_.graph) {
+    agraph::ConnectOptions copt;
+    if (options_.workers > 1) {
+      copt.workers = options_.workers;
+      copt.pool = options_.pool != nullptr ? options_.pool : util::ThreadPool::Shared();
+    }
+    result->connect_batch = std::make_shared<agraph::ConnectBatch>(*ctx_.graph, copt);
+  }
+  agraph::ConnectBatch& batch = *result->connect_batch;
+  const size_t trees_before = batch.trees_built();
   for (size_t i = begin; i < end; ++i) {
     ResultItem& item = result->items[i];
     if (item.subgraph_ready) continue;
@@ -1024,7 +1144,7 @@ util::Status Executor::MaterializePage(QueryResult* result, size_t page) const {
     }
     ++result->stats.subgraphs_materialized;
   }
-  result->stats.connect_trees_built += batch.trees_built();
+  result->stats.connect_trees_built += batch.trees_built() - trees_before;
   return Status::OK();
 }
 

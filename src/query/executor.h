@@ -7,12 +7,14 @@
 // QueryContext: every method below is const and reads the borrowed
 // substrates without mutating them, so any number of Executors (or calls
 // on one Executor) may run concurrently on different threads AS LONG AS
-// no one mutates the underlying stores meanwhile. The executor performs
-// no synchronization of its own — when the context is borrowed from a
-// core::Graphitti, the facade's reader-writer gate provides it (Query /
-// MaterializePage hold the shared side for the duration of the call; see
-// core/graphitti.h). Callers wiring a QueryContext by hand own that
-// exclusion themselves.
+// the substrates behind the context stay immutable for the duration of
+// each call. The executor performs no synchronization of its own — when
+// the context is borrowed from a core::Graphitti, the facade's epoch-
+// pinned snapshots provide that immutability (Query / MaterializePage pin
+// the engine version they read; writers publish new versions off to the
+// side and never mutate a pinned one; see core/graphitti.h and
+// util/epoch.h). Callers wiring a QueryContext by hand own that
+// guarantee themselves.
 //
 // Read-side caches and where they live (the const-safety audit):
 //   - per-execution state (CONNECTED reachability cache, join-domain
@@ -34,6 +36,7 @@
 #include "query/context.h"
 #include "query/result.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace graphitti {
 namespace query {
@@ -47,6 +50,14 @@ struct ExecutorOptions {
   size_t max_intermediate_rows = 1u << 20;
   /// Hop bound used for CONNECTED clauses without an explicit bound.
   size_t default_connected_hops = 6;
+  /// Intra-query parallelism: total workers (including the calling thread)
+  /// used to partition candidate filtering, join row ranges, and batched-
+  /// connect tree expansion. 1 = fully serial. Results are bit-identical
+  /// across worker counts — parallel chunks merge in deterministic order.
+  size_t workers = 1;
+  /// Pool supplying helper threads when workers > 1. nullptr falls back to
+  /// the process-wide util::ThreadPool::Shared().
+  util::ThreadPool* pool = nullptr;
 };
 
 class Executor {
@@ -66,17 +77,16 @@ class Executor {
   /// clamps to the last page; an empty result has no pages and stays on
   /// page 0) and, for GRAPH targets, materializes the page's connection
   /// subgraphs from their terminal row handles through one batched connect
-  /// — per-terminal BFS trees are shared across the page's rows. Already
-  /// materialized items are never rebuilt, so flipping pages is idempotent
-  /// and page N's subgraphs are identical whether or not other pages were
-  /// materialized first.
+  /// — per-terminal BFS trees are shared across the page's rows, and the
+  /// batch itself is cached on the result (QueryResult::connect_batch), so
+  /// trees also survive from flip to flip. Already materialized items are
+  /// never rebuilt, so flipping pages is idempotent and page N's subgraphs
+  /// are identical whether or not other pages were materialized first.
   ///
-  /// Concurrency: subgraphs are built from the graph state visible at this
-  /// call. Through core::Graphitti the call holds the engine gate's shared
-  /// side, so it cannot observe a half-applied commit — but a mutation
-  /// committed *between* the Query and a later flip is visible to the
-  /// flip. Flip every page you need before letting writers in, or a later
-  /// page may disagree with what the query saw. `result` itself is
+  /// Concurrency: through core::Graphitti the result pins the engine
+  /// version the query ran against (QueryResult::snapshot), so every flip
+  /// — no matter how much later, or how many commits have landed since —
+  /// materializes from that same frozen version. `result` itself is
   /// caller-owned: two threads must not flip the same QueryResult at once.
   util::Status MaterializePage(QueryResult* result, size_t page) const;
 

@@ -11,6 +11,7 @@
 #ifndef GRAPHITTI_QUERY_RESULT_H_
 #define GRAPHITTI_QUERY_RESULT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "annotation/annotation.h"
 #include "query/ast.h"
 #include "substructure/substructure.h"
+#include "util/epoch.h"
 
 namespace graphitti {
 namespace query {
@@ -85,6 +87,18 @@ struct QueryResult {
   size_t page_first = 0;
   size_t page_count = 0;
   ExecutionStats stats;
+  /// Pin on the engine version this result was computed from (set by
+  /// core::Graphitti::Query; empty for hand-wired QueryContexts). Keeps
+  /// every pointer the result borrows — NodeRefs, substructure views, and
+  /// the graph behind `connect_batch` — alive and frozen for the result's
+  /// lifetime, regardless of commits that land after the query returns.
+  util::EpochPin snapshot;
+  /// Batched-connect state reused across MaterializePage flips: the
+  /// per-terminal BFS trees built for one page survive into the next, so
+  /// revisiting a page (or sharing terminals across pages) never rebuilds
+  /// them. Borrows the same graph `snapshot` pins; reset automatically if
+  /// a flip sees a different graph.
+  std::shared_ptr<agraph::ConnectBatch> connect_batch;
 
   /// Borrowed, iterable view of the current page's slice of `items`.
   /// Invalidated by anything that mutates `items`.

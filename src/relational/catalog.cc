@@ -45,5 +45,13 @@ size_t Catalog::TotalRows() const {
   return total;
 }
 
+Catalog Catalog::Clone() const {
+  Catalog copy;
+  for (const auto& [name, table] : tables_) {
+    copy.tables_.emplace(name, table->Clone());
+  }
+  return copy;
+}
+
 }  // namespace relational
 }  // namespace graphitti

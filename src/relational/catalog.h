@@ -20,6 +20,8 @@ class Catalog {
   Catalog() = default;
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
 
   /// Creates a table; AlreadyExists when the name is taken.
   util::Result<Table*> CreateTable(std::string name, Schema schema);
@@ -35,6 +37,9 @@ class Catalog {
 
   /// Sum of live rows across all tables (admin statistics).
   size_t TotalRows() const;
+
+  /// Deep copy of every table for copy-on-write version publication.
+  Catalog Clone() const;
 
  private:
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;

@@ -294,6 +294,18 @@ void Table::Vacuum() {
   for (RowId id = 0; id < rows_.size(); ++id) IndexInsert(id, rows_[id]);
 }
 
+std::unique_ptr<Table> Table::Clone() const {
+  auto copy = std::make_unique<Table>(name_, schema_);
+  copy->rows_ = rows_;
+  copy->live_ = live_;
+  copy->live_count_ = live_count_;
+  copy->indexes_.reserve(indexes_.size());
+  for (const auto& index : indexes_) {
+    copy->indexes_.push_back(std::make_unique<Index>(*index));
+  }
+  return copy;
+}
+
 std::string Table::ToString() const {
   return name_ + " " + schema_.ToString() + " [" + std::to_string(live_count_) + " rows]";
 }

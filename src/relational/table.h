@@ -41,6 +41,10 @@ class Table {
   /// Validates against the schema and appends; returns the new RowId.
   util::Result<RowId> Insert(Row row);
 
+  /// The RowId the next successful Insert will assign (inserts append;
+  /// tombstoned slots are only reclaimed by Vacuum).
+  RowId NextRowId() const { return static_cast<RowId>(rows_.size()); }
+
   /// Replaces the row at `id`. NotFound for dead/unknown ids.
   util::Status Update(RowId id, Row row);
 
@@ -84,6 +88,10 @@ class Table {
   /// Compacts tombstones. Invalidates all previously-returned RowIds; only
   /// safe when no external component holds row references.
   void Vacuum();
+
+  /// Deep copy (rows, liveness, secondary indexes) for copy-on-write
+  /// version publication (util/epoch.h).
+  std::unique_ptr<Table> Clone() const;
 
   std::string ToString() const;
 

@@ -218,5 +218,19 @@ std::vector<std::string> IndexManager::RegionSystems() const {
   return out;
 }
 
+IndexManager IndexManager::Clone() const {
+  IndexManager copy;
+  copy.coord_systems_ = coord_systems_;
+  copy.small_batch_factor_ = small_batch_factor_;
+  for (const auto& [domain, tree] : interval_trees_) {
+    copy.interval_trees_.emplace(domain,
+                                 std::make_unique<IntervalTree>(tree->Clone()));
+  }
+  for (const auto& [system, tree] : rtrees_) {
+    copy.rtrees_.emplace(system, std::make_unique<RTree>(tree->Clone()));
+  }
+  return copy;
+}
+
 }  // namespace spatial
 }  // namespace graphitti

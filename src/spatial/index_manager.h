@@ -26,6 +26,12 @@ class IndexManager {
   IndexManager() = default;
   IndexManager(const IndexManager&) = delete;
   IndexManager& operator=(const IndexManager&) = delete;
+  IndexManager(IndexManager&&) = default;
+  IndexManager& operator=(IndexManager&&) = default;
+
+  /// Deep copy of every tree + the coordinate-system registry for
+  /// copy-on-write version publication (util/epoch.h).
+  IndexManager Clone() const;
 
   /// Coordinate systems used to canonicalize region domains.
   CoordinateSystemRegistry& coordinate_systems() { return coord_systems_; }

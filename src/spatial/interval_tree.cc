@@ -327,5 +327,23 @@ bool IntervalTree::CheckInvariants() const {
   return checker.ok && checker.count == size_;
 }
 
+IntervalTree IntervalTree::Clone() const {
+  struct Rec {
+    static Node* Copy(const Node* node) {
+      if (node == nullptr) return nullptr;
+      Node* copy = new Node(node->iv, node->id);
+      copy->height = node->height;
+      copy->max_hi = node->max_hi;
+      copy->left = Copy(node->left);
+      copy->right = Copy(node->right);
+      return copy;
+    }
+  };
+  IntervalTree copy;
+  copy.root_ = Rec::Copy(root_);
+  copy.size_ = size_;
+  return copy;
+}
+
 }  // namespace spatial
 }  // namespace graphitti

@@ -80,6 +80,9 @@ class IntervalTree {
   /// Validates AVL balance, key order and max-hi augmentation (test hook).
   bool CheckInvariants() const;
 
+  /// Deep structural copy for copy-on-write version publication.
+  IntervalTree Clone() const;
+
  private:
   struct Node;
 

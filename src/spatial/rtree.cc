@@ -511,5 +511,28 @@ bool RTree::CheckInvariants() const {
   return ok;
 }
 
+RTree RTree::Clone() const {
+  struct Rec {
+    static std::unique_ptr<Node> Copy(const Node* node) {
+      if (node == nullptr) return nullptr;
+      auto copy = std::make_unique<Node>();
+      copy->leaf = node->leaf;
+      copy->entries.reserve(node->entries.size());
+      for (const NodeEntry& e : node->entries) {
+        NodeEntry ce;
+        ce.rect = e.rect;
+        ce.id = e.id;
+        ce.child = Copy(e.child.get());
+        copy->entries.push_back(std::move(ce));
+      }
+      return copy;
+    }
+  };
+  RTree copy(dims_, static_cast<int>(max_entries_));
+  copy.root_ = Rec::Copy(root_.get());
+  copy.size_ = size_;
+  return copy;
+}
+
 }  // namespace spatial
 }  // namespace graphitti

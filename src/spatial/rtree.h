@@ -76,6 +76,9 @@ class RTree {
   /// uniformity (test hook).
   bool CheckInvariants() const;
 
+  /// Deep structural copy for copy-on-write version publication.
+  RTree Clone() const;
+
  private:
   struct Node;
   struct NodeEntry {

@@ -1,0 +1,180 @@
+// ThreadPool: a fixed pool of worker threads with a deadlock-free
+// parallel-for, shared by the query executor and agraph::ConnectBatch.
+//
+// Design: ParallelFor(n, max_helpers, body) dispatches indices from a
+// shared atomic counter. The *calling* thread always participates — it
+// claims indices in the same loop the helpers do — and helpers are
+// best-effort: idle pool workers join in, but if every worker is busy
+// (or the pool has zero threads, e.g. a 1-core box) the caller simply
+// drains all indices serially. There is therefore no scenario in which
+// ParallelFor waits on a thread that is itself waiting on this
+// ParallelFor: nested/recursive calls degrade to serial execution on the
+// inner level instead of deadlocking.
+//
+// Lifetime: jobs are shared_ptr-owned, so a helper that raced past the
+// caller's return only ever observes a drained counter — it never
+// touches freed stack state, and `body` is only invoked for indices
+// claimed before the counter ran dry (all of which complete before the
+// caller's wait returns).
+//
+// The body must be safe to invoke concurrently for distinct indices;
+// keep n coarse (a few chunks per worker), since each completion takes
+// one short mutex hold. Exceptions from the body are not supported (the
+// engine's hot paths report via Status instead).
+//
+// Shared() returns a process-wide lazily-created pool sized
+// hardware_concurrency-1 (the caller is the extra worker), leaked at
+// exit so static destructor order is a non-issue.
+#ifndef GRAPHITTI_UTIL_THREAD_POOL_H_
+#define GRAPHITTI_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphitti {
+namespace util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Run body(i) for every i in [0, n), distributing i across the caller
+  /// plus up to `max_helpers` pool workers. Blocks until all n
+  /// invocations complete. max_helpers == 0 runs serially on the caller.
+  void ParallelFor(size_t n, size_t max_helpers,
+                   const std::function<void(size_t)>& body) {
+    if (n == 0) return;
+    if (n == 1 || max_helpers == 0 || threads_.empty()) {
+      for (size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::shared_ptr<Job> job = std::make_shared<Job>();
+    job->n = n;
+    job->body = &body;
+    job->max_helpers = max_helpers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(job);
+    }
+    wake_.notify_all();
+    // Caller participates: claim indices until the counter runs dry.
+    for (size_t i = job->next.fetch_add(1); i < n;
+         i = job->next.fetch_add(1)) {
+      body(i);
+      std::lock_guard<std::mutex> lock(job->done_mu);
+      job->done++;
+    }
+    Deregister(job.get());
+    // Wait for helpers still finishing indices they claimed. Helpers
+    // notify under done_mu and touch nothing of ours afterwards (the job
+    // itself is shared-owned), so returning here is race-free.
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&job] { return job->done >= job->n; });
+  }
+
+  /// The process-wide shared pool (hardware_concurrency - 1 workers;
+  /// possibly zero threads on a 1-core box, where ParallelFor degrades to
+  /// the caller running serially). Intentionally leaked.
+  static ThreadPool* Shared() {
+    static ThreadPool* pool = [] {
+      unsigned hw = std::thread::hardware_concurrency();
+      size_t workers = hw > 1 ? static_cast<size_t>(hw - 1) : 0;
+      return new ThreadPool(workers);
+    }();
+    return pool;
+  }
+
+ private:
+  struct Job {
+    size_t n = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    size_t max_helpers = 0;
+    size_t joined = 0;  // helpers admitted so far; guarded by pool mu_
+    std::atomic<size_t> next{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t done = 0;  // guarded by done_mu
+  };
+
+  void Deregister(const Job* job) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].get() == job) {
+        pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+        if (shutdown_) return;
+        for (const std::shared_ptr<Job>& candidate : pending_) {
+          if (candidate->joined < candidate->max_helpers &&
+              candidate->next.load(std::memory_order_relaxed) <
+                  candidate->n) {
+            candidate->joined++;
+            job = candidate;
+            break;
+          }
+        }
+        if (job == nullptr) {
+          // Every pending job is full or drained; yield until the set
+          // changes (drained jobs deregister as their callers finish).
+          wake_.wait_for(lock, std::chrono::milliseconds(1));
+          continue;
+        }
+      }
+      size_t n = job->n;
+      for (size_t i = job->next.fetch_add(1); i < n;
+           i = job->next.fetch_add(1)) {
+        (*job->body)(i);
+        std::lock_guard<std::mutex> lock(job->done_mu);
+        job->done++;
+        if (job->done >= n) job->done_cv.notify_all();
+      }
+      if (job->next.load(std::memory_order_relaxed) >= n) Deregister(job.get());
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::vector<std::shared_ptr<Job>> pending_;  // guarded by mu_
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_THREAD_POOL_H_

@@ -1,15 +1,17 @@
-// Multi-threaded stress tests for the engine's reader-writer gate
-// (util/rw_gate.h wired through core::Graphitti): N reader threads issue
-// fig-3-style queries while a writer commits and removes annotations, and
-// every result must be snapshot-consistent — a reader may see the engine
-// before or after any given commit, but never in between.
+// Multi-threaded stress tests for the engine's epoch-pinned copy-on-write
+// concurrency (util/epoch.h wired through core::Graphitti): N reader
+// threads issue fig-3-style queries while a writer commits and removes
+// annotations, and every result must be snapshot-consistent — a reader
+// may see the engine before or after any given commit, but never in
+// between (writers build the next version off to the side and publish it
+// with one pointer swing; readers pin the version they entered on).
 //
 // The torn-read detector: every "sentinel" annotation the writer commits
 // marks exactly TWO fresh intervals, so the number of distinct referents
 // joined through sentinel contents is even in every committed state. A
 // reader observing an odd count caught a half-applied commit (content and
 // first ANNOTATES edge in, second referent not yet indexed) — precisely
-// the anomaly class the gate exists to rule out.
+// the anomaly class version publication exists to rule out.
 //
 // Run under TSan in CI (see .github/workflows/ci.yml): the invariants
 // catch torn *values*, TSan catches torn *memory*.
@@ -297,10 +299,11 @@ TEST(ConcurrencyStressTest, ConcurrentWritersSerializeCleanly) {
   EXPECT_TRUE(g.ValidateIntegrity().ok());
 }
 
-// The gate itself: reentrant shared acquisition must not deadlock even
-// with a writer continuously queued behind the readers (the lost-wakeup /
-// writer-priority interleaving that makes naive recursive lock_shared
-// deadlock in practice).
+// Nested reads: resolver callbacks re-enter the read path under an outer
+// Query. With epoch pins this is trivially safe (pins nest freely and
+// writers never block readers), but the test stays as a regression against
+// reintroducing a lock that a writer could wedge between the two
+// acquisitions.
 TEST(ConcurrencyStressTest, ReentrantReadsSurviveWriterPressure) {
   Graphitti g;
   BuildStableCorpus(&g);
@@ -325,6 +328,150 @@ TEST(ConcurrencyStressTest, ReentrantReadsSurviveWriterPressure) {
   stop.store(true, std::memory_order_release);
   writer.join();
   for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+}
+
+// ---------------------------------------------------------------------
+// Epoch invariants (copy-on-write version publication, util/epoch.h).
+// ---------------------------------------------------------------------
+
+std::string DumpSubgraph(const query::ResultItem& item) {
+  std::string out = item.label + "|";
+  for (const auto& n : item.subgraph.nodes) out += n.ToString() + ",";
+  out += "|";
+  for (const auto& e : item.subgraph.edges) {
+    out += e.from.ToString() + ">" + e.to.ToString() + ":" + e.label + ";";
+  }
+  return out;
+}
+
+// A result pinned before a burst of commits is a frozen snapshot: every
+// read through it — including page materializations that run arbitrarily
+// long after the commits — answers from the version the query ran on,
+// bit-identically to a materialization taken before the churn.
+TEST(ConcurrencyStressTest, PinnedReaderSeesFrozenSnapshotAcrossCommits) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+
+  const std::string graph_query =
+      "FIND GRAPH WHERE { ?a CONTAINS \"stalwart\" ; ?s IS REFERENT ; "
+      "?a ANNOTATES ?s ; ?s DOMAIN \"chrQ\" } LIMIT 4 PAGE 1";
+
+  // Reference: same query, every page materialized before any churn.
+  auto reference = g.Query(graph_query);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GE(reference->total_pages, 3u);
+  for (size_t p = 2; p <= reference->total_pages; ++p) {
+    ASSERT_TRUE(g.MaterializePage(&*reference, p).ok());
+  }
+
+  // Subject: only page 1 materialized; the rest flips after the commits.
+  auto subject = g.Query(graph_query);
+  ASSERT_TRUE(subject.ok());
+  ASSERT_EQ(subject->total_pages, reference->total_pages);
+
+  Failures failures;
+  for (uint64_t cycle = 1u << 26; cycle < (1u << 26) + 64; ++cycle) {
+    AnnotationId id = CommitSentinel(&g, cycle, &failures);
+    ASSERT_NE(id, 0u);
+    // Mutate the stable domain's object graph too: new annotations on the
+    // same objects the pinned rows terminate in.
+    AnnotationBuilder b;
+    b.Title("churn").Body("churn stalwart-adjacent")
+        .MarkInterval("chrQ", 5000 + static_cast<int64_t>(cycle % 64) * 8,
+                      5000 + static_cast<int64_t>(cycle % 64) * 8 + 3);
+    ASSERT_TRUE(g.Commit(b).ok());
+  }
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+
+  for (size_t p = 1; p <= subject->total_pages; ++p) {
+    ASSERT_TRUE(g.MaterializePage(&*subject, p).ok());
+    ASSERT_TRUE(g.MaterializePage(&*reference, p).ok());
+    ASSERT_EQ(subject->page_count, reference->page_count);
+    for (size_t k = 0; k < subject->page_count; ++k) {
+      const auto& got = subject->items[subject->page_first + k];
+      const auto& want = reference->items[reference->page_first + k];
+      EXPECT_TRUE(got.subgraph_ready);
+      EXPECT_EQ(DumpSubgraph(got), DumpSubgraph(want))
+          << "page " << p << " item " << k
+          << " diverged under writer churn (snapshot not frozen)";
+    }
+  }
+
+  // A fresh query, by contrast, sees the churn ("adjacent" appears only
+  // in the 64 churn bodies; the sentinels say "churn" too).
+  auto fresh = g.Query("FIND COUNT ?c WHERE { ?c CONTAINS \"adjacent\" }");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->items[0].count, 64u);
+}
+
+// Retired versions reclaim on drain: a pinned result holds its version
+// alive across any number of commits, but the intermediate versions are
+// recycled eagerly and dropping the last pin releases the old version on
+// the next publish. The version count never tracks the commit count.
+TEST(ConcurrencyStressTest, VersionsReclaimWhenPinsDrain) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+  Failures failures;
+
+  const size_t baseline = g.live_engine_versions();
+  {
+    auto pinned = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"stalwart\" }");
+    ASSERT_TRUE(pinned.ok());
+    const uint64_t pinned_epoch = g.engine_epoch();
+    for (uint64_t cycle = 1u << 27; cycle < (1u << 27) + 100; ++cycle) {
+      ASSERT_NE(CommitSentinel(&g, cycle, &failures), 0u);
+    }
+    EXPECT_GT(g.engine_epoch(), pinned_epoch);
+    // Pinned version + current + at most one retained standby.
+    EXPECT_LE(g.live_engine_versions(), baseline + 2)
+        << "intermediate versions leaked under a long-lived pin";
+    // The pinned result still answers from its snapshot.
+    EXPECT_EQ(pinned->items.size(), kStableAnnotations);
+  }
+  // Pin dropped: the next commit lets the old version retire for good.
+  ASSERT_NE(CommitSentinel(&g, (1u << 27) + 100, &failures), 0u);
+  EXPECT_LE(g.live_engine_versions(), baseline + 1);
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+}
+
+// Reclamation raced from many threads: readers constantly pin and drop
+// while a writer churns versions. TSan checks the memory; afterwards the
+// version list must have collapsed back to a bounded size and the engine
+// must still validate.
+TEST(ConcurrencyStressTest, VersionReclamationSurvivesPinRaces) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+  Failures failures;
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    uint64_t cycle = 1u << 28;
+    while (!stop.load(std::memory_order_acquire)) {
+      AnnotationId id = CommitSentinel(&g, cycle++, &failures);
+      if (id != 0) (void)g.RemoveAnnotation(id);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      for (size_t i = 0; i < 80; ++i) {
+        auto res = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"stalwart\" }");
+        if (!res.ok()) {
+          failures.Add("query failed: " + res.status().ToString());
+        } else if (res->items.size() != kStableAnnotations) {
+          failures.Add("snapshot count drifted: " + std::to_string(res->items.size()));
+        }
+        // Results (and their pins) drop immediately: constant pin churn.
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+  EXPECT_LE(g.live_engine_versions(), 2u) << "versions leaked after pins drained";
+  EXPECT_TRUE(g.ValidateIntegrity().ok());
 }
 
 }  // namespace

@@ -165,9 +165,20 @@ TEST(RecoveryFaultTest, FsyncFailurePoisonsUntilCheckpointHeals) {
 
   env.set_fail_syncs(1);
   AnnotationBuilder failing;
-  failing.Title("fsync dies under this").MarkInterval("flu:seg4", 1, 5);
+  failing.Title("fsync dies under this")
+      .Body("the sync dies under this body")
+      .MarkInterval("flu:seg4", 1, 5);
   auto failed = (*g)->Commit(failing);
   ASSERT_FALSE(failed.ok());
+
+  // WAL-before-publish: the failed commit was built on a private scratch
+  // version and never published, so readers cannot see state the log does
+  // not hold — the error left visible state untouched.
+  auto visible = (*g)->Query("FIND COUNT ?c WHERE { ?c CONTAINS \"dies\" }");
+  ASSERT_TRUE(visible.ok());
+  EXPECT_EQ(visible->items[0].count, 0u)
+      << "un-logged mutation became visible to readers";
+  EXPECT_EQ((*g)->Stats().num_annotations, 1u);
 
   // Poisoned: durable mutations are refused until a checkpoint re-anchors
   // durable state to memory.
@@ -179,11 +190,13 @@ TEST(RecoveryFaultTest, FsyncFailurePoisonsUntilCheckpointHeals) {
 
   ASSERT_TRUE((*g)->Checkpoint().ok());
 
-  // Healed: the checkpoint captured the in-memory state (which includes the
-  // commit whose WAL record failed to sync) and commits flow again.
+  // Healed: the checkpoint captured the (published) in-memory state — the
+  // discarded commit stays absent, matching both memory and disk — and
+  // commits flow again.
   AnnotationBuilder after;
   after.Title("after heal").MarkInterval("flu:seg4", 3, 7);
   ASSERT_TRUE((*g)->Commit(after).ok());
+  EXPECT_EQ((*g)->Stats().num_annotations, 2u);
 
   std::string fp = Fingerprint(**g);
   g->reset();
