@@ -9,6 +9,8 @@ util::TraversalScratch& AGraph::Scratch() {
   // One scratch per thread: concurrent queries on const AGraphs stay safe,
   // and sequential queries (also across different graphs — stale stamps
   // never match a fresh epoch) allocate nothing in steady state.
+  // thread_local, so no capability annotation: unreachable from other
+  // threads, outside the checked locking discipline by construction.
   thread_local util::TraversalScratch scratch;
   return scratch;
 }

@@ -272,6 +272,7 @@ class AGraph {
   std::vector<std::vector<NodeRef>> ConnectedComponents() const;
 
   /// Node counts per kind.
+  // lint: allow-map(stats surface: tiny, ordered output for display)
   std::map<NodeKind, size_t> CountByKind() const;
 
   /// (min, max, mean) undirected degree across all nodes; zeros when empty.
@@ -340,12 +341,14 @@ class AGraph {
 
   friend class ConnectBatch;
 
+  // lint: allow-map(node handle -> dense index; O(1) lookups dominate)
   std::unordered_map<NodeRef, uint32_t, NodeRefHash> index_;
   std::vector<NodeRef> refs_;          // dense -> NodeRef
   std::vector<std::string> node_labels_;
   std::vector<std::vector<Edge>> out_;
   std::vector<std::vector<Edge>> in_;
   std::vector<std::string> labels_;    // interned edge labels
+  // lint: allow-map(label set is tiny and cold; heterogeneous find)
   std::map<std::string, uint32_t, std::less<>> label_index_;
   size_t num_edges_ = 0;
 };

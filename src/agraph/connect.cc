@@ -97,6 +97,9 @@ struct ConnectBatch::State {
     std::vector<std::unique_ptr<TerminalTree>> free_trees;
     size_t free_bytes = 0;
   };
+  // thread_local, so no capability annotation: the pool is unreachable
+  // from any other thread and sits outside the checked locking discipline
+  // by construction (see util/thread_annotations.h).
   static Pool& ThreadPool() {
     thread_local Pool pool;
     return pool;
@@ -155,7 +158,9 @@ struct ConnectBatch::State {
   };
 
   util::LabelBitset allowed;
+  // lint: allow-map(per-call scratch, recycled via thread-local pool)
   std::unordered_map<uint32_t, std::unique_ptr<TerminalTree>> trees;
+  // lint: allow-map(per-call scratch, recycled via thread-local pool)
   std::unordered_map<uint64_t, PairMeet> pair_meets;  // key: min<<32 | max
   // Call-local buffers reused across rows (cleared per row).
   std::vector<uint32_t> term_idx;

@@ -442,7 +442,7 @@ util::Status AnnotationStore::Remove(AnnotationId id) {
   for (ReferentId rid : it->second.referents) ReleaseReferent(rid);
   annotations_.erase(it);
   if (has_cold_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(hydrate_mu_);
+    util::MutexLock lock(hydrate_mu_);
     cold_content_.erase(id);
     if (cold_content_.empty()) has_cold_.store(false, std::memory_order_release);
   }
@@ -681,7 +681,7 @@ const xml::XmlDocument& AnnotationStore::ContentOf(const Annotation& ann) const 
   // store-wide, and distinguishing per-annotation would need the map
   // lookup the lock protects anyway).
   if (!has_cold_.load(std::memory_order_acquire)) return ann.content;
-  std::lock_guard<std::mutex> lock(hydrate_mu_);
+  util::MutexLock lock(hydrate_mu_);
   auto it = cold_content_.find(ann.id);
   if (it == cold_content_.end()) return ann.content;  // hydrated by a racer
   util::Result<xml::XmlDocument> doc = xml::ParseXml(it->second);
@@ -696,7 +696,7 @@ const xml::XmlDocument& AnnotationStore::ContentOf(const Annotation& ann) const 
 
 std::string AnnotationStore::ContentXml(const Annotation& ann) const {
   if (has_cold_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(hydrate_mu_);
+    util::MutexLock lock(hydrate_mu_);
     auto it = cold_content_.find(ann.id);
     // Still cold: the stored bytes verbatim, no parse + re-serialize
     // round-trip (this is what makes snapshot-of-a-restored-engine
@@ -710,7 +710,7 @@ std::string AnnotationStore::ContentXml(const Annotation& ann) const {
 
 bool AnnotationStore::HasContent(const Annotation& ann) const {
   if (!has_cold_.load(std::memory_order_acquire)) return !ann.content.empty();
-  std::lock_guard<std::mutex> lock(hydrate_mu_);
+  util::MutexLock lock(hydrate_mu_);
   return !ann.content.empty() || cold_content_.count(ann.id) > 0;
 }
 
@@ -933,7 +933,7 @@ std::unique_ptr<AnnotationStore> AnnotationStore::Clone(
   // Serialize against concurrent reader-side cold-content hydration (the
   // only mutation a published store can see: ContentOf moving an entry
   // from cold_content_ into Annotation::content under hydrate_mu_).
-  std::lock_guard<std::mutex> lock(hydrate_mu_);
+  util::MutexLock lock(hydrate_mu_);
   for (const auto& [id, ann] : annotations_) {
     Annotation& a = copy->annotations_[id];
     a.id = ann.id;

@@ -23,7 +23,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,6 +32,7 @@
 #include "annotation/annotation.h"
 #include "spatial/index_manager.h"
 #include "util/string_interner.h"
+#include "util/thread_annotations.h"
 #include "util/result.h"
 
 namespace graphitti {
@@ -372,8 +372,9 @@ class AnnotationStore {
   // out as they hydrate; has_cold_ flips false when the map drains, which
   // re-arms the lock-free fast path. All mutable: hydration is a
   // logically-const cache fill performed under hydrate_mu_.
-  mutable std::unordered_map<AnnotationId, std::string> cold_content_;
-  mutable std::mutex hydrate_mu_;
+  mutable util::Mutex hydrate_mu_;
+  mutable std::unordered_map<AnnotationId, std::string> cold_content_
+      GUARDED_BY(hydrate_mu_);
   mutable std::atomic<bool> has_cold_{false};
 };
 

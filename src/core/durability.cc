@@ -425,7 +425,7 @@ Status Graphitti::ApplyWalRecord(const persist::WalRecord& record, EngineState& 
       GRAPHITTI_ASSIGN_OR_RETURN(RowId logged_rid, dec.GetU64());
       GRAPHITTI_ASSIGN_OR_RETURN(uint32_t ncols, dec.GetU32());
       {
-        std::lock_guard<std::mutex> meta(meta_mu_);
+        util::MutexLock meta(meta_mu_);
         if (objects_.count(object_id) > 0) return Status::OK();  // duplicate
       }
       Row row;
@@ -538,7 +538,7 @@ std::string Graphitti::EncodeSnapshotBody(const EngineState& state) const {
   // below drops it, matching the snapshot's version cut. (Checkpoint holds
   // commit_mu_, so in practice no such race exists there.)
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     std::vector<std::pair<const ObjectInfo*, uint64_t>> live;
     live.reserve(objects_.size());
     for (const auto& [id, info] : objects_) {
@@ -705,7 +705,7 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body, EngineState& st
   }
   GRAPHITTI_ASSIGN_OR_RETURN(uint64_t next_object, dec.GetU64());
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     next_object_id_ = std::max(next_object_id_, next_object);
   }
 
@@ -837,7 +837,12 @@ Result<std::unique_ptr<Graphitti>> Graphitti::RecoverBinary(
     stash->has_snapshot = plan.has_snapshot;
     stash->snapshot_body = std::move(plan.snapshot_body);
     stash->wal_records = std::move(wal_records);
-    g->pending_restore_ = std::move(stash);
+    {
+      // Boot-time (g is unshared), but the stash is hydrate-side state —
+      // uncontended lock keeps the write statically provable.
+      util::MutexLock hydrate(g->hydrate_mu_);
+      g->pending_restore_ = std::move(stash);
+    }
     g->hydration_pending_.store(true, std::memory_order_release);
   }
   g->generation_ = plan.generation;
@@ -845,6 +850,10 @@ Result<std::unique_ptr<Graphitti>> Graphitti::RecoverBinary(
     g->env_ = env;
     g->durable_dir_ = directory;
     g->wal_options_ = options.wal;
+    // Boot-time: no other thread can reach g yet, but the WAL handle is
+    // commit-side state, so take the (uncontended) commit lock to keep the
+    // write statically provable.
+    util::MutexLock commit(g->commit_mu_);
     // Reopening an existing WAL truncates any torn tail before appending;
     // a missing one (crash between snapshot rename and WAL creation) is
     // created fresh.
@@ -859,8 +868,13 @@ Result<std::unique_ptr<Graphitti>> Graphitti::RecoverBinary(
 }
 
 Status Graphitti::HydrateNow() const {
-  Graphitti* self = const_cast<Graphitti*>(this);
-  std::lock_guard<std::mutex> lk(self->hydrate_mu_);
+  // The deferred-recovery members (hydrate_mu_, pending_restore_,
+  // hydrate_status_, hydration_pending_) are all mutable precisely so this
+  // const entry point can lock and update them through `this` — keeping
+  // every guarded access on one base object for the thread-safety
+  // analysis. const_cast is confined to the boot-mode replay helpers,
+  // which are non-const but touch only the unpublished initial version.
+  util::MutexLock lk(hydrate_mu_);
   if (!hydration_pending_.load(std::memory_order_relaxed)) return Status::OK();
   if (!hydrate_status_.ok()) return hydrate_status_;  // poisoned: never retried
   // hydration_pending_ stays true for the whole decode: every other
@@ -868,8 +882,9 @@ Status Graphitti::HydrateNow() const {
   // reader can pin (let alone observe) the half-built initial version.
   // The boot-mode helpers mutate that version in place and never touch
   // the WAL, so nothing gets re-logged.
-  std::unique_ptr<PendingRestore> stash = std::move(self->pending_restore_);
-  EngineState& state = *self->CurrentState();
+  std::unique_ptr<PendingRestore> stash = std::move(pending_restore_);
+  Graphitti* self = const_cast<Graphitti*>(this);
+  EngineState& state = *CurrentState();
   Status st;
   if (stash->has_snapshot) st = self->RestoreFromSnapshotBody(stash->snapshot_body, state);
   if (st.ok()) {
@@ -881,10 +896,10 @@ Status Graphitti::HydrateNow() const {
   if (!st.ok()) {
     // Should be unreachable for a CRC-clean snapshot + settled WAL; if it
     // happens, poison rather than serve the partial state.
-    self->hydrate_status_ = st;
+    hydrate_status_ = st;
     return st;
   }
-  self->hydration_pending_.store(false, std::memory_order_release);
+  hydration_pending_.store(false, std::memory_order_release);
   return Status::OK();
 }
 
@@ -914,7 +929,7 @@ Status Graphitti::Checkpoint() {
   // Checkpointing serializes against *writers* (commit_mu_), never against
   // readers: the current version is immutable once published, so encoding
   // it races nothing, and readers keep pinning and serving throughout.
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   if (env_ == nullptr) {
     return Status::Unsupported("Checkpoint() requires an OpenDurable engine");
   }

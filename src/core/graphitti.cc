@@ -152,7 +152,7 @@ void Graphitti::PublishOp(std::unique_ptr<EngineState> next, EngineOp op) {
 
 util::Status Graphitti::RegisterCoordinateSystem(std::string_view name, int dims) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   EngineOp op = [name = std::string(name), dims](EngineState& s) {
@@ -172,7 +172,7 @@ util::Status Graphitti::RegisterDerivedCoordinateSystem(
     const std::array<double, spatial::Rect::kMaxDims>& scale,
     const std::array<double, spatial::Rect::kMaxDims>& offset) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   EngineOp op = [name = std::string(name), canonical = std::string(canonical), scale,
@@ -193,13 +193,13 @@ util::Status Graphitti::RegisterDerivedCoordinateSystem(
 
 util::Status Graphitti::LoadOntologyInto(std::string name, std::string_view obo_text) {
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     if (ontologies_.find(name) != ontologies_.end()) {
       return Status::AlreadyExists("ontology '" + name + "' already loaded");
     }
   }
   GRAPHITTI_ASSIGN_OR_RETURN(ontology::Ontology onto, ontology::ParseObo(obo_text, name));
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   auto [it, inserted] = ontologies_.emplace(std::move(name), std::move(onto));
   if (!inserted) {
     return Status::AlreadyExists("ontology '" + it->first + "' already loaded");
@@ -210,10 +210,10 @@ util::Status Graphitti::LoadOntologyInto(std::string name, std::string_view obo_
 util::Result<const ontology::Ontology*> Graphitti::LoadOntology(
     std::string name, std::string_view obo_text) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     if (ontologies_.find(name) != ontologies_.end()) {
       return Status::AlreadyExists("ontology '" + name + "' already loaded");
     }
@@ -226,22 +226,23 @@ util::Result<const ontology::Ontology*> Graphitti::LoadOntology(
     GRAPHITTI_RETURN_NOT_OK(
         WalAppend(persist::WalRecordType::kOntology, walrec::EncodeOntology(name, obo_text)));
   }
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   auto [it, _] = ontologies_.emplace(std::move(name), std::move(onto));
   return &it->second;
 }
 
 const ontology::Ontology* Graphitti::GetOntology(std::string_view name) const {
   (void)EnsureHydrated();
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   auto it = ontologies_.find(name);
   return it == ontologies_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> Graphitti::OntologyNames() const {
   (void)EnsureHydrated();
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   std::vector<std::string> out;
+  out.reserve(ontologies_.size());  // performance-inefficient-vector-operation
   for (const auto& [name, _] : ontologies_) out.push_back(name);
   return out;
 }
@@ -253,7 +254,7 @@ util::Result<uint64_t> Graphitti::CommitRowInsert(std::unique_ptr<EngineState> s
                                                   std::string label) {
   uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     id = next_object_id_++;
   }
   // The op re-derives the row id deterministically on replay; the first
@@ -290,7 +291,7 @@ util::Result<uint64_t> Graphitti::CommitRowInsert(std::unique_ptr<EngineState> s
         WalAppend(persist::WalRecordType::kObject, walrec::EncodeObject(info, *values)));
   }
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     object_by_row_[info.table][rid] = id;
     objects_.emplace(id, std::move(info));
   }
@@ -303,7 +304,7 @@ util::Result<uint64_t> Graphitti::IngestDnaSequence(std::string accession,
                                                     std::string segment,
                                                     std::string residues) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   int64_t length = static_cast<int64_t>(residues.size());
   Row row{Value::Str(accession), Value::Str(std::move(organism)),
@@ -318,7 +319,7 @@ util::Result<uint64_t> Graphitti::IngestRnaSequence(std::string accession,
                                                     std::string segment,
                                                     std::string residues) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   int64_t length = static_cast<int64_t>(residues.size());
   Row row{Value::Str(accession), Value::Str(std::move(organism)),
@@ -333,7 +334,7 @@ util::Result<uint64_t> Graphitti::IngestProteinSequence(std::string accession,
                                                         std::string protein_name,
                                                         std::string residues) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   int64_t length = static_cast<int64_t>(residues.size());
   Row row{Value::Str(accession), Value::Str(std::move(organism)),
@@ -349,7 +350,7 @@ util::Result<uint64_t> Graphitti::IngestImage(std::string name,
                                               int64_t height, int64_t depth,
                                               std::vector<uint8_t> pixels) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   if (!scratch->indexes.coordinate_systems().Contains(coordinate_system)) {
@@ -365,7 +366,7 @@ util::Result<uint64_t> Graphitti::IngestImage(std::string name,
 
 util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_view newick) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   GRAPHITTI_ASSIGN_OR_RETURN(PhyloTree tree, PhyloTree::FromNewick(newick));
   Row row{Value::Str(name), Value::Int(static_cast<int64_t>(tree.num_leaves())),
@@ -376,7 +377,7 @@ util::Result<uint64_t> Graphitti::IngestPhyloTree(std::string name, std::string_
 
 util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph& graph) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (graph.name().empty()) {
     return Status::InvalidArgument("interaction graph needs a name");
@@ -390,7 +391,7 @@ util::Result<uint64_t> Graphitti::IngestInteractionGraph(const InteractionGraph&
 
 util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   if (!msa.valid()) {
     return Status::InvalidArgument("MSA rows must be non-empty and share one length");
@@ -408,7 +409,7 @@ util::Result<uint64_t> Graphitti::IngestMsa(const Msa& msa) {
 util::Result<relational::Table*> Graphitti::CreateTable(std::string name,
                                                         relational::Schema schema) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   // Encode before the op consumes name/schema; discarded if the catalog
   // rejects them (the non-durable common case pays nothing: env_ check).
@@ -433,7 +434,7 @@ util::Result<relational::Table*> Graphitti::CreateTable(std::string name,
 util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relational::Row row,
                                                std::string label) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   relational::Table* t = scratch->catalog.GetTable(table);
@@ -451,14 +452,14 @@ util::Result<uint64_t> Graphitti::IngestRecord(std::string_view table, relationa
 
 const ObjectInfo* Graphitti::GetObject(uint64_t object_id) const {
   (void)EnsureHydrated();
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   auto it = objects_.find(object_id);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
 size_t Graphitti::num_objects() const {
   (void)EnsureHydrated();
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   return objects_.size();
 }
 
@@ -467,7 +468,7 @@ const relational::Row* Graphitti::GetObjectRow(uint64_t object_id) const {
   std::string table_name;
   RowId row = 0;
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     auto it = objects_.find(object_id);
     if (it == objects_.end()) return nullptr;
     table_name = it->second.table;
@@ -489,7 +490,7 @@ util::Result<std::vector<uint64_t>> Graphitti::SearchObjectsIn(
   }
   GRAPHITTI_ASSIGN_OR_RETURN(std::vector<RowId> rows, t->Select(filter));
   std::vector<uint64_t> out;
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   auto tit = object_by_row_.find(table);
   if (tit == object_by_row_.end()) return out;
   for (RowId r : rows) {
@@ -511,7 +512,7 @@ util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
 util::Result<annotation::AnnotationId> Graphitti::Commit(
     const annotation::AnnotationBuilder& builder) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   auto out_id = std::make_shared<annotation::AnnotationId>(0);
@@ -532,7 +533,7 @@ util::Result<annotation::AnnotationId> Graphitti::Commit(
 util::Result<std::vector<annotation::AnnotationId>> Graphitti::CommitBatch(
     const std::vector<annotation::AnnotationBuilder>& builders) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   GRAPHITTI_ASSIGN_OR_RETURN(std::vector<annotation::AnnotationId> ids,
@@ -555,7 +556,7 @@ util::Result<std::vector<annotation::AnnotationId>> Graphitti::CommitBatch(
 
 util::Status Graphitti::RemoveAnnotation(annotation::AnnotationId id) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   EngineOp op = [id](EngineState& s) { return s.store->Remove(id); };
@@ -687,7 +688,7 @@ SystemStats Graphitti::Stats() const {
   s.region_entries = state.indexes.total_region_entries();
   s.agraph_nodes = state.graph.num_nodes();
   s.agraph_edges = state.graph.num_edges();
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   s.num_objects = objects_.size();
   s.num_ontologies = ontologies_.size();
   for (const auto& [_, onto] : ontologies_) s.ontology_terms += onto.num_terms();
@@ -702,7 +703,7 @@ std::string Graphitti::ExportAGraph() const {
 
 void Graphitti::VacuumTables() {
   (void)EnsureHydrated();
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   if (!WalGuard().ok()) return;  // poisoned: refuse rather than diverge
   std::unique_ptr<EngineState> scratch = AcquireScratch();
   EngineOp op = [](EngineState& s) {
@@ -731,7 +732,7 @@ util::Result<std::vector<uint64_t>> Graphitti::FindObjects(
 
 std::string Graphitti::DescribeObject(uint64_t object_id) const {
   (void)EnsureHydrated();
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   auto it = objects_.find(object_id);
   return it == objects_.end() ? ("object-" + std::to_string(object_id)) : it->second.label;
 }
@@ -746,7 +747,7 @@ std::vector<std::string> Graphitti::ExpandTermBelow(const std::string& qualified
   }
   std::string onto_name = qualified.substr(0, colon);
   std::string term_id = qualified.substr(colon + 1);
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   auto oit = ontologies_.find(onto_name);
   if (oit == ontologies_.end()) {
     out.push_back(qualified);

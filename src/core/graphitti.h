@@ -9,7 +9,10 @@
 // A Graphitti instance may be shared across threads. The engine's
 // versioned state — catalog, spatial indexes, a-graph, annotation store —
 // lives in an immutable EngineState version published through a
-// util::EpochManager. Every method below is tagged [read] or [commit]:
+// util::EpochManager. Every public method below carries exactly one
+// thread-safety tag — [read], [commit], [any-thread], [unversioned], or
+// [boot] — and tools/lint/check_contracts.py fails the build if one is
+// missing. The two load-bearing tags:
 //
 //   [read]    pins the current version on entry (one mutex-protected
 //             counter bump) and runs entirely against that frozen
@@ -27,6 +30,18 @@
 //             before it is in the log, so a crash cannot surface an
 //             un-logged version (WAL failure discards the unpublished
 //             scratch and poisons the engine until Checkpoint).
+//
+// The remaining tags: [any-thread] marks lock-free reads of boot-immutable
+// or atomic engine facts (safe from any thread, no pin taken);
+// [unversioned] marks the single-threaded escape hatches described below;
+// [boot] marks static factories that construct an engine no other thread
+// can reach yet.
+//
+// These contracts are additionally machine-checked: the mutexes below are
+// util::Mutex capabilities, guarded members carry GUARDED_BY, and the
+// commit-side helpers carry REQUIRES(commit_mu_), so the CI clang lane
+// (-Werror=thread-safety) rejects any access that violates the discipline
+// this comment describes. See docs/STATIC_ANALYSIS.md.
 //
 // Engine-level metadata that is append-only and node-stable (object
 // registrations, loaded ontologies) sits beside the versioned state under
@@ -51,7 +66,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +81,7 @@
 #include "relational/catalog.h"
 #include "spatial/index_manager.h"
 #include "util/epoch.h"
+#include "util/thread_annotations.h"
 
 namespace graphitti {
 namespace core {
@@ -163,38 +178,46 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   // onto a recycled version that missed the direct mutation. They force
   // deferred recovery first, so a freshly opened durable engine hands out
   // fully hydrated substrates.
+  /// [unversioned] Mutable relational catalog (marks state dirty).
   relational::Catalog& catalog() {
     (void)EnsureHydrated();
     MarkStateDirty();
     return CurrentState()->catalog;
   }
+  /// [unversioned] Read-only relational catalog.
   const relational::Catalog& catalog() const {
     (void)EnsureHydrated();
     return CurrentState()->catalog;
   }
+  /// [unversioned] Mutable spatial index manager (marks state dirty).
   spatial::IndexManager& indexes() {
     (void)EnsureHydrated();
     MarkStateDirty();
     return CurrentState()->indexes;
   }
+  /// [unversioned] Read-only spatial index manager.
   const spatial::IndexManager& indexes() const {
     (void)EnsureHydrated();
     return CurrentState()->indexes;
   }
+  /// [unversioned] Mutable a-graph (marks state dirty).
   agraph::AGraph& graph() {
     (void)EnsureHydrated();
     MarkStateDirty();
     return CurrentState()->graph;
   }
+  /// [unversioned] Read-only a-graph.
   const agraph::AGraph& graph() const {
     (void)EnsureHydrated();
     return CurrentState()->graph;
   }
+  /// [unversioned] Mutable annotation store (marks state dirty).
   annotation::AnnotationStore& annotations() {
     (void)EnsureHydrated();
     MarkStateDirty();
     return *CurrentState()->store;
   }
+  /// [unversioned] Read-only annotation store.
   const annotation::AnnotationStore& annotations() const {
     (void)EnsureHydrated();
     return *CurrentState()->store;
@@ -222,19 +245,26 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   std::vector<std::string> OntologyNames() const;
 
   // --- Ingestion (the admin/registration flow). Each returns an object id.
-  //     All [commit].
+
+  /// [commit] Registers a DNA sequence record.
   util::Result<uint64_t> IngestDnaSequence(std::string accession, std::string organism,
                                            std::string segment, std::string residues);
+  /// [commit] Registers an RNA sequence record.
   util::Result<uint64_t> IngestRnaSequence(std::string accession, std::string organism,
                                            std::string segment, std::string residues);
+  /// [commit] Registers a protein sequence record.
   util::Result<uint64_t> IngestProteinSequence(std::string accession, std::string organism,
                                                std::string protein_name,
                                                std::string residues);
+  /// [commit] Registers an image record (coordinate system must exist).
   util::Result<uint64_t> IngestImage(std::string name, std::string coordinate_system,
                                      std::string modality, int64_t width, int64_t height,
                                      int64_t depth, std::vector<uint8_t> pixels = {});
+  /// [commit] Registers a phylogenetic tree from Newick text.
   util::Result<uint64_t> IngestPhyloTree(std::string name, std::string_view newick);
+  /// [commit] Registers an interaction graph.
   util::Result<uint64_t> IngestInteractionGraph(const InteractionGraph& graph);
+  /// [commit] Registers a multiple sequence alignment.
   util::Result<uint64_t> IngestMsa(const Msa& msa);
 
   /// [commit] Creates a user-defined table (relational records are
@@ -310,6 +340,7 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// > 1 to also parallelize a single query's candidate filtering, join,
   /// and connection-tree construction across the shared thread pool.
   util::Result<query::QueryResult> Query(std::string_view query_text) const;
+  /// [read] As above, with explicit executor options (worker count etc.).
   util::Result<query::QueryResult> Query(std::string_view query_text,
                                          const query::ExecutorOptions& options) const;
 
@@ -342,7 +373,7 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// fsync): a crash mid-save leaves the previous save intact, never a
   /// torn file.
   util::Status SaveTo(const std::string& directory) const;
-  /// Rebuilds an engine from a directory written by SaveTo — or, when the
+  /// [boot] Rebuilds an engine from a directory written by SaveTo — or, when the
   /// directory holds a durable engine's snapshot-<g>/wal-<g> files, by
   /// binary recovery (snapshot restore + WAL-tail replay; a torn final WAL
   /// record is truncated, mismatched snapshot/WAL generations are refused
@@ -353,7 +384,7 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
 
   // --- Durability (crash safety: WAL + checkpoints) ---
 
-  /// Opens (or creates) a crash-safe engine rooted at `directory`:
+  /// [boot] Opens (or creates) a crash-safe engine rooted at `directory`:
   /// recovers the newest valid snapshot, replays the WAL tail (a torn
   /// final record is a clean truncation point, not an error), attaches
   /// the WAL, and from then on logs every [durable]-tagged mutation
@@ -384,11 +415,15 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// mutations until a Checkpoint succeeds.
   util::Status Checkpoint();
 
-  /// Whether this engine was opened through OpenDurable.
+  /// [any-thread] Whether this engine was opened through OpenDurable
+  /// (env_ is boot-immutable).
   bool IsDurable() const { return env_ != nullptr; }
 
-  /// The current checkpoint generation (0 until the first Checkpoint).
-  uint64_t generation() const { return generation_; }
+  /// [any-thread] The current checkpoint generation (0 until the first
+  /// Checkpoint).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// [commit] Restores an object registration with an explicit id
   /// (persistence/admin use only; fails on id collision).
@@ -412,20 +447,23 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
 
   // --- Version-lifecycle observability (tests / diagnostics) ---
 
-  /// Number of engine-state versions currently alive: the published one,
-  /// plus any still pinned by in-flight readers or results, plus at most
-  /// one parked recycle standby.
+  /// [any-thread] Number of engine-state versions currently alive: the
+  /// published one, plus any still pinned by in-flight readers or
+  /// results, plus at most one parked recycle standby.
   size_t live_engine_versions() const { return epochs_->live_versions(); }
-  /// Monotonic count of published versions (bumps once per [commit] that
-  /// changes versioned state).
+  /// [any-thread] Monotonic count of published versions; bumps once per
+  /// version-changing commit.
   uint64_t engine_epoch() const { return epochs_->current_epoch(); }
 
   // --- query::ObjectResolver ---
   //
-  // [read] Entry points in their own right; the query executor resolves
+  // Entry points in their own right; the query executor resolves
   // against its pinned snapshot via SearchObjectsIn instead.
+
+  /// [read] Objects matching `filter` in `table`.
   util::Result<std::vector<uint64_t>> FindObjects(
       const std::string& table, const relational::Predicate& filter) const override;
+  /// [read] Human-readable one-line description of an object.
   std::string DescribeObject(uint64_t object_id) const override;
 
   // --- query::OntologyResolver ---
@@ -460,25 +498,25 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// mutation happened that op replay cannot reproduce).
   void MarkStateDirty() { state_dirty_.store(true, std::memory_order_release); }
 
-  /// Commit-side (commit_mu_ held): a mutable next-version to apply the
-  /// op to. Recycles the drained previous version by replaying the ops it
-  /// missed; falls back to a full Clone() of current when no standby is
-  /// available (long reader still pins it, dirty direct mutation, or the
-  /// op log was truncated by an unreplayable batch).
-  std::unique_ptr<EngineState> AcquireScratch();
+  /// Commit-side: a mutable next-version to apply the op to. Recycles the
+  /// drained previous version by replaying the ops it missed; falls back
+  /// to a full Clone() of current when no standby is available (long
+  /// reader still pins it, dirty direct mutation, or the op log was
+  /// truncated by an unreplayable batch).
+  std::unique_ptr<EngineState> AcquireScratch() REQUIRES(commit_mu_);
 
-  /// Commit-side (commit_mu_ held): publishes `next` as the new current
-  /// version and records `op` for standby replay (nullptr = unreplayable;
-  /// the op log is cleared and the standby dropped).
-  void PublishOp(std::unique_ptr<EngineState> next, EngineOp op);
+  /// Commit-side: publishes `next` as the new current version and records
+  /// `op` for standby replay (nullptr = unreplayable; the op log is
+  /// cleared and the standby dropped).
+  void PublishOp(std::unique_ptr<EngineState> next, EngineOp op)
+      REQUIRES(commit_mu_);
 
   /// Shared tail of the seven Ingest* methods and IngestRecord: applies
   /// "insert row + register object `label`" to scratch, WAL-logs the
   /// kObject record, inserts the registration metadata, publishes.
-  /// commit_mu_ held.
   util::Result<uint64_t> CommitRowInsert(std::unique_ptr<EngineState> scratch,
                                          std::string table, relational::Row row,
-                                         std::string label);
+                                         std::string label) REQUIRES(commit_mu_);
 
   /// Registers object metadata + a-graph node into `state` directly (boot
   /// and recovery; no versioning). Shared by snapshot restore, WAL object
@@ -495,15 +533,15 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
 
   /// Refuses durable mutations after a WAL I/O failure (wal_failed_), so
   /// the durable log never silently develops a gap; OK on non-durable
-  /// engines. Call under commit_mu_ at the top of every [durable]
-  /// mutator, before any state changes.
-  util::Status WalGuard() const;
+  /// engines. Call at the top of every [durable] mutator, before any
+  /// state changes.
+  util::Status WalGuard() const REQUIRES(commit_mu_);
   /// Appends (and per policy fsyncs) one record; a failure poisons the
   /// engine (wal_failed_) until the next successful Checkpoint. No-op on
-  /// non-durable engines. Under commit_mu_; the caller must discard its
-  /// unpublished scratch on failure so the un-logged mutation never
-  /// becomes visible.
-  util::Status WalAppend(persist::WalRecordType type, std::string payload);
+  /// non-durable engines. The caller must discard its unpublished scratch
+  /// on failure so the un-logged mutation never becomes visible.
+  util::Status WalAppend(persist::WalRecordType type, std::string payload)
+      REQUIRES(commit_mu_);
   /// Serializes one version (+ engine metadata) into a snapshot body.
   std::string EncodeSnapshotBody(const EngineState& state) const;
   /// Rebuilds `state` from a snapshot body. Boot/recovery only: `state`
@@ -556,13 +594,16 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
       std::make_shared<util::EpochManager>();
 
   /// Serializes writers: scratch acquisition, WAL appends, publication,
-  /// checkpointing. Readers never take it.
-  mutable std::mutex commit_mu_;
-  /// Op log for standby recycling (commit_mu_ held). Invariant: contains
-  /// every op with seq greater than the recycle candidate's tag.
-  std::deque<PendingOp> pending_ops_;
-  uint64_t op_seq_ = 0;       // last published op sequence number
-  uint64_t current_tag_ = 0;  // tag of the currently published version
+  /// checkpointing. Readers never take it. Lock order: commit_mu_ before
+  /// meta_mu_ (commits insert registration metadata while holding both).
+  mutable util::Mutex commit_mu_ ACQUIRED_BEFORE(meta_mu_);
+  /// Op log for standby recycling. Invariant: contains every op with seq
+  /// greater than the recycle candidate's tag.
+  std::deque<PendingOp> pending_ops_ GUARDED_BY(commit_mu_);
+  /// Last published op sequence number.
+  uint64_t op_seq_ GUARDED_BY(commit_mu_) = 0;
+  /// Tag of the currently published version.
+  uint64_t current_tag_ GUARDED_BY(commit_mu_) = 0;
   /// Set by the unversioned escape hatches: the current version was
   /// mutated in place, so the parked standby can no longer be caught up
   /// by op replay.
@@ -571,29 +612,34 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   // Engine-level metadata: append-only, values node-stable once inserted
   // (GetObject/GetOntology hand out long-lived pointers). Guarded by
   // meta_mu_; writers additionally serialize on commit_mu_.
-  mutable std::mutex meta_mu_;
-  std::map<std::string, ontology::Ontology, std::less<>> ontologies_;
-  std::map<uint64_t, ObjectInfo> objects_;
-  std::map<std::string, std::map<relational::RowId, uint64_t>, std::less<>> object_by_row_;
-  uint64_t next_object_id_ = 1;
+  mutable util::Mutex meta_mu_;
+  std::map<std::string, ontology::Ontology, std::less<>> ontologies_
+      GUARDED_BY(meta_mu_);
+  std::map<uint64_t, ObjectInfo> objects_ GUARDED_BY(meta_mu_);
+  std::map<std::string, std::map<relational::RowId, uint64_t>, std::less<>>
+      object_by_row_ GUARDED_BY(meta_mu_);
+  uint64_t next_object_id_ GUARDED_BY(meta_mu_) = 1;
 
   // Durability state (all inert on non-durable engines: env_ == nullptr).
-  // Mutated under commit_mu_ (or during boot/hydration, before the engine
-  // is shared).
+  // env_/durable_dir_/wal_options_ are set once during boot, before the
+  // engine is shared, and immutable after — read without a lock. The WAL
+  // handle and poison flag are commit-side state; generation_ is atomic so
+  // generation() stays a lock-free [any-thread] read.
   persist::Env* env_ = nullptr;  // borrowed (Default() or a test env)
   std::string durable_dir_;
   persist::WalOptions wal_options_;
-  std::unique_ptr<persist::WalWriter> wal_;
-  bool wal_failed_ = false;
-  uint64_t generation_ = 0;
+  std::unique_ptr<persist::WalWriter> wal_ GUARDED_BY(commit_mu_);
+  bool wal_failed_ GUARDED_BY(commit_mu_) = false;
+  std::atomic<uint64_t> generation_{0};
 
   // Deferred recovery state (mutable: hydration is triggered from const
   // entry points; see EnsureHydrated). hydration_pending_ is the lone
   // cross-thread signal; the rest is guarded by hydrate_mu_.
   mutable std::atomic<bool> hydration_pending_{false};
-  mutable std::mutex hydrate_mu_;
-  mutable std::unique_ptr<PendingRestore> pending_restore_;
-  mutable util::Status hydrate_status_;  // sticky first hydration failure
+  mutable util::Mutex hydrate_mu_;
+  mutable std::unique_ptr<PendingRestore> pending_restore_ GUARDED_BY(hydrate_mu_);
+  /// Sticky first hydration failure.
+  mutable util::Status hydrate_status_ GUARDED_BY(hydrate_mu_);
 };
 
 }  // namespace core

@@ -201,7 +201,7 @@ Status Graphitti::SaveTo(const std::string& directory) const {
   uint64_t next_object_id_copy = 0;
   std::vector<std::pair<std::string, std::string>> ontology_dumps;
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     objects_copy.insert(objects_.begin(), objects_.end());
     next_object_id_copy = next_object_id_;
     ontology_dumps.reserve(ontologies_.size());
@@ -329,7 +329,7 @@ util::Status Graphitti::RestoreObjectInto(EngineState& state, uint64_t object_id
   if (state.catalog.GetTable(table) == nullptr) {
     return Status::NotFound("table '" + std::string(table) + "' not found");
   }
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  util::MutexLock meta(meta_mu_);
   if (objects_.count(object_id) > 0) {
     return Status::AlreadyExists("object id " + std::to_string(object_id) + " in use");
   }
@@ -348,10 +348,10 @@ util::Status Graphitti::RestoreObjectInto(EngineState& state, uint64_t object_id
 util::Status Graphitti::RestoreObject(uint64_t object_id, std::string_view table,
                                       relational::RowId row, std::string label) {
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  util::MutexLock commit(commit_mu_);
   if (object_id == 0) return Status::InvalidArgument("object id 0 is reserved");
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     if (objects_.count(object_id) > 0) {
       return Status::AlreadyExists("object id " + std::to_string(object_id) + " in use");
     }
@@ -369,7 +369,7 @@ util::Status Graphitti::RestoreObject(uint64_t object_id, std::string_view table
   };
   GRAPHITTI_RETURN_NOT_OK(op(*scratch));
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     ObjectInfo info;
     info.id = object_id;
     info.table = std::string(table);
@@ -593,7 +593,7 @@ util::Status Graphitti::ValidateIntegrity() const {
   const auto& state = *static_cast<const EngineState*>(pin.get());
   std::map<uint64_t, ObjectInfo> objects_copy;
   {
-    std::lock_guard<std::mutex> meta(meta_mu_);
+    util::MutexLock meta(meta_mu_);
     objects_copy.insert(objects_.begin(), objects_.end());
   }
   // 1. Every referent is backed by the right index entry (spatial kinds) and

@@ -60,9 +60,12 @@ struct WalOptions {
   int interval_ms = 10;
 };
 
-/// Appender. Not thread-safe: the engine calls it while holding its
-/// commit mutex, which already serializes writers (readers are never
-/// involved — they run against pinned engine versions).
+/// Appender. Not thread-safe and deliberately mutex-free: the engine is
+/// the only caller and reaches it exclusively through its `wal_` handle,
+/// which is GUARDED_BY(commit_mu_) in core/graphitti.h — so the clang
+/// thread-safety lane proves every append happens under the commit mutex
+/// without this class owning a second (redundant) capability. Standalone
+/// users (tests, tools) must provide their own serialization.
 class WalWriter {
  public:
   /// Creates `path` with a fresh header (generation `generation`), or reopens

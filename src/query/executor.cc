@@ -142,6 +142,7 @@ NodeKind ToNodeKind(VarKind kind) {
 /// Borrowed referent pointers memoized per execution, so constraint
 /// evaluation and candidate filters pay one store lookup per distinct
 /// referent instead of one per binding row.
+// lint: allow-map(per-query cache; hashed, sized by candidate count)
 using ReferentCache = std::unordered_map<uint64_t, const annotation::Referent*>;
 
 /// Streams every candidate for `info` — its typed subquery with all
@@ -404,6 +405,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   // 1. Collect variables, infer kinds, split clauses into per-variable
   //    subqueries and inter-variable edges (the §II decomposition).
   // ------------------------------------------------------------------
+  // lint: allow-map(query vars: a handful per statement, ordered iteration)
   std::map<std::string, VarInfo> vars;
   std::vector<EdgeInfo> edges;
 
@@ -671,6 +673,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   result.target = query.target;
   ExecutionStats& stats = result.stats;
 
+  // lint: allow-map(result columns: a handful per query, ordered header)
   std::map<std::string, size_t> var_column;
   BindingTable table;
 
@@ -703,7 +706,9 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     // Single-edge join domains memoized per level: many rows bind the same
     // node in the join column, and the filtered+sorted neighbour domain is
     // a pure function of that node.
+    // lint: allow-map(per-query memo; hashed, bounded by visited nodes)
     std::unordered_map<NodeRef, std::vector<NodeRef>, NodeRefHash> domain_cache;
+    // lint: allow-map(per-query memo; hashed, bounded by visited nodes)
     std::unordered_map<ReachKey, std::unordered_set<NodeRef, NodeRefHash>, ReachKeyHash>
         reach_cache;
     std::vector<NodeRef> reach_buf;

@@ -68,6 +68,7 @@ class CoordinateSystemRegistry {
   std::vector<CoordinateSystem> All() const;
 
  private:
+  // lint: allow-map(registry: few entries, cold after setup, het. find)
   std::map<std::string, CoordinateSystem, std::less<>> systems_;
 };
 

@@ -129,7 +129,9 @@ class IndexManager {
   RTree* GetOrCreateRTree(std::string_view canonical, int dims);
 
   CoordinateSystemRegistry coord_systems_;
+  // lint: allow-map(per-domain registry: few domains, lookup is cold path)
   std::map<std::string, std::unique_ptr<IntervalTree>, std::less<>> interval_trees_;
+  // lint: allow-map(per-domain registry: few domains, lookup is cold path)
   std::map<std::string, std::unique_ptr<RTree>, std::less<>> rtrees_;
   size_t small_batch_factor_ = 16;
 };

@@ -41,8 +41,9 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/thread_annotations.h"
 
 namespace graphitti {
 namespace util {
@@ -61,7 +62,11 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
 
  public:
   EpochManager() = default;
+  // Destruction races nothing by contract (the last shared_ptr owner is
+  // the only thread left), but the analysis cannot know that; take the
+  // lock anyway — it is uncontended and keeps the walk provable.
   ~EpochManager() {
+    MutexLock lock(mu_);
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next;
@@ -114,7 +119,7 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
   /// the manager mutex (a few dozen instructions). The manager must be
   /// shared_ptr-owned (see contract notes).
   Pin PinCurrent() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     assert(current_ != nullptr && "EpochManager: nothing published yet");
     current_->pins++;
     return Pin(shared_from_this(), current_);
@@ -128,7 +133,7 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
   void Publish(std::unique_ptr<Versioned> state, uint64_t tag) {
     Node* dead = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       Node* node = new Node;
       node->state = std::move(state);
       node->epoch = ++epoch_;
@@ -161,7 +166,7 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
   std::unique_ptr<Versioned> TakeRecyclable(uint64_t* tag) {
     Node* taken = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       Node* cand = recycle_candidate_;
       if (cand == nullptr || cand->pins != 0) return nullptr;
       recycle_candidate_ = nullptr;
@@ -179,7 +184,7 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
   void DropRecyclable() {
     Node* dead = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       Node* cand = recycle_candidate_;
       recycle_candidate_ = nullptr;
       if (cand != nullptr) {
@@ -194,30 +199,37 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
   /// mutex holder is the only thread for which this cannot be superseded
   /// concurrently), or single-threaded use.
   Versioned* Current() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return current_ != nullptr ? current_->state.get() : nullptr;
   }
 
   bool has_current() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return current_ != nullptr;
   }
 
   /// Number of versions alive (current + pinned stragglers + parked
   /// standby). Test/diagnostic surface for the reclamation invariants.
   size_t live_versions() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t n = 0;
     for (Node* node = head_; node != nullptr; node = node->next) n++;
     return n;
   }
 
   uint64_t current_epoch() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return epoch_;
   }
 
  private:
+  // Every mutable Node field (pins, recyclable, prev/next links) is
+  // guarded by the owning manager's mu_; that relation is not expressible
+  // as a GUARDED_BY on the inner struct (a Node cannot name its manager),
+  // so it is enforced one level up: every function that touches a Node
+  // either holds mu_ inline or carries REQUIRES(mu_). `state` and `epoch`
+  // are written once before the node is published and immutable after —
+  // Pin::get()/epoch() read them lock-free by design.
   struct Node {
     std::unique_ptr<Versioned> state;
     uint64_t epoch = 0;
@@ -229,14 +241,14 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
   };
 
   void Ref(Node* node) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     node->pins++;
   }
 
   void Unref(Node* node) {
     Node* dead = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       assert(node->pins > 0);
       node->pins--;
       // Reclaim on drain: superseded, not parked for recycling, no pins.
@@ -249,7 +261,7 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
 
   /// Unlink from the version list. Caller holds mu_ and deletes outside it
   /// (version destructors can be heavy — whole engine states).
-  Node* Detach(Node* node) {
+  Node* Detach(Node* node) REQUIRES(mu_) {
     if (node->prev != nullptr) node->prev->next = node->next;
     if (node->next != nullptr) node->next->prev = node->prev;
     if (head_ == node) head_ = node->next;
@@ -259,12 +271,12 @@ class EpochManager : public std::enable_shared_from_this<EpochManager> {
     return node;
   }
 
-  std::mutex mu_;
-  Node* head_ = nullptr;  // oldest
-  Node* tail_ = nullptr;  // newest
-  Node* current_ = nullptr;
-  Node* recycle_candidate_ = nullptr;
-  uint64_t epoch_ = 0;
+  Mutex mu_;
+  Node* head_ GUARDED_BY(mu_) = nullptr;  // oldest
+  Node* tail_ GUARDED_BY(mu_) = nullptr;  // newest
+  Node* current_ GUARDED_BY(mu_) = nullptr;
+  Node* recycle_candidate_ GUARDED_BY(mu_) = nullptr;
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
 };
 
 using EpochPin = EpochManager::Pin;

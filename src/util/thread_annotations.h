@@ -1,0 +1,168 @@
+// Clang Thread Safety Analysis surface for the concurrent core.
+//
+// Two layers:
+//  1. The attribute macro set (CAPABILITY, GUARDED_BY, REQUIRES, ...):
+//     thin wrappers over Clang's `capability` attribute family that
+//     compile to nothing on non-Clang compilers (GCC builds them away;
+//     the CI static-analysis lane builds with clang and
+//     -Werror=thread-safety so a violated contract fails the build).
+//  2. Annotated synchronization types (Mutex, MutexLock, CondVar): the
+//     std primitives shipped by libstdc++ carry no annotations, so code
+//     that wants compile-time checking must lock through these wrappers
+//     instead. They are layout- and behavior-identical to the std types
+//     they wrap — zero runtime cost, no semantic drift between the
+//     annotated and plain builds.
+//
+// Annotation cheat-sheet (full rules: docs/STATIC_ANALYSIS.md):
+//   Mutex mu_;
+//   int counter_ GUARDED_BY(mu_);        // access requires mu_ held
+//   void Compact() REQUIRES(mu_);        // caller must hold mu_
+//   void Tick() { MutexLock lock(mu_); counter_++; }
+//
+// Contract notes:
+//  - The analysis is intraprocedural: lock state does not flow into
+//    lambdas or std::function bodies. Keep guarded accesses in the
+//    function that holds the lock, or pass the data (not the lock) in.
+//  - Condition-variable predicates must be written as explicit
+//    `while (!pred) cv.Wait(mu);` loops for the same reason — a
+//    predicate lambda would be analyzed lock-free and warn.
+//  - NO_THREAD_SAFETY_ANALYSIS is a per-function escape hatch for code
+//    that is correct for reasons the analysis cannot see. Every use must
+//    carry a justifying comment; the CI lane forbids file-level or
+//    blanket suppressions.
+#ifndef GRAPHITTI_UTIL_THREAD_ANNOTATIONS_H_
+#define GRAPHITTI_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define GRAPHITTI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GRAPHITTI_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lock/capability ("mutex" names the kind in
+// diagnostics).
+#define CAPABILITY(x) GRAPHITTI_THREAD_ANNOTATION(capability(x))
+
+// A RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#define SCOPED_CAPABILITY GRAPHITTI_THREAD_ANNOTATION(scoped_lockable)
+
+// Data member: may only be read/written while the given capability is
+// held (GUARDED_BY) or while the capability guarding the pointee is held
+// (PT_GUARDED_BY, for pointers/smart pointers).
+#define GUARDED_BY(x) GRAPHITTI_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) GRAPHITTI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering documentation; clang checks cycles among annotated pairs.
+#define ACQUIRED_BEFORE(...) GRAPHITTI_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) GRAPHITTI_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function contract: the caller must hold the capability (exclusively /
+// shared) on entry, and it is still held on exit.
+#define REQUIRES(...) GRAPHITTI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  GRAPHITTI_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the capability itself (not held on entry).
+#define ACQUIRE(...) GRAPHITTI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) GRAPHITTI_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) GRAPHITTI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) GRAPHITTI_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) GRAPHITTI_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// Function tries to acquire and reports success as `ret`.
+#define TRY_ACQUIRE(...) GRAPHITTI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  GRAPHITTI_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// Function must be called with the capability NOT held (non-reentrancy).
+#define EXCLUDES(...) GRAPHITTI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (tells the analysis so).
+#define ASSERT_CAPABILITY(x) GRAPHITTI_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) GRAPHITTI_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// Function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) GRAPHITTI_THREAD_ANNOTATION(lock_returned(x))
+
+// Per-function opt-out. Must carry a justifying comment at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS GRAPHITTI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace graphitti {
+namespace util {
+
+class CondVar;
+
+/// std::mutex with the capability annotation. Lowercase lock()/unlock()
+/// keep it a standard Lockable, so std::lock_guard<Mutex> also works —
+/// but prefer MutexLock, which the analysis tracks as a scope.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope over Mutex (std::lock_guard with the scoped-capability
+/// annotation).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. Wait takes the held Mutex
+/// explicitly so the analysis can check the caller holds it; predicates
+/// are the caller's explicit `while` loop (see header comment). Runtime
+/// behavior is exactly std::condition_variable on the wrapped std::mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's scope still owns the reacquired lock
+  }
+
+  /// Wait with a timeout; returns like std::cv_status (timeout/no_timeout).
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lk, timeout);
+    lk.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace graphitti
+
+#endif  // GRAPHITTI_UTIL_THREAD_ANNOTATIONS_H_
