@@ -1,0 +1,193 @@
+// Governance overhead and behavior: the unbounded query/commit series here
+// measure what resource-governance checks (deadlines, cancellation, memory
+// budgets, admission) cost on the hot paths when nothing is constrained —
+// the acceptance bar is <2% on the query series vs the committed
+// BENCH_governance_pre.json baseline captured before the checks existed.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "core/graphitti.h"
+#include "core/workload.h"
+#include "query/executor.h"
+#include "util/admission.h"
+#include "util/governance.h"
+
+namespace {
+
+using graphitti::core::GenerateInfluenzaStudy;
+using graphitti::core::Graphitti;
+using graphitti::core::InfluenzaParams;
+
+Graphitti& FluInstance(size_t n) {
+  static std::map<size_t, std::unique_ptr<Graphitti>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto g = std::make_unique<Graphitti>();
+    InfluenzaParams params;
+    params.num_annotations = n;
+    params.protease_fraction = 0.15;
+    if (!GenerateInfluenzaStudy(g.get(), params).ok()) std::abort();
+    it = cache.emplace(n, std::move(g)).first;
+  }
+  return *it->second;
+}
+
+// The flagship fig3 join query, unbounded: the heaviest per-row work the
+// executor does, so per-row governance checks are maximally amortized here.
+void BM_Governance_ProteaseGraphQuery(benchmark::State& state) {
+  Graphitti& g = FluInstance(static_cast<size_t>(state.range(0)));
+  const std::string query = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s1 DOMAIN "flu:seg2" ;
+      ?s2 IS REFERENT ; ?s2 DOMAIN "flu:seg2" ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } CONSTRAIN consecutive(?s1, ?s2), disjoint(?s1, ?s2) LIMIT 10 PAGE 1)";
+  size_t graphs = 0;
+  for (auto _ : state) {
+    auto r = g.Query(query);
+    if (r.ok()) graphs += r->items.size();
+  }
+  benchmark::DoNotOptimize(graphs);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Governance_ProteaseGraphQuery)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Cheap streaming query: the least work per candidate, so this is the series
+// where a per-candidate check would show up worst.
+void BM_Governance_KeywordScan(benchmark::State& state) {
+  Graphitti& g = FluInstance(static_cast<size_t>(state.range(0)));
+  size_t items = 0;
+  for (auto _ : state) {
+    auto r = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" }");
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Governance_KeywordScan)->Arg(1000)->Arg(5000);
+
+// Wide unconstrained enumeration: many rows examined relative to emitted
+// items, stressing the join-loop check placement.
+void BM_Governance_WideJoin(benchmark::State& state) {
+  Graphitti& g = FluInstance(static_cast<size_t>(state.range(0)));
+  const std::string query = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s1 DOMAIN "flu:seg2" ;
+      ?s2 IS REFERENT ; ?s2 DOMAIN "flu:seg2" ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } LIMIT 10 PAGE 1)";
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = g.Query(query);
+    if (r.ok()) rows += r->items.size();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.counters["annotations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Governance_WideJoin)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// Commit path: one annotation per iteration on an in-memory engine; the
+// admission wrap (slot acquire/release) rides on every commit.
+void BM_Governance_CommitThroughput(benchmark::State& state) {
+  auto g = std::make_unique<Graphitti>();
+  InfluenzaParams params;
+  params.num_annotations = 64;
+  if (!GenerateInfluenzaStudy(g.get(), params).ok()) std::abort();
+  size_t i = 0;
+  for (auto _ : state) {
+    graphitti::annotation::AnnotationBuilder b;
+    b.Title("gov-" + std::to_string(i)).Creator("bench").Body(
+        "governance commit throughput probe");
+    b.MarkInterval("flu:seg4", static_cast<int64_t>(i % 1900),
+                   static_cast<int64_t>(i % 1900) + 5);
+    auto id = g->Commit(b);
+    if (!id.ok()) std::abort();
+    ++i;
+  }
+  state.counters["commits"] = static_cast<double>(i);
+}
+BENCHMARK(BM_Governance_CommitThroughput);
+
+// --- Governed-path series (added with the governance machinery; no _pre
+// --- baseline exists for these, they track the governed paths themselves).
+
+// Abort latency: the wide join under a deadline that always expires mid-run.
+// What's measured is how long a doomed query takes to notice and return
+// kDeadlineExceeded — the stride-amortized check interval plus unwind cost,
+// not the full join time (~34ms unbounded at this size).
+void BM_Governance_DeadlineBoundedJoin(benchmark::State& state) {
+  Graphitti& g = FluInstance(static_cast<size_t>(state.range(0)));
+  const std::string query = R"(FIND GRAPH WHERE {
+      ?a1 CONTAINS "protease" ; ?a2 CONTAINS "protease" ;
+      ?s1 IS REFERENT ; ?s1 DOMAIN "flu:seg2" ;
+      ?s2 IS REFERENT ; ?s2 DOMAIN "flu:seg2" ;
+      ?a1 ANNOTATES ?s1 ; ?a2 ANNOTATES ?s2 ;
+    } LIMIT 10 PAGE 1)";
+  size_t stops = 0;
+  for (auto _ : state) {
+    graphitti::query::ExecutorOptions opts;
+    opts.deadline = graphitti::util::Deadline::After(std::chrono::microseconds(100));
+    auto r = g.Query(query, opts);
+    if (!r.ok() && r.status().IsDeadlineExceeded()) ++stops;
+  }
+  state.counters["deadline_stops"] = static_cast<double>(stops);
+}
+BENCHMARK(BM_Governance_DeadlineBoundedJoin)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// Fully governed scan: generous deadline + live token + admission ticket on
+// every query. Compare against BM_Governance_KeywordScan/1000 to read the
+// total per-query cost of engaging the whole governance stack.
+void BM_Governance_GovernedKeywordScan(benchmark::State& state) {
+  static Graphitti* g = [] {
+    auto* engine = new Graphitti();
+    InfluenzaParams params;
+    params.num_annotations = 1000;
+    params.protease_fraction = 0.15;
+    if (!GenerateInfluenzaStudy(engine, params).ok()) std::abort();
+    graphitti::util::AdmissionOptions admission;
+    admission.max_concurrent_reads = 8;
+    admission.max_concurrent_commits = 2;
+    engine->ConfigureAdmission(admission);
+    return engine;
+  }();
+  graphitti::util::CancellationToken token = graphitti::util::CancellationToken::Create();
+  size_t items = 0;
+  for (auto _ : state) {
+    graphitti::query::ExecutorOptions opts;
+    opts.deadline = graphitti::util::Deadline::After(std::chrono::seconds(60));
+    opts.cancel = token;
+    auto r = g->Query("FIND CONTENTS WHERE { ?a CONTAINS \"protease\" }", opts);
+    if (r.ok()) items += r->items.size();
+  }
+  benchmark::DoNotOptimize(items);
+  state.counters["annotations"] = 1000.0;
+}
+BENCHMARK(BM_Governance_GovernedKeywordScan)->Arg(1000);
+
+// Admission contention: more threads than read slots, so every iteration's
+// Admit either takes a slot immediately or waits in the bounded queue for a
+// concurrent Release. Measures the slot+queue handoff cost under pressure.
+void BM_Governance_AdmissionOversubscription(benchmark::State& state) {
+  static graphitti::util::AdmissionController* ctrl = [] {
+    graphitti::util::AdmissionOptions opts;
+    opts.max_concurrent_reads = 2;
+    opts.max_queued = 16;
+    opts.queue_timeout = std::chrono::seconds(10);
+    return new graphitti::util::AdmissionController(opts);
+  }();
+  size_t admitted = 0;
+  for (auto _ : state) {
+    graphitti::util::AdmissionController::Ticket ticket;
+    if (ctrl->Admit(graphitti::util::AdmissionController::WorkClass::kRead, &ticket).ok()) {
+      ++admitted;
+    }
+    benchmark::DoNotOptimize(ticket);
+  }
+  benchmark::DoNotOptimize(admitted);
+}
+BENCHMARK(BM_Governance_AdmissionOversubscription)->Threads(4)->UseRealTime();
+
+}  // namespace

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/dense_set.h"
+#include "util/governance.h"
 #include "util/result.h"
 
 namespace graphitti {
@@ -130,6 +131,17 @@ struct ConnectOptions {
   /// Pool supplying helper threads when workers > 1. nullptr falls back
   /// to util::ThreadPool::Shared().
   util::ThreadPool* pool = nullptr;
+  /// Wall-clock budget for Connect calls: checked between Prim rounds and
+  /// pair-resolution sweeps (the coarse units of work), returning
+  /// kDeadlineExceeded without perturbing tree state — a later retry on the
+  /// same batch resumes from the rings already expanded. Default infinite.
+  util::Deadline deadline;
+  /// Cooperative cancellation; same check sites as `deadline`, kCancelled.
+  util::CancellationToken cancel;
+  /// Byte budget for this batch's BFS tree storage (record arrays + ring
+  /// order vectors across all trees). 0 = unlimited. Exceeding it makes
+  /// Connect return kResourceExhausted at the next sweep.
+  size_t memory_budget_bytes = 0;
 };
 
 /// Directed labeled multigraph with interned labels and per-node adjacency

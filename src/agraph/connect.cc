@@ -354,6 +354,25 @@ util::Result<SubGraph> ConnectBatch::Connect(const std::vector<NodeRef>& termina
     pool = options_.pool != nullptr ? options_.pool : util::ThreadPool::Shared();
   }
 
+  // Governance: checked between Prim rounds and pair-resolution sweeps —
+  // the coarse units of work (each sweep may expand several BFS rings). An
+  // abort returns through the normal error path without touching tree
+  // state, so a retry on this batch resumes from the rings already built.
+  util::GovernanceGate gate(options_.deadline, options_.cancel);
+  auto check_governance = [&]() -> util::Status {
+    GRAPHITTI_RETURN_NOT_OK(gate.CheckNow());
+    if (options_.memory_budget_bytes != 0) {
+      size_t bytes = 0;
+      for (const auto& [idx, tree] : st.trees) bytes += State::TreeBytes(*tree);
+      if (bytes > options_.memory_budget_bytes) {
+        return util::Status::ResourceExhausted(
+            "connect batch exceeded memory budget (" +
+            std::to_string(options_.memory_budget_bytes) + " bytes)");
+      }
+    }
+    return util::Status::OK();
+  };
+
   // One lazy-resolution sweep over the current round's pairs: every
   // unresolved pair whose lower bound could still beat `bound` scans one
   // more synchronized level (expanding both trees there first — distinct
@@ -428,6 +447,7 @@ util::Result<SubGraph> ConnectBatch::Connect(const std::vector<NodeRef>& termina
   st.connected.clear();
   st.connected.push_back(st.term_idx[0]);
   while (!st.missing.empty()) {
+    GRAPHITTI_RETURN_NOT_OK(check_governance());
     // Distance-network Prim step: attach the missing terminal with the
     // cheapest connection to any absorbed terminal. The winner ties-break
     // on (distance, missing terminal, absorbed terminal, meet node) — all
@@ -466,6 +486,7 @@ util::Result<SubGraph> ConnectBatch::Connect(const std::vector<NodeRef>& termina
         }
       }
       if (!advance_pairs(best_d)) break;
+      GRAPHITTI_RETURN_NOT_OK(check_governance());
     }
     if (best_t == kNone) {
       return util::Status::NotFound(

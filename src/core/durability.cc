@@ -25,6 +25,8 @@
 #include "core/durability.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 
 #include "persist/format.h"
@@ -357,10 +359,14 @@ std::string EncodeDerivedCoordSystem(
 
 Status Graphitti::WalGuard() const {
   if (env_ != nullptr && wal_failed_) {
-    return Status::Internal(
+    // kUnavailable: the refusal is retryable by design — reads keep
+    // serving, and a successful Checkpoint (or TryHeal) restores durable
+    // mutations. Health() reports the mode and this rejection count.
+    gov_counters_.degraded_rejections.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
         "durable engine is read-only: an earlier WAL append failed and the "
-        "log may be behind in-memory state; Checkpoint() to re-establish "
-        "durability");
+        "log may be behind in-memory state; Checkpoint() (or TryHeal) to "
+        "re-establish durability");
   }
   return Status::OK();
 }
@@ -368,11 +374,16 @@ Status Graphitti::WalGuard() const {
 Status Graphitti::WalAppend(persist::WalRecordType type, std::string payload) {
   if (env_ == nullptr || wal_ == nullptr) return Status::OK();
   Status s = wal_->AppendRecord(type, payload);
-  // Any failure poisons: the record may be torn on disk (recovery will
+  // Any failure degrades: the record may be torn on disk (recovery will
   // truncate it), so appending further records would leave a gap between
   // durable and in-memory state. WalGuard() refuses mutations until a
-  // successful Checkpoint writes a fresh snapshot + empty WAL.
-  if (!s.ok()) wal_failed_ = true;
+  // successful Checkpoint writes a fresh snapshot + empty WAL. The atomic
+  // mirror (degraded_) makes the mode observable lock-free via Health().
+  if (!s.ok()) {
+    wal_failed_ = true;
+    degraded_.store(true, std::memory_order_release);
+    gov_counters_.wal_failures.fetch_add(1, std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -628,6 +639,15 @@ std::string Graphitti::EncodeSnapshotBody(const EngineState& state) const {
 
 Status Graphitti::RestoreFromSnapshotBody(std::string_view body, EngineState& state) {
   Decoder dec(body);
+  // Cooperative cancellation, checked every 1024 items of the bulk loops.
+  // The caller owns rollback: a kCancelled return means `state` (and the
+  // engine metadata the restore already touched) is half-built.
+  auto hydrate_check = [this](uint64_t i) -> Status {
+    if ((i & 1023) == 0 && hydrate_cancel_.cancelled()) {
+      return Status::Cancelled("hydration cancelled");
+    }
+    return Status::OK();
+  };
 
   // Boot/recovery mode: `state` is not yet observable by any reader, so
   // it is rebuilt in place through the substrates directly (never the
@@ -676,6 +696,7 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body, EngineState& st
     std::vector<RowId>& rids = rows_by_ordinal[name];
     rids.reserve(nrows);
     for (uint64_t r = 0; r < nrows; ++r) {
+      GRAPHITTI_RETURN_NOT_OK(hydrate_check(r));
       Row row;
       row.reserve(ncols);
       for (size_t c = 0; c < ncols; ++c) {
@@ -747,6 +768,7 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body, EngineState& st
   std::vector<AnnotationStore::RestoredReferent> referents;
   referents.reserve(nrefs);
   for (uint64_t i = 0; i < nrefs; ++i) {
+    GRAPHITTI_RETURN_NOT_OK(hydrate_check(i));
     AnnotationStore::RestoredReferent rr;
     GRAPHITTI_ASSIGN_OR_RETURN(rr.ref.id, dec.GetU64());
     GRAPHITTI_ASSIGN_OR_RETURN(rr.ref.object_id, dec.GetU64());
@@ -762,6 +784,7 @@ Status Graphitti::RestoreFromSnapshotBody(std::string_view body, EngineState& st
   std::vector<AnnotationStore::RestoredAnnotation> annotations;
   annotations.reserve(nanns);
   for (uint64_t i = 0; i < nanns; ++i) {
+    GRAPHITTI_RETURN_NOT_OK(hydrate_check(i));
     AnnotationStore::RestoredAnnotation ra;
     GRAPHITTI_ASSIGN_OR_RETURN(ra.ann.id, dec.GetU64());
     GRAPHITTI_RETURN_NOT_OK(DecodeDublinCore(&dec, &ra.ann.dc));
@@ -809,6 +832,10 @@ Result<std::unique_ptr<Graphitti>> Graphitti::RecoverBinary(
     persist::Env* env, const std::string& directory, const DurabilityOptions& options,
     persist::RecoveryPlan plan, bool attach_wal) {
   auto g = std::make_unique<Graphitti>();
+  // Installed before any restore work so both eager and deferred
+  // hydration honour it (an eager open cancelled mid-restore simply fails
+  // with kCancelled and the engine is discarded).
+  g->hydrate_cancel_ = options.hydrate_cancel;
   // The WAL is read (and its torn tail identified) now in either mode:
   // every crash-safety decision happens at open. A torn tail was already
   // cut at the first bad length/CRC; everything before it is a committed
@@ -867,6 +894,23 @@ Result<std::unique_ptr<Graphitti>> Graphitti::RecoverBinary(
   return g;
 }
 
+void Graphitti::DiscardPartialHydration() {
+  // Only reachable from HydrateNow with hydrate_mu_ held and hydration
+  // still pending: every public entry point funnels through EnsureHydrated
+  // and is blocked on that lock, so the half-built initial version has no
+  // observers. Replace it wholesale and reset the engine metadata the
+  // restore touched (ontologies, object registry) to boot state — no
+  // stable pointers have been handed out yet.
+  auto fresh = std::make_unique<EngineState>();
+  fresh->InstallBuiltins();
+  epochs_->Publish(std::move(fresh), /*tag=*/0);
+  util::MutexLock meta(meta_mu_);
+  ontologies_.clear();
+  objects_.clear();
+  object_by_row_.clear();
+  next_object_id_ = 1;
+}
+
 Status Graphitti::HydrateNow() const {
   // The deferred-recovery members (hydrate_mu_, pending_restore_,
   // hydrate_status_, hydration_pending_) are all mutable precisely so this
@@ -889,11 +933,23 @@ Status Graphitti::HydrateNow() const {
   if (stash->has_snapshot) st = self->RestoreFromSnapshotBody(stash->snapshot_body, state);
   if (st.ok()) {
     for (const persist::WalRecord& rec : stash->wal_records) {
+      if (hydrate_cancel_.cancelled()) {
+        st = Status::Cancelled("hydration cancelled");
+        break;
+      }
       st = self->ApplyWalRecord(rec, state);
       if (!st.ok()) break;
     }
   }
   if (!st.ok()) {
+    if (st.IsCancelled()) {
+      // Cancellation is retryable, never sticky: throw away the half-built
+      // state wholesale, put the stash back, and leave hydration pending.
+      // Reset() on the token + any public call retries from scratch.
+      self->DiscardPartialHydration();
+      pending_restore_ = std::move(stash);
+      return st;
+    }
     // Should be unreachable for a CRC-clean snapshot + settled WAL; if it
     // happens, poison rather than serve the partial state.
     hydrate_status_ = st;
@@ -955,12 +1011,59 @@ Status Graphitti::Checkpoint() {
   // The new snapshot captures all in-memory state, including anything a
   // failed append never made durable — the WAL is whole again.
   wal_failed_ = false;
+  if (degraded_.exchange(false, std::memory_order_acq_rel)) {
+    gov_counters_.heals.fetch_add(1, std::memory_order_relaxed);
+  }
   if (old_gen > 0) {
     (void)env_->RemoveFile(durable_dir_ + "/" + persist::SnapshotFileName(old_gen));
   }
   if (!old_wal_path.empty()) (void)env_->RemoveFile(old_wal_path);
   (void)env_->SyncDir(durable_dir_);
   return Status::OK();
+}
+
+Status Graphitti::TryHeal(size_t max_attempts, std::chrono::milliseconds initial_backoff) {
+  if (env_ == nullptr) {
+    return Status::Unsupported("TryHeal() requires an OpenDurable engine");
+  }
+  if (!degraded_.load(std::memory_order_acquire)) return Status::OK();
+  Status last = Status::OK();
+  std::chrono::milliseconds backoff = initial_backoff;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Backoff happens with no engine lock held: readers and other
+      // writers proceed normally between attempts.
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    last = Checkpoint();
+    if (last.ok()) return Status::OK();
+  }
+  return last;
+}
+
+HealthSnapshot Graphitti::Health() const {
+  HealthSnapshot h;
+  h.durable = IsDurable();
+  h.mode = degraded_.load(std::memory_order_acquire) ? EngineMode::kReadOnly
+                                                     : EngineMode::kServing;
+  h.hydration_pending = hydration_pending_.load(std::memory_order_acquire);
+  h.generation = generation();
+  h.wal_failures = gov_counters_.wal_failures.load(std::memory_order_relaxed);
+  h.degraded_rejections =
+      gov_counters_.degraded_rejections.load(std::memory_order_relaxed);
+  h.heals = gov_counters_.heals.load(std::memory_order_relaxed);
+  h.deadline_exceeded =
+      gov_counters_.deadline_exceeded.load(std::memory_order_relaxed);
+  h.cancelled = gov_counters_.cancelled.load(std::memory_order_relaxed);
+  h.resource_exhausted =
+      gov_counters_.resource_exhausted.load(std::memory_order_relaxed);
+  if (admission_ != nullptr) h.admission = admission_->Counters();
+  return h;
+}
+
+void Graphitti::ConfigureAdmission(const util::AdmissionOptions& options) {
+  admission_ = std::make_unique<util::AdmissionController>(options);
 }
 
 }  // namespace core

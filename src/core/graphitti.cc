@@ -509,8 +509,20 @@ util::Result<std::vector<uint64_t>> Graphitti::SearchObjects(
 
 // --- Annotation ---
 
+util::Status Graphitti::AdmitCommit(util::AdmissionController::Ticket* ticket) {
+  if (admission_ == nullptr) return Status::OK();
+  Status admit =
+      admission_->Admit(util::AdmissionController::WorkClass::kCommit, ticket);
+  if (!admit.ok()) {
+    gov_counters_.resource_exhausted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return admit;
+}
+
 util::Result<annotation::AnnotationId> Graphitti::Commit(
     const annotation::AnnotationBuilder& builder) {
+  util::AdmissionController::Ticket ticket;
+  GRAPHITTI_RETURN_NOT_OK(AdmitCommit(&ticket));
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
@@ -532,6 +544,8 @@ util::Result<annotation::AnnotationId> Graphitti::Commit(
 
 util::Result<std::vector<annotation::AnnotationId>> Graphitti::CommitBatch(
     const std::vector<annotation::AnnotationBuilder>& builders) {
+  util::AdmissionController::Ticket ticket;
+  GRAPHITTI_RETURN_NOT_OK(AdmitCommit(&ticket));
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
@@ -555,6 +569,8 @@ util::Result<std::vector<annotation::AnnotationId>> Graphitti::CommitBatch(
 }
 
 util::Status Graphitti::RemoveAnnotation(annotation::AnnotationId id) {
+  util::AdmissionController::Ticket ticket;
+  GRAPHITTI_RETURN_NOT_OK(AdmitCommit(&ticket));
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   util::MutexLock commit(commit_mu_);
   GRAPHITTI_RETURN_NOT_OK(WalGuard());
@@ -595,6 +611,17 @@ util::Result<query::QueryResult> Graphitti::Query(std::string_view query_text) c
 
 util::Result<query::QueryResult> Graphitti::Query(
     std::string_view query_text, const query::ExecutorOptions& options) const {
+  // Admission is decided before any snapshot is pinned, so a shed query
+  // costs nothing but the admission check itself.
+  util::AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    Status admit = admission_->Admit(
+        util::AdmissionController::WorkClass::kRead, &ticket);
+    if (!admit.ok()) {
+      gov_counters_.resource_exhausted.fetch_add(1, std::memory_order_relaxed);
+      return admit;
+    }
+  }
   // Pin once for the whole parse + execute + first-page materialization:
   // the executor sees one commit-consistent version and is never blocked
   // by (or blocks) writers. The pin rides along on the result so page
@@ -611,11 +638,28 @@ util::Result<query::QueryResult> Graphitti::Query(
   ctx.ontologies = &resolver;
   query::Executor executor(ctx, options);
   util::Result<query::QueryResult> result = executor.ExecuteText(query_text);
-  if (result.ok()) result->snapshot = std::move(pin);
+  if (result.ok()) {
+    result->snapshot = std::move(pin);
+  } else if (result.status().IsDeadlineExceeded()) {
+    gov_counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status().IsCancelled()) {
+    gov_counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status().IsResourceExhausted()) {
+    gov_counters_.resource_exhausted.fetch_add(1, std::memory_order_relaxed);
+  }
   return result;
 }
 
 util::Status Graphitti::MaterializePage(query::QueryResult* result, size_t page) const {
+  util::AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    Status admit = admission_->Admit(
+        util::AdmissionController::WorkClass::kRead, &ticket);
+    if (!admit.ok()) {
+      gov_counters_.resource_exhausted.fetch_add(1, std::memory_order_relaxed);
+      return admit;
+    }
+  }
   GRAPHITTI_RETURN_NOT_OK(EnsureHydrated());
   // Prefer the result's own pinned snapshot (results from Query always
   // carry one); fall back to the current version for hand-built results.

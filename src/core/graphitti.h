@@ -62,6 +62,7 @@
 #define GRAPHITTI_CORE_GRAPHITTI_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
@@ -80,7 +81,9 @@
 #include "query/executor.h"
 #include "relational/catalog.h"
 #include "spatial/index_manager.h"
+#include "util/admission.h"
 #include "util/epoch.h"
+#include "util/governance.h"
 #include "util/thread_annotations.h"
 
 namespace graphitti {
@@ -122,6 +125,35 @@ struct CorrelatedData {
   std::vector<std::string> terms;  // qualified ontology term names
 };
 
+/// Engine operating mode (see Graphitti::Health). kReadOnly is the
+/// explicit degraded-mode contract after a WAL I/O failure: reads keep
+/// serving from published versions, durable mutations are refused with
+/// kUnavailable, and a successful Checkpoint/TryHeal restores kServing.
+enum class EngineMode { kServing = 0, kReadOnly = 1 };
+
+/// Point-in-time health snapshot, collected lock-free (every field is an
+/// atomic mirror; a racing commit may or may not be counted). Counters are
+/// all-time totals for this process's engine instance.
+struct HealthSnapshot {
+  EngineMode mode = EngineMode::kServing;
+  bool durable = false;
+  bool hydration_pending = false;
+  uint64_t generation = 0;
+  /// WAL append/sync failures (each one degrades the engine to kReadOnly).
+  uint64_t wal_failures = 0;
+  /// Durable mutations refused while degraded (retryable kUnavailable).
+  uint64_t degraded_rejections = 0;
+  /// Successful Checkpoints that cleared a degraded mode.
+  uint64_t heals = 0;
+  /// Queries stopped by their deadline / cancellation token / a memory or
+  /// admission budget (kDeadlineExceeded / kCancelled / kResourceExhausted).
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t resource_exhausted = 0;
+  /// Admission-controller totals (zero when admission is unconfigured).
+  util::AdmissionCounters admission;
+};
+
 /// Configuration for a crash-safe (OpenDurable) engine.
 struct DurabilityOptions {
   /// WAL group-commit policy: fsync every record (default) or every
@@ -138,6 +170,12 @@ struct DurabilityOptions {
   /// Set true to move that cost back into OpenDurable (e.g. to front-load
   /// it before serving traffic).
   bool eager_restore = false;
+  /// Cooperative cancellation for the deferred hydration pass (and the
+  /// eager restore): RequestCancel() makes an in-flight snapshot decode /
+  /// WAL replay abort with kCancelled. Cancellation is NOT sticky — the
+  /// verified recovery input is restored, so Reset() + any public call
+  /// retries hydration from the start.
+  util::CancellationToken hydrate_cancel;
 };
 
 class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
@@ -415,6 +453,31 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// mutations until a Checkpoint succeeds.
   util::Status Checkpoint();
 
+  /// [commit] Attempts to restore durable service after a WAL failure:
+  /// retries Checkpoint up to `max_attempts` times with exponential
+  /// backoff (doubling from `initial_backoff`; no engine lock is held
+  /// while backing off, so readers and writers proceed between attempts).
+  /// OK once a Checkpoint succeeds — the engine is serving again — or if
+  /// the engine was never degraded; otherwise the last Checkpoint error.
+  util::Status TryHeal(size_t max_attempts = 5,
+                       std::chrono::milliseconds initial_backoff =
+                           std::chrono::milliseconds(1));
+
+  /// [any-thread] Lock-free health snapshot: operating mode (serving vs
+  /// queryable-read-only degraded mode), durability facts, and the
+  /// governance counters (WAL failures, degraded-mode rejections, heals,
+  /// deadline/cancel/budget query stops, admission totals).
+  HealthSnapshot Health() const;
+
+  /// [boot] Installs engine-level admission control: per-class concurrent
+  /// limits with a bounded, timeout-limited wait queue (see
+  /// util::AdmissionOptions). Query/MaterializePage admit as reads;
+  /// Commit/CommitBatch/RemoveAnnotation admit as commits; a shed request
+  /// is refused with kResourceExhausted before any snapshot is pinned or
+  /// scratch built. Call before the engine is shared across threads;
+  /// unconfigured engines admit everything.
+  void ConfigureAdmission(const util::AdmissionOptions& options);
+
   /// [any-thread] Whether this engine was opened through OpenDurable
   /// (env_ is boot-immutable).
   bool IsDurable() const { return env_ != nullptr; }
@@ -535,6 +598,12 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// the durable log never silently develops a gap; OK on non-durable
   /// engines. Call at the top of every [durable] mutator, before any
   /// state changes.
+  /// Admission gate for commit-class mutators: acquires a kCommit slot
+  /// into *ticket (empty when admission is unconfigured) and tallies
+  /// sheds. Called before commit_mu_ is taken so refused work never
+  /// contends with admitted work.
+  util::Status AdmitCommit(util::AdmissionController::Ticket* ticket);
+
   util::Status WalGuard() const REQUIRES(commit_mu_);
   /// Appends (and per policy fsyncs) one record; a failure poisons the
   /// engine (wal_failed_) until the next successful Checkpoint. No-op on
@@ -586,6 +655,10 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   /// Slow path: decode + replay into the initial version under
   /// hydrate_mu_.
   util::Status HydrateNow() const;
+  /// Rolls a cancelled hydration back to boot state (fresh initial
+  /// version, engine metadata reset) so a retried hydration decodes from
+  /// scratch. Only called from HydrateNow with hydrate_mu_ held.
+  void DiscardPartialHydration();
 
   /// Version publication. Readers pin through it; writers publish under
   /// commit_mu_. shared_ptr-owned so pins on long-lived query results
@@ -631,6 +704,24 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   std::unique_ptr<persist::WalWriter> wal_ GUARDED_BY(commit_mu_);
   bool wal_failed_ GUARDED_BY(commit_mu_) = false;
   std::atomic<uint64_t> generation_{0};
+  // Atomic mirror of wal_failed_ so Health() stays a lock-free
+  // [any-thread] read; wal_failed_ (under commit_mu_) remains the truth
+  // the commit path consults.
+  std::atomic<bool> degraded_{false};
+  // Governance counters, all relaxed: monotonic tallies for Health().
+  // mutable: bumped from const paths (WalGuard via const mutators' guard
+  // checks, Query's stop-status accounting).
+  mutable struct GovCounters {
+    std::atomic<uint64_t> wal_failures{0};
+    std::atomic<uint64_t> degraded_rejections{0};
+    std::atomic<uint64_t> heals{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> resource_exhausted{0};
+  } gov_counters_;
+  // Engine-level admission control; null until ConfigureAdmission ([boot])
+  // installs it, then read-only for the engine's lifetime.
+  std::unique_ptr<util::AdmissionController> admission_;
 
   // Deferred recovery state (mutable: hydration is triggered from const
   // entry points; see EnsureHydrated). hydration_pending_ is the lone
@@ -638,8 +729,12 @@ class Graphitti : public query::ObjectResolver, public query::OntologyResolver {
   mutable std::atomic<bool> hydration_pending_{false};
   mutable util::Mutex hydrate_mu_;
   mutable std::unique_ptr<PendingRestore> pending_restore_ GUARDED_BY(hydrate_mu_);
-  /// Sticky first hydration failure.
+  /// Sticky first hydration failure (cancellation is NOT sticky: a
+  /// cancelled hydration restores pending_restore_ for retry).
   mutable util::Status hydrate_status_ GUARDED_BY(hydrate_mu_);
+  /// Cooperative cancellation for deferred hydration (boot-set from
+  /// DurabilityOptions::hydrate_cancel, immutable after).
+  util::CancellationToken hydrate_cancel_;
 };
 
 }  // namespace core

@@ -28,8 +28,12 @@ std::string ParentDir(const std::string& path) {
 
 namespace {
 
+// errno-class failures (ENOSPC, EIO, EMFILE, ...) are environmental and
+// frequently transient: report them kUnavailable so callers (the WAL
+// degraded-mode machinery in particular) treat them as retryable.
+// Protocol misuse — append/sync on a closed handle — stays kInternal.
 Status Errno(const std::string& op, const std::string& path) {
-  return Status::Internal(op + " failed for '" + path + "': " + std::strerror(errno));
+  return Status::Unavailable(op + " failed for '" + path + "': " + std::strerror(errno));
 }
 
 class PosixWritableFile : public WritableFile {

@@ -20,10 +20,18 @@ class FaultWritableFile : public WritableFile {
     if (it == env_->files_.end()) {
       return Status::Internal("append to removed file '" + path_ + "'");
     }
-    uint64_t granted = env_->GrantWrite(data.size());
+    // Space budget caps the write first (ENOSPC, retryable, no poison);
+    // the crash budget then decides how much of the space-granted prefix
+    // lands (crossing it poisons the env until Crash()).
+    uint64_t space_grant = env_->GrantSpace(data.size());
+    uint64_t granted = env_->GrantWrite(space_grant);
     it->second.data.append(data.data(), static_cast<size_t>(granted));
-    if (granted < data.size()) {
-      return Status::Internal("injected short write on '" + path_ + "'");
+    if (granted < space_grant) {
+      return Status::Unavailable("injected short write on '" + path_ + "'");
+    }
+    if (space_grant < data.size()) {
+      return Status::Unavailable("injected ENOSPC on '" + path_ +
+                                 "': space budget exhausted");
     }
     return Status::OK();
   }
@@ -32,7 +40,7 @@ class FaultWritableFile : public WritableFile {
     GRAPHITTI_RETURN_NOT_OK(env_->CheckWritable());
     if (env_->fail_syncs_ > 0) {
       --env_->fail_syncs_;
-      return Status::Internal("injected fsync failure on '" + path_ + "'");
+      return Status::Unavailable("injected fsync failure on '" + path_ + "'");
     }
     auto it = env_->files_.find(path_);
     if (it == env_->files_.end()) {
@@ -51,7 +59,7 @@ class FaultWritableFile : public WritableFile {
 
 Status FaultInjectionEnv::CheckWritable() const {
   if (poisoned_) {
-    return Status::Internal("filesystem poisoned by injected crash (call Crash())");
+    return Status::Unavailable("filesystem poisoned by injected crash (call Crash())");
   }
   return Status::OK();
 }
@@ -61,6 +69,14 @@ uint64_t FaultInjectionEnv::GrantWrite(uint64_t want) {
   uint64_t granted = std::min(want, left);
   bytes_written_ += granted;
   if (granted < want) poisoned_ = true;
+  return granted;
+}
+
+uint64_t FaultInjectionEnv::GrantSpace(uint64_t want) {
+  if (space_budget_ == UINT64_MAX) return want;
+  uint64_t left = space_budget_ > space_used_ ? space_budget_ - space_used_ : 0;
+  uint64_t granted = std::min(want, left);
+  space_used_ += granted;
   return granted;
 }
 
@@ -167,7 +183,7 @@ Status FaultInjectionEnv::SyncDir(const std::string& dir) {
   GRAPHITTI_RETURN_NOT_OK(CheckWritable());
   if (fail_syncs_ > 0) {
     --fail_syncs_;
-    return Status::Internal("injected fsync failure on dir '" + dir + "'");
+    return Status::Unavailable("injected fsync failure on dir '" + dir + "'");
   }
   pending_.erase(dir);
   return Status::OK();
@@ -213,6 +229,8 @@ void FaultInjectionEnv::Crash() {
   poisoned_ = false;
   crash_after_bytes_ = UINT64_MAX;
   bytes_written_ = 0;
+  space_budget_ = UINT64_MAX;
+  space_used_ = 0;
   fail_syncs_ = 0;
 }
 

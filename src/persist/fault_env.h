@@ -21,6 +21,16 @@
 //     subsequent write/sync/namespace op fails until Crash() is called.
 //   - set_fail_syncs(n): the next n Sync()/SyncDir() calls fail (without
 //     making anything durable).
+//   - set_space_budget(n): ENOSPC model — after n more appended bytes the
+//     crossing write lands a short prefix and fails with kUnavailable, but
+//     the env is NOT poisoned: namespace ops still work and
+//     clear_space_budget() restores full service, so degraded-mode heal
+//     paths (Graphitti::TryHeal) can be exercised end to end.
+//
+// All injected I/O failures report kUnavailable (transient, retryable),
+// matching what the engine's degraded-mode contract expects from a real
+// filesystem; only protocol misuse (append to a removed file) is
+// kInternal.
 #ifndef GRAPHITTI_PERSIST_FAULT_ENV_H_
 #define GRAPHITTI_PERSIST_FAULT_ENV_H_
 
@@ -64,6 +74,20 @@ class FaultInjectionEnv : public Env {
   /// The next `n` Sync()/SyncDir() calls fail without syncing anything.
   void set_fail_syncs(int n) { fail_syncs_ = n; }
 
+  /// ENOSPC-style budget: at most `n` more appended bytes succeed; the
+  /// write that crosses the budget lands the prefix that fits and fails
+  /// with kUnavailable. Does NOT poison the env (unlike
+  /// set_crash_after_bytes) — writes keep failing only while the budget
+  /// is exhausted. Resets the running usage counter.
+  void set_space_budget(uint64_t n) {
+    space_budget_ = n;
+    space_used_ = 0;
+  }
+
+  /// Lifts the space budget: the "disk" has free space again, so heal
+  /// paths (Checkpoint / TryHeal) can succeed.
+  void clear_space_budget() { space_budget_ = UINT64_MAX; }
+
   /// Total bytes appended since the last set_crash_after_bytes (for sizing
   /// crash schedules: run once fault-free, read this, then iterate k over it).
   uint64_t bytes_written() const { return bytes_written_; }
@@ -97,6 +121,8 @@ class FaultInjectionEnv : public Env {
 
   // Consumes write budget; returns how many of `want` bytes may land.
   uint64_t GrantWrite(uint64_t want);
+  // Consumes space budget (the ENOSPC model); never poisons.
+  uint64_t GrantSpace(uint64_t want);
   util::Status CheckWritable() const;
 
   std::map<std::string, FileState> files_;
@@ -104,6 +130,8 @@ class FaultInjectionEnv : public Env {
 
   uint64_t crash_after_bytes_ = UINT64_MAX;
   uint64_t bytes_written_ = 0;
+  uint64_t space_budget_ = UINT64_MAX;
+  uint64_t space_used_ = 0;
   int fail_syncs_ = 0;
   bool poisoned_ = false;
 };

@@ -145,6 +145,54 @@ NodeKind ToNodeKind(VarKind kind) {
 // lint: allow-map(per-query cache; hashed, sized by candidate count)
 using ReferentCache = std::unordered_map<uint64_t, const annotation::Referent*>;
 
+/// Shared governance stop flag for one execution. Holds a StopReason
+/// (kCompleted == 0 == keep going); the first tripper wins, so a worker
+/// that hits the row limit while another hits the deadline records exactly
+/// one coherent reason.
+using StopFlag = std::atomic<uint8_t>;
+
+void TripStop(StopFlag* stop, StopReason reason) {
+  uint8_t expected = 0;
+  stop->compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                std::memory_order_relaxed);
+}
+
+StopReason ReasonFromStatus(const Status& s) {
+  if (s.IsDeadlineExceeded()) return StopReason::kDeadline;
+  if (s.IsCancelled()) return StopReason::kCancelled;
+  if (s.IsResourceExhausted()) return StopReason::kMemoryBudget;
+  return StopReason::kCompleted;  // not a governance status
+}
+
+void TripStop(StopFlag* stop, const Status& s) {
+  StopReason r = ReasonFromStatus(s);
+  if (r != StopReason::kCompleted) TripStop(stop, r);
+}
+
+StopReason StopOf(const StopFlag& stop) {
+  return static_cast<StopReason>(stop.load(std::memory_order_relaxed));
+}
+
+/// The status Execute() reports for a governance stop.
+Status StopStatus(StopReason reason, const ExecutorOptions& options) {
+  switch (reason) {
+    case StopReason::kRowLimit:
+      return Status::OutOfRange("query exceeded max_intermediate_rows (" +
+                                std::to_string(options.max_intermediate_rows) + ")");
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case StopReason::kMemoryBudget:
+      return Status::ResourceExhausted(
+          "query exceeded memory budget (" +
+          std::to_string(options.memory_budget_bytes) + " bytes)");
+    case StopReason::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StopReason::kCompleted:
+      break;
+  }
+  return Status::OK();
+}
+
 /// Streams every candidate for `info` — its typed subquery with all
 /// single-variable filters applied — into `emit`, without materializing the
 /// intermediate id vectors the row-based executor built per filter stage.
@@ -157,9 +205,25 @@ using ReferentCache = std::unordered_map<uint64_t, const annotation::Referent*>;
 Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
                         ReferentCache* referent_cache, bool* emitted_ordered,
                         util::ThreadPool* pool, size_t workers,
+                        const util::Deadline& deadline,
+                        const util::CancellationToken& cancel, StopFlag* stop,
                         const std::function<void(NodeRef)>& emit) {
   const annotation::AnnotationStore& store = *ctx.store;
   const agraph::AGraph& graph = *ctx.graph;
+
+  // Serial-path governance gate. Parallel chunk bodies build their own
+  // local gates (GovernanceGate is per-thread); everyone shares `stop` so
+  // the first tripper halts all paths.
+  util::GovernanceGate gate(deadline, cancel);
+  auto tripped = [&]() {
+    if (stop->load(std::memory_order_relaxed) != 0) return true;
+    Status gs = gate.Check();
+    if (!gs.ok()) {
+      TripStop(stop, gs);
+      return true;
+    }
+    return false;
+  };
 
   switch (info.kind) {
     case VarKind::kContent: {
@@ -222,23 +286,34 @@ Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
         const size_t chunks = std::min(ids.size(), workers);
         std::vector<std::vector<AnnotationId>> kept(chunks);
         pool->ParallelFor(chunks, workers - 1, [&](size_t ci) {
+          // Local gate per chunk: GovernanceGate is per-thread state.
+          util::GovernanceGate chunk_gate(deadline, cancel);
           const size_t lo = ids.size() * ci / chunks;
           const size_t hi = ids.size() * (ci + 1) / chunks;
           for (size_t i = lo; i < hi; ++i) {
+            if (stop->load(std::memory_order_relaxed) != 0) return;
+            Status gs = chunk_gate.Check();
+            if (!gs.ok()) {
+              TripStop(stop, gs);
+              return;
+            }
             const annotation::Annotation* ann = store.Get(ids[i]);
             if (ann != nullptr && passes(*ann)) kept[ci].push_back(ids[i]);
           }
-        });
+        }, stop);
         for (const std::vector<AnnotationId>& chunk : kept) {
+          if (tripped()) return Status::OK();
           for (AnnotationId id : chunk) emit(NodeRef::Content(id));
         }
       } else if (have_ids) {
         for (AnnotationId id : ids) {
+          if (tripped()) return Status::OK();
           const annotation::Annotation* ann = store.Get(id);
           if (ann != nullptr && passes(*ann)) emit(NodeRef::Content(id));
         }
       } else {
         store.ForEachAnnotation([&](AnnotationId id, const annotation::Annotation& ann) {
+          if (tripped()) return;
           if (passes(ann)) emit(NodeRef::Content(id));
         });
       }
@@ -297,6 +372,7 @@ Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
         return true;
       };
       auto visit = [&](ReferentId id, const annotation::Referent& ref) {
+        if (tripped()) return;
         referent_cache->emplace(id, &ref);
         if (keep(id, ref)) emit(NodeRef::Referent(id));
       };
@@ -344,7 +420,10 @@ Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
         }
       }
       if (wanted.empty()) {
-        graph.ForEachNodeOfKind(NodeKind::kOntologyTerm, emit);
+        graph.ForEachNodeOfKind(NodeKind::kOntologyTerm, [&](NodeRef n) {
+          if (tripped()) return;
+          emit(n);
+        });
       } else {
         for (const std::string& q : wanted) {
           auto node = store.FindTermNode(q);
@@ -366,9 +445,15 @@ Status ForEachCandidate(const QueryContext& ctx, const VarInfo& info,
         GRAPHITTI_ASSIGN_OR_RETURN(
             std::vector<uint64_t> ids,
             ctx.objects->FindObjects(table_clause->text, table_clause->table_filter));
-        for (uint64_t id : ids) emit(NodeRef::Object(id));
+        for (uint64_t id : ids) {
+          if (tripped()) return Status::OK();
+          emit(NodeRef::Object(id));
+        }
       } else {
-        graph.ForEachNodeOfKind(NodeKind::kDataObject, emit);
+        graph.ForEachNodeOfKind(NodeKind::kDataObject, [&](NodeRef n) {
+          if (tripped()) return;
+          emit(n);
+        });
       }
       return Status::OK();
     }
@@ -387,9 +472,21 @@ Result<QueryResult> Executor::ExecuteText(std::string_view query_text) const {
 }
 
 Result<QueryResult> Executor::Execute(const Query& query) const {
+  QueryResult result;
+  GRAPHITTI_RETURN_NOT_OK(ExecuteInto(query, &result));
+  if (result.stats.stop_reason != StopReason::kCompleted) {
+    return StopStatus(result.stats.stop_reason, options_);
+  }
+  return result;
+}
+
+util::Status Executor::ExecuteInto(const Query& query, QueryResult* out) const {
   if (ctx_.store == nullptr || ctx_.indexes == nullptr || ctx_.graph == nullptr) {
     return Status::InvalidArgument("QueryContext must provide store, indexes and graph");
   }
+  QueryResult& result = *out;
+  result.target = query.target;
+  ExecutionStats& stats = result.stats;
   const annotation::AnnotationStore& store = *ctx_.store;
   const agraph::AGraph& graph = *ctx_.graph;
 
@@ -400,6 +497,23 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     pool = options_.pool != nullptr ? options_.pool : util::ThreadPool::Shared();
   }
   const size_t workers = pool != nullptr ? options_.workers : 1;
+
+  // Governance stop flag shared by every stage and worker below: trips on
+  // deadline expiry, cancellation, the row limit, or the byte budget, and
+  // every loop observes it cooperatively.
+  StopFlag stop{0};
+
+  // Unamortized entry check: a query arriving with an expired deadline or a
+  // pre-cancelled token must stop before any work, regardless of corpus
+  // size — the amortized gates below only read the clock every kCheckStride
+  // iterations, which a small scan may never reach.
+  {
+    Status gs = util::GovernanceGate(options_.deadline, options_.cancel).CheckNow();
+    if (!gs.ok()) {
+      stats.stop_reason = ReasonFromStatus(gs);
+      return Status::OK();
+    }
+  }
 
   // ------------------------------------------------------------------
   // 1. Collect variables, infer kinds, split clauses into per-variable
@@ -470,7 +584,12 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     bool ordered = false;
     GRAPHITTI_RETURN_NOT_OK(ForEachCandidate(
         ctx_, info, &referent_cache, &ordered, pool, workers,
+        options_.deadline, options_.cancel, &stop,
         [&info = info](NodeRef n) { info.streamed.push_back(n); }));
+    if (stop.load(std::memory_order_relaxed) != 0) {
+      stats.stop_reason = StopOf(stop);
+      return Status::OK();
+    }
     if (!ordered) {
       std::sort(info.streamed.begin(), info.streamed.end());
       info.streamed.erase(std::unique(info.streamed.begin(), info.streamed.end()),
@@ -669,10 +788,6 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   //    appends (value, parent) pairs to one column; prior bindings are
   //    shared through parent links and never copied.
   // ------------------------------------------------------------------
-  QueryResult result;
-  result.target = query.target;
-  ExecutionStats& stats = result.stats;
-
   // lint: allow-map(result columns: a handful per query, ordered header)
   std::map<std::string, size_t> var_column;
   BindingTable table;
@@ -716,6 +831,10 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     std::vector<std::pair<NodeRef, size_t>> out;  // (candidate, parent row)
   };
   std::vector<WorkerState> wstates(workers);
+  // One governance gate per worker (a gate is per-thread state; the tick
+  // counter amortizing clock reads must never be shared across workers).
+  std::vector<util::GovernanceGate> wgates(
+      workers, util::GovernanceGate(options_.deadline, options_.cancel));
 
   auto reachable_from = [&](WorkerState& w, NodeRef node, size_t hops)
       -> const std::unordered_set<NodeRef, NodeRefHash>& {
@@ -793,9 +912,8 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
 
     // Emitted-row budget shared across workers: the table-size limit is
     // enforced at the (serial) append below; this counter just lets
-    // workers stop producing once the level is doomed to OutOfRange.
+    // workers stop producing once the level is doomed to the row limit.
     std::atomic<size_t> emitted{0};
-    std::atomic<bool> over_limit{false};
 
     // Extends one parent row: computes the candidate domain, filters it
     // through the bound pairwise predicates and CONNECTED reachability, and
@@ -803,7 +921,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     // function of the row given the frozen substrates, so rows partition
     // freely across workers; outputs append back in worker-chunk order,
     // making the table bit-identical to the serial build.
-    auto extend_row = [&](WorkerState& w, size_t row) {
+    auto extend_row = [&](WorkerState& w, util::GovernanceGate& g, size_t row) {
       table.ReadParentRow(row, &w.row_buf);
 
       const std::vector<NodeRef>* domain = cartesian;
@@ -854,6 +972,11 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       }
 
       for (NodeRef cand : *domain) {
+        Status gs = g.Check();
+        if (!gs.ok()) {
+          TripStop(&stop, gs);
+          return;
+        }
         // Pairwise constraints that become fully bound with v = cand.
         bool ok = true;
         for (const BoundPred& bp : bound_preds) {
@@ -882,7 +1005,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         w.out.push_back({cand, row});
         if (emitted.fetch_add(1, std::memory_order_relaxed) >=
             options_.max_intermediate_rows) {
-          over_limit.store(true, std::memory_order_relaxed);
+          TripStop(&stop, StopReason::kRowLimit);
           return;
         }
       }
@@ -896,37 +1019,56 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
         const size_t lo = prev_rows * ci / workers;
         const size_t hi = prev_rows * (ci + 1) / workers;
         for (size_t row = lo; row < hi; ++row) {
-          if (over_limit.load(std::memory_order_relaxed)) return;
-          extend_row(w, row);
+          if (stop.load(std::memory_order_relaxed) != 0) return;
+          extend_row(w, wgates[ci], row);
         }
-      });
+      }, &stop);
     } else {
       for (size_t row = 0; row < prev_rows; ++row) {
-        if (over_limit.load(std::memory_order_relaxed)) break;
-        extend_row(wstates.front(), row);
+        if (stop.load(std::memory_order_relaxed) != 0) break;
+        extend_row(wstates.front(), wgates.front(), row);
       }
     }
-    if (over_limit.load(std::memory_order_relaxed)) {
-      return Status::OutOfRange("query exceeded max_intermediate_rows (" +
-                                std::to_string(options_.max_intermediate_rows) + ")");
-    }
-    for (WorkerState& w : wstates) {
-      for (const auto& [cand, parent] : w.out) {
-        table.Append(cand, parent);
-        if (table.OpenRows() > options_.max_intermediate_rows) {
-          return Status::OutOfRange("query exceeded max_intermediate_rows (" +
-                                    std::to_string(options_.max_intermediate_rows) + ")");
+    // Append surviving pairs in deterministic worker-chunk order, enforcing
+    // the row limit and the byte budget as the column grows. A governance
+    // stop skips the append (the level is abandoned) but the column is
+    // still closed — EndColumn after partial appends is well-defined and
+    // folds this level's size into the peaks.
+    if (stop.load(std::memory_order_relaxed) == 0) {
+      size_t appended = 0;
+      for (WorkerState& w : wstates) {
+        for (const auto& [cand, parent] : w.out) {
+          table.Append(cand, parent);
+          if (table.OpenRows() > options_.max_intermediate_rows) {
+            TripStop(&stop, StopReason::kRowLimit);
+            break;
+          }
+          if (options_.memory_budget_bytes != 0 && (++appended & 63) == 0 &&
+              table.ByteSize() > options_.memory_budget_bytes) {
+            TripStop(&stop, StopReason::kMemoryBudget);
+            break;
+          }
         }
+        w.out.clear();
+        if (stop.load(std::memory_order_relaxed) != 0) break;
       }
-      w.out.clear();
     }
     table.EndColumn();
+    if (options_.memory_budget_bytes != 0 &&
+        table.ByteSize() > options_.memory_budget_bytes) {
+      TripStop(&stop, StopReason::kMemoryBudget);
+    }
     var_column[v] = var_column.size();
     stats.rows_examined += table.NumRows();
+    if (stop.load(std::memory_order_relaxed) != 0) break;
     if (table.NumRows() == 0) break;
   }
   stats.peak_rows = table.peak_rows();
   stats.peak_bytes = table.peak_bytes();
+  if (stop.load(std::memory_order_relaxed) != 0) {
+    stats.stop_reason = StopOf(stop);
+    return Status::OK();
+  }
 
   // ------------------------------------------------------------------
   // 6. Collate results per target.
@@ -971,12 +1113,25 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
     return it == var_column.end() ? SIZE_MAX : it->second;
   };
 
+  // Collation is serial; one gate covers every target's row loop. A trip
+  // keeps the items collated so far (a partial page is still renderable).
+  util::GovernanceGate collate_gate(options_.deadline, options_.cancel);
+  auto collate_tripped = [&]() {
+    Status gs = collate_gate.Check();
+    if (!gs.ok()) {
+      TripStop(&stop, gs);
+      return true;
+    }
+    return false;
+  };
+
   switch (query.target) {
     case Target::kContents: {
       std::unordered_set<NodeRef, NodeRefHash> seen;
       size_t col = target_col();
       if (col != SIZE_MAX) result.items.reserve(final_rows);
       for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        if (collate_tripped()) break;
         table.ReadRow(row, &row_buf);
         NodeRef n = row_buf[col];
         if (!seen.insert(n).second) continue;
@@ -992,6 +1147,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       size_t col = target_col();
       if (col != SIZE_MAX) result.items.reserve(final_rows);
       for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        if (collate_tripped()) break;
         table.ReadRow(row, &row_buf);
         NodeRef n = row_buf[col];
         if (!seen.insert(n).second) continue;
@@ -1010,6 +1166,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       std::unordered_set<NodeRef, NodeRefHash> seen;
       size_t col = target_col();
       for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        if (collate_tripped()) break;
         table.ReadRow(row, &row_buf);
         NodeRef n = row_buf[col];
         if (!seen.insert(n).second) continue;
@@ -1031,6 +1188,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       std::unordered_set<NodeRef, NodeRefHash> distinct;
       size_t col = target_col();
       for (size_t row = 0; col != SIZE_MAX && row < final_rows; ++row) {
+        if (collate_tripped()) break;
         table.ReadRow(row, &row_buf);
         distinct.insert(row_buf[col]);
       }
@@ -1058,6 +1216,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
       std::unordered_set<uint64_t> seen;
       std::vector<NodeRef> terminals;
       for (size_t row = 0; row < final_rows; ++row) {
+        if (collate_tripped()) break;
         table.ReadRow(row, &row_buf);
         terminals = row_buf;
         std::sort(terminals.begin(), terminals.end());
@@ -1088,8 +1247,21 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   if (page_size == 0) page_size = 1;
   result.page_size = page_size;
   result.total_pages = (result.items.size() + page_size - 1) / page_size;
-  GRAPHITTI_RETURN_NOT_OK(MaterializePage(&result, query.page));
-  return result;
+  if (stop.load(std::memory_order_relaxed) != 0) {
+    // Collation tripped: keep the partial items but skip materialization —
+    // the budget is already gone.
+    stats.stop_reason = StopOf(stop);
+    return Status::OK();
+  }
+  Status ms = MaterializePage(&result, query.page);
+  if (!ms.ok()) {
+    StopReason r = ReasonFromStatus(ms);
+    if (r == StopReason::kCompleted) return ms;  // hard error, not governance
+    stats.stop_reason = r;
+    return Status::OK();
+  }
+  stats.stop_reason = StopReason::kCompleted;
+  return Status::OK();
 }
 
 util::Status Executor::MaterializePage(QueryResult* result, size_t page) const {
@@ -1128,6 +1300,8 @@ util::Status Executor::MaterializePage(QueryResult* result, size_t page) const {
   if (result->connect_batch == nullptr ||
       result->connect_batch->graph() != ctx_.graph) {
     agraph::ConnectOptions copt;
+    copt.deadline = options_.deadline;
+    copt.cancel = options_.cancel;
     if (options_.workers > 1) {
       copt.workers = options_.workers;
       copt.pool = options_.pool != nullptr ? options_.pool : util::ThreadPool::Shared();
@@ -1136,10 +1310,28 @@ util::Status Executor::MaterializePage(QueryResult* result, size_t page) const {
   }
   agraph::ConnectBatch& batch = *result->connect_batch;
   const size_t trees_before = batch.trees_built();
+  util::GovernanceGate gate(options_.deadline, options_.cancel);
   for (size_t i = begin; i < end; ++i) {
     ResultItem& item = result->items[i];
     if (item.subgraph_ready) continue;
+    // Each row's connect is already expensive; check unamortized. The page
+    // materialized so far stays valid (subgraph_ready per item), so a
+    // governance abort here resumes exactly where it left off on retry.
+    {
+      Status gs = gate.CheckNow();
+      if (!gs.ok()) {
+        result->stats.connect_trees_built += batch.trees_built() - trees_before;
+        return gs;
+      }
+    }
     auto sg = batch.Connect(item.terminals);
+    if (!sg.ok() && (sg.status().IsDeadlineExceeded() || sg.status().IsCancelled() ||
+                     sg.status().IsResourceExhausted())) {
+      // Governance abort mid-connect: not a disconnected row — leave the
+      // item unmaterialized for a retry and surface the status.
+      result->stats.connect_trees_built += batch.trees_built() - trees_before;
+      return sg.status();
+    }
     item.subgraph_ready = true;
     if (sg.ok()) {
       item.subgraph = std::move(sg).ValueUnsafe();
@@ -1154,7 +1346,11 @@ util::Status Executor::MaterializePage(QueryResult* result, size_t page) const {
 }
 
 Result<std::string> Executor::Explain(const Query& query) const {
-  GRAPHITTI_ASSIGN_OR_RETURN(QueryResult result, Execute(query));
+  // ExecuteInto rather than Execute: a governance stop still renders the
+  // partial plan (with its stop reason), instead of erasing the very
+  // diagnostics that explain why the query was slow.
+  QueryResult result;
+  GRAPHITTI_RETURN_NOT_OK(ExecuteInto(query, &result));
   std::string out;
   out += "query: " + query.ToString() + "\n";
   out += "plan (" + std::string(options_.use_selectivity_order ? "feasible order"
@@ -1176,6 +1372,7 @@ Result<std::string> Executor::Explain(const Query& query) const {
            std::to_string(result.page) + " only; connect trees built: " +
            std::to_string(result.stats.connect_trees_built) + ")\n";
   }
+  out += "stopped: " + std::string(StopReasonName(result.stats.stop_reason)) + "\n";
   return out;
 }
 

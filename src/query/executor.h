@@ -35,6 +35,7 @@
 #include "query/ast.h"
 #include "query/context.h"
 #include "query/result.h"
+#include "util/governance.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +59,18 @@ struct ExecutorOptions {
   /// Pool supplying helper threads when workers > 1. nullptr falls back to
   /// the process-wide util::ThreadPool::Shared().
   util::ThreadPool* pool = nullptr;
+  /// Wall-clock budget. When it expires mid-execution the query aborts
+  /// cooperatively with kDeadlineExceeded (stats.stop_reason records where);
+  /// the default is infinite. Checks are amortized (~one clock read per
+  /// 1024 loop iterations), so expiry is detected promptly but not exactly.
+  util::Deadline deadline;
+  /// Cooperative cancellation; RequestCancel() from any thread makes the
+  /// query abort with kCancelled at its next check.
+  util::CancellationToken cancel;
+  /// Byte budget for the columnar binding table (values + parent links
+  /// across all columns). 0 = unlimited. Exceeding it aborts the join with
+  /// kResourceExhausted.
+  size_t memory_budget_bytes = 0;
 };
 
 class Executor {
@@ -98,6 +111,14 @@ class Executor {
   util::Result<std::string> ExplainText(std::string_view query_text) const;
 
  private:
+  /// Runs the full pipeline into *result, always recording
+  /// result->stats.stop_reason. Governance stops (deadline, cancellation,
+  /// row limit, memory budget) return OK with the partial result; only
+  /// hard errors (parse/type/plan) return non-OK. Execute() maps a non-
+  /// kCompleted stop_reason onto its status code; Explain() renders the
+  /// partial plan instead.
+  util::Status ExecuteInto(const Query& query, QueryResult* result) const;
+
   QueryContext ctx_;
   ExecutorOptions options_;
 };

@@ -47,6 +47,34 @@ struct ResultItem {
   std::string label;
 };
 
+/// Why an execution finished (governance observability: a row-budget,
+/// deadline, memory-budget, or cancellation abort must be distinguishable
+/// from natural completion — ExecutionStats::stop_reason + Explain report
+/// it, and the executor maps each to its status code).
+enum class StopReason {
+  kCompleted = 0,   // ran to the end
+  kRowLimit,        // max_intermediate_rows exceeded (kOutOfRange)
+  kDeadline,        // ExecutorOptions::deadline expired (kDeadlineExceeded)
+  kMemoryBudget,    // memory_budget_bytes exceeded (kResourceExhausted)
+  kCancelled,       // CancellationToken fired (kCancelled)
+};
+
+inline const char* StopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::kCompleted:
+      return "completed";
+    case StopReason::kRowLimit:
+      return "row-limit";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kMemoryBudget:
+      return "memory-budget";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
 /// How the executor ran the query (exposed for tests and the ordering
 /// ablation benchmark).
 struct ExecutionStats {
@@ -70,6 +98,9 @@ struct ExecutionStats {
   /// Per-terminal BFS trees built by batched connects across all
   /// MaterializePage calls.
   size_t connect_trees_built = 0;
+  /// Why execution stopped (see StopReason). Anything but kCompleted means
+  /// the query aborted early and any results are partial.
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 struct QueryResult {

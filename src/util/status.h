@@ -21,6 +21,11 @@ enum class StatusCode {
   kTypeError,
   kUnsupported,
   kInternal,
+  // Governance / availability codes (resource governance layer):
+  kDeadlineExceeded,   // a Deadline expired before the work completed
+  kResourceExhausted,  // a memory budget or admission limit was hit
+  kCancelled,          // a CancellationToken was triggered
+  kUnavailable,        // transient I/O or degraded-mode refusal; retryable
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "NotFound"...).
@@ -67,6 +72,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -83,6 +100,10 @@ class Status {
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

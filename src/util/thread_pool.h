@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -73,17 +74,28 @@ class ThreadPool {
   /// Run body(i) for every i in [0, n), distributing i across the caller
   /// plus up to `max_helpers` pool workers. Blocks until all n
   /// invocations complete. max_helpers == 0 runs serially on the caller.
+  ///
+  /// `stop` (optional) is a cooperative early-out: once it reads non-zero,
+  /// remaining indices are still claimed and counted — the done == n
+  /// completion invariant must hold for the caller's wait to return — but
+  /// their bodies are skipped. Indices whose body already started always
+  /// run to completion; the flag only suppresses work not yet begun.
   void ParallelFor(size_t n, size_t max_helpers,
-                   const std::function<void(size_t)>& body) {
+                   const std::function<void(size_t)>& body,
+                   const std::atomic<uint8_t>* stop = nullptr) {
+    auto stopped = [stop] {
+      return stop != nullptr && stop->load(std::memory_order_relaxed) != 0;
+    };
     if (n == 0) return;
     if (n == 1 || max_helpers == 0 || threads_.empty()) {
-      for (size_t i = 0; i < n; ++i) body(i);
+      for (size_t i = 0; i < n && !stopped(); ++i) body(i);
       return;
     }
     std::shared_ptr<Job> job = std::make_shared<Job>();
     job->n = n;
     job->body = &body;
     job->max_helpers = max_helpers;
+    job->stop = stop;
     {
       MutexLock lock(mu_);
       pending_.push_back(job);
@@ -92,7 +104,7 @@ class ThreadPool {
     // Caller participates: claim indices until the counter runs dry.
     for (size_t i = job->next.fetch_add(1); i < n;
          i = job->next.fetch_add(1)) {
-      body(i);
+      if (!stopped()) body(i);
       MutexLock lock(job->done_mu);
       job->done++;
     }
@@ -121,6 +133,8 @@ class ThreadPool {
     size_t n = 0;
     const std::function<void(size_t)>* body = nullptr;
     size_t max_helpers = 0;
+    // Cooperative early-out flag shared with the submitter (may be null).
+    const std::atomic<uint8_t>* stop = nullptr;
     // Helpers admitted so far. Guarded by the owning pool's mu_ — an
     // inner struct cannot name its pool in a GUARDED_BY, so the relation
     // is enforced by WorkerLoop touching it only inside its mu_ scope.
@@ -167,7 +181,10 @@ class ThreadPool {
       size_t n = job->n;
       for (size_t i = job->next.fetch_add(1); i < n;
            i = job->next.fetch_add(1)) {
-        (*job->body)(i);
+        if (job->stop == nullptr ||
+            job->stop->load(std::memory_order_relaxed) == 0) {
+          (*job->body)(i);
+        }
         MutexLock lock(job->done_mu);
         job->done++;
         if (job->done >= n) job->done_cv.NotifyAll();

@@ -474,6 +474,134 @@ TEST(ConcurrencyStressTest, VersionReclamationSurvivesPinRaces) {
   EXPECT_TRUE(g.ValidateIntegrity().ok());
 }
 
+// ---------------------------------------------------------------------
+// Governance under concurrency (PR 10): deadline and cancellation stops
+// must be clean — a governed reader aborts with exactly its governance
+// status (or completes), never crashes, never tears state, and never
+// degrades the engine — while a writer keeps publishing at full speed.
+// Run under TSan in CI like the rest of this file.
+// ---------------------------------------------------------------------
+
+TEST(ConcurrencyStressTest, TightDeadlineReadersRaceASaturatingWriter) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+  Failures failures;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> deadline_stops{0};
+
+  std::thread writer([&] {
+    uint64_t cycle = 1u << 29;
+    while (!stop.load(std::memory_order_acquire)) {
+      AnnotationId id = CommitSentinel(&g, cycle++, &failures);
+      if (id != 0) (void)g.RemoveAnnotation(id);
+    }
+  });
+
+  // Readers alternate deadlines from "instant" to "comfortable": some
+  // queries must die to the deadline, some must finish; nothing else is
+  // acceptable.
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      const std::string q =
+          "FIND CONTENTS WHERE { ?a CONTAINS \"stalwart\" ; ?s IS REFERENT ; "
+          "?a ANNOTATES ?s }";
+      for (size_t i = 0; i < 60; ++i) {
+        query::ExecutorOptions opts;
+        // Three tiers: already-expired (must stop at the entry check),
+        // hair-trigger (either outcome), and comfortable (should finish).
+        const auto budget = (i % 3 == 0) ? std::chrono::microseconds(0)
+                           : (i % 3 == 1)
+                               ? std::chrono::microseconds(200)
+                               : std::chrono::microseconds(500000);
+        opts.deadline = util::Deadline::After(budget);
+        opts.workers = (r % 2 == 0) ? 1 : 2;
+        auto res = g.Query(q, opts);
+        if (res.ok()) {
+          if (res->stats.stop_reason != query::StopReason::kCompleted) {
+            failures.Add("ok result with stop reason " +
+                         std::string(query::StopReasonName(res->stats.stop_reason)));
+          } else if (res->items.size() != kStableAnnotations) {
+            failures.Add("governed snapshot drifted: " +
+                         std::to_string(res->items.size()));
+          }
+        } else if (res.status().IsDeadlineExceeded()) {
+          deadline_stops.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.Add("unexpected status: " + res.status().ToString());
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+  // The 1µs tier cannot finish a join on this corpus: the sweep must have
+  // produced real deadline stops, and they must not have degraded the
+  // engine or poisoned later queries.
+  EXPECT_GT(deadline_stops.load(), 0u);
+  EXPECT_EQ(g.Health().mode, EngineMode::kServing);
+  EXPECT_GE(g.Health().deadline_exceeded, deadline_stops.load());
+  auto after = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"stalwart\" }");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->items.size(), kStableAnnotations);
+  EXPECT_TRUE(g.ValidateIntegrity().ok());
+}
+
+TEST(ConcurrencyStressTest, SharedTokenCancellationIsCleanAcrossThreads) {
+  Graphitti g;
+  BuildStableCorpus(&g);
+  Failures failures;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> cancelled_stops{0};
+  util::CancellationToken token = util::CancellationToken::Create();
+
+  // The canceller flips the shared flag on and off: readers must observe
+  // either a clean completion or a clean kCancelled, nothing in between.
+  std::thread canceller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      token.RequestCancel();
+      std::this_thread::yield();
+      token.Reset();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      query::ExecutorOptions opts;
+      opts.cancel = token;
+      for (size_t i = 0; i < 80; ++i) {
+        auto res = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"stalwart\" }", opts);
+        if (res.ok()) {
+          if (res->items.size() != kStableAnnotations) {
+            failures.Add("cancelled-era snapshot drifted: " +
+                         std::to_string(res->items.size()));
+          }
+        } else if (res.status().IsCancelled()) {
+          cancelled_stops.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.Add("unexpected status: " + res.status().ToString());
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  canceller.join();
+
+  for (const std::string& message : failures.Take()) ADD_FAILURE() << message;
+  EXPECT_EQ(g.Health().mode, EngineMode::kServing);
+  token.Reset();
+  query::ExecutorOptions opts;
+  opts.cancel = token;
+  auto after = g.Query("FIND CONTENTS WHERE { ?a CONTAINS \"stalwart\" }", opts);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->items.size(), kStableAnnotations);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace graphitti

@@ -180,15 +180,22 @@ TEST(RecoveryFaultTest, FsyncFailurePoisonsUntilCheckpointHeals) {
       << "un-logged mutation became visible to readers";
   EXPECT_EQ((*g)->Stats().num_annotations, 1u);
 
-  // Poisoned: durable mutations are refused until a checkpoint re-anchors
-  // durable state to memory.
+  // Degraded: durable mutations are refused with a retryable status until
+  // a checkpoint re-anchors durable state to memory, and Health() reports
+  // the read-only mode.
   AnnotationBuilder refused;
-  refused.Title("refused while poisoned").MarkInterval("flu:seg4", 2, 6);
+  refused.Title("refused while degraded").MarkInterval("flu:seg4", 2, 6);
   auto refused_commit = (*g)->Commit(refused);
   ASSERT_FALSE(refused_commit.ok());
-  EXPECT_TRUE(refused_commit.status().IsInternal());
+  EXPECT_TRUE(refused_commit.status().IsUnavailable())
+      << refused_commit.status().ToString();
+  EXPECT_EQ((*g)->Health().mode, EngineMode::kReadOnly);
+  EXPECT_GE((*g)->Health().wal_failures, 1u);
+  EXPECT_GE((*g)->Health().degraded_rejections, 1u);
 
   ASSERT_TRUE((*g)->Checkpoint().ok());
+  EXPECT_EQ((*g)->Health().mode, EngineMode::kServing);
+  EXPECT_GE((*g)->Health().heals, 1u);
 
   // Healed: the checkpoint captured the (published) in-memory state — the
   // discarded commit stays absent, matching both memory and disk — and
@@ -204,6 +211,100 @@ TEST(RecoveryFaultTest, FsyncFailurePoisonsUntilCheckpointHeals) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(Fingerprint(**reopened), fp);
   EXPECT_TRUE((*reopened)->ValidateIntegrity().ok());
+}
+
+TEST(RecoveryFaultTest, EnospcDegradedLifecycleHealsViaTryHeal) {
+  FaultInjectionEnv env;
+  DurabilityOptions opts;
+  opts.env = &env;
+  auto g = Graphitti::OpenDurable(kDir, opts);
+  ASSERT_TRUE(g.ok());
+
+  AnnotationBuilder ok1;
+  ok1.Title("committed before enospc").MarkInterval("flu:seg4", 0, 4);
+  ASSERT_TRUE((*g)->Commit(ok1).ok());
+  const std::string fp_before = Fingerprint(**g);
+  // A reader pinned before the failure rides through the whole episode.
+  auto pinned = (*g)->Query("FIND COUNT ?c WHERE { ?c CONTAINS \"committed\" }");
+  ASSERT_TRUE(pinned.ok());
+
+  // The disk fills: the next WAL append lands a short prefix and fails
+  // with a retryable status, flipping the engine to read-only mode.
+  env.set_space_budget(8);
+  AnnotationBuilder failing;
+  failing.Title("dies to enospc").MarkInterval("flu:seg4", 1, 5);
+  auto failed = (*g)->Commit(failing);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsUnavailable()) << failed.status().ToString();
+  EXPECT_EQ((*g)->Health().mode, EngineMode::kReadOnly);
+
+  // Queryable-read-only: reads keep serving the last committed state,
+  // bit-identical to the pre-failure fingerprint; mutations stay refused.
+  EXPECT_EQ(Fingerprint(**g), fp_before);
+  auto during = (*g)->Query("FIND COUNT ?c WHERE { ?c CONTAINS \"committed\" }");
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(during->items[0].count, pinned->items[0].count);
+  AnnotationBuilder refused;
+  refused.Title("refused while enospc").MarkInterval("flu:seg4", 2, 6);
+  EXPECT_TRUE((*g)->Commit(refused).status().IsUnavailable());
+
+  // TryHeal keeps failing (with the retryable cause) while the disk is
+  // still full, and the engine stays read-only.
+  auto healed_early = (*g)->TryHeal(2, std::chrono::milliseconds(1));
+  ASSERT_FALSE(healed_early.ok());
+  EXPECT_TRUE(healed_early.IsUnavailable()) << healed_early.ToString();
+  EXPECT_EQ((*g)->Health().mode, EngineMode::kReadOnly);
+
+  // Once space frees up, TryHeal checkpoints and restores full service.
+  env.clear_space_budget();
+  ASSERT_TRUE((*g)->TryHeal().ok());
+  EXPECT_EQ((*g)->Health().mode, EngineMode::kServing);
+  EXPECT_GE((*g)->Health().heals, 1u);
+
+  AnnotationBuilder after;
+  after.Title("after heal").MarkInterval("flu:seg4", 3, 7);
+  ASSERT_TRUE((*g)->Commit(after).ok());
+  EXPECT_EQ((*g)->Stats().num_annotations, 2u);
+
+  std::string fp = Fingerprint(**g);
+  g->reset();
+  auto reopened = Graphitti::OpenDurable(kDir, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(Fingerprint(**reopened), fp);
+}
+
+TEST(RecoveryFaultTest, CrashWhileDegradedRecoversLastCommittedState) {
+  FaultInjectionEnv env;
+  DurabilityOptions opts;
+  opts.env = &env;
+  auto g = Graphitti::OpenDurable(kDir, opts);
+  ASSERT_TRUE(g.ok());
+
+  AnnotationBuilder a;
+  a.Title("alpha").Creator("torture").MarkInterval("flu:seg4", 0, 4);
+  ASSERT_TRUE((*g)->Commit(a).ok());
+  const std::string fp = Fingerprint(**g);
+
+  env.set_space_budget(4);
+  AnnotationBuilder b;
+  b.Title("beta").MarkInterval("flu:seg4", 1, 5);
+  ASSERT_FALSE((*g)->Commit(b).ok());
+  ASSERT_EQ((*g)->Health().mode, EngineMode::kReadOnly);
+
+  // Power loss while degraded: the torn tail the failed append left
+  // behind must not corrupt recovery — the survivor is exactly the last
+  // committed state, serving normally.
+  g->reset();
+  env.Crash();
+  auto recovered = Graphitti::OpenDurable(kDir, opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Fingerprint(**recovered), fp);
+  EXPECT_TRUE((*recovered)->ValidateIntegrity().ok());
+  EXPECT_EQ((*recovered)->Health().mode, EngineMode::kServing);
+
+  AnnotationBuilder post;
+  post.Title("post-crash").MarkInterval("flu:seg4", 0, 1);
+  EXPECT_TRUE((*recovered)->Commit(post).ok());
 }
 
 }  // namespace
